@@ -1,0 +1,55 @@
+//! Filtering-throughput microbenchmarks: trilinear vs. anisotropic vs. the
+//! PATU-demoted path.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use patu_core::{FilterPolicy, PerceptionAwareTextureUnit};
+use patu_gmath::Vec2;
+use patu_texture::{
+    procedural, sample_anisotropic, sample_trilinear_record, AddressMode, Footprint, Texture,
+};
+use std::hint::black_box;
+
+fn texture() -> Texture {
+    Texture::with_mips(procedural::composite(512, 512, 0xBE), 0)
+}
+
+fn footprint(n_texels: f32) -> Footprint {
+    Footprint::from_derivatives(
+        Vec2::new(n_texels / 512.0, 0.0),
+        Vec2::new(0.0, 1.0 / 512.0),
+        512,
+        512,
+        16,
+    )
+}
+
+fn bench_filtering(c: &mut Criterion) {
+    let tex = texture();
+    let uv = Vec2::new(0.37, 0.61);
+    let mut group = c.benchmark_group("filtering");
+
+    group.bench_function("trilinear", |b| {
+        b.iter(|| sample_trilinear_record(&tex, black_box(uv), 1.5, AddressMode::Wrap))
+    });
+
+    for n in [4.0f32, 8.0, 16.0] {
+        let fp = footprint(n);
+        group.bench_function(format!("anisotropic_n{}", fp.n), |b| {
+            b.iter(|| sample_anisotropic(&tex, black_box(uv), &fp, AddressMode::Wrap))
+        });
+    }
+
+    let fp = footprint(8.0);
+    group.bench_function("patu_decide_and_filter_n8", |b| {
+        b.iter_batched(
+            || PerceptionAwareTextureUnit::new(FilterPolicy::Patu { threshold: 0.4 }),
+            |mut unit| unit.filter(&tex, black_box(uv), &fp, AddressMode::Wrap),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_filtering);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! SSIM analyzer throughput (the analysis layer's dominant cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use patu_quality::{GrayImage, SsimConfig};
+use std::hint::black_box;
+
+fn gradient(width: u32, height: u32, phase: u32) -> GrayImage {
+    let data = (0..height)
+        .flat_map(|y| (0..width).map(move |x| ((x * 7 + y * 13 + phase) % 256) as f32))
+        .collect();
+    GrayImage::new(width, height, data)
+}
+
+fn bench_ssim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ssim");
+    for size in [128u32, 256, 512] {
+        let a = gradient(size, size, 0);
+        let b = gradient(size, size, 11);
+        group.bench_function(format!("mssim_{size}x{size}"), |bch| {
+            bch.iter(|| SsimConfig::default().mssim(black_box(&a), black_box(&b)))
+        });
+    }
+    let a = gradient(256, 256, 0);
+    let b = gradient(256, 256, 11);
+    group.bench_function("full_map_256", |bch| {
+        bch.iter(|| SsimConfig::default().ssim_map(black_box(&a), black_box(&b)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ssim);
+criterion_main!(benches);

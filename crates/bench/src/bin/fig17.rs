@@ -1,0 +1,64 @@
+//! Fig. 17: the threshold sweep — performance–quality tradeoff per game,
+//! with the Best Point (BP) maximizing speedup × MSSIM, and the average
+//! case across games.
+
+use patu_bench::{paper_note, RunOptions};
+use patu_scenes::{default_specs, Workload};
+use patu_sim::experiment::{best_point, threshold_sweep};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = RunOptions::from_args();
+    println!("FIG. 17: threshold sweep per game ({})", opts.profile_banner());
+    let thresholds: Vec<f64> = (0..=10).map(|i| f64::from(i) / 10.0).collect();
+
+    // Per-threshold accumulators for the average subfigure (I).
+    let mut avg_speedup = vec![0.0f64; thresholds.len()];
+    let mut avg_mssim = vec![0.0f64; thresholds.len()];
+    let mut bps = Vec::new();
+    let mut games = 0.0f64;
+
+    for spec in default_specs() {
+        let workload = Workload::build(spec.name, opts.resolution(&spec))?;
+        let (baseline, sweep) = threshold_sweep(&workload, &thresholds, &opts.experiment());
+        let bp = best_point(&baseline, &sweep);
+        bps.push((spec.label(), bp));
+        games += 1.0;
+
+        println!("\n{} (BP = {bp:.1}):", spec.label());
+        println!("{:>9} {:>9} {:>8} {:>15}", "threshold", "speedup", "MSSIM", "speedup*MSSIM");
+        for (i, (t, r)) in sweep.iter().enumerate() {
+            let s = r.speedup_vs(&baseline);
+            println!(
+                "{:>9.1} {:>8.3}x {:>8.3} {:>15.3}",
+                t,
+                s,
+                r.mssim,
+                r.tuning_metric(&baseline)
+            );
+            avg_speedup[i] += s;
+            avg_mssim[i] += r.mssim;
+        }
+    }
+
+    println!("\n(I) AVERAGE ACROSS GAMES:");
+    println!("{:>9} {:>9} {:>8} {:>15}", "threshold", "speedup", "MSSIM", "speedup*MSSIM");
+    let mut best = (0.0, f64::MIN);
+    for (i, &t) in thresholds.iter().enumerate() {
+        let s = avg_speedup[i] / games;
+        let q = avg_mssim[i] / games;
+        println!("{:>9.1} {:>8.3}x {:>8.3} {:>15.3}", t, s, q, s * q);
+        if s * q > best.1 {
+            best = (t, s * q);
+        }
+    }
+    println!("\naverage BP = {:.1}", best.0);
+    println!("per-game BPs: {:?}", bps);
+
+    paper_note(
+        "Fig. 17",
+        "speedup and MSSIM form an X-shaped near-linear tradeoff; MSSIM jumps sharply \
+         from θ=0 to 0.1; most BPs lie in 0.1–0.9; higher resolutions have smaller BPs; \
+         the average BP is 0.4 (94% MSSIM)",
+    );
+    Ok(())
+}

@@ -1,0 +1,43 @@
+//! Sec. V-C(1): prediction divergence within 2×2 quads under PATU.
+
+use patu_bench::{paper_note, pct, RunOptions};
+use patu_core::FilterPolicy;
+use patu_scenes::{default_specs, Workload};
+use patu_sim::experiment::run_policies;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = RunOptions::from_args();
+    println!("SEC. V-C(1): quad prediction divergence under PATU θ=0.4 ({})", opts.profile_banner());
+    println!("\n{:<16} {:>12} {:>14} {:>10}", "game", "quads", "divergent", "fraction");
+
+    let mut fractions = Vec::new();
+    for spec in default_specs() {
+        let workload = Workload::build(spec.name, opts.resolution(&spec))?;
+        let results = run_policies(
+            &workload,
+            &[("PATU", FilterPolicy::Patu { threshold: 0.4 })],
+            &opts.experiment(),
+        );
+        let d = results[0].divergence;
+        println!(
+            "{:<16} {:>12} {:>14} {:>10}",
+            spec.label(),
+            d.quads,
+            d.divergent_quads,
+            pct(d.divergence_fraction())
+        );
+        fractions.push(d.divergence_fraction());
+    }
+    println!(
+        "\nmean divergence: {} (max {})",
+        pct(fractions.iter().sum::<f64>() / fractions.len() as f64),
+        pct(fractions.iter().cloned().fold(0.0, f64::max))
+    );
+
+    paper_note(
+        "Sec. V-C(1)",
+        "only 1% of quads on average (up to 1.6%) diverge in their per-pixel \
+         predictions — no special divergence hardware is justified",
+    );
+    Ok(())
+}

@@ -1,0 +1,11 @@
+//! Prints Table I: the baseline simulator configuration.
+
+use patu_gpu::GpuConfig;
+
+fn main() {
+    println!("TABLE I: BASELINE SIMULATOR CONFIGURATION");
+    println!("{}", "-".repeat(72));
+    for (name, value) in GpuConfig::default().table1() {
+        println!("{name:<32} | {value}");
+    }
+}

@@ -1,0 +1,19 @@
+//! Prints Table II: the 3D gaming benchmark inventory.
+
+use patu_scenes::catalog;
+
+fn main() {
+    println!("TABLE II: 3D GAMING BENCHMARKS");
+    println!("{}", "-".repeat(72));
+    println!("{:<7} {:<32} {:<12} {:<10}", "Abbr.", "Name", "Resolution", "Library");
+    for spec in catalog() {
+        println!(
+            "{:<7} {:<32} {:<12} {:<10}",
+            spec.name,
+            spec.title,
+            format!("{}x{}", spec.resolution.0, spec.resolution.1),
+            spec.library
+        );
+    }
+    println!("\n(Each workload is a procedural stand-in scene; see DESIGN.md §2.)");
+}

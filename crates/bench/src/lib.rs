@@ -1,0 +1,144 @@
+//! # patu-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! PATU paper (HPCA 2018). Each `fig*`/`table*` binary in `src/bin` prints
+//! the same rows/series the paper reports, alongside the paper's published
+//! value where one exists, so EXPERIMENTS.md can record paper-vs-measured.
+//!
+//! Binaries accept:
+//!
+//! * `--full` — run at the paper's Table II resolutions (slow). The default
+//!   "fast" profile halves each dimension (quarter area), which preserves
+//!   every trend while keeping a full figure regeneration in minutes.
+//! * `--frames N` — frames averaged per data point (default 2).
+//!
+//! Criterion micro-benchmarks for the core data structures live in
+//! `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use patu_gpu::GpuConfig;
+use patu_scenes::WorkloadSpec;
+use patu_sim::experiment::ExperimentConfig;
+
+/// Command-line options shared by all harness binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOptions {
+    /// Run at the paper's full resolutions instead of the fast profile.
+    pub full: bool,
+    /// Frames averaged per data point.
+    pub frames: u32,
+}
+
+impl Default for RunOptions {
+    fn default() -> RunOptions {
+        RunOptions { full: false, frames: 2 }
+    }
+}
+
+impl RunOptions {
+    /// Parses `--full` and `--frames N` from the process arguments.
+    /// Unknown arguments are ignored so binaries can add their own.
+    pub fn from_args() -> RunOptions {
+        let mut opts = RunOptions::default();
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--full" => opts.full = true,
+                "--frames" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        opts.frames = v;
+                        i += 1;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        opts
+    }
+
+    /// The resolution to simulate a spec at: the paper's own under `--full`,
+    /// else half each dimension (quarter the pixels).
+    pub fn resolution(&self, spec: &WorkloadSpec) -> (u32, u32) {
+        if self.full {
+            spec.resolution
+        } else {
+            (spec.resolution.0 / 2, spec.resolution.1 / 2)
+        }
+    }
+
+    /// The experiment configuration for this run.
+    pub fn experiment(&self) -> ExperimentConfig {
+        ExperimentConfig {
+            frames: self.frames,
+            frame_stride: 150,
+            gpu: GpuConfig::default(),
+        }
+    }
+
+    /// A human-readable description of the active profile.
+    pub fn profile_banner(&self) -> String {
+        format!(
+            "profile: {} resolutions, {} frame(s) per data point",
+            if self.full { "paper (Table II)" } else { "fast (half-dimension)" },
+            self.frames
+        )
+    }
+}
+
+/// Formats a ratio as a percentage delta, e.g. `+17.2%` for 1.172.
+pub fn pct_delta(ratio: f64) -> String {
+    format!("{:+.1}%", (ratio - 1.0) * 100.0)
+}
+
+/// Formats a 0–1 fraction as a percentage.
+pub fn pct(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+/// Prints the standard paper-vs-measured footer line.
+pub fn paper_note(figure: &str, claim: &str) {
+    println!("\n[{figure}] paper reports: {claim}");
+    println!("(absolute numbers differ — our substrate is a synthetic simulator;");
+    println!(" the comparison point is the trend/direction. See EXPERIMENTS.md.)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_options() {
+        let o = RunOptions::default();
+        assert!(!o.full);
+        assert_eq!(o.frames, 2);
+    }
+
+    #[test]
+    fn fast_profile_halves_dimensions() {
+        let spec = patu_scenes::catalog()
+            .into_iter()
+            .find(|s| s.label() == "hl2-1600x1200")
+            .unwrap();
+        let o = RunOptions::default();
+        assert_eq!(o.resolution(&spec), (800, 600));
+        let full = RunOptions { full: true, ..o };
+        assert_eq!(full.resolution(&spec), (1600, 1200));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct_delta(1.172), "+17.2%");
+        assert_eq!(pct_delta(0.9), "-10.0%");
+        assert_eq!(pct(0.62), "62.0%");
+    }
+
+    #[test]
+    fn experiment_uses_frames() {
+        let o = RunOptions { full: false, frames: 5 };
+        assert_eq!(o.experiment().frames, 5);
+    }
+}

@@ -1,0 +1,265 @@
+//! The runtime texel-address hash table — PATU component ② (paper Sec. V-A).
+//!
+//! A 16-entry fully-associative buffer, one entry per distinct *texel address
+//! set* observed among a pixel's trilinear taps, with a saturating 4-bit
+//! count tag per entry. After all of a pixel's tap addresses stream through,
+//! the count tags form the probability vector `P` of Eq. (8): how AF's
+//! samples distribute over shared texel sets.
+//!
+//! The hardware table stores eight 32-bit addresses per entry plus the 4-bit
+//! tag (260 bits/entry, ≈2 KB per texture unit across the 4 quad pipelines);
+//! this model stores the same information and counts every access for the
+//! energy model.
+
+use patu_texture::TexelAddress;
+
+/// Maximum entries: the max AF level of the modeled texture unit (16).
+pub const TABLE_ENTRIES: usize = 16;
+
+/// Saturation value of the 4-bit count tag.
+const COUNT_TAG_MAX: u8 = 15;
+
+/// One table entry: a tap's texel address set and its occurrence count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Entry {
+    /// The tap's texel addresses, sorted for order-independent comparison.
+    addresses: Vec<TexelAddress>,
+    /// Saturating 4-bit occurrence count.
+    count: u8,
+}
+
+/// The texel-address hash table for one pixel's prediction.
+///
+/// ```
+/// use patu_core::TexelAddressTable;
+/// use patu_texture::TexelAddress;
+///
+/// let mut table = TexelAddressTable::new();
+/// let set_a: Vec<_> = (0..8).map(|i| TexelAddress::new(i * 4)).collect();
+/// let set_b: Vec<_> = (8..16).map(|i| TexelAddress::new(i * 4)).collect();
+/// table.insert(&set_a);
+/// table.insert(&set_a); // shared texels: count tag bumps
+/// table.insert(&set_b);
+/// assert_eq!(table.counts(), vec![2, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TexelAddressTable {
+    entries: Vec<Entry>,
+    capacity: usize,
+    accesses: u64,
+    overflowed: bool,
+}
+
+impl Default for TexelAddressTable {
+    fn default() -> TexelAddressTable {
+        TexelAddressTable::new()
+    }
+}
+
+impl TexelAddressTable {
+    /// Creates an empty table with the paper's 16 entries.
+    pub fn new() -> TexelAddressTable {
+        TexelAddressTable::with_capacity(TABLE_ENTRIES)
+    }
+
+    /// Creates an empty table with a custom entry count (for the capacity
+    /// ablation study; the paper's design point is 16).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> TexelAddressTable {
+        assert!(capacity > 0, "hash table needs at least one entry");
+        TexelAddressTable {
+            entries: Vec::new(),
+            capacity,
+            accesses: 0,
+            overflowed: false,
+        }
+    }
+
+    /// The table's entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Streams one trilinear tap's texel address set through the table:
+    /// a matching entry's count tag increments (saturating at 15); otherwise
+    /// the set occupies the first available entry. Returns `true` if the set
+    /// matched an existing entry.
+    ///
+    /// If all 16 entries are in use and the set matches none, the insert is
+    /// dropped and the table is marked [`TexelAddressTable::overflowed`] —
+    /// this cannot happen for well-formed AF requests, whose tap count never
+    /// exceeds the max AF level of 16.
+    pub fn insert(&mut self, addresses: &[TexelAddress]) -> bool {
+        self.accesses += 1;
+        let mut key: Vec<TexelAddress> = addresses.to_vec();
+        key.sort_unstable();
+        key.dedup();
+
+        if let Some(e) = self.entries.iter_mut().find(|e| e.addresses == key) {
+            e.count = (e.count + 1).min(COUNT_TAG_MAX);
+            return true;
+        }
+        if self.entries.len() < self.capacity {
+            self.entries.push(Entry { addresses: key, count: 1 });
+        } else {
+            self.overflowed = true;
+        }
+        false
+    }
+
+    /// The per-entry occurrence counts, in insertion order.
+    pub fn counts(&self) -> Vec<u8> {
+        self.entries.iter().map(|e| e.count).collect()
+    }
+
+    /// The probability vector `P` of Eq. (8): counts normalized by the total
+    /// number of taps streamed in. Empty when nothing was inserted.
+    pub fn probability_vector(&self) -> Vec<f64> {
+        let total: u64 = self.entries.iter().map(|e| u64::from(e.count)).sum();
+        if total == 0 {
+            return Vec::new();
+        }
+        self.entries
+            .iter()
+            .map(|e| f64::from(e.count) / total as f64)
+            .collect()
+    }
+
+    /// Number of distinct texel sets observed.
+    pub fn distinct_sets(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total lookups performed (for the energy model's access count).
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Whether an insert was dropped because the table was full.
+    pub fn overflowed(&self) -> bool {
+        self.overflowed
+    }
+
+    /// Clears the table for the next pixel (the paper resets it per request).
+    /// The access counter is preserved — it is cumulative over a frame.
+    pub fn reset(&mut self) {
+        self.entries.clear();
+        self.overflowed = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(base: u64) -> Vec<TexelAddress> {
+        (0..8).map(|i| TexelAddress::new(base + i * 4)).collect()
+    }
+
+    #[test]
+    fn first_insert_misses_second_hits() {
+        let mut t = TexelAddressTable::new();
+        assert!(!t.insert(&set(0)));
+        assert!(t.insert(&set(0)));
+        assert_eq!(t.counts(), vec![2]);
+    }
+
+    #[test]
+    fn order_of_addresses_within_set_is_irrelevant() {
+        let mut t = TexelAddressTable::new();
+        let mut shuffled = set(0);
+        shuffled.reverse();
+        t.insert(&set(0));
+        assert!(t.insert(&shuffled), "same set in different order matches");
+    }
+
+    #[test]
+    fn distinct_sets_get_distinct_entries() {
+        let mut t = TexelAddressTable::new();
+        t.insert(&set(0));
+        t.insert(&set(0x100));
+        t.insert(&set(0x200));
+        assert_eq!(t.distinct_sets(), 3);
+        assert_eq!(t.counts(), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn paper_example_probability_vector() {
+        // Fig. 11: 5 taps; 3 share one set, the other two are distinct.
+        let mut t = TexelAddressTable::new();
+        t.insert(&set(0));
+        t.insert(&set(0));
+        t.insert(&set(0));
+        t.insert(&set(0x100));
+        t.insert(&set(0x200));
+        let p = t.probability_vector();
+        assert_eq!(p.len(), 3);
+        assert!((p[0] - 0.6).abs() < 1e-12);
+        assert!((p[1] - 0.2).abs() < 1e-12);
+        assert!((p[2] - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probability_vector_sums_to_one() {
+        let mut t = TexelAddressTable::new();
+        for i in 0..7u64 {
+            t.insert(&set((i % 3) * 0x100));
+        }
+        let sum: f64 = t.probability_vector().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_table_properties() {
+        let t = TexelAddressTable::new();
+        assert!(t.probability_vector().is_empty());
+        assert_eq!(t.distinct_sets(), 0);
+        assert!(!t.overflowed());
+    }
+
+    #[test]
+    fn count_tag_saturates_at_15() {
+        let mut t = TexelAddressTable::new();
+        for _ in 0..20 {
+            t.insert(&set(0));
+        }
+        assert_eq!(t.counts(), vec![15]);
+    }
+
+    #[test]
+    fn capacity_is_sixteen_entries() {
+        let mut t = TexelAddressTable::new();
+        for i in 0..16u64 {
+            t.insert(&set(i * 0x100));
+        }
+        assert_eq!(t.distinct_sets(), 16);
+        assert!(!t.overflowed());
+        t.insert(&set(99 * 0x100));
+        assert!(t.overflowed(), "17th distinct set overflows");
+        assert_eq!(t.distinct_sets(), 16);
+    }
+
+    #[test]
+    fn reset_preserves_access_count() {
+        let mut t = TexelAddressTable::new();
+        t.insert(&set(0));
+        t.insert(&set(0x100));
+        t.reset();
+        assert_eq!(t.distinct_sets(), 0);
+        assert_eq!(t.accesses(), 2, "energy accounting is cumulative");
+    }
+
+    #[test]
+    fn duplicate_addresses_within_tap_deduped() {
+        // A tap whose LOD clamps at the mip-chain end repeats addresses;
+        // the stored key is the distinct set.
+        let mut t = TexelAddressTable::new();
+        let mut tap = set(0);
+        tap.extend_from_slice(&set(0));
+        t.insert(&tap);
+        assert!(t.insert(&set(0)), "deduped key matches the plain set");
+    }
+}

@@ -1,0 +1,187 @@
+//! Oracle similarity: the ground truth the runtime predictors approximate.
+//!
+//! The paper's Eq. (4) defines the similarity degree `μ∇ = Y / X` between a
+//! pixel's AF color `Y` and its TF color `X`; Eq. (5) turns it into the
+//! pixel's true AF-SSIM. The runtime predictors (AF-SSIM(N), AF-SSIM(Txds))
+//! exist precisely because `μ∇` needs the *completed* AF filtering. This
+//! module computes the oracle after the fact, so experiments can measure how
+//! well each predictor tracks it (precision/recall of the approximate/keep
+//! decision) — the validation behind the paper's Sec. IV design.
+
+use crate::afssim::af_ssim_mu;
+use patu_texture::Rgba8;
+
+/// The similarity degree `μ∇ = Y / X` from the actually-filtered colors,
+/// computed on luma. When the TF color is black (X ≈ 0), the ratio is
+/// defined as 1 if both are black (identical) and a large value otherwise.
+pub fn oracle_mu(af_color: Rgba8, tf_color: Rgba8) -> f64 {
+    let y = f64::from(af_color.luma());
+    let x = f64::from(tf_color.luma());
+    if x < 1.0 {
+        if y < 1.0 {
+            1.0
+        } else {
+            y.max(16.0)
+        }
+    } else {
+        y / x
+    }
+}
+
+/// The pixel's true AF-SSIM per Eq. (5), from the actually-filtered colors.
+pub fn oracle_af_ssim(af_color: Rgba8, tf_color: Rgba8) -> f64 {
+    af_ssim_mu(oracle_mu(af_color, tf_color))
+}
+
+/// A confusion matrix comparing a runtime predictor's approximate/keep
+/// decisions against the oracle's.
+///
+/// "Positive" means *approximate* (the pixel does not need AF).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PredictionAccuracy {
+    /// Predictor approximated, oracle agreed.
+    pub true_positive: u64,
+    /// Predictor approximated, oracle wanted AF (quality risk).
+    pub false_positive: u64,
+    /// Predictor kept AF, oracle says it was unnecessary (lost speedup).
+    pub false_negative: u64,
+    /// Predictor kept AF, oracle agreed.
+    pub true_negative: u64,
+}
+
+impl PredictionAccuracy {
+    /// Creates an empty matrix.
+    pub fn new() -> PredictionAccuracy {
+        PredictionAccuracy::default()
+    }
+
+    /// Records one pixel's outcome.
+    pub fn record(&mut self, predicted_approx: bool, oracle_approx: bool) {
+        match (predicted_approx, oracle_approx) {
+            (true, true) => self.true_positive += 1,
+            (true, false) => self.false_positive += 1,
+            (false, true) => self.false_negative += 1,
+            (false, false) => self.true_negative += 1,
+        }
+    }
+
+    /// Total pixels recorded.
+    pub fn total(&self) -> u64 {
+        self.true_positive + self.false_positive + self.false_negative + self.true_negative
+    }
+
+    /// Fraction of decisions agreeing with the oracle.
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        (self.true_positive + self.true_negative) as f64 / self.total() as f64
+    }
+
+    /// Of the pixels the predictor approximated, the fraction the oracle
+    /// agrees did not need AF (quality safety).
+    pub fn precision(&self) -> f64 {
+        let p = self.true_positive + self.false_positive;
+        if p == 0 {
+            0.0
+        } else {
+            self.true_positive as f64 / p as f64
+        }
+    }
+
+    /// Of the pixels the oracle says did not need AF, the fraction the
+    /// predictor caught (captured speedup opportunity).
+    pub fn recall(&self) -> f64 {
+        let p = self.true_positive + self.false_negative;
+        if p == 0 {
+            0.0
+        } else {
+            self.true_positive as f64 / p as f64
+        }
+    }
+
+    /// Merges counters from another matrix.
+    pub fn accumulate(&mut self, other: &PredictionAccuracy) {
+        self.true_positive += other.true_positive;
+        self.false_positive += other.false_positive;
+        self.false_negative += other.false_negative;
+        self.true_negative += other.true_negative;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_colors_perfect_similarity() {
+        let c = Rgba8::rgb(120, 80, 60);
+        assert!((oracle_mu(c, c) - 1.0).abs() < 1e-6);
+        assert!(oracle_af_ssim(c, c) > 0.99);
+    }
+
+    #[test]
+    fn both_black_is_similar() {
+        assert_eq!(oracle_mu(Rgba8::BLACK, Rgba8::BLACK), 1.0);
+    }
+
+    #[test]
+    fn black_vs_bright_is_dissimilar() {
+        let s = oracle_af_ssim(Rgba8::WHITE, Rgba8::BLACK);
+        assert!(s < 0.05, "got {s}");
+    }
+
+    #[test]
+    fn similarity_decreases_with_ratio() {
+        let base = Rgba8::gray(100);
+        let near = oracle_af_ssim(Rgba8::gray(110), base);
+        let far = oracle_af_ssim(Rgba8::gray(200), base);
+        assert!(near > far);
+    }
+
+    #[test]
+    fn oracle_symmetric_under_swap() {
+        let a = Rgba8::gray(80);
+        let b = Rgba8::gray(160);
+        let ab = oracle_af_ssim(a, b);
+        let ba = oracle_af_ssim(b, a);
+        assert!((ab - ba).abs() < 1e-3, "{ab} vs {ba}");
+    }
+
+    #[test]
+    fn confusion_matrix_metrics() {
+        let mut m = PredictionAccuracy::new();
+        // 3 TP, 1 FP, 1 FN, 5 TN.
+        for _ in 0..3 {
+            m.record(true, true);
+        }
+        m.record(true, false);
+        m.record(false, true);
+        for _ in 0..5 {
+            m.record(false, false);
+        }
+        assert_eq!(m.total(), 10);
+        assert!((m.accuracy() - 0.8).abs() < 1e-12);
+        assert!((m.precision() - 0.75).abs() < 1e-12);
+        assert!((m.recall() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_matrix_safe() {
+        let m = PredictionAccuracy::new();
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.precision(), 0.0);
+        assert_eq!(m.recall(), 0.0);
+    }
+
+    #[test]
+    fn accumulate_merges() {
+        let mut a = PredictionAccuracy::new();
+        a.record(true, true);
+        let mut b = PredictionAccuracy::new();
+        b.record(false, false);
+        a.accumulate(&b);
+        assert_eq!(a.total(), 2);
+        assert_eq!(a.accuracy(), 1.0);
+    }
+}

@@ -1,0 +1,484 @@
+//! Filtering policies and the two-stage runtime prediction flow (Fig. 13).
+//!
+//! A [`FilterPolicy`] decides, per pixel, whether anisotropic filtering can
+//! be approximated by plain trilinear filtering. The evaluation's four
+//! design points (Sec. VII-B) map to:
+//!
+//! | Paper design point      | Policy                                  |
+//! |-------------------------|-----------------------------------------|
+//! | Baseline (16×AF)        | [`FilterPolicy::Baseline`]              |
+//! | AF disabled (Fig. 5/7)  | [`FilterPolicy::NoAf`]                  |
+//! | AF-SSIM(N)              | [`FilterPolicy::SampleArea`]            |
+//! | AF-SSIM(N)+(Txds)       | [`FilterPolicy::SampleAreaTxds`]        |
+//! | PATU                    | [`FilterPolicy::Patu`]                  |
+//!
+//! The two predictive stages share one unified threshold (Sec. IV-C(C)).
+
+use crate::afssim::{af_ssim_n, af_ssim_txds, txds};
+use crate::hash_table::TexelAddressTable;
+use patu_texture::{Footprint, TexelAddress};
+
+/// How the pixel is ultimately filtered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FilterMode {
+    /// Full anisotropic filtering (`N` trilinear taps at the AF LOD).
+    Anisotropic,
+    /// Trilinear only, at TF's own (coarser) LOD — the naive demotion that
+    /// causes the LOD shift of Sec. V-C(2).
+    TrilinearTfLod,
+    /// Trilinear only, reusing AF's (finer) LOD — PATU's demotion, which
+    /// avoids the LOD shift and improves texture-cache locality.
+    TrilinearAfLod,
+}
+
+/// Which point of the prediction flow produced the decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DecisionStage {
+    /// The policy never predicts (baseline / no-AF).
+    Fixed,
+    /// The footprint was isotropic (`N = 1`); no AF was ever needed.
+    Isotropic,
+    /// Approved for approximation by AF-SSIM(N) after Texel Generation.
+    SampleArea,
+    /// Approved for approximation by AF-SSIM(Txds) after Texel Address
+    /// Calculation.
+    Distribution,
+    /// Both predictors demanded AF; the pixel keeps full filtering.
+    KeptAf,
+}
+
+/// The per-pixel outcome of a policy decision, including the architectural
+/// side costs the timing/energy models charge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PolicyDecision {
+    /// Chosen filtering mode.
+    pub mode: FilterMode,
+    /// Which stage decided.
+    pub stage: DecisionStage,
+    /// Predictor evaluations performed (compute-logic activations).
+    pub predictor_evals: u32,
+    /// Texel-address hash-table lookups performed.
+    pub hash_accesses: u32,
+    /// Trilinear taps whose addresses were calculated and then discarded
+    /// (a stage-2 approximation recalculates addresses with `N = 1`).
+    pub wasted_addr_taps: u32,
+}
+
+impl PolicyDecision {
+    fn fixed(mode: FilterMode) -> PolicyDecision {
+        PolicyDecision {
+            mode,
+            stage: DecisionStage::Fixed,
+            predictor_evals: 0,
+            hash_accesses: 0,
+            wasted_addr_taps: 0,
+        }
+    }
+
+    /// Whether AF was approximated away (any trilinear-only mode).
+    pub fn is_approximated(&self) -> bool {
+        self.mode != FilterMode::Anisotropic
+    }
+}
+
+/// The filtering policy of a texture unit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FilterPolicy {
+    /// Always apply full 16×AF (the paper's baseline).
+    Baseline,
+    /// Never apply AF (the paper's motivation experiments, Fig. 5–7).
+    NoAf,
+    /// Sample-area based prediction only: AF-SSIM(N) vs. `threshold`.
+    SampleArea {
+        /// The unified prediction threshold in `[0, 1]`.
+        threshold: f64,
+    },
+    /// Both predictions, but demoted pixels use TF's own LOD (suffers the
+    /// LOD shift).
+    SampleAreaTxds {
+        /// The unified prediction threshold in `[0, 1]`.
+        threshold: f64,
+    },
+    /// The full PATU design: both predictions + AF-LOD reuse for demoted
+    /// pixels.
+    Patu {
+        /// The unified prediction threshold in `[0, 1]`.
+        threshold: f64,
+    },
+}
+
+/// Error returned when parsing a [`FilterPolicy`] from a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePolicyError {
+    input: String,
+}
+
+impl std::fmt::Display for ParsePolicyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid policy '{}' (expected baseline, noaf, sample-area[@T], \
+             sample-area-txds[@T] or patu[@T] with T in [0,1])",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParsePolicyError {}
+
+impl std::str::FromStr for FilterPolicy {
+    type Err = ParsePolicyError;
+
+    /// Parses `baseline`, `noaf`, or a predictive policy with an optional
+    /// `@threshold` suffix (default 0.4): `patu`, `patu@0.6`,
+    /// `sample-area@0.2`, `sample-area-txds`.
+    fn from_str(s: &str) -> Result<FilterPolicy, ParsePolicyError> {
+        let err = || ParsePolicyError { input: s.to_string() };
+        let (name, threshold) = match s.split_once('@') {
+            Some((n, t)) => {
+                let t: f64 = t.parse().map_err(|_| err())?;
+                if !(0.0..=1.0).contains(&t) {
+                    return Err(err());
+                }
+                (n, t)
+            }
+            None => (s, 0.4),
+        };
+        match name.to_ascii_lowercase().as_str() {
+            "baseline" | "af" => Ok(FilterPolicy::Baseline),
+            "noaf" | "no-af" | "off" => Ok(FilterPolicy::NoAf),
+            "sample-area" | "afssim-n" => Ok(FilterPolicy::SampleArea { threshold }),
+            "sample-area-txds" | "afssim-n-txds" => {
+                Ok(FilterPolicy::SampleAreaTxds { threshold })
+            }
+            "patu" => Ok(FilterPolicy::Patu { threshold }),
+            _ => Err(err()),
+        }
+    }
+}
+
+impl FilterPolicy {
+    /// The approximation mode this policy demotes pixels to.
+    fn approx_mode(&self) -> FilterMode {
+        match self {
+            FilterPolicy::Patu { .. } => FilterMode::TrilinearAfLod,
+            _ => FilterMode::TrilinearTfLod,
+        }
+    }
+
+    /// The unified threshold, if the policy predicts.
+    pub fn threshold(&self) -> Option<f64> {
+        match *self {
+            FilterPolicy::Baseline | FilterPolicy::NoAf => None,
+            FilterPolicy::SampleArea { threshold }
+            | FilterPolicy::SampleAreaTxds { threshold }
+            | FilterPolicy::Patu { threshold } => Some(threshold),
+        }
+    }
+
+    /// Returns the same policy with its threshold replaced (clamped into
+    /// `[0, 1]`). Fixed policies are returned unchanged. Used by per-pixel
+    /// threshold modulation such as foveated rendering, where the knob
+    /// loosens with eccentricity.
+    #[must_use]
+    pub fn with_threshold(self, threshold: f64) -> FilterPolicy {
+        let threshold = threshold.clamp(0.0, 1.0);
+        match self {
+            FilterPolicy::Baseline | FilterPolicy::NoAf => self,
+            FilterPolicy::SampleArea { .. } => FilterPolicy::SampleArea { threshold },
+            FilterPolicy::SampleAreaTxds { .. } => FilterPolicy::SampleAreaTxds { threshold },
+            FilterPolicy::Patu { .. } => FilterPolicy::Patu { threshold },
+        }
+    }
+
+    /// Whether the policy runs the distribution (Txds) stage.
+    pub fn uses_distribution_stage(&self) -> bool {
+        matches!(
+            self,
+            FilterPolicy::SampleAreaTxds { .. } | FilterPolicy::Patu { .. }
+        )
+    }
+
+    /// Runs the prediction flow (Fig. 13) for one pixel.
+    ///
+    /// `tap_sets` provides the texel address set of each AF trilinear tap and
+    /// is only invoked when the distribution stage actually runs — exactly
+    /// as in hardware, where the hash table observes the address stream that
+    /// *Texel Address Calculation* produces anyway. `table` is the unit's
+    /// hash table (reset here per pixel; accesses accumulate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a predictive policy's threshold is outside `[0, 1]` or if
+    /// `footprint.n` is outside the supported `1..=16`.
+    pub fn decide<F>(
+        &self,
+        footprint: &Footprint,
+        table: &mut TexelAddressTable,
+        tap_sets: F,
+    ) -> PolicyDecision
+    where
+        F: FnOnce() -> Vec<Vec<TexelAddress>>,
+    {
+        if let Some(t) = self.threshold() {
+            assert!((0.0..=1.0).contains(&t), "threshold must be in [0, 1], got {t}");
+        }
+        let n = footprint.n;
+
+        // An isotropic footprint never takes the AF path, under any policy.
+        if n == 1 {
+            return PolicyDecision {
+                mode: FilterMode::TrilinearTfLod,
+                stage: DecisionStage::Isotropic,
+                predictor_evals: 0,
+                hash_accesses: 0,
+                wasted_addr_taps: 0,
+            };
+        }
+
+        let threshold = match *self {
+            FilterPolicy::Baseline => return PolicyDecision::fixed(FilterMode::Anisotropic),
+            FilterPolicy::NoAf => return PolicyDecision::fixed(FilterMode::TrilinearTfLod),
+            FilterPolicy::SampleArea { threshold }
+            | FilterPolicy::SampleAreaTxds { threshold }
+            | FilterPolicy::Patu { threshold } => threshold,
+        };
+
+        // Stage 1: sample-area similarity check (PATU component ①),
+        // right after Texel Generation.
+        let mut predictor_evals = 1;
+        if af_ssim_n(n) > threshold {
+            return PolicyDecision {
+                mode: self.approx_mode(),
+                stage: DecisionStage::SampleArea,
+                predictor_evals,
+                hash_accesses: 0,
+                wasted_addr_taps: 0,
+            };
+        }
+
+        if !self.uses_distribution_stage() {
+            return PolicyDecision {
+                mode: FilterMode::Anisotropic,
+                stage: DecisionStage::KeptAf,
+                predictor_evals,
+                hash_accesses: 0,
+                wasted_addr_taps: 0,
+            };
+        }
+
+        // Stage 2: texel-distribution check (components ② + ③), right after
+        // Texel Address Calculation.
+        let sets = tap_sets();
+        debug_assert_eq!(sets.len(), n as usize, "one address set per AF tap");
+        table.reset();
+        for s in &sets {
+            table.insert(s);
+        }
+        let hash_accesses = sets.len() as u32;
+        let p = table.probability_vector();
+        predictor_evals += 1;
+        if af_ssim_txds(txds(&p, n)) > threshold {
+            return PolicyDecision {
+                mode: self.approx_mode(),
+                stage: DecisionStage::Distribution,
+                predictor_evals,
+                hash_accesses,
+                // The controller re-calculates addresses with N = 1; the N
+                // AF taps' address work is discarded.
+                wasted_addr_taps: n,
+            };
+        }
+
+        PolicyDecision {
+            mode: FilterMode::Anisotropic,
+            stage: DecisionStage::KeptAf,
+            predictor_evals,
+            hash_accesses,
+            wasted_addr_taps: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patu_gmath::Vec2;
+
+    fn footprint(n_texels: f32) -> Footprint {
+        Footprint::from_derivatives(
+            Vec2::new(n_texels / 256.0, 0.0),
+            Vec2::new(0.0, 1.0 / 256.0),
+            256,
+            256,
+            16,
+        )
+    }
+
+    fn set(base: u64) -> Vec<TexelAddress> {
+        (0..8).map(|i| TexelAddress::new(base + i * 4)).collect()
+    }
+
+    /// N distinct tap address sets: worst-case distribution (Txds = 0).
+    fn distinct_sets(n: u32) -> Vec<Vec<TexelAddress>> {
+        (0..u64::from(n)).map(|i| set(i * 0x100)).collect()
+    }
+
+    /// N identical tap sets: perfect concentration (Txds = 1).
+    fn shared_sets(n: u32) -> Vec<Vec<TexelAddress>> {
+        (0..n).map(|_| set(0)).collect()
+    }
+
+    #[test]
+    fn baseline_always_af() {
+        let mut t = TexelAddressTable::new();
+        let d = FilterPolicy::Baseline.decide(&footprint(8.0), &mut t, Vec::new);
+        assert_eq!(d.mode, FilterMode::Anisotropic);
+        assert_eq!(d.stage, DecisionStage::Fixed);
+        assert!(!d.is_approximated());
+    }
+
+    #[test]
+    fn noaf_always_trilinear() {
+        let mut t = TexelAddressTable::new();
+        let d = FilterPolicy::NoAf.decide(&footprint(8.0), &mut t, Vec::new);
+        assert_eq!(d.mode, FilterMode::TrilinearTfLod);
+        assert!(d.is_approximated());
+    }
+
+    #[test]
+    fn isotropic_pixels_never_need_af() {
+        let mut t = TexelAddressTable::new();
+        for policy in [
+            FilterPolicy::Baseline,
+            FilterPolicy::NoAf,
+            FilterPolicy::Patu { threshold: 0.4 },
+        ] {
+            let d = policy.decide(&footprint(1.0), &mut t, Vec::new);
+            assert_eq!(d.stage, DecisionStage::Isotropic, "{policy:?}");
+            assert_eq!(d.mode, FilterMode::TrilinearTfLod);
+        }
+    }
+
+    #[test]
+    fn stage1_approves_small_n() {
+        // N=2: AF_SSIM = 0.64 > 0.4 -> approximate at stage 1.
+        let mut t = TexelAddressTable::new();
+        let d = FilterPolicy::Patu { threshold: 0.4 }.decide(&footprint(2.0), &mut t, || {
+            panic!("stage 2 must not run when stage 1 approves")
+        });
+        assert_eq!(d.stage, DecisionStage::SampleArea);
+        assert_eq!(d.mode, FilterMode::TrilinearAfLod);
+        assert_eq!(d.hash_accesses, 0);
+        assert_eq!(d.predictor_evals, 1);
+    }
+
+    #[test]
+    fn stage2_approves_concentrated_taps() {
+        // N=8: AF_SSIM(N) ≈ 0.061 < 0.4 -> stage 2; all taps share texels.
+        let mut t = TexelAddressTable::new();
+        let d = FilterPolicy::Patu { threshold: 0.4 }
+            .decide(&footprint(8.0), &mut t, || shared_sets(8));
+        assert_eq!(d.stage, DecisionStage::Distribution);
+        assert_eq!(d.mode, FilterMode::TrilinearAfLod);
+        assert_eq!(d.hash_accesses, 8);
+        assert_eq!(d.wasted_addr_taps, 8);
+        assert_eq!(d.predictor_evals, 2);
+    }
+
+    #[test]
+    fn stage2_keeps_af_for_spread_taps() {
+        let mut t = TexelAddressTable::new();
+        let d = FilterPolicy::Patu { threshold: 0.4 }
+            .decide(&footprint(8.0), &mut t, || distinct_sets(8));
+        assert_eq!(d.stage, DecisionStage::KeptAf);
+        assert_eq!(d.mode, FilterMode::Anisotropic);
+        assert_eq!(d.wasted_addr_taps, 0);
+    }
+
+    #[test]
+    fn sample_area_policy_skips_stage2() {
+        let mut t = TexelAddressTable::new();
+        let d = FilterPolicy::SampleArea { threshold: 0.4 }.decide(&footprint(8.0), &mut t, || {
+            panic!("SampleArea policy has no distribution stage")
+        });
+        assert_eq!(d.stage, DecisionStage::KeptAf);
+        assert_eq!(d.mode, FilterMode::Anisotropic);
+    }
+
+    #[test]
+    fn txds_policy_demotes_to_tf_lod() {
+        let mut t = TexelAddressTable::new();
+        let d = FilterPolicy::SampleAreaTxds { threshold: 0.4 }
+            .decide(&footprint(8.0), &mut t, || shared_sets(8));
+        assert_eq!(
+            d.mode,
+            FilterMode::TrilinearTfLod,
+            "non-PATU demotion suffers the LOD shift"
+        );
+    }
+
+    #[test]
+    fn threshold_zero_approximates_everything() {
+        let mut t = TexelAddressTable::new();
+        let d = FilterPolicy::Patu { threshold: 0.0 }.decide(&footprint(16.0), &mut t, Vec::new);
+        assert!(d.is_approximated(), "AF_SSIM(16) > 0 always");
+        assert_eq!(d.stage, DecisionStage::SampleArea);
+    }
+
+    #[test]
+    fn threshold_one_keeps_af_even_when_concentrated_differs() {
+        // At threshold 1.0 only exact-1.0 predictions approve; distinct sets
+        // (Txds = 0) certainly keep AF.
+        let mut t = TexelAddressTable::new();
+        let d = FilterPolicy::Patu { threshold: 1.0 }
+            .decide(&footprint(8.0), &mut t, || distinct_sets(8));
+        assert_eq!(d.mode, FilterMode::Anisotropic);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be in [0, 1]")]
+    fn bad_threshold_panics() {
+        let mut t = TexelAddressTable::new();
+        let _ = FilterPolicy::Patu { threshold: 1.5 }.decide(&footprint(4.0), &mut t, Vec::new);
+    }
+
+    #[test]
+    fn policy_parses_from_strings() {
+        use std::str::FromStr;
+        assert_eq!(FilterPolicy::from_str("baseline").unwrap(), FilterPolicy::Baseline);
+        assert_eq!(FilterPolicy::from_str("noaf").unwrap(), FilterPolicy::NoAf);
+        assert_eq!(
+            FilterPolicy::from_str("patu").unwrap(),
+            FilterPolicy::Patu { threshold: 0.4 },
+            "default threshold is the paper's average BP"
+        );
+        assert_eq!(
+            FilterPolicy::from_str("patu@0.8").unwrap(),
+            FilterPolicy::Patu { threshold: 0.8 }
+        );
+        assert_eq!(
+            FilterPolicy::from_str("sample-area-txds@0.2").unwrap(),
+            FilterPolicy::SampleAreaTxds { threshold: 0.2 }
+        );
+    }
+
+    #[test]
+    fn policy_parse_errors() {
+        use std::str::FromStr;
+        assert!(FilterPolicy::from_str("bilinear").is_err());
+        assert!(FilterPolicy::from_str("patu@1.5").is_err());
+        assert!(FilterPolicy::from_str("patu@nan").is_err());
+        let msg = FilterPolicy::from_str("xyz").unwrap_err().to_string();
+        assert!(msg.contains("xyz"));
+    }
+
+    #[test]
+    fn hash_accesses_accumulate_in_table() {
+        let mut t = TexelAddressTable::new();
+        let policy = FilterPolicy::Patu { threshold: 0.4 };
+        let _ = policy.decide(&footprint(8.0), &mut t, || shared_sets(8));
+        let _ = policy.decide(&footprint(8.0), &mut t, || distinct_sets(8));
+        assert_eq!(t.accesses(), 16, "cumulative across pixels");
+    }
+}

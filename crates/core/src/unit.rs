@@ -1,0 +1,330 @@
+//! The Perception-Aware Texture Unit, functionally: policy decision +
+//! the actual filtering that follows from it (paper Sec. V).
+//!
+//! [`PerceptionAwareTextureUnit::filter`] is the full per-pixel data path of
+//! Fig. 14: footprint in, prediction flow through components ①–③, and the
+//! final [`patu_texture::SampleRecord`] out — either the original AF fetch
+//! or the demoted trilinear fetch (at AF's LOD for the PATU policy, fixing
+//! the LOD shift of Sec. V-C(2)). The record carries every texel address the
+//! timing model must replay.
+
+use crate::hash_table::TexelAddressTable;
+use crate::policy::{FilterMode, FilterPolicy, PolicyDecision};
+use crate::stats::{ApproxStats, SharingStats};
+use patu_gmath::Vec2;
+use patu_texture::{
+    sampler::bilinear_addresses,
+    sample_anisotropic, sample_trilinear_record, AddressMode, Footprint, SampleRecord, Texture,
+};
+
+/// The complete functional result of filtering one pixel under a policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FilterOutcome {
+    /// The filtering actually performed (taps + texel addresses + color).
+    /// This is what the timing model charges for.
+    pub record: SampleRecord,
+    /// The policy decision that produced it.
+    pub decision: PolicyDecision,
+}
+
+impl FilterOutcome {
+    /// The final texture color returned to the shader.
+    pub fn color(&self) -> patu_texture::Rgba8 {
+        self.record.color
+    }
+}
+
+/// A texture unit with the PATU extensions, parameterized by policy.
+///
+/// ```
+/// use patu_core::{FilterPolicy, PerceptionAwareTextureUnit};
+/// use patu_texture::{procedural, AddressMode, Footprint, Texture};
+/// use patu_gmath::Vec2;
+///
+/// let tex = Texture::with_mips(procedural::checkerboard(256, 256, 8, 1), 0);
+/// let mut patu = PerceptionAwareTextureUnit::new(FilterPolicy::Patu { threshold: 0.4 });
+/// let fp = Footprint::from_derivatives(
+///     Vec2::new(2.0 / 256.0, 0.0),
+///     Vec2::new(0.0, 1.0 / 256.0),
+///     256, 256, 16,
+/// );
+/// let out = patu.filter(&tex, Vec2::new(0.5, 0.5), &fp, AddressMode::Wrap);
+/// assert!(out.decision.is_approximated(), "N=2 footprint approximated at θ=0.4");
+/// assert_eq!(out.record.n, 1, "a single trilinear tap was fetched");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerceptionAwareTextureUnit {
+    policy: FilterPolicy,
+    table: TexelAddressTable,
+    sharing: SharingStats,
+    approx: ApproxStats,
+}
+
+impl PerceptionAwareTextureUnit {
+    /// Creates a unit with the given policy and the paper's 16-entry table.
+    pub fn new(policy: FilterPolicy) -> PerceptionAwareTextureUnit {
+        PerceptionAwareTextureUnit::with_table_capacity(policy, crate::hash_table::TABLE_ENTRIES)
+    }
+
+    /// Creates a unit with a custom hash-table capacity (ablation studies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_table_capacity(
+        policy: FilterPolicy,
+        capacity: usize,
+    ) -> PerceptionAwareTextureUnit {
+        PerceptionAwareTextureUnit {
+            policy,
+            table: TexelAddressTable::with_capacity(capacity),
+            sharing: SharingStats::new(),
+            approx: ApproxStats::new(),
+        }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> FilterPolicy {
+        self.policy
+    }
+
+    /// Filters one pixel: runs the prediction flow, then performs the
+    /// decided filtering and returns the record.
+    pub fn filter(
+        &mut self,
+        tex: &Texture,
+        uv: Vec2,
+        footprint: &Footprint,
+        mode: AddressMode,
+    ) -> FilterOutcome {
+        self.filter_with(self.policy, tex, uv, footprint, mode)
+    }
+
+    /// Like [`PerceptionAwareTextureUnit::filter`] but with a per-call
+    /// policy override — used when the threshold is modulated per pixel
+    /// (e.g. foveated rendering loosening it with eccentricity). Statistics
+    /// and the hash table remain this unit's.
+    pub fn filter_with(
+        &mut self,
+        policy_override: FilterPolicy,
+        tex: &Texture,
+        uv: Vec2,
+        footprint: &Footprint,
+        mode: AddressMode,
+    ) -> FilterOutcome {
+        // The AF record is needed (a) when AF is actually performed and
+        // (b) by the distribution stage, whose hash table observes the AF
+        // taps' addresses. Compute it lazily, at most once.
+        let mut af_record: Option<SampleRecord> = None;
+        let decision = {
+            let policy = policy_override;
+            let af_ref = &mut af_record;
+            // The hash table compares taps by the TF-level sample area each
+            // one falls into (the paper's Fig. 11: taps X_0/X_1/X_3 lie in
+            // TF's yellow square). At TF's LOD the tap spacing is 1/N of a
+            // texel, so neighboring taps concentrate onto few shared sets —
+            // the distribution whose entropy Txds measures.
+            let tf_level = footprint.tf_lod.floor() as u32;
+            policy.decide(footprint, &mut self.table, || {
+                let rec = af_ref.insert(sample_anisotropic(tex, uv, footprint, mode));
+                rec.taps
+                    .iter()
+                    .map(|t| bilinear_addresses(tex, t.uv, tf_level, mode).to_vec())
+                    .collect()
+            })
+        };
+        self.approx.record(&decision);
+
+        let record = match decision.mode {
+            FilterMode::Anisotropic => {
+                let rec = af_record
+                    .unwrap_or_else(|| sample_anisotropic(tex, uv, footprint, mode));
+                // Fig. 12 instrumentation: taps sharing the center's texels,
+                // at the same TF-sample-area granularity the hash table uses.
+                let tf_level = footprint.tf_lod.floor() as u32;
+                let sets: Vec<_> = rec
+                    .taps
+                    .iter()
+                    .map(|t| bilinear_addresses(tex, t.uv, tf_level, mode).to_vec())
+                    .collect();
+                self.sharing.record(&sets);
+                rec
+            }
+            FilterMode::TrilinearTfLod => {
+                sample_trilinear_record(tex, uv, footprint.tf_lod, mode)
+            }
+            FilterMode::TrilinearAfLod => {
+                sample_trilinear_record(tex, uv, footprint.af_lod, mode)
+            }
+        };
+
+        FilterOutcome { record, decision }
+    }
+
+    /// Cumulative hash-table accesses (energy model input).
+    pub fn hash_accesses(&self) -> u64 {
+        self.table.accesses()
+    }
+
+    /// Texel-set sharing statistics over all AF requests seen (Fig. 12).
+    pub fn sharing_stats(&self) -> SharingStats {
+        self.sharing
+    }
+
+    /// Approximation coverage by stage.
+    pub fn approx_stats(&self) -> ApproxStats {
+        self.approx
+    }
+
+    /// Resets all cumulative statistics (between frames or runs).
+    pub fn reset_stats(&mut self) {
+        self.table = TexelAddressTable::with_capacity(self.table.capacity());
+        self.sharing = SharingStats::new();
+        self.approx = ApproxStats::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::policy::DecisionStage;
+    use super::*;
+    use patu_texture::procedural;
+
+    fn texture() -> Texture {
+        Texture::with_mips(procedural::checkerboard(256, 256, 8, 7), 0)
+    }
+
+    fn footprint(n_texels: f32) -> Footprint {
+        Footprint::from_derivatives(
+            Vec2::new(n_texels / 256.0, 0.0),
+            Vec2::new(0.0, 1.0 / 256.0),
+            256,
+            256,
+            16,
+        )
+    }
+
+    fn center() -> Vec2 {
+        Vec2::new(0.5, 0.5)
+    }
+
+    #[test]
+    fn baseline_performs_full_af() {
+        let tex = texture();
+        let mut unit = PerceptionAwareTextureUnit::new(FilterPolicy::Baseline);
+        let out = unit.filter(&tex, center(), &footprint(8.0), AddressMode::Wrap);
+        assert_eq!(out.record.n, 8);
+        assert_eq!(out.record.texel_fetches(), 64);
+        assert_eq!(out.decision.stage, DecisionStage::Fixed);
+    }
+
+    #[test]
+    fn noaf_fetches_single_tap_at_tf_lod() {
+        let tex = texture();
+        let mut unit = PerceptionAwareTextureUnit::new(FilterPolicy::NoAf);
+        let fp = footprint(8.0);
+        let out = unit.filter(&tex, center(), &fp, AddressMode::Wrap);
+        assert_eq!(out.record.n, 1);
+        assert_eq!(out.record.texel_fetches(), 8);
+        assert!((out.record.lod - fp.tf_lod).abs() < 1e-6);
+    }
+
+    #[test]
+    fn patu_demotion_reuses_af_lod() {
+        let tex = texture();
+        let mut unit = PerceptionAwareTextureUnit::new(FilterPolicy::Patu { threshold: 0.9 });
+        let fp = footprint(2.0); // AF_SSIM(2)=0.64 < 0.9? No: 0.64 < 0.9 -> stage 2.
+        let out = unit.filter(&tex, center(), &fp, AddressMode::Wrap);
+        if out.decision.is_approximated() {
+            assert!(
+                (out.record.lod - fp.af_lod).abs() < 1e-6,
+                "PATU samples at AF's LOD"
+            );
+        }
+    }
+
+    #[test]
+    fn patu_low_threshold_approximates_and_saves_fetches() {
+        let tex = texture();
+        // AF_SSIM(8) ≈ 0.061 > 0.05: stage 1 approves the demotion.
+        let mut unit = PerceptionAwareTextureUnit::new(FilterPolicy::Patu { threshold: 0.05 });
+        let out = unit.filter(&tex, center(), &footprint(8.0), AddressMode::Wrap);
+        assert!(out.decision.is_approximated());
+        assert_eq!(out.record.texel_fetches(), 8, "8 instead of 64 texels");
+    }
+
+    #[test]
+    fn lod_shift_visible_between_policies() {
+        // The same demoted pixel samples different mip levels under
+        // SampleAreaTxds (TF LOD) vs PATU (AF LOD).
+        let tex = texture();
+        let fp = footprint(8.0);
+        let mut naive =
+            PerceptionAwareTextureUnit::new(FilterPolicy::SampleAreaTxds { threshold: 0.99 });
+        let mut patu = PerceptionAwareTextureUnit::new(FilterPolicy::Patu { threshold: 0.99 });
+        let a = naive.filter(&tex, center(), &fp, AddressMode::Wrap);
+        let b = patu.filter(&tex, center(), &fp, AddressMode::Wrap);
+        // Threshold 0.99 forces stage-2; whether each approximates depends on
+        // texel sharing, but when both do, their LODs must differ by the shift.
+        if a.decision.is_approximated() && b.decision.is_approximated() {
+            assert!(a.record.lod > b.record.lod, "TF LOD coarser than AF LOD");
+        }
+    }
+
+    #[test]
+    fn approx_stats_accumulate() {
+        let tex = texture();
+        let mut unit = PerceptionAwareTextureUnit::new(FilterPolicy::Patu { threshold: 0.4 });
+        for i in 0..10 {
+            let fp = footprint(1.0 + i as f32);
+            let _ = unit.filter(&tex, center(), &fp, AddressMode::Wrap);
+        }
+        let stats = unit.approx_stats();
+        assert_eq!(stats.pixels, 10);
+        assert!(stats.isotropic >= 1, "the N=1 footprint counted");
+    }
+
+    #[test]
+    fn sharing_stats_only_from_af_requests() {
+        let tex = texture();
+        let mut unit = PerceptionAwareTextureUnit::new(FilterPolicy::NoAf);
+        let _ = unit.filter(&tex, center(), &footprint(8.0), AddressMode::Wrap);
+        assert_eq!(unit.sharing_stats().taps_total, 0, "no AF -> no sharing data");
+
+        let mut base = PerceptionAwareTextureUnit::new(FilterPolicy::Baseline);
+        let _ = base.filter(&tex, center(), &footprint(8.0), AddressMode::Wrap);
+        assert_eq!(base.sharing_stats().taps_total, 7, "N-1 non-center taps");
+    }
+
+    #[test]
+    fn color_matches_af_when_kept() {
+        let tex = texture();
+        let fp = footprint(8.0);
+        // Threshold 0 under SampleArea... actually keep AF via threshold that
+        // stage-1 rejects and a policy without stage 2.
+        let mut unit = PerceptionAwareTextureUnit::new(FilterPolicy::SampleArea { threshold: 0.4 });
+        let out = unit.filter(&tex, center(), &fp, AddressMode::Wrap);
+        let reference = sample_anisotropic(&tex, center(), &fp, AddressMode::Wrap);
+        assert_eq!(out.record.color, reference.color);
+        assert_eq!(out.decision.stage, DecisionStage::KeptAf);
+    }
+
+    #[test]
+    fn reset_stats_clears() {
+        let tex = texture();
+        let mut unit = PerceptionAwareTextureUnit::new(FilterPolicy::Patu { threshold: 0.4 });
+        let _ = unit.filter(&tex, center(), &footprint(8.0), AddressMode::Wrap);
+        unit.reset_stats();
+        assert_eq!(unit.approx_stats().pixels, 0);
+        assert_eq!(unit.hash_accesses(), 0);
+    }
+
+    #[test]
+    fn hash_accesses_counted_for_stage2_pixels() {
+        let tex = texture();
+        let mut unit = PerceptionAwareTextureUnit::new(FilterPolicy::Patu { threshold: 0.4 });
+        // N=8 fails stage 1 at θ=0.4, so the hash table sees 8 taps.
+        let _ = unit.filter(&tex, center(), &footprint(8.0), AddressMode::Wrap);
+        assert_eq!(unit.hash_accesses(), 8);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests for the AF-SSIM model and the PATU decision flow.
+
+use patu_core::{
+    af_ssim_mu, af_ssim_txds, entropy, txds, FilterMode, FilterPolicy, TexelAddressTable,
+};
+use patu_gmath::Vec2;
+use patu_texture::{Footprint, TexelAddress};
+use proptest::prelude::*;
+
+fn tap_set(base: u64) -> Vec<TexelAddress> {
+    (0..8).map(|i| TexelAddress::new(base + i * 4)).collect()
+}
+
+/// A valid probability vector with up to 8 entries.
+fn prob_vector() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(1u32..100, 1..8).prop_map(|weights| {
+        let total: u32 = weights.iter().sum();
+        weights.iter().map(|&w| f64::from(w) / f64::from(total)).collect()
+    })
+}
+
+fn footprint(texels_x: f32, texels_y: f32) -> Footprint {
+    Footprint::from_derivatives(
+        Vec2::new(texels_x / 512.0, 0.0),
+        Vec2::new(0.0, texels_y / 512.0),
+        512,
+        512,
+        16,
+    )
+}
+
+proptest! {
+    #[test]
+    fn af_ssim_mu_bounded(mu in 0.0f64..32.0) {
+        let v = af_ssim_mu(mu);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&v));
+    }
+
+    #[test]
+    fn af_ssim_mu_peaks_at_one(mu in 0.0f64..32.0) {
+        prop_assert!(af_ssim_mu(mu) <= af_ssim_mu(1.0) + 1e-12);
+    }
+
+    #[test]
+    fn af_ssim_mu_near_reciprocal_symmetry(mu in 0.1f64..10.0) {
+        // SSIM(X, Y) = SSIM(Y, X) up to the small stabilization constant.
+        let a = af_ssim_mu(mu);
+        let b = af_ssim_mu(1.0 / mu);
+        prop_assert!((a - b).abs() < 1e-2, "{a} vs {b} at mu {mu}");
+    }
+
+    #[test]
+    fn entropy_nonnegative_and_bounded(p in prob_vector()) {
+        let e = entropy(&p);
+        prop_assert!(e >= 0.0);
+        prop_assert!(e <= (p.len() as f64).log2() + 1e-9);
+    }
+
+    #[test]
+    fn txds_in_unit_interval(p in prob_vector(), n in 2u32..=16) {
+        let t = txds(&p, n);
+        prop_assert!((0.0..=1.0).contains(&t));
+        prop_assert!((0.0..=1.0).contains(&af_ssim_txds(t)));
+    }
+
+    #[test]
+    fn concentrating_mass_raises_txds(n in 3u32..=16) {
+        // Uniform over n events vs all mass on one event.
+        let uniform: Vec<f64> = vec![1.0 / f64::from(n); n as usize];
+        let point = vec![1.0];
+        prop_assert!(txds(&point, n) >= txds(&uniform, n));
+    }
+
+    #[test]
+    fn policy_monotone_in_threshold(
+        texels_x in 1.0f32..24.0,
+        lo in 0.0f64..1.0,
+        hi in 0.0f64..1.0,
+    ) {
+        // A lower threshold never approximates *less*: if the stricter
+        // (higher) threshold approximates a pixel, the looser one must too.
+        let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+        let fp = footprint(texels_x, 1.0);
+        let sets: Vec<Vec<TexelAddress>> =
+            (0..fp.n as u64).map(|i| tap_set((i % 3) * 0x100)).collect();
+        let mut table = TexelAddressTable::new();
+        let strict = FilterPolicy::Patu { threshold: hi }
+            .decide(&fp, &mut table, || sets.clone());
+        let loose = FilterPolicy::Patu { threshold: lo }
+            .decide(&fp, &mut table, || sets.clone());
+        if strict.is_approximated() {
+            prop_assert!(loose.is_approximated(), "θ={lo} stricter than θ={hi}?");
+        }
+    }
+
+    #[test]
+    fn baseline_and_noaf_never_predict(texels_x in 1.0f32..24.0, texels_y in 1.0f32..24.0) {
+        let fp = footprint(texels_x, texels_y);
+        let mut table = TexelAddressTable::new();
+        for policy in [FilterPolicy::Baseline, FilterPolicy::NoAf] {
+            let d = policy.decide(&fp, &mut table, || panic!("no stage 2 for fixed policies"));
+            prop_assert_eq!(d.predictor_evals, 0);
+            prop_assert_eq!(d.hash_accesses, 0);
+        }
+    }
+
+    #[test]
+    fn patu_demotions_use_af_lod(texels_x in 1.0f32..24.0, theta in 0.05f64..0.95) {
+        let fp = footprint(texels_x, 1.0);
+        let sets: Vec<Vec<TexelAddress>> = (0..fp.n as u64).map(|_| tap_set(0)).collect();
+        let mut table = TexelAddressTable::new();
+        let d = FilterPolicy::Patu { threshold: theta }.decide(&fp, &mut table, || sets.clone());
+        if d.is_approximated() && fp.n > 1 {
+            prop_assert_eq!(d.mode, FilterMode::TrilinearAfLod);
+        }
+    }
+
+    #[test]
+    fn table_probability_vector_is_distribution(
+        bases in proptest::collection::vec(0u64..5, 1..16)
+    ) {
+        let mut table = TexelAddressTable::new();
+        for b in &bases {
+            table.insert(&tap_set(b * 0x100));
+        }
+        let p = table.probability_vector();
+        let sum: f64 = p.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!(p.iter().all(|&x| x > 0.0));
+        prop_assert!(p.len() <= 5, "at most 5 distinct sets");
+    }
+
+    #[test]
+    fn table_counts_match_inserts(
+        bases in proptest::collection::vec(0u64..4, 1..15)
+    ) {
+        let mut table = TexelAddressTable::new();
+        for b in &bases {
+            table.insert(&tap_set(b * 0x40));
+        }
+        let total: u64 = table.counts().iter().map(|&c| u64::from(c)).sum();
+        prop_assert_eq!(total, bases.len() as u64, "no saturation below 16 inserts");
+    }
+}

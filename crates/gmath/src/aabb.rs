@@ -1,0 +1,181 @@
+//! Axis-aligned bounding boxes.
+
+use crate::vec::Vec2;
+
+/// A 2D axis-aligned bounding box, used by the tiling engine to bin triangles
+/// into screen tiles.
+///
+/// An `Aabb2` may be *empty* (constructed via [`Aabb2::empty`] and never
+/// grown); empty boxes report [`Aabb2::is_empty`] and intersect nothing.
+///
+/// ```
+/// use patu_gmath::{Aabb2, Vec2};
+/// let mut bb = Aabb2::empty();
+/// bb.grow(Vec2::new(1.0, 2.0));
+/// bb.grow(Vec2::new(-1.0, 5.0));
+/// assert_eq!(bb.min, Vec2::new(-1.0, 2.0));
+/// assert_eq!(bb.max, Vec2::new(1.0, 5.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aabb2 {
+    /// Minimum corner.
+    pub min: Vec2,
+    /// Maximum corner.
+    pub max: Vec2,
+}
+
+impl Aabb2 {
+    /// Creates a box from two corners (they need not be ordered).
+    pub fn new(a: Vec2, b: Vec2) -> Aabb2 {
+        Aabb2 { min: a.min(b), max: a.max(b) }
+    }
+
+    /// The empty box: grows from nothing, intersects nothing.
+    pub fn empty() -> Aabb2 {
+        Aabb2 {
+            min: Vec2::splat(f32::INFINITY),
+            max: Vec2::splat(f32::NEG_INFINITY),
+        }
+    }
+
+    /// Whether no point has been added yet (or corners are inverted).
+    pub fn is_empty(&self) -> bool {
+        self.min.x > self.max.x || self.min.y > self.max.y
+    }
+
+    /// Expands the box to contain `p`.
+    pub fn grow(&mut self, p: Vec2) {
+        self.min = self.min.min(p);
+        self.max = self.max.max(p);
+    }
+
+    /// Returns the smallest box containing both `self` and `other`.
+    pub fn union(&self, other: &Aabb2) -> Aabb2 {
+        Aabb2 {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+
+    /// Returns the overlap of `self` and `other`, or `None` if disjoint.
+    pub fn intersection(&self, other: &Aabb2) -> Option<Aabb2> {
+        let min = self.min.max(other.min);
+        let max = self.max.min(other.max);
+        if min.x <= max.x && min.y <= max.y {
+            Some(Aabb2 { min, max })
+        } else {
+            None
+        }
+    }
+
+    /// Whether `p` lies inside (inclusive of edges).
+    pub fn contains(&self, p: Vec2) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Whether the two boxes overlap (inclusive of edges).
+    pub fn overlaps(&self, other: &Aabb2) -> bool {
+        self.min.x <= other.max.x
+            && self.max.x >= other.min.x
+            && self.min.y <= other.max.y
+            && self.max.y >= other.min.y
+    }
+
+    /// Box width (zero for empty boxes).
+    pub fn width(&self) -> f32 {
+        (self.max.x - self.min.x).max(0.0)
+    }
+
+    /// Box height (zero for empty boxes).
+    pub fn height(&self) -> f32 {
+        (self.max.y - self.min.y).max(0.0)
+    }
+
+    /// Box area (zero for empty boxes).
+    pub fn area(&self) -> f32 {
+        self.width() * self.height()
+    }
+
+    /// Clamps the box corners into `[lo, hi]` on both axes; used to clip a
+    /// triangle's screen bound against the viewport.
+    pub fn clamped(&self, lo: Vec2, hi: Vec2) -> Aabb2 {
+        Aabb2 {
+            min: self.min.max(lo).min(hi),
+            max: self.max.max(lo).min(hi),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_box_is_empty() {
+        assert!(Aabb2::empty().is_empty());
+        assert_eq!(Aabb2::empty().area(), 0.0);
+    }
+
+    #[test]
+    fn new_orders_corners() {
+        let bb = Aabb2::new(Vec2::new(3.0, 1.0), Vec2::new(1.0, 3.0));
+        assert_eq!(bb.min, Vec2::new(1.0, 1.0));
+        assert_eq!(bb.max, Vec2::new(3.0, 3.0));
+    }
+
+    #[test]
+    fn grow_makes_nonempty() {
+        let mut bb = Aabb2::empty();
+        bb.grow(Vec2::new(2.0, 2.0));
+        assert!(!bb.is_empty());
+        assert!(bb.contains(Vec2::new(2.0, 2.0)));
+        assert_eq!(bb.area(), 0.0, "single point has zero area");
+    }
+
+    #[test]
+    fn union_contains_both() {
+        let a = Aabb2::new(Vec2::ZERO, Vec2::ONE);
+        let b = Aabb2::new(Vec2::splat(2.0), Vec2::splat(3.0));
+        let u = a.union(&b);
+        assert!(u.contains(Vec2::ZERO));
+        assert!(u.contains(Vec2::splat(3.0)));
+    }
+
+    #[test]
+    fn intersection_of_overlapping() {
+        let a = Aabb2::new(Vec2::ZERO, Vec2::splat(2.0));
+        let b = Aabb2::new(Vec2::ONE, Vec2::splat(3.0));
+        let i = a.intersection(&b).expect("boxes overlap");
+        assert_eq!(i, Aabb2::new(Vec2::ONE, Vec2::splat(2.0)));
+    }
+
+    #[test]
+    fn intersection_of_disjoint_is_none() {
+        let a = Aabb2::new(Vec2::ZERO, Vec2::ONE);
+        let b = Aabb2::new(Vec2::splat(5.0), Vec2::splat(6.0));
+        assert!(a.intersection(&b).is_none());
+        assert!(!a.overlaps(&b));
+    }
+
+    #[test]
+    fn overlaps_shared_edge() {
+        let a = Aabb2::new(Vec2::ZERO, Vec2::ONE);
+        let b = Aabb2::new(Vec2::new(1.0, 0.0), Vec2::new(2.0, 1.0));
+        assert!(a.overlaps(&b), "touching edges count as overlap");
+    }
+
+    #[test]
+    fn clamped_into_viewport() {
+        let bb = Aabb2::new(Vec2::new(-5.0, -5.0), Vec2::new(100.0, 100.0));
+        let c = bb.clamped(Vec2::ZERO, Vec2::new(10.0, 10.0));
+        assert_eq!(c, Aabb2::new(Vec2::ZERO, Vec2::splat(10.0)));
+    }
+
+    #[test]
+    fn width_height_area() {
+        let bb = Aabb2::new(Vec2::ZERO, Vec2::new(4.0, 2.0));
+        assert_eq!(bb.width(), 4.0);
+        assert_eq!(bb.height(), 2.0);
+        assert_eq!(bb.area(), 8.0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Edge functions and barycentric coordinates for triangle rasterization.
+//!
+//! The rasterizer in `patu-raster` tests pixel centers against the three
+//! directed edges of each screen triangle. The signed edge-function values
+//! double as (unnormalized) barycentric coordinates, which the fragment stage
+//! uses for perspective-correct attribute interpolation.
+
+use crate::vec::Vec2;
+
+/// Signed area form of the edge function: positive when `p` is to the left of
+/// the directed edge `a -> b` (counter-clockwise winding).
+///
+/// ```
+/// use patu_gmath::{edge_function, Vec2};
+/// let a = Vec2::new(0.0, 0.0);
+/// let b = Vec2::new(1.0, 0.0);
+/// assert!(edge_function(a, b, Vec2::new(0.5, 1.0)) > 0.0);
+/// assert!(edge_function(a, b, Vec2::new(0.5, -1.0)) < 0.0);
+/// ```
+#[inline]
+pub fn edge_function(a: Vec2, b: Vec2, p: Vec2) -> f32 {
+    (b - a).cross(p - a)
+}
+
+/// Barycentric coordinates of `p` with respect to triangle `(a, b, c)`.
+///
+/// Returns `None` for degenerate (zero-area) triangles. The weights sum to 1
+/// and are all in `[0, 1]` exactly when `p` is inside the triangle.
+///
+/// ```
+/// use patu_gmath::{barycentric, Vec2};
+/// let (a, b, c) = (Vec2::new(0.0, 0.0), Vec2::new(2.0, 0.0), Vec2::new(0.0, 2.0));
+/// let w = barycentric(a, b, c, Vec2::new(0.5, 0.5)).unwrap();
+/// assert!((w.0 + w.1 + w.2 - 1.0).abs() < 1e-6);
+/// ```
+pub fn barycentric(a: Vec2, b: Vec2, c: Vec2, p: Vec2) -> Option<(f32, f32, f32)> {
+    let area = edge_function(a, b, c);
+    if area == 0.0 {
+        return None;
+    }
+    let w0 = edge_function(b, c, p) / area;
+    let w1 = edge_function(c, a, p) / area;
+    let w2 = edge_function(a, b, p) / area;
+    Some((w0, w1, w2))
+}
+
+/// Incremental edge-function evaluator for a screen triangle.
+///
+/// Precomputes the edge coefficients so the rasterizer can step across a tile
+/// with adds instead of re-evaluating cross products per pixel. Also exposes
+/// the triangle's signed area for barycentric normalization and for
+/// back-face culling.
+///
+/// ```
+/// use patu_gmath::{EdgeEval, Vec2};
+/// let tri = EdgeEval::new(
+///     Vec2::new(0.0, 0.0),
+///     Vec2::new(4.0, 0.0),
+///     Vec2::new(0.0, 4.0),
+/// ).expect("non-degenerate");
+/// assert!(tri.contains(Vec2::new(1.0, 1.0)));
+/// assert!(!tri.contains(Vec2::new(3.5, 3.5)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeEval {
+    a: Vec2,
+    b: Vec2,
+    c: Vec2,
+    /// Signed doubled area of the triangle (positive = counter-clockwise).
+    area: f32,
+    inv_area: f32,
+}
+
+impl EdgeEval {
+    /// Builds the evaluator; returns `None` for zero-area triangles.
+    pub fn new(a: Vec2, b: Vec2, c: Vec2) -> Option<EdgeEval> {
+        let area = edge_function(a, b, c);
+        if area == 0.0 || !area.is_finite() {
+            return None;
+        }
+        Some(EdgeEval { a, b, c, area, inv_area: 1.0 / area })
+    }
+
+    /// Signed doubled area (positive for counter-clockwise winding).
+    #[inline]
+    pub fn area(&self) -> f32 {
+        self.area
+    }
+
+    /// Raw (unnormalized) edge values for `p`; all share the sign of
+    /// [`EdgeEval::area`] when `p` is inside.
+    #[inline]
+    pub fn edges(&self, p: Vec2) -> (f32, f32, f32) {
+        (
+            edge_function(self.b, self.c, p),
+            edge_function(self.c, self.a, p),
+            edge_function(self.a, self.b, p),
+        )
+    }
+
+    /// Normalized barycentric weights of `p` (sum to 1).
+    #[inline]
+    pub fn weights(&self, p: Vec2) -> (f32, f32, f32) {
+        let (e0, e1, e2) = self.edges(p);
+        (e0 * self.inv_area, e1 * self.inv_area, e2 * self.inv_area)
+    }
+
+    /// Whether `p` is inside the triangle (inclusive of edges), for either
+    /// winding order.
+    #[inline]
+    pub fn contains(&self, p: Vec2) -> bool {
+        let (w0, w1, w2) = self.weights(p);
+        w0 >= 0.0 && w1 >= 0.0 && w2 >= 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: Vec2 = Vec2 { x: 0.0, y: 0.0 };
+    const B: Vec2 = Vec2 { x: 4.0, y: 0.0 };
+    const C: Vec2 = Vec2 { x: 0.0, y: 4.0 };
+
+    #[test]
+    fn edge_function_sign() {
+        assert!(edge_function(A, B, Vec2::new(2.0, 1.0)) > 0.0);
+        assert!(edge_function(A, B, Vec2::new(2.0, -1.0)) < 0.0);
+        assert_eq!(edge_function(A, B, Vec2::new(2.0, 0.0)), 0.0);
+    }
+
+    #[test]
+    fn barycentric_at_vertices() {
+        let w = barycentric(A, B, C, A).unwrap();
+        assert_eq!(w, (1.0, 0.0, 0.0));
+        let w = barycentric(A, B, C, B).unwrap();
+        assert_eq!(w, (0.0, 1.0, 0.0));
+        let w = barycentric(A, B, C, C).unwrap();
+        assert_eq!(w, (0.0, 0.0, 1.0));
+    }
+
+    #[test]
+    fn barycentric_centroid() {
+        let centroid = (A + B + C) / 3.0;
+        let (w0, w1, w2) = barycentric(A, B, C, centroid).unwrap();
+        assert!((w0 - 1.0 / 3.0).abs() < 1e-6);
+        assert!((w1 - 1.0 / 3.0).abs() < 1e-6);
+        assert!((w2 - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn barycentric_degenerate_is_none() {
+        assert!(barycentric(A, A, A, Vec2::ONE).is_none());
+        assert!(barycentric(A, B, (A + B) / 2.0, Vec2::ONE).is_none());
+    }
+
+    #[test]
+    fn edge_eval_rejects_degenerate() {
+        assert!(EdgeEval::new(A, A, B).is_none());
+    }
+
+    #[test]
+    fn edge_eval_contains_matches_barycentric() {
+        let tri = EdgeEval::new(A, B, C).unwrap();
+        for &(p, inside) in &[
+            (Vec2::new(1.0, 1.0), true),
+            (Vec2::new(3.9, 3.9), false),
+            (Vec2::new(-0.1, 1.0), false),
+            (Vec2::new(0.0, 0.0), true), // vertex inclusive
+            (Vec2::new(2.0, 0.0), true), // edge inclusive
+        ] {
+            assert_eq!(tri.contains(p), inside, "point {p}");
+        }
+    }
+
+    #[test]
+    fn edge_eval_clockwise_winding_also_contains() {
+        // Swap two vertices: negative area, but containment still works.
+        let tri = EdgeEval::new(A, C, B).unwrap();
+        assert!(tri.area() < 0.0);
+        assert!(tri.contains(Vec2::new(1.0, 1.0)));
+        assert!(!tri.contains(Vec2::new(5.0, 5.0)));
+    }
+
+    #[test]
+    fn weights_sum_to_one_inside_and_outside() {
+        let tri = EdgeEval::new(A, B, C).unwrap();
+        for p in [Vec2::new(1.0, 2.0), Vec2::new(10.0, -3.0)] {
+            let (w0, w1, w2) = tri.weights(p);
+            assert!((w0 + w1 + w2 - 1.0).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! # patu-gmath
+//!
+//! Small, dependency-free vector/matrix math and geometry primitives used by
+//! the PATU rendering simulator (paper: *Perception-Oriented 3D Rendering
+//! Approximation for Modern Graphics Processors*, HPCA 2018).
+//!
+//! The crate provides exactly the math a rasterization pipeline needs:
+//!
+//! * [`Vec2`], [`Vec3`], [`Vec4`] — `f32` vectors with the usual operators.
+//! * [`Mat4`] — column-major 4×4 matrices with model/view/projection helpers.
+//! * [`Aabb2`] — 2D bounding boxes used by the tiling engine.
+//! * [`edge`] — edge functions and barycentric coordinates for rasterization.
+//! * [`Plane`] / [`Frustum`] — clip-space planes for clipping and culling.
+//!
+//! # Examples
+//!
+//! ```
+//! use patu_gmath::{Mat4, Vec3, Vec4};
+//!
+//! let proj = Mat4::perspective(60f32.to_radians(), 16.0 / 9.0, 0.1, 100.0);
+//! let view = Mat4::look_at(
+//!     Vec3::new(0.0, 2.0, 5.0),
+//!     Vec3::new(0.0, 0.0, 0.0),
+//!     Vec3::new(0.0, 1.0, 0.0),
+//! );
+//! let clip = proj * view * Vec4::new(0.0, 0.0, 0.0, 1.0);
+//! assert!(clip.w > 0.0, "point in front of the camera");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aabb;
+pub mod edge;
+pub mod mat;
+pub mod plane;
+pub mod vec;
+
+pub use aabb::Aabb2;
+pub use edge::{barycentric, edge_function, EdgeEval};
+pub use mat::Mat4;
+pub use plane::{Frustum, Plane};
+pub use vec::{Vec2, Vec3, Vec4};
+
+/// Linearly interpolates between `a` and `b` by `t` (`t = 0` gives `a`).
+///
+/// ```
+/// assert_eq!(patu_gmath::lerp(2.0, 4.0, 0.5), 3.0);
+/// ```
+#[inline]
+pub fn lerp(a: f32, b: f32, t: f32) -> f32 {
+    a + (b - a) * t
+}
+
+/// Clamps `x` into `[lo, hi]`.
+///
+/// ```
+/// assert_eq!(patu_gmath::clamp(5.0, 0.0, 1.0), 1.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics in debug builds if `lo > hi`.
+#[inline]
+pub fn clamp(x: f32, lo: f32, hi: f32) -> f32 {
+    debug_assert!(lo <= hi, "clamp called with lo > hi");
+    x.max(lo).min(hi)
+}
+
+/// Returns `true` if `a` and `b` differ by at most `eps`.
+///
+/// ```
+/// assert!(patu_gmath::approx_eq(0.1 + 0.2, 0.3, 1e-6));
+/// ```
+#[inline]
+pub fn approx_eq(a: f32, b: f32, eps: f32) -> bool {
+    (a - b).abs() <= eps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lerp_endpoints() {
+        assert_eq!(lerp(1.0, 9.0, 0.0), 1.0);
+        assert_eq!(lerp(1.0, 9.0, 1.0), 9.0);
+    }
+
+    #[test]
+    fn lerp_midpoint() {
+        assert_eq!(lerp(-2.0, 2.0, 0.5), 0.0);
+    }
+
+    #[test]
+    fn clamp_inside_and_outside() {
+        assert_eq!(clamp(0.5, 0.0, 1.0), 0.5);
+        assert_eq!(clamp(-3.0, 0.0, 1.0), 0.0);
+        assert_eq!(clamp(7.0, 0.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn approx_eq_tolerance() {
+        assert!(approx_eq(1.0, 1.0 + 1e-7, 1e-6));
+        assert!(!approx_eq(1.0, 1.1, 1e-6));
+    }
+}

@@ -1,0 +1,148 @@
+//! Clip-space planes and the view frustum used for clipping and culling.
+
+use crate::vec::Vec4;
+
+/// A clip-space half-space `dot(coeffs, p) >= 0`.
+///
+/// Frustum planes in homogeneous clip space take the form
+/// `a·x + b·y + c·z + d·w >= 0`; the six standard planes are listed in
+/// [`Frustum::CLIP_PLANES`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Plane {
+    /// The `(a, b, c, d)` coefficients of the half-space.
+    pub coeffs: Vec4,
+}
+
+impl Plane {
+    /// Creates a plane from its four coefficients.
+    pub const fn new(a: f32, b: f32, c: f32, d: f32) -> Plane {
+        Plane { coeffs: Vec4 { x: a, y: b, z: c, w: d } }
+    }
+
+    /// Signed distance-like value; non-negative means inside.
+    #[inline]
+    pub fn eval(&self, p: Vec4) -> f32 {
+        self.coeffs.dot(p)
+    }
+
+    /// Whether `p` is in the inside half-space (boundary inclusive).
+    #[inline]
+    pub fn is_inside(&self, p: Vec4) -> bool {
+        self.eval(p) >= 0.0
+    }
+
+    /// Parameter `t` in `[0, 1]` where segment `a -> b` crosses the plane.
+    ///
+    /// Returns `None` when the segment does not cross (both endpoints on the
+    /// same side or parallel to the boundary).
+    pub fn intersect_segment(&self, a: Vec4, b: Vec4) -> Option<f32> {
+        let da = self.eval(a);
+        let db = self.eval(b);
+        if (da >= 0.0) == (db >= 0.0) {
+            return None;
+        }
+        let denom = da - db;
+        if denom == 0.0 {
+            return None;
+        }
+        Some(da / denom)
+    }
+}
+
+/// The six clip-space frustum planes (`-w <= x,y,z <= w`).
+///
+/// ```
+/// use patu_gmath::{Frustum, Vec4};
+/// // A point inside the canonical clip volume:
+/// assert!(Frustum::contains(Vec4::new(0.0, 0.0, 0.0, 1.0)));
+/// // Behind the near plane:
+/// assert!(!Frustum::contains(Vec4::new(0.0, 0.0, -2.0, 1.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Frustum;
+
+impl Frustum {
+    /// Left, right, bottom, top, near, far — in that order.
+    pub const CLIP_PLANES: [Plane; 6] = [
+        Plane::new(1.0, 0.0, 0.0, 1.0),  // x >= -w
+        Plane::new(-1.0, 0.0, 0.0, 1.0), // x <=  w
+        Plane::new(0.0, 1.0, 0.0, 1.0),  // y >= -w
+        Plane::new(0.0, -1.0, 0.0, 1.0), // y <=  w
+        Plane::new(0.0, 0.0, 1.0, 1.0),  // z >= -w (near)
+        Plane::new(0.0, 0.0, -1.0, 1.0), // z <=  w (far)
+    ];
+
+    /// Whether a clip-space point lies inside the canonical view volume.
+    pub fn contains(p: Vec4) -> bool {
+        Frustum::CLIP_PLANES.iter().all(|pl| pl.is_inside(p))
+    }
+
+    /// Bitmask of violated planes (bit `i` set = outside plane `i`);
+    /// `0` means fully inside. Used for trivial accept/reject of triangles:
+    /// if the masks of all three vertices AND to non-zero, the triangle is
+    /// entirely outside one plane.
+    pub fn outcode(p: Vec4) -> u8 {
+        let mut code = 0u8;
+        for (i, pl) in Frustum::CLIP_PLANES.iter().enumerate() {
+            if !pl.is_inside(p) {
+                code |= 1 << i;
+            }
+        }
+        code
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plane_eval_sign() {
+        let near = Plane::new(0.0, 0.0, 1.0, 1.0);
+        assert!(near.is_inside(Vec4::new(0.0, 0.0, 0.0, 1.0)));
+        assert!(!near.is_inside(Vec4::new(0.0, 0.0, -2.0, 1.0)));
+    }
+
+    #[test]
+    fn segment_crossing_param() {
+        let near = Plane::new(0.0, 0.0, 1.0, 1.0);
+        let a = Vec4::new(0.0, 0.0, 0.0, 1.0); // inside, eval = 1
+        let b = Vec4::new(0.0, 0.0, -3.0, 1.0); // outside, eval = -2
+        let t = near.intersect_segment(a, b).unwrap();
+        assert!((t - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn segment_same_side_no_crossing() {
+        let near = Plane::new(0.0, 0.0, 1.0, 1.0);
+        let a = Vec4::new(0.0, 0.0, 0.0, 1.0);
+        let b = Vec4::new(0.0, 0.0, 0.5, 1.0);
+        assert!(near.intersect_segment(a, b).is_none());
+    }
+
+    #[test]
+    fn frustum_contains_origin() {
+        assert!(Frustum::contains(Vec4::new(0.0, 0.0, 0.0, 1.0)));
+    }
+
+    #[test]
+    fn frustum_boundary_inclusive() {
+        assert!(Frustum::contains(Vec4::new(1.0, 1.0, 1.0, 1.0)));
+        assert!(Frustum::contains(Vec4::new(-1.0, -1.0, -1.0, 1.0)));
+    }
+
+    #[test]
+    fn frustum_rejects_outside_each_axis() {
+        assert!(!Frustum::contains(Vec4::new(2.0, 0.0, 0.0, 1.0)));
+        assert!(!Frustum::contains(Vec4::new(0.0, -2.0, 0.0, 1.0)));
+        assert!(!Frustum::contains(Vec4::new(0.0, 0.0, 2.0, 1.0)));
+    }
+
+    #[test]
+    fn outcode_zero_inside_nonzero_outside() {
+        assert_eq!(Frustum::outcode(Vec4::new(0.0, 0.0, 0.0, 1.0)), 0);
+        let code = Frustum::outcode(Vec4::new(5.0, 0.0, 0.0, 1.0));
+        assert_ne!(code, 0);
+        assert_eq!(code & 0b10, 0b10, "right plane (x <= w) violated");
+    }
+}

@@ -1,0 +1,251 @@
+//! A set-associative cache with true LRU replacement.
+//!
+//! Used for the per-cluster texture L1 and the shared L2 (Table I). The cache
+//! tracks real tag state, so locality effects — including the extra reuse
+//! PATU creates by sampling approximated pixels from AF's mip level
+//! (Sec. V-C(2)) — show up as measured hit-rate changes, not assumptions.
+
+use patu_texture::TexelAddress;
+
+/// Hit/miss counters for one cache instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Total lookups.
+    pub accesses: u64,
+    /// Lookups that hit.
+    pub hits: u64,
+}
+
+impl CacheStats {
+    /// Misses (`accesses - hits`).
+    pub fn misses(&self) -> u64 {
+        self.accesses - self.hits
+    }
+
+    /// Hit rate in `[0, 1]`; zero when no accesses were made.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// One cache way: a tag plus an LRU timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Way {
+    tag: u64,
+    last_used: u64,
+    valid: bool,
+}
+
+/// A set-associative, write-allocate, LRU cache over byte addresses.
+///
+/// ```
+/// use patu_gpu::Cache;
+/// use patu_texture::TexelAddress;
+/// let mut c = Cache::new(1024, 2, 64);
+/// assert!(!c.access(TexelAddress::new(0)));
+/// assert!(c.access(TexelAddress::new(32)), "same 64B line");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cache {
+    sets: Vec<Vec<Way>>,
+    num_sets: u64,
+    line_size: u64,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates a cache of `size_bytes` with `ways` associativity and
+    /// `line_size`-byte lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero or `size_bytes` is not divisible into
+    /// at least one full set (`ways * line_size`).
+    pub fn new(size_bytes: u64, ways: u32, line_size: u64) -> Cache {
+        assert!(size_bytes > 0 && ways > 0 && line_size > 0, "cache parameters must be positive");
+        let num_sets = size_bytes / (u64::from(ways) * line_size);
+        assert!(num_sets > 0, "cache too small for its associativity");
+        Cache {
+            sets: vec![
+                vec![Way { tag: 0, last_used: 0, valid: false }; ways as usize];
+                num_sets as usize
+            ],
+            num_sets,
+            line_size,
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> u64 {
+        self.num_sets
+    }
+
+    /// Line size in bytes.
+    pub fn line_size(&self) -> u64 {
+        self.line_size
+    }
+
+    /// Looks up (and on miss, fills) the line containing `addr`.
+    /// Returns `true` on hit.
+    pub fn access(&mut self, addr: TexelAddress) -> bool {
+        self.clock += 1;
+        self.stats.accesses += 1;
+        let line = addr.cache_line(self.line_size);
+        let set_idx = (line % self.num_sets) as usize;
+        let tag = line / self.num_sets;
+        let set = &mut self.sets[set_idx];
+
+        if let Some(way) = set.iter_mut().find(|w| w.valid && w.tag == tag) {
+            way.last_used = self.clock;
+            self.stats.hits += 1;
+            return true;
+        }
+
+        // Miss: fill the LRU (or first invalid) way.
+        let victim = set
+            .iter_mut()
+            .min_by_key(|w| if w.valid { w.last_used } else { 0 })
+            .expect("cache sets are non-empty");
+        victim.tag = tag;
+        victim.valid = true;
+        victim.last_used = self.clock;
+        false
+    }
+
+    /// Whether the line containing `addr` is currently resident (no state
+    /// change, no stats update).
+    pub fn probe(&self, addr: TexelAddress) -> bool {
+        let line = addr.cache_line(self.line_size);
+        let set_idx = (line % self.num_sets) as usize;
+        let tag = line / self.num_sets;
+        self.sets[set_idx].iter().any(|w| w.valid && w.tag == tag)
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Invalidates all lines and clears statistics.
+    pub fn reset(&mut self) {
+        for set in &mut self.sets {
+            for way in set.iter_mut() {
+                way.valid = false;
+            }
+        }
+        self.clock = 0;
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(a: u64) -> TexelAddress {
+        TexelAddress::new(a)
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = Cache::new(1024, 2, 64);
+        assert!(!c.access(addr(0x100)));
+        assert!(c.access(addr(0x100)));
+        assert!(c.access(addr(0x13F)), "last byte of the same line");
+        assert_eq!(c.stats().accesses, 3);
+        assert_eq!(c.stats().hits, 2);
+    }
+
+    #[test]
+    fn distinct_lines_conflict_only_within_set() {
+        // 2 ways, 8 sets of 64B lines = 1KB.
+        let mut c = Cache::new(1024, 2, 64);
+        assert_eq!(c.num_sets(), 8);
+        // Three lines mapping to set 0: lines 0, 8, 16.
+        assert!(!c.access(addr(0)));
+        assert!(!c.access(addr(8 * 64)));
+        assert!(!c.access(addr(16 * 64))); // evicts LRU = line 0
+        assert!(!c.access(addr(0)), "line 0 was evicted");
+        assert!(c.probe(addr(16 * 64)));
+    }
+
+    #[test]
+    fn lru_keeps_recently_used() {
+        let mut c = Cache::new(1024, 2, 64);
+        c.access(addr(0)); // set 0, way A
+        c.access(addr(8 * 64)); // set 0, way B
+        c.access(addr(0)); // touch A -> B becomes LRU
+        c.access(addr(16 * 64)); // evicts B
+        assert!(c.probe(addr(0)), "recently used line survives");
+        assert!(!c.probe(addr(8 * 64)), "LRU line evicted");
+    }
+
+    #[test]
+    fn fully_associative_single_set() {
+        // 16 ways * 64B = 1024: one set.
+        let mut c = Cache::new(1024, 16, 64);
+        assert_eq!(c.num_sets(), 1);
+        for i in 0..16 {
+            assert!(!c.access(addr(i * 64)));
+        }
+        for i in 0..16 {
+            assert!(c.access(addr(i * 64)), "all 16 lines resident");
+        }
+    }
+
+    #[test]
+    fn larger_cache_has_fewer_capacity_misses() {
+        let mut small = Cache::new(1024, 4, 64);
+        let mut large = Cache::new(4096, 4, 64);
+        // Stream over 2KB twice.
+        for pass in 0..2 {
+            for i in 0..32u64 {
+                small.access(addr(i * 64));
+                large.access(addr(i * 64));
+            }
+            let _ = pass;
+        }
+        assert!(large.stats().hits > small.stats().hits);
+    }
+
+    #[test]
+    fn probe_does_not_mutate() {
+        let mut c = Cache::new(1024, 2, 64);
+        c.access(addr(0));
+        let before = c.stats();
+        assert!(c.probe(addr(0)));
+        assert!(!c.probe(addr(0x4000)));
+        assert_eq!(c.stats(), before);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut c = Cache::new(1024, 2, 64);
+        c.access(addr(0));
+        c.reset();
+        assert_eq!(c.stats().accesses, 0);
+        assert!(!c.probe(addr(0)));
+    }
+
+    #[test]
+    fn hit_rate_bounds() {
+        let mut c = Cache::new(1024, 2, 64);
+        assert_eq!(c.stats().hit_rate(), 0.0);
+        c.access(addr(0));
+        c.access(addr(0));
+        assert_eq!(c.stats().hit_rate(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn degenerate_geometry_panics() {
+        let _ = Cache::new(64, 4, 64);
+    }
+}

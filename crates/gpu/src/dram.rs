@@ -1,0 +1,191 @@
+//! A banked DRAM model: channels × banks, open-row policy, per-channel
+//! bandwidth occupancy.
+//!
+//! Matches the paper's Table I memory configuration (8 channels × 8 banks,
+//! 16 bytes/cycle aggregate). Accesses to an open row pay CAS-only latency;
+//! row conflicts pay activate + access. Each channel serializes its
+//! transfers, so bursts of misses queue — which is exactly how AF's texel
+//! storms hurt the paper's baseline.
+
+use crate::config::GpuConfig;
+use patu_texture::TexelAddress;
+
+/// DRAM access counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DramStats {
+    /// Total line reads serviced.
+    pub reads: u64,
+    /// Row-buffer hits among them.
+    pub row_hits: u64,
+    /// Total bytes transferred.
+    pub bytes: u64,
+    /// Cycles the busiest channel was occupied (bandwidth pressure proxy).
+    pub busiest_channel_cycles: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Bank {
+    open_row: Option<u64>,
+}
+
+/// The DRAM device model.
+#[derive(Debug, Clone)]
+pub struct Dram {
+    banks: Vec<Bank>,
+    /// Cycle until which each channel's data bus is busy.
+    channel_busy_until: Vec<u64>,
+    channels: u64,
+    banks_per_channel: u64,
+    row_bytes: u64,
+    line_size: u64,
+    transfer_cycles: u64,
+    row_hit_cycles: u64,
+    row_miss_cycles: u64,
+    stats: DramStats,
+}
+
+impl Dram {
+    /// Builds the DRAM from the GPU configuration.
+    pub fn new(cfg: &GpuConfig) -> Dram {
+        let channels = u64::from(cfg.dram_channels);
+        let banks_per_channel = u64::from(cfg.dram_banks_per_channel);
+        // Line transfer occupies a channel for line / per-channel-bandwidth.
+        let per_channel_bw = cfg.dram_channel_bytes_per_cycle();
+        let transfer_cycles = (cfg.cache_line_bytes as f64 / per_channel_bw).ceil() as u64;
+        Dram {
+            banks: vec![Bank { open_row: None }; (channels * banks_per_channel) as usize],
+            channel_busy_until: vec![0; channels as usize],
+            channels,
+            banks_per_channel,
+            row_bytes: 2048,
+            line_size: cfg.cache_line_bytes,
+            transfer_cycles: transfer_cycles.max(1),
+            row_hit_cycles: cfg.dram_row_hit_cycles,
+            row_miss_cycles: cfg.dram_row_miss_cycles,
+            stats: DramStats::default(),
+        }
+    }
+
+    /// Services a cache-line read of `addr` issued at cycle `now`; returns
+    /// the latency in cycles until data is available.
+    pub fn read(&mut self, addr: TexelAddress, now: u64) -> u64 {
+        let line = addr.cache_line(self.line_size);
+        // Fine-grained channel interleave; within a channel, consecutive
+        // lines fill a row before moving to the next bank, so streaming
+        // accesses enjoy row-buffer hits.
+        let channel = (line % self.channels) as usize;
+        let channel_line = line / self.channels;
+        let lines_per_row = (self.row_bytes / self.line_size).max(1);
+        let row = channel_line / lines_per_row;
+        let bank_in_channel = row % self.banks_per_channel;
+        let bank_idx = channel as u64 * self.banks_per_channel + bank_in_channel;
+
+        let bank = &mut self.banks[bank_idx as usize];
+        let row_hit = bank.open_row == Some(row);
+        bank.open_row = Some(row);
+
+        let access_cycles = if row_hit { self.row_hit_cycles } else { self.row_miss_cycles };
+
+        // Only the data transfer occupies the channel bus; bank activation
+        // (RAS/CAS) pipelines under other banks' transfers, so back-to-back
+        // misses to different banks overlap their access latencies.
+        let start = now.max(self.channel_busy_until[channel]);
+        self.channel_busy_until[channel] = start + self.transfer_cycles;
+        let done = start + access_cycles + self.transfer_cycles;
+
+        self.stats.reads += 1;
+        if row_hit {
+            self.stats.row_hits += 1;
+        }
+        self.stats.bytes += self.line_size;
+        let busy = self.channel_busy_until.iter().copied().max().unwrap_or(0);
+        self.stats.busiest_channel_cycles = busy;
+
+        done - now
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> DramStats {
+        self.stats
+    }
+
+    /// Closes all rows, idles all channels, clears statistics.
+    pub fn reset(&mut self) {
+        for b in &mut self.banks {
+            b.open_row = None;
+        }
+        for c in &mut self.channel_busy_until {
+            *c = 0;
+        }
+        self.stats = DramStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dram() -> Dram {
+        Dram::new(&GpuConfig::default())
+    }
+
+    #[test]
+    fn sequential_same_row_hits() {
+        let mut d = dram();
+        let first = d.read(TexelAddress::new(0), 0);
+        // Same channel (line % 8 == 0), same row.
+        let second = d.read(TexelAddress::new(8 * 64), 1000);
+        assert!(second < first, "row hit is faster: {second} vs {first}");
+        assert_eq!(d.stats().reads, 2);
+        assert_eq!(d.stats().row_hits, 1);
+    }
+
+    #[test]
+    fn row_conflict_pays_activation() {
+        let mut d = dram();
+        let _ = d.read(TexelAddress::new(0), 0);
+        // Same channel & bank (line multiple of 64 lines), different row.
+        let conflict_addr = TexelAddress::new(64 * 64 * 64);
+        let lat = d.read(conflict_addr, 1000);
+        let cfg = GpuConfig::default();
+        assert!(lat >= cfg.dram_row_miss_cycles);
+    }
+
+    #[test]
+    fn back_to_back_reads_queue_on_channel() {
+        let mut d = dram();
+        let l1 = d.read(TexelAddress::new(0), 0);
+        // Immediately issue another read to the same channel.
+        let l2 = d.read(TexelAddress::new(8 * 64), 0);
+        assert!(l2 > l1 || l2 >= d.transfer_cycles, "second read waits for the bus");
+    }
+
+    #[test]
+    fn different_channels_do_not_queue() {
+        let mut d = dram();
+        let l1 = d.read(TexelAddress::new(0), 0); // channel 0
+        let l2 = d.read(TexelAddress::new(64), 0); // channel 1
+        // Both cold row misses with idle channels: identical latency.
+        assert_eq!(l1, l2);
+    }
+
+    #[test]
+    fn bytes_accounted_per_line() {
+        let mut d = dram();
+        d.read(TexelAddress::new(0), 0);
+        d.read(TexelAddress::new(4096), 10);
+        assert_eq!(d.stats().bytes, 128);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut d = dram();
+        let cold = d.read(TexelAddress::new(0), 0);
+        let warm = d.read(TexelAddress::new(0), 10_000);
+        assert!(warm < cold);
+        d.reset();
+        let again = d.read(TexelAddress::new(0), 0);
+        assert_eq!(again, cold, "row closed after reset");
+        assert_eq!(d.stats().reads, 1);
+    }
+}

@@ -1,0 +1,56 @@
+//! # patu-gpu
+//!
+//! A cycle-accounting timing and memory-system model of the rasterization
+//! GPU the PATU paper evaluates on (HPCA 2018, Table I): 4 unified-shader
+//! clusters, one texture unit per cluster, a two-level texture cache
+//! hierarchy, and a banked DRAM.
+//!
+//! The model is *trend-accurate* rather than RTL-exact (see DESIGN.md §2):
+//! it charges cycles for the same events the paper's ATTILA-sim setup does —
+//! address ALU work, trilinear filter throughput (2 cycles/trilinear),
+//! cache hits and misses with real set-associative LRU state, DRAM bank/row
+//! behavior, and per-class memory bandwidth — so removing anisotropic work
+//! produces the same relative savings.
+//!
+//! * [`config::GpuConfig`] — Table I parameters, with cache-scaling knobs
+//!   for the paper's Fig. 21 sensitivity study.
+//! * [`cache::Cache`] — set-associative LRU cache (texture L1 and L2).
+//! * [`dram::Dram`] — channels × banks with row-buffer hits and per-channel
+//!   bandwidth occupancy.
+//! * [`memsys::MemorySystem`] — L1-per-cluster → shared L2 → DRAM, with
+//!   per-traffic-class byte accounting ([`stats::TrafficClass`], Fig. 6).
+//! * [`texture_unit::TextureUnit`] — the filtering pipeline timing: address
+//!   calculation, texel fetch, filter ALUs.
+//! * [`timing::FrameTimer`] — assembles per-tile work into frame cycles
+//!   across clusters.
+//!
+//! # Examples
+//!
+//! ```
+//! use patu_gpu::{Cache, GpuConfig};
+//! use patu_texture::TexelAddress;
+//!
+//! let cfg = GpuConfig::default();
+//! let mut l1 = Cache::new(cfg.tex_l1_bytes, cfg.tex_l1_ways, cfg.cache_line_bytes);
+//! assert!(!l1.access(TexelAddress::new(0x40)));  // cold miss
+//! assert!(l1.access(TexelAddress::new(0x44)));   // same line: hit
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod config;
+pub mod dram;
+pub mod memsys;
+pub mod stats;
+pub mod texture_unit;
+pub mod timing;
+
+pub use cache::{Cache, CacheStats};
+pub use config::GpuConfig;
+pub use dram::{Dram, DramStats};
+pub use memsys::{FetchLevel, MemorySystem};
+pub use stats::{BandwidthBreakdown, EventCounts, FrameStats, TrafficClass};
+pub use texture_unit::{TextureRequest, TextureUnit};
+pub use timing::FrameTimer;

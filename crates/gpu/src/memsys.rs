@@ -1,0 +1,220 @@
+//! The texture memory hierarchy: per-cluster L1 → shared L2 → DRAM, with
+//! per-class off-chip bandwidth accounting.
+
+use crate::cache::Cache;
+use crate::config::GpuConfig;
+use crate::dram::Dram;
+use crate::stats::{BandwidthBreakdown, EventCounts, TrafficClass};
+use patu_texture::TexelAddress;
+
+/// Where a texel fetch was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchLevel {
+    /// Texture L1 hit.
+    L1,
+    /// L2 hit.
+    L2,
+    /// Serviced by DRAM.
+    Dram,
+}
+
+/// The memory system shared by all texture units.
+///
+/// ```
+/// use patu_gpu::{GpuConfig, MemorySystem};
+/// use patu_texture::TexelAddress;
+/// let cfg = GpuConfig::default();
+/// let mut mem = MemorySystem::new(&cfg);
+/// let cold = mem.fetch_texel(0, TexelAddress::new(0x1000), 0);
+/// let warm = mem.fetch_texel(0, TexelAddress::new(0x1000), 1000);
+/// assert!(warm < cold, "L1 hit beats the cold DRAM fill");
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemorySystem {
+    l1: Vec<Cache>,
+    l2: Cache,
+    dram: Dram,
+    l1_hit_cycles: u64,
+    l2_hit_cycles: u64,
+    line_size: u64,
+    bandwidth: BandwidthBreakdown,
+    events: EventCounts,
+}
+
+impl MemorySystem {
+    /// Builds the hierarchy from the GPU configuration: one L1 per cluster,
+    /// one shared L2, one DRAM.
+    pub fn new(cfg: &GpuConfig) -> MemorySystem {
+        MemorySystem {
+            l1: (0..cfg.clusters)
+                .map(|_| Cache::new(cfg.tex_l1_bytes, cfg.tex_l1_ways, cfg.cache_line_bytes))
+                .collect(),
+            l2: Cache::new(cfg.tex_l2_bytes, cfg.tex_l2_ways, cfg.cache_line_bytes),
+            dram: Dram::new(cfg),
+            l1_hit_cycles: cfg.l1_hit_cycles,
+            l2_hit_cycles: cfg.l2_hit_cycles,
+            line_size: cfg.cache_line_bytes,
+            bandwidth: BandwidthBreakdown::default(),
+            events: EventCounts::default(),
+        }
+    }
+
+    /// Fetches one texel through `cluster`'s L1; returns the latency in
+    /// cycles from issue (`now`) to data return.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is out of range.
+    pub fn fetch_texel(&mut self, cluster: usize, addr: TexelAddress, now: u64) -> u64 {
+        let (latency, _level) = self.fetch_texel_detailed(cluster, addr, now);
+        latency
+    }
+
+    /// Like [`MemorySystem::fetch_texel`] but also reports which level
+    /// satisfied the fetch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is out of range.
+    pub fn fetch_texel_detailed(
+        &mut self,
+        cluster: usize,
+        addr: TexelAddress,
+        now: u64,
+    ) -> (u64, FetchLevel) {
+        self.events.texel_fetches += 1;
+        self.events.l1_accesses += 1;
+        if self.l1[cluster].access(addr) {
+            return (self.l1_hit_cycles, FetchLevel::L1);
+        }
+        self.events.l1_misses += 1;
+        self.events.l2_accesses += 1;
+        if self.l2.access(addr) {
+            return (self.l1_hit_cycles + self.l2_hit_cycles, FetchLevel::L2);
+        }
+        self.events.l2_misses += 1;
+        let issue = now + self.l1_hit_cycles + self.l2_hit_cycles;
+        let dram_latency = self.dram.read(addr, issue);
+        self.events.dram_reads += 1;
+        self.events.dram_bytes += self.line_size;
+        self.bandwidth.add(TrafficClass::TextureFetch, self.line_size);
+        (
+            self.l1_hit_cycles + self.l2_hit_cycles + dram_latency,
+            FetchLevel::Dram,
+        )
+    }
+
+    /// Accounts off-chip traffic that bypasses the texture caches (vertex
+    /// fetch, depth spill, framebuffer write, command stream).
+    pub fn record_traffic(&mut self, class: TrafficClass, bytes: u64) {
+        debug_assert!(
+            class != TrafficClass::TextureFetch,
+            "texture traffic is accounted by fetch_texel"
+        );
+        self.bandwidth.add(class, bytes);
+        self.events.dram_bytes += bytes;
+    }
+
+    /// Off-chip bandwidth by class.
+    pub fn bandwidth(&self) -> BandwidthBreakdown {
+        self.bandwidth
+    }
+
+    /// Event counters (cache/DRAM activity).
+    pub fn events(&self) -> EventCounts {
+        self.events
+    }
+
+    /// L1 hit rate of one cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is out of range.
+    pub fn l1_hit_rate(&self, cluster: usize) -> f64 {
+        self.l1[cluster].stats().hit_rate()
+    }
+
+    /// Shared L2 hit rate.
+    pub fn l2_hit_rate(&self) -> f64 {
+        self.l2.stats().hit_rate()
+    }
+
+    /// Clears all cache/DRAM state and counters (between frames or runs).
+    pub fn reset(&mut self) {
+        for c in &mut self.l1 {
+            c.reset();
+        }
+        self.l2.reset();
+        self.dram.reset();
+        self.bandwidth = BandwidthBreakdown::default();
+        self.events = EventCounts::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> MemorySystem {
+        MemorySystem::new(&GpuConfig::default())
+    }
+
+    #[test]
+    fn fetch_path_levels() {
+        let mut m = mem();
+        let (cold, lvl) = m.fetch_texel_detailed(0, TexelAddress::new(0), 0);
+        assert_eq!(lvl, FetchLevel::Dram);
+        let (warm, lvl) = m.fetch_texel_detailed(0, TexelAddress::new(0), 100);
+        assert_eq!(lvl, FetchLevel::L1);
+        assert_eq!(warm, 1);
+        assert!(cold > warm + 10);
+    }
+
+    #[test]
+    fn l2_shared_between_clusters() {
+        let mut m = mem();
+        let _ = m.fetch_texel_detailed(0, TexelAddress::new(0), 0);
+        // Other cluster misses its own L1 but hits the shared L2.
+        let (lat, lvl) = m.fetch_texel_detailed(1, TexelAddress::new(0), 100);
+        assert_eq!(lvl, FetchLevel::L2);
+        assert_eq!(lat, 1 + 12);
+    }
+
+    #[test]
+    fn texture_bandwidth_counts_l2_miss_lines_only() {
+        let mut m = mem();
+        let _ = m.fetch_texel(0, TexelAddress::new(0), 0);
+        let _ = m.fetch_texel(0, TexelAddress::new(4), 10); // same line: L1 hit
+        assert_eq!(m.bandwidth().texture, 64, "one line fetched once");
+        assert_eq!(m.events().texel_fetches, 2);
+        assert_eq!(m.events().dram_reads, 1);
+    }
+
+    #[test]
+    fn non_texture_traffic_recorded() {
+        let mut m = mem();
+        m.record_traffic(TrafficClass::Vertex, 320);
+        m.record_traffic(TrafficClass::Framebuffer, 1000);
+        assert_eq!(m.bandwidth().vertex, 320);
+        assert_eq!(m.bandwidth().framebuffer, 1000);
+        assert_eq!(m.bandwidth().total(), 1320);
+    }
+
+    #[test]
+    fn hit_rates_update() {
+        let mut m = mem();
+        let _ = m.fetch_texel(0, TexelAddress::new(0), 0);
+        let _ = m.fetch_texel(0, TexelAddress::new(0), 10);
+        assert!((m.l1_hit_rate(0) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_restores_cold_state() {
+        let mut m = mem();
+        let _ = m.fetch_texel(0, TexelAddress::new(0), 0);
+        m.reset();
+        let (_, lvl) = m.fetch_texel_detailed(0, TexelAddress::new(0), 0);
+        assert_eq!(lvl, FetchLevel::Dram);
+        assert_eq!(m.events().texel_fetches, 1);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the cache, DRAM and timing models.
+
+use patu_gpu::{Cache, Dram, FrameTimer, GpuConfig, MemorySystem, TextureRequest, TextureUnit};
+use patu_texture::TexelAddress;
+use proptest::prelude::*;
+
+fn addr_stream() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..(1 << 20), 1..200)
+}
+
+proptest! {
+    #[test]
+    fn cache_same_line_hits_after_any_fill(addrs in addr_stream(), probe in 0u64..(1 << 20)) {
+        let mut c = Cache::new(16 * 1024, 4, 64);
+        for a in addrs {
+            c.access(TexelAddress::new(a));
+        }
+        // After touching a line it must be resident immediately after.
+        c.access(TexelAddress::new(probe));
+        prop_assert!(c.probe(TexelAddress::new(probe)));
+    }
+
+    #[test]
+    fn cache_stats_consistent(addrs in addr_stream()) {
+        let mut c = Cache::new(4 * 1024, 2, 64);
+        for a in &addrs {
+            c.access(TexelAddress::new(*a));
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.accesses, addrs.len() as u64);
+        prop_assert!(s.hits <= s.accesses);
+        prop_assert!(s.hit_rate() <= 1.0);
+    }
+
+    #[test]
+    fn bigger_cache_never_fewer_hits_on_repeat_pass(addrs in addr_stream()) {
+        // Two passes over the same stream: the second pass's hits measure
+        // retained working set, which can only grow with capacity under
+        // the same associativity and LRU.
+        let run = |bytes: u64| {
+            let mut c = Cache::new(bytes, 4, 64);
+            for a in &addrs {
+                c.access(TexelAddress::new(*a));
+            }
+            let before = c.stats().hits;
+            for a in &addrs {
+                c.access(TexelAddress::new(*a));
+            }
+            c.stats().hits - before
+        };
+        prop_assert!(run(64 * 1024) >= run(8 * 1024));
+    }
+
+    #[test]
+    fn dram_latency_positive_and_bounded(addrs in addr_stream()) {
+        let cfg = GpuConfig::default();
+        let mut d = Dram::new(&cfg);
+        for (now, a) in addrs.iter().enumerate() {
+            let lat = d.read(TexelAddress::new(*a), now as u64);
+            prop_assert!(lat >= cfg.dram_row_hit_cycles);
+            // Bounded by worst queueing: all prior requests on one channel.
+            prop_assert!(lat < 1_000_000);
+        }
+        prop_assert_eq!(d.stats().reads, addrs.len() as u64);
+    }
+
+    #[test]
+    fn dram_row_hits_never_exceed_reads(addrs in addr_stream()) {
+        let mut d = Dram::new(&GpuConfig::default());
+        for (i, a) in addrs.iter().enumerate() {
+            let _ = d.read(TexelAddress::new(*a), i as u64 * 10);
+        }
+        prop_assert!(d.stats().row_hits <= d.stats().reads);
+        prop_assert_eq!(d.stats().bytes, addrs.len() as u64 * 64);
+    }
+
+    #[test]
+    fn memsys_latency_hierarchy(addr in 0u64..(1 << 24)) {
+        let cfg = GpuConfig::default();
+        let mut m = MemorySystem::new(&cfg);
+        let cold = m.fetch_texel(0, TexelAddress::new(addr), 0);
+        let warm = m.fetch_texel(0, TexelAddress::new(addr), 1_000);
+        let other_cluster = m.fetch_texel(1, TexelAddress::new(addr), 2_000);
+        prop_assert!(warm <= other_cluster, "L1 <= L2");
+        prop_assert!(other_cluster <= cold, "L2 <= DRAM");
+    }
+
+    #[test]
+    fn texture_unit_latency_scales_with_taps(n in 1usize..=16) {
+        let cfg = GpuConfig::default();
+        let mut tu = TextureUnit::new(0, &cfg);
+        let mut mem = MemorySystem::new(&cfg);
+        let taps: Vec<Vec<TexelAddress>> = (0..n)
+            .map(|i| (0..8).map(|j| TexelAddress::new((i * 64 + j * 4) as u64)).collect())
+            .collect();
+        let req = TextureRequest::new(taps);
+        let t = tu.process(&req, &mut mem, 0);
+        // At least the filter throughput cost.
+        prop_assert!(t.latency >= (n as u64) * u64::from(cfg.cycles_per_trilinear));
+        prop_assert_eq!(t.completion, t.latency);
+    }
+
+    #[test]
+    fn frame_timer_monotone(work in proptest::collection::vec((0u64..5_000, 0u64..5_000), 1..60)) {
+        let mut timer = FrameTimer::new(&GpuConfig::default());
+        let mut last_frame = 0;
+        for (shade, texture_extra) in work {
+            let (cluster, start) = timer.begin_tile();
+            timer.end_tile(cluster, shade, start + texture_extra);
+            let f = timer.frame_cycles();
+            prop_assert!(f >= last_frame, "frame time never decreases");
+            last_frame = f;
+        }
+    }
+
+    #[test]
+    fn shading_cycles_linear_bounds(frags in 0u64..1_000_000) {
+        let timer = FrameTimer::new(&GpuConfig::default());
+        let cycles = timer.shading_cycles(frags);
+        let cfg = GpuConfig::default();
+        let lanes = u64::from(cfg.shaders_per_cluster * cfg.simd_width);
+        if let Some(per_cycle) =
+            lanes.checked_div(u64::from(cfg.shader_ops_per_fragment)).filter(|&p| p > 0)
+        {
+            prop_assert!(cycles >= frags / per_cycle);
+            prop_assert!(cycles <= frags / per_cycle + 1);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Grayscale images: the input domain of SSIM.
+
+use std::io::{self, Write};
+
+/// A single-channel floating-point image with values nominally in
+/// `[0, 255]` (Rec. 601 luma of a rendered frame).
+///
+/// ```
+/// use patu_quality::GrayImage;
+/// let img = GrayImage::new(2, 2, vec![0.0, 255.0, 128.0, 64.0]);
+/// assert_eq!(img.get(1, 0), 255.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GrayImage {
+    width: u32,
+    height: u32,
+    data: Vec<f32>,
+}
+
+impl GrayImage {
+    /// Creates an image from row-major samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image is empty or `data.len() != width * height`.
+    pub fn new(width: u32, height: u32, data: Vec<f32>) -> GrayImage {
+        assert!(width > 0 && height > 0, "image must be non-empty");
+        assert_eq!(
+            data.len(),
+            (width as usize) * (height as usize),
+            "data length must equal width * height"
+        );
+        GrayImage { width, height, data }
+    }
+
+    /// An image filled with a constant value.
+    pub fn filled(width: u32, height: u32, value: f32) -> GrayImage {
+        GrayImage::new(width, height, vec![value; (width as usize) * (height as usize)])
+    }
+
+    /// Image width.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Image height.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Sample at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, x: u32, y: u32) -> f32 {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.data[(y as usize) * (self.width as usize) + x as usize]
+    }
+
+    /// Writes sample at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, x: u32, y: u32, v: f32) {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.data[(y as usize) * (self.width as usize) + x as usize] = v;
+    }
+
+    /// All samples in row-major order.
+    pub fn samples(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mean sample value.
+    pub fn mean(&self) -> f32 {
+        self.data.iter().sum::<f32>() / self.data.len() as f32
+    }
+
+    /// Serializes as binary PGM (P5), clamping samples into `[0, 255]` —
+    /// used to dump SSIM index maps (Fig. 8) for inspection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn write_pgm<W: Write>(&self, mut w: W) -> io::Result<()> {
+        writeln!(w, "P5\n{} {}\n255", self.width, self.height)?;
+        let bytes: Vec<u8> = self
+            .data
+            .iter()
+            .map(|&v| v.clamp(0.0, 255.0) as u8)
+            .collect();
+        w.write_all(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut img = GrayImage::filled(3, 2, 0.0);
+        img.set(2, 1, 42.0);
+        assert_eq!(img.get(2, 1), 42.0);
+        assert_eq!(img.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn mean_of_gradient() {
+        let img = GrayImage::new(2, 1, vec![0.0, 100.0]);
+        assert_eq!(img.mean(), 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width * height")]
+    fn wrong_length_panics() {
+        let _ = GrayImage::new(2, 2, vec![0.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_get_panics() {
+        let img = GrayImage::filled(2, 2, 0.0);
+        let _ = img.get(0, 2);
+    }
+
+    #[test]
+    fn pgm_output() {
+        let img = GrayImage::new(2, 1, vec![-5.0, 300.0]);
+        let mut buf = Vec::new();
+        img.write_pgm(&mut buf).unwrap();
+        assert!(buf.starts_with(b"P5\n2 1\n255\n"));
+        let body = &buf[b"P5\n2 1\n255\n".len()..];
+        assert_eq!(body, &[0u8, 255], "samples clamped");
+    }
+}

@@ -1,0 +1,89 @@
+//! Reference distortion metrics: MSE and PSNR.
+//!
+//! The paper cites SSIM as superior to these for perceived quality
+//! (Sec. II-C); they are provided for cross-checking and for tests.
+
+use crate::image::GrayImage;
+
+/// Mean squared error between two images.
+///
+/// # Panics
+///
+/// Panics if the images differ in size.
+///
+/// ```
+/// use patu_quality::{mse, GrayImage};
+/// let a = GrayImage::filled(4, 4, 10.0);
+/// let b = GrayImage::filled(4, 4, 13.0);
+/// assert_eq!(mse(&a, &b), 9.0);
+/// ```
+pub fn mse(a: &GrayImage, b: &GrayImage) -> f32 {
+    assert_eq!(a.width(), b.width(), "image widths differ");
+    assert_eq!(a.height(), b.height(), "image heights differ");
+    let sum: f64 = a
+        .samples()
+        .iter()
+        .zip(b.samples())
+        .map(|(&x, &y)| {
+            let d = f64::from(x) - f64::from(y);
+            d * d
+        })
+        .sum();
+    (sum / a.samples().len() as f64) as f32
+}
+
+/// Peak signal-to-noise ratio in dB (peak 255). Identical images yield
+/// `f32::INFINITY`.
+///
+/// # Panics
+///
+/// Panics if the images differ in size.
+pub fn psnr(a: &GrayImage, b: &GrayImage) -> f32 {
+    let e = mse(a, b);
+    if e == 0.0 {
+        f32::INFINITY
+    } else {
+        10.0 * (255.0f32 * 255.0 / e).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_zero_for_identical() {
+        let a = GrayImage::filled(8, 8, 42.0);
+        assert_eq!(mse(&a, &a.clone()), 0.0);
+    }
+
+    #[test]
+    fn psnr_infinite_for_identical() {
+        let a = GrayImage::filled(8, 8, 42.0);
+        assert!(psnr(&a, &a.clone()).is_infinite());
+    }
+
+    #[test]
+    fn psnr_decreases_with_error() {
+        let a = GrayImage::filled(8, 8, 100.0);
+        let b = GrayImage::filled(8, 8, 105.0);
+        let c = GrayImage::filled(8, 8, 150.0);
+        assert!(psnr(&a, &b) > psnr(&a, &c));
+    }
+
+    #[test]
+    fn known_psnr_value() {
+        // MSE = 25 -> PSNR = 10 log10(65025 / 25) ≈ 34.15 dB.
+        let a = GrayImage::filled(4, 4, 0.0);
+        let b = GrayImage::filled(4, 4, 5.0);
+        assert!((psnr(&a, &b) - 34.1514).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "widths differ")]
+    fn size_mismatch_panics() {
+        let a = GrayImage::filled(4, 4, 0.0);
+        let b = GrayImage::filled(5, 4, 0.0);
+        let _ = mse(&a, &b);
+    }
+}

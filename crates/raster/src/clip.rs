@@ -1,0 +1,183 @@
+//! Homogeneous-space polygon clipping (Sutherland–Hodgman) against the view
+//! frustum, with attribute interpolation.
+
+use patu_gmath::{Frustum, Vec2, Vec4};
+
+/// A vertex in clip space carrying its interpolated attributes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClipVertex {
+    /// Homogeneous clip-space position.
+    pub clip: Vec4,
+    /// Texture coordinates.
+    pub uv: Vec2,
+}
+
+impl ClipVertex {
+    /// Creates a clip-space vertex.
+    pub const fn new(clip: Vec4, uv: Vec2) -> ClipVertex {
+        ClipVertex { clip, uv }
+    }
+
+    fn lerp(a: &ClipVertex, b: &ClipVertex, t: f32) -> ClipVertex {
+        ClipVertex {
+            clip: a.clip.lerp(b.clip, t),
+            uv: a.uv.lerp(b.uv, t),
+        }
+    }
+}
+
+/// Clips a triangle against all six frustum planes.
+///
+/// Returns the resulting convex polygon as a fan-ready vertex list (possibly
+/// empty when fully outside, up to 9 vertices in the worst case). Vertices
+/// exactly on a plane are kept, so shared edges between adjacent triangles
+/// clip consistently.
+pub fn clip_triangle(v0: ClipVertex, v1: ClipVertex, v2: ClipVertex) -> Vec<ClipVertex> {
+    // Trivial accept: all vertices inside.
+    if [v0, v1, v2].iter().all(|v| Frustum::contains(v.clip)) {
+        return vec![v0, v1, v2];
+    }
+    // Trivial reject: all vertices outside one plane.
+    let codes = [
+        Frustum::outcode(v0.clip),
+        Frustum::outcode(v1.clip),
+        Frustum::outcode(v2.clip),
+    ];
+    if codes[0] & codes[1] & codes[2] != 0 {
+        return Vec::new();
+    }
+
+    let mut poly = vec![v0, v1, v2];
+    for plane in &Frustum::CLIP_PLANES {
+        if poly.is_empty() {
+            break;
+        }
+        let mut out = Vec::with_capacity(poly.len() + 1);
+        for i in 0..poly.len() {
+            let cur = poly[i];
+            let next = poly[(i + 1) % poly.len()];
+            let cur_in = plane.is_inside(cur.clip);
+            let next_in = plane.is_inside(next.clip);
+            if cur_in {
+                out.push(cur);
+            }
+            if cur_in != next_in {
+                if let Some(t) = plane.intersect_segment(cur.clip, next.clip) {
+                    out.push(ClipVertex::lerp(&cur, &next, t));
+                }
+            }
+        }
+        poly = out;
+    }
+    poly
+}
+
+/// Triangulates a convex polygon (as produced by [`clip_triangle`]) into a
+/// fan of triangles around its first vertex.
+pub fn fan_triangulate(poly: &[ClipVertex]) -> Vec<[ClipVertex; 3]> {
+    if poly.len() < 3 {
+        return Vec::new();
+    }
+    (1..poly.len() - 1)
+        .map(|i| [poly[0], poly[i], poly[i + 1]])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: f32, y: f32, z: f32, w: f32) -> ClipVertex {
+        ClipVertex::new(Vec4::new(x, y, z, w), Vec2::new(x, y))
+    }
+
+    #[test]
+    fn fully_inside_passes_through() {
+        let poly = clip_triangle(
+            v(0.0, 0.0, 0.0, 1.0),
+            v(0.5, 0.0, 0.0, 1.0),
+            v(0.0, 0.5, 0.0, 1.0),
+        );
+        assert_eq!(poly.len(), 3);
+    }
+
+    #[test]
+    fn fully_outside_rejected() {
+        let poly = clip_triangle(
+            v(5.0, 0.0, 0.0, 1.0),
+            v(6.0, 0.0, 0.0, 1.0),
+            v(5.0, 1.0, 0.0, 1.0),
+        );
+        assert!(poly.is_empty());
+    }
+
+    #[test]
+    fn straddling_one_plane_clips() {
+        // Triangle crossing the right plane (x = w).
+        let poly = clip_triangle(
+            v(0.0, -0.5, 0.0, 1.0),
+            v(2.0, 0.0, 0.0, 1.0),
+            v(0.0, 0.5, 0.0, 1.0),
+        );
+        assert!(poly.len() >= 3, "clipped polygon has >= 3 vertices");
+        for p in &poly {
+            assert!(p.clip.x <= p.clip.w + 1e-5, "all inside right plane");
+        }
+    }
+
+    #[test]
+    fn clip_interpolates_attributes() {
+        // Edge from x=0 (uv.x=0) to x=2 (uv.x=2); crossing x=w=1 must give uv.x=1.
+        let poly = clip_triangle(
+            ClipVertex::new(Vec4::new(0.0, 0.0, 0.0, 1.0), Vec2::new(0.0, 0.0)),
+            ClipVertex::new(Vec4::new(2.0, 0.0, 0.0, 1.0), Vec2::new(2.0, 0.0)),
+            ClipVertex::new(Vec4::new(0.0, 0.5, 0.0, 1.0), Vec2::new(0.0, 1.0)),
+        );
+        let crossing: Vec<_> = poly
+            .iter()
+            .filter(|p| (p.clip.x - p.clip.w).abs() < 1e-5)
+            .collect();
+        assert!(!crossing.is_empty(), "an edge must cross x = w");
+        for p in crossing {
+            assert!((p.uv.x - 1.0).abs() < 0.51, "uv tracks position: {}", p.uv.x);
+        }
+    }
+
+    #[test]
+    fn near_plane_clip_of_behind_camera_triangle() {
+        // One vertex behind the near plane (z < -w).
+        let poly = clip_triangle(
+            v(0.0, 0.0, -2.0, 1.0),
+            v(0.5, 0.0, 0.0, 1.0),
+            v(0.0, 0.5, 0.0, 1.0),
+        );
+        assert!(poly.len() >= 3);
+        for p in &poly {
+            assert!(p.clip.z >= -p.clip.w - 1e-5);
+        }
+    }
+
+    #[test]
+    fn corner_clip_can_produce_more_vertices() {
+        // A large triangle covering the whole volume clips to (part of) the box.
+        let poly = clip_triangle(
+            v(-10.0, -10.0, 0.0, 1.0),
+            v(10.0, -10.0, 0.0, 1.0),
+            v(0.0, 10.0, 0.0, 1.0),
+        );
+        assert!(poly.len() >= 4, "clipping against corners adds vertices, got {}", poly.len());
+    }
+
+    #[test]
+    fn fan_triangulation_counts() {
+        let quad = vec![
+            v(0.0, 0.0, 0.0, 1.0),
+            v(0.5, 0.0, 0.0, 1.0),
+            v(0.5, 0.5, 0.0, 1.0),
+            v(0.0, 0.5, 0.0, 1.0),
+        ];
+        assert_eq!(fan_triangulate(&quad).len(), 2);
+        assert_eq!(fan_triangulate(&quad[..3]).len(), 1);
+        assert!(fan_triangulate(&quad[..2]).is_empty());
+    }
+}

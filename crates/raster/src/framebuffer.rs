@@ -1,0 +1,203 @@
+//! Color and depth render targets.
+
+use patu_texture::Rgba8;
+use std::io::{self, Write};
+
+/// An RGBA8 color buffer.
+///
+/// ```
+/// use patu_raster::Framebuffer;
+/// use patu_texture::Rgba8;
+/// let mut fb = Framebuffer::new(4, 4, Rgba8::BLACK);
+/// fb.put(1, 2, Rgba8::WHITE);
+/// assert_eq!(fb.get(1, 2), Rgba8::WHITE);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Framebuffer {
+    width: u32,
+    height: u32,
+    pixels: Vec<Rgba8>,
+}
+
+impl Framebuffer {
+    /// Creates a buffer cleared to `clear_color`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: u32, height: u32, clear_color: Rgba8) -> Framebuffer {
+        assert!(width > 0 && height > 0, "framebuffer must be non-empty");
+        Framebuffer {
+            width,
+            height,
+            pixels: vec![clear_color; (width as usize) * (height as usize)],
+        }
+    }
+
+    /// Buffer width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Buffer height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, x: u32, y: u32) -> Rgba8 {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.pixels[(y as usize) * (self.width as usize) + x as usize]
+    }
+
+    /// Writes pixel `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn put(&mut self, x: u32, y: u32, c: Rgba8) {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.pixels[(y as usize) * (self.width as usize) + x as usize] = c;
+    }
+
+    /// All pixels in row-major order.
+    pub fn pixels(&self) -> &[Rgba8] {
+        &self.pixels
+    }
+
+    /// Per-pixel Rec. 601 luma plane, the input to SSIM.
+    pub fn luma_plane(&self) -> Vec<f32> {
+        self.pixels.iter().map(|p| p.luma()).collect()
+    }
+
+    /// Serializes as binary PPM (P6) for eyeballing frames.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn write_ppm<W: Write>(&self, mut w: W) -> io::Result<()> {
+        writeln!(w, "P6\n{} {}\n255", self.width, self.height)?;
+        for p in &self.pixels {
+            w.write_all(&[p.r, p.g, p.b])?;
+        }
+        Ok(())
+    }
+}
+
+/// A floating-point depth buffer with a standard less-than depth test.
+///
+/// Depth values are normalized-device-coordinate Z in `[-1, 1]`; the buffer
+/// clears to `1.0` (far plane).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DepthBuffer {
+    width: u32,
+    height: u32,
+    depths: Vec<f32>,
+}
+
+impl DepthBuffer {
+    /// Creates a buffer cleared to the far plane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: u32, height: u32) -> DepthBuffer {
+        assert!(width > 0 && height > 0, "depth buffer must be non-empty");
+        DepthBuffer {
+            width,
+            height,
+            depths: vec![1.0; (width as usize) * (height as usize)],
+        }
+    }
+
+    /// Depth at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, x: u32, y: u32) -> f32 {
+        assert!(x < self.width && y < self.height);
+        self.depths[(y as usize) * (self.width as usize) + x as usize]
+    }
+
+    /// The early depth test: if `depth` is closer than the stored value,
+    /// stores it and returns `true` (fragment survives); otherwise returns
+    /// `false` (fragment is discarded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn test_and_set(&mut self, x: u32, y: u32, depth: f32) -> bool {
+        assert!(x < self.width && y < self.height);
+        let idx = (y as usize) * (self.width as usize) + x as usize;
+        if depth < self.depths[idx] {
+            self.depths[idx] = depth;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn framebuffer_clear_and_put() {
+        let mut fb = Framebuffer::new(3, 2, Rgba8::BLACK);
+        assert_eq!(fb.get(2, 1), Rgba8::BLACK);
+        fb.put(2, 1, Rgba8::WHITE);
+        assert_eq!(fb.get(2, 1), Rgba8::WHITE);
+        assert_eq!(fb.pixels().len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn framebuffer_oob_panics() {
+        let fb = Framebuffer::new(2, 2, Rgba8::BLACK);
+        let _ = fb.get(2, 0);
+    }
+
+    #[test]
+    fn luma_plane_matches_pixels() {
+        let mut fb = Framebuffer::new(2, 1, Rgba8::BLACK);
+        fb.put(1, 0, Rgba8::WHITE);
+        let luma = fb.luma_plane();
+        assert_eq!(luma[0], 0.0);
+        assert!(luma[1] > 254.0);
+    }
+
+    #[test]
+    fn ppm_header_and_length() {
+        let fb = Framebuffer::new(4, 2, Rgba8::rgb(1, 2, 3));
+        let mut buf = Vec::new();
+        fb.write_ppm(&mut buf).unwrap();
+        assert!(buf.starts_with(b"P6\n4 2\n255\n"));
+        assert_eq!(buf.len(), b"P6\n4 2\n255\n".len() + 4 * 2 * 3);
+    }
+
+    #[test]
+    fn depth_test_closer_wins() {
+        let mut db = DepthBuffer::new(2, 2);
+        assert!(db.test_and_set(0, 0, 0.5));
+        assert!(!db.test_and_set(0, 0, 0.7), "farther fragment rejected");
+        assert!(db.test_and_set(0, 0, 0.2), "closer fragment accepted");
+        assert_eq!(db.get(0, 0), 0.2);
+    }
+
+    #[test]
+    fn depth_equal_rejected() {
+        let mut db = DepthBuffer::new(1, 1);
+        assert!(db.test_and_set(0, 0, 0.5));
+        assert!(!db.test_and_set(0, 0, 0.5), "LESS test: equal depth fails");
+    }
+}

@@ -1,0 +1,194 @@
+//! The tiling engine: bins screen-space triangles into fixed-size tiles.
+//!
+//! Mirrors the paper's *Tiling Engine* (Sec. II-A): triangles are sorted into
+//! tiles by position so each tile's pixels fit in on-chip memory; tiles are
+//! then scheduled as the basic execution units of fragment processing.
+
+use patu_gmath::{Aabb2, Vec2};
+
+/// A triangle in screen space, ready for rasterization.
+///
+/// Positions are pixel coordinates; `inv_w` and `uv_over_w` carry the
+/// perspective-correct interpolation setup (`1/w` and `uv/w` are linear in
+/// screen space).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScreenTriangle {
+    /// Screen-space vertex positions (pixels).
+    pub pos: [Vec2; 3],
+    /// Normalized-device depth at each vertex.
+    pub z: [f32; 3],
+    /// `1/w` at each vertex.
+    pub inv_w: [f32; 3],
+    /// `uv/w` at each vertex.
+    pub uv_over_w: [Vec2; 3],
+    /// Material slot.
+    pub material: usize,
+    /// Frame-sequential primitive id.
+    pub primitive: u32,
+}
+
+impl ScreenTriangle {
+    /// Screen-space bounding box of the triangle.
+    pub fn bounds(&self) -> Aabb2 {
+        let mut bb = Aabb2::empty();
+        for p in self.pos {
+            bb.grow(p);
+        }
+        bb
+    }
+}
+
+/// One tile's worth of binned triangle indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TileBin {
+    /// Tile column.
+    pub tx: u32,
+    /// Tile row.
+    pub ty: u32,
+    /// Indices into the frame's screen-triangle list, in submission order.
+    pub triangles: Vec<usize>,
+}
+
+impl TileBin {
+    /// Pixel X of the tile's left edge.
+    pub fn x0(&self, tile_size: u32) -> u32 {
+        self.tx * tile_size
+    }
+
+    /// Pixel Y of the tile's top edge.
+    pub fn y0(&self, tile_size: u32) -> u32 {
+        self.ty * tile_size
+    }
+}
+
+/// Bins triangles into `tile_size`-square tiles covering a
+/// `width` × `height` viewport.
+///
+/// Only tiles overlapped by at least one triangle's bounding box are
+/// returned, in row-major order. Triangle order within a tile preserves
+/// submission order (required for correct depth resolution downstream).
+///
+/// # Panics
+///
+/// Panics if `tile_size` is zero or the viewport is empty.
+pub fn bin_triangles(
+    triangles: &[ScreenTriangle],
+    width: u32,
+    height: u32,
+    tile_size: u32,
+) -> Vec<TileBin> {
+    assert!(tile_size > 0, "tile size must be positive");
+    assert!(width > 0 && height > 0, "viewport must be non-empty");
+    let tiles_x = width.div_ceil(tile_size);
+    let tiles_y = height.div_ceil(tile_size);
+    let mut bins: Vec<Vec<usize>> = vec![Vec::new(); (tiles_x * tiles_y) as usize];
+
+    let viewport = Aabb2::new(
+        Vec2::ZERO,
+        Vec2::new(width as f32 - 1.0, height as f32 - 1.0),
+    );
+    for (idx, tri) in triangles.iter().enumerate() {
+        let Some(bb) = tri.bounds().intersection(&viewport) else {
+            continue;
+        };
+        let tx0 = (bb.min.x as u32) / tile_size;
+        let ty0 = (bb.min.y as u32) / tile_size;
+        let tx1 = (bb.max.x as u32).min(width - 1) / tile_size;
+        let ty1 = (bb.max.y as u32).min(height - 1) / tile_size;
+        for ty in ty0..=ty1 {
+            for tx in tx0..=tx1 {
+                bins[(ty * tiles_x + tx) as usize].push(idx);
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for ty in 0..tiles_y {
+        for tx in 0..tiles_x {
+            let tris = std::mem::take(&mut bins[(ty * tiles_x + tx) as usize]);
+            if !tris.is_empty() {
+                out.push(TileBin { tx, ty, triangles: tris });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tri(x0: f32, y0: f32, x1: f32, y1: f32, x2: f32, y2: f32) -> ScreenTriangle {
+        ScreenTriangle {
+            pos: [Vec2::new(x0, y0), Vec2::new(x1, y1), Vec2::new(x2, y2)],
+            z: [0.0; 3],
+            inv_w: [1.0; 3],
+            uv_over_w: [Vec2::ZERO; 3],
+            material: 0,
+            primitive: 0,
+        }
+    }
+
+    #[test]
+    fn small_triangle_lands_in_one_tile() {
+        let bins = bin_triangles(&[tri(1.0, 1.0, 5.0, 1.0, 1.0, 5.0)], 64, 64, 16);
+        assert_eq!(bins.len(), 1);
+        assert_eq!((bins[0].tx, bins[0].ty), (0, 0));
+    }
+
+    #[test]
+    fn large_triangle_covers_multiple_tiles() {
+        let bins = bin_triangles(&[tri(0.0, 0.0, 63.0, 0.0, 0.0, 63.0)], 64, 64, 16);
+        assert_eq!(bins.len(), 16, "bbox covers all 4x4 tiles");
+    }
+
+    #[test]
+    fn offscreen_triangle_binned_nowhere() {
+        let bins = bin_triangles(&[tri(-100.0, -100.0, -50.0, -100.0, -100.0, -50.0)], 64, 64, 16);
+        assert!(bins.is_empty());
+    }
+
+    #[test]
+    fn straddling_triangle_clamped_to_viewport() {
+        let bins = bin_triangles(&[tri(60.0, 60.0, 200.0, 60.0, 60.0, 200.0)], 64, 64, 16);
+        assert!(!bins.is_empty());
+        for b in &bins {
+            assert!(b.tx < 4 && b.ty < 4);
+        }
+    }
+
+    #[test]
+    fn submission_order_preserved_within_tile() {
+        let t0 = tri(1.0, 1.0, 5.0, 1.0, 1.0, 5.0);
+        let t1 = tri(2.0, 2.0, 6.0, 2.0, 2.0, 6.0);
+        let bins = bin_triangles(&[t0, t1], 64, 64, 16);
+        assert_eq!(bins[0].triangles, vec![0, 1]);
+    }
+
+    #[test]
+    fn tiles_row_major_order() {
+        let tris = [
+            tri(40.0, 40.0, 44.0, 40.0, 40.0, 44.0), // tile (2,2)
+            tri(1.0, 40.0, 4.0, 40.0, 1.0, 44.0),    // tile (0,2)
+            tri(40.0, 1.0, 44.0, 1.0, 40.0, 4.0),    // tile (2,0)
+        ];
+        let bins = bin_triangles(&tris, 64, 64, 16);
+        let coords: Vec<(u32, u32)> = bins.iter().map(|b| (b.tx, b.ty)).collect();
+        assert_eq!(coords, vec![(2, 0), (0, 2), (2, 2)]);
+    }
+
+    #[test]
+    fn tile_origin_helpers() {
+        let b = TileBin { tx: 3, ty: 2, triangles: vec![] };
+        assert_eq!(b.x0(16), 48);
+        assert_eq!(b.y0(16), 32);
+    }
+
+    #[test]
+    fn non_multiple_viewport_has_partial_edge_tiles() {
+        // 70x70 viewport, 16px tiles -> 5x5 grid; a triangle in the last sliver.
+        let bins = bin_triangles(&[tri(65.0, 65.0, 69.0, 65.0, 65.0, 69.0)], 70, 70, 16);
+        assert_eq!(bins.len(), 1);
+        assert_eq!((bins[0].tx, bins[0].ty), (4, 4));
+    }
+}

@@ -1,0 +1,143 @@
+//! The benchmark inventory — the paper's Table II.
+
+/// One row of Table II: a game at a resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadSpec {
+    /// Short name used on the command line and in figures (`hl2`, `doom3`, ...).
+    pub name: &'static str,
+    /// Full title of the game the workload stands in for.
+    pub title: &'static str,
+    /// Render resolution (width, height).
+    pub resolution: (u32, u32),
+    /// Rendering library of the original trace (DirectX3D / OpenGL).
+    pub library: &'static str,
+}
+
+impl WorkloadSpec {
+    /// A display label like `hl2-1600x1200`.
+    pub fn label(&self) -> String {
+        format!("{}-{}x{}", self.name, self.resolution.0, self.resolution.1)
+    }
+
+    /// Total pixels per frame.
+    pub fn pixels(&self) -> u64 {
+        u64::from(self.resolution.0) * u64::from(self.resolution.1)
+    }
+}
+
+/// The seven game names of Table II (excluding `rbench`).
+pub fn game_names() -> [&'static str; 7] {
+    ["hl2", "doom3", "grid", "nfs", "stal", "ut3", "wolf"]
+}
+
+/// Every Table II row: `hl2` and `doom3` at three resolutions each, the
+/// rest at their single supported resolution.
+pub fn catalog() -> Vec<WorkloadSpec> {
+    let mut rows = Vec::new();
+    for res in [(1600, 1200), (1280, 1024), (640, 480)] {
+        rows.push(WorkloadSpec {
+            name: "hl2",
+            title: "Half-Life 2",
+            resolution: res,
+            library: "DirectX3D",
+        });
+    }
+    for res in [(1600, 1200), (1280, 1024), (640, 480)] {
+        rows.push(WorkloadSpec {
+            name: "doom3",
+            title: "Doom 3",
+            resolution: res,
+            library: "OpenGL",
+        });
+    }
+    rows.push(WorkloadSpec {
+        name: "grid",
+        title: "GRID",
+        resolution: (1280, 1024),
+        library: "DirectX3D",
+    });
+    rows.push(WorkloadSpec {
+        name: "nfs",
+        title: "Need For Speed",
+        resolution: (1280, 1024),
+        library: "DirectX3D",
+    });
+    rows.push(WorkloadSpec {
+        name: "stal",
+        title: "S.T.A.L.K.E.R.: Call of Pripyat",
+        resolution: (1280, 1024),
+        library: "DirectX3D",
+    });
+    rows.push(WorkloadSpec {
+        name: "ut3",
+        title: "Unreal Tournament 3",
+        resolution: (1280, 1024),
+        library: "DirectX3D",
+    });
+    rows.push(WorkloadSpec {
+        name: "wolf",
+        title: "Wolfenstein",
+        resolution: (640, 480),
+        library: "DirectX3D",
+    });
+    rows
+}
+
+/// The default single resolution per game used by most experiments
+/// (1280×1024 where supported, per Sec. VI's benchmarking policy).
+pub fn default_specs() -> Vec<WorkloadSpec> {
+    let mut out = Vec::new();
+    for name in game_names() {
+        let res = if name == "wolf" { (640, 480) } else { (1280, 1024) };
+        let spec = catalog()
+            .into_iter()
+            .find(|s| s.name == name && s.resolution == res)
+            .expect("catalog covers every game's default resolution");
+        out.push(spec);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_matches_table2_shape() {
+        let rows = catalog();
+        assert_eq!(rows.len(), 11, "3 + 3 + 5 rows");
+        assert_eq!(rows.iter().filter(|r| r.name == "hl2").count(), 3);
+        assert_eq!(rows.iter().filter(|r| r.name == "doom3").count(), 3);
+        assert_eq!(rows.iter().filter(|r| r.name == "wolf").count(), 1);
+    }
+
+    #[test]
+    fn doom3_is_opengl_rest_directx() {
+        for row in catalog() {
+            if row.name == "doom3" {
+                assert_eq!(row.library, "OpenGL");
+            } else {
+                assert_eq!(row.library, "DirectX3D");
+            }
+        }
+    }
+
+    #[test]
+    fn labels_and_pixels() {
+        let spec = WorkloadSpec {
+            name: "hl2",
+            title: "Half-Life 2",
+            resolution: (1600, 1200),
+            library: "DirectX3D",
+        };
+        assert_eq!(spec.label(), "hl2-1600x1200");
+        assert_eq!(spec.pixels(), 1_920_000);
+    }
+
+    #[test]
+    fn default_specs_cover_all_games() {
+        let defaults = default_specs();
+        assert_eq!(defaults.len(), 7);
+        assert!(defaults.iter().all(|s| s.resolution == (1280, 1024) || s.name == "wolf"));
+    }
+}

@@ -1,0 +1,203 @@
+//! Reusable scene-building geometry: ground planes, walls, corridors, boxes.
+
+use patu_gmath::{Vec2, Vec3};
+use patu_raster::Mesh;
+
+/// A horizontal ground plane at height `y`, spanning `[-half_w, half_w]` in X
+/// and `[z_near, z_far]` in Z (both negative, away from the camera), UV-tiled
+/// `tiles` times. Front face up.
+pub fn ground_plane(
+    y: f32,
+    half_w: f32,
+    z_near: f32,
+    z_far: f32,
+    tiles: Vec2,
+    material: usize,
+) -> Mesh {
+    Mesh::quad(
+        [
+            Vec3::new(-half_w, y, z_near),
+            Vec3::new(half_w, y, z_near),
+            Vec3::new(half_w, y, z_far),
+            Vec3::new(-half_w, y, z_far),
+        ],
+        tiles,
+        material,
+    )
+}
+
+/// A ceiling plane (front face down) mirroring [`ground_plane`].
+pub fn ceiling_plane(
+    y: f32,
+    half_w: f32,
+    z_near: f32,
+    z_far: f32,
+    tiles: Vec2,
+    material: usize,
+) -> Mesh {
+    Mesh::quad(
+        [
+            Vec3::new(-half_w, y, z_far),
+            Vec3::new(half_w, y, z_far),
+            Vec3::new(half_w, y, z_near),
+            Vec3::new(-half_w, y, z_near),
+        ],
+        tiles,
+        material,
+    )
+}
+
+/// A vertical wall along Z at `x`, from `z_near` to `z_far`, `height` tall
+/// starting at `y0`. `faces_positive_x` picks the visible side.
+#[allow(clippy::too_many_arguments)]
+pub fn side_wall(
+    x: f32,
+    y0: f32,
+    height: f32,
+    z_near: f32,
+    z_far: f32,
+    tiles: Vec2,
+    material: usize,
+    faces_positive_x: bool,
+) -> Mesh {
+    let (za, zb) = if faces_positive_x { (z_near, z_far) } else { (z_far, z_near) };
+    Mesh::quad(
+        [
+            Vec3::new(x, y0, za),
+            Vec3::new(x, y0, zb),
+            Vec3::new(x, y0 + height, zb),
+            Vec3::new(x, y0 + height, za),
+        ],
+        tiles,
+        material,
+    )
+}
+
+/// A wall facing the camera (+Z normal) at depth `z`, centered at `cx`.
+pub fn facing_wall(
+    cx: f32,
+    y0: f32,
+    width: f32,
+    height: f32,
+    z: f32,
+    tiles: Vec2,
+    material: usize,
+) -> Mesh {
+    let hw = width / 2.0;
+    Mesh::quad(
+        [
+            Vec3::new(cx - hw, y0, z),
+            Vec3::new(cx + hw, y0, z),
+            Vec3::new(cx + hw, y0 + height, z),
+            Vec3::new(cx - hw, y0 + height, z),
+        ],
+        tiles,
+        material,
+    )
+}
+
+/// An axis-aligned box (prop) with all six faces textured with `material`.
+/// Faces wind outward.
+pub fn prop_box(center: Vec3, size: Vec3, material: usize) -> Mesh {
+    let h = size * 0.5;
+    let (cx, cy, cz) = (center.x, center.y, center.z);
+    let corners = [
+        Vec3::new(cx - h.x, cy - h.y, cz + h.z), // 0: left  bottom front
+        Vec3::new(cx + h.x, cy - h.y, cz + h.z), // 1: right bottom front
+        Vec3::new(cx + h.x, cy + h.y, cz + h.z), // 2: right top    front
+        Vec3::new(cx - h.x, cy + h.y, cz + h.z), // 3: left  top    front
+        Vec3::new(cx - h.x, cy - h.y, cz - h.z), // 4: left  bottom back
+        Vec3::new(cx + h.x, cy - h.y, cz - h.z), // 5: right bottom back
+        Vec3::new(cx + h.x, cy + h.y, cz - h.z), // 6: right top    back
+        Vec3::new(cx - h.x, cy + h.y, cz - h.z), // 7: left  top    back
+    ];
+    let faces: [[usize; 4]; 6] = [
+        [0, 1, 2, 3], // front (+z)
+        [5, 4, 7, 6], // back (-z)
+        [4, 0, 3, 7], // left (-x)
+        [1, 5, 6, 2], // right (+x)
+        [3, 2, 6, 7], // top (+y)
+        [4, 5, 1, 0], // bottom (-y)
+    ];
+    let mut vertices = Vec::with_capacity(24);
+    let mut triangles = Vec::with_capacity(12);
+    for face in faces {
+        let base = vertices.len() as u32;
+        let uvs = [
+            Vec2::new(0.0, 0.0),
+            Vec2::new(1.0, 0.0),
+            Vec2::new(1.0, 1.0),
+            Vec2::new(0.0, 1.0),
+        ];
+        for (i, &ci) in face.iter().enumerate() {
+            vertices.push(patu_raster::Vertex::new(corners[ci], uvs[i]));
+        }
+        triangles.push([base, base + 1, base + 2]);
+        triangles.push([base, base + 2, base + 3]);
+    }
+    Mesh::new(vertices, triangles, material)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patu_gmath::Mat4;
+    use patu_raster::{Camera, Pipeline};
+
+    fn render(meshes: &[Mesh], eye: Vec3, target: Vec3) -> u64 {
+        let cam = Camera::new(eye, target, 1.0, 1.0);
+        Pipeline::new(64, 64).run(meshes, &cam).stats.fragments_shaded
+    }
+
+    #[test]
+    fn ground_plane_visible_from_above() {
+        let g = ground_plane(0.0, 50.0, -0.5, -100.0, Vec2::new(10.0, 100.0), 0);
+        let shaded = render(&[g], Vec3::new(0.0, 2.0, 0.0), Vec3::new(0.0, 0.0, -30.0));
+        assert!(shaded > 500);
+    }
+
+    #[test]
+    fn ceiling_visible_from_below() {
+        let c = ceiling_plane(3.0, 50.0, -0.5, -100.0, Vec2::new(10.0, 100.0), 0);
+        let shaded = render(&[c], Vec3::new(0.0, 1.0, 0.0), Vec3::new(0.0, 2.0, -30.0));
+        assert!(shaded > 500);
+    }
+
+    #[test]
+    fn side_walls_face_inward() {
+        let left = side_wall(-3.0, 0.0, 4.0, -0.5, -80.0, Vec2::new(40.0, 2.0), 0, true);
+        let right = side_wall(3.0, 0.0, 4.0, -0.5, -80.0, Vec2::new(40.0, 2.0), 0, false);
+        let shaded = render(
+            &[left, right],
+            Vec3::new(0.0, 1.5, 0.0),
+            Vec3::new(0.0, 1.5, -30.0),
+        );
+        assert!(shaded > 500, "both corridor walls visible");
+    }
+
+    #[test]
+    fn facing_wall_visible_head_on() {
+        let w = facing_wall(0.0, 0.0, 20.0, 10.0, -15.0, Vec2::new(4.0, 2.0), 0);
+        let shaded = render(&[w], Vec3::new(0.0, 2.0, 0.0), Vec3::new(0.0, 2.0, -15.0));
+        assert!(shaded > 1000);
+    }
+
+    #[test]
+    fn prop_box_shows_at_most_three_faces() {
+        let b = prop_box(Vec3::new(0.0, 1.0, -10.0), Vec3::splat(2.0), 0);
+        assert_eq!(b.triangles.len(), 12);
+        let cam = Camera::new(Vec3::new(3.0, 3.0, 0.0), Vec3::new(0.0, 1.0, -10.0), 1.0, 1.0);
+        let out = Pipeline::new(64, 64).run(&[b], &cam);
+        // Half the faces are culled as back-facing.
+        assert!(out.stats.triangles_culled >= 6);
+        assert!(out.stats.fragments_shaded > 50);
+    }
+
+    #[test]
+    fn transformed_mesh_moves() {
+        let b = prop_box(Vec3::new(0.0, 1.0, -10.0), Vec3::splat(2.0), 0)
+            .with_transform(Mat4::translation(Vec3::new(1000.0, 0.0, 0.0)));
+        let shaded = render(&[b], Vec3::new(3.0, 3.0, 0.0), Vec3::new(0.0, 1.0, -10.0));
+        assert_eq!(shaded, 0, "translated out of view");
+    }
+}

@@ -1,0 +1,334 @@
+//! A draw-command trace format and trace-driven replay.
+//!
+//! The paper's methodology is trace-based: ATTILA replays captured
+//! OpenGL/Direct3D command streams. This module provides the analogous
+//! capability for the synthetic workloads — a frame's draw commands (camera
+//! state + meshes with vertices, indices and material bindings) serialize to
+//! a plain-text format that can be stored, diffed, and replayed through the
+//! simulator without the generating code.
+//!
+//! The format is line-oriented:
+//!
+//! ```text
+//! trace v1
+//! frame <index>
+//! camera <eye xyz> <target xyz> <up xyz> <fovy> <aspect> <near> <far>
+//! mesh <material> <vertex-count> <triangle-count>
+//! v <x> <y> <z> <u> <v>          (vertex-count lines)
+//! t <i0> <i1> <i2>               (triangle-count lines)
+//! end
+//! ```
+
+use crate::games::FrameScene;
+use patu_gmath::{Vec2, Vec3};
+use patu_raster::{Camera, Mesh, Vertex};
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Error produced when parsing a malformed trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    line: usize,
+    message: String,
+}
+
+impl ParseTraceError {
+    fn new(line: usize, message: impl Into<String>) -> ParseTraceError {
+        ParseTraceError { line, message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseTraceError {}
+
+/// A captured multi-frame trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    frames: Vec<(u32, FrameScene)>,
+}
+
+impl PartialEq for FrameScene {
+    fn eq(&self, other: &FrameScene) -> bool {
+        self.camera == other.camera && self.meshes == other.meshes
+    }
+}
+
+impl Trace {
+    /// Captures the given frame indices of a workload into a trace.
+    pub fn capture(workload: &crate::games::Workload, frames: &[u32]) -> Trace {
+        Trace {
+            frames: frames.iter().map(|&i| (i, workload.frame(i))).collect(),
+        }
+    }
+
+    /// Builds a trace directly from frames.
+    pub fn from_frames(frames: Vec<(u32, FrameScene)>) -> Trace {
+        Trace { frames }
+    }
+
+    /// The captured frames, in capture order.
+    pub fn frames(&self) -> &[(u32, FrameScene)] {
+        &self.frames
+    }
+
+    /// Number of captured frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Serializes the trace to its text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("trace v1\n");
+        for (index, scene) in &self.frames {
+            let _ = writeln!(out, "frame {index}");
+            let c = &scene.camera;
+            let _ = writeln!(
+                out,
+                "camera {} {} {} {} {} {} {} {} {} {} {} {} {}",
+                c.eye.x, c.eye.y, c.eye.z, c.target.x, c.target.y, c.target.z,
+                c.up.x, c.up.y, c.up.z, c.fovy, c.aspect, c.near, c.far
+            );
+            for mesh in &scene.meshes {
+                let _ = writeln!(
+                    out,
+                    "mesh {} {} {}",
+                    mesh.material,
+                    mesh.vertices.len(),
+                    mesh.triangles.len()
+                );
+                for v in &mesh.vertices {
+                    let _ = writeln!(
+                        out,
+                        "v {} {} {} {} {}",
+                        v.position.x, v.position.y, v.position.z, v.uv.x, v.uv.y
+                    );
+                }
+                for t in &mesh.triangles {
+                    let _ = writeln!(out, "t {} {} {}", t[0], t[1], t[2]);
+                }
+            }
+            out.push_str("end\n");
+        }
+        out
+    }
+
+    /// Parses a trace from its text format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseTraceError`] describing the first malformed line.
+    pub fn from_text(text: &str) -> Result<Trace, ParseTraceError> {
+        let mut lines = text.lines().enumerate();
+        let (_, header) = lines
+            .next()
+            .ok_or_else(|| ParseTraceError::new(1, "empty trace"))?;
+        if header.trim() != "trace v1" {
+            return Err(ParseTraceError::new(1, "expected header 'trace v1'"));
+        }
+
+        fn floats(n: usize, rest: &str, line: usize) -> Result<Vec<f32>, ParseTraceError> {
+            let vals: Result<Vec<f32>, _> =
+                rest.split_whitespace().map(str::parse::<f32>).collect();
+            let vals = vals.map_err(|e| ParseTraceError::new(line, format!("bad float: {e}")))?;
+            if vals.len() != n {
+                return Err(ParseTraceError::new(
+                    line,
+                    format!("expected {n} numbers, found {}", vals.len()),
+                ));
+            }
+            Ok(vals)
+        }
+
+        let mut frames = Vec::new();
+        let mut current: Option<(u32, Camera, Vec<Mesh>)> = None;
+
+        while let Some((i, raw)) = lines.next() {
+            let line_no = i + 1;
+            let line = raw.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (word, rest) = line.split_once(' ').unwrap_or((line, ""));
+            match word {
+                "frame" => {
+                    if current.is_some() {
+                        return Err(ParseTraceError::new(line_no, "nested frame (missing 'end')"));
+                    }
+                    let index: u32 = rest
+                        .trim()
+                        .parse()
+                        .map_err(|e| ParseTraceError::new(line_no, format!("bad index: {e}")))?;
+                    // Placeholder camera until the camera line arrives.
+                    current = Some((index, Camera::new(Vec3::ZERO, Vec3::new(0.0, 0.0, -1.0), 1.0, 1.0), Vec::new()));
+                }
+                "camera" => {
+                    let vals = floats(13, rest, line_no)?;
+                    let (_, cam, _) = current
+                        .as_mut()
+                        .ok_or_else(|| ParseTraceError::new(line_no, "camera outside frame"))?;
+                    *cam = Camera {
+                        eye: Vec3::new(vals[0], vals[1], vals[2]),
+                        target: Vec3::new(vals[3], vals[4], vals[5]),
+                        up: Vec3::new(vals[6], vals[7], vals[8]),
+                        fovy: vals[9],
+                        aspect: vals[10],
+                        near: vals[11],
+                        far: vals[12],
+                    };
+                }
+                "mesh" => {
+                    let parts: Vec<&str> = rest.split_whitespace().collect();
+                    if parts.len() != 3 {
+                        return Err(ParseTraceError::new(line_no, "mesh needs 3 fields"));
+                    }
+                    let material: usize = parts[0]
+                        .parse()
+                        .map_err(|e| ParseTraceError::new(line_no, format!("bad material: {e}")))?;
+                    let n_verts: usize = parts[1]
+                        .parse()
+                        .map_err(|e| ParseTraceError::new(line_no, format!("bad count: {e}")))?;
+                    let n_tris: usize = parts[2]
+                        .parse()
+                        .map_err(|e| ParseTraceError::new(line_no, format!("bad count: {e}")))?;
+
+                    let mut vertices = Vec::with_capacity(n_verts);
+                    for _ in 0..n_verts {
+                        let (vi, vline) = lines
+                            .next()
+                            .ok_or_else(|| ParseTraceError::new(line_no, "truncated vertices"))?;
+                        let vline = vline.trim();
+                        let body = vline
+                            .strip_prefix("v ")
+                            .ok_or_else(|| ParseTraceError::new(vi + 1, "expected vertex line"))?;
+                        let vals = floats(5, body, vi + 1)?;
+                        vertices.push(Vertex::new(
+                            Vec3::new(vals[0], vals[1], vals[2]),
+                            Vec2::new(vals[3], vals[4]),
+                        ));
+                    }
+                    let mut triangles = Vec::with_capacity(n_tris);
+                    for _ in 0..n_tris {
+                        let (ti, tline) = lines
+                            .next()
+                            .ok_or_else(|| ParseTraceError::new(line_no, "truncated triangles"))?;
+                        let tline = tline.trim();
+                        let body = tline
+                            .strip_prefix("t ")
+                            .ok_or_else(|| ParseTraceError::new(ti + 1, "expected triangle line"))?;
+                        let idx: Result<Vec<u32>, _> =
+                            body.split_whitespace().map(str::parse::<u32>).collect();
+                        let idx = idx
+                            .map_err(|e| ParseTraceError::new(ti + 1, format!("bad index: {e}")))?;
+                        if idx.len() != 3 {
+                            return Err(ParseTraceError::new(ti + 1, "triangle needs 3 indices"));
+                        }
+                        if idx.iter().any(|&k| k as usize >= n_verts) {
+                            return Err(ParseTraceError::new(ti + 1, "triangle index out of range"));
+                        }
+                        triangles.push([idx[0], idx[1], idx[2]]);
+                    }
+                    let (_, _, meshes) = current
+                        .as_mut()
+                        .ok_or_else(|| ParseTraceError::new(line_no, "mesh outside frame"))?;
+                    meshes.push(Mesh::new(vertices, triangles, material));
+                }
+                "end" => {
+                    let (index, camera, meshes) = current
+                        .take()
+                        .ok_or_else(|| ParseTraceError::new(line_no, "'end' outside frame"))?;
+                    frames.push((index, FrameScene { meshes, camera }));
+                }
+                other => {
+                    return Err(ParseTraceError::new(line_no, format!("unknown record '{other}'")));
+                }
+            }
+        }
+        if current.is_some() {
+            return Err(ParseTraceError::new(text.lines().count(), "unterminated frame"));
+        }
+        Ok(Trace { frames })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::games::Workload;
+
+    #[test]
+    fn capture_roundtrips_through_text() {
+        let w = Workload::build("wolf", (160, 120)).unwrap();
+        let trace = Trace::capture(&w, &[0, 50]);
+        let text = trace.to_text();
+        let parsed = Trace::from_text(&text).expect("roundtrip parses");
+        assert_eq!(parsed, trace);
+        assert_eq!(parsed.len(), 2);
+    }
+
+    #[test]
+    fn replayed_frames_render_identically() {
+        use patu_raster::Pipeline;
+        let w = Workload::build("doom3", (160, 120)).unwrap();
+        let trace = Trace::capture(&w, &[30]);
+        let parsed = Trace::from_text(&trace.to_text()).unwrap();
+        let (_, original) = &trace.frames()[0];
+        let (_, replayed) = &parsed.frames()[0];
+        let p = Pipeline::new(160, 120);
+        let a = p.run(&original.meshes, &original.camera);
+        let b = p.run(&replayed.meshes, &replayed.camera);
+        assert_eq!(a.stats, b.stats, "replay produces the exact same work");
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::from_frames(vec![]);
+        assert!(t.is_empty());
+        let parsed = Trace::from_text(&t.to_text()).unwrap();
+        assert!(parsed.is_empty());
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        let err = Trace::from_text("not a trace\n").unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn truncated_frame_rejected() {
+        let text = "trace v1\nframe 0\ncamera 0 0 0 0 0 -1 0 1 0 1 1 0.1 100\n";
+        let err = Trace::from_text(text).unwrap_err();
+        assert!(err.to_string().contains("unterminated"));
+    }
+
+    #[test]
+    fn out_of_range_triangle_rejected() {
+        let text = "trace v1\nframe 0\ncamera 0 0 0 0 0 -1 0 1 0 1 1 0.1 100\nmesh 0 3 1\nv 0 0 0 0 0\nv 1 0 0 1 0\nv 0 1 0 0 1\nt 0 1 9\nend\n";
+        let err = Trace::from_text(text).unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn unknown_record_rejected() {
+        let text = "trace v1\nbogus record\n";
+        let err = Trace::from_text(text).unwrap_err();
+        assert!(err.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn nested_frame_rejected() {
+        let text = "trace v1\nframe 0\nframe 1\n";
+        let err = Trace::from_text(text).unwrap_err();
+        assert!(err.to_string().contains("nested"));
+    }
+}

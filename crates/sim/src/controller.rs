@@ -1,0 +1,151 @@
+//! Adaptive threshold control — closing the loop the paper leaves open.
+//!
+//! The paper positions the threshold as a knob "either user-defined or the
+//! optimal from design space exploration" (Sec. V-A) and observes that users
+//! at different resolutions prefer different settings (Sec. VII-D). This
+//! module implements the natural runtime policy: a proportional controller
+//! that retunes the threshold each frame to hold a frame-time target
+//! (vsync budget), spending quality headroom only when the GPU falls behind
+//! — the same control pattern as DVFS governors or dynamic resolution
+//! scaling, but on PATU's perception-oriented knob.
+
+/// A proportional controller steering PATU's threshold toward a frame-cycle
+/// budget.
+///
+/// Each [`ThresholdController::observe`] call takes the cycles the last
+/// frame needed under the current threshold and nudges the threshold down
+/// (more approximation) when over budget, up (more quality) when under.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThresholdController {
+    /// Target frame cycles (e.g. the 60 Hz budget at the GPU clock).
+    pub target_cycles: u64,
+    /// Proportional gain: threshold change per unit of relative error.
+    pub gain: f64,
+    /// Lower bound the controller will not cross (quality floor).
+    pub min_threshold: f64,
+    /// Upper bound (1.0 = full AF).
+    pub max_threshold: f64,
+    threshold: f64,
+}
+
+impl ThresholdController {
+    /// Creates a controller starting at `initial_threshold`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are inverted, the initial threshold lies outside
+    /// them, or `target_cycles` is zero.
+    pub fn new(target_cycles: u64, initial_threshold: f64) -> ThresholdController {
+        assert!(target_cycles > 0, "target must be positive");
+        let c = ThresholdController {
+            target_cycles,
+            gain: 0.5,
+            min_threshold: 0.0,
+            max_threshold: 1.0,
+            threshold: initial_threshold,
+        };
+        assert!(
+            (c.min_threshold..=c.max_threshold).contains(&initial_threshold),
+            "initial threshold out of bounds"
+        );
+        c
+    }
+
+    /// Restricts the controller's operating range, consuming and returning
+    /// it. The current threshold is clamped into the new range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max` or the range leaves `[0, 1]`.
+    #[must_use]
+    pub fn with_bounds(mut self, min: f64, max: f64) -> ThresholdController {
+        assert!(min <= max && min >= 0.0 && max <= 1.0, "invalid bounds");
+        self.min_threshold = min;
+        self.max_threshold = max;
+        self.threshold = self.threshold.clamp(min, max);
+        self
+    }
+
+    /// The threshold to render the next frame with.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Feeds back the last frame's cost and returns the updated threshold.
+    ///
+    /// Over budget ⇒ relative error positive ⇒ threshold falls (approximate
+    /// more). Under budget ⇒ threshold rises back toward full quality.
+    pub fn observe(&mut self, frame_cycles: u64) -> f64 {
+        let error = frame_cycles as f64 / self.target_cycles as f64 - 1.0;
+        self.threshold =
+            (self.threshold - self.gain * error).clamp(self.min_threshold, self.max_threshold);
+        self.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic plant: frame cost falls linearly as the threshold falls
+    /// (more approximation = faster), spanning 2x from θ=1 to θ=0.
+    fn plant(theta: f64, base: u64) -> u64 {
+        (base as f64 * (0.5 + 0.5 * theta)) as u64
+    }
+
+    #[test]
+    fn over_budget_lowers_threshold() {
+        let mut c = ThresholdController::new(1_000_000, 0.8);
+        let t = c.observe(1_500_000);
+        assert!(t < 0.8, "got {t}");
+    }
+
+    #[test]
+    fn under_budget_raises_threshold() {
+        let mut c = ThresholdController::new(1_000_000, 0.4);
+        let t = c.observe(600_000);
+        assert!(t > 0.4);
+    }
+
+    #[test]
+    fn converges_on_linear_plant() {
+        // Budget reachable at θ = 0.5 on this plant.
+        let base = 1_600_000u64;
+        let target = plant(0.5, base);
+        let mut c = ThresholdController::new(target, 1.0);
+        for _ in 0..60 {
+            let cycles = plant(c.threshold(), base);
+            c.observe(cycles);
+        }
+        let settled = plant(c.threshold(), base);
+        let err = (settled as f64 / target as f64 - 1.0).abs();
+        assert!(err < 0.05, "settled within 5% of budget, err {err}");
+        assert!((c.threshold() - 0.5).abs() < 0.15, "θ near 0.5: {}", c.threshold());
+    }
+
+    #[test]
+    fn saturates_at_bounds() {
+        let mut c = ThresholdController::new(1_000_000, 0.5).with_bounds(0.2, 0.9);
+        for _ in 0..20 {
+            c.observe(10_000_000); // hopelessly over budget
+        }
+        assert_eq!(c.threshold(), 0.2, "clamped at the quality floor");
+        for _ in 0..20 {
+            c.observe(1); // infinitely fast
+        }
+        assert_eq!(c.threshold(), 0.9, "clamped at the top");
+    }
+
+    #[test]
+    fn exact_budget_is_stable() {
+        let mut c = ThresholdController::new(1_000_000, 0.6);
+        let t = c.observe(1_000_000);
+        assert!((t - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid bounds")]
+    fn inverted_bounds_panic() {
+        let _ = ThresholdController::new(1, 0.5).with_bounds(0.9, 0.1);
+    }
+}

@@ -1,0 +1,336 @@
+//! Multi-frame experiments: the comparisons behind every figure of the
+//! paper's evaluation.
+
+use crate::render::{render_frame, FrameResult, RenderConfig};
+use patu_core::FilterPolicy;
+use patu_energy::EnergyModel;
+use patu_gpu::{FrameStats, GpuConfig};
+use patu_quality::SsimConfig;
+use patu_scenes::Workload;
+
+/// How many frames to simulate and how they are spread over the workload's
+/// camera loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExperimentConfig {
+    /// Number of frames averaged per data point.
+    pub frames: u32,
+    /// Stride between sampled frame indices (spreads samples over the path).
+    pub frame_stride: u32,
+    /// GPU configuration (Table I baseline by default).
+    pub gpu: GpuConfig,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> ExperimentConfig {
+        ExperimentConfig { frames: 3, frame_stride: 120, gpu: GpuConfig::default() }
+    }
+}
+
+impl ExperimentConfig {
+    /// The frame indices this configuration samples.
+    pub fn frame_indices(&self) -> Vec<u32> {
+        (0..self.frames).map(|i| i * self.frame_stride).collect()
+    }
+}
+
+/// Averaged results of one (workload, policy) pair.
+#[derive(Debug, Clone)]
+pub struct AggregateResult {
+    /// Display label of the policy.
+    pub label: String,
+    /// The policy that produced this result.
+    pub policy: FilterPolicy,
+    /// Mean frame cycles.
+    pub mean_cycles: f64,
+    /// Mean summed filtering latency per frame.
+    pub mean_filter_latency: f64,
+    /// Mean SSIM against the 16×AF baseline frame (1.0 for the baseline).
+    pub mssim: f64,
+    /// Mean total GPU+DRAM energy per frame, joules.
+    pub energy_joules: f64,
+    /// Accumulated statistics over all frames.
+    pub stats: FrameStats,
+    /// Accumulated approximation coverage.
+    pub approx: patu_core::ApproxStats,
+    /// Accumulated sharing statistics (Fig. 12).
+    pub sharing: patu_core::SharingStats,
+    /// Accumulated quad divergence (Sec. V-C(1)).
+    pub divergence: patu_core::DivergenceStats,
+}
+
+impl AggregateResult {
+    /// Speedup of this result relative to `baseline` (>1 = faster).
+    pub fn speedup_vs(&self, baseline: &AggregateResult) -> f64 {
+        baseline.mean_cycles / self.mean_cycles
+    }
+
+    /// Energy relative to `baseline` (<1 = saves energy).
+    pub fn energy_ratio_vs(&self, baseline: &AggregateResult) -> f64 {
+        self.energy_joules / baseline.energy_joules
+    }
+
+    /// Filtering latency relative to `baseline` (<1 = lower latency).
+    pub fn filter_latency_ratio_vs(&self, baseline: &AggregateResult) -> f64 {
+        self.mean_filter_latency / baseline.mean_filter_latency
+    }
+
+    /// The paper's tuning metric: `speedup × MSSIM` (Sec. VII-A).
+    pub fn tuning_metric(&self, baseline: &AggregateResult) -> f64 {
+        self.speedup_vs(baseline) * self.mssim
+    }
+}
+
+fn accumulate(result: &FrameResult, agg: &mut AggregateResult, energy: &EnergyModel) {
+    agg.stats.accumulate(&result.stats);
+    agg.approx.accumulate(&result.approx);
+    agg.sharing.accumulate(&result.sharing);
+    agg.divergence.accumulate(&result.divergence);
+    agg.energy_joules += energy.frame_energy(&result.stats).total_joules();
+}
+
+/// Runs `policies` over the sampled frames of `workload`, computing each
+/// policy's MSSIM against a 16×AF baseline rendered on the same frames.
+///
+/// The baseline is always rendered (once per frame) to serve as the quality
+/// reference; include [`FilterPolicy::Baseline`] in `policies` to also get
+/// it as a result row.
+pub fn run_policies(
+    workload: &Workload,
+    policies: &[(&str, FilterPolicy)],
+    cfg: &ExperimentConfig,
+) -> Vec<AggregateResult> {
+    let energy = EnergyModel::default();
+    let ssim = SsimConfig::default();
+    let mut results: Vec<AggregateResult> = policies
+        .iter()
+        .map(|(label, policy)| AggregateResult {
+            label: (*label).to_string(),
+            policy: *policy,
+            mean_cycles: 0.0,
+            mean_filter_latency: 0.0,
+            mssim: 0.0,
+            energy_joules: 0.0,
+            stats: FrameStats::default(),
+            approx: patu_core::ApproxStats::new(),
+            sharing: patu_core::SharingStats::new(),
+            divergence: patu_core::DivergenceStats::new(),
+        })
+        .collect();
+
+    let frames = cfg.frame_indices();
+    for &frame in &frames {
+        let base_cfg = RenderConfig::new(FilterPolicy::Baseline).with_gpu(cfg.gpu);
+        let baseline = render_frame(workload, frame, &base_cfg);
+        let baseline_luma = baseline.luma();
+
+        for (slot, (_, policy)) in policies.iter().enumerate() {
+            let is_baseline = matches!(policy, FilterPolicy::Baseline);
+            let result = if is_baseline {
+                baseline.clone()
+            } else {
+                let rc = RenderConfig::new(*policy).with_gpu(cfg.gpu);
+                render_frame(workload, frame, &rc)
+            };
+            let mssim = if is_baseline {
+                1.0
+            } else {
+                f64::from(ssim.mssim(&baseline_luma, &result.luma()))
+            };
+            let agg = &mut results[slot];
+            agg.mssim += mssim;
+            accumulate(&result, agg, &energy);
+        }
+    }
+
+    let n = frames.len() as f64;
+    for agg in &mut results {
+        agg.mean_cycles = agg.stats.cycles as f64 / n;
+        agg.mean_filter_latency = agg.stats.filter_latency_cycles as f64 / n;
+        agg.mssim /= n;
+        agg.energy_joules /= n;
+    }
+    results
+}
+
+/// The paper's four design points at threshold `theta` (Sec. VII-B):
+/// Baseline, AF-SSIM(N), AF-SSIM(N)+(Txds), PATU.
+pub fn design_points(theta: f64) -> Vec<(&'static str, FilterPolicy)> {
+    vec![
+        ("Baseline", FilterPolicy::Baseline),
+        ("AF-SSIM(N)", FilterPolicy::SampleArea { threshold: theta }),
+        ("AF-SSIM(N)+(Txds)", FilterPolicy::SampleAreaTxds { threshold: theta }),
+        ("PATU", FilterPolicy::Patu { threshold: theta }),
+    ]
+}
+
+/// Runs the Fig. 17 threshold sweep: PATU at each threshold, plus the
+/// baseline reference. Returns `(threshold, result)` pairs and the baseline.
+pub fn threshold_sweep(
+    workload: &Workload,
+    thresholds: &[f64],
+    cfg: &ExperimentConfig,
+) -> (AggregateResult, Vec<(f64, AggregateResult)>) {
+    let mut policies: Vec<(String, FilterPolicy)> = vec![
+        ("Baseline".to_string(), FilterPolicy::Baseline),
+    ];
+    for &t in thresholds {
+        policies.push((format!("PATU@{t:.1}"), FilterPolicy::Patu { threshold: t }));
+    }
+    let borrowed: Vec<(&str, FilterPolicy)> =
+        policies.iter().map(|(s, p)| (s.as_str(), *p)).collect();
+    let mut results = run_policies(workload, &borrowed, cfg);
+    let baseline = results.remove(0);
+    let sweep = thresholds.iter().copied().zip(results).collect();
+    (baseline, sweep)
+}
+
+/// Temporal stability of a policy: the mean SSIM between *consecutive
+/// rendered frames* of the same run. Approximation schemes can flicker —
+/// a pixel demoted in one frame and not the next — which per-frame MSSIM
+/// against the baseline cannot see but video viewers (the paper's Fig. 22
+/// raters) do. Values near the baseline's own inter-frame SSIM mean the
+/// approximation does not add temporal noise.
+pub fn temporal_stability(
+    workload: &Workload,
+    policy: FilterPolicy,
+    frames: &[u32],
+    cfg: &ExperimentConfig,
+) -> f64 {
+    assert!(frames.len() >= 2, "need at least two frames for stability");
+    let ssim = SsimConfig::default();
+    let rc = crate::render::RenderConfig::new(policy).with_gpu(cfg.gpu);
+    let rendered: Vec<_> = frames
+        .iter()
+        .map(|&f| crate::render::render_frame(workload, f, &rc).luma())
+        .collect();
+    let mut sum = 0.0;
+    for pair in rendered.windows(2) {
+        sum += f64::from(ssim.mssim(&pair[0], &pair[1]));
+    }
+    sum / (rendered.len() - 1) as f64
+}
+
+/// The Best Point (BP) of a sweep: the threshold maximizing
+/// `speedup × MSSIM` (Sec. VII-A).
+pub fn best_point(baseline: &AggregateResult, sweep: &[(f64, AggregateResult)]) -> f64 {
+    sweep
+        .iter()
+        .max_by(|a, b| {
+            a.1.tuning_metric(baseline)
+                .partial_cmp(&b.1.tuning_metric(baseline))
+                .expect("tuning metrics are finite")
+        })
+        .map(|(t, _)| *t)
+        .unwrap_or(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> ExperimentConfig {
+        ExperimentConfig { frames: 1, frame_stride: 1, gpu: GpuConfig::default() }
+    }
+
+    fn workload() -> Workload {
+        Workload::build("grid", (192, 160)).unwrap()
+    }
+
+    #[test]
+    fn frame_indices_stride() {
+        let cfg = ExperimentConfig { frames: 3, frame_stride: 100, ..Default::default() };
+        assert_eq!(cfg.frame_indices(), vec![0, 100, 200]);
+    }
+
+    #[test]
+    fn design_points_are_four() {
+        let pts = design_points(0.4);
+        assert_eq!(pts.len(), 4);
+        assert_eq!(pts[0].0, "Baseline");
+        assert_eq!(pts[3].0, "PATU");
+    }
+
+    #[test]
+    fn baseline_has_unity_metrics() {
+        let w = workload();
+        let results = run_policies(&w, &design_points(0.4), &small_cfg());
+        let base = &results[0];
+        assert!((base.mssim - 1.0).abs() < 1e-9);
+        assert!((base.speedup_vs(base) - 1.0).abs() < 1e-12);
+        assert!((base.energy_ratio_vs(base) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn patu_faster_than_baseline_with_high_quality() {
+        let w = workload();
+        let results = run_policies(&w, &design_points(0.4), &small_cfg());
+        let base = &results[0];
+        let patu = &results[3];
+        assert!(patu.speedup_vs(base) > 1.0, "PATU speeds up: {}", patu.speedup_vs(base));
+        assert!(patu.mssim > 0.8, "PATU quality stays high: {}", patu.mssim);
+        assert!(patu.filter_latency_ratio_vs(base) < 1.0);
+    }
+
+    #[test]
+    fn patu_beats_naive_demotion_on_quality() {
+        let w = workload();
+        let results = run_policies(&w, &design_points(0.4), &small_cfg());
+        let naive = &results[2]; // AF-SSIM(N)+(Txds)
+        let patu = &results[3];
+        assert!(
+            patu.mssim >= naive.mssim,
+            "LOD reuse improves quality: {} vs {}",
+            patu.mssim,
+            naive.mssim
+        );
+    }
+
+    #[test]
+    fn sweep_quality_rises_with_threshold() {
+        let w = workload();
+        let (baseline, sweep) =
+            threshold_sweep(&w, &[0.0, 0.5, 1.0], &small_cfg());
+        assert_eq!(sweep.len(), 3);
+        let q0 = sweep[0].1.mssim;
+        let q1 = sweep[2].1.mssim;
+        assert!(q1 >= q0, "quality monotone-ish in threshold: {q0} -> {q1}");
+        // Speedup moves the other way.
+        let s0 = sweep[0].1.speedup_vs(&baseline);
+        let s1 = sweep[2].1.speedup_vs(&baseline);
+        assert!(s0 >= s1, "speedup falls with threshold: {s0} -> {s1}");
+    }
+
+    #[test]
+    fn temporal_stability_in_unit_range_and_tracks_baseline() {
+        let w = workload();
+        let frames = [0u32, 1, 2];
+        let base = temporal_stability(&w, FilterPolicy::Baseline, &frames, &small_cfg());
+        let patu = temporal_stability(
+            &w,
+            FilterPolicy::Patu { threshold: 0.4 },
+            &frames,
+            &small_cfg(),
+        );
+        assert!((0.0..=1.0).contains(&base));
+        assert!((0.0..=1.0).contains(&patu));
+        // Approximation must not add an order of magnitude of flicker.
+        assert!(patu > base - 0.1, "patu {patu} vs base {base}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two frames")]
+    fn temporal_stability_needs_two_frames() {
+        let w = workload();
+        let _ = temporal_stability(&w, FilterPolicy::Baseline, &[0], &small_cfg());
+    }
+
+    #[test]
+    fn best_point_picks_max_tuning_metric() {
+        let w = workload();
+        let (baseline, sweep) = threshold_sweep(&w, &[0.2, 0.8], &small_cfg());
+        let bp = best_point(&baseline, &sweep);
+        let metrics: Vec<f64> = sweep.iter().map(|(_, r)| r.tuning_metric(&baseline)).collect();
+        let best_idx = if metrics[0] >= metrics[1] { 0 } else { 1 };
+        assert_eq!(bp, sweep[best_idx].0);
+    }
+}

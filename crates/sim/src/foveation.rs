@@ -1,0 +1,102 @@
+//! Foveated threshold modulation — a perception-oriented extension.
+//!
+//! The paper's threshold is one global knob (Sec. IV-C(C)). In VR — the
+//! workload class the paper motivates with — human acuity falls steeply with
+//! eccentricity from the gaze point, so an approximation budget spent on the
+//! periphery buys no perceived quality. This module loosens PATU's
+//! threshold with distance from a fixation point: full strictness at the
+//! fovea, progressively more approximation toward the edges, same predictors
+//! and hardware everywhere.
+//!
+//! This composes with the paper's design rather than changing it: the
+//! per-pixel modulated threshold feeds the unchanged two-stage flow through
+//! `patu_core::FilterPolicy::with_threshold`.
+
+use patu_gmath::Vec2;
+
+/// Radial threshold modulation around a fixation point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Foveation {
+    /// Fixation point in normalized viewport coordinates (`0..1` each axis).
+    pub center: Vec2,
+    /// Radius (in normalized units) inside which the base threshold applies
+    /// unmodified — the foveal region.
+    pub inner_radius: f32,
+    /// Radius at which the threshold reaches `edge_scale` × base.
+    pub outer_radius: f32,
+    /// Threshold multiplier at and beyond `outer_radius`; `< 1` loosens the
+    /// knob (more approximation) in the periphery.
+    pub edge_scale: f32,
+}
+
+impl Default for Foveation {
+    fn default() -> Foveation {
+        Foveation {
+            center: Vec2::new(0.5, 0.5),
+            inner_radius: 0.15,
+            outer_radius: 0.6,
+            edge_scale: 0.1,
+        }
+    }
+}
+
+impl Foveation {
+    /// The threshold multiplier for a pixel at `(x, y)` in a
+    /// `width`×`height` viewport: 1 inside the fovea, falling linearly to
+    /// [`Foveation::edge_scale`] at the outer radius.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the viewport is empty or the radii are
+    /// inverted.
+    pub fn threshold_scale(&self, x: u32, y: u32, width: u32, height: u32) -> f64 {
+        debug_assert!(width > 0 && height > 0);
+        debug_assert!(self.outer_radius > self.inner_radius);
+        let p = Vec2::new(
+            (x as f32 + 0.5) / width as f32,
+            (y as f32 + 0.5) / height as f32,
+        );
+        let r = (p - self.center).length();
+        let t = ((r - self.inner_radius) / (self.outer_radius - self.inner_radius))
+            .clamp(0.0, 1.0);
+        f64::from(1.0 + (self.edge_scale - 1.0) * t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fovea_keeps_full_threshold() {
+        let f = Foveation::default();
+        assert_eq!(f.threshold_scale(320, 240, 640, 480), 1.0, "center pixel");
+    }
+
+    #[test]
+    fn periphery_reaches_edge_scale() {
+        let f = Foveation::default();
+        let corner = f.threshold_scale(0, 0, 640, 480);
+        assert!((corner - f64::from(f.edge_scale)).abs() < 0.05, "got {corner}");
+    }
+
+    #[test]
+    fn scale_monotone_in_radius() {
+        let f = Foveation::default();
+        let mut last = 2.0;
+        for x in [320u32, 400, 480, 560, 639] {
+            let s = f.threshold_scale(x, 240, 640, 480);
+            assert!(s <= last + 1e-12, "scale decreases outward");
+            last = s;
+        }
+    }
+
+    #[test]
+    fn off_center_fixation() {
+        let f = Foveation { center: Vec2::new(0.25, 0.5), ..Foveation::default() };
+        let near = f.threshold_scale(160, 240, 640, 480);
+        let far = f.threshold_scale(639, 240, 640, 480);
+        assert_eq!(near, 1.0);
+        assert!(far < 0.5);
+    }
+}

@@ -1,0 +1,123 @@
+//! Stereo (multi-view VR) rendering.
+//!
+//! The paper's simulation layer integrates "multi-view VR" among the modern
+//! GPU features added to ATTILA (Sec. VI). This module provides the
+//! analogous capability: one frame rendered twice from horizontally offset
+//! eye positions, with the combined timing charged as one VR frame. AF's
+//! cost — and PATU's savings — roughly double under VR because every pixel
+//! is filtered twice, which is why the paper singles out VR as a motivating
+//! workload (Sec. I).
+
+use crate::render::{render_scene, FrameResult, RenderConfig};
+use patu_gpu::FrameStats;
+use patu_scenes::{FrameScene, Workload};
+
+/// The two eye views of one VR frame plus combined statistics.
+#[derive(Debug, Clone)]
+pub struct StereoFrameResult {
+    /// Left-eye render.
+    pub left: FrameResult,
+    /// Right-eye render.
+    pub right: FrameResult,
+}
+
+impl StereoFrameResult {
+    /// Combined statistics of the VR frame: the two eyes render back to
+    /// back on the same GPU, so cycles add and traffic/events accumulate.
+    pub fn combined_stats(&self) -> FrameStats {
+        let mut stats = self.left.stats;
+        stats.accumulate(&self.right.stats);
+        stats
+    }
+}
+
+/// Builds the per-eye scene: the camera shifts half the interpupillary
+/// distance along its right vector; the look target shifts with it so the
+/// eyes stay parallel (toe-in free), as HMD projections do.
+fn eye_scene(scene: &FrameScene, half_ipd: f32) -> FrameScene {
+    let cam = scene.camera;
+    let forward = (cam.target - cam.eye).normalized();
+    let right = forward.cross(cam.up).normalized();
+    let offset = right * half_ipd;
+    let mut eye_cam = cam;
+    eye_cam.eye += offset;
+    eye_cam.target += offset;
+    FrameScene { meshes: scene.meshes.clone(), camera: eye_cam }
+}
+
+/// Renders frame `index` of `workload` in stereo with the given
+/// interpupillary distance (world units; ~0.064 for a human at meter scale).
+pub fn render_stereo(
+    workload: &Workload,
+    index: u32,
+    cfg: &RenderConfig,
+    ipd: f32,
+) -> StereoFrameResult {
+    let scene = workload.frame(index);
+    let left = render_scene(workload, &eye_scene(&scene, -ipd / 2.0), cfg);
+    let right = render_scene(workload, &eye_scene(&scene, ipd / 2.0), cfg);
+    StereoFrameResult { left, right }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patu_core::FilterPolicy;
+
+    fn workload() -> Workload {
+        Workload::build("doom3", (192, 160)).unwrap()
+    }
+
+    #[test]
+    fn stereo_renders_two_distinct_views() {
+        let w = workload();
+        let cfg = RenderConfig::new(FilterPolicy::Baseline);
+        let s = render_stereo(&w, 0, &cfg, 0.4);
+        assert_ne!(
+            s.left.image.pixels(),
+            s.right.image.pixels(),
+            "parallax makes the views differ"
+        );
+    }
+
+    #[test]
+    fn zero_ipd_views_are_identical() {
+        let w = workload();
+        let cfg = RenderConfig::new(FilterPolicy::Baseline);
+        let s = render_stereo(&w, 0, &cfg, 0.0);
+        assert_eq!(s.left.image.pixels(), s.right.image.pixels());
+    }
+
+    #[test]
+    fn combined_stats_accumulate_both_eyes() {
+        let w = workload();
+        let cfg = RenderConfig::new(FilterPolicy::Baseline);
+        let s = render_stereo(&w, 0, &cfg, 0.4);
+        let combined = s.combined_stats();
+        assert_eq!(
+            combined.cycles,
+            s.left.stats.cycles + s.right.stats.cycles
+        );
+        assert_eq!(
+            combined.events.texel_fetches,
+            s.left.stats.events.texel_fetches + s.right.stats.events.texel_fetches
+        );
+    }
+
+    #[test]
+    fn patu_saves_on_both_eyes() {
+        let w = workload();
+        let base = render_stereo(&w, 0, &RenderConfig::new(FilterPolicy::Baseline), 0.4);
+        let patu = render_stereo(
+            &w,
+            0,
+            &RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 }),
+            0.4,
+        );
+        assert!(
+            patu.combined_stats().cycles < base.combined_stats().cycles,
+            "PATU speedup carries over to VR"
+        );
+        assert!(patu.left.approx.pixels > 0 && patu.right.approx.pixels > 0);
+    }
+}

@@ -1,0 +1,75 @@
+//! # patu-texture
+//!
+//! Mipmapped textures and hardware-style texture filtering for the PATU
+//! rendering simulator (paper: *Perception-Oriented 3D Rendering Approximation
+//! for Modern Graphics Processors*, HPCA 2018).
+//!
+//! This crate models the data path of a GPU texture unit faithfully enough
+//! that both the *functional* result (the filtered color) and the
+//! *architectural* side effects (which texel addresses are touched, how many
+//! trilinear taps an anisotropic fetch needs) are exact:
+//!
+//! * [`Rgba8`] texels and [`texel::TexelAddress`] — byte-level addresses used
+//!   by the cache simulator in `patu-gpu` and the PATU hash table in
+//!   `patu-core`.
+//! * [`Texture`] — an RGBA8 image with a box-filtered mip chain.
+//! * [`footprint::Footprint`] — the screen-space sampling footprint derived
+//!   from UV derivatives: anisotropy ratio `N`, major-axis direction, and the
+//!   distinct LODs used by trilinear (TF) vs. anisotropic (AF) filtering.
+//!   The gap between those two LODs is exactly the paper's "LOD shift"
+//!   (Sec. V-C).
+//! * [`sampler`] — bilinear, trilinear and anisotropic samplers that return
+//!   both the color and a [`sampler::SampleRecord`] describing every tap and
+//!   texel address, which downstream crates replay through the timing model.
+//! * [`procedural`] — deterministic procedural texture content (checker,
+//!   bricks, noise, ...) standing in for licensed game art.
+//!
+//! # Examples
+//!
+//! ```
+//! use patu_texture::{procedural, sampler, AddressMode, Footprint, Texture};
+//! use patu_gmath::Vec2;
+//!
+//! let tex = Texture::with_mips(procedural::checkerboard(128, 128, 8, 0xAA), 0);
+//! // An oblique footprint: stretched 8x along u.
+//! let fp = Footprint::from_derivatives(
+//!     Vec2::new(8.0 / 128.0, 0.0),
+//!     Vec2::new(0.0, 1.0 / 128.0),
+//!     tex.width(),
+//!     tex.height(),
+//!     16,
+//! );
+//! assert!(fp.n > 1, "oblique view needs anisotropic taps");
+//! let rec = sampler::sample_anisotropic(&tex, Vec2::new(0.3, 0.6), &fp, AddressMode::Wrap);
+//! assert_eq!(rec.taps.len(), fp.n as usize);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod footprint;
+pub mod procedural;
+pub mod sampler;
+pub mod texel;
+pub mod texture;
+
+pub use footprint::Footprint;
+pub use sampler::{
+    sample_anisotropic, sample_bilinear, sample_nearest, sample_trilinear,
+    sample_trilinear_record, SampleRecord, Tap,
+};
+pub use texel::{Rgba8, TexelAddress};
+pub use texture::{AddressMode, MipLevel, Texture};
+
+/// Maximum anisotropic filtering level supported by the modeled texture unit.
+///
+/// The paper (Sec. II-B) notes the max AF level on contemporary GPUs permits
+/// 16 trilinear samples (128 texels) per pixel.
+pub const MAX_ANISO: u32 = 16;
+
+/// Number of texels fetched by one bilinear tap.
+pub const TEXELS_PER_BILINEAR: u32 = 4;
+
+/// Number of texels fetched by one trilinear sample (two bilinear taps on
+/// adjacent mip levels).
+pub const TEXELS_PER_TRILINEAR: u32 = 8;

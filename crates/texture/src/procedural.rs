@@ -1,0 +1,332 @@
+//! Deterministic procedural texture content.
+//!
+//! The paper evaluates on commercial game art we cannot redistribute; these
+//! generators produce content with comparable spatial-frequency structure —
+//! hard edges (checker, bricks, stripes), broadband detail (value noise),
+//! and mixed-frequency composites — so anisotropic filtering has the same
+//! visible effect (sharpness along oblique surfaces) it has on game textures.
+//!
+//! All generators are seeded and fully deterministic.
+
+use crate::texel::Rgba8;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Image tuple shared by all generators: `(width, height, texels)`.
+pub type Image = (u32, u32, Vec<Rgba8>);
+
+fn hash2(x: u32, y: u32, seed: u64) -> u64 {
+    // SplitMix64-style scramble of the coordinates; stable across platforms.
+    let mut z = (u64::from(x) << 32 | u64::from(y)) ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Two-tone checkerboard with `cell`-texel squares.
+///
+/// # Panics
+///
+/// Panics if `cell == 0` or the image is empty.
+pub fn checkerboard(width: u32, height: u32, cell: u32, seed: u64) -> Image {
+    assert!(cell > 0 && width > 0 && height > 0);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let a = Rgba8::gray(40 + rng.gen_range(0..40));
+    let b = Rgba8::gray(180 + rng.gen_range(0..60));
+    let mut data = Vec::with_capacity((width * height) as usize);
+    for y in 0..height {
+        for x in 0..width {
+            let on = ((x / cell) + (y / cell)).is_multiple_of(2);
+            data.push(if on { a } else { b });
+        }
+    }
+    (width, height, data)
+}
+
+/// Axis-aligned stripes of `period` texels along X, a worst case for
+/// anisotropic blur when viewed obliquely along the stripe direction.
+///
+/// # Panics
+///
+/// Panics if `period == 0` or the image is empty.
+pub fn stripes(width: u32, height: u32, period: u32, seed: u64) -> Image {
+    assert!(period > 0 && width > 0 && height > 0);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let a = Rgba8::rgb(
+        rng.gen_range(150..255),
+        rng.gen_range(120..200),
+        rng.gen_range(0..80),
+    );
+    let b = Rgba8::rgb(
+        rng.gen_range(0..60),
+        rng.gen_range(0..80),
+        rng.gen_range(60..160),
+    );
+    let mut data = Vec::with_capacity((width * height) as usize);
+    for _y in 0..height {
+        for x in 0..width {
+            data.push(if (x / period).is_multiple_of(2) { a } else { b });
+        }
+    }
+    (width, height, data)
+}
+
+/// Brick pattern with mortar lines: strong horizontal and vertical edges at
+/// two different frequencies, typical of game architecture textures.
+///
+/// # Panics
+///
+/// Panics if the image or brick dimensions are zero.
+pub fn bricks(width: u32, height: u32, brick_w: u32, brick_h: u32, seed: u64) -> Image {
+    assert!(brick_w > 1 && brick_h > 1 && width > 0 && height > 0);
+    let mortar = Rgba8::gray(190);
+    let mut data = Vec::with_capacity((width * height) as usize);
+    for y in 0..height {
+        for x in 0..width {
+            let row = y / brick_h;
+            // Offset every other row by half a brick.
+            let xo = x + (row % 2) * (brick_w / 2);
+            let in_mortar = xo.is_multiple_of(brick_w) || y.is_multiple_of(brick_h);
+            if in_mortar {
+                data.push(mortar);
+            } else {
+                // Per-brick tone variation.
+                let tone = hash2(xo / brick_w, row, seed) % 60;
+                data.push(Rgba8::rgb(140 + tone as u8, 60 + (tone / 2) as u8, 50));
+            }
+        }
+    }
+    (width, height, data)
+}
+
+/// Smooth value noise: `octaves` octaves of bilinearly-interpolated lattice
+/// noise. Models terrain/grass/cloud textures with broadband content.
+///
+/// # Panics
+///
+/// Panics if `octaves == 0` or the image is empty.
+pub fn value_noise(width: u32, height: u32, octaves: u32, seed: u64) -> Image {
+    assert!(octaves > 0 && width > 0 && height > 0);
+    let lattice = |x: u32, y: u32, o: u32| -> f32 {
+        (hash2(x, y, seed.wrapping_add(u64::from(o))) % 1024) as f32 / 1023.0
+    };
+    let mut data = Vec::with_capacity((width * height) as usize);
+    for y in 0..height {
+        for x in 0..width {
+            let mut v = 0.0f32;
+            let mut amp = 0.5f32;
+            let mut freq = 8.0f32;
+            for o in 0..octaves {
+                let fx = x as f32 / width as f32 * freq;
+                let fy = y as f32 / height as f32 * freq;
+                let (x0, y0) = (fx.floor() as u32, fy.floor() as u32);
+                let (tx, ty) = (fx.fract(), fy.fract());
+                let v00 = lattice(x0, y0, o);
+                let v10 = lattice(x0 + 1, y0, o);
+                let v01 = lattice(x0, y0 + 1, o);
+                let v11 = lattice(x0 + 1, y0 + 1, o);
+                let top = v00 + (v10 - v00) * tx;
+                let bot = v01 + (v11 - v01) * tx;
+                v += (top + (bot - top) * ty) * amp;
+                amp *= 0.5;
+                freq *= 2.0;
+            }
+            let g = (v.clamp(0.0, 1.0) * 255.0) as u8;
+            data.push(Rgba8::rgb(g / 2, g, g / 3)); // greenish terrain tint
+        }
+    }
+    (width, height, data)
+}
+
+/// Road texture: dark asphalt noise with a bright dashed center line — the
+/// canonical high-anisotropy surface in driving games (GRID / NFS stand-in).
+///
+/// # Panics
+///
+/// Panics if the image is empty.
+pub fn road(width: u32, height: u32, seed: u64) -> Image {
+    assert!(width > 0 && height > 0);
+    let mut data = Vec::with_capacity((width * height) as usize);
+    let line_half_width = (width / 32).max(1);
+    let dash_period = (height / 8).max(2);
+    for y in 0..height {
+        for x in 0..width {
+            let center_dist = (i64::from(x) - i64::from(width / 2)).unsigned_abs() as u32;
+            let on_line = center_dist < line_half_width && (y / dash_period).is_multiple_of(2);
+            if on_line {
+                data.push(Rgba8::rgb(230, 220, 120));
+            } else {
+                let tone = 40 + (hash2(x, y, seed) % 30) as u8;
+                data.push(Rgba8::gray(tone));
+            }
+        }
+    }
+    (width, height, data)
+}
+
+/// Text-like glyph noise: dense small rectangles of high contrast, similar in
+/// spectrum to signage/HUD textures where AF visibly preserves legibility.
+///
+/// # Panics
+///
+/// Panics if the image is empty.
+pub fn glyphs(width: u32, height: u32, seed: u64) -> Image {
+    assert!(width > 0 && height > 0);
+    let cell = 8u32;
+    let mut data = Vec::with_capacity((width * height) as usize);
+    for y in 0..height {
+        for x in 0..width {
+            let (cx, cy) = (x / cell, y / cell);
+            let bits = hash2(cx, cy, seed);
+            let (ox, oy) = (x % cell, y % cell);
+            // 5x7 pseudo-glyph inside an 8x8 cell, 1-texel margin.
+            let lit = (1..=5).contains(&ox) && (1..=7).contains(&oy) && (bits >> (ox + oy * 5)) & 1 == 1;
+            data.push(if lit { Rgba8::gray(15) } else { Rgba8::gray(235) });
+        }
+    }
+    (width, height, data)
+}
+
+/// Multi-scale plaid: square-wave grids at several octaves of period.
+///
+/// Unlike random noise — which averages to flat gray in coarse mip levels,
+/// hiding anisotropic blur from SSIM — plaid keeps strong structured
+/// contrast at *every* mip scale, so the difference between sampling at
+/// AF's fine LOD and TF's coarse LOD stays visible at every viewing
+/// distance. This is the property of real game surface detail (tiles,
+/// panels, planks) that makes AF matter perceptually.
+///
+/// # Panics
+///
+/// Panics if the image is empty.
+pub fn plaid(width: u32, height: u32, seed: u64) -> Image {
+    assert!(width > 0 && height > 0);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Two strongly contrasting tones with a seeded hue.
+    let hue: [f32; 3] = [
+        0.6 + 0.4 * (rng.gen_range(0..100) as f32 / 100.0),
+        0.6 + 0.4 * (rng.gen_range(0..100) as f32 / 100.0),
+        0.6 + 0.4 * (rng.gen_range(0..100) as f32 / 100.0),
+    ];
+    let tone = |v: f32| -> Rgba8 {
+        Rgba8::rgb(
+            (v * hue[0]).clamp(0.0, 255.0) as u8,
+            (v * hue[1]).clamp(0.0, 255.0) as u8,
+            (v * hue[2]).clamp(0.0, 255.0) as u8,
+        )
+    };
+    // Each octave is an independent random-sign cell grid at full strength;
+    // the octaves sum like a random walk (clipped to the displayable range).
+    // A box-filtered mip at level L removes the octaves finer than its texel
+    // size but the level-L image still carries the *same* per-octave
+    // amplitude at its own 1–4 texel scale — so every viewing distance sees
+    // high-contrast detail, and every extra mip of blur visibly erases one
+    // octave of it. This is the spectral shape of real game surface detail.
+    let amp = 55.0f32;
+    let mut data = Vec::with_capacity((width * height) as usize);
+    for y in 0..height {
+        for x in 0..width {
+            let mut v = 127.0f32;
+            let mut k = 0u32;
+            while (1u32 << (k + 1)) <= width.max(height) {
+                let sign = if hash2(x >> (k + 1), y >> (k + 1), seed ^ u64::from(k)) & 1 == 1 {
+                    1.0
+                } else {
+                    -1.0
+                };
+                v += sign * amp;
+                k += 1;
+            }
+            data.push(tone(v));
+        }
+    }
+    (width, height, data)
+}
+
+/// Composite "game surface": noise base with brick mid-frequencies and a few
+/// glyph decals. Used for walls and props.
+///
+/// # Panics
+///
+/// Panics if the image is empty.
+pub fn composite(width: u32, height: u32, seed: u64) -> Image {
+    let (_, _, noise) = value_noise(width, height, 3, seed);
+    let (_, _, brick) = bricks(width, height, (width / 8).max(2), (height / 16).max(2), seed ^ 0x5A5A);
+    let mut data = Vec::with_capacity((width * height) as usize);
+    for (n, b) in noise.iter().zip(&brick) {
+        data.push(Rgba8::weighted_sum(&[(*n, 0.35), (*b, 0.65)]));
+    }
+    (width, height, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn luma_variance(img: &Image) -> f32 {
+        let (_, _, data) = img;
+        let mean = data.iter().map(|t| t.luma()).sum::<f32>() / data.len() as f32;
+        data.iter().map(|t| (t.luma() - mean).powi(2)).sum::<f32>() / data.len() as f32
+    }
+
+    #[test]
+    fn generators_produce_correct_sizes() {
+        for img in [
+            checkerboard(32, 16, 4, 1),
+            stripes(32, 16, 4, 1),
+            bricks(32, 16, 8, 4, 1),
+            value_noise(32, 16, 3, 1),
+            road(32, 16, 1),
+            glyphs(32, 16, 1),
+            composite(32, 16, 1),
+        ] {
+            assert_eq!(img.0, 32);
+            assert_eq!(img.1, 16);
+            assert_eq!(img.2.len(), 32 * 16);
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(checkerboard(16, 16, 2, 42), checkerboard(16, 16, 2, 42));
+        assert_eq!(value_noise(16, 16, 4, 42), value_noise(16, 16, 4, 42));
+        assert_eq!(composite(16, 16, 42), composite(16, 16, 42));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(value_noise(16, 16, 4, 1).2, value_noise(16, 16, 4, 2).2);
+        assert_ne!(glyphs(16, 16, 1).2, glyphs(16, 16, 2).2);
+    }
+
+    #[test]
+    fn checkerboard_alternates() {
+        let (_, _, data) = checkerboard(8, 8, 1, 0);
+        assert_ne!(data[0], data[1]);
+        assert_eq!(data[0], data[2]);
+    }
+
+    #[test]
+    fn all_textures_have_contrast() {
+        // AF only matters on content with spatial variation.
+        for (name, img) in [
+            ("checker", checkerboard(64, 64, 4, 1)),
+            ("stripes", stripes(64, 64, 4, 1)),
+            ("bricks", bricks(64, 64, 16, 8, 1)),
+            ("noise", value_noise(64, 64, 4, 1)),
+            ("road", road(64, 64, 1)),
+            ("glyphs", glyphs(64, 64, 1)),
+            ("composite", composite(64, 64, 1)),
+        ] {
+            assert!(luma_variance(&img) > 50.0, "{name} too flat");
+        }
+    }
+
+    #[test]
+    fn road_has_bright_center_line() {
+        let (w, _, data) = road(64, 64, 3);
+        let center = data[(w / 2) as usize];
+        let edge = data[0];
+        assert!(center.luma() > edge.luma());
+    }
+}

@@ -1,0 +1,43 @@
+//! Adaptive threshold control: a proportional controller retunes PATU's
+//! threshold each frame to hold a frame-cycle budget — trading exactly as
+//! much quality as the scene demands, no more (extension of the paper's
+//! static tuning-point analysis, Sec. VII-A/D).
+//!
+//! Run with: `cargo run --release -p patu-sim --example adaptive_threshold`
+
+use patu_core::FilterPolicy;
+use patu_scenes::Workload;
+use patu_sim::controller::ThresholdController;
+use patu_sim::render::{render_frame, RenderConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = Workload::build("grid", (480, 384))?;
+
+    // Budget: 85% of what the full-AF baseline needs on frame 0, so the
+    // controller must give up a little quality to hold it.
+    let baseline = render_frame(&workload, 0, &RenderConfig::new(FilterPolicy::Baseline));
+    let budget = baseline.stats.cycles * 85 / 100;
+    let mut controller = ThresholdController::new(budget, 1.0).with_bounds(0.05, 1.0);
+
+    println!("frame budget: {budget} cycles (baseline frame 0: {})\n", baseline.stats.cycles);
+    println!("{:>6} {:>10} {:>12} {:>10} {:>14}", "frame", "theta", "cycles", "vs budget", "approximated");
+    for i in 0..12u32 {
+        let theta = controller.threshold();
+        let r = render_frame(
+            &workload,
+            i * 10,
+            &RenderConfig::new(FilterPolicy::Patu { threshold: theta }),
+        );
+        controller.observe(r.stats.cycles);
+        println!(
+            "{:>6} {:>10.3} {:>12} {:>+9.1}% {:>13.1}%",
+            i,
+            theta,
+            r.stats.cycles,
+            (r.stats.cycles as f64 / budget as f64 - 1.0) * 100.0,
+            r.approx.approximated_fraction() * 100.0,
+        );
+    }
+    println!("\nsettled threshold: {:.3}", controller.threshold());
+    Ok(())
+}

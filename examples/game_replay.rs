@@ -1,0 +1,76 @@
+//! The paper's Sec. VI analysis-layer replay: renders a short frame
+//! sequence under several policies, plays it through the 60 Hz vsync model,
+//! and scores each replay with the synthetic satisfaction model (Fig. 22's
+//! substitute — see DESIGN.md §2).
+//!
+//! Run with: `cargo run --release -p patu-sim --example game_replay`
+
+use patu_core::FilterPolicy;
+use patu_quality::SsimConfig;
+use patu_scenes::Workload;
+use patu_sim::render::{render_frame, RenderConfig};
+use patu_sim::replay::ReplayModel;
+use patu_sim::satisfaction::SatisfactionModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let resolution = (480, 384);
+    let workload = Workload::build("doom3", resolution)?;
+    let frames: Vec<u32> = (0..8).map(|i| i * 40).collect();
+    let replay = ReplayModel::default();
+    let rater = SatisfactionModel::default();
+    let ssim = SsimConfig::default();
+
+    println!(
+        "replaying {} frames of doom3 @ {}x{} through 60 Hz vsync...\n",
+        frames.len(),
+        resolution.0,
+        resolution.1
+    );
+
+    // Baseline renders for quality reference.
+    let baseline: Vec<_> = frames
+        .iter()
+        .map(|&f| render_frame(&workload, f, &RenderConfig::new(FilterPolicy::Baseline)))
+        .collect();
+
+    println!(
+        "{:<18} {:>8} {:>8} {:>8} {:>12}",
+        "policy", "fps", "stalls", "MSSIM", "satisfaction"
+    );
+    for (label, policy) in [
+        ("AF off (θ=0)", FilterPolicy::NoAf),
+        ("PATU θ=0.2", FilterPolicy::Patu { threshold: 0.2 }),
+        ("PATU θ=0.4", FilterPolicy::Patu { threshold: 0.4 }),
+        ("PATU θ=0.8", FilterPolicy::Patu { threshold: 0.8 }),
+        ("AF on (θ=1)", FilterPolicy::Baseline),
+    ] {
+        let mut cycles = Vec::new();
+        let mut mssim_sum = 0.0;
+        for (i, &f) in frames.iter().enumerate() {
+            let r = if matches!(policy, FilterPolicy::Baseline) {
+                baseline[i].clone()
+            } else {
+                render_frame(&workload, f, &RenderConfig::new(policy))
+            };
+            mssim_sum += if matches!(policy, FilterPolicy::Baseline) {
+                1.0
+            } else {
+                f64::from(ssim.mssim(&baseline[i].luma(), &r.luma()))
+            };
+            cycles.push(r.stats.cycles);
+        }
+        let mssim = mssim_sum / frames.len() as f64;
+        let result = replay.replay(&cycles);
+        let fps = result.average_fps(replay.refresh_hz);
+        let score = rater.score(
+            mssim,
+            fps,
+            u64::from(resolution.0) * u64::from(resolution.1),
+        );
+        println!(
+            "{:<18} {:>8.1} {:>8} {:>8.3} {:>12.2}",
+            label, fps, result.stalled_refreshes, mssim, score
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! Quickstart: render one game frame with and without PATU and compare
+//! performance, energy, memory traffic and perceived quality.
+//!
+//! Run with: `cargo run --release -p patu-sim --example quickstart`
+
+use patu_core::FilterPolicy;
+use patu_energy::EnergyModel;
+use patu_quality::SsimConfig;
+use patu_scenes::Workload;
+use patu_sim::render::{render_frame, RenderConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A Doom3-style corridor at a quick-to-simulate resolution.
+    let workload = Workload::build("doom3", (640, 480))?;
+    let energy = EnergyModel::default();
+
+    println!("rendering doom3 @ 640x480 under three filtering policies...\n");
+    let policies = [
+        ("Baseline 16xAF", FilterPolicy::Baseline),
+        ("AF disabled", FilterPolicy::NoAf),
+        ("PATU (threshold 0.4)", FilterPolicy::Patu { threshold: 0.4 }),
+    ];
+
+    let baseline = render_frame(&workload, 0, &RenderConfig::new(FilterPolicy::Baseline));
+    let baseline_luma = baseline.luma();
+    let ssim = SsimConfig::default();
+
+    println!(
+        "{:<22} {:>12} {:>9} {:>12} {:>11} {:>8}",
+        "policy", "cycles", "speedup", "texels", "energy(mJ)", "MSSIM"
+    );
+    for (label, policy) in policies {
+        let result = render_frame(&workload, 0, &RenderConfig::new(policy));
+        let e = energy.frame_energy(&result.stats).total_joules() * 1e3;
+        let mssim = if matches!(policy, FilterPolicy::Baseline) {
+            1.0
+        } else {
+            f64::from(ssim.mssim(&baseline_luma, &result.luma()))
+        };
+        println!(
+            "{:<22} {:>12} {:>8.2}x {:>12} {:>11.3} {:>8.3}",
+            label,
+            result.stats.cycles,
+            baseline.stats.cycles as f64 / result.stats.cycles as f64,
+            result.stats.events.texel_fetches,
+            e,
+            mssim,
+        );
+    }
+
+    let patu = render_frame(
+        &workload,
+        0,
+        &RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 }),
+    );
+    println!("\nPATU decision breakdown:");
+    println!("  pixels decided:        {}", patu.approx.pixels);
+    println!("  isotropic (no AF):     {}", patu.approx.isotropic);
+    println!("  approximated stage 1:  {}", patu.approx.stage1_approx);
+    println!("  approximated stage 2:  {}", patu.approx.stage2_approx);
+    println!("  kept full AF:          {}", patu.approx.kept_af);
+    println!(
+        "  quad divergence:       {:.2}%",
+        patu.divergence.divergence_fraction() * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,36 @@
+//! Explores PATU's performance–quality tuning space (the paper's Fig. 17)
+//! on one workload: speedup and MSSIM at each threshold, and the Best Point
+//! maximizing speedup × MSSIM.
+//!
+//! Run with: `cargo run --release -p patu-sim --example threshold_tuning [game]`
+
+use patu_scenes::Workload;
+use patu_sim::experiment::{best_point, threshold_sweep, ExperimentConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let game = std::env::args().nth(1).unwrap_or_else(|| "grid".to_string());
+    let workload = Workload::build(&game, (480, 384))?;
+    let cfg = ExperimentConfig { frames: 2, frame_stride: 200, ..Default::default() };
+
+    println!("threshold sweep on {game} @ 480x384 ({} frames)...\n", cfg.frames);
+    let thresholds: Vec<f64> = (0..=10).map(|i| f64::from(i) / 10.0).collect();
+    let (baseline, sweep) = threshold_sweep(&workload, &thresholds, &cfg);
+
+    println!(
+        "{:>9} {:>9} {:>8} {:>15}",
+        "threshold", "speedup", "MSSIM", "speedup*MSSIM"
+    );
+    for (t, r) in &sweep {
+        println!(
+            "{:>9.1} {:>8.3}x {:>8.3} {:>15.3}",
+            t,
+            r.speedup_vs(&baseline),
+            r.mssim,
+            r.tuning_metric(&baseline)
+        );
+    }
+
+    let bp = best_point(&baseline, &sweep);
+    println!("\nBest Point (max speedup x MSSIM): threshold = {bp:.1}");
+    Ok(())
+}

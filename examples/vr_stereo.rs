@@ -1,0 +1,60 @@
+//! Stereo (multi-view VR) rendering: one frame rendered for both eyes,
+//! comparing the baseline 16×AF against PATU. AF's texel cost doubles under
+//! VR, which is exactly the regime the paper motivates PATU with.
+//!
+//! Run with: `cargo run --release -p patu-sim --example vr_stereo`
+
+use patu_core::FilterPolicy;
+use patu_energy::EnergyModel;
+use patu_gpu::GpuConfig;
+use patu_scenes::Workload;
+use patu_sim::render::RenderConfig;
+use patu_sim::stereo::render_stereo;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = Workload::build("doom3", (480, 480))?;
+    let energy = EnergyModel::default();
+    let freq = GpuConfig::default().frequency_hz;
+    const IPD: f32 = 0.35; // world units; the corridor is ~8 units wide
+
+    println!("VR stereo rendering of doom3 @ 480x480 per eye...\n");
+    println!(
+        "{:<22} {:>14} {:>9} {:>12} {:>11}",
+        "policy", "cycles (2 eyes)", "fps", "texels", "energy(mJ)"
+    );
+
+    let mut baseline_cycles = 0;
+    for (label, policy) in [
+        ("Baseline 16xAF", FilterPolicy::Baseline),
+        ("PATU (threshold 0.4)", FilterPolicy::Patu { threshold: 0.4 }),
+    ] {
+        let s = render_stereo(&workload, 0, &RenderConfig::new(policy), IPD);
+        let stats = s.combined_stats();
+        if baseline_cycles == 0 {
+            baseline_cycles = stats.cycles;
+        }
+        let e = energy.frame_energy(&stats).total_joules() * 1e3;
+        println!(
+            "{:<22} {:>14} {:>9.1} {:>12} {:>11.3}",
+            label,
+            stats.cycles,
+            stats.fps(freq),
+            stats.events.texel_fetches,
+            e
+        );
+    }
+
+    let patu = render_stereo(
+        &workload,
+        0,
+        &RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 }),
+        IPD,
+    );
+    println!(
+        "\nVR speedup from PATU: {:.2}x (per-eye approximation rates: L {:.0}%, R {:.0}%)",
+        baseline_cycles as f64 / patu.combined_stats().cycles as f64,
+        patu.left.approx.approximated_fraction() * 100.0,
+        patu.right.approx.approximated_fraction() * 100.0,
+    );
+    Ok(())
+}

@@ -1,0 +1,153 @@
+//! Failure injection: degenerate and adversarial inputs must not crash the
+//! pipeline or corrupt its accounting.
+
+use patu_core::FilterPolicy;
+use patu_gmath::{Vec2, Vec3};
+use patu_raster::{Camera, Mesh, Pipeline, Vertex};
+use patu_scenes::Workload;
+use patu_sim::render::{render_frame, RenderConfig};
+use patu_texture::{sample_anisotropic, AddressMode, Footprint, Rgba8, Texture};
+
+fn camera() -> Camera {
+    Camera::new(Vec3::new(0.0, 1.0, 0.0), Vec3::new(0.0, 1.0, -10.0), 1.0, 1.0)
+}
+
+#[test]
+fn zero_area_triangle_is_skipped() {
+    let degenerate = Mesh::new(
+        vec![
+            Vertex::new(Vec3::new(0.0, 0.0, -5.0), Vec2::ZERO),
+            Vertex::new(Vec3::new(0.0, 0.0, -5.0), Vec2::ZERO),
+            Vertex::new(Vec3::new(1.0, 1.0, -5.0), Vec2::ONE),
+        ],
+        vec![[0, 1, 2]],
+        0,
+    );
+    let out = Pipeline::new(64, 64).run(&[degenerate], &camera());
+    assert_eq!(out.stats.fragments_shaded, 0);
+}
+
+#[test]
+fn collinear_triangle_is_skipped() {
+    let collinear = Mesh::new(
+        vec![
+            Vertex::new(Vec3::new(-1.0, 1.0, -5.0), Vec2::ZERO),
+            Vertex::new(Vec3::new(0.0, 1.0, -5.0), Vec2::new(0.5, 0.5)),
+            Vertex::new(Vec3::new(1.0, 1.0, -5.0), Vec2::ONE),
+        ],
+        vec![[0, 1, 2]],
+        0,
+    );
+    let out = Pipeline::new(64, 64).run(&[collinear], &camera());
+    assert_eq!(out.stats.fragments_shaded, 0);
+}
+
+#[test]
+fn triangle_through_camera_plane_clips_cleanly() {
+    // One vertex behind the eye: near-plane clipping must handle it.
+    let through = Mesh::new(
+        vec![
+            Vertex::new(Vec3::new(0.0, 1.0, 5.0), Vec2::ZERO), // behind the camera
+            Vertex::new(Vec3::new(-3.0, 1.0, -20.0), Vec2::new(0.0, 1.0)),
+            Vertex::new(Vec3::new(3.0, 1.0, -20.0), Vec2::new(1.0, 1.0)),
+        ],
+        vec![[0, 1, 2]],
+        0,
+    );
+    let out = Pipeline::new(64, 64).run(&[through], &camera());
+    // The visible part renders; no panics, no NaN UVs.
+    for f in out.fragments() {
+        assert!(f.uv.x.is_finite() && f.uv.y.is_finite());
+        assert!(f.duv_dx.x.is_finite() && f.duv_dy.y.is_finite());
+    }
+}
+
+#[test]
+fn nan_derivatives_degrade_to_isotropic() {
+    let fp = Footprint::from_derivatives(
+        Vec2::new(f32::NAN, f32::NAN),
+        Vec2::new(f32::INFINITY, -f32::INFINITY),
+        128,
+        128,
+        16,
+    );
+    assert_eq!(fp.n, 1);
+    assert!(fp.tf_lod.is_finite() && fp.af_lod.is_finite());
+}
+
+#[test]
+fn sampling_far_outside_unit_uv_is_safe() {
+    let tex = Texture::with_mips((64, 64, vec![Rgba8::WHITE; 64 * 64]), 0);
+    let fp = Footprint::from_derivatives(
+        Vec2::new(8.0 / 64.0, 0.0),
+        Vec2::new(0.0, 1.0 / 64.0),
+        64,
+        64,
+        16,
+    );
+    for mode in [AddressMode::Wrap, AddressMode::Clamp, AddressMode::Mirror] {
+        for uv in [
+            Vec2::new(-1000.0, 1000.0),
+            Vec2::new(1e6, -1e6),
+            Vec2::new(f32::MIN_POSITIVE, 0.999_999),
+        ] {
+            let rec = sample_anisotropic(&tex, uv, &fp, mode);
+            assert_eq!(rec.color, Rgba8::WHITE, "flat texture stays flat");
+        }
+    }
+}
+
+#[test]
+fn empty_frame_renders_without_work() {
+    // A workload frame index far along the loop still renders; and an empty
+    // mesh list produces an empty, consistent result.
+    let out = Pipeline::new(32, 32).run(&[], &camera());
+    assert_eq!(out.stats.fragments_generated, 0);
+    assert!(out.tiles.is_empty());
+}
+
+#[test]
+fn extreme_threshold_values_are_exact_bounds() {
+    let w = Workload::build("wolf", (96, 64)).unwrap();
+    // θ exactly 0 and exactly 1 are legal and behave like the fixed policies
+    // in terms of texel work direction.
+    let lo = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Patu { threshold: 0.0 }));
+    let hi = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Patu { threshold: 1.0 }));
+    assert!(lo.stats.events.texel_fetches <= hi.stats.events.texel_fetches);
+}
+
+#[test]
+fn tiny_viewport_still_renders() {
+    let w = Workload::build("doom3", (16, 16)).unwrap();
+    let r = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 }));
+    assert!(r.stats.filter_requests > 0);
+    assert_eq!(r.image.width(), 16);
+}
+
+#[test]
+fn single_pixel_tiles_work() {
+    // Tile size 1 is degenerate but legal.
+    let w = Workload::build("wolf", (32, 32)).unwrap();
+    let gpu = patu_gpu::GpuConfig { tile_size: 1, ..patu_gpu::GpuConfig::default() };
+    let r = render_frame(
+        &w,
+        0,
+        &RenderConfig::new(FilterPolicy::Baseline).with_gpu(gpu),
+    );
+    assert!(r.stats.filter_requests > 0);
+}
+
+#[test]
+fn huge_anisotropy_is_clamped_not_unbounded() {
+    let tex = Texture::with_mips((256, 256, vec![Rgba8::WHITE; 256 * 256]), 0);
+    let fp = Footprint::from_derivatives(
+        Vec2::new(10_000.0 / 256.0, 0.0),
+        Vec2::new(0.0, 0.0001 / 256.0),
+        256,
+        256,
+        16,
+    );
+    assert_eq!(fp.n, 16, "clamped to the max AF level");
+    let rec = sample_anisotropic(&tex, Vec2::new(0.5, 0.5), &fp, AddressMode::Wrap);
+    assert_eq!(rec.taps.len(), 16);
+}

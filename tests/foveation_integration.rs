@@ -1,0 +1,69 @@
+//! Integration tests for the foveated-threshold and stereo VR extensions.
+
+use patu_core::FilterPolicy;
+use patu_gmath::Vec2;
+use patu_scenes::Workload;
+use patu_sim::foveation::Foveation;
+use patu_sim::render::{render_frame, RenderConfig};
+use patu_sim::stereo::render_stereo;
+
+const RES: (u32, u32) = (224, 160);
+
+#[test]
+fn foveation_increases_approximation_coverage() {
+    let w = Workload::build("grid", RES).unwrap();
+    let base_cfg = RenderConfig::new(FilterPolicy::Patu { threshold: 0.6 });
+    let fov_cfg = base_cfg.with_foveation(Foveation::default());
+    let plain = render_frame(&w, 0, &base_cfg);
+    let foveated = render_frame(&w, 0, &fov_cfg);
+    // Peripheral thresholds loosen, so more pixels approximate and fewer
+    // texels are fetched; the foveal region keeps the base threshold.
+    assert!(
+        foveated.approx.approximated_fraction() >= plain.approx.approximated_fraction(),
+        "foveation must not approximate less: {} vs {}",
+        foveated.approx.approximated_fraction(),
+        plain.approx.approximated_fraction()
+    );
+    assert!(foveated.stats.events.texel_fetches <= plain.stats.events.texel_fetches);
+}
+
+#[test]
+fn foveation_noop_for_fixed_policies() {
+    let w = Workload::build("wolf", RES).unwrap();
+    let plain = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Baseline));
+    let foveated = render_frame(
+        &w,
+        0,
+        &RenderConfig::new(FilterPolicy::Baseline).with_foveation(Foveation::default()),
+    );
+    assert_eq!(plain.image.pixels(), foveated.image.pixels());
+    assert_eq!(plain.stats.events.texel_fetches, foveated.stats.events.texel_fetches);
+}
+
+#[test]
+fn tight_fovea_approximates_more_than_wide() {
+    let w = Workload::build("doom3", RES).unwrap();
+    let policy = FilterPolicy::Patu { threshold: 0.8 };
+    let wide = Foveation { inner_radius: 0.45, outer_radius: 0.9, ..Foveation::default() };
+    let tight = Foveation { inner_radius: 0.05, outer_radius: 0.3, ..Foveation::default() };
+    let r_wide =
+        render_frame(&w, 0, &RenderConfig::new(policy).with_foveation(wide));
+    let r_tight =
+        render_frame(&w, 0, &RenderConfig::new(policy).with_foveation(tight));
+    assert!(
+        r_tight.stats.events.texel_fetches <= r_wide.stats.events.texel_fetches,
+        "smaller fovea -> more periphery -> fewer texels"
+    );
+}
+
+#[test]
+fn foveated_stereo_composes() {
+    // The VR path with per-eye foveation around each eye's screen center.
+    let w = Workload::build("doom3", RES).unwrap();
+    let cfg = RenderConfig::new(FilterPolicy::Patu { threshold: 0.6 })
+        .with_foveation(Foveation { center: Vec2::new(0.5, 0.5), ..Foveation::default() });
+    let s = render_stereo(&w, 0, &cfg, 0.3);
+    assert!(s.left.approx.pixels > 0);
+    assert!(s.right.approx.pixels > 0);
+    assert!(s.combined_stats().cycles > 0);
+}
