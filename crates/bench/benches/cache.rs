@@ -1,44 +1,35 @@
 //! Texture cache model throughput under streaming and reuse patterns.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use patu_bench::micro;
 use patu_gpu::{Cache, GpuConfig};
 use patu_texture::TexelAddress;
 use std::hint::black_box;
 
-fn bench_cache(c: &mut Criterion) {
+fn main() {
     let cfg = GpuConfig::default();
-    let mut group = c.benchmark_group("cache");
+    let group = micro::group("cache");
 
     // Streaming: every access a new line.
-    group.bench_function("l1_streaming_4k_accesses", |b| {
-        b.iter_batched(
-            || Cache::new(cfg.tex_l1_bytes, cfg.tex_l1_ways, cfg.cache_line_bytes),
-            |mut cache| {
-                for i in 0..4096u64 {
-                    cache.access(black_box(TexelAddress::new(i * 64)));
-                }
-                cache.stats().hits
-            },
-            BatchSize::SmallInput,
-        )
-    });
+    group.bench_batched(
+        "l1_streaming_4k_accesses",
+        || Cache::new(cfg.tex_l1_bytes, cfg.tex_l1_ways, cfg.cache_line_bytes),
+        |mut cache| {
+            for i in 0..4096u64 {
+                cache.access(black_box(TexelAddress::new(i * 64)));
+            }
+            cache.stats().hits
+        },
+    );
 
     // Reuse: a texture-tile-like working set re-touched repeatedly.
-    group.bench_function("l1_reuse_4k_accesses", |b| {
-        b.iter_batched(
-            || Cache::new(cfg.tex_l1_bytes, cfg.tex_l1_ways, cfg.cache_line_bytes),
-            |mut cache| {
-                for i in 0..4096u64 {
-                    cache.access(black_box(TexelAddress::new((i % 128) * 64)));
-                }
-                cache.stats().hits
-            },
-            BatchSize::SmallInput,
-        )
-    });
-
-    group.finish();
+    group.bench_batched(
+        "l1_reuse_4k_accesses",
+        || Cache::new(cfg.tex_l1_bytes, cfg.tex_l1_ways, cfg.cache_line_bytes),
+        |mut cache| {
+            for i in 0..4096u64 {
+                cache.access(black_box(TexelAddress::new((i % 128) * 64)));
+            }
+            cache.stats().hits
+        },
+    );
 }
-
-criterion_group!(benches, bench_cache);
-criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Filtering-throughput microbenchmarks: trilinear vs. anisotropic vs. the
 //! PATU-demoted path.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use patu_bench::micro;
 use patu_core::{FilterPolicy, PerceptionAwareTextureUnit};
 use patu_gmath::Vec2;
 use patu_texture::{
@@ -23,33 +23,26 @@ fn footprint(n_texels: f32) -> Footprint {
     )
 }
 
-fn bench_filtering(c: &mut Criterion) {
+fn main() {
     let tex = texture();
     let uv = Vec2::new(0.37, 0.61);
-    let mut group = c.benchmark_group("filtering");
+    let group = micro::group("filtering");
 
-    group.bench_function("trilinear", |b| {
-        b.iter(|| sample_trilinear_record(&tex, black_box(uv), 1.5, AddressMode::Wrap))
+    group.bench("trilinear", || {
+        sample_trilinear_record(&tex, black_box(uv), 1.5, AddressMode::Wrap)
     });
 
     for n in [4.0f32, 8.0, 16.0] {
         let fp = footprint(n);
-        group.bench_function(format!("anisotropic_n{}", fp.n), |b| {
-            b.iter(|| sample_anisotropic(&tex, black_box(uv), &fp, AddressMode::Wrap))
+        group.bench(&format!("anisotropic_n{}", fp.n), || {
+            sample_anisotropic(&tex, black_box(uv), &fp, AddressMode::Wrap)
         });
     }
 
     let fp = footprint(8.0);
-    group.bench_function("patu_decide_and_filter_n8", |b| {
-        b.iter_batched(
-            || PerceptionAwareTextureUnit::new(FilterPolicy::Patu { threshold: 0.4 }),
-            |mut unit| unit.filter(&tex, black_box(uv), &fp, AddressMode::Wrap),
-            BatchSize::SmallInput,
-        )
-    });
-
-    group.finish();
+    group.bench_batched(
+        "patu_decide_and_filter_n8",
+        || PerceptionAwareTextureUnit::new(FilterPolicy::Patu { threshold: 0.4 }),
+        |mut unit| unit.filter(&tex, black_box(uv), &fp, AddressMode::Wrap),
+    );
 }
-
-criterion_group!(benches, bench_filtering);
-criterion_main!(benches);

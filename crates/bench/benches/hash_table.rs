@@ -1,6 +1,6 @@
 //! Texel-address hash table (PATU component ②) insert/readout costs.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use patu_bench::micro;
 use patu_core::TexelAddressTable;
 use patu_texture::TexelAddress;
 use std::hint::black_box;
@@ -9,29 +9,18 @@ fn tap_set(base: u64) -> Vec<TexelAddress> {
     (0..8).map(|i| TexelAddress::new(base + i * 4)).collect()
 }
 
-fn bench_hash_table(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hash_table");
+fn main() {
+    let group = micro::group("hash_table");
 
     let shared: Vec<Vec<TexelAddress>> = (0..16).map(|_| tap_set(0)).collect();
     let distinct: Vec<Vec<TexelAddress>> = (0..16u64).map(|i| tap_set(i * 0x100)).collect();
 
     for (name, sets) in [("16_shared_taps", &shared), ("16_distinct_taps", &distinct)] {
-        group.bench_function(name.to_string(), |b| {
-            b.iter_batched(
-                TexelAddressTable::new,
-                |mut table| {
-                    for s in sets {
-                        table.insert(black_box(s));
-                    }
-                    table.probability_vector()
-                },
-                BatchSize::SmallInput,
-            )
+        group.bench_batched(name, TexelAddressTable::new, |mut table| {
+            for s in sets {
+                table.insert(black_box(s));
+            }
+            table.probability_vector()
         });
     }
-
-    group.finish();
 }
-
-criterion_group!(benches, bench_hash_table);
-criterion_main!(benches);

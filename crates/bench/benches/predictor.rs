@@ -1,6 +1,6 @@
 //! AF-SSIM predictor cost: the compute PATU adds per pixel.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use patu_bench::micro;
 use patu_core::{af_ssim_n, af_ssim_txds, entropy, txds, FilterPolicy, TexelAddressTable};
 use patu_gmath::Vec2;
 use patu_texture::{Footprint, TexelAddress};
@@ -10,16 +10,14 @@ fn tap_set(base: u64) -> Vec<TexelAddress> {
     (0..8).map(|i| TexelAddress::new(base + i * 4)).collect()
 }
 
-fn bench_predictor(c: &mut Criterion) {
-    let mut group = c.benchmark_group("predictor");
+fn main() {
+    let group = micro::group("predictor");
 
-    group.bench_function("af_ssim_n", |b| b.iter(|| af_ssim_n(black_box(8))));
+    group.bench("af_ssim_n", || af_ssim_n(black_box(8)));
 
     let p = [0.6, 0.2, 0.2];
-    group.bench_function("entropy", |b| b.iter(|| entropy(black_box(&p))));
-    group.bench_function("txds_plus_afssim", |b| {
-        b.iter(|| af_ssim_txds(txds(black_box(&p), 5)))
-    });
+    group.bench("entropy", || entropy(black_box(&p)));
+    group.bench("txds_plus_afssim", || af_ssim_txds(txds(black_box(&p), 5)));
 
     let fp = Footprint::from_derivatives(
         Vec2::new(8.0 / 512.0, 0.0),
@@ -29,14 +27,9 @@ fn bench_predictor(c: &mut Criterion) {
         16,
     );
     let sets: Vec<Vec<TexelAddress>> = (0..8).map(|i| tap_set((i % 3) * 0x100)).collect();
-    group.bench_function("full_two_stage_decision", |b| {
-        let mut table = TexelAddressTable::new();
-        let policy = FilterPolicy::Patu { threshold: 0.4 };
-        b.iter(|| policy.decide(black_box(&fp), &mut table, || sets.clone()))
+    let mut table = TexelAddressTable::new();
+    let policy = FilterPolicy::Patu { threshold: 0.4 };
+    group.bench("full_two_stage_decision", || {
+        policy.decide(black_box(&fp), &mut table, || sets.clone())
     });
-
-    group.finish();
 }
-
-criterion_group!(benches, bench_predictor);
-criterion_main!(benches);

@@ -1,23 +1,18 @@
 //! Rasterization pipeline throughput.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use patu_bench::micro;
 use patu_raster::Pipeline;
 use patu_scenes::Workload;
 use std::hint::black_box;
 
-fn bench_raster(c: &mut Criterion) {
-    let mut group = c.benchmark_group("raster");
-    group.sample_size(20);
+fn main() {
+    let group = micro::group("raster");
     for (game, res) in [("doom3", (320u32, 256u32)), ("grid", (320, 256))] {
         let workload = Workload::build(game, res).expect("known game");
         let frame = workload.frame(0);
         let pipeline = Pipeline::new(res.0, res.1);
-        group.bench_function(format!("{game}_{}x{}", res.0, res.1), |b| {
-            b.iter(|| pipeline.run(black_box(&frame.meshes), &frame.camera))
+        group.bench(&format!("{game}_{}x{}", res.0, res.1), || {
+            pipeline.run(black_box(&frame.meshes), &frame.camera)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_raster);
-criterion_main!(benches);

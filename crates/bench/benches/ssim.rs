@@ -1,6 +1,6 @@
 //! SSIM analyzer throughput (the analysis layer's dominant cost).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use patu_bench::micro;
 use patu_quality::{GrayImage, SsimConfig};
 use std::hint::black_box;
 
@@ -11,22 +11,18 @@ fn gradient(width: u32, height: u32, phase: u32) -> GrayImage {
     GrayImage::new(width, height, data)
 }
 
-fn bench_ssim(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ssim");
+fn main() {
+    let group = micro::group("ssim");
     for size in [128u32, 256, 512] {
         let a = gradient(size, size, 0);
         let b = gradient(size, size, 11);
-        group.bench_function(format!("mssim_{size}x{size}"), |bch| {
-            bch.iter(|| SsimConfig::default().mssim(black_box(&a), black_box(&b)))
+        group.bench(&format!("mssim_{size}x{size}"), || {
+            SsimConfig::default().mssim(black_box(&a), black_box(&b))
         });
     }
     let a = gradient(256, 256, 0);
     let b = gradient(256, 256, 11);
-    group.bench_function("full_map_256", |bch| {
-        bch.iter(|| SsimConfig::default().ssim_map(black_box(&a), black_box(&b)))
+    group.bench("full_map_256", || {
+        SsimConfig::default().ssim_map(black_box(&a), black_box(&b))
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_ssim);
-criterion_main!(benches);

@@ -21,7 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (mut sum_bp, mut sum_uni, mut games) = (0.0f64, 0.0f64, 0.0f64);
     for spec in default_specs() {
         let workload = Workload::build(spec.name, opts.resolution(&spec))?;
-        let (baseline, sweep) = threshold_sweep(&workload, &thresholds, &opts.experiment());
+        let (baseline, sweep) = threshold_sweep(&workload, &thresholds, &opts.experiment())?;
         let bp = best_point(&baseline, &sweep);
         let at = |t: f64| {
             sweep

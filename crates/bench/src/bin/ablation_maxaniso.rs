@@ -23,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workload = Workload::build(spec.name, opts.resolution(&spec))?;
 
     // Reference: full 16x AF.
-    let reference = render_frame(&workload, 0, &RenderConfig::new(FilterPolicy::Baseline));
+    let reference = render_frame(&workload, 0, &RenderConfig::new(FilterPolicy::Baseline))?;
     let ref_luma = reference.luma();
     let ssim = SsimConfig::default();
 
@@ -37,7 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &workload,
             0,
             &RenderConfig::new(FilterPolicy::Baseline).with_gpu(gpu),
-        );
+        )?;
         let mssim = if max_aniso == 16 {
             1.0
         } else {
@@ -55,7 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &workload,
         0,
         &RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 }),
-    );
+    )?;
     println!(
         "{:<22} {:>12} {:>8.3}x {:>8.3}",
         "PATU θ=0.4 (16x cap)",

@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let workload = Workload::build(spec.name, opts.resolution(&spec))?;
             let cfg = RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 })
                 .with_hash_table_capacity(capacity);
-            let r = render_frame(&workload, 0, &cfg);
+            let r = render_frame(&workload, 0, &cfg)?;
             cycles += r.stats.cycles;
             stage2 += r.approx.stage2_approx;
             kept += r.approx.kept_af;

@@ -35,7 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             FilterPolicy::Patu { threshold: 0.1 },
             FilterPolicy::NoAf,
         ] {
-            row.push(temporal_stability(&workload, policy, &frames, &cfg));
+            row.push(temporal_stability(&workload, policy, &frames, &cfg)?);
         }
         println!(
             "{:<12} {:>10.4} {:>10.4} {:>10.4} {:>10.4}",

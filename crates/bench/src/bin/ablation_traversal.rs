@@ -21,12 +21,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (mut rows, mut morts) = (0u64, 0u64);
     for spec in default_specs() {
         let workload = Workload::build(spec.name, opts.resolution(&spec))?;
-        let row = render_frame(&workload, 0, &RenderConfig::new(FilterPolicy::Baseline));
+        let row = render_frame(&workload, 0, &RenderConfig::new(FilterPolicy::Baseline))?;
         let mort = render_frame(
             &workload,
             0,
             &RenderConfig::new(FilterPolicy::Baseline).with_traversal(TraversalOrder::Morton),
-        );
+        )?;
         println!(
             "{:<16} {:>13} {:>13} {:>16} {:>16}",
             spec.label(),

@@ -6,12 +6,12 @@ use patu_core::FilterPolicy;
 use patu_scenes::Workload;
 use patu_sim::render::{render_frame, RenderConfig};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     for name in ["hl2", "doom3", "grid", "nfs", "stal", "ut3", "wolf"] {
         let res = if name == "wolf" { (320, 240) } else { (640, 512) };
         let w = Workload::build(name, res).unwrap();
-        let base = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Baseline));
-        let noaf = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::NoAf));
+        let base = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Baseline))?;
+        let noaf = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::NoAf))?;
         let e = &base.stats.events;
         let n_avg = e.trilinear_ops as f64 / base.stats.filter_requests as f64;
         println!(
@@ -27,4 +27,5 @@ fn main() {
             noaf.stats.events.texel_fetches as f64 / e.texel_fetches as f64,
         );
     }
+    Ok(())
 }

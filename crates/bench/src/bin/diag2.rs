@@ -8,12 +8,12 @@ use patu_sim::render::{render_frame, RenderConfig};
 use patu_texture::{Footprint, MAX_ANISO};
 use patu_raster::Pipeline;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     for name in ["doom3", "grid", "stal"] {
         let res = (640, 512);
         let w = Workload::build(name, res).unwrap();
-        let on = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Baseline));
-        let off = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::NoAf));
+        let on = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Baseline))?;
+        let off = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::NoAf))?;
         let map = SsimConfig::default().ssim_map(&on.luma(), &off.luma());
         let mut lows = [0u64; 5];
         for &v in map.values() {
@@ -37,4 +37,5 @@ fn main() {
         println!("  N buckets [1,2,3-4,5-8,9-16]: {:?} pct {:?}", nbins,
             nbins.iter().map(|&b| 100 * b / total).collect::<Vec<_>>());
     }
+    Ok(())
 }

@@ -29,8 +29,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let (mut sum_on, mut sum_off) = (0.0f64, 0.0f64);
         for i in 0..opts.frames {
             let frame = i * 150;
-            let on = render_frame(&workload, frame, &RenderConfig::new(FilterPolicy::Baseline));
-            let off = render_frame(&workload, frame, &RenderConfig::new(FilterPolicy::NoAf));
+            let on = render_frame(&workload, frame, &RenderConfig::new(FilterPolicy::Baseline))?;
+            let off = render_frame(&workload, frame, &RenderConfig::new(FilterPolicy::NoAf))?;
             let fps_on = on.stats.fps(freq);
             let fps_off = off.stats.fps(freq);
             sum_on += fps_on;

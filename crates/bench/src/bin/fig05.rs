@@ -24,7 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 ("NoAF", FilterPolicy::NoAf),
             ],
             &opts.experiment(),
-        );
+        )?;
         let base = &results[0];
         let noaf = &results[1];
         let speedup = noaf.speedup_vs(base);

@@ -41,7 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 ("NoAF", FilterPolicy::NoAf),
             ],
             &opts.experiment(),
-        );
+        )?;
         let on = results[0].stats.bandwidth;
         let off = results[1].stats.bandwidth;
         print_breakdown(&format!("{} AF-on", spec.label()), &on);

@@ -17,7 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &workload,
             &[("NoAF", FilterPolicy::NoAf)],
             &opts.experiment(),
-        );
+        )?;
         let mssim = results[0].mssim;
         println!("{:<16} {:>8.3} {:>14}", spec.label(), mssim, pct(1.0 - mssim));
         losses.push(1.0 - mssim);

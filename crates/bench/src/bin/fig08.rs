@@ -15,8 +15,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("FIG. 8: hl2 AF-on/AF-off SSIM index map ({})", opts.profile_banner());
 
     let workload = Workload::build("hl2", res)?;
-    let on = render_frame(&workload, 0, &RenderConfig::new(FilterPolicy::Baseline));
-    let off = render_frame(&workload, 0, &RenderConfig::new(FilterPolicy::NoAf));
+    let on = render_frame(&workload, 0, &RenderConfig::new(FilterPolicy::Baseline))?;
+    let off = render_frame(&workload, 0, &RenderConfig::new(FilterPolicy::NoAf))?;
     let map = SsimConfig::default().ssim_map(&on.luma(), &off.luma());
 
     std::fs::create_dir_all("out")?;

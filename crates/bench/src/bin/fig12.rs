@@ -19,7 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &workload,
             &[("Baseline", FilterPolicy::Baseline)],
             &opts.experiment(),
-        );
+        )?;
         let sharing = results[0].sharing;
         println!(
             "{:<16} {:>14} {:>14} {:>10}",

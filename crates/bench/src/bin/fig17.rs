@@ -19,7 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for spec in default_specs() {
         let workload = Workload::build(spec.name, opts.resolution(&spec))?;
-        let (baseline, sweep) = threshold_sweep(&workload, &thresholds, &opts.experiment());
+        let (baseline, sweep) = threshold_sweep(&workload, &thresholds, &opts.experiment())?;
         let bp = best_point(&baseline, &sweep);
         bps.push((spec.label(), bp));
         games += 1.0;

@@ -16,7 +16,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for spec in default_specs() {
         let workload = Workload::build(spec.name, opts.resolution(&spec))?;
-        let results = run_policies(&workload, &points, &opts.experiment());
+        let results = run_policies(&workload, &points, &opts.experiment())?;
         let base = results[0].clone();
         println!("\n{}:", spec.label());
         println!("{:<20} {:>9} {:>8}", "design", "speedup", "MSSIM");

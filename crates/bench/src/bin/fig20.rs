@@ -18,7 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut games = 0.0;
     for spec in default_specs() {
         let workload = Workload::build(spec.name, opts.resolution(&spec))?;
-        let results = run_policies(&workload, &points, &opts.experiment());
+        let results = run_policies(&workload, &points, &opts.experiment())?;
         let base = results[0].clone();
         let ratios: Vec<f64> = results.iter().map(|r| r.energy_ratio_vs(&base)).collect();
         println!(

@@ -34,7 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 &workload,
                 &[("Baseline", FilterPolicy::Baseline)],
                 &base_cfg,
-            );
+            )?;
             let scaled_cfg = ExperimentConfig { gpu: *gpu, ..opts.experiment() };
             let scaled = run_policies(
                 &workload,
@@ -43,7 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     ("PATU", FilterPolicy::Patu { threshold: 0.4 }),
                 ],
                 &scaled_cfg,
-            );
+            )?;
             no_patu += ref_run[0].mean_cycles / scaled[0].mean_cycles;
             with_patu += ref_run[0].mean_cycles / scaled[1].mean_cycles;
             games += 1.0;

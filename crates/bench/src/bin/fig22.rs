@@ -40,7 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let baselines: Vec<_> = frames
             .iter()
             .map(|&f| render_frame(&workload, f, &RenderConfig::new(FilterPolicy::Baseline)))
-            .collect();
+            .collect::<Result<_, _>>()?;
 
         // Display normalization: scale the replay clock so the 16xAF
         // baseline lands in the paper's 33-58 fps band (the simulator's
@@ -72,7 +72,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 let r = if matches!(policy, FilterPolicy::Baseline) {
                     baselines[i].clone()
                 } else {
-                    render_frame(&workload, f, &RenderConfig::new(policy))
+                    render_frame(&workload, f, &RenderConfig::new(policy))?
                 };
                 mssim_sum += if matches!(policy, FilterPolicy::Baseline) {
                     1.0

@@ -15,7 +15,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (0.0f64, 0.0f64, 0.0f64, 0.0f64, 0.0f64);
     for spec in default_specs() {
         let workload = Workload::build(spec.name, opts.resolution(&spec))?;
-        let results = run_policies(&workload, &points, &opts.experiment());
+        let results = run_policies(&workload, &points, &opts.experiment())?;
         let base = &results[0];
         let patu = &results[3];
         speedup += patu.speedup_vs(base);

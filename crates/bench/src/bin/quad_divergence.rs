@@ -17,7 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &workload,
             &[("PATU", FilterPolicy::Patu { threshold: 0.4 })],
             &opts.experiment(),
-        );
+        )?;
         let d = results[0].divergence;
         println!(
             "{:<16} {:>12} {:>14} {:>10}",

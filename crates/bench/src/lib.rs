@@ -12,11 +12,13 @@
 //!   every trend while keeping a full figure regeneration in minutes.
 //! * `--frames N` — frames averaged per data point (default 2).
 //!
-//! Criterion micro-benchmarks for the core data structures live in
-//! `benches/`.
+//! Self-contained `Instant`-based micro-benchmarks for the core data
+//! structures live in `benches/` (see [`micro`] for the harness).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod micro;
 
 use patu_gpu::GpuConfig;
 use patu_scenes::WorkloadSpec;
@@ -76,6 +78,7 @@ impl RunOptions {
             frames: self.frames,
             frame_stride: 150,
             gpu: GpuConfig::default(),
+            ..ExperimentConfig::default()
         }
     }
 

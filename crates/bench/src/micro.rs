@@ -1,0 +1,126 @@
+//! A minimal wall-clock micro-benchmark harness.
+//!
+//! The `benches/` targets (declared `harness = false`) time the core data
+//! structures with `std::time::Instant` and an adaptive iteration count —
+//! no external benchmarking crate, so `cargo bench` works in the same
+//! offline environment as the rest of the workspace. Numbers are rough
+//! (single run, wall clock) but sufficient for the relative comparisons the
+//! benches exist to show (e.g. shared vs. distinct tap sets, streaming vs.
+//! reuse access patterns).
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Minimum measured wall time per benchmark before a number is reported.
+const TARGET: Duration = Duration::from_millis(20);
+
+/// Iteration-count ceiling, so ~ns-scale bodies still terminate quickly.
+const MAX_ITERS: u64 = 1 << 22;
+
+/// A named group of related micro-benchmarks (mirrors the criterion-style
+/// `group/label` naming the bench targets previously used).
+pub struct Group {
+    name: String,
+}
+
+/// Starts a benchmark group and prints its header.
+pub fn group(name: &str) -> Group {
+    println!("[{name}]");
+    Group { name: name.to_string() }
+}
+
+impl Group {
+    fn report(&self, label: &str, elapsed: Duration, iters: u64) {
+        let ns = elapsed.as_nanos() as f64 / iters as f64;
+        println!("  {:<32} {:>14.1} ns/iter  ({iters} iters)", format!("{}/{label}", self.name), ns);
+    }
+
+    /// Times `f` in a doubling loop until [`TARGET`] wall time accumulates,
+    /// then prints ns/iter. The result is passed through `black_box` so the
+    /// optimizer cannot delete the body.
+    pub fn bench<T>(&self, label: &str, mut f: impl FnMut() -> T) {
+        for _ in 0..3 {
+            black_box(f());
+        }
+        let mut iters = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= TARGET || iters >= MAX_ITERS {
+                self.report(label, elapsed, iters);
+                return;
+            }
+            iters *= 2;
+        }
+    }
+
+    /// Like [`Group::bench`] but re-creates fresh state with `setup` before
+    /// every iteration and excludes the setup cost from the measurement
+    /// (the replacement for criterion's `iter_batched`).
+    pub fn bench_batched<S, T>(
+        &self,
+        label: &str,
+        mut setup: impl FnMut() -> S,
+        mut f: impl FnMut(S) -> T,
+    ) {
+        for _ in 0..3 {
+            black_box(f(setup()));
+        }
+        let mut iters = 1u64;
+        loop {
+            let mut elapsed = Duration::ZERO;
+            for _ in 0..iters {
+                let state = setup();
+                let start = Instant::now();
+                black_box(f(state));
+                elapsed += start.elapsed();
+            }
+            if elapsed >= TARGET || iters >= MAX_ITERS {
+                self.report(label, elapsed, iters);
+                return;
+            }
+            iters *= 2;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_terminates() {
+        let g = group("micro-selftest");
+        let mut calls = 0u64;
+        g.bench("counter", || {
+            calls += 1;
+            calls
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn batched_runs_setup_per_iteration() {
+        let g = group("micro-selftest");
+        let mut setups = 0u64;
+        let mut bodies = 0u64;
+        g.bench_batched(
+            "pairs",
+            || {
+                setups += 1;
+                setups
+            },
+            |s| {
+                bodies += 1;
+                // Body cost dwarfs the timer granularity so this finishes fast.
+                std::thread::sleep(Duration::from_micros(200));
+                s
+            },
+        );
+        assert_eq!(setups - 3, bodies - 3, "one setup per measured body");
+        assert!(bodies >= 4, "at least warmup plus one measured iteration");
+    }
+}

@@ -28,11 +28,21 @@ pub fn af_ssim_mu(mu: f64) -> f64 {
 ///
 /// # Panics
 ///
-/// Panics if `n` is outside `1..=16` (the paper's Eq. 6 domain).
+/// Panics if `n` is outside `1..=16` (the paper's Eq. 6 domain). Use
+/// [`try_af_ssim_n`] for a non-panicking variant.
 pub fn af_ssim_n(n: u32) -> f64 {
     assert!((1..=16).contains(&n), "sample size N must be in 1..=16, got {n}");
     let nf = f64::from(n);
     (2.0 * nf / (nf * nf + 1.0)).powi(2)
+}
+
+/// Like [`af_ssim_n`] but reports an out-of-domain `N` as a typed error
+/// instead of panicking.
+pub fn try_af_ssim_n(n: u32) -> Result<f64, crate::PatuError> {
+    if !(1..=16).contains(&n) {
+        return Err(crate::PatuError::InvalidSampleSize { n });
+    }
+    Ok(af_ssim_n(n))
 }
 
 /// Eq. (8): Shannon entropy of a probability vector (bits).
@@ -140,6 +150,13 @@ mod tests {
     #[should_panic(expected = "must be in 1..=16")]
     fn n_out_of_range_panics() {
         let _ = af_ssim_n(0);
+    }
+
+    #[test]
+    fn try_variant_returns_typed_error() {
+        assert!(try_af_ssim_n(0).is_err());
+        assert!(try_af_ssim_n(17).is_err());
+        assert_eq!(try_af_ssim_n(2).unwrap(), af_ssim_n(2));
     }
 
     #[test]

@@ -1,0 +1,97 @@
+//! The typed error hierarchy rooted at [`PatuError`].
+//!
+//! Every layer wraps the one below: `patu-gpu` raises
+//! [`patu_gpu::GpuError`], this crate wraps it plus its own prediction and
+//! table failures, and `patu-sim` wraps both plus workload errors — so a
+//! bench binary's `main() -> Result<..>` surfaces the original failure site
+//! in one `Display` chain instead of a panic backtrace.
+
+use patu_gpu::GpuError;
+use std::fmt;
+
+/// Errors raised by the PATU prediction model on adversarial inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PatuError {
+    /// An underlying GPU-model error (cache geometry, fault rates…).
+    Gpu(GpuError),
+    /// A predictive policy's threshold was not a finite value in `[0, 1]`.
+    InvalidThreshold {
+        /// The offending threshold.
+        value: f64,
+    },
+    /// An AF sample size outside the paper's `1..=16` domain.
+    InvalidSampleSize {
+        /// The offending sample size.
+        n: u32,
+    },
+    /// A texel-address hash table cannot have zero entries.
+    InvalidTableCapacity,
+    /// A predictor produced (or was fed) a non-finite value. Consumers on
+    /// the render path degrade to full AF instead of raising this; it is
+    /// surfaced only by the checked entry points.
+    NonFinitePrediction {
+        /// Which predictor stage saw the value.
+        stage: &'static str,
+        /// The non-finite value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for PatuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatuError::Gpu(e) => write!(f, "gpu model: {e}"),
+            PatuError::InvalidThreshold { value } => {
+                write!(f, "prediction threshold must be a finite value in [0, 1], got {value}")
+            }
+            PatuError::InvalidSampleSize { n } => {
+                write!(f, "AF sample size N must be in 1..=16, got {n}")
+            }
+            PatuError::InvalidTableCapacity => {
+                write!(f, "texel-address hash table needs at least one entry")
+            }
+            PatuError::NonFinitePrediction { stage, value } => {
+                write!(f, "non-finite prediction at stage `{stage}`: {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PatuError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PatuError::Gpu(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GpuError> for PatuError {
+    fn from(e: GpuError) -> PatuError {
+        PatuError::Gpu(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_gpu_errors() {
+        let gpu = GpuError::ClusterOutOfRange { cluster: 5, clusters: 4 };
+        let e = PatuError::from(gpu.clone());
+        assert_eq!(e, PatuError::Gpu(gpu));
+        assert!(e.to_string().contains("cluster 5"));
+        use std::error::Error;
+        assert!(e.source().is_some(), "source chain preserved");
+    }
+
+    #[test]
+    fn messages_are_specific() {
+        assert!(PatuError::InvalidThreshold { value: 1.5 }.to_string().contains("1.5"));
+        assert!(PatuError::InvalidSampleSize { n: 99 }.to_string().contains("99"));
+        assert!(PatuError::NonFinitePrediction { stage: "txds", value: f64::NAN }
+            .to_string()
+            .contains("txds"));
+    }
+}

@@ -48,6 +48,7 @@ pub struct TexelAddressTable {
     capacity: usize,
     accesses: u64,
     overflowed: bool,
+    parity_error: bool,
 }
 
 impl Default for TexelAddressTable {
@@ -67,7 +68,8 @@ impl TexelAddressTable {
     ///
     /// # Panics
     ///
-    /// Panics if `capacity` is zero.
+    /// Panics if `capacity` is zero. Use
+    /// [`TexelAddressTable::try_with_capacity`] for a non-panicking variant.
     pub fn with_capacity(capacity: usize) -> TexelAddressTable {
         assert!(capacity > 0, "hash table needs at least one entry");
         TexelAddressTable {
@@ -75,7 +77,17 @@ impl TexelAddressTable {
             capacity,
             accesses: 0,
             overflowed: false,
+            parity_error: false,
         }
+    }
+
+    /// Like [`TexelAddressTable::with_capacity`] but reports a zero capacity
+    /// as a typed error instead of panicking.
+    pub fn try_with_capacity(capacity: usize) -> Result<TexelAddressTable, crate::PatuError> {
+        if capacity == 0 {
+            return Err(crate::PatuError::InvalidTableCapacity);
+        }
+        Ok(TexelAddressTable::with_capacity(capacity))
     }
 
     /// The table's entry capacity.
@@ -143,11 +155,34 @@ impl TexelAddressTable {
         self.overflowed
     }
 
+    /// Injects a soft error: flips bit `bit & 3` of one occupied entry's
+    /// 4-bit count tag (selected by `entry_selector` modulo the occupancy)
+    /// and raises the parity flag the modeled per-entry parity bit would.
+    /// A no-op on an empty table (there is no state to corrupt).
+    pub fn corrupt_count(&mut self, entry_selector: usize, bit: u8) -> bool {
+        if self.entries.is_empty() {
+            return false;
+        }
+        let idx = entry_selector % self.entries.len();
+        self.entries[idx].count ^= 1 << (bit & 3);
+        self.parity_error = true;
+        true
+    }
+
+    /// Whether a soft error was detected since the last reset. Consumers
+    /// must treat the count tags — and anything derived from them, like
+    /// [`TexelAddressTable::probability_vector`] — as untrustworthy and
+    /// fall back to full AF for the affected pixel.
+    pub fn parity_error(&self) -> bool {
+        self.parity_error
+    }
+
     /// Clears the table for the next pixel (the paper resets it per request).
     /// The access counter is preserved — it is cumulative over a frame.
     pub fn reset(&mut self) {
         self.entries.clear();
         self.overflowed = false;
+        self.parity_error = false;
     }
 }
 
@@ -250,6 +285,39 @@ mod tests {
         t.reset();
         assert_eq!(t.distinct_sets(), 0);
         assert_eq!(t.accesses(), 2, "energy accounting is cumulative");
+    }
+
+    #[test]
+    fn try_with_capacity_rejects_zero() {
+        assert!(TexelAddressTable::try_with_capacity(0).is_err());
+        assert_eq!(TexelAddressTable::try_with_capacity(8).unwrap().capacity(), 8);
+    }
+
+    #[test]
+    fn corruption_raises_parity_and_reset_clears_it() {
+        let mut t = TexelAddressTable::new();
+        assert!(!t.corrupt_count(0, 0), "empty table has no state to corrupt");
+        t.insert(&set(0));
+        t.insert(&set(0));
+        assert!(t.corrupt_count(0, 1));
+        assert!(t.parity_error());
+        assert_ne!(t.counts(), vec![2], "the stored tag really flipped");
+        t.reset();
+        assert!(!t.parity_error(), "parity clears with the per-pixel reset");
+    }
+
+    #[test]
+    fn corrupted_vector_is_still_a_distribution_or_empty() {
+        // Even ignoring the parity flag, downstream math stays finite: the
+        // vector renormalizes over the corrupted tags.
+        let mut t = TexelAddressTable::new();
+        t.insert(&set(0));
+        t.insert(&set(0x100));
+        t.corrupt_count(1, 0); // count 1 -> 0
+        let p = t.probability_vector();
+        let sum: f64 = p.iter().sum();
+        assert!(p.iter().all(|x| x.is_finite()));
+        assert!((sum - 1.0).abs() < 1e-12 || p.is_empty());
     }
 
     #[test]

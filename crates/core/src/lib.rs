@@ -37,13 +37,15 @@
 #![warn(missing_docs)]
 
 pub mod afssim;
+pub mod error;
 pub mod hash_table;
 pub mod oracle;
 pub mod policy;
 pub mod stats;
 pub mod unit;
 
-pub use afssim::{af_ssim_mu, af_ssim_n, af_ssim_txds, entropy, txds};
+pub use afssim::{af_ssim_mu, af_ssim_n, af_ssim_txds, entropy, try_af_ssim_n, txds};
+pub use error::PatuError;
 pub use hash_table::TexelAddressTable;
 pub use oracle::{oracle_af_ssim, oracle_mu, PredictionAccuracy};
 pub use policy::{DecisionStage, FilterMode, FilterPolicy, ParsePolicyError, PolicyDecision};

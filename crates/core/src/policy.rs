@@ -14,8 +14,10 @@
 //!
 //! The two predictive stages share one unified threshold (Sec. IV-C(C)).
 
-use crate::afssim::{af_ssim_n, af_ssim_txds, txds};
+use crate::afssim::{af_ssim_txds, try_af_ssim_n, txds};
+use crate::error::PatuError;
 use crate::hash_table::TexelAddressTable;
+use patu_gpu::FaultInjector;
 use patu_texture::{Footprint, TexelAddress};
 
 /// How the pixel is ultimately filtered.
@@ -45,6 +47,11 @@ pub enum DecisionStage {
     Distribution,
     /// Both predictors demanded AF; the pixel keeps full filtering.
     KeptAf,
+    /// The prediction state was untrustworthy — a non-finite predictor
+    /// value, a corrupted hash table (parity error), or an out-of-domain
+    /// input — so the pixel degraded to full AF. Quality-safe: the fallback
+    /// always renders at least as accurately as the prediction would have.
+    Fallback,
 }
 
 /// The per-pixel outcome of a policy decision, including the architectural
@@ -71,6 +78,16 @@ impl PolicyDecision {
             stage: DecisionStage::Fixed,
             predictor_evals: 0,
             hash_accesses: 0,
+            wasted_addr_taps: 0,
+        }
+    }
+
+    fn fallback(predictor_evals: u32, hash_accesses: u32) -> PolicyDecision {
+        PolicyDecision {
+            mode: FilterMode::Anisotropic,
+            stage: DecisionStage::Fallback,
+            predictor_evals,
+            hash_accesses,
             wasted_addr_taps: 0,
         }
     }
@@ -199,6 +216,17 @@ impl FilterPolicy {
         )
     }
 
+    /// Checks the policy's configuration, reporting a non-finite or
+    /// out-of-range threshold as a typed error instead of panicking.
+    pub fn validate(&self) -> Result<(), PatuError> {
+        if let Some(t) = self.threshold() {
+            if !t.is_finite() || !(0.0..=1.0).contains(&t) {
+                return Err(PatuError::InvalidThreshold { value: t });
+            }
+        }
+        Ok(())
+    }
+
     /// Runs the prediction flow (Fig. 13) for one pixel.
     ///
     /// `tap_sets` provides the texel address set of each AF trilinear tap and
@@ -207,10 +235,10 @@ impl FilterPolicy {
     /// *Texel Address Calculation* produces anyway. `table` is the unit's
     /// hash table (reset here per pixel; accesses accumulate).
     ///
-    /// # Panics
-    ///
-    /// Panics if a predictive policy's threshold is outside `[0, 1]` or if
-    /// `footprint.n` is outside the supported `1..=16`.
+    /// Adversarial configurations degrade instead of panicking: a finite
+    /// out-of-range threshold is clamped into `[0, 1]`, while a non-finite
+    /// threshold or an out-of-domain `footprint.n` keeps full AF with
+    /// [`DecisionStage::Fallback`] (quality-safe by construction).
     pub fn decide<F>(
         &self,
         footprint: &Footprint,
@@ -220,9 +248,30 @@ impl FilterPolicy {
     where
         F: FnOnce() -> Vec<Vec<TexelAddress>>,
     {
-        if let Some(t) = self.threshold() {
-            assert!((0.0..=1.0).contains(&t), "threshold must be in [0, 1], got {t}");
-        }
+        let mut faults = FaultInjector::disabled();
+        self.decide_with(footprint, table, &mut faults, tap_sets)
+    }
+
+    /// [`FilterPolicy::decide`] with a [`FaultInjector`] in the loop.
+    ///
+    /// This is the chaos-suite entry point: the injector may poison either
+    /// predictor's output with NaN/±Inf or flip a count-tag bit in the hash
+    /// table after the tap stream lands. Every such event is *detected* —
+    /// non-finite predictions via an `is_finite` check, table corruption via
+    /// the modeled parity bit — and degrades the pixel to full AF with
+    /// [`DecisionStage::Fallback`], recording `note_fallback()`. A disabled
+    /// injector draws no randomness, so `decide` is bit-identical to the
+    /// pre-fault-injection flow.
+    pub fn decide_with<F>(
+        &self,
+        footprint: &Footprint,
+        table: &mut TexelAddressTable,
+        faults: &mut FaultInjector,
+        tap_sets: F,
+    ) -> PolicyDecision
+    where
+        F: FnOnce() -> Vec<Vec<TexelAddress>>,
+    {
         let n = footprint.n;
 
         // An isotropic footprint never takes the AF path, under any policy.
@@ -243,11 +292,28 @@ impl FilterPolicy {
             | FilterPolicy::SampleAreaTxds { threshold }
             | FilterPolicy::Patu { threshold } => threshold,
         };
+        // A broken knob cannot be compared against; keep full quality.
+        if !threshold.is_finite() {
+            faults.note_fallback();
+            return PolicyDecision::fallback(0, 0);
+        }
+        let threshold = threshold.clamp(0.0, 1.0);
 
         // Stage 1: sample-area similarity check (PATU component ①),
         // right after Texel Generation.
         let mut predictor_evals = 1;
-        if af_ssim_n(n) > threshold {
+        let stage1 = match try_af_ssim_n(n) {
+            Ok(v) => faults.poison_predictor(v),
+            Err(_) => {
+                faults.note_fallback();
+                return PolicyDecision::fallback(predictor_evals, 0);
+            }
+        };
+        if !stage1.is_finite() {
+            faults.note_fallback();
+            return PolicyDecision::fallback(predictor_evals, 0);
+        }
+        if stage1 > threshold {
             return PolicyDecision {
                 mode: self.approx_mode(),
                 stage: DecisionStage::SampleArea,
@@ -276,9 +342,23 @@ impl FilterPolicy {
             table.insert(s);
         }
         let hash_accesses = sets.len() as u32;
-        let p = table.probability_vector();
+        // Fault site: a soft error strikes a count tag after the tap stream
+        // lands. The modeled parity bit detects it below.
+        if let Some((selector, bit)) = faults.table_corruption() {
+            table.corrupt_count(selector, bit);
+        }
         predictor_evals += 1;
-        if af_ssim_txds(txds(&p, n)) > threshold {
+        if table.parity_error() {
+            faults.note_fallback();
+            return PolicyDecision::fallback(predictor_evals, hash_accesses);
+        }
+        let p = table.probability_vector();
+        let stage2 = faults.poison_predictor(af_ssim_txds(txds(&p, n)));
+        if !stage2.is_finite() {
+            faults.note_fallback();
+            return PolicyDecision::fallback(predictor_evals, hash_accesses);
+        }
+        if stage2 > threshold {
             return PolicyDecision {
                 mode: self.approx_mode(),
                 stage: DecisionStage::Distribution,
@@ -437,10 +517,84 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "threshold must be in [0, 1]")]
-    fn bad_threshold_panics() {
+    fn out_of_range_threshold_clamps() {
+        // An adversarial threshold no longer panics: 1.5 behaves like 1.0.
         let mut t = TexelAddressTable::new();
-        let _ = FilterPolicy::Patu { threshold: 1.5 }.decide(&footprint(4.0), &mut t, Vec::new);
+        let wild = FilterPolicy::Patu { threshold: 1.5 }
+            .decide(&footprint(8.0), &mut t, || distinct_sets(8));
+        let clamped = FilterPolicy::Patu { threshold: 1.0 }
+            .decide(&footprint(8.0), &mut t, || distinct_sets(8));
+        assert_eq!(wild, clamped);
+        assert!(FilterPolicy::Patu { threshold: 1.5 }.validate().is_err());
+        assert!(FilterPolicy::Patu { threshold: 0.4 }.validate().is_ok());
+    }
+
+    #[test]
+    fn nan_threshold_falls_back_to_full_af() {
+        let mut t = TexelAddressTable::new();
+        let d = FilterPolicy::Patu { threshold: f64::NAN }
+            .decide(&footprint(4.0), &mut t, Vec::new);
+        assert_eq!(d.stage, DecisionStage::Fallback);
+        assert_eq!(d.mode, FilterMode::Anisotropic, "fallback is quality-safe");
+        assert!(FilterPolicy::Patu { threshold: f64::NAN }.validate().is_err());
+    }
+
+    #[test]
+    fn poisoned_predictor_falls_back_and_counts() {
+        use patu_gpu::{FaultConfig, FaultInjector};
+        let cfg = FaultConfig {
+            predictor_nan_rate: 1.0,
+            ..FaultConfig::disabled()
+        };
+        let mut faults = FaultInjector::new(cfg);
+        let mut t = TexelAddressTable::new();
+        let d = FilterPolicy::Patu { threshold: 0.4 }.decide_with(
+            &footprint(2.0),
+            &mut t,
+            &mut faults,
+            Vec::new,
+        );
+        assert_eq!(d.stage, DecisionStage::Fallback);
+        assert_eq!(d.mode, FilterMode::Anisotropic);
+        assert_eq!(faults.counts().predictor_poisons, 1);
+        assert_eq!(faults.counts().fallbacks, 1);
+    }
+
+    #[test]
+    fn corrupted_table_is_detected_by_parity() {
+        use patu_gpu::{FaultConfig, FaultInjector};
+        let cfg = FaultConfig {
+            table_corrupt_rate: 1.0,
+            ..FaultConfig::disabled()
+        };
+        let mut faults = FaultInjector::new(cfg);
+        let mut t = TexelAddressTable::new();
+        // N=8 passes stage 1 (AF_SSIM ≈ 0.061 < 0.4) and reaches the table.
+        let d = FilterPolicy::Patu { threshold: 0.4 }.decide_with(
+            &footprint(8.0),
+            &mut t,
+            &mut faults,
+            || shared_sets(8),
+        );
+        assert_eq!(d.stage, DecisionStage::Fallback);
+        assert_eq!(d.hash_accesses, 8, "the tap stream still ran");
+        assert_eq!(faults.counts().table_corruptions, 1);
+        assert_eq!(faults.counts().fallbacks, 1);
+    }
+
+    #[test]
+    fn disabled_injector_matches_plain_decide() {
+        use patu_gpu::FaultInjector;
+        let policy = FilterPolicy::Patu { threshold: 0.4 };
+        for n in [1u32, 2, 8, 16] {
+            let mut t1 = TexelAddressTable::new();
+            let mut t2 = TexelAddressTable::new();
+            let mut calm = FaultInjector::disabled();
+            let fp = footprint(n as f32);
+            let a = policy.decide(&fp, &mut t1, || shared_sets(n));
+            let b = policy.decide_with(&fp, &mut t2, &mut calm, || shared_sets(n));
+            assert_eq!(a, b, "n={n}");
+        }
     }
 
     #[test]

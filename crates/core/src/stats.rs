@@ -123,6 +123,9 @@ pub struct ApproxStats {
     pub kept_af: u64,
     /// Pixels handled by non-predictive (fixed) policies.
     pub fixed: u64,
+    /// Pixels that degraded to full AF because prediction state could not
+    /// be trusted (fault-injection fallbacks).
+    pub fallback: u64,
 }
 
 impl ApproxStats {
@@ -140,13 +143,15 @@ impl ApproxStats {
             DecisionStage::SampleArea => self.stage1_approx += 1,
             DecisionStage::Distribution => self.stage2_approx += 1,
             DecisionStage::KeptAf => self.kept_af += 1,
+            DecisionStage::Fallback => self.fallback += 1,
         }
     }
 
     /// Fraction of AF-candidate pixels (anisotropic footprints under a
-    /// predictive policy) that were approximated.
+    /// predictive policy) that were approximated. Fallback pixels count as
+    /// candidates that kept AF.
     pub fn approximated_fraction(&self) -> f64 {
-        let candidates = self.stage1_approx + self.stage2_approx + self.kept_af;
+        let candidates = self.stage1_approx + self.stage2_approx + self.kept_af + self.fallback;
         if candidates == 0 {
             0.0
         } else {
@@ -162,6 +167,7 @@ impl ApproxStats {
         self.stage2_approx += other.stage2_approx;
         self.kept_af += other.kept_af;
         self.fixed += other.fixed;
+        self.fallback += other.fallback;
     }
 }
 
@@ -262,6 +268,30 @@ mod tests {
         assert_eq!(a.kept_af, 1);
         assert_eq!(a.isotropic, 1);
         assert!((a.approximated_fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fallback_pixels_counted_as_kept_candidates() {
+        let mut a = ApproxStats::new();
+        a.record(&PolicyDecision {
+            mode: FilterMode::TrilinearAfLod,
+            stage: DecisionStage::SampleArea,
+            predictor_evals: 1,
+            hash_accesses: 0,
+            wasted_addr_taps: 0,
+        });
+        a.record(&PolicyDecision {
+            mode: FilterMode::Anisotropic,
+            stage: DecisionStage::Fallback,
+            predictor_evals: 1,
+            hash_accesses: 0,
+            wasted_addr_taps: 0,
+        });
+        assert_eq!(a.fallback, 1);
+        assert!((a.approximated_fraction() - 0.5).abs() < 1e-12);
+        let mut b = ApproxStats::new();
+        b.accumulate(&a);
+        assert_eq!(b.fallback, 1);
     }
 
     #[test]

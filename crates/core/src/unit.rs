@@ -8,10 +8,12 @@
 //! the LOD shift of Sec. V-C(2)). The record carries every texel address the
 //! timing model must replay.
 
+use crate::error::PatuError;
 use crate::hash_table::TexelAddressTable;
 use crate::policy::{FilterMode, FilterPolicy, PolicyDecision};
 use crate::stats::{ApproxStats, SharingStats};
 use patu_gmath::Vec2;
+use patu_gpu::{FaultConfig, FaultCounts, FaultInjector};
 use patu_texture::{
     sampler::bilinear_addresses,
     sample_anisotropic, sample_trilinear_record, AddressMode, Footprint, SampleRecord, Texture,
@@ -58,6 +60,7 @@ pub struct PerceptionAwareTextureUnit {
     table: TexelAddressTable,
     sharing: SharingStats,
     approx: ApproxStats,
+    faults: FaultInjector,
 }
 
 impl PerceptionAwareTextureUnit {
@@ -70,7 +73,9 @@ impl PerceptionAwareTextureUnit {
     ///
     /// # Panics
     ///
-    /// Panics if `capacity` is zero.
+    /// Panics if `capacity` is zero. Use
+    /// [`PerceptionAwareTextureUnit::try_with_faults`] for a fully checked
+    /// constructor.
     pub fn with_table_capacity(
         policy: FilterPolicy,
         capacity: usize,
@@ -80,12 +85,40 @@ impl PerceptionAwareTextureUnit {
             table: TexelAddressTable::with_capacity(capacity),
             sharing: SharingStats::new(),
             approx: ApproxStats::new(),
+            faults: FaultInjector::disabled(),
         }
+    }
+
+    /// Fully checked constructor with a fault-injection configuration: the
+    /// policy threshold, table capacity and fault rates are all validated,
+    /// and the unit's injector is forked from `faults` under `tag` so
+    /// per-unit streams are decorrelated but deterministic.
+    pub fn try_with_faults(
+        policy: FilterPolicy,
+        capacity: usize,
+        faults: FaultConfig,
+        tag: u64,
+    ) -> Result<PerceptionAwareTextureUnit, PatuError> {
+        policy.validate()?;
+        faults.validate()?;
+        Ok(PerceptionAwareTextureUnit {
+            policy,
+            table: TexelAddressTable::try_with_capacity(capacity)?,
+            sharing: SharingStats::new(),
+            approx: ApproxStats::new(),
+            faults: FaultInjector::new(faults).fork(tag),
+        })
     }
 
     /// The active policy.
     pub fn policy(&self) -> FilterPolicy {
         self.policy
+    }
+
+    /// Faults injected into (and fallbacks taken by) this unit's prediction
+    /// flow since the last [`PerceptionAwareTextureUnit::reset_stats`].
+    pub fn fault_counts(&self) -> FaultCounts {
+        self.faults.counts()
     }
 
     /// Filters one pixel: runs the prediction flow, then performs the
@@ -125,7 +158,7 @@ impl PerceptionAwareTextureUnit {
             // texel, so neighboring taps concentrate onto few shared sets —
             // the distribution whose entropy Txds measures.
             let tf_level = footprint.tf_lod.floor() as u32;
-            policy.decide(footprint, &mut self.table, || {
+            policy.decide_with(footprint, &mut self.table, &mut self.faults, || {
                 let rec = af_ref.insert(sample_anisotropic(tex, uv, footprint, mode));
                 rec.taps
                     .iter()
@@ -176,11 +209,14 @@ impl PerceptionAwareTextureUnit {
         self.approx
     }
 
-    /// Resets all cumulative statistics (between frames or runs).
+    /// Resets all cumulative statistics (between frames or runs). The fault
+    /// injector's counters clear too, but its stream position advances
+    /// monotonically — fault patterns never repeat across frames.
     pub fn reset_stats(&mut self) {
         self.table = TexelAddressTable::with_capacity(self.table.capacity());
         self.sharing = SharingStats::new();
         self.approx = ApproxStats::new();
+        self.faults.reset_counts();
     }
 }
 
@@ -317,6 +353,60 @@ mod tests {
         unit.reset_stats();
         assert_eq!(unit.approx_stats().pixels, 0);
         assert_eq!(unit.hash_accesses(), 0);
+    }
+
+    #[test]
+    fn faulty_unit_degrades_but_never_dies() {
+        let tex = texture();
+        let cfg = FaultConfig::uniform(11, 1.0);
+        let mut unit = PerceptionAwareTextureUnit::try_with_faults(
+            FilterPolicy::Patu { threshold: 0.4 },
+            crate::hash_table::TABLE_ENTRIES,
+            cfg,
+            0,
+        )
+        .unwrap();
+        for i in 0..8 {
+            let fp = footprint(2.0 + i as f32);
+            let out = unit.filter(&tex, center(), &fp, AddressMode::Wrap);
+            assert_eq!(
+                out.decision.stage,
+                DecisionStage::Fallback,
+                "rate 1.0 poisons every prediction"
+            );
+            assert_eq!(out.record.n, fp.n, "fallback performs real AF");
+        }
+        let counts = unit.fault_counts();
+        assert_eq!(counts.fallbacks, 8);
+        assert!(counts.predictor_poisons >= 8);
+        unit.reset_stats();
+        assert_eq!(unit.fault_counts(), patu_gpu::FaultCounts::default());
+    }
+
+    #[test]
+    fn try_with_faults_validates_everything() {
+        let bad_rate = FaultConfig { cache_bitflip_rate: 2.0, ..FaultConfig::disabled() };
+        assert!(PerceptionAwareTextureUnit::try_with_faults(
+            FilterPolicy::Baseline,
+            16,
+            bad_rate,
+            0
+        )
+        .is_err());
+        assert!(PerceptionAwareTextureUnit::try_with_faults(
+            FilterPolicy::Patu { threshold: f64::NAN },
+            16,
+            FaultConfig::disabled(),
+            0
+        )
+        .is_err());
+        assert!(PerceptionAwareTextureUnit::try_with_faults(
+            FilterPolicy::Baseline,
+            0,
+            FaultConfig::disabled(),
+            0
+        )
+        .is_err());
     }
 
     #[test]

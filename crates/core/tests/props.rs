@@ -1,22 +1,34 @@
-//! Property-based tests for the AF-SSIM model and the PATU decision flow.
+//! Property-based tests for the AF-SSIM model and the PATU decision flow,
+//! driven by the workspace's deterministic generator (`DetRng`): each test
+//! sweeps a fixed-seed randomized sample of the input space, so any failure
+//! reproduces bit-for-bit from the test name alone.
 
 use patu_core::{
     af_ssim_mu, af_ssim_txds, entropy, txds, FilterMode, FilterPolicy, TexelAddressTable,
 };
-use patu_gmath::Vec2;
+use patu_gmath::{DetRng, Vec2};
 use patu_texture::{Footprint, TexelAddress};
-use proptest::prelude::*;
+
+const CASES: usize = 256;
+
+fn f64_in(rng: &mut DetRng, lo: f64, hi: f64) -> f64 {
+    lo + rng.next_f64() * (hi - lo)
+}
+
+fn f32_in(rng: &mut DetRng, lo: f32, hi: f32) -> f32 {
+    lo + rng.next_f32() * (hi - lo)
+}
 
 fn tap_set(base: u64) -> Vec<TexelAddress> {
     (0..8).map(|i| TexelAddress::new(base + i * 4)).collect()
 }
 
 /// A valid probability vector with up to 8 entries.
-fn prob_vector() -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(1u32..100, 1..8).prop_map(|weights| {
-        let total: u32 = weights.iter().sum();
-        weights.iter().map(|&w| f64::from(w) / f64::from(total)).collect()
-    })
+fn prob_vector(rng: &mut DetRng) -> Vec<f64> {
+    let len = rng.range_between(1, 8) as usize;
+    let weights: Vec<u32> = (0..len).map(|_| rng.range_between(1, 100) as u32).collect();
+    let total: u32 = weights.iter().sum();
+    weights.iter().map(|&w| f64::from(w) / f64::from(total)).collect()
 }
 
 fn footprint(texels_x: f32, texels_y: f32) -> Footprint {
@@ -29,54 +41,77 @@ fn footprint(texels_x: f32, texels_y: f32) -> Footprint {
     )
 }
 
-proptest! {
-    #[test]
-    fn af_ssim_mu_bounded(mu in 0.0f64..32.0) {
+#[test]
+fn af_ssim_mu_bounded() {
+    let mut rng = DetRng::new(0xC0_01);
+    for _ in 0..CASES {
+        let mu = f64_in(&mut rng, 0.0, 32.0);
         let v = af_ssim_mu(mu);
-        prop_assert!((0.0..=1.0 + 1e-9).contains(&v));
+        assert!((0.0..=1.0 + 1e-9).contains(&v));
     }
+}
 
-    #[test]
-    fn af_ssim_mu_peaks_at_one(mu in 0.0f64..32.0) {
-        prop_assert!(af_ssim_mu(mu) <= af_ssim_mu(1.0) + 1e-12);
+#[test]
+fn af_ssim_mu_peaks_at_one() {
+    let mut rng = DetRng::new(0xC0_02);
+    for _ in 0..CASES {
+        let mu = f64_in(&mut rng, 0.0, 32.0);
+        assert!(af_ssim_mu(mu) <= af_ssim_mu(1.0) + 1e-12);
     }
+}
 
-    #[test]
-    fn af_ssim_mu_near_reciprocal_symmetry(mu in 0.1f64..10.0) {
+#[test]
+fn af_ssim_mu_near_reciprocal_symmetry() {
+    let mut rng = DetRng::new(0xC0_03);
+    for _ in 0..CASES {
+        let mu = f64_in(&mut rng, 0.1, 10.0);
         // SSIM(X, Y) = SSIM(Y, X) up to the small stabilization constant.
         let a = af_ssim_mu(mu);
         let b = af_ssim_mu(1.0 / mu);
-        prop_assert!((a - b).abs() < 1e-2, "{a} vs {b} at mu {mu}");
+        assert!((a - b).abs() < 1e-2, "{a} vs {b} at mu {mu}");
     }
+}
 
-    #[test]
-    fn entropy_nonnegative_and_bounded(p in prob_vector()) {
+#[test]
+fn entropy_nonnegative_and_bounded() {
+    let mut rng = DetRng::new(0xC0_04);
+    for _ in 0..CASES {
+        let p = prob_vector(&mut rng);
         let e = entropy(&p);
-        prop_assert!(e >= 0.0);
-        prop_assert!(e <= (p.len() as f64).log2() + 1e-9);
+        assert!(e >= 0.0);
+        assert!(e <= (p.len() as f64).log2() + 1e-9);
     }
+}
 
-    #[test]
-    fn txds_in_unit_interval(p in prob_vector(), n in 2u32..=16) {
+#[test]
+fn txds_in_unit_interval() {
+    let mut rng = DetRng::new(0xC0_05);
+    for _ in 0..CASES {
+        let p = prob_vector(&mut rng);
+        let n = rng.range_between(2, 17) as u32;
         let t = txds(&p, n);
-        prop_assert!((0.0..=1.0).contains(&t));
-        prop_assert!((0.0..=1.0).contains(&af_ssim_txds(t)));
+        assert!((0.0..=1.0).contains(&t));
+        assert!((0.0..=1.0).contains(&af_ssim_txds(t)));
     }
+}
 
-    #[test]
-    fn concentrating_mass_raises_txds(n in 3u32..=16) {
+#[test]
+fn concentrating_mass_raises_txds() {
+    for n in 3u32..=16 {
         // Uniform over n events vs all mass on one event.
         let uniform: Vec<f64> = vec![1.0 / f64::from(n); n as usize];
         let point = vec![1.0];
-        prop_assert!(txds(&point, n) >= txds(&uniform, n));
+        assert!(txds(&point, n) >= txds(&uniform, n));
     }
+}
 
-    #[test]
-    fn policy_monotone_in_threshold(
-        texels_x in 1.0f32..24.0,
-        lo in 0.0f64..1.0,
-        hi in 0.0f64..1.0,
-    ) {
+#[test]
+fn policy_monotone_in_threshold() {
+    let mut rng = DetRng::new(0xC0_06);
+    for _ in 0..CASES {
+        let texels_x = f32_in(&mut rng, 1.0, 24.0);
+        let lo = rng.next_f64();
+        let hi = rng.next_f64();
         // A lower threshold never approximates *less*: if the stricter
         // (higher) threshold approximates a pixel, the looser one must too.
         let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
@@ -89,56 +124,72 @@ proptest! {
         let loose = FilterPolicy::Patu { threshold: lo }
             .decide(&fp, &mut table, || sets.clone());
         if strict.is_approximated() {
-            prop_assert!(loose.is_approximated(), "θ={lo} stricter than θ={hi}?");
+            assert!(loose.is_approximated(), "θ={lo} stricter than θ={hi}?");
         }
     }
+}
 
-    #[test]
-    fn baseline_and_noaf_never_predict(texels_x in 1.0f32..24.0, texels_y in 1.0f32..24.0) {
+#[test]
+fn baseline_and_noaf_never_predict() {
+    let mut rng = DetRng::new(0xC0_07);
+    for _ in 0..CASES {
+        let texels_x = f32_in(&mut rng, 1.0, 24.0);
+        let texels_y = f32_in(&mut rng, 1.0, 24.0);
         let fp = footprint(texels_x, texels_y);
         let mut table = TexelAddressTable::new();
         for policy in [FilterPolicy::Baseline, FilterPolicy::NoAf] {
             let d = policy.decide(&fp, &mut table, || panic!("no stage 2 for fixed policies"));
-            prop_assert_eq!(d.predictor_evals, 0);
-            prop_assert_eq!(d.hash_accesses, 0);
+            assert_eq!(d.predictor_evals, 0);
+            assert_eq!(d.hash_accesses, 0);
         }
     }
+}
 
-    #[test]
-    fn patu_demotions_use_af_lod(texels_x in 1.0f32..24.0, theta in 0.05f64..0.95) {
+#[test]
+fn patu_demotions_use_af_lod() {
+    let mut rng = DetRng::new(0xC0_08);
+    for _ in 0..CASES {
+        let texels_x = f32_in(&mut rng, 1.0, 24.0);
+        let theta = f64_in(&mut rng, 0.05, 0.95);
         let fp = footprint(texels_x, 1.0);
         let sets: Vec<Vec<TexelAddress>> = (0..fp.n as u64).map(|_| tap_set(0)).collect();
         let mut table = TexelAddressTable::new();
         let d = FilterPolicy::Patu { threshold: theta }.decide(&fp, &mut table, || sets.clone());
         if d.is_approximated() && fp.n > 1 {
-            prop_assert_eq!(d.mode, FilterMode::TrilinearAfLod);
+            assert_eq!(d.mode, FilterMode::TrilinearAfLod);
         }
     }
+}
 
-    #[test]
-    fn table_probability_vector_is_distribution(
-        bases in proptest::collection::vec(0u64..5, 1..16)
-    ) {
+#[test]
+fn table_probability_vector_is_distribution() {
+    let mut rng = DetRng::new(0xC0_09);
+    for _ in 0..CASES {
+        let inserts = rng.range_between(1, 16) as usize;
+        let bases: Vec<u64> = (0..inserts).map(|_| rng.range(5)).collect();
         let mut table = TexelAddressTable::new();
         for b in &bases {
             table.insert(&tap_set(b * 0x100));
         }
         let p = table.probability_vector();
         let sum: f64 = p.iter().sum();
-        prop_assert!((sum - 1.0).abs() < 1e-9);
-        prop_assert!(p.iter().all(|&x| x > 0.0));
-        prop_assert!(p.len() <= 5, "at most 5 distinct sets");
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(p.iter().all(|&x| x > 0.0));
+        assert!(p.len() <= 5, "at most 5 distinct sets");
     }
+}
 
-    #[test]
-    fn table_counts_match_inserts(
-        bases in proptest::collection::vec(0u64..4, 1..15)
-    ) {
+#[test]
+fn table_counts_match_inserts() {
+    let mut rng = DetRng::new(0xC0_0A);
+    for _ in 0..CASES {
+        let inserts = rng.range_between(1, 15) as usize;
+        let bases: Vec<u64> = (0..inserts).map(|_| rng.range(4)).collect();
         let mut table = TexelAddressTable::new();
         for b in &bases {
             table.insert(&tap_set(b * 0x40));
         }
         let total: u64 = table.counts().iter().map(|&c| u64::from(c)).sum();
-        prop_assert_eq!(total, bases.len() as u64, "no saturation below 16 inserts");
+        assert_eq!(total, bases.len() as u64, "no saturation below 16 inserts");
     }
 }

@@ -11,6 +11,8 @@
 //! * [`Aabb2`] — 2D bounding boxes used by the tiling engine.
 //! * [`edge`] — edge functions and barycentric coordinates for rasterization.
 //! * [`Plane`] / [`Frustum`] — clip-space planes for clipping and culling.
+//! * [`DetRng`] — a seeded SplitMix64 generator for deterministic
+//!   procedural content, randomized tests and fault injection.
 //!
 //! # Examples
 //!
@@ -34,12 +36,14 @@ pub mod aabb;
 pub mod edge;
 pub mod mat;
 pub mod plane;
+pub mod rng;
 pub mod vec;
 
 pub use aabb::Aabb2;
 pub use edge::{barycentric, edge_function, EdgeEval};
 pub use mat::Mat4;
 pub use plane::{Frustum, Plane};
+pub use rng::DetRng;
 pub use vec::{Vec2, Vec3, Vec4};
 
 /// Linearly interpolates between `a` and `b` by `t` (`t = 0` gives `a`).

@@ -1,144 +1,196 @@
-//! Property-based tests for the math primitives.
+//! Property-based tests for the math primitives, driven by the crate's own
+//! deterministic generator (`DetRng`) instead of an external fuzzing crate:
+//! each test sweeps a fixed-seed randomized sample of the input space, so
+//! failures are reproducible bit-for-bit from the test name alone.
 
-use patu_gmath::{barycentric, Aabb2, EdgeEval, Frustum, Mat4, Vec2, Vec3, Vec4};
-use proptest::prelude::*;
+use patu_gmath::{barycentric, Aabb2, DetRng, EdgeEval, Frustum, Mat4, Vec2, Vec3, Vec4};
 
-fn finite_f32(range: std::ops::RangeInclusive<f32>) -> impl Strategy<Value = f32> {
-    range.prop_filter("finite", |v| v.is_finite())
+const CASES: usize = 512;
+
+fn f32_in(rng: &mut DetRng, lo: f32, hi: f32) -> f32 {
+    lo + rng.next_f32() * (hi - lo)
 }
 
-fn vec2_strategy() -> impl Strategy<Value = Vec2> {
-    (finite_f32(-100.0..=100.0), finite_f32(-100.0..=100.0)).prop_map(|(x, y)| Vec2::new(x, y))
+fn vec2(rng: &mut DetRng) -> Vec2 {
+    Vec2::new(f32_in(rng, -100.0, 100.0), f32_in(rng, -100.0, 100.0))
 }
 
-fn vec3_strategy() -> impl Strategy<Value = Vec3> {
-    (
-        finite_f32(-100.0..=100.0),
-        finite_f32(-100.0..=100.0),
-        finite_f32(-100.0..=100.0),
+fn vec3(rng: &mut DetRng) -> Vec3 {
+    Vec3::new(
+        f32_in(rng, -100.0, 100.0),
+        f32_in(rng, -100.0, 100.0),
+        f32_in(rng, -100.0, 100.0),
     )
-        .prop_map(|(x, y, z)| Vec3::new(x, y, z))
 }
 
-proptest! {
-    #[test]
-    fn vec2_add_commutes(a in vec2_strategy(), b in vec2_strategy()) {
-        prop_assert_eq!(a + b, b + a);
+#[test]
+fn vec2_add_commutes() {
+    let mut rng = DetRng::new(0x67_01);
+    for _ in 0..CASES {
+        let (a, b) = (vec2(&mut rng), vec2(&mut rng));
+        assert_eq!(a + b, b + a);
     }
+}
 
-    #[test]
-    fn vec3_dot_symmetric(a in vec3_strategy(), b in vec3_strategy()) {
-        prop_assert_eq!(a.dot(b), b.dot(a));
+#[test]
+fn vec3_dot_symmetric() {
+    let mut rng = DetRng::new(0x67_02);
+    for _ in 0..CASES {
+        let (a, b) = (vec3(&mut rng), vec3(&mut rng));
+        assert_eq!(a.dot(b), b.dot(a));
     }
+}
 
-    #[test]
-    fn vec3_cross_orthogonal(a in vec3_strategy(), b in vec3_strategy()) {
+#[test]
+fn vec3_cross_orthogonal() {
+    let mut rng = DetRng::new(0x67_03);
+    for _ in 0..CASES {
+        let (a, b) = (vec3(&mut rng), vec3(&mut rng));
         let c = a.cross(b);
         // Orthogonality up to floating-point error, scaled by magnitudes.
         let scale = (a.length() * b.length()).max(1.0);
-        prop_assert!((c.dot(a) / (scale * scale)).abs() < 1e-4);
-        prop_assert!((c.dot(b) / (scale * scale)).abs() < 1e-4);
+        assert!((c.dot(a) / (scale * scale)).abs() < 1e-4);
+        assert!((c.dot(b) / (scale * scale)).abs() < 1e-4);
     }
+}
 
-    #[test]
-    fn normalized_has_unit_length_or_zero(v in vec3_strategy()) {
+#[test]
+fn normalized_has_unit_length_or_zero() {
+    let mut rng = DetRng::new(0x67_04);
+    for _ in 0..CASES {
+        let v = vec3(&mut rng);
         let n = v.normalized();
         if v.length() > 1e-3 {
-            prop_assert!((n.length() - 1.0).abs() < 1e-3);
+            assert!((n.length() - 1.0).abs() < 1e-3);
         }
     }
+}
 
-    #[test]
-    fn barycentric_weights_sum_to_one(
-        a in vec2_strategy(), b in vec2_strategy(), c in vec2_strategy(), p in vec2_strategy()
-    ) {
+#[test]
+fn barycentric_weights_sum_to_one() {
+    let mut rng = DetRng::new(0x67_05);
+    for _ in 0..CASES {
+        let (a, b, c, p) = (vec2(&mut rng), vec2(&mut rng), vec2(&mut rng), vec2(&mut rng));
         if let Some((w0, w1, w2)) = barycentric(a, b, c, p) {
             let area = (b - a).cross(c - a).abs();
             // Skip nearly-degenerate triangles where cancellation dominates.
-            prop_assume!(area > 1e-2);
-            prop_assert!((w0 + w1 + w2 - 1.0).abs() < 1e-2);
+            if area <= 1e-2 {
+                continue;
+            }
+            assert!((w0 + w1 + w2 - 1.0).abs() < 1e-2);
         }
     }
+}
 
-    #[test]
-    fn barycentric_reconstructs_point(
-        a in vec2_strategy(), b in vec2_strategy(), c in vec2_strategy(), p in vec2_strategy()
-    ) {
+#[test]
+fn barycentric_reconstructs_point() {
+    let mut rng = DetRng::new(0x67_06);
+    for _ in 0..CASES {
+        let (a, b, c, p) = (vec2(&mut rng), vec2(&mut rng), vec2(&mut rng), vec2(&mut rng));
         if let Some((w0, w1, w2)) = barycentric(a, b, c, p) {
             let area = (b - a).cross(c - a).abs();
             // Cancellation error grows with the triangle's conditioning
             // (perimeter^2 / area); skip needle triangles.
             let perimeter = (b - a).length() + (c - b).length() + (a - c).length();
-            prop_assume!(area > 1.0 && perimeter * perimeter / area < 100.0);
+            if !(area > 1.0 && perimeter * perimeter / area < 100.0) {
+                continue;
+            }
             let q = a * w0 + b * w1 + c * w2;
-            prop_assert!((q - p).length() < 1e-1, "reconstructed {q} vs {p}");
+            assert!((q - p).length() < 1e-1, "reconstructed {q} vs {p}");
         }
     }
+}
 
-    #[test]
-    fn edge_eval_agrees_with_barycentric(
-        a in vec2_strategy(), b in vec2_strategy(), c in vec2_strategy(), p in vec2_strategy()
-    ) {
+#[test]
+fn edge_eval_agrees_with_barycentric() {
+    let mut rng = DetRng::new(0x67_07);
+    for _ in 0..CASES {
+        let (a, b, c, p) = (vec2(&mut rng), vec2(&mut rng), vec2(&mut rng), vec2(&mut rng));
         if let (Some(tri), Some((w0, w1, w2))) = (EdgeEval::new(a, b, c), barycentric(a, b, c, p)) {
             let area = (b - a).cross(c - a).abs();
             let perimeter = (b - a).length() + (c - b).length() + (a - c).length();
-            prop_assume!(area > 1e-2 && perimeter * perimeter / area < 1e4);
+            if !(area > 1e-2 && perimeter * perimeter / area < 1e4) {
+                continue;
+            }
             let (e0, e1, e2) = tri.weights(p);
-            prop_assert!((e0 - w0).abs() < 1e-3);
-            prop_assert!((e1 - w1).abs() < 1e-3);
-            prop_assert!((e2 - w2).abs() < 1e-3);
+            assert!((e0 - w0).abs() < 1e-3);
+            assert!((e1 - w1).abs() < 1e-3);
+            assert!((e2 - w2).abs() < 1e-3);
         }
     }
+}
 
-    #[test]
-    fn aabb_union_contains_inputs(a in vec2_strategy(), b in vec2_strategy(),
-                                  c in vec2_strategy(), d in vec2_strategy()) {
+#[test]
+fn aabb_union_contains_inputs() {
+    let mut rng = DetRng::new(0x67_08);
+    for _ in 0..CASES {
+        let (a, b, c, d) = (vec2(&mut rng), vec2(&mut rng), vec2(&mut rng), vec2(&mut rng));
         let x = Aabb2::new(a, b);
         let y = Aabb2::new(c, d);
         let u = x.union(&y);
-        prop_assert!(u.contains(a) && u.contains(b) && u.contains(c) && u.contains(d));
+        assert!(u.contains(a) && u.contains(b) && u.contains(c) && u.contains(d));
     }
+}
 
-    #[test]
-    fn aabb_intersection_subset_of_both(a in vec2_strategy(), b in vec2_strategy(),
-                                        c in vec2_strategy(), d in vec2_strategy()) {
+#[test]
+fn aabb_intersection_subset_of_both() {
+    let mut rng = DetRng::new(0x67_09);
+    for _ in 0..CASES {
+        let (a, b, c, d) = (vec2(&mut rng), vec2(&mut rng), vec2(&mut rng), vec2(&mut rng));
         let x = Aabb2::new(a, b);
         let y = Aabb2::new(c, d);
         if let Some(i) = x.intersection(&y) {
-            prop_assert!(x.contains(i.min) && x.contains(i.max));
-            prop_assert!(y.contains(i.min) && y.contains(i.max));
+            assert!(x.contains(i.min) && x.contains(i.max));
+            assert!(y.contains(i.min) && y.contains(i.max));
         }
     }
+}
 
-    #[test]
-    fn mat4_identity_is_neutral(v in vec3_strategy()) {
+#[test]
+fn mat4_identity_is_neutral() {
+    let mut rng = DetRng::new(0x67_0A);
+    for _ in 0..CASES {
+        let v = vec3(&mut rng);
         let p = Mat4::IDENTITY.transform_point(v);
-        prop_assert_eq!(p, v);
+        assert_eq!(p, v);
     }
+}
 
-    #[test]
-    fn mat4_translate_then_inverse_translate(v in vec3_strategy(), t in vec3_strategy()) {
+#[test]
+fn mat4_translate_then_inverse_translate() {
+    let mut rng = DetRng::new(0x67_0B);
+    for _ in 0..CASES {
+        let (v, t) = (vec3(&mut rng), vec3(&mut rng));
         let m = Mat4::translation(t) * Mat4::translation(-t);
         let p = m.transform_point(v);
-        prop_assert!((p - v).length() < 1e-3);
+        assert!((p - v).length() < 1e-3);
     }
+}
 
-    #[test]
-    fn mat4_product_associative_on_vectors(t in vec3_strategy(), v in vec3_strategy()) {
+#[test]
+fn mat4_product_associative_on_vectors() {
+    let mut rng = DetRng::new(0x67_0C);
+    for _ in 0..CASES {
+        let (t, v) = (vec3(&mut rng), vec3(&mut rng));
         let a = Mat4::translation(t);
         let b = Mat4::rotation_y(0.7);
         let c = Mat4::scale(Vec3::new(2.0, 2.0, 2.0));
         let lhs = ((a * b) * c) * v.extend(1.0);
         let rhs = (a * (b * c)) * v.extend(1.0);
-        prop_assert!((lhs - rhs).truncate().length() < 1e-2);
+        assert!((lhs - rhs).truncate().length() < 1e-2);
     }
+}
 
-    #[test]
-    fn frustum_outcode_consistent_with_contains(
-        x in finite_f32(-3.0..=3.0), y in finite_f32(-3.0..=3.0),
-        z in finite_f32(-3.0..=3.0), w in finite_f32(0.1..=3.0)
-    ) {
-        let p = Vec4::new(x, y, z, w);
-        prop_assert_eq!(Frustum::outcode(p) == 0, Frustum::contains(p));
+#[test]
+fn frustum_outcode_consistent_with_contains() {
+    let mut rng = DetRng::new(0x67_0D);
+    for _ in 0..CASES {
+        let p = Vec4::new(
+            f32_in(&mut rng, -3.0, 3.0),
+            f32_in(&mut rng, -3.0, 3.0),
+            f32_in(&mut rng, -3.0, 3.0),
+            f32_in(&mut rng, 0.1, 3.0),
+        );
+        assert_eq!(Frustum::outcode(p) == 0, Frustum::contains(p));
     }
 }

@@ -65,7 +65,8 @@ impl Cache {
     /// # Panics
     ///
     /// Panics if any parameter is zero or `size_bytes` is not divisible into
-    /// at least one full set (`ways * line_size`).
+    /// at least one full set (`ways * line_size`). Use [`Cache::try_new`]
+    /// for a non-panicking variant.
     pub fn new(size_bytes: u64, ways: u32, line_size: u64) -> Cache {
         assert!(size_bytes > 0 && ways > 0 && line_size > 0, "cache parameters must be positive");
         let num_sets = size_bytes / (u64::from(ways) * line_size);
@@ -80,6 +81,19 @@ impl Cache {
             clock: 0,
             stats: CacheStats::default(),
         }
+    }
+
+    /// Like [`Cache::new`] but reports degenerate geometry as a typed error
+    /// instead of panicking.
+    pub fn try_new(size_bytes: u64, ways: u32, line_size: u64) -> Result<Cache, crate::GpuError> {
+        let err = crate::GpuError::InvalidCacheGeometry { size_bytes, ways, line_size };
+        if size_bytes == 0 || ways == 0 || line_size == 0 {
+            return Err(err);
+        }
+        if size_bytes / (u64::from(ways) * line_size) == 0 {
+            return Err(err);
+        }
+        Ok(Cache::new(size_bytes, ways, line_size))
     }
 
     /// Number of sets.
@@ -126,6 +140,21 @@ impl Cache {
         let set_idx = (line % self.num_sets) as usize;
         let tag = line / self.num_sets;
         self.sets[set_idx].iter().any(|w| w.valid && w.tag == tag)
+    }
+
+    /// Invalidates the line containing `addr` if resident, returning
+    /// whether a line was dropped. Models an ECC-detected bit flip: the
+    /// corrupted line cannot be served, so the next access refills it from
+    /// the level below (keeping hit/miss accounting consistent).
+    pub fn invalidate_line(&mut self, addr: TexelAddress) -> bool {
+        let line = addr.cache_line(self.line_size);
+        let set_idx = (line % self.num_sets) as usize;
+        let tag = line / self.num_sets;
+        if let Some(way) = self.sets[set_idx].iter_mut().find(|w| w.valid && w.tag == tag) {
+            way.valid = false;
+            return true;
+        }
+        false
     }
 
     /// Accumulated statistics.
@@ -247,5 +276,25 @@ mod tests {
     #[should_panic(expected = "too small")]
     fn degenerate_geometry_panics() {
         let _ = Cache::new(64, 4, 64);
+    }
+
+    #[test]
+    fn try_new_reports_bad_geometry() {
+        assert!(Cache::try_new(64, 4, 64).is_err(), "one set won't fit");
+        assert!(Cache::try_new(0, 4, 64).is_err());
+        assert!(Cache::try_new(1024, 0, 64).is_err());
+        assert!(Cache::try_new(1024, 4, 0).is_err());
+        assert!(Cache::try_new(1024, 4, 64).is_ok());
+    }
+
+    #[test]
+    fn invalidate_line_forces_refill() {
+        let mut c = Cache::new(1024, 2, 64);
+        c.access(addr(0x100));
+        assert!(c.probe(addr(0x100)));
+        assert!(c.invalidate_line(addr(0x100)));
+        assert!(!c.probe(addr(0x100)), "corrupted line dropped");
+        assert!(!c.access(addr(0x100)), "next access misses and refills");
+        assert!(!c.invalidate_line(addr(0x4000)), "absent line is a no-op");
     }
 }

@@ -104,6 +104,29 @@ impl Dram {
         done - now
     }
 
+    /// The channel servicing `addr`, per the line-interleave mapping.
+    pub fn channel_of(&self, addr: TexelAddress) -> usize {
+        (addr.cache_line(self.line_size) % self.channels) as usize
+    }
+
+    /// Stalls the channel servicing `addr` for `cycles` beyond cycle `now`
+    /// — a fault-injected timeout: the read in flight is retried, occupying
+    /// the data bus without transferring useful data. Subsequent reads on
+    /// the channel queue behind the stall, so the latency penalty propagates
+    /// exactly like real bandwidth pressure. Also closes the bank rows on
+    /// that channel (the retried activate loses the row buffer).
+    pub fn inject_stall(&mut self, addr: TexelAddress, cycles: u64, now: u64) {
+        let channel = self.channel_of(addr);
+        let busy = self.channel_busy_until[channel].max(now) + cycles;
+        self.channel_busy_until[channel] = busy;
+        let base = channel as u64 * self.banks_per_channel;
+        for b in 0..self.banks_per_channel {
+            self.banks[(base + b) as usize].open_row = None;
+        }
+        self.stats.busiest_channel_cycles =
+            self.stats.busiest_channel_cycles.max(busy);
+    }
+
     /// Accumulated statistics.
     pub fn stats(&self) -> DramStats {
         self.stats
@@ -175,6 +198,20 @@ mod tests {
         d.read(TexelAddress::new(0), 0);
         d.read(TexelAddress::new(4096), 10);
         assert_eq!(d.stats().bytes, 128);
+    }
+
+    #[test]
+    fn injected_stall_delays_same_channel_only() {
+        let mut d = dram();
+        let clean = d.read(TexelAddress::new(0), 0);
+        d.reset();
+        d.inject_stall(TexelAddress::new(0), 5_000, 0);
+        let stalled = d.read(TexelAddress::new(0), 0); // channel 0: queued
+        let other = d.read(TexelAddress::new(64), 0); // channel 1: free
+        assert!(stalled >= clean + 5_000, "stall adds latency: {stalled} vs {clean}");
+        assert_eq!(other, clean, "other channels unaffected");
+        assert_eq!(d.stats().reads, 2, "stalls are not reads");
+        assert_eq!(d.stats().bytes, 128, "accounting invariant holds");
     }
 
     #[test]

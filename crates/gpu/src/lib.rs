@@ -23,6 +23,10 @@
 //!   calculation, texel fetch, filter ALUs.
 //! * [`timing::FrameTimer`] — assembles per-tile work into frame cycles
 //!   across clusters.
+//! * [`fault::FaultInjector`] — seeded, deterministic fault injection for
+//!   the memory hierarchy (bit flips, DRAM stalls), with degradation
+//!   accounting in [`fault::FaultCounts`].
+//! * [`error::GpuError`] — typed errors for adversarial configurations.
 //!
 //! # Examples
 //!
@@ -42,6 +46,8 @@
 pub mod cache;
 pub mod config;
 pub mod dram;
+pub mod error;
+pub mod fault;
 pub mod memsys;
 pub mod stats;
 pub mod texture_unit;
@@ -50,6 +56,8 @@ pub mod timing;
 pub use cache::{Cache, CacheStats};
 pub use config::GpuConfig;
 pub use dram::{Dram, DramStats};
+pub use error::GpuError;
+pub use fault::{FaultConfig, FaultCounts, FaultInjector};
 pub use memsys::{FetchLevel, MemorySystem};
 pub use stats::{BandwidthBreakdown, EventCounts, FrameStats, TrafficClass};
 pub use texture_unit::{TextureRequest, TextureUnit};

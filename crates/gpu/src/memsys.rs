@@ -4,6 +4,8 @@
 use crate::cache::Cache;
 use crate::config::GpuConfig;
 use crate::dram::Dram;
+use crate::error::GpuError;
+use crate::fault::{FaultConfig, FaultCounts, FaultInjector};
 use crate::stats::{BandwidthBreakdown, EventCounts, TrafficClass};
 use patu_texture::TexelAddress;
 
@@ -39,24 +41,56 @@ pub struct MemorySystem {
     line_size: u64,
     bandwidth: BandwidthBreakdown,
     events: EventCounts,
+    faults: FaultInjector,
 }
 
 impl MemorySystem {
     /// Builds the hierarchy from the GPU configuration: one L1 per cluster,
     /// one shared L2, one DRAM.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate cache geometry; use [`MemorySystem::try_new`]
+    /// for a non-panicking variant.
     pub fn new(cfg: &GpuConfig) -> MemorySystem {
-        MemorySystem {
+        MemorySystem::try_new(cfg).expect("valid cache geometry")
+    }
+
+    /// Like [`MemorySystem::new`] but reports degenerate cache geometry as
+    /// a typed error instead of panicking.
+    pub fn try_new(cfg: &GpuConfig) -> Result<MemorySystem, GpuError> {
+        Ok(MemorySystem {
             l1: (0..cfg.clusters)
-                .map(|_| Cache::new(cfg.tex_l1_bytes, cfg.tex_l1_ways, cfg.cache_line_bytes))
-                .collect(),
-            l2: Cache::new(cfg.tex_l2_bytes, cfg.tex_l2_ways, cfg.cache_line_bytes),
+                .map(|_| Cache::try_new(cfg.tex_l1_bytes, cfg.tex_l1_ways, cfg.cache_line_bytes))
+                .collect::<Result<Vec<Cache>, GpuError>>()?,
+            l2: Cache::try_new(cfg.tex_l2_bytes, cfg.tex_l2_ways, cfg.cache_line_bytes)?,
             dram: Dram::new(cfg),
             l1_hit_cycles: cfg.l1_hit_cycles,
             l2_hit_cycles: cfg.l2_hit_cycles,
             line_size: cfg.cache_line_bytes,
             bandwidth: BandwidthBreakdown::default(),
             events: EventCounts::default(),
-        }
+            faults: FaultInjector::disabled(),
+        })
+    }
+
+    /// Arms fault injection on the fetch path. Cache bit flips invalidate
+    /// the affected line before lookup (the ECC-detected corruption forces
+    /// a refill from the level below); DRAM stalls occupy the read's
+    /// channel for the configured timeout. Both perturb *latency* and
+    /// *hit rates* while keeping the byte/event accounting invariants
+    /// (`dram bytes == dram reads × line size`) intact.
+    pub fn set_faults(&mut self, cfg: FaultConfig) -> Result<(), GpuError> {
+        cfg.validate()?;
+        // Tag the fork so the memory system's stream never overlaps the
+        // texture units', which fork from the same master seed.
+        self.faults = FaultInjector::new(cfg).fork(0x4D45_4D53); // "MEMS"
+        Ok(())
+    }
+
+    /// Faults injected into this memory system so far.
+    pub fn fault_counts(&self) -> FaultCounts {
+        self.faults.counts()
     }
 
     /// Fetches one texel through `cluster`'s L1; returns the latency in
@@ -83,6 +117,18 @@ impl MemorySystem {
         now: u64,
     ) -> (u64, FetchLevel) {
         self.events.texel_fetches += 1;
+        // Fault site: a resident line's ECC detects a bit flip. The line is
+        // dropped before lookup, so the access takes the miss path and the
+        // refill recovers clean data — degraded latency, correct results.
+        if self.faults.is_active() && self.faults.flip_cache_line() {
+            // Alternate the struck level deterministically so both caches
+            // exercise their recovery path under any rate.
+            if self.faults.counts().cache_bitflips.is_multiple_of(2) {
+                self.l2.invalidate_line(addr);
+            } else {
+                self.l1[cluster].invalidate_line(addr);
+            }
+        }
         self.events.l1_accesses += 1;
         if self.l1[cluster].access(addr) {
             return (self.l1_hit_cycles, FetchLevel::L1);
@@ -94,6 +140,11 @@ impl MemorySystem {
         }
         self.events.l2_misses += 1;
         let issue = now + self.l1_hit_cycles + self.l2_hit_cycles;
+        // Fault site: the DRAM read times out and is retried, holding the
+        // channel bus for the configured stall before the real transfer.
+        if let Some(stall) = self.faults.dram_stall() {
+            self.dram.inject_stall(addr, stall, issue);
+        }
         let dram_latency = self.dram.read(addr, issue);
         self.events.dram_reads += 1;
         self.events.dram_bytes += self.line_size;
@@ -148,6 +199,7 @@ impl MemorySystem {
         self.dram.reset();
         self.bandwidth = BandwidthBreakdown::default();
         self.events = EventCounts::default();
+        self.faults.reset_counts();
     }
 }
 
@@ -206,6 +258,61 @@ mod tests {
         let _ = m.fetch_texel(0, TexelAddress::new(0), 0);
         let _ = m.fetch_texel(0, TexelAddress::new(0), 10);
         assert!((m.l1_hit_rate(0) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn faulted_fetches_keep_accounting_invariants() {
+        let mut m = mem();
+        m.set_faults(FaultConfig::uniform(11, 0.2)).unwrap();
+        for i in 0..2_000u64 {
+            let _ = m.fetch_texel(0, TexelAddress::new((i % 300) * 32), i * 3);
+        }
+        let e = m.events();
+        assert_eq!(e.l1_accesses, e.texel_fetches);
+        assert_eq!(e.l2_accesses, e.l1_misses);
+        assert_eq!(e.dram_reads, e.l2_misses);
+        assert_eq!(e.dram_bytes, e.dram_reads * 64, "bytes == reads * line");
+        assert!(m.fault_counts().faults_injected() > 0, "faults actually fired");
+    }
+
+    #[test]
+    fn bitflips_lower_hit_rate() {
+        let run = |rate: f64| {
+            let mut m = mem();
+            m.set_faults(FaultConfig::uniform(5, rate)).unwrap();
+            for i in 0..3_000u64 {
+                let _ = m.fetch_texel(0, TexelAddress::new((i % 50) * 64), i);
+            }
+            m.l1_hit_rate(0)
+        };
+        assert!(run(0.3) < run(0.0), "corrupted lines force refills");
+    }
+
+    #[test]
+    fn disabled_faults_change_nothing() {
+        let mut clean = mem();
+        let mut armed = mem();
+        armed.set_faults(FaultConfig::disabled()).unwrap();
+        for i in 0..500u64 {
+            let a = clean.fetch_texel(0, TexelAddress::new(i * 48), i * 2);
+            let b = armed.fetch_texel(0, TexelAddress::new(i * 48), i * 2);
+            assert_eq!(a, b);
+        }
+        assert_eq!(clean.events(), armed.events());
+        assert_eq!(armed.fault_counts(), FaultCounts::default());
+    }
+
+    #[test]
+    fn set_faults_rejects_bad_rates() {
+        let mut m = mem();
+        let bad = FaultConfig { dram_stall_rate: 7.0, ..FaultConfig::disabled() };
+        assert!(m.set_faults(bad).is_err());
+    }
+
+    #[test]
+    fn try_new_rejects_degenerate_config() {
+        let cfg = GpuConfig { tex_l1_bytes: 1, ..GpuConfig::default() };
+        assert!(MemorySystem::try_new(&cfg).is_err());
     }
 
     #[test]

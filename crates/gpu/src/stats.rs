@@ -169,6 +169,9 @@ pub struct FrameStats {
     pub bandwidth: BandwidthBreakdown,
     /// Event counts for the energy model.
     pub events: EventCounts,
+    /// Faults injected and degradations taken while rendering (all zero
+    /// when fault injection is disabled).
+    pub faults: crate::FaultCounts,
 }
 
 impl FrameStats {
@@ -197,6 +200,7 @@ impl FrameStats {
         self.filter_requests += other.filter_requests;
         self.bandwidth.accumulate(&other.bandwidth);
         self.events.accumulate(&other.events);
+        self.faults.accumulate(&other.faults);
     }
 }
 

@@ -1,39 +1,56 @@
-//! Property-based tests for the cache, DRAM and timing models.
+//! Property-based tests for the cache, DRAM and timing models, driven by
+//! the workspace's deterministic generator (`DetRng`): each test sweeps a
+//! fixed-seed randomized sample of the input space, so any failure
+//! reproduces bit-for-bit from the test name alone.
 
+use patu_gmath::DetRng;
 use patu_gpu::{Cache, Dram, FrameTimer, GpuConfig, MemorySystem, TextureRequest, TextureUnit};
 use patu_texture::TexelAddress;
-use proptest::prelude::*;
 
-fn addr_stream() -> impl Strategy<Value = Vec<u64>> {
-    proptest::collection::vec(0u64..(1 << 20), 1..200)
+const SWEEPS: usize = 48;
+
+fn addr_stream(rng: &mut DetRng) -> Vec<u64> {
+    let len = rng.range_between(1, 200) as usize;
+    (0..len).map(|_| rng.range(1 << 20)).collect()
 }
 
-proptest! {
-    #[test]
-    fn cache_same_line_hits_after_any_fill(addrs in addr_stream(), probe in 0u64..(1 << 20)) {
+#[test]
+fn cache_same_line_hits_after_any_fill() {
+    let mut rng = DetRng::new(0x9_01);
+    for _ in 0..SWEEPS {
+        let addrs = addr_stream(&mut rng);
+        let probe = rng.range(1 << 20);
         let mut c = Cache::new(16 * 1024, 4, 64);
         for a in addrs {
             c.access(TexelAddress::new(a));
         }
         // After touching a line it must be resident immediately after.
         c.access(TexelAddress::new(probe));
-        prop_assert!(c.probe(TexelAddress::new(probe)));
+        assert!(c.probe(TexelAddress::new(probe)));
     }
+}
 
-    #[test]
-    fn cache_stats_consistent(addrs in addr_stream()) {
+#[test]
+fn cache_stats_consistent() {
+    let mut rng = DetRng::new(0x9_02);
+    for _ in 0..SWEEPS {
+        let addrs = addr_stream(&mut rng);
         let mut c = Cache::new(4 * 1024, 2, 64);
         for a in &addrs {
             c.access(TexelAddress::new(*a));
         }
         let s = c.stats();
-        prop_assert_eq!(s.accesses, addrs.len() as u64);
-        prop_assert!(s.hits <= s.accesses);
-        prop_assert!(s.hit_rate() <= 1.0);
+        assert_eq!(s.accesses, addrs.len() as u64);
+        assert!(s.hits <= s.accesses);
+        assert!(s.hit_rate() <= 1.0);
     }
+}
 
-    #[test]
-    fn bigger_cache_never_fewer_hits_on_repeat_pass(addrs in addr_stream()) {
+#[test]
+fn bigger_cache_never_fewer_hits_on_repeat_pass() {
+    let mut rng = DetRng::new(0x9_03);
+    for _ in 0..SWEEPS {
+        let addrs = addr_stream(&mut rng);
         // Two passes over the same stream: the second pass's hits measure
         // retained working set, which can only grow with capacity under
         // the same associativity and LRU.
@@ -48,46 +65,60 @@ proptest! {
             }
             c.stats().hits - before
         };
-        prop_assert!(run(64 * 1024) >= run(8 * 1024));
+        assert!(run(64 * 1024) >= run(8 * 1024));
     }
+}
 
-    #[test]
-    fn dram_latency_positive_and_bounded(addrs in addr_stream()) {
-        let cfg = GpuConfig::default();
+#[test]
+fn dram_latency_positive_and_bounded() {
+    let mut rng = DetRng::new(0x9_04);
+    let cfg = GpuConfig::default();
+    for _ in 0..SWEEPS {
+        let addrs = addr_stream(&mut rng);
         let mut d = Dram::new(&cfg);
         for (now, a) in addrs.iter().enumerate() {
             let lat = d.read(TexelAddress::new(*a), now as u64);
-            prop_assert!(lat >= cfg.dram_row_hit_cycles);
+            assert!(lat >= cfg.dram_row_hit_cycles);
             // Bounded by worst queueing: all prior requests on one channel.
-            prop_assert!(lat < 1_000_000);
+            assert!(lat < 1_000_000);
         }
-        prop_assert_eq!(d.stats().reads, addrs.len() as u64);
+        assert_eq!(d.stats().reads, addrs.len() as u64);
     }
+}
 
-    #[test]
-    fn dram_row_hits_never_exceed_reads(addrs in addr_stream()) {
+#[test]
+fn dram_row_hits_never_exceed_reads() {
+    let mut rng = DetRng::new(0x9_05);
+    for _ in 0..SWEEPS {
+        let addrs = addr_stream(&mut rng);
         let mut d = Dram::new(&GpuConfig::default());
         for (i, a) in addrs.iter().enumerate() {
             let _ = d.read(TexelAddress::new(*a), i as u64 * 10);
         }
-        prop_assert!(d.stats().row_hits <= d.stats().reads);
-        prop_assert_eq!(d.stats().bytes, addrs.len() as u64 * 64);
+        assert!(d.stats().row_hits <= d.stats().reads);
+        assert_eq!(d.stats().bytes, addrs.len() as u64 * 64);
     }
+}
 
-    #[test]
-    fn memsys_latency_hierarchy(addr in 0u64..(1 << 24)) {
-        let cfg = GpuConfig::default();
+#[test]
+fn memsys_latency_hierarchy() {
+    let mut rng = DetRng::new(0x9_06);
+    let cfg = GpuConfig::default();
+    for _ in 0..SWEEPS {
+        let addr = rng.range(1 << 24);
         let mut m = MemorySystem::new(&cfg);
         let cold = m.fetch_texel(0, TexelAddress::new(addr), 0);
         let warm = m.fetch_texel(0, TexelAddress::new(addr), 1_000);
         let other_cluster = m.fetch_texel(1, TexelAddress::new(addr), 2_000);
-        prop_assert!(warm <= other_cluster, "L1 <= L2");
-        prop_assert!(other_cluster <= cold, "L2 <= DRAM");
+        assert!(warm <= other_cluster, "L1 <= L2");
+        assert!(other_cluster <= cold, "L2 <= DRAM");
     }
+}
 
-    #[test]
-    fn texture_unit_latency_scales_with_taps(n in 1usize..=16) {
-        let cfg = GpuConfig::default();
+#[test]
+fn texture_unit_latency_scales_with_taps() {
+    let cfg = GpuConfig::default();
+    for n in 1usize..=16 {
         let mut tu = TextureUnit::new(0, &cfg);
         let mut mem = MemorySystem::new(&cfg);
         let taps: Vec<Vec<TexelAddress>> = (0..n)
@@ -96,34 +127,44 @@ proptest! {
         let req = TextureRequest::new(taps);
         let t = tu.process(&req, &mut mem, 0);
         // At least the filter throughput cost.
-        prop_assert!(t.latency >= (n as u64) * u64::from(cfg.cycles_per_trilinear));
-        prop_assert_eq!(t.completion, t.latency);
+        assert!(t.latency >= (n as u64) * u64::from(cfg.cycles_per_trilinear));
+        assert_eq!(t.completion, t.latency);
     }
+}
 
-    #[test]
-    fn frame_timer_monotone(work in proptest::collection::vec((0u64..5_000, 0u64..5_000), 1..60)) {
+#[test]
+fn frame_timer_monotone() {
+    let mut rng = DetRng::new(0x9_07);
+    for _ in 0..SWEEPS {
+        let tiles = rng.range_between(1, 60) as usize;
         let mut timer = FrameTimer::new(&GpuConfig::default());
         let mut last_frame = 0;
-        for (shade, texture_extra) in work {
+        for _ in 0..tiles {
+            let shade = rng.range(5_000);
+            let texture_extra = rng.range(5_000);
             let (cluster, start) = timer.begin_tile();
             timer.end_tile(cluster, shade, start + texture_extra);
             let f = timer.frame_cycles();
-            prop_assert!(f >= last_frame, "frame time never decreases");
+            assert!(f >= last_frame, "frame time never decreases");
             last_frame = f;
         }
     }
+}
 
-    #[test]
-    fn shading_cycles_linear_bounds(frags in 0u64..1_000_000) {
-        let timer = FrameTimer::new(&GpuConfig::default());
+#[test]
+fn shading_cycles_linear_bounds() {
+    let mut rng = DetRng::new(0x9_08);
+    let cfg = GpuConfig::default();
+    let timer = FrameTimer::new(&cfg);
+    let lanes = u64::from(cfg.shaders_per_cluster * cfg.simd_width);
+    for _ in 0..512 {
+        let frags = rng.range(1_000_000);
         let cycles = timer.shading_cycles(frags);
-        let cfg = GpuConfig::default();
-        let lanes = u64::from(cfg.shaders_per_cluster * cfg.simd_width);
         if let Some(per_cycle) =
             lanes.checked_div(u64::from(cfg.shader_ops_per_fragment)).filter(|&p| p > 0)
         {
-            prop_assert!(cycles >= frags / per_cycle);
-            prop_assert!(cycles <= frags / per_cycle + 1);
+            assert!(cycles >= frags / per_cycle);
+            assert!(cycles <= frags / per_cycle + 1);
         }
     }
 }

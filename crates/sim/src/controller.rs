@@ -31,35 +31,36 @@ pub struct ThresholdController {
 impl ThresholdController {
     /// Creates a controller starting at `initial_threshold`.
     ///
-    /// # Panics
-    ///
-    /// Panics if the bounds are inverted, the initial threshold lies outside
-    /// them, or `target_cycles` is zero.
+    /// Adversarial arguments are sanitized instead of panicking: a zero
+    /// `target_cycles` becomes 1, and a non-finite or out-of-range initial
+    /// threshold clamps into `[0, 1]` (NaN falls to the quality ceiling —
+    /// the safe direction).
     pub fn new(target_cycles: u64, initial_threshold: f64) -> ThresholdController {
-        assert!(target_cycles > 0, "target must be positive");
-        let c = ThresholdController {
-            target_cycles,
+        let threshold = if initial_threshold.is_finite() {
+            initial_threshold.clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        ThresholdController {
+            target_cycles: target_cycles.max(1),
             gain: 0.5,
             min_threshold: 0.0,
             max_threshold: 1.0,
-            threshold: initial_threshold,
-        };
-        assert!(
-            (c.min_threshold..=c.max_threshold).contains(&initial_threshold),
-            "initial threshold out of bounds"
-        );
-        c
+            threshold,
+        }
     }
 
     /// Restricts the controller's operating range, consuming and returning
     /// it. The current threshold is clamped into the new range.
     ///
-    /// # Panics
-    ///
-    /// Panics if `min > max` or the range leaves `[0, 1]`.
+    /// Bounds are sanitized rather than trusted: each is clamped into
+    /// `[0, 1]` (non-finite values fall to that side's extreme) and an
+    /// inverted pair is swapped.
     #[must_use]
     pub fn with_bounds(mut self, min: f64, max: f64) -> ThresholdController {
-        assert!(min <= max && min >= 0.0 && max <= 1.0, "invalid bounds");
+        let min = if min.is_finite() { min.clamp(0.0, 1.0) } else { 0.0 };
+        let max = if max.is_finite() { max.clamp(0.0, 1.0) } else { 1.0 };
+        let (min, max) = if min <= max { (min, max) } else { (max, min) };
         self.min_threshold = min;
         self.max_threshold = max;
         self.threshold = self.threshold.clamp(min, max);
@@ -144,8 +145,20 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "invalid bounds")]
-    fn inverted_bounds_panic() {
-        let _ = ThresholdController::new(1, 0.5).with_bounds(0.9, 0.1);
+    fn inverted_bounds_are_swapped_not_fatal() {
+        let c = ThresholdController::new(1, 0.5).with_bounds(0.9, 0.1);
+        assert_eq!(c.min_threshold, 0.1);
+        assert_eq!(c.max_threshold, 0.9);
+        assert_eq!(c.threshold(), 0.5, "threshold already inside the range");
+    }
+
+    #[test]
+    fn adversarial_construction_is_sanitized() {
+        let c = ThresholdController::new(0, f64::NAN);
+        assert_eq!(c.target_cycles, 1);
+        assert_eq!(c.threshold(), 1.0, "NaN start falls to full quality");
+        let c = ThresholdController::new(10, 7.0).with_bounds(f64::NEG_INFINITY, f64::NAN);
+        assert_eq!(c.threshold(), 1.0);
+        assert_eq!((c.min_threshold, c.max_threshold), (0.0, 1.0));
     }
 }

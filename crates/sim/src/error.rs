@@ -1,0 +1,87 @@
+//! The simulation layer's typed error, topping the `GpuError` →
+//! `PatuError` → `SimError` chain. Bench binaries return
+//! `Result<(), Box<dyn Error>>`, so a failure anywhere in the stack
+//! surfaces as one readable `Display` chain instead of a panic backtrace.
+
+use patu_core::PatuError;
+use patu_gpu::GpuError;
+use patu_scenes::WorkloadError;
+use std::fmt;
+
+/// Errors raised while configuring or running a simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A model-layer error (policy threshold, table capacity, fault rates,
+    /// cache geometry…).
+    Patu(PatuError),
+    /// The requested workload does not exist.
+    Workload(WorkloadError),
+    /// An analysis needed more frames than the caller supplied.
+    NotEnoughFrames {
+        /// How many frames the caller supplied.
+        got: usize,
+        /// The minimum the analysis needs.
+        need: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Patu(e) => write!(f, "simulation setup: {e}"),
+            SimError::Workload(e) => write!(f, "workload: {e}"),
+            SimError::NotEnoughFrames { got, need } => {
+                write!(f, "analysis needs at least {need} frames, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Patu(e) => Some(e),
+            SimError::Workload(e) => Some(e),
+            SimError::NotEnoughFrames { .. } => None,
+        }
+    }
+}
+
+impl From<PatuError> for SimError {
+    fn from(e: PatuError) -> SimError {
+        SimError::Patu(e)
+    }
+}
+
+impl From<GpuError> for SimError {
+    fn from(e: GpuError) -> SimError {
+        SimError::Patu(PatuError::Gpu(e))
+    }
+}
+
+impl From<WorkloadError> for SimError {
+    fn from(e: WorkloadError) -> SimError {
+        SimError::Workload(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_preserves_the_original_site() {
+        let gpu = GpuError::InvalidFaultRate { name: "dram_stall_rate", value: 2.0 };
+        let sim = SimError::from(gpu);
+        assert!(sim.to_string().contains("dram_stall_rate"));
+        use std::error::Error;
+        let patu = sim.source().expect("sim wraps patu");
+        assert!(patu.source().is_some(), "patu wraps gpu");
+    }
+
+    #[test]
+    fn frame_count_message() {
+        let e = SimError::NotEnoughFrames { got: 1, need: 2 };
+        assert!(e.to_string().contains("at least 2"));
+    }
+}

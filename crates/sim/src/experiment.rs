@@ -1,10 +1,11 @@
 //! Multi-frame experiments: the comparisons behind every figure of the
 //! paper's evaluation.
 
+use crate::error::SimError;
 use crate::render::{render_frame, FrameResult, RenderConfig};
 use patu_core::FilterPolicy;
 use patu_energy::EnergyModel;
-use patu_gpu::{FrameStats, GpuConfig};
+use patu_gpu::{FaultConfig, FrameStats, GpuConfig};
 use patu_quality::SsimConfig;
 use patu_scenes::Workload;
 
@@ -18,11 +19,22 @@ pub struct ExperimentConfig {
     pub frame_stride: u32,
     /// GPU configuration (Table I baseline by default).
     pub gpu: GpuConfig,
+    /// Fault-injection configuration applied to every rendered frame
+    /// (disabled by default).
+    pub faults: FaultConfig,
+    /// Optional per-frame cycle budget for the degradation watchdog.
+    pub cycle_budget: Option<u64>,
 }
 
 impl Default for ExperimentConfig {
     fn default() -> ExperimentConfig {
-        ExperimentConfig { frames: 3, frame_stride: 120, gpu: GpuConfig::default() }
+        ExperimentConfig {
+            frames: 3,
+            frame_stride: 120,
+            gpu: GpuConfig::default(),
+            faults: FaultConfig::disabled(),
+            cycle_budget: None,
+        }
     }
 }
 
@@ -94,11 +106,16 @@ fn accumulate(result: &FrameResult, agg: &mut AggregateResult, energy: &EnergyMo
 /// The baseline is always rendered (once per frame) to serve as the quality
 /// reference; include [`FilterPolicy::Baseline`] in `policies` to also get
 /// it as a result row.
+///
+/// # Errors
+///
+/// Returns [`SimError`] when any policy or the fault configuration is
+/// adversarial (see [`render_frame`]).
 pub fn run_policies(
     workload: &Workload,
     policies: &[(&str, FilterPolicy)],
     cfg: &ExperimentConfig,
-) -> Vec<AggregateResult> {
+) -> Result<Vec<AggregateResult>, SimError> {
     let energy = EnergyModel::default();
     let ssim = SsimConfig::default();
     let mut results: Vec<AggregateResult> = policies
@@ -118,9 +135,13 @@ pub fn run_policies(
         .collect();
 
     let frames = cfg.frame_indices();
+    let render_cfg = |policy: FilterPolicy| {
+        let mut rc = RenderConfig::new(policy).with_gpu(cfg.gpu).with_faults(cfg.faults);
+        rc.cycle_budget = cfg.cycle_budget;
+        rc
+    };
     for &frame in &frames {
-        let base_cfg = RenderConfig::new(FilterPolicy::Baseline).with_gpu(cfg.gpu);
-        let baseline = render_frame(workload, frame, &base_cfg);
+        let baseline = render_frame(workload, frame, &render_cfg(FilterPolicy::Baseline))?;
         let baseline_luma = baseline.luma();
 
         for (slot, (_, policy)) in policies.iter().enumerate() {
@@ -128,8 +149,7 @@ pub fn run_policies(
             let result = if is_baseline {
                 baseline.clone()
             } else {
-                let rc = RenderConfig::new(*policy).with_gpu(cfg.gpu);
-                render_frame(workload, frame, &rc)
+                render_frame(workload, frame, &render_cfg(*policy))?
             };
             let mssim = if is_baseline {
                 1.0
@@ -149,7 +169,7 @@ pub fn run_policies(
         agg.mssim /= n;
         agg.energy_joules /= n;
     }
-    results
+    Ok(results)
 }
 
 /// The paper's four design points at threshold `theta` (Sec. VII-B):
@@ -169,7 +189,7 @@ pub fn threshold_sweep(
     workload: &Workload,
     thresholds: &[f64],
     cfg: &ExperimentConfig,
-) -> (AggregateResult, Vec<(f64, AggregateResult)>) {
+) -> Result<(AggregateResult, Vec<(f64, AggregateResult)>), SimError> {
     let mut policies: Vec<(String, FilterPolicy)> = vec![
         ("Baseline".to_string(), FilterPolicy::Baseline),
     ];
@@ -178,10 +198,10 @@ pub fn threshold_sweep(
     }
     let borrowed: Vec<(&str, FilterPolicy)> =
         policies.iter().map(|(s, p)| (s.as_str(), *p)).collect();
-    let mut results = run_policies(workload, &borrowed, cfg);
+    let mut results = run_policies(workload, &borrowed, cfg)?;
     let baseline = results.remove(0);
     let sweep = thresholds.iter().copied().zip(results).collect();
-    (baseline, sweep)
+    Ok((baseline, sweep))
 }
 
 /// Temporal stability of a policy: the mean SSIM between *consecutive
@@ -190,24 +210,30 @@ pub fn threshold_sweep(
 /// against the baseline cannot see but video viewers (the paper's Fig. 22
 /// raters) do. Values near the baseline's own inter-frame SSIM mean the
 /// approximation does not add temporal noise.
+/// # Errors
+///
+/// Returns [`SimError::NotEnoughFrames`] for fewer than two frames, or any
+/// rendering error.
 pub fn temporal_stability(
     workload: &Workload,
     policy: FilterPolicy,
     frames: &[u32],
     cfg: &ExperimentConfig,
-) -> f64 {
-    assert!(frames.len() >= 2, "need at least two frames for stability");
+) -> Result<f64, SimError> {
+    if frames.len() < 2 {
+        return Err(SimError::NotEnoughFrames { got: frames.len(), need: 2 });
+    }
     let ssim = SsimConfig::default();
     let rc = crate::render::RenderConfig::new(policy).with_gpu(cfg.gpu);
-    let rendered: Vec<_> = frames
-        .iter()
-        .map(|&f| crate::render::render_frame(workload, f, &rc).luma())
-        .collect();
+    let mut rendered = Vec::with_capacity(frames.len());
+    for &f in frames {
+        rendered.push(crate::render::render_frame(workload, f, &rc)?.luma());
+    }
     let mut sum = 0.0;
     for pair in rendered.windows(2) {
         sum += f64::from(ssim.mssim(&pair[0], &pair[1]));
     }
-    sum / (rendered.len() - 1) as f64
+    Ok(sum / (rendered.len() - 1) as f64)
 }
 
 /// The Best Point (BP) of a sweep: the threshold maximizing
@@ -215,11 +241,7 @@ pub fn temporal_stability(
 pub fn best_point(baseline: &AggregateResult, sweep: &[(f64, AggregateResult)]) -> f64 {
     sweep
         .iter()
-        .max_by(|a, b| {
-            a.1.tuning_metric(baseline)
-                .partial_cmp(&b.1.tuning_metric(baseline))
-                .expect("tuning metrics are finite")
-        })
+        .max_by(|a, b| a.1.tuning_metric(baseline).total_cmp(&b.1.tuning_metric(baseline)))
         .map(|(t, _)| *t)
         .unwrap_or(1.0)
 }
@@ -229,7 +251,7 @@ mod tests {
     use super::*;
 
     fn small_cfg() -> ExperimentConfig {
-        ExperimentConfig { frames: 1, frame_stride: 1, gpu: GpuConfig::default() }
+        ExperimentConfig { frames: 1, frame_stride: 1, ..ExperimentConfig::default() }
     }
 
     fn workload() -> Workload {
@@ -253,7 +275,7 @@ mod tests {
     #[test]
     fn baseline_has_unity_metrics() {
         let w = workload();
-        let results = run_policies(&w, &design_points(0.4), &small_cfg());
+        let results = run_policies(&w, &design_points(0.4), &small_cfg()).unwrap();
         let base = &results[0];
         assert!((base.mssim - 1.0).abs() < 1e-9);
         assert!((base.speedup_vs(base) - 1.0).abs() < 1e-12);
@@ -263,7 +285,7 @@ mod tests {
     #[test]
     fn patu_faster_than_baseline_with_high_quality() {
         let w = workload();
-        let results = run_policies(&w, &design_points(0.4), &small_cfg());
+        let results = run_policies(&w, &design_points(0.4), &small_cfg()).unwrap();
         let base = &results[0];
         let patu = &results[3];
         assert!(patu.speedup_vs(base) > 1.0, "PATU speeds up: {}", patu.speedup_vs(base));
@@ -274,7 +296,7 @@ mod tests {
     #[test]
     fn patu_beats_naive_demotion_on_quality() {
         let w = workload();
-        let results = run_policies(&w, &design_points(0.4), &small_cfg());
+        let results = run_policies(&w, &design_points(0.4), &small_cfg()).unwrap();
         let naive = &results[2]; // AF-SSIM(N)+(Txds)
         let patu = &results[3];
         assert!(
@@ -289,7 +311,7 @@ mod tests {
     fn sweep_quality_rises_with_threshold() {
         let w = workload();
         let (baseline, sweep) =
-            threshold_sweep(&w, &[0.0, 0.5, 1.0], &small_cfg());
+            threshold_sweep(&w, &[0.0, 0.5, 1.0], &small_cfg()).unwrap();
         assert_eq!(sweep.len(), 3);
         let q0 = sweep[0].1.mssim;
         let q1 = sweep[2].1.mssim;
@@ -304,13 +326,15 @@ mod tests {
     fn temporal_stability_in_unit_range_and_tracks_baseline() {
         let w = workload();
         let frames = [0u32, 1, 2];
-        let base = temporal_stability(&w, FilterPolicy::Baseline, &frames, &small_cfg());
+        let base =
+            temporal_stability(&w, FilterPolicy::Baseline, &frames, &small_cfg()).unwrap();
         let patu = temporal_stability(
             &w,
             FilterPolicy::Patu { threshold: 0.4 },
             &frames,
             &small_cfg(),
-        );
+        )
+        .unwrap();
         assert!((0.0..=1.0).contains(&base));
         assert!((0.0..=1.0).contains(&patu));
         // Approximation must not add an order of magnitude of flicker.
@@ -318,16 +342,44 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least two frames")]
     fn temporal_stability_needs_two_frames() {
         let w = workload();
-        let _ = temporal_stability(&w, FilterPolicy::Baseline, &[0], &small_cfg());
+        let err = temporal_stability(&w, FilterPolicy::Baseline, &[0], &small_cfg())
+            .unwrap_err();
+        assert!(matches!(err, crate::error::SimError::NotEnoughFrames { got: 1, need: 2 }));
+    }
+
+    #[test]
+    fn fault_counters_flow_into_aggregates() {
+        let w = workload();
+        let cfg = ExperimentConfig {
+            faults: FaultConfig::uniform(5, 0.05),
+            ..small_cfg()
+        };
+        let results = run_policies(&w, &design_points(0.4), &cfg).unwrap();
+        let patu = &results[3];
+        assert!(patu.stats.faults.faults_injected() > 0);
+        assert!(patu.stats.faults.fallbacks > 0);
+        assert!((0.0..=1.0).contains(&patu.mssim), "SSIM stays valid under faults");
+        // Same seed, same chaos: the whole experiment is reproducible.
+        let again = run_policies(&w, &design_points(0.4), &cfg).unwrap();
+        assert_eq!(patu.stats, again[3].stats);
+    }
+
+    #[test]
+    fn invalid_fault_rate_is_an_error_not_a_panic() {
+        let w = workload();
+        let cfg = ExperimentConfig {
+            faults: FaultConfig { cache_bitflip_rate: -1.0, ..FaultConfig::disabled() },
+            ..small_cfg()
+        };
+        assert!(run_policies(&w, &design_points(0.4), &cfg).is_err());
     }
 
     #[test]
     fn best_point_picks_max_tuning_metric() {
         let w = workload();
-        let (baseline, sweep) = threshold_sweep(&w, &[0.2, 0.8], &small_cfg());
+        let (baseline, sweep) = threshold_sweep(&w, &[0.2, 0.8], &small_cfg()).unwrap();
         let bp = best_point(&baseline, &sweep);
         let metrics: Vec<f64> = sweep.iter().map(|(_, r)| r.tuning_metric(&baseline)).collect();
         let best_idx = if metrics[0] >= metrics[1] { 0 } else { 1 };

@@ -27,8 +27,9 @@
 //!
 //! let workload = Workload::build("doom3", (640, 480))?;
 //! let cfg = RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 });
-//! let frame = render_frame(&workload, 0, &cfg);
+//! let frame = render_frame(&workload, 0, &cfg)?;
 //! println!("cycles: {}", frame.stats.cycles);
+//! println!("fault fallbacks: {}", frame.stats.faults.fallbacks);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -36,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod controller;
+pub mod error;
 pub mod experiment;
 pub mod foveation;
 pub mod render;
@@ -44,6 +46,7 @@ pub mod satisfaction;
 pub mod stereo;
 
 pub use controller::ThresholdController;
+pub use error::SimError;
 pub use experiment::{AggregateResult, ExperimentConfig};
 pub use foveation::Foveation;
 pub use render::{render_frame, FrameResult, RenderConfig};

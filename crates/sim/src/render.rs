@@ -1,8 +1,10 @@
 //! Rendering one frame through the full simulated stack.
 
+use crate::error::SimError;
 use patu_core::{DivergenceStats, FilterPolicy, PerceptionAwareTextureUnit};
 use patu_gpu::{
-    FrameStats, FrameTimer, GpuConfig, MemorySystem, TextureRequest, TextureUnit, TrafficClass,
+    FaultConfig, FaultCounts, FrameStats, FrameTimer, GpuConfig, MemorySystem, TextureRequest,
+    TextureUnit, TrafficClass,
 };
 use patu_quality::GrayImage;
 use patu_raster::{Framebuffer, Pipeline, QuadId};
@@ -39,6 +41,14 @@ pub struct RenderConfig {
     pub traversal: patu_raster::TraversalOrder,
     /// Optional foveated threshold modulation (VR extension).
     pub foveation: Option<crate::foveation::Foveation>,
+    /// Fault-injection configuration for the chaos suite (disabled by
+    /// default: rendering is then bit-identical to a faultless build).
+    pub faults: FaultConfig,
+    /// Optional per-frame cycle budget. Once a tile starts past the budget,
+    /// the rest of the frame degrades to trilinear-only filtering (NoAf)
+    /// and the result is flagged [`FrameResult::degraded`] — the frame
+    /// always completes instead of livelocking under injected stalls.
+    pub cycle_budget: Option<u64>,
 }
 
 impl RenderConfig {
@@ -51,7 +61,23 @@ impl RenderConfig {
             hash_table_capacity: 16,
             traversal: patu_raster::TraversalOrder::RowMajor,
             foveation: None,
+            faults: FaultConfig::disabled(),
+            cycle_budget: None,
         }
+    }
+
+    /// Enables fault injection with the given configuration.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultConfig) -> RenderConfig {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets a per-frame cycle budget for the degradation watchdog.
+    #[must_use]
+    pub fn with_cycle_budget(mut self, budget: u64) -> RenderConfig {
+        self.cycle_budget = Some(budget);
+        self
     }
 
     /// Enables foveated threshold modulation.
@@ -100,6 +126,9 @@ pub struct FrameResult {
     pub sharing: patu_core::SharingStats,
     /// Quad prediction divergence (Sec. V-C(1)).
     pub divergence: DivergenceStats,
+    /// Whether the cycle-budget watchdog tripped and part of the frame was
+    /// rendered with degraded (trilinear-only) filtering.
+    pub degraded: bool,
 }
 
 impl FrameResult {
@@ -116,7 +145,17 @@ impl FrameResult {
 /// Renders frame `index` of `workload` under `cfg` through the full stack:
 /// geometry pass → per-tile fragment shading with the policy-driven texture
 /// unit → timing/energy event accounting.
-pub fn render_frame(workload: &Workload, index: u32, cfg: &RenderConfig) -> FrameResult {
+///
+/// # Errors
+///
+/// Returns [`SimError`] for adversarial configurations: a non-finite or
+/// out-of-range policy threshold, a zero-entry hash table, invalid fault
+/// rates or degenerate cache geometry.
+pub fn render_frame(
+    workload: &Workload,
+    index: u32,
+    cfg: &RenderConfig,
+) -> Result<FrameResult, SimError> {
     let scene = workload.frame(index);
     render_scene(workload, &scene, cfg)
 }
@@ -125,26 +164,38 @@ pub fn render_frame(workload: &Workload, index: u32, cfg: &RenderConfig) -> Fram
 /// and shader tables. [`render_frame`] is the common entry point; this one
 /// exists for callers that modify the camera first — e.g. the stereo/VR
 /// path in [`crate::stereo`], which renders two eye views of one frame.
+///
+/// # Errors
+///
+/// See [`render_frame`].
 pub fn render_scene(
     workload: &Workload,
     scene: &patu_scenes::FrameScene,
     cfg: &RenderConfig,
-) -> FrameResult {
+) -> Result<FrameResult, SimError> {
     let (width, height) = workload.resolution();
     let pipeline = Pipeline::with_tile_size(width, height, cfg.gpu.tile_size)
         .with_traversal(cfg.traversal);
     let geometry = pipeline.run(&scene.meshes, &scene.camera);
 
-    let mut mem = MemorySystem::new(&cfg.gpu);
+    let mut mem = MemorySystem::try_new(&cfg.gpu)?;
+    mem.set_faults(cfg.faults)?;
     let mut timer = FrameTimer::new(&cfg.gpu);
     let clusters = cfg.gpu.clusters as usize;
     let mut tex_units: Vec<TextureUnit> =
         (0..clusters).map(|c| TextureUnit::new(c, &cfg.gpu)).collect();
+    // Per-cluster units fork the fault stream under their cluster index, so
+    // fault patterns are deterministic regardless of tile scheduling.
     let mut patu_units: Vec<PerceptionAwareTextureUnit> = (0..clusters)
-        .map(|_| {
-            PerceptionAwareTextureUnit::with_table_capacity(cfg.policy, cfg.hash_table_capacity)
+        .map(|c| {
+            PerceptionAwareTextureUnit::try_with_faults(
+                cfg.policy,
+                cfg.hash_table_capacity,
+                cfg.faults,
+                c as u64,
+            )
         })
-        .collect();
+        .collect::<Result<_, _>>()?;
 
     // Geometry front-end time and traffic.
     timer.add_frontend_cycles(
@@ -165,9 +216,18 @@ pub fn render_scene(
     let mut filter_requests = 0u64;
     let mut divergence = DivergenceStats::new();
     let mut wasted_addr_taps = 0u64;
+    let mut degraded = false;
 
     for tile in &geometry.tiles {
         let (cluster, start) = timer.begin_tile();
+        // Watchdog: a tile starting past the budget means injected stalls
+        // (or sheer load) blew the frame time. Degrade the rest of the
+        // frame to the cheapest real filtering instead of piling on.
+        if let Some(budget) = cfg.cycle_budget {
+            if start > budget {
+                degraded = true;
+            }
+        }
         let mut texture_done = start;
         // Per-quad approximation outcomes for divergence accounting.
         let mut quad_outcomes: std::collections::HashMap<QuadId, Vec<bool>> =
@@ -182,18 +242,29 @@ pub fn render_scene(
                 tex.height(),
                 cfg.gpu.max_aniso,
             );
-            let outcome = match cfg.foveation {
-                None => patu_units[cluster].filter(tex, frag.uv, &fp, cfg.address_mode),
-                Some(fov) => {
-                    // Loosen the knob with eccentricity: scaled threshold,
-                    // same two-stage flow.
-                    let policy = match cfg.policy.threshold() {
-                        Some(base) => cfg.policy.with_threshold(
-                            base * fov.threshold_scale(frag.x, frag.y, width, height),
-                        ),
-                        None => cfg.policy,
-                    };
-                    patu_units[cluster].filter_with(policy, tex, frag.uv, &fp, cfg.address_mode)
+            let outcome = if degraded {
+                patu_units[cluster].filter_with(
+                    FilterPolicy::NoAf,
+                    tex,
+                    frag.uv,
+                    &fp,
+                    cfg.address_mode,
+                )
+            } else {
+                match cfg.foveation {
+                    None => patu_units[cluster].filter(tex, frag.uv, &fp, cfg.address_mode),
+                    Some(fov) => {
+                        // Loosen the knob with eccentricity: scaled
+                        // threshold, same two-stage flow.
+                        let policy = match cfg.policy.threshold() {
+                            Some(base) => cfg.policy.with_threshold(
+                                base * fov.threshold_scale(frag.x, frag.y, width, height),
+                            ),
+                            None => cfg.policy,
+                        };
+                        patu_units[cluster]
+                            .filter_with(policy, tex, frag.uv, &fp, cfg.address_mode)
+                    }
                 }
             };
 
@@ -237,13 +308,20 @@ pub fn render_scene(
     mem.record_traffic(TrafficClass::Framebuffer, u64::from(width) * u64::from(height) * 2);
     mem.record_traffic(TrafficClass::Other, 4096); // command stream
 
-    // Assemble statistics.
+    // Assemble statistics, merging every consumer's fault counters.
+    let mut fault_counts: FaultCounts = mem.fault_counts();
+    for unit in &patu_units {
+        fault_counts.accumulate(&unit.fault_counts());
+    }
+    fault_counts.watchdog_trips += u64::from(degraded);
+
     let mut stats = FrameStats {
         cycles: timer.frame_cycles(),
         filter_latency_cycles: filter_latency,
         filter_requests,
         bandwidth: mem.bandwidth(),
         events: mem.events(),
+        faults: fault_counts,
     };
     for tu in &tex_units {
         stats.events.accumulate(&tu.events());
@@ -265,7 +343,7 @@ pub fn render_scene(
     stats.events.predictor_evals = approx.stage1_approx + approx.stage2_approx * 2
         + approx.kept_af * if cfg.policy.uses_distribution_stage() { 2 } else { 1 };
 
-    FrameResult { image, stats, approx, sharing, divergence }
+    Ok(FrameResult { image, stats, approx, sharing, divergence, degraded })
 }
 
 #[cfg(test)]
@@ -276,10 +354,14 @@ mod tests {
         Workload::build("doom3", (256, 192)).unwrap()
     }
 
+    fn render(w: &Workload, index: u32, cfg: &RenderConfig) -> FrameResult {
+        render_frame(w, index, cfg).expect("valid test config")
+    }
+
     #[test]
     fn baseline_renders_and_times() {
         let w = workload();
-        let r = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Baseline));
+        let r = render(&w, 0, &RenderConfig::new(FilterPolicy::Baseline));
         assert!(r.stats.cycles > 0);
         assert!(r.stats.filter_requests > 10_000);
         assert!(r.stats.events.trilinear_ops > r.stats.filter_requests, "AF multiplies taps");
@@ -289,8 +371,8 @@ mod tests {
     #[test]
     fn noaf_is_faster_and_fetches_less() {
         let w = workload();
-        let base = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Baseline));
-        let noaf = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::NoAf));
+        let base = render(&w, 0, &RenderConfig::new(FilterPolicy::Baseline));
+        let noaf = render(&w, 0, &RenderConfig::new(FilterPolicy::NoAf));
         assert!(noaf.stats.cycles < base.stats.cycles, "disabling AF speeds up");
         assert!(noaf.stats.events.texel_fetches < base.stats.events.texel_fetches);
         assert!(
@@ -302,9 +384,9 @@ mod tests {
     #[test]
     fn patu_sits_between_baseline_and_noaf() {
         let w = workload();
-        let base = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Baseline));
-        let noaf = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::NoAf));
-        let patu = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 }));
+        let base = render(&w, 0, &RenderConfig::new(FilterPolicy::Baseline));
+        let noaf = render(&w, 0, &RenderConfig::new(FilterPolicy::NoAf));
+        let patu = render(&w, 0, &RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 }));
         assert!(patu.stats.events.texel_fetches <= base.stats.events.texel_fetches);
         assert!(patu.stats.events.texel_fetches >= noaf.stats.events.texel_fetches);
         assert!(patu.approx.pixels > 0);
@@ -314,7 +396,7 @@ mod tests {
     #[test]
     fn images_match_resolution() {
         let w = workload();
-        let r = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Baseline));
+        let r = render(&w, 0, &RenderConfig::new(FilterPolicy::Baseline));
         assert_eq!(r.image.width(), 256);
         assert_eq!(r.image.height(), 192);
         let luma = r.luma();
@@ -325,8 +407,8 @@ mod tests {
     fn rendering_is_deterministic() {
         let w = workload();
         let cfg = RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 });
-        let a = render_frame(&w, 3, &cfg);
-        let b = render_frame(&w, 3, &cfg);
+        let a = render(&w, 3, &cfg);
+        let b = render(&w, 3, &cfg);
         assert_eq!(a.image.pixels(), b.image.pixels());
         assert_eq!(a.stats.cycles, b.stats.cycles);
         assert_eq!(a.stats.events.texel_fetches, b.stats.events.texel_fetches);
@@ -335,7 +417,7 @@ mod tests {
     #[test]
     fn divergence_is_rare() {
         let w = workload();
-        let r = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 }));
+        let r = render(&w, 0, &RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 }));
         assert!(r.divergence.quads > 100);
         // The paper reports ~1% on commercial traces; our procedural scenes
         // have sharper decision boundaries, so allow more headroom while
@@ -350,7 +432,7 @@ mod tests {
     #[test]
     fn bandwidth_dominated_by_texture_under_af() {
         let w = workload();
-        let r = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Baseline));
+        let r = render(&w, 0, &RenderConfig::new(FilterPolicy::Baseline));
         assert!(
             r.stats.bandwidth.texture_fraction() > 0.4,
             "texture share {}",
@@ -359,9 +441,67 @@ mod tests {
     }
 
     #[test]
+    fn disabled_faults_are_bit_identical_to_default() {
+        let w = workload();
+        let plain = RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 });
+        // A non-zero seed with all-zero rates must change nothing.
+        let seeded = plain.with_faults(FaultConfig { seed: 99, ..FaultConfig::disabled() });
+        let a = render(&w, 0, &plain);
+        let b = render(&w, 0, &seeded);
+        assert_eq!(a.image.pixels(), b.image.pixels());
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.stats.faults, FaultCounts::default());
+        assert!(!a.degraded && !b.degraded);
+    }
+
+    #[test]
+    fn faulty_frame_completes_and_counts() {
+        let w = workload();
+        let cfg = RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 })
+            .with_faults(FaultConfig::uniform(42, 0.05));
+        let r = render(&w, 0, &cfg);
+        let f = r.stats.faults;
+        assert!(f.faults_injected() > 0, "5% rates must fire: {f:?}");
+        assert!(f.fallbacks > 0, "poisoned predictions degrade to AF");
+        assert!(r.stats.cycles > 0);
+        // Fault runs are just as deterministic as clean ones.
+        let r2 = render(&w, 0, &cfg);
+        assert_eq!(r.stats, r2.stats);
+        assert_eq!(r.image.pixels(), r2.image.pixels());
+    }
+
+    #[test]
+    fn watchdog_degrades_instead_of_livelocking() {
+        let w = workload();
+        let cfg = RenderConfig::new(FilterPolicy::Baseline).with_cycle_budget(1);
+        let r = render(&w, 0, &cfg);
+        assert!(r.degraded, "a 1-cycle budget trips immediately");
+        assert_eq!(r.stats.faults.watchdog_trips, 1);
+        // Degraded tiles render trilinear-only: cheaper than full AF.
+        let full = render(&w, 0, &RenderConfig::new(FilterPolicy::Baseline));
+        assert!(r.stats.events.texel_fetches < full.stats.events.texel_fetches);
+        assert!(!full.degraded);
+        assert_eq!(full.stats.faults.watchdog_trips, 0);
+    }
+
+    #[test]
+    fn adversarial_configs_are_typed_errors() {
+        let w = workload();
+        let nan_threshold = RenderConfig::new(FilterPolicy::Patu { threshold: f64::NAN });
+        assert!(render_frame(&w, 0, &nan_threshold).is_err());
+        let zero_table =
+            RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 }).with_hash_table_capacity(0);
+        assert!(render_frame(&w, 0, &zero_table).is_err());
+        let bad_rate = RenderConfig::new(FilterPolicy::Baseline)
+            .with_faults(FaultConfig { dram_stall_rate: 7.0, ..FaultConfig::disabled() });
+        let err = render_frame(&w, 0, &bad_rate).unwrap_err();
+        assert!(err.to_string().contains("dram_stall_rate"));
+    }
+
+    #[test]
     fn baseline_records_sharing_stats() {
         let w = workload();
-        let r = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Baseline));
+        let r = render(&w, 0, &RenderConfig::new(FilterPolicy::Baseline));
         assert!(r.sharing.taps_total > 0);
         let f = r.sharing.sharing_fraction();
         assert!(f > 0.0 && f < 1.0, "sharing fraction {f}");

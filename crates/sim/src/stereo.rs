@@ -8,6 +8,7 @@
 //! is filtered twice, which is why the paper singles out VR as a motivating
 //! workload (Sec. I).
 
+use crate::error::SimError;
 use crate::render::{render_scene, FrameResult, RenderConfig};
 use patu_gpu::FrameStats;
 use patu_scenes::{FrameScene, Workload};
@@ -47,16 +48,21 @@ fn eye_scene(scene: &FrameScene, half_ipd: f32) -> FrameScene {
 
 /// Renders frame `index` of `workload` in stereo with the given
 /// interpupillary distance (world units; ~0.064 for a human at meter scale).
+///
+/// # Errors
+///
+/// Returns [`SimError`] for adversarial configurations (see
+/// [`crate::render::render_frame`]).
 pub fn render_stereo(
     workload: &Workload,
     index: u32,
     cfg: &RenderConfig,
     ipd: f32,
-) -> StereoFrameResult {
+) -> Result<StereoFrameResult, SimError> {
     let scene = workload.frame(index);
-    let left = render_scene(workload, &eye_scene(&scene, -ipd / 2.0), cfg);
-    let right = render_scene(workload, &eye_scene(&scene, ipd / 2.0), cfg);
-    StereoFrameResult { left, right }
+    let left = render_scene(workload, &eye_scene(&scene, -ipd / 2.0), cfg)?;
+    let right = render_scene(workload, &eye_scene(&scene, ipd / 2.0), cfg)?;
+    Ok(StereoFrameResult { left, right })
 }
 
 #[cfg(test)]
@@ -72,7 +78,7 @@ mod tests {
     fn stereo_renders_two_distinct_views() {
         let w = workload();
         let cfg = RenderConfig::new(FilterPolicy::Baseline);
-        let s = render_stereo(&w, 0, &cfg, 0.4);
+        let s = render_stereo(&w, 0, &cfg, 0.4).unwrap();
         assert_ne!(
             s.left.image.pixels(),
             s.right.image.pixels(),
@@ -84,7 +90,7 @@ mod tests {
     fn zero_ipd_views_are_identical() {
         let w = workload();
         let cfg = RenderConfig::new(FilterPolicy::Baseline);
-        let s = render_stereo(&w, 0, &cfg, 0.0);
+        let s = render_stereo(&w, 0, &cfg, 0.0).unwrap();
         assert_eq!(s.left.image.pixels(), s.right.image.pixels());
     }
 
@@ -92,7 +98,7 @@ mod tests {
     fn combined_stats_accumulate_both_eyes() {
         let w = workload();
         let cfg = RenderConfig::new(FilterPolicy::Baseline);
-        let s = render_stereo(&w, 0, &cfg, 0.4);
+        let s = render_stereo(&w, 0, &cfg, 0.4).unwrap();
         let combined = s.combined_stats();
         assert_eq!(
             combined.cycles,
@@ -107,13 +113,15 @@ mod tests {
     #[test]
     fn patu_saves_on_both_eyes() {
         let w = workload();
-        let base = render_stereo(&w, 0, &RenderConfig::new(FilterPolicy::Baseline), 0.4);
+        let base =
+            render_stereo(&w, 0, &RenderConfig::new(FilterPolicy::Baseline), 0.4).unwrap();
         let patu = render_stereo(
             &w,
             0,
             &RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 }),
             0.4,
-        );
+        )
+        .unwrap();
         assert!(
             patu.combined_stats().cycles < base.combined_stats().cycles,
             "PATU speedup carries over to VR"

@@ -9,8 +9,7 @@
 //! All generators are seeded and fully deterministic.
 
 use crate::texel::Rgba8;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use patu_gmath::DetRng;
 
 /// Image tuple shared by all generators: `(width, height, texels)`.
 pub type Image = (u32, u32, Vec<Rgba8>);
@@ -30,9 +29,9 @@ fn hash2(x: u32, y: u32, seed: u64) -> u64 {
 /// Panics if `cell == 0` or the image is empty.
 pub fn checkerboard(width: u32, height: u32, cell: u32, seed: u64) -> Image {
     assert!(cell > 0 && width > 0 && height > 0);
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let a = Rgba8::gray(40 + rng.gen_range(0..40));
-    let b = Rgba8::gray(180 + rng.gen_range(0..60));
+    let mut rng = DetRng::new(seed);
+    let a = Rgba8::gray(40 + rng.range(40) as u8);
+    let b = Rgba8::gray(180 + rng.range(60) as u8);
     let mut data = Vec::with_capacity((width * height) as usize);
     for y in 0..height {
         for x in 0..width {
@@ -51,16 +50,16 @@ pub fn checkerboard(width: u32, height: u32, cell: u32, seed: u64) -> Image {
 /// Panics if `period == 0` or the image is empty.
 pub fn stripes(width: u32, height: u32, period: u32, seed: u64) -> Image {
     assert!(period > 0 && width > 0 && height > 0);
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = DetRng::new(seed);
     let a = Rgba8::rgb(
-        rng.gen_range(150..255),
-        rng.gen_range(120..200),
-        rng.gen_range(0..80),
+        rng.range_between(150, 255) as u8,
+        rng.range_between(120, 200) as u8,
+        rng.range(80) as u8,
     );
     let b = Rgba8::rgb(
-        rng.gen_range(0..60),
-        rng.gen_range(0..80),
-        rng.gen_range(60..160),
+        rng.range(60) as u8,
+        rng.range(80) as u8,
+        rng.range_between(60, 160) as u8,
     );
     let mut data = Vec::with_capacity((width * height) as usize);
     for _y in 0..height {
@@ -201,12 +200,12 @@ pub fn glyphs(width: u32, height: u32, seed: u64) -> Image {
 /// Panics if the image is empty.
 pub fn plaid(width: u32, height: u32, seed: u64) -> Image {
     assert!(width > 0 && height > 0);
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = DetRng::new(seed);
     // Two strongly contrasting tones with a seeded hue.
     let hue: [f32; 3] = [
-        0.6 + 0.4 * (rng.gen_range(0..100) as f32 / 100.0),
-        0.6 + 0.4 * (rng.gen_range(0..100) as f32 / 100.0),
-        0.6 + 0.4 * (rng.gen_range(0..100) as f32 / 100.0),
+        0.6 + 0.4 * (rng.range(100) as f32 / 100.0),
+        0.6 + 0.4 * (rng.range(100) as f32 / 100.0),
+        0.6 + 0.4 * (rng.range(100) as f32 / 100.0),
     ];
     let tone = |v: f32| -> Rgba8 {
         Rgba8::rgb(

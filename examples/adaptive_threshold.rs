@@ -15,7 +15,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Budget: 85% of what the full-AF baseline needs on frame 0, so the
     // controller must give up a little quality to hold it.
-    let baseline = render_frame(&workload, 0, &RenderConfig::new(FilterPolicy::Baseline));
+    let baseline = render_frame(&workload, 0, &RenderConfig::new(FilterPolicy::Baseline))?;
     let budget = baseline.stats.cycles * 85 / 100;
     let mut controller = ThresholdController::new(budget, 1.0).with_bounds(0.05, 1.0);
 
@@ -27,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &workload,
             i * 10,
             &RenderConfig::new(FilterPolicy::Patu { threshold: theta }),
-        );
+        )?;
         controller.observe(r.stats.cycles);
         println!(
             "{:>6} {:>10.3} {:>12} {:>+9.1}% {:>13.1}%",

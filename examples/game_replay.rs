@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let baseline: Vec<_> = frames
         .iter()
         .map(|&f| render_frame(&workload, f, &RenderConfig::new(FilterPolicy::Baseline)))
-        .collect();
+        .collect::<Result<_, _>>()?;
 
     println!(
         "{:<18} {:>8} {:>8} {:>8} {:>12}",
@@ -50,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let r = if matches!(policy, FilterPolicy::Baseline) {
                 baseline[i].clone()
             } else {
-                render_frame(&workload, f, &RenderConfig::new(policy))
+                render_frame(&workload, f, &RenderConfig::new(policy))?
             };
             mssim_sum += if matches!(policy, FilterPolicy::Baseline) {
                 1.0

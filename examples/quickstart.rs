@@ -21,7 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("PATU (threshold 0.4)", FilterPolicy::Patu { threshold: 0.4 }),
     ];
 
-    let baseline = render_frame(&workload, 0, &RenderConfig::new(FilterPolicy::Baseline));
+    let baseline = render_frame(&workload, 0, &RenderConfig::new(FilterPolicy::Baseline))?;
     let baseline_luma = baseline.luma();
     let ssim = SsimConfig::default();
 
@@ -30,7 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "policy", "cycles", "speedup", "texels", "energy(mJ)", "MSSIM"
     );
     for (label, policy) in policies {
-        let result = render_frame(&workload, 0, &RenderConfig::new(policy));
+        let result = render_frame(&workload, 0, &RenderConfig::new(policy))?;
         let e = energy.frame_energy(&result.stats).total_joules() * 1e3;
         let mssim = if matches!(policy, FilterPolicy::Baseline) {
             1.0
@@ -52,7 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &workload,
         0,
         &RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 }),
-    );
+    )?;
     println!("\nPATU decision breakdown:");
     println!("  pixels decided:        {}", patu.approx.pixels);
     println!("  isotropic (no AF):     {}", patu.approx.isotropic);

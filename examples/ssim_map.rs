@@ -18,8 +18,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workload = Workload::build("hl2", (800, 600))?;
     println!("rendering hl2 @ 800x600 with and without AF...");
 
-    let af_on = render_frame(&workload, 0, &RenderConfig::new(FilterPolicy::Baseline));
-    let af_off = render_frame(&workload, 0, &RenderConfig::new(FilterPolicy::NoAf));
+    let af_on = render_frame(&workload, 0, &RenderConfig::new(FilterPolicy::Baseline))?;
+    let af_off = render_frame(&workload, 0, &RenderConfig::new(FilterPolicy::NoAf))?;
 
     let ssim = SsimConfig::default();
     let map = ssim.ssim_map(&af_on.luma(), &af_off.luma());

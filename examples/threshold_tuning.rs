@@ -14,7 +14,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("threshold sweep on {game} @ 480x384 ({} frames)...\n", cfg.frames);
     let thresholds: Vec<f64> = (0..=10).map(|i| f64::from(i) / 10.0).collect();
-    let (baseline, sweep) = threshold_sweep(&workload, &thresholds, &cfg);
+    let (baseline, sweep) = threshold_sweep(&workload, &thresholds, &cfg)?;
 
     println!(
         "{:>9} {:>9} {:>8} {:>15}",

@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("Baseline 16xAF", FilterPolicy::Baseline),
         ("PATU (threshold 0.4)", FilterPolicy::Patu { threshold: 0.4 }),
     ] {
-        let s = render_stereo(&workload, 0, &RenderConfig::new(policy), IPD);
+        let s = render_stereo(&workload, 0, &RenderConfig::new(policy), IPD)?;
         let stats = s.combined_stats();
         if baseline_cycles == 0 {
             baseline_cycles = stats.cycles;
@@ -49,7 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         0,
         &RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 }),
         IPD,
-    );
+    )?;
     println!(
         "\nVR speedup from PATU: {:.2}x (per-eye approximation rates: L {:.0}%, R {:.0}%)",
         baseline_cycles as f64 / patu.combined_stats().cycles as f64,

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Offline CI gate: everything here must pass with no network access.
+#
+#   1. Tier-1: release build + the full test suite (unit, integration,
+#      property sweeps, the chaos/fault-injection suite, doc-tests).
+#   2. Lint: clippy over every target (libs, bins, tests, benches,
+#      examples) with warnings promoted to errors.
+#
+# Usage: scripts/ci.sh [--skip-lint]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# The workspace has no external dependencies, so force cargo offline: a CI
+# host without network must behave identically to one with it.
+export CARGO_NET_OFFLINE=true
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+if [[ "${1:-}" != "--skip-lint" ]]; then
+    echo "==> lint: cargo clippy --all-targets -- -D warnings"
+    cargo clippy --all-targets -- -D warnings
+fi
+
+echo "==> ci green"

@@ -14,13 +14,13 @@ use patu_sim::satisfaction::SatisfactionModel;
 const RES: (u32, u32) = (192, 160);
 
 fn quick() -> ExperimentConfig {
-    ExperimentConfig { frames: 1, frame_stride: 1, gpu: GpuConfig::default() }
+    ExperimentConfig { frames: 1, frame_stride: 1, ..ExperimentConfig::default() }
 }
 
 #[test]
 fn design_point_comparison_reproduces_fig19_ordering() {
     let w = Workload::build("doom3", RES).unwrap();
-    let results = run_policies(&w, &design_points(0.4), &quick());
+    let results = run_policies(&w, &design_points(0.4), &quick()).unwrap();
     let base = &results[0];
     let area = &results[1];
     let both = &results[2];
@@ -36,7 +36,7 @@ fn design_point_comparison_reproduces_fig19_ordering() {
 #[test]
 fn fig18_filter_latency_ordering() {
     let w = Workload::build("grid", RES).unwrap();
-    let results = run_policies(&w, &design_points(0.4), &quick());
+    let results = run_policies(&w, &design_points(0.4), &quick()).unwrap();
     let base = &results[0];
     for r in &results[1..] {
         assert!(
@@ -50,7 +50,7 @@ fn fig18_filter_latency_ordering() {
 #[test]
 fn fig20_energy_ordering() {
     let w = Workload::build("doom3", RES).unwrap();
-    let results = run_policies(&w, &design_points(0.4), &quick());
+    let results = run_policies(&w, &design_points(0.4), &quick()).unwrap();
     let base = &results[0];
     let patu = &results[3];
     assert!(
@@ -76,7 +76,7 @@ fn fig21_cache_scaling_patu_still_wins() {
                 ("PATU", FilterPolicy::Patu { threshold: 0.4 }),
             ],
             &cfg,
-        );
+        ).unwrap();
         assert!(
             results[1].speedup_vs(&results[0]) > 1.0,
             "PATU speedup persists at scaled caches"
@@ -88,7 +88,7 @@ fn fig21_cache_scaling_patu_still_wins() {
 fn sweep_and_best_point_are_consistent() {
     let w = Workload::build("grid", RES).unwrap();
     let thresholds = [0.0, 0.4, 0.8];
-    let (baseline, sweep) = threshold_sweep(&w, &thresholds, &quick());
+    let (baseline, sweep) = threshold_sweep(&w, &thresholds, &quick()).unwrap();
     assert_eq!(sweep.len(), 3);
     let bp = best_point(&baseline, &sweep);
     assert!(thresholds.contains(&bp));
@@ -120,7 +120,7 @@ fn replay_plus_satisfaction_full_loop() {
     ] {
         let cycles: Vec<u64> = frames
             .iter()
-            .map(|&f| render_frame(&w, f, &RenderConfig::new(policy)).stats.cycles)
+            .map(|&f| render_frame(&w, f, &RenderConfig::new(policy)).unwrap().stats.cycles)
             .collect();
         let fps = replay.average_fps(&cycles);
         // Use known quality approximations per policy for the loop test.
@@ -150,7 +150,7 @@ fn higher_resolution_bigger_patu_gain() {
                 ("PATU", FilterPolicy::Patu { threshold: 0.4 }),
             ],
             &quick(),
-        );
+        ).unwrap();
         speedups.push(results[1].speedup_vs(&results[0]));
     }
     // At these miniature test resolutions fixed costs blur the effect;

@@ -111,15 +111,15 @@ fn extreme_threshold_values_are_exact_bounds() {
     let w = Workload::build("wolf", (96, 64)).unwrap();
     // θ exactly 0 and exactly 1 are legal and behave like the fixed policies
     // in terms of texel work direction.
-    let lo = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Patu { threshold: 0.0 }));
-    let hi = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Patu { threshold: 1.0 }));
+    let lo = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Patu { threshold: 0.0 })).unwrap();
+    let hi = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Patu { threshold: 1.0 })).unwrap();
     assert!(lo.stats.events.texel_fetches <= hi.stats.events.texel_fetches);
 }
 
 #[test]
 fn tiny_viewport_still_renders() {
     let w = Workload::build("doom3", (16, 16)).unwrap();
-    let r = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 }));
+    let r = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 })).unwrap();
     assert!(r.stats.filter_requests > 0);
     assert_eq!(r.image.width(), 16);
 }
@@ -133,8 +133,145 @@ fn single_pixel_tiles_work() {
         &w,
         0,
         &RenderConfig::new(FilterPolicy::Baseline).with_gpu(gpu),
-    );
+    ).unwrap();
     assert!(r.stats.filter_requests > 0);
+}
+
+// ---------------------------------------------------------------------------
+// Chaos suite: seeded fault injection across the memory hierarchy.
+//
+// Four fault sites (cache bit flips, DRAM stalls, texel-table corruption,
+// predictor NaN poisoning) are driven at rates up to 10% of draws. The
+// contract under test: the simulator degrades — fallback decisions, watchdog
+// trips, extra refills — but never panics, never emits out-of-range quality
+// numbers, and stays bit-reproducible for a fixed seed.
+// ---------------------------------------------------------------------------
+
+mod chaos {
+    use patu_core::FilterPolicy;
+    use patu_gpu::{FaultConfig, GpuConfig, MemorySystem};
+    use patu_scenes::Workload;
+    use patu_sim::experiment::{run_policies, ExperimentConfig};
+    use patu_sim::render::{render_frame, RenderConfig};
+    use patu_texture::TexelAddress;
+
+    const RATES: [f64; 4] = [0.0, 1e-4, 1e-2, 1e-1];
+
+    fn patu_cfg(faults: FaultConfig) -> RenderConfig {
+        RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 }).with_faults(faults)
+    }
+
+    #[test]
+    fn rate_sweep_completes_experiment_with_valid_quality() {
+        let workload = Workload::build("wolf", (96, 64)).unwrap();
+        for rate in RATES {
+            let cfg = ExperimentConfig {
+                frames: 2,
+                frame_stride: 100,
+                faults: FaultConfig::uniform(0xC4A05, rate),
+                ..ExperimentConfig::default()
+            };
+            let results = run_policies(
+                &workload,
+                &[
+                    ("16xAF", FilterPolicy::Baseline),
+                    ("PATU", FilterPolicy::Patu { threshold: 0.4 }),
+                ],
+                &cfg,
+            )
+            .unwrap_or_else(|e| panic!("rate {rate} must not fail: {e}"));
+            for r in &results {
+                assert!(
+                    (0.0..=1.0).contains(&r.mssim),
+                    "MSSIM stays a valid quality score at rate {rate}: {}",
+                    r.mssim
+                );
+                assert!(r.mean_cycles > 0.0);
+            }
+            let patu = &results[1];
+            if rate == 0.0 {
+                assert_eq!(patu.stats.faults.faults_injected(), 0);
+                assert_eq!(patu.stats.faults.fallbacks, 0);
+            } else if rate >= 1e-2 {
+                assert!(
+                    patu.stats.faults.faults_injected() > 0,
+                    "faults actually fired at rate {rate}"
+                );
+                assert!(
+                    patu.stats.faults.fallbacks > 0,
+                    "poisoned predictions fell back to full AF at rate {rate}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn high_rate_with_tight_budget_degrades_not_livelocks() {
+        let workload = Workload::build("wolf", (96, 64)).unwrap();
+        let cfg = patu_cfg(FaultConfig::uniform(7, 0.1)).with_cycle_budget(1);
+        let frame = render_frame(&workload, 0, &cfg).unwrap();
+        assert!(frame.degraded, "the watchdog flags the frame");
+        assert!(frame.stats.faults.watchdog_trips > 0);
+        assert!(
+            frame.stats.faults.fallbacks + frame.stats.faults.watchdog_trips > 0,
+            "degradation counters visible in FrameStats"
+        );
+    }
+
+    #[test]
+    fn same_seed_is_bit_identical_including_fault_counters() {
+        let workload = Workload::build("wolf", (96, 64)).unwrap();
+        let cfg = patu_cfg(FaultConfig::uniform(42, 0.05));
+        let a = render_frame(&workload, 0, &cfg).unwrap();
+        let b = render_frame(&workload, 0, &cfg).unwrap();
+        assert_eq!(a.stats, b.stats, "FrameStats (incl. fault counters) reproduce");
+        assert_eq!(a.degraded, b.degraded);
+        assert!(a.stats.faults.faults_injected() > 0, "the run was actually faulty");
+    }
+
+    #[test]
+    fn armed_but_zero_rate_injector_matches_headline_numbers() {
+        // Arming the injector with every rate at zero must not perturb a
+        // single counter: the headline numbers are bit-identical to a run
+        // with no injector at all.
+        let workload = Workload::build("wolf", (96, 64)).unwrap();
+        let plain = render_frame(
+            &workload,
+            0,
+            &RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 }),
+        )
+        .unwrap();
+        let armed = render_frame(
+            &workload,
+            0,
+            &patu_cfg(FaultConfig { seed: 0xDEAD_BEEF, ..FaultConfig::disabled() }),
+        )
+        .unwrap();
+        assert_eq!(plain.stats, armed.stats);
+        assert_eq!(plain.approx.stage1_approx, armed.approx.stage1_approx);
+        assert_eq!(plain.approx.stage2_approx, armed.approx.stage2_approx);
+        assert_eq!(plain.stats.faults, Default::default());
+    }
+
+    #[test]
+    fn memsys_accounting_invariants_hold_across_rate_sweep() {
+        for rate in RATES {
+            let mut m = MemorySystem::try_new(&GpuConfig::default()).unwrap();
+            m.set_faults(FaultConfig::uniform(23, rate)).unwrap();
+            for i in 0..4_000u64 {
+                let _ = m.fetch_texel((i % 2) as usize, TexelAddress::new((i % 700) * 16), i * 2);
+            }
+            let e = m.events();
+            assert_eq!(e.l1_accesses, e.texel_fetches, "rate {rate}");
+            assert_eq!(e.l2_accesses, e.l1_misses, "rate {rate}");
+            assert_eq!(e.dram_reads, e.l2_misses, "rate {rate}");
+            assert_eq!(e.dram_bytes, e.dram_reads * 64, "rate {rate}");
+            assert_eq!(m.bandwidth().texture, e.dram_bytes, "rate {rate}");
+            if rate == 0.0 {
+                assert_eq!(m.fault_counts().faults_injected(), 0);
+            }
+        }
+    }
 }
 
 #[test]

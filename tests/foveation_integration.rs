@@ -14,8 +14,8 @@ fn foveation_increases_approximation_coverage() {
     let w = Workload::build("grid", RES).unwrap();
     let base_cfg = RenderConfig::new(FilterPolicy::Patu { threshold: 0.6 });
     let fov_cfg = base_cfg.with_foveation(Foveation::default());
-    let plain = render_frame(&w, 0, &base_cfg);
-    let foveated = render_frame(&w, 0, &fov_cfg);
+    let plain = render_frame(&w, 0, &base_cfg).unwrap();
+    let foveated = render_frame(&w, 0, &fov_cfg).unwrap();
     // Peripheral thresholds loosen, so more pixels approximate and fewer
     // texels are fetched; the foveal region keeps the base threshold.
     assert!(
@@ -30,12 +30,12 @@ fn foveation_increases_approximation_coverage() {
 #[test]
 fn foveation_noop_for_fixed_policies() {
     let w = Workload::build("wolf", RES).unwrap();
-    let plain = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Baseline));
+    let plain = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Baseline)).unwrap();
     let foveated = render_frame(
         &w,
         0,
         &RenderConfig::new(FilterPolicy::Baseline).with_foveation(Foveation::default()),
-    );
+    ).unwrap();
     assert_eq!(plain.image.pixels(), foveated.image.pixels());
     assert_eq!(plain.stats.events.texel_fetches, foveated.stats.events.texel_fetches);
 }
@@ -47,9 +47,9 @@ fn tight_fovea_approximates_more_than_wide() {
     let wide = Foveation { inner_radius: 0.45, outer_radius: 0.9, ..Foveation::default() };
     let tight = Foveation { inner_radius: 0.05, outer_radius: 0.3, ..Foveation::default() };
     let r_wide =
-        render_frame(&w, 0, &RenderConfig::new(policy).with_foveation(wide));
+        render_frame(&w, 0, &RenderConfig::new(policy).with_foveation(wide)).unwrap();
     let r_tight =
-        render_frame(&w, 0, &RenderConfig::new(policy).with_foveation(tight));
+        render_frame(&w, 0, &RenderConfig::new(policy).with_foveation(tight)).unwrap();
     assert!(
         r_tight.stats.events.texel_fetches <= r_wide.stats.events.texel_fetches,
         "smaller fovea -> more periphery -> fewer texels"
@@ -62,7 +62,7 @@ fn foveated_stereo_composes() {
     let w = Workload::build("doom3", RES).unwrap();
     let cfg = RenderConfig::new(FilterPolicy::Patu { threshold: 0.6 })
         .with_foveation(Foveation { center: Vec2::new(0.5, 0.5), ..Foveation::default() });
-    let s = render_stereo(&w, 0, &cfg, 0.3);
+    let s = render_stereo(&w, 0, &cfg, 0.3).unwrap();
     assert!(s.left.approx.pixels > 0);
     assert!(s.right.approx.pixels > 0);
     assert!(s.combined_stats().cycles > 0);

@@ -16,8 +16,8 @@ fn mssim(a: &patu_sim::FrameResult, b: &patu_sim::FrameResult) -> f64 {
 fn disabling_af_degrades_quality() {
     // The paper's Fig. 7: AF-off costs visible quality on AF-heavy scenes.
     let w = Workload::build("doom3", RES).unwrap();
-    let on = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Baseline));
-    let off = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::NoAf));
+    let on = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Baseline)).unwrap();
+    let off = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::NoAf)).unwrap();
     let q = mssim(&on, &off);
     assert!(q < 0.97, "AF-off must be measurably different, got {q}");
     assert!(q > 0.3, "but not unrecognizable, got {q}");
@@ -26,9 +26,9 @@ fn disabling_af_degrades_quality() {
 #[test]
 fn patu_quality_beats_noaf() {
     let w = Workload::build("grid", RES).unwrap();
-    let on = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Baseline));
-    let off = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::NoAf));
-    let patu = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 }));
+    let on = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Baseline)).unwrap();
+    let off = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::NoAf)).unwrap();
+    let patu = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 })).unwrap();
     let q_off = mssim(&on, &off);
     let q_patu = mssim(&on, &patu);
     assert!(
@@ -42,10 +42,10 @@ fn patu_lod_reuse_beats_naive_demotion() {
     // The Fig. 19 claim: PATU recovers >0 quality over AF-SSIM(N)+(Txds)
     // by eliminating the LOD shift.
     let w = Workload::build("doom3", RES).unwrap();
-    let on = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Baseline));
+    let on = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Baseline)).unwrap();
     let naive =
-        render_frame(&w, 0, &RenderConfig::new(FilterPolicy::SampleAreaTxds { threshold: 0.4 }));
-    let patu = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 }));
+        render_frame(&w, 0, &RenderConfig::new(FilterPolicy::SampleAreaTxds { threshold: 0.4 })).unwrap();
+    let patu = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 })).unwrap();
     let q_naive = mssim(&on, &naive);
     let q_patu = mssim(&on, &patu);
     assert!(
@@ -58,8 +58,8 @@ fn patu_lod_reuse_beats_naive_demotion() {
 fn ssim_map_localizes_af_sensitive_regions() {
     // The Fig. 8 observation: only part of the frame is AF-sensitive.
     let w = Workload::build("hl2", RES).unwrap();
-    let on = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Baseline));
-    let off = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::NoAf));
+    let on = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Baseline)).unwrap();
+    let off = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::NoAf)).unwrap();
     let map = SsimConfig::default().ssim_map(&on.luma(), &off.luma());
     let high = map.fraction_above(0.95);
     assert!(
@@ -71,10 +71,10 @@ fn ssim_map_localizes_af_sensitive_regions() {
 #[test]
 fn quality_monotone_in_threshold() {
     let w = Workload::build("grid", RES).unwrap();
-    let on = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Baseline));
+    let on = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Baseline)).unwrap();
     let mut last = 0.0;
     for theta in [0.0, 0.4, 0.8] {
-        let r = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Patu { threshold: theta }));
+        let r = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Patu { threshold: theta })).unwrap();
         let q = mssim(&on, &r);
         assert!(
             q >= last - 0.02,
@@ -89,8 +89,8 @@ fn conservative_patu_is_visually_lossless() {
     // The headline claim: at the conservative tuning point the MSSIM stays
     // at or above the "difficult to distinguish" band.
     let w = Workload::build("ut3", RES).unwrap();
-    let on = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Baseline));
-    let patu = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Patu { threshold: 0.8 }));
+    let on = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Baseline)).unwrap();
+    let patu = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Patu { threshold: 0.8 })).unwrap();
     let q = mssim(&on, &patu);
     assert!(q > 0.9, "conservative threshold keeps MSSIM high, got {q}");
 }
@@ -99,8 +99,8 @@ fn conservative_patu_is_visually_lossless() {
 fn gaussian_and_uniform_ssim_agree_on_rendered_frames() {
     use patu_quality::GaussianSsimConfig;
     let w = Workload::build("doom3", RES).unwrap();
-    let on = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Baseline));
-    let off = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::NoAf));
+    let on = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Baseline)).unwrap();
+    let off = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::NoAf)).unwrap();
     let uniform = f64::from(SsimConfig::default().mssim(&on.luma(), &off.luma()));
     // Stride-4 Gaussian approximation keeps this test fast.
     let gauss = GaussianSsimConfig::default().mssim_strided(&on.luma(), &off.luma(), 4);
@@ -114,8 +114,8 @@ fn gaussian_and_uniform_ssim_agree_on_rendered_frames() {
 fn ssim_component_split_identifies_blur_as_contrast_loss() {
     use patu_quality::GaussianSsimConfig;
     let w = Workload::build("grid", RES).unwrap();
-    let on = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Baseline));
-    let off = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::NoAf));
+    let on = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Baseline)).unwrap();
+    let off = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::NoAf)).unwrap();
     let comp = GaussianSsimConfig::default().components_strided(&on.luma(), &off.luma(), 4);
     // AF-off blurs: luminance stays close, contrast/structure carry the loss.
     assert!(comp.luminance > 0.95, "means barely move: {}", comp.luminance);
