@@ -7,7 +7,7 @@ use std::hint::black_box;
 
 fn main() {
     let cfg = GpuConfig::default();
-    let group = micro::group("cache");
+    let mut group = micro::group("cache");
 
     // Streaming: every access a new line.
     group.bench_batched(
@@ -32,4 +32,5 @@ fn main() {
             cache.stats().hits
         },
     );
+    group.write_json();
 }

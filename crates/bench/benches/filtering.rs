@@ -26,7 +26,7 @@ fn footprint(n_texels: f32) -> Footprint {
 fn main() {
     let tex = texture();
     let uv = Vec2::new(0.37, 0.61);
-    let group = micro::group("filtering");
+    let mut group = micro::group("filtering");
 
     group.bench("trilinear", || {
         sample_trilinear_record(&tex, black_box(uv), 1.5, AddressMode::Wrap)
@@ -45,4 +45,5 @@ fn main() {
         || PerceptionAwareTextureUnit::new(FilterPolicy::Patu { threshold: 0.4 }),
         |mut unit| unit.filter(&tex, black_box(uv), &fp, AddressMode::Wrap),
     );
+    group.write_json();
 }

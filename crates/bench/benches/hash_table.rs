@@ -10,7 +10,7 @@ fn tap_set(base: u64) -> Vec<TexelAddress> {
 }
 
 fn main() {
-    let group = micro::group("hash_table");
+    let mut group = micro::group("hash_table");
 
     let shared: Vec<Vec<TexelAddress>> = (0..16).map(|_| tap_set(0)).collect();
     let distinct: Vec<Vec<TexelAddress>> = (0..16u64).map(|i| tap_set(i * 0x100)).collect();
@@ -23,4 +23,5 @@ fn main() {
             table.probability_vector()
         });
     }
+    group.write_json();
 }

@@ -11,7 +11,7 @@ fn tap_set(base: u64) -> Vec<TexelAddress> {
 }
 
 fn main() {
-    let group = micro::group("predictor");
+    let mut group = micro::group("predictor");
 
     group.bench("af_ssim_n", || af_ssim_n(black_box(8)));
 
@@ -32,4 +32,5 @@ fn main() {
     group.bench("full_two_stage_decision", || {
         policy.decide(black_box(&fp), &mut table, || sets.clone())
     });
+    group.write_json();
 }

@@ -1,12 +1,18 @@
-//! Rasterization pipeline throughput.
+//! Rasterization pipeline throughput, plus the per-tile quad divergence
+//! accounting comparison: the `HashMap<QuadId, Vec<bool>>` the render loop
+//! used to allocate per tile versus the reusable flat grid it uses now.
 
 use patu_bench::micro;
-use patu_raster::Pipeline;
+use patu_core::DivergenceStats;
+use patu_raster::{Pipeline, QuadId};
 use patu_scenes::Workload;
+use std::collections::HashMap;
 use std::hint::black_box;
 
+const TILE: u32 = 16;
+
 fn main() {
-    let group = micro::group("raster");
+    let mut group = micro::group("raster");
     for (game, res) in [("doom3", (320u32, 256u32)), ("grid", (320, 256))] {
         let workload = Workload::build(game, res).expect("known game");
         let frame = workload.frame(0);
@@ -15,4 +21,50 @@ fn main() {
             pipeline.run(black_box(&frame.meshes), &frame.camera)
         });
     }
+
+    // Quad accounting: both strategies walk the same frame's tiles and feed
+    // the same divergence counters; only the bookkeeping differs.
+    let workload = Workload::build("doom3", (320, 256)).expect("known game");
+    let frame = workload.frame(0);
+    let geometry = Pipeline::with_tile_size(320, 256, TILE).run(&frame.meshes, &frame.camera);
+
+    group.bench("quad_accounting/hashmap_per_tile", || {
+        let mut divergence = DivergenceStats::new();
+        for tile in &geometry.tiles {
+            let mut outcomes: HashMap<QuadId, Vec<bool>> = HashMap::new();
+            for frag in &tile.fragments {
+                outcomes.entry(frag.quad()).or_default().push(frag.x % 3 == 0);
+            }
+            for quad in outcomes.values() {
+                divergence.record_quad(quad);
+            }
+        }
+        black_box(divergence)
+    });
+
+    let quads_per_side = (TILE as usize).div_ceil(2);
+    let mut fragments = vec![0u32; quads_per_side * quads_per_side];
+    let mut approximated = vec![0u32; quads_per_side * quads_per_side];
+    group.bench("quad_accounting/flat_reused", || {
+        let mut divergence = DivergenceStats::new();
+        for tile in &geometry.tiles {
+            let (x0, y0) = (tile.tx * TILE, tile.ty * TILE);
+            for frag in &tile.fragments {
+                let idx = ((frag.y - y0) / 2) as usize * quads_per_side
+                    + ((frag.x - x0) / 2) as usize;
+                fragments[idx] += 1;
+                approximated[idx] += u32::from(frag.x % 3 == 0);
+            }
+            for (count, approx) in fragments.iter_mut().zip(&mut approximated) {
+                if *count > 0 {
+                    divergence.record_quad_counts(u64::from(*count), u64::from(*approx));
+                    *count = 0;
+                    *approx = 0;
+                }
+            }
+        }
+        black_box(divergence)
+    });
+
+    group.write_json();
 }

@@ -12,7 +12,7 @@ fn gradient(width: u32, height: u32, phase: u32) -> GrayImage {
 }
 
 fn main() {
-    let group = micro::group("ssim");
+    let mut group = micro::group("ssim");
     for size in [128u32, 256, 512] {
         let a = gradient(size, size, 0);
         let b = gradient(size, size, 11);
@@ -25,4 +25,5 @@ fn main() {
     group.bench("full_map_256", || {
         SsimConfig::default().ssim_map(black_box(&a), black_box(&b))
     });
+    group.write_json();
 }

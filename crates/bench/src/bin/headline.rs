@@ -1,21 +1,36 @@
 //! The paper's abstract in one table: PATU's overall speedup, energy
 //! reduction, filtering-latency reduction and MSSIM at the conservative
 //! θ = 0.4 tuning point, averaged over the Table II games.
+//!
+//! The sweep runs twice — `threads = 1` (serial) and `threads = 4` — to
+//! measure the deterministic parallel runtime's wall-clock speedup and to
+//! verify the two runs agree bit-for-bit. Both timings, the host core
+//! count, and the headline metrics land in `BENCH_headline.json` at the
+//! repository root.
 
-use patu_bench::{paper_note, pct, pct_delta, RunOptions};
+use std::time::Instant;
+
+use patu_bench::{micro, paper_note, pct, pct_delta, RunOptions};
 use patu_scenes::{default_specs, Workload};
-use patu_sim::experiment::{run_policies, design_points};
+use patu_sim::experiment::{design_points, run_policies, AggregateResult};
+use patu_sim::render::{render_frame, RenderConfig};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let opts = RunOptions::from_args();
-    println!("HEADLINE: PATU at the conservative tuning point ({})", opts.profile_banner());
+struct Headline {
+    speedup: f64,
+    energy: f64,
+    latency: f64,
+    mssim: f64,
+}
 
+fn sweep(opts: &RunOptions, threads: usize) -> Result<(Headline, Vec<AggregateResult>), Box<dyn std::error::Error>> {
     let points = design_points(0.4);
+    let cfg = opts.experiment().with_threads(threads);
     let (mut speedup, mut energy, mut latency, mut mssim, mut games) =
         (0.0f64, 0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    let mut all = Vec::new();
     for spec in default_specs() {
         let workload = Workload::build(spec.name, opts.resolution(&spec))?;
-        let results = run_policies(&workload, &points, &opts.experiment())?;
+        let results = run_policies(&workload, &points, &cfg)?;
         let base = &results[0];
         let patu = &results[3];
         speedup += patu.speedup_vs(base);
@@ -23,33 +38,92 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         latency += patu.filter_latency_ratio_vs(base);
         mssim += patu.mssim;
         games += 1.0;
+        all.extend(results);
     }
+    Ok((
+        Headline {
+            speedup: speedup / games,
+            energy: energy / games,
+            latency: latency / games,
+            mssim: mssim / games,
+        },
+        all,
+    ))
+}
+
+/// Bit-level agreement between two sweep runs: every aggregate's stats and
+/// `f64` metrics must match exactly, not approximately.
+fn identical(a: &[AggregateResult], b: &[AggregateResult]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.stats == y.stats
+                && x.mssim.to_bits() == y.mssim.to_bits()
+                && x.energy_joules.to_bits() == y.energy_joules.to_bits()
+                && x.mean_cycles.to_bits() == y.mean_cycles.to_bits()
+                && x.mean_filter_latency.to_bits() == y.mean_filter_latency.to_bits()
+        })
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = RunOptions::from_args();
+    println!("HEADLINE: PATU at the conservative tuning point ({})", opts.profile_banner());
+
+    let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let serial_start = Instant::now();
+    let (headline, serial_results) = sweep(&opts, 1)?;
+    let serial_ms = serial_start.elapsed().as_secs_f64() * 1e3;
+
+    let parallel_start = Instant::now();
+    let (_, parallel_results) = sweep(&opts, 4)?;
+    let parallel_ms = parallel_start.elapsed().as_secs_f64() * 1e3;
+    let same = identical(&serial_results, &parallel_results);
+
+    // Reference render_frame wall time: one doom3 frame at the fast profile.
+    let spec = default_specs().into_iter().find(|s| s.name == "doom3").expect("doom3 spec");
+    let workload = Workload::build(spec.name, opts.resolution(&spec))?;
+    let rc = RenderConfig::new(patu_core::FilterPolicy::Patu { threshold: 0.4 });
+    let reference_start = Instant::now();
+    render_frame(&workload, 0, &rc)?;
+    let reference_ms = reference_start.elapsed().as_secs_f64() * 1e3;
 
     println!("\n{:<38} {:>10} {:>10}", "metric", "paper", "measured");
-    println!(
-        "{:<38} {:>10} {:>10}",
-        "3D rendering speedup",
-        "+17%",
-        pct_delta(speedup / games)
-    );
+    println!("{:<38} {:>10} {:>10}", "3D rendering speedup", "+17%", pct_delta(headline.speedup));
     println!(
         "{:<38} {:>10} {:>10}",
         "total GPU energy reduction",
         "11%",
-        pct(1.0 - energy / games)
+        pct(1.0 - headline.energy)
     );
     println!(
         "{:<38} {:>10} {:>10}",
         "texture filtering latency reduction",
         "29%",
-        pct(1.0 - latency / games)
+        pct(1.0 - headline.latency)
     );
+    println!("{:<38} {:>10} {:>10}", "perceived quality (MSSIM)", ">=93%", pct(headline.mssim));
+
     println!(
-        "{:<38} {:>10} {:>10}",
-        "perceived quality (MSSIM)",
-        ">=93%",
-        pct(mssim / games)
+        "\nparallel runtime: serial {serial_ms:.0} ms, 4 threads {parallel_ms:.0} ms \
+         ({:.2}x on {host_cores} host core(s)), outputs bit-identical: {same}",
+        serial_ms / parallel_ms
     );
+
+    let json = format!(
+        "{{\n  \"bench\": \"headline\",\n  \"host_cores\": {host_cores},\n  \
+         \"serial_ms\": {serial_ms:.1},\n  \"parallel_ms_4_threads\": {parallel_ms:.1},\n  \
+         \"speedup\": {:.3},\n  \"outputs_bit_identical\": {same},\n  \
+         \"reference_render_frame_ms\": {reference_ms:.1},\n  \
+         \"rendering_speedup_vs_baseline\": {:.4},\n  \"energy_ratio\": {:.4},\n  \
+         \"filter_latency_ratio\": {:.4},\n  \"mssim\": {:.4}\n}}\n",
+        serial_ms / parallel_ms,
+        headline.speedup,
+        headline.energy,
+        headline.latency,
+        headline.mssim,
+    );
+    let path = micro::repo_root().join("BENCH_headline.json");
+    std::fs::write(&path, json)?;
+    println!("wrote {}", path.display());
 
     paper_note(
         "Abstract",

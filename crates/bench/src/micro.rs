@@ -3,42 +3,84 @@
 //! The `benches/` targets (declared `harness = false`) time the core data
 //! structures with `std::time::Instant` and an adaptive iteration count —
 //! no external benchmarking crate, so `cargo bench` works in the same
-//! offline environment as the rest of the workspace. Numbers are rough
-//! (single run, wall clock) but sufficient for the relative comparisons the
-//! benches exist to show (e.g. shared vs. distinct tap sets, streaming vs.
-//! reuse access patterns).
+//! offline environment as the rest of the workspace. Each measurement
+//! takes [`SAMPLES`] timed samples and reports median/p10/p90 ns/iter;
+//! [`Group::write_json`] persists the group's results as
+//! `BENCH_<name>.json` at the repository root for cross-run comparison
+//! (see `scripts/bench.sh`).
 
 use std::hint::black_box;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
-/// Minimum measured wall time per benchmark before a number is reported.
+/// Minimum measured wall time per calibration pass before sampling starts.
 const TARGET: Duration = Duration::from_millis(20);
 
 /// Iteration-count ceiling, so ~ns-scale bodies still terminate quickly.
 const MAX_ITERS: u64 = 1 << 22;
 
+/// Timed samples per benchmark; quantiles come from this set.
+const SAMPLES: usize = 9;
+
+/// One benchmark's summarized measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `group/label` identifier.
+    pub label: String,
+    /// Median ns per iteration over the samples.
+    pub median_ns: f64,
+    /// 10th-percentile ns per iteration (fast tail).
+    pub p10_ns: f64,
+    /// 90th-percentile ns per iteration (slow tail).
+    pub p90_ns: f64,
+    /// Iterations per sample after calibration.
+    pub iters: u64,
+}
+
 /// A named group of related micro-benchmarks (mirrors the criterion-style
-/// `group/label` naming the bench targets previously used).
+/// `group/label` naming the bench targets previously used). Collects every
+/// measurement so the bench binary can persist them with
+/// [`Group::write_json`].
 pub struct Group {
     name: String,
+    results: Vec<BenchResult>,
 }
 
 /// Starts a benchmark group and prints its header.
 pub fn group(name: &str) -> Group {
     println!("[{name}]");
-    Group { name: name.to_string() }
+    Group { name: name.to_string(), results: Vec::new() }
+}
+
+/// Sorted-sample quantile (nearest-rank on the sorted slice).
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
 }
 
 impl Group {
-    fn report(&self, label: &str, elapsed: Duration, iters: u64) {
-        let ns = elapsed.as_nanos() as f64 / iters as f64;
-        println!("  {:<32} {:>14.1} ns/iter  ({iters} iters)", format!("{}/{label}", self.name), ns);
+    fn record(&mut self, label: &str, per_iter_ns: &mut [f64], iters: u64) {
+        per_iter_ns.sort_by(f64::total_cmp);
+        let result = BenchResult {
+            label: format!("{}/{label}", self.name),
+            median_ns: quantile(per_iter_ns, 0.5),
+            p10_ns: quantile(per_iter_ns, 0.1),
+            p90_ns: quantile(per_iter_ns, 0.9),
+            iters,
+        };
+        println!(
+            "  {:<32} {:>14.1} ns/iter  [p10 {:>12.1}, p90 {:>12.1}]  ({iters} iters)",
+            result.label, result.median_ns, result.p10_ns, result.p90_ns
+        );
+        self.results.push(result);
     }
 
-    /// Times `f` in a doubling loop until [`TARGET`] wall time accumulates,
-    /// then prints ns/iter. The result is passed through `black_box` so the
-    /// optimizer cannot delete the body.
-    pub fn bench<T>(&self, label: &str, mut f: impl FnMut() -> T) {
+    /// Times `f`: calibrates an iteration count in a doubling loop until a
+    /// pass takes [`TARGET`] wall time (capped at [`MAX_ITERS`]), then
+    /// takes [`SAMPLES`] timed samples and records median/p10/p90 ns/iter.
+    /// The result is passed through `black_box` so the optimizer cannot
+    /// delete the body.
+    pub fn bench<T>(&mut self, label: &str, mut f: impl FnMut() -> T) {
         for _ in 0..3 {
             black_box(f());
         }
@@ -48,20 +90,27 @@ impl Group {
             for _ in 0..iters {
                 black_box(f());
             }
-            let elapsed = start.elapsed();
-            if elapsed >= TARGET || iters >= MAX_ITERS {
-                self.report(label, elapsed, iters);
-                return;
+            if start.elapsed() >= TARGET || iters >= MAX_ITERS {
+                break;
             }
             iters *= 2;
         }
+        let mut samples = [0.0f64; SAMPLES];
+        for sample in &mut samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            *sample = start.elapsed().as_nanos() as f64 / iters as f64;
+        }
+        self.record(label, &mut samples, iters);
     }
 
     /// Like [`Group::bench`] but re-creates fresh state with `setup` before
     /// every iteration and excludes the setup cost from the measurement
     /// (the replacement for criterion's `iter_batched`).
     pub fn bench_batched<S, T>(
-        &self,
+        &mut self,
         label: &str,
         mut setup: impl FnMut() -> S,
         mut f: impl FnMut(S) -> T,
@@ -69,8 +118,7 @@ impl Group {
         for _ in 0..3 {
             black_box(f(setup()));
         }
-        let mut iters = 1u64;
-        loop {
+        let mut run = |iters: u64| {
             let mut elapsed = Duration::ZERO;
             for _ in 0..iters {
                 let state = setup();
@@ -78,13 +126,55 @@ impl Group {
                 black_box(f(state));
                 elapsed += start.elapsed();
             }
-            if elapsed >= TARGET || iters >= MAX_ITERS {
-                self.report(label, elapsed, iters);
-                return;
-            }
+            elapsed
+        };
+        let mut iters = 1u64;
+        while run(iters) < TARGET && iters < MAX_ITERS {
             iters *= 2;
         }
+        let mut samples = [0.0f64; SAMPLES];
+        for sample in &mut samples {
+            *sample = run(iters).as_nanos() as f64 / iters as f64;
+        }
+        self.record(label, &mut samples, iters);
     }
+
+    /// Serializes the collected results as a JSON object (hand-rolled — the
+    /// workspace has no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"group\": \"{}\",\n", self.name));
+        out.push_str("  \"results\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"label\": \"{}\", \"median_ns\": {:.1}, \"p10_ns\": {:.1}, \
+                 \"p90_ns\": {:.1}, \"iters\": {}}}{}\n",
+                r.label,
+                r.median_ns,
+                r.p10_ns,
+                r.p90_ns,
+                r.iters,
+                if i + 1 < self.results.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes `BENCH_<group>.json` at the repository root. Errors are
+    /// reported on stderr, not fatal — the printed table already happened.
+    pub fn write_json(&self) {
+        let path = repo_root().join(format!("BENCH_{}.json", self.name.replace(['/', ' '], "_")));
+        match std::fs::write(&path, self.to_json()) {
+            Ok(()) => println!("  wrote {}", path.display()),
+            Err(e) => eprintln!("  could not write {}: {e}", path.display()),
+        }
+    }
+}
+
+/// The workspace root (two levels above this crate's manifest).
+pub fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
 }
 
 #[cfg(test)]
@@ -93,18 +183,22 @@ mod tests {
 
     #[test]
     fn bench_runs_and_terminates() {
-        let g = group("micro-selftest");
+        let mut g = group("micro-selftest");
         let mut calls = 0u64;
         g.bench("counter", || {
             calls += 1;
             calls
         });
         assert!(calls > 0);
+        let r = &g.results[0];
+        assert_eq!(r.label, "micro-selftest/counter");
+        assert!(r.p10_ns <= r.median_ns && r.median_ns <= r.p90_ns, "quantiles ordered");
+        assert!(r.iters >= 1);
     }
 
     #[test]
     fn batched_runs_setup_per_iteration() {
-        let g = group("micro-selftest");
+        let mut g = group("micro-selftest");
         let mut setups = 0u64;
         let mut bodies = 0u64;
         g.bench_batched(
@@ -120,7 +214,25 @@ mod tests {
                 s
             },
         );
-        assert_eq!(setups - 3, bodies - 3, "one setup per measured body");
+        assert_eq!(setups, bodies, "one setup per measured body");
         assert!(bodies >= 4, "at least warmup plus one measured iteration");
+    }
+
+    #[test]
+    fn json_shape_is_parseable_enough() {
+        let mut g = group("micro-selftest");
+        g.bench("noop", || 1u32);
+        let json = g.to_json();
+        assert!(json.contains("\"group\": \"micro-selftest\""));
+        assert!(json.contains("\"median_ns\""));
+        assert!(json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn quantiles_pick_sorted_ranks() {
+        let sorted = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0];
+        assert_eq!(quantile(&sorted, 0.5), 5.0);
+        assert_eq!(quantile(&sorted, 0.1), 2.0);
+        assert_eq!(quantile(&sorted, 0.9), 8.0);
     }
 }

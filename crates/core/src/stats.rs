@@ -92,6 +92,22 @@ impl DivergenceStats {
         }
     }
 
+    /// Count-based form of [`DivergenceStats::record_quad`]: a quad with
+    /// `fragments` fragments of which `approximated` were demoted. Divergence
+    /// is a mixed quad (`0 < approximated < fragments`), exactly the "any
+    /// outcome differs from the first" condition without materializing the
+    /// outcome list — the renderer's flat per-tile quad buffer feeds this.
+    /// Quads with fewer than two fragments are ignored, as in `record_quad`.
+    pub fn record_quad_counts(&mut self, fragments: u64, approximated: u64) {
+        if fragments < 2 {
+            return;
+        }
+        self.quads += 1;
+        if approximated != 0 && approximated != fragments {
+            self.divergent_quads += 1;
+        }
+    }
+
     /// Fraction of divergent quads (0 when nothing was recorded).
     pub fn divergence_fraction(&self) -> f64 {
         if self.quads == 0 {
@@ -233,6 +249,27 @@ mod tests {
         d.record_quad(&[true, false, true, true]);
         assert_eq!(d.divergent_quads, 1);
         assert_eq!(d.divergence_fraction(), 1.0);
+    }
+
+    #[test]
+    fn divergence_counts_match_slice_form() {
+        let mut by_slice = DivergenceStats::new();
+        let mut by_count = DivergenceStats::new();
+        let quads: [&[bool]; 5] = [
+            &[true, true, true, true],
+            &[false, false],
+            &[true, false, true],
+            &[false],
+            &[false, true, false, false],
+        ];
+        for q in quads {
+            by_slice.record_quad(q);
+            let approx = q.iter().filter(|&&a| a).count() as u64;
+            by_count.record_quad_counts(q.len() as u64, approx);
+        }
+        assert_eq!(by_slice, by_count);
+        assert_eq!(by_count.quads, 4);
+        assert_eq!(by_count.divergent_quads, 2);
     }
 
     #[test]

@@ -110,6 +110,31 @@ impl GpuConfig {
         f64::from(self.dram_bytes_per_cycle) / f64::from(self.dram_channels)
     }
 
+    /// The per-cluster slice of this configuration used by the deterministic
+    /// parallel renderer: a single cluster owning its L1, a private `1/N`
+    /// share of the L2, and a `1/N` subset of the DRAM channels with the
+    /// per-channel bandwidth preserved (so an isolated cluster sees the same
+    /// transfer occupancy it would on the shared bus). Shares are clamped so
+    /// a valid full configuration always yields a valid shard. The fidelity
+    /// trade-off (no inter-cluster L2 sharing or channel contention) is
+    /// documented in DESIGN.md §"Parallel execution model".
+    #[must_use]
+    pub fn cluster_shard(&self) -> GpuConfig {
+        let n = u64::from(self.clusters.max(1));
+        let min_l2 = (self.cache_line_bytes * u64::from(self.tex_l2_ways)).max(1);
+        let channels = (self.dram_channels / self.clusters.max(1)).max(1);
+        let bytes_per_cycle = (u64::from(self.dram_bytes_per_cycle) * u64::from(channels)
+            / u64::from(self.dram_channels.max(1)))
+        .max(1) as u32;
+        GpuConfig {
+            clusters: 1,
+            tex_l2_bytes: (self.tex_l2_bytes / n).max(min_l2),
+            dram_channels: channels,
+            dram_bytes_per_cycle: bytes_per_cycle,
+            ..*self
+        }
+    }
+
     /// The Table I rows as (name, value) pairs — printed by the `table1`
     /// harness binary.
     pub fn table1(&self) -> Vec<(&'static str, String)> {
@@ -193,6 +218,33 @@ mod tests {
     fn fragments_per_cycle_default() {
         let c = GpuConfig::default();
         assert!((c.fragments_per_cycle() - 1.0).abs() < 1e-9, "64 lanes / 64 ops");
+    }
+
+    #[test]
+    fn cluster_shard_preserves_per_channel_bandwidth() {
+        let full = GpuConfig::default();
+        let shard = full.cluster_shard();
+        assert_eq!(shard.clusters, 1);
+        assert_eq!(shard.tex_l1_bytes, full.tex_l1_bytes, "L1 is already per-cluster");
+        assert_eq!(shard.tex_l2_bytes, full.tex_l2_bytes / 4);
+        assert_eq!(shard.dram_channels, 2);
+        assert_eq!(shard.dram_bytes_per_cycle, 4);
+        assert!(
+            (shard.dram_channel_bytes_per_cycle() - full.dram_channel_bytes_per_cycle()).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn cluster_shard_clamps_degenerate_shares() {
+        let skinny = GpuConfig { dram_channels: 1, dram_bytes_per_cycle: 1, ..GpuConfig::default() };
+        let shard = skinny.cluster_shard();
+        assert_eq!(shard.dram_channels, 1);
+        assert!(shard.dram_bytes_per_cycle >= 1);
+        // L2 share never drops below one full set.
+        let tiny = GpuConfig { tex_l2_bytes: 1024, tex_l2_ways: 8, ..GpuConfig::default() };
+        let shard = tiny.cluster_shard();
+        assert_eq!(shard.tex_l2_bytes, 64 * 8);
     }
 
     #[test]

@@ -59,6 +59,6 @@ pub use dram::{Dram, DramStats};
 pub use error::GpuError;
 pub use fault::{FaultConfig, FaultCounts, FaultInjector};
 pub use memsys::{FetchLevel, MemorySystem};
-pub use stats::{BandwidthBreakdown, EventCounts, FrameStats, TrafficClass};
+pub use stats::{BandwidthBreakdown, EventCounts, FrameStats, MemSideEffects, TrafficClass};
 pub use texture_unit::{TextureRequest, TextureUnit};
 pub use timing::FrameTimer;

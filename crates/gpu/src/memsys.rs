@@ -88,6 +88,21 @@ impl MemorySystem {
         Ok(())
     }
 
+    /// Like [`MemorySystem::set_faults`] but additionally forks the stream
+    /// by `cluster`. The parallel renderer gives every cluster its own
+    /// memory shard; tagging each shard's stream with its cluster index
+    /// keeps fault patterns a pure function of (seed, cluster), independent
+    /// of which worker thread executes the shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpuError`] for out-of-range fault rates.
+    pub fn set_cluster_faults(&mut self, cfg: FaultConfig, cluster: u64) -> Result<(), GpuError> {
+        cfg.validate()?;
+        self.faults = FaultInjector::new(cfg).fork(0x4D45_4D53).fork(cluster);
+        Ok(())
+    }
+
     /// Faults injected into this memory system so far.
     pub fn fault_counts(&self) -> FaultCounts {
         self.faults.counts()
@@ -300,6 +315,33 @@ mod tests {
         }
         assert_eq!(clean.events(), armed.events());
         assert_eq!(armed.fault_counts(), FaultCounts::default());
+    }
+
+    #[test]
+    fn cluster_forks_draw_distinct_deterministic_streams() {
+        let run = |cluster: u64| {
+            let mut m = MemorySystem::new(&GpuConfig::default().cluster_shard());
+            m.set_cluster_faults(FaultConfig::uniform(9, 0.1), cluster).unwrap();
+            for i in 0..1_000u64 {
+                let _ = m.fetch_texel(0, TexelAddress::new((i % 200) * 48), i * 2);
+            }
+            (m.events(), m.fault_counts())
+        };
+        let (e0, f0) = run(0);
+        let (e0_again, f0_again) = run(0);
+        assert_eq!(e0, e0_again, "same cluster tag, same stream");
+        assert_eq!(f0, f0_again);
+        let (_, f1) = run(1);
+        assert!(f0.faults_injected() > 0 && f1.faults_injected() > 0);
+        assert_ne!((f0.cache_bitflips, f0.dram_stalls), (f1.cache_bitflips, f1.dram_stalls),
+            "different cluster tags decorrelate");
+    }
+
+    #[test]
+    fn cluster_faults_reject_bad_rates() {
+        let mut m = mem();
+        let bad = FaultConfig { cache_bitflip_rate: -0.5, ..FaultConfig::disabled() };
+        assert!(m.set_cluster_faults(bad, 2).is_err());
     }
 
     #[test]

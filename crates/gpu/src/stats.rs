@@ -156,6 +156,39 @@ impl EventCounts {
     }
 }
 
+/// Off-chip side effects — bandwidth plus event counters — accumulated
+/// outside any cache model. The deterministic parallel renderer gives each
+/// worker one of these (seeded from its private memory shard), then merges
+/// them in cluster order; every field is a commutative sum, so the merged
+/// totals are independent of thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemSideEffects {
+    /// Off-chip bandwidth by traffic class.
+    pub bandwidth: BandwidthBreakdown,
+    /// Cache/DRAM/ALU event counters.
+    pub events: EventCounts,
+}
+
+impl MemSideEffects {
+    /// Accounts traffic that bypasses the texture caches, mirroring
+    /// [`crate::MemorySystem::record_traffic`]: the bytes land in both the
+    /// class breakdown and the DRAM byte counter.
+    pub fn record_traffic(&mut self, class: TrafficClass, bytes: u64) {
+        debug_assert!(
+            class != TrafficClass::TextureFetch,
+            "texture traffic is accounted by the memory system's fetch path"
+        );
+        self.bandwidth.add(class, bytes);
+        self.events.dram_bytes += bytes;
+    }
+
+    /// Component-wise sum (cluster-order merge).
+    pub fn accumulate(&mut self, other: &MemSideEffects) {
+        self.bandwidth.accumulate(&other.bandwidth);
+        self.events.accumulate(&other.events);
+    }
+}
+
 /// The complete timing/traffic result of rendering one frame.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct FrameStats {
@@ -207,6 +240,18 @@ impl FrameStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn side_effects_record_and_merge() {
+        let mut a = MemSideEffects::default();
+        a.record_traffic(TrafficClass::Vertex, 100);
+        let mut b = MemSideEffects::default();
+        b.record_traffic(TrafficClass::Framebuffer, 50);
+        a.accumulate(&b);
+        assert_eq!(a.bandwidth.vertex, 100);
+        assert_eq!(a.bandwidth.framebuffer, 50);
+        assert_eq!(a.events.dram_bytes, 150, "record_traffic also counts DRAM bytes");
+    }
 
     #[test]
     fn breakdown_add_get_total() {

@@ -56,6 +56,39 @@ impl FrameTimer {
         (cluster, start.max(self.frontend_cycles))
     }
 
+    /// Start cycle for the next tile on a *statically chosen* `cluster` —
+    /// the deterministic-parallel counterpart of [`FrameTimer::begin_tile`].
+    /// The tile→cluster assignment is lifted out of the timer (a pure
+    /// function of the tile index), so each cluster's cycle stream can be
+    /// simulated independently and replayed in any order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is out of range.
+    pub fn begin_tile_on(&mut self, cluster: usize) -> u64 {
+        self.cluster_time[cluster].max(self.frontend_cycles)
+    }
+
+    /// One cluster's finish time so far (its cycle-stream tail).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is out of range.
+    pub fn cluster_cycles(&self, cluster: usize) -> u64 {
+        self.cluster_time[cluster]
+    }
+
+    /// Replays a cluster finish time computed on a worker's private timer
+    /// into this (merge) timer, keeping the later of the two. Merging every
+    /// cluster in index order reproduces the serial timer state exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is out of range.
+    pub fn merge_cluster(&mut self, cluster: usize, finish: u64) {
+        self.cluster_time[cluster] = self.cluster_time[cluster].max(finish);
+    }
+
     /// Completes a tile on `cluster`: the tile occupied the cluster until
     /// shading finished and until the texture unit returned its last result
     /// (`texture_done`, an absolute cycle), whichever is later.
@@ -159,6 +192,29 @@ mod tests {
         assert_eq!(start, 100);
         t.end_tile(c, 100, 0);
         assert_eq!(t.frame_cycles(), 200);
+    }
+
+    #[test]
+    fn static_assignment_matches_dynamic_on_one_cluster() {
+        let mut t = timer();
+        t.add_frontend_cycles(40);
+        let start = t.begin_tile_on(2);
+        assert_eq!(start, 40, "front-end offset applies");
+        t.end_tile(2, 100, 0);
+        assert_eq!(t.begin_tile_on(2), 140, "tiles queue on their cluster");
+        assert_eq!(t.cluster_cycles(2), 140);
+        assert_eq!(t.cluster_cycles(0), 0, "other clusters untouched");
+    }
+
+    #[test]
+    fn merge_cluster_replays_worker_streams() {
+        let mut merged = timer();
+        merged.add_frontend_cycles(10);
+        merged.merge_cluster(0, 500);
+        merged.merge_cluster(1, 300);
+        merged.merge_cluster(0, 200); // earlier finish never rolls back
+        assert_eq!(merged.cluster_cycles(0), 500);
+        assert_eq!(merged.frame_cycles(), 500);
     }
 
     #[test]

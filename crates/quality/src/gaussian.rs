@@ -23,6 +23,11 @@ pub struct GaussianSsimConfig {
     pub k2: f32,
     /// Sample dynamic range (255).
     pub dynamic_range: f32,
+    /// Worker threads for the banded scan (`None` = `PATU_THREADS`, then
+    /// [`std::thread::available_parallelism`]). Banding is bit-identical to
+    /// the serial scan: per-window values are concatenated in row order and
+    /// reduced serially afterwards.
+    pub threads: Option<usize>,
 }
 
 impl Default for GaussianSsimConfig {
@@ -33,6 +38,7 @@ impl Default for GaussianSsimConfig {
             k1: 0.01,
             k2: 0.03,
             dynamic_range: 255.0,
+            threads: None,
         }
     }
 }
@@ -137,19 +143,23 @@ impl GaussianSsimConfig {
             "images smaller than the SSIM window"
         );
         let kernel = self.kernel();
-        let mut sum = 0.0;
-        let mut count = 0u64;
-        let mut y = 0;
-        while y + self.window <= a.height() {
+        // Window rows banded across workers; the reduction runs serially on
+        // the concatenated values, in the same order as the serial scan, so
+        // the mean's floating-point rounding is thread-count independent.
+        let rows: Vec<u32> =
+            (0..a.height()).step_by(stride as usize).take_while(|y| y + self.window <= a.height()).collect();
+        let threads = crate::par::thread_count(self.threads);
+        let values = crate::par::map_rows(threads, rows.len(), |row| {
+            let y = rows[row];
+            let mut out = Vec::new();
             let mut x = 0;
             while x + self.window <= a.width() {
-                sum += self.window_components(a, b, &kernel, x, y).ssim();
-                count += 1;
+                out.push(self.window_components(a, b, &kernel, x, y).ssim());
                 x += stride;
             }
-            y += stride;
-        }
-        sum / count as f64
+            out
+        });
+        values.iter().sum::<f64>() / values.len() as f64
     }
 
     /// Mean SSIM with unit stride (the reference computation).
@@ -284,6 +294,21 @@ mod tests {
         let b = GrayImage::new(22, 22, a.samples().iter().map(|&v| 255.0 - v).collect());
         let comp = GaussianSsimConfig::default().components_strided(&a, &b, 1);
         assert!(comp.structure < 0.0, "anti-correlated: {}", comp.structure);
+    }
+
+    #[test]
+    fn banded_scan_bit_identical_across_thread_counts() {
+        let a = gradient(40, 33, 0);
+        let b = gradient(40, 33, 17);
+        for stride in [1u32, 3] {
+            let serial = GaussianSsimConfig { threads: Some(1), ..Default::default() }
+                .mssim_strided(&a, &b, stride);
+            for threads in [2usize, 4, 9] {
+                let banded = GaussianSsimConfig { threads: Some(threads), ..Default::default() }
+                    .mssim_strided(&a, &b, stride);
+                assert_eq!(serial.to_bits(), banded.to_bits(), "stride={stride} threads={threads}");
+            }
+        }
     }
 
     #[test]

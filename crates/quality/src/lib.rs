@@ -30,6 +30,7 @@
 pub mod gaussian;
 pub mod image;
 pub mod metrics;
+mod par;
 pub mod ssim;
 
 pub use gaussian::{GaussianSsimConfig, SsimComponents};

@@ -1,0 +1,99 @@
+//! Deterministic row-band parallelism for the SSIM scans.
+//!
+//! The quality crate is dependency-free, so it carries its own tiny banding
+//! helper instead of sharing the simulator's runtime. The contract matches
+//! it exactly: workers compute disjoint row bands, results are concatenated
+//! in band order, and every reduction happens *after* the concatenation on
+//! the calling thread — so the output is bit-identical for every thread
+//! count, including the inline serial path.
+
+use std::num::NonZeroUsize;
+
+/// Resolves the worker count: an explicit knob wins, then the
+/// `PATU_THREADS` environment variable, then
+/// [`std::thread::available_parallelism`]. Unparseable or zero values
+/// sanitize to the next fallback; the result is always at least 1.
+pub(crate) fn thread_count(explicit: Option<usize>) -> usize {
+    if let Some(n) = explicit {
+        return n.max(1);
+    }
+    if let Some(n) = env_threads() {
+        return n;
+    }
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+fn env_threads() -> Option<usize> {
+    std::env::var("PATU_THREADS").ok()?.trim().parse::<usize>().ok().filter(|&n| n >= 1)
+}
+
+/// Maps `per_row` over `rows` row indices and concatenates the per-row
+/// output vectors in row order. With `threads <= 1` (or a single row) the
+/// map runs inline on the caller; otherwise rows are split into contiguous
+/// bands, one scoped worker per band, and band outputs are stitched in band
+/// order. Because each row's output is a pure function of the row index,
+/// the concatenation is identical for every band partition.
+///
+/// # Panics
+///
+/// Propagates panics from `per_row`.
+pub(crate) fn map_rows<T, F>(threads: usize, rows: usize, per_row: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> Vec<T> + Sync,
+{
+    if threads <= 1 || rows <= 1 {
+        return (0..rows).flat_map(per_row).collect();
+    }
+    let workers = threads.min(rows);
+    let band = rows.div_ceil(workers);
+    let mut out = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let per_row = &per_row;
+                scope.spawn(move || {
+                    let lo = w * band;
+                    let hi = rows.min(lo + band);
+                    let mut values = Vec::new();
+                    for row in lo..hi {
+                        values.extend(per_row(row));
+                    }
+                    values
+                })
+            })
+            .collect();
+        for handle in handles {
+            out.extend(handle.join().expect("SSIM band worker panicked"));
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn banded_map_matches_serial_for_any_thread_count() {
+        let per_row = |row: usize| (0..5).map(|col| (row * 31 + col) as u64).collect::<Vec<u64>>();
+        let serial = map_rows(1, 13, per_row);
+        for threads in [2, 3, 4, 8, 64] {
+            assert_eq!(map_rows(threads, 13, per_row), serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_row_inputs() {
+        let per_row = |row: usize| vec![row];
+        assert!(map_rows(4, 0, per_row).is_empty());
+        assert_eq!(map_rows(4, 1, per_row), vec![0]);
+    }
+
+    #[test]
+    fn explicit_thread_knob_wins_and_sanitizes() {
+        assert_eq!(thread_count(Some(3)), 3);
+        assert_eq!(thread_count(Some(0)), 1, "zero sanitizes to one");
+        assert!(thread_count(None) >= 1);
+    }
+}

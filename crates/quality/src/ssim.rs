@@ -27,11 +27,27 @@ pub struct SsimConfig {
     pub k2: f32,
     /// Dynamic range of the samples (255 for 8-bit luma).
     pub dynamic_range: f32,
+    /// Worker threads for the banded map computation. `None` resolves the
+    /// `PATU_THREADS` environment variable, falling back to
+    /// [`std::thread::available_parallelism`]. The result is bit-identical
+    /// for every thread count: window values are pure functions of shared
+    /// integral images, bands concatenate in row order, and the mean is
+    /// reduced serially afterwards.
+    pub threads: Option<usize>,
 }
 
 impl Default for SsimConfig {
     fn default() -> SsimConfig {
-        SsimConfig { window: 8, k1: 0.01, k2: 0.03, dynamic_range: 255.0 }
+        SsimConfig { window: 8, k1: 0.01, k2: 0.03, dynamic_range: 255.0, threads: None }
+    }
+}
+
+impl SsimConfig {
+    /// Pins the banded computation to `threads` workers (1 = serial).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> SsimConfig {
+        self.threads = Some(threads);
+        self
     }
 }
 
@@ -155,8 +171,12 @@ impl SsimConfig {
 
         let out_w = x.width() - self.window + 1;
         let out_h = x.height() - self.window + 1;
-        let mut values = Vec::with_capacity((out_w as usize) * (out_h as usize));
-        for wy in 0..out_h as usize {
+        // Banded over window rows: every value is a pure function of the
+        // shared integrals, and bands concatenate in row order, so the map
+        // is bit-identical for any worker count (see [`SsimConfig::threads`]).
+        let threads = crate::par::thread_count(self.threads);
+        let values = crate::par::map_rows(threads, out_h as usize, |wy| {
+            let mut row = Vec::with_capacity(out_w as usize);
             for wx in 0..out_w as usize {
                 let (x0, y0, x1, y1) = (wx, wy, wx + win, wy + win);
                 let mx = sx.window_sum(x0, y0, x1, y1) / n;
@@ -166,9 +186,10 @@ impl SsimConfig {
                 let cov = sxy.window_sum(x0, y0, x1, y1) / n - mx * my;
                 let ssim = ((2.0 * mx * my + c1) * (2.0 * cov + c2))
                     / ((mx * mx + my * my + c1) * (vx + vy + c2));
-                values.push(ssim as f32);
+                row.push(ssim as f32);
             }
-        }
+            row
+        });
         SsimMap { width: out_w, height: out_h, values }
     }
 
@@ -277,6 +298,23 @@ mod tests {
         let m_inv = cfg.mssim(&a, &inv);
         assert!(m_blur > m_inv, "blur {m_blur} should beat inversion {m_inv}");
         assert!(m_blur < 1.0);
+    }
+
+    #[test]
+    fn banded_map_bit_identical_across_thread_counts() {
+        let a = gradient(48, 37);
+        let mut b = a.clone();
+        for i in 0..37 {
+            b.set(i, i, 255.0 - b.get(i, i));
+        }
+        let serial = SsimConfig::default().with_threads(1).ssim_map(&a, &b);
+        for threads in [2, 3, 4, 16] {
+            let banded = SsimConfig::default().with_threads(threads).ssim_map(&a, &b);
+            assert_eq!(serial, banded, "threads={threads}");
+            let ms = SsimConfig::default().with_threads(1).mssim(&a, &b);
+            let mb = SsimConfig::default().with_threads(threads).mssim(&a, &b);
+            assert_eq!(ms.to_bits(), mb.to_bits(), "MSSIM bits, threads={threads}");
+        }
     }
 
     #[test]

@@ -71,6 +71,30 @@ impl Framebuffer {
         &self.pixels
     }
 
+    /// Copies the axis-aligned rectangle `[x0, x0+w) × [y0, y0+h)` from
+    /// `src`, which must have the same dimensions. This is the parallel
+    /// renderer's tile stitch: each worker renders its disjoint tiles into a
+    /// private buffer and the merged frame copies the rects back row by row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffers differ in size or the rectangle is out of
+    /// bounds.
+    pub fn copy_rect_from(&mut self, src: &Framebuffer, x0: u32, y0: u32, w: u32, h: u32) {
+        assert_eq!(self.width, src.width, "framebuffer widths differ");
+        assert_eq!(self.height, src.height, "framebuffer heights differ");
+        assert!(
+            x0.checked_add(w).is_some_and(|x1| x1 <= self.width)
+                && y0.checked_add(h).is_some_and(|y1| y1 <= self.height),
+            "rect out of bounds"
+        );
+        for y in y0..y0 + h {
+            let row = (y as usize) * (self.width as usize);
+            let (lo, hi) = (row + x0 as usize, row + (x0 + w) as usize);
+            self.pixels[lo..hi].copy_from_slice(&src.pixels[lo..hi]);
+        }
+    }
+
     /// Per-pixel Rec. 601 luma plane, the input to SSIM.
     pub fn luma_plane(&self) -> Vec<f32> {
         self.pixels.iter().map(|p| p.luma()).collect()
@@ -165,6 +189,29 @@ mod tests {
     fn framebuffer_oob_panics() {
         let fb = Framebuffer::new(2, 2, Rgba8::BLACK);
         let _ = fb.get(2, 0);
+    }
+
+    #[test]
+    fn copy_rect_stitches_disjoint_regions() {
+        let mut merged = Framebuffer::new(4, 4, Rgba8::BLACK);
+        let mut left = Framebuffer::new(4, 4, Rgba8::BLACK);
+        let mut right = Framebuffer::new(4, 4, Rgba8::BLACK);
+        left.put(0, 1, Rgba8::WHITE);
+        right.put(3, 2, Rgba8::rgb(9, 9, 9));
+        right.put(0, 0, Rgba8::rgb(1, 1, 1)); // outside its rect: must not leak
+        merged.copy_rect_from(&left, 0, 0, 2, 4);
+        merged.copy_rect_from(&right, 2, 0, 2, 4);
+        assert_eq!(merged.get(0, 1), Rgba8::WHITE);
+        assert_eq!(merged.get(3, 2), Rgba8::rgb(9, 9, 9));
+        assert_eq!(merged.get(0, 0), Rgba8::BLACK, "out-of-rect pixels ignored");
+    }
+
+    #[test]
+    #[should_panic(expected = "rect out of bounds")]
+    fn copy_rect_rejects_oob() {
+        let mut a = Framebuffer::new(4, 4, Rgba8::BLACK);
+        let b = Framebuffer::new(4, 4, Rgba8::BLACK);
+        a.copy_rect_from(&b, 2, 0, 3, 1);
     }
 
     #[test]

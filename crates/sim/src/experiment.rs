@@ -2,6 +2,7 @@
 //! paper's evaluation.
 
 use crate::error::SimError;
+use crate::parallel;
 use crate::render::{render_frame, FrameResult, RenderConfig};
 use patu_core::FilterPolicy;
 use patu_energy::EnergyModel;
@@ -24,6 +25,11 @@ pub struct ExperimentConfig {
     pub faults: FaultConfig,
     /// Optional per-frame cycle budget for the degradation watchdog.
     pub cycle_budget: Option<u64>,
+    /// Worker threads for the sweep (and, when the sweep has a single
+    /// point, the render inside it). `None` defers to `PATU_THREADS`, then
+    /// [`std::thread::available_parallelism`]. Results are bit-identical
+    /// across every value; 1 is the serial path.
+    pub threads: Option<usize>,
 }
 
 impl Default for ExperimentConfig {
@@ -34,14 +40,25 @@ impl Default for ExperimentConfig {
             gpu: GpuConfig::default(),
             faults: FaultConfig::disabled(),
             cycle_budget: None,
+            threads: None,
         }
     }
 }
 
 impl ExperimentConfig {
-    /// The frame indices this configuration samples.
+    /// The frame indices this configuration samples. Indices saturate at
+    /// `u32::MAX` instead of overflowing for large `frames × frame_stride`
+    /// products (workload builders wrap the camera loop, so a saturated
+    /// index still renders).
     pub fn frame_indices(&self) -> Vec<u32> {
-        (0..self.frames).map(|i| i * self.frame_stride).collect()
+        (0..self.frames).map(|i| i.saturating_mul(self.frame_stride)).collect()
+    }
+
+    /// Sets the worker-thread knob (builder style).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> ExperimentConfig {
+        self.threads = Some(threads);
+        self
     }
 }
 
@@ -135,21 +152,57 @@ pub fn run_policies(
         .collect();
 
     let frames = cfg.frame_indices();
-    let render_cfg = |policy: FilterPolicy| {
+    // The (policy, frame) grid renders in parallel: every point is an
+    // independent simulation. The baseline renders once per frame and
+    // doubles as the quality reference; `Baseline` rows reuse it. Nested
+    // parallelism is collapsed — with more than one point in flight each
+    // render runs serially inside (bit-identical by the determinism
+    // invariant), otherwise the render inherits the sweep's thread knob.
+    let mut points: Vec<(u32, Option<usize>)> = Vec::new();
+    for &frame in &frames {
+        points.push((frame, None)); // the 16×AF baseline / reference
+        for (slot, (_, policy)) in policies.iter().enumerate() {
+            if !matches!(policy, FilterPolicy::Baseline) {
+                points.push((frame, Some(slot)));
+            }
+        }
+    }
+    let inner_threads = if points.len() > 1 { Some(1) } else { cfg.threads };
+    let render_cfg = move |policy: FilterPolicy| {
         let mut rc = RenderConfig::new(policy).with_gpu(cfg.gpu).with_faults(cfg.faults);
         rc.cycle_budget = cfg.cycle_budget;
+        rc.threads = inner_threads;
         rc
     };
-    for &frame in &frames {
-        let baseline = render_frame(workload, frame, &render_cfg(FilterPolicy::Baseline))?;
-        let baseline_luma = baseline.luma();
+    let tasks: Vec<parallel::Task<'_, Result<FrameResult, SimError>>> = points
+        .iter()
+        .map(|&(frame, slot)| {
+            let policy = slot.map_or(FilterPolicy::Baseline, |s| policies[s].1);
+            Box::new(move || render_frame(workload, frame, &render_cfg(policy)))
+                as parallel::Task<'_, Result<FrameResult, SimError>>
+        })
+        .collect();
+    let mut rendered = Vec::with_capacity(points.len());
+    for result in parallel::run_tasks(parallel::thread_count(cfg.threads), tasks) {
+        rendered.push(result?); // first error in point order, as the serial loop reported
+    }
 
+    // Accumulation is serial and walks the grid in the original
+    // frame-major, policy-minor order, so `f64` sums match the serial path.
+    let mut cursor = 0usize;
+    for _ in &frames {
+        let baseline = &rendered[cursor];
+        let baseline_luma = baseline.luma();
+        let frame_points = &points[cursor..];
+        let mut offset = 1; // skip the baseline point itself
         for (slot, (_, policy)) in policies.iter().enumerate() {
             let is_baseline = matches!(policy, FilterPolicy::Baseline);
             let result = if is_baseline {
-                baseline.clone()
+                baseline
             } else {
-                render_frame(workload, frame, &render_cfg(*policy))?
+                debug_assert_eq!(frame_points[offset].1, Some(slot));
+                offset += 1;
+                &rendered[cursor + offset - 1]
             };
             let mssim = if is_baseline {
                 1.0
@@ -158,8 +211,9 @@ pub fn run_policies(
             };
             let agg = &mut results[slot];
             agg.mssim += mssim;
-            accumulate(&result, agg, &energy);
+            accumulate(result, agg, &energy);
         }
+        cursor += offset;
     }
 
     let n = frames.len() as f64;
@@ -224,10 +278,22 @@ pub fn temporal_stability(
         return Err(SimError::NotEnoughFrames { got: frames.len(), need: 2 });
     }
     let ssim = SsimConfig::default();
-    let rc = crate::render::RenderConfig::new(policy).with_gpu(cfg.gpu);
+    let mut rc = RenderConfig::new(policy).with_gpu(cfg.gpu);
+    // Frames render in parallel (serially inside each render when several
+    // are in flight); the consecutive-pair SSIM scan stays serial and in
+    // frame order, so the mean is bit-identical across thread counts.
+    rc.threads = if frames.len() > 1 { Some(1) } else { cfg.threads };
+    let tasks: Vec<parallel::Task<'_, Result<patu_quality::GrayImage, SimError>>> = frames
+        .iter()
+        .map(|&f| {
+            let rc = &rc;
+            Box::new(move || Ok(render_frame(workload, f, rc)?.luma()))
+                as parallel::Task<'_, Result<patu_quality::GrayImage, SimError>>
+        })
+        .collect();
     let mut rendered = Vec::with_capacity(frames.len());
-    for &f in frames {
-        rendered.push(crate::render::render_frame(workload, f, &rc)?.luma());
+    for result in parallel::run_tasks(parallel::thread_count(cfg.threads), tasks) {
+        rendered.push(result?);
     }
     let mut sum = 0.0;
     for pair in rendered.windows(2) {
@@ -262,6 +328,17 @@ mod tests {
     fn frame_indices_stride() {
         let cfg = ExperimentConfig { frames: 3, frame_stride: 100, ..Default::default() };
         assert_eq!(cfg.frame_indices(), vec![0, 100, 200]);
+    }
+
+    #[test]
+    fn frame_indices_saturate_instead_of_overflowing() {
+        let cfg =
+            ExperimentConfig { frames: 4, frame_stride: u32::MAX / 2, ..Default::default() };
+        assert_eq!(
+            cfg.frame_indices(),
+            vec![0, u32::MAX / 2, u32::MAX - 1, u32::MAX],
+            "indices clamp at u32::MAX rather than wrapping"
+        );
     }
 
     #[test]

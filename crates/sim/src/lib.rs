@@ -40,6 +40,7 @@ pub mod controller;
 pub mod error;
 pub mod experiment;
 pub mod foveation;
+pub mod parallel;
 pub mod render;
 pub mod replay;
 pub mod satisfaction;

@@ -1,13 +1,14 @@
 //! Rendering one frame through the full simulated stack.
 
 use crate::error::SimError;
+use crate::parallel;
 use patu_core::{DivergenceStats, FilterPolicy, PerceptionAwareTextureUnit};
 use patu_gpu::{
-    FaultConfig, FaultCounts, FrameStats, FrameTimer, GpuConfig, MemorySystem, TextureRequest,
-    TextureUnit, TrafficClass,
+    FaultConfig, FaultCounts, FrameStats, FrameTimer, GpuConfig, MemSideEffects, MemorySystem,
+    TextureRequest, TextureUnit, TrafficClass,
 };
 use patu_quality::GrayImage;
-use patu_raster::{Framebuffer, Pipeline, QuadId};
+use patu_raster::{Framebuffer, GeometryOutput, Pipeline};
 use patu_scenes::Workload;
 use patu_texture::{AddressMode, Footprint, Rgba8};
 
@@ -45,10 +46,17 @@ pub struct RenderConfig {
     /// default: rendering is then bit-identical to a faultless build).
     pub faults: FaultConfig,
     /// Optional per-frame cycle budget. Once a tile starts past the budget,
-    /// the rest of the frame degrades to trilinear-only filtering (NoAf)
-    /// and the result is flagged [`FrameResult::degraded`] — the frame
-    /// always completes instead of livelocking under injected stalls.
+    /// the rest of that cluster's tile stream degrades to trilinear-only
+    /// filtering (NoAf) and the result is flagged [`FrameResult::degraded`]
+    /// — the frame always completes instead of livelocking under injected
+    /// stalls.
     pub cycle_budget: Option<u64>,
+    /// Worker threads for intra-frame cluster parallelism. `None` resolves
+    /// the `PATU_THREADS` environment variable, then
+    /// [`std::thread::available_parallelism`]. Every output is bit-identical
+    /// across thread counts (see [`crate::parallel`]); 1 takes the serial
+    /// path with no thread spawns.
+    pub threads: Option<usize>,
 }
 
 impl RenderConfig {
@@ -63,7 +71,15 @@ impl RenderConfig {
             foveation: None,
             faults: FaultConfig::disabled(),
             cycle_budget: None,
+            threads: None,
         }
+    }
+
+    /// Pins intra-frame parallelism to `threads` workers (1 = serial).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> RenderConfig {
+        self.threads = Some(threads);
+        self
     }
 
     /// Enables fault injection with the given configuration.
@@ -178,60 +194,238 @@ pub fn render_scene(
         .with_traversal(cfg.traversal);
     let geometry = pipeline.run(&scene.meshes, &scene.camera);
 
-    let mut mem = MemorySystem::try_new(&cfg.gpu)?;
-    mem.set_faults(cfg.faults)?;
-    let mut timer = FrameTimer::new(&cfg.gpu);
-    let clusters = cfg.gpu.clusters as usize;
-    let mut tex_units: Vec<TextureUnit> =
-        (0..clusters).map(|c| TextureUnit::new(c, &cfg.gpu)).collect();
-    // Per-cluster units fork the fault stream under their cluster index, so
-    // fault patterns are deterministic regardless of tile scheduling.
-    let mut patu_units: Vec<PerceptionAwareTextureUnit> = (0..clusters)
-        .map(|c| {
-            PerceptionAwareTextureUnit::try_with_faults(
-                cfg.policy,
-                cfg.hash_table_capacity,
-                cfg.faults,
-                c as u64,
-            )
-        })
-        .collect::<Result<_, _>>()?;
+    // Fallible setup happens serially, before any worker spawns, so
+    // adversarial configurations surface as the same typed errors on every
+    // thread count. The full-config probe catches degenerate geometry that
+    // shard clamping would otherwise mask.
+    MemorySystem::try_new(&cfg.gpu)?;
+    let clusters = cfg.gpu.clusters.max(1) as usize;
+    let shard_gpu = cfg.gpu.cluster_shard();
+    let mut shards = Vec::with_capacity(clusters);
+    for c in 0..clusters {
+        let mut mem = MemorySystem::try_new(&shard_gpu)?;
+        mem.set_cluster_faults(cfg.faults, c as u64)?;
+        // Per-cluster units fork the fault stream under their cluster index,
+        // so fault patterns are deterministic regardless of tile scheduling.
+        let patu = PerceptionAwareTextureUnit::try_with_faults(
+            cfg.policy,
+            cfg.hash_table_capacity,
+            cfg.faults,
+            c as u64,
+        )?;
+        shards.push(ClusterShard {
+            cluster: c,
+            mem,
+            tex: TextureUnit::new(0, &shard_gpu),
+            patu,
+        });
+    }
 
-    // Geometry front-end time and traffic.
-    timer.add_frontend_cycles(
-        geometry.stats.vertices_processed * CYCLES_PER_VERTEX
-            + geometry.stats.triangles_rasterized * CYCLES_PER_TRIANGLE,
-    );
-    mem.record_traffic(
+    // Geometry front-end time, shared by every cluster's cycle stream.
+    let frontend = geometry.stats.vertices_processed * CYCLES_PER_VERTEX
+        + geometry.stats.triangles_rasterized * CYCLES_PER_TRIANGLE;
+
+    // Static tile partition: a pure function of the tile index, identical
+    // for serial and parallel runs (see DESIGN.md "Parallel execution
+    // model").
+    let mut cluster_tiles: Vec<Vec<usize>> = vec![Vec::new(); clusters];
+    for i in 0..geometry.tiles.len() {
+        cluster_tiles[parallel::tile_cluster(i, clusters)].push(i);
+    }
+
+    // Simulate each cluster independently: worker-private memory shard,
+    // texture units, framebuffer and counters — no locks or atomics on the
+    // per-fragment path. `threads <= 1` runs the same code inline.
+    let threads = parallel::thread_count(cfg.threads);
+    let geometry_ref = &geometry;
+    let tasks: Vec<parallel::Task<'_, ClusterOutput>> = shards
+        .into_iter()
+        .map(|shard| {
+            let tiles: &[usize] = &cluster_tiles[shard.cluster];
+            let run_cfg = *cfg;
+            Box::new(move || run_cluster(shard, tiles, geometry_ref, workload, &run_cfg, frontend))
+                as parallel::Task<'_, ClusterOutput>
+        })
+        .collect();
+    let outputs = parallel::run_tasks(threads, tasks);
+
+    // Merge in cluster order. Counters are commutative sums; the frame
+    // timer replays each cluster's finish time; framebuffer tiles are
+    // disjoint rects, stitched back per cluster.
+    let mut image = Framebuffer::new(width, height, Rgba8::BLACK);
+    let mut timer = FrameTimer::new(&cfg.gpu);
+    timer.add_frontend_cycles(frontend);
+    let mut side = MemSideEffects::default();
+    side.record_traffic(
         TrafficClass::Vertex,
         geometry.stats.vertices_processed * BYTES_PER_VERTEX,
     );
-    mem.record_traffic(
+    side.record_traffic(
         TrafficClass::Depth,
         geometry.stats.fragments_generated * DEPTH_BYTES_PER_FRAGMENT,
     );
-
-    let mut image = Framebuffer::new(width, height, Rgba8::BLACK);
     let mut filter_latency = 0u64;
     let mut filter_requests = 0u64;
+    let mut wasted_addr_taps = 0u64;
+    let mut hash_accesses = 0u64;
+    let mut degraded = false;
     let mut divergence = DivergenceStats::new();
+    let mut approx = patu_core::ApproxStats::new();
+    let mut sharing = patu_core::SharingStats::new();
+    let mut fault_counts = FaultCounts::default();
+    let tile_size = cfg.gpu.tile_size;
+    for (c, out) in outputs.into_iter().enumerate() {
+        timer.merge_cluster(c, out.finish);
+        for &ti in &cluster_tiles[c] {
+            let tile = &geometry.tiles[ti];
+            let x0 = tile.tx * tile_size;
+            let y0 = tile.ty * tile_size;
+            let w = tile_size.min(width - x0);
+            let h = tile_size.min(height - y0);
+            image.copy_rect_from(&out.image, x0, y0, w, h);
+        }
+        side.accumulate(&out.side);
+        filter_latency += out.filter_latency;
+        filter_requests += out.filter_requests;
+        wasted_addr_taps += out.wasted_addr_taps;
+        hash_accesses += out.hash_accesses;
+        degraded |= out.degraded;
+        divergence.accumulate(&out.divergence);
+        approx.accumulate(&out.approx);
+        sharing.accumulate(&out.sharing);
+        fault_counts.accumulate(&out.faults);
+    }
+
+    // Framebuffer writeout: each tile's pixels once per frame, with
+    // lossless framebuffer compression (~2:1, standard on mobile GPUs).
+    side.record_traffic(TrafficClass::Framebuffer, u64::from(width) * u64::from(height) * 2);
+    side.record_traffic(TrafficClass::Other, 4096); // command stream
+    fault_counts.watchdog_trips += u64::from(degraded);
+
+    let mut stats = FrameStats {
+        cycles: timer.frame_cycles(),
+        filter_latency_cycles: filter_latency,
+        filter_requests,
+        bandwidth: side.bandwidth,
+        events: side.events,
+        faults: fault_counts,
+    };
+    // Discarded address calculations for stage-2 approximations (8 addresses
+    // per wasted tap).
+    stats.events.address_calc_ops += wasted_addr_taps * 8;
+    stats.events.shader_alu_ops =
+        geometry.stats.fragments_shaded * u64::from(cfg.gpu.shader_ops_per_fragment);
+    stats.events.vertices = geometry.stats.vertices_processed;
+    stats.events.hash_table_accesses += hash_accesses;
+    stats.events.predictor_evals = approx.stage1_approx + approx.stage2_approx * 2
+        + approx.kept_af * if cfg.policy.uses_distribution_stage() { 2 } else { 1 };
+
+    Ok(FrameResult { image, stats, approx, sharing, divergence, degraded })
+}
+
+/// One cluster's worker-private simulation state: its slice of the memory
+/// hierarchy, its texture units, and its fault streams. Built serially
+/// (construction is fallible), then moved into the worker.
+struct ClusterShard {
+    cluster: usize,
+    mem: MemorySystem,
+    tex: TextureUnit,
+    patu: PerceptionAwareTextureUnit,
+}
+
+/// Everything a cluster worker produces; merged in cluster order.
+struct ClusterOutput {
+    image: Framebuffer,
+    finish: u64,
+    filter_latency: u64,
+    filter_requests: u64,
+    wasted_addr_taps: u64,
+    hash_accesses: u64,
+    degraded: bool,
+    divergence: DivergenceStats,
+    approx: patu_core::ApproxStats,
+    sharing: patu_core::SharingStats,
+    side: MemSideEffects,
+    faults: FaultCounts,
+}
+
+/// Reusable per-tile quad-outcome accumulator: a flat `(fragments,
+/// approximated)` grid indexed by the quad's position inside the tile,
+/// replacing the per-tile `HashMap<QuadId, Vec<bool>>` whose allocation
+/// churn dominated the divergence accounting (see `benches/raster.rs`).
+struct QuadScratch {
+    quads_per_side: usize,
+    fragments: Vec<u32>,
+    approximated: Vec<u32>,
+}
+
+impl QuadScratch {
+    fn new(tile_size: u32) -> QuadScratch {
+        let q = (tile_size as usize).div_ceil(2).max(1);
+        QuadScratch { quads_per_side: q, fragments: vec![0; q * q], approximated: vec![0; q * q] }
+    }
+
+    #[inline]
+    fn record(&mut self, frag_x: u32, frag_y: u32, tile_x0: u32, tile_y0: u32, approx: bool) {
+        let qx = ((frag_x - tile_x0) / 2) as usize;
+        let qy = ((frag_y - tile_y0) / 2) as usize;
+        let idx = qy * self.quads_per_side + qx;
+        self.fragments[idx] += 1;
+        self.approximated[idx] += u32::from(approx);
+    }
+
+    /// Flushes all touched quads into `divergence` (quad-index order; the
+    /// counts are order-independent sums) and clears the grid for the next
+    /// tile.
+    fn flush(&mut self, divergence: &mut DivergenceStats) {
+        for (count, approx) in self.fragments.iter_mut().zip(&mut self.approximated) {
+            if *count > 0 {
+                divergence.record_quad_counts(u64::from(*count), u64::from(*approx));
+                *count = 0;
+                *approx = 0;
+            }
+        }
+    }
+}
+
+/// Simulates one cluster's statically assigned tiles end to end. Pure
+/// function of its inputs — every mutable structure is worker-private — so
+/// it runs identically inline or on a worker thread.
+fn run_cluster(
+    mut shard: ClusterShard,
+    tiles: &[usize],
+    geometry: &GeometryOutput,
+    workload: &Workload,
+    cfg: &RenderConfig,
+    frontend: u64,
+) -> ClusterOutput {
+    let cluster = shard.cluster;
+    let (width, height) = (geometry.width, geometry.height);
+    let mut timer = FrameTimer::new(&cfg.gpu);
+    timer.add_frontend_cycles(frontend);
+    let mut image = Framebuffer::new(width, height, Rgba8::BLACK);
+    let mut quads = QuadScratch::new(cfg.gpu.tile_size);
+    let mut divergence = DivergenceStats::new();
+    let mut filter_latency = 0u64;
+    let mut filter_requests = 0u64;
     let mut wasted_addr_taps = 0u64;
     let mut degraded = false;
 
-    for tile in &geometry.tiles {
-        let (cluster, start) = timer.begin_tile();
+    for &ti in tiles {
+        let tile = &geometry.tiles[ti];
+        let start = timer.begin_tile_on(cluster);
         // Watchdog: a tile starting past the budget means injected stalls
-        // (or sheer load) blew the frame time. Degrade the rest of the
-        // frame to the cheapest real filtering instead of piling on.
+        // (or sheer load) blew the frame time. Degrade the rest of this
+        // cluster's stream to the cheapest real filtering instead of piling
+        // on.
         if let Some(budget) = cfg.cycle_budget {
             if start > budget {
                 degraded = true;
             }
         }
         let mut texture_done = start;
-        // Per-quad approximation outcomes for divergence accounting.
-        let mut quad_outcomes: std::collections::HashMap<QuadId, Vec<bool>> =
-            std::collections::HashMap::new();
+        let tile_x0 = tile.tx * cfg.gpu.tile_size;
+        let tile_y0 = tile.ty * cfg.gpu.tile_size;
 
         for frag in &tile.fragments {
             let tex = &workload.textures()[frag.material];
@@ -243,16 +437,10 @@ pub fn render_scene(
                 cfg.gpu.max_aniso,
             );
             let outcome = if degraded {
-                patu_units[cluster].filter_with(
-                    FilterPolicy::NoAf,
-                    tex,
-                    frag.uv,
-                    &fp,
-                    cfg.address_mode,
-                )
+                shard.patu.filter_with(FilterPolicy::NoAf, tex, frag.uv, &fp, cfg.address_mode)
             } else {
                 match cfg.foveation {
-                    None => patu_units[cluster].filter(tex, frag.uv, &fp, cfg.address_mode),
+                    None => shard.patu.filter(tex, frag.uv, &fp, cfg.address_mode),
                     Some(fov) => {
                         // Loosen the knob with eccentricity: scaled
                         // threshold, same two-stage flow.
@@ -262,13 +450,13 @@ pub fn render_scene(
                             ),
                             None => cfg.policy,
                         };
-                        patu_units[cluster]
-                            .filter_with(policy, tex, frag.uv, &fp, cfg.address_mode)
+                        shard.patu.filter_with(policy, tex, frag.uv, &fp, cfg.address_mode)
                     }
                 }
             };
 
-            // Timing: replay the performed fetches through the texture unit.
+            // Timing: replay the performed fetches through the texture unit
+            // (index 0 of this cluster's private shard).
             let request = TextureRequest::new(
                 outcome
                     .record
@@ -277,16 +465,13 @@ pub fn render_scene(
                     .map(|t| t.addresses.clone())
                     .collect(),
             );
-            let timing = tex_units[cluster].process(&request, &mut mem, start);
+            let timing = shard.tex.process(&request, &mut shard.mem, start);
             filter_latency += timing.latency;
             filter_requests += 1;
             texture_done = texture_done.max(timing.completion);
             wasted_addr_taps += u64::from(outcome.decision.wasted_addr_taps);
 
-            quad_outcomes
-                .entry(frag.quad())
-                .or_default()
-                .push(outcome.decision.is_approximated());
+            quads.record(frag.x, frag.y, tile_x0, tile_y0, outcome.decision.is_approximated());
 
             // Fragment shading applies the material's (possibly non-linear)
             // response to the filtered texel — the paper's vanished-effects
@@ -295,55 +480,30 @@ pub fn render_scene(
             image.put(frag.x, frag.y, shaded);
         }
 
-        for outcomes in quad_outcomes.values() {
-            divergence.record_quad(outcomes);
-        }
-
+        quads.flush(&mut divergence);
         let shading = timer.shading_cycles(tile.fragments.len() as u64);
         timer.end_tile(cluster, shading, texture_done);
     }
 
-    // Framebuffer writeout: each tile's pixels once per frame, with
-    // lossless framebuffer compression (~2:1, standard on mobile GPUs).
-    mem.record_traffic(TrafficClass::Framebuffer, u64::from(width) * u64::from(height) * 2);
-    mem.record_traffic(TrafficClass::Other, 4096); // command stream
+    let mut side = MemSideEffects { bandwidth: shard.mem.bandwidth(), events: shard.mem.events() };
+    side.events.accumulate(&shard.tex.events());
+    let mut faults = shard.mem.fault_counts();
+    faults.accumulate(&shard.patu.fault_counts());
 
-    // Assemble statistics, merging every consumer's fault counters.
-    let mut fault_counts: FaultCounts = mem.fault_counts();
-    for unit in &patu_units {
-        fault_counts.accumulate(&unit.fault_counts());
-    }
-    fault_counts.watchdog_trips += u64::from(degraded);
-
-    let mut stats = FrameStats {
-        cycles: timer.frame_cycles(),
-        filter_latency_cycles: filter_latency,
+    ClusterOutput {
+        image,
+        finish: timer.cluster_cycles(cluster),
+        filter_latency,
         filter_requests,
-        bandwidth: mem.bandwidth(),
-        events: mem.events(),
-        faults: fault_counts,
-    };
-    for tu in &tex_units {
-        stats.events.accumulate(&tu.events());
+        wasted_addr_taps,
+        hash_accesses: shard.patu.hash_accesses(),
+        degraded,
+        divergence,
+        approx: shard.patu.approx_stats(),
+        sharing: shard.patu.sharing_stats(),
+        side,
+        faults,
     }
-    // Discarded address calculations for stage-2 approximations (8 addresses
-    // per wasted tap).
-    stats.events.address_calc_ops += wasted_addr_taps * 8;
-    stats.events.shader_alu_ops =
-        geometry.stats.fragments_shaded * u64::from(cfg.gpu.shader_ops_per_fragment);
-    stats.events.vertices = geometry.stats.vertices_processed;
-
-    let mut approx = patu_core::ApproxStats::new();
-    let mut sharing = patu_core::SharingStats::new();
-    for unit in &patu_units {
-        approx.accumulate(&unit.approx_stats());
-        sharing.accumulate(&unit.sharing_stats());
-        stats.events.hash_table_accesses += unit.hash_accesses();
-    }
-    stats.events.predictor_evals = approx.stage1_approx + approx.stage2_approx * 2
-        + approx.kept_af * if cfg.policy.uses_distribution_stage() { 2 } else { 1 };
-
-    Ok(FrameResult { image, stats, approx, sharing, divergence, degraded })
 }
 
 #[cfg(test)]

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Benchmark sweep: runs every micro-benchmark target plus the headline
+# paper-metrics binary. Each group writes BENCH_<name>.json at the repo
+# root (micro benches: median/p10/p90 ns per iteration; headline: serial
+# vs 4-thread sweep wall time, speedup, host core count, and the
+# paper-abstract metrics).
+#
+# Usage: scripts/bench.sh [headline args, e.g. --full --frames N]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "==> micro-benchmarks: cargo bench -p patu-bench"
+cargo bench -p patu-bench
+
+echo "==> headline: cargo run --release -p patu-bench --bin headline"
+cargo run --release -p patu-bench --bin headline -- "$@"
+
+echo "==> bench artifacts:"
+ls -1 BENCH_*.json

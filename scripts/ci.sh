@@ -2,7 +2,10 @@
 # Offline CI gate: everything here must pass with no network access.
 #
 #   1. Tier-1: release build + the full test suite (unit, integration,
-#      property sweeps, the chaos/fault-injection suite, doc-tests).
+#      property sweeps, the chaos/fault-injection suite, doc-tests) —
+#      run twice, serial (PATU_THREADS=1) and multi-threaded
+#      (PATU_THREADS=4), because every simulator output must be
+#      bit-identical across thread counts.
 #   2. Lint: clippy over every target (libs, bins, tests, benches,
 #      examples) with warnings promoted to errors.
 #
@@ -18,8 +21,11 @@ export CARGO_NET_OFFLINE=true
 echo "==> tier-1: cargo build --release"
 cargo build --release
 
-echo "==> tier-1: cargo test -q"
-cargo test -q
+echo "==> tier-1: PATU_THREADS=1 cargo test -q (serial)"
+PATU_THREADS=1 cargo test -q
+
+echo "==> tier-1: PATU_THREADS=4 cargo test -q (parallel runtime)"
+PATU_THREADS=4 cargo test -q
 
 if [[ "${1:-}" != "--skip-lint" ]]; then
     echo "==> lint: cargo clippy --all-targets -- -D warnings"
