@@ -4,6 +4,7 @@
 
 use patu_bench::{paper_note, RunOptions};
 use patu_core::FilterPolicy;
+use patu_obs::Log2Histogram;
 use patu_quality::SsimConfig;
 use patu_scenes::Workload;
 use patu_sim::render::{render_frame, RenderConfig};
@@ -56,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         };
 
         println!("{game} @ {}x{}:", res.0, res.1);
-        println!("{:>9} {:>8} {:>8} {:>12}", "threshold", "fps", "MSSIM", "satisfaction");
+        println!(
+            "{:>9} {:>8} {:>8} {:>12} {:>9} {:>7} {:>7} {:>7}",
+            "threshold", "fps", "MSSIM", "satisfaction", "lat mean", "p50", "p95", "p99"
+        );
         let mut best = (0.0, f64::MIN);
         for &t in &thresholds {
             let policy = if t >= 1.0 {
@@ -68,6 +72,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             };
             let mut cycles = Vec::new();
             let mut mssim_sum = 0.0;
+            let mut latency = Log2Histogram::new();
             for (i, &f) in frames.iter().enumerate() {
                 let r = if matches!(policy, FilterPolicy::Baseline) {
                     baselines[i].clone()
@@ -79,6 +84,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 } else {
                     f64::from(ssim.mssim(&baselines[i].luma(), &r.luma()))
                 };
+                latency.accumulate(&r.stats.filter_latency_hist);
                 cycles.push(r.stats.cycles);
             }
             let mssim = mssim_sum / frames.len() as f64;
@@ -89,7 +95,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let fps = (replay.gpu_frequency_hz / mean_cycles).min(replay.refresh_hz);
             let _ = replay.replay(&cycles);
             let score = rater.score(mssim, fps, u64::from(res.0) * u64::from(res.1));
-            println!("{:>9.1} {:>8.1} {:>8.3} {:>12.2}", t, fps, mssim, score);
+            println!(
+                "{:>9.1} {:>8.1} {:>8.3} {:>12.2} {:>9.1} {:>7} {:>7} {:>7}",
+                t,
+                fps,
+                mssim,
+                score,
+                latency.mean(),
+                latency.p50(),
+                latency.p95(),
+                latency.p99()
+            );
             if score > best.1 {
                 best = (t, score);
             }

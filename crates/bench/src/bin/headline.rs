@@ -11,6 +11,8 @@
 use std::time::Instant;
 
 use patu_bench::{micro, paper_note, pct, pct_delta, RunOptions};
+use patu_obs::json::num_fixed;
+use patu_obs::{Log2Histogram, TelemetryConfig, TraceLevel};
 use patu_scenes::{default_specs, Workload};
 use patu_sim::experiment::{design_points, run_policies, AggregateResult};
 use patu_sim::render::{render_frame, RenderConfig};
@@ -78,13 +80,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let parallel_ms = parallel_start.elapsed().as_secs_f64() * 1e3;
     let same = identical(&serial_results, &parallel_results);
 
-    // Reference render_frame wall time: one doom3 frame at the fast profile.
+    // Reference render_frame wall time: one doom3 frame at the fast profile,
+    // once with telemetry off and once at full span tracing, so the JSON
+    // records the observation overhead of this build.
     let spec = default_specs().into_iter().find(|s| s.name == "doom3").expect("doom3 spec");
     let workload = Workload::build(spec.name, opts.resolution(&spec))?;
     let rc = RenderConfig::new(patu_core::FilterPolicy::Patu { threshold: 0.4 });
     let reference_start = Instant::now();
     render_frame(&workload, 0, &rc)?;
     let reference_ms = reference_start.elapsed().as_secs_f64() * 1e3;
+    let traced_rc = rc.with_telemetry(TelemetryConfig::with_level(TraceLevel::Spans));
+    let traced_start = Instant::now();
+    render_frame(&workload, 0, &traced_rc)?;
+    let trace_spans_ms = traced_start.elapsed().as_secs_f64() * 1e3;
 
     println!("\n{:<38} {:>10} {:>10}", "metric", "paper", "measured");
     println!("{:<38} {:>10} {:>10}", "3D rendering speedup", "+17%", pct_delta(headline.speedup));
@@ -102,24 +110,60 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("{:<38} {:>10} {:>10}", "perceived quality (MSSIM)", ">=93%", pct(headline.mssim));
 
+    // Per-request filtering-latency distribution, merged over every game:
+    // the mean alone hides the tail that AF's texel storms create.
+    let mut base_hist = Log2Histogram::new();
+    let mut patu_hist = Log2Histogram::new();
+    for chunk in serial_results.chunks(4) {
+        base_hist.accumulate(&chunk[0].stats.filter_latency_hist);
+        patu_hist.accumulate(&chunk[3].stats.filter_latency_hist);
+    }
+    println!(
+        "\n{:<12} {:>10} {:>8} {:>8} {:>8}",
+        "filter lat.", "mean", "p50", "p95", "p99"
+    );
+    for (label, hist) in [("baseline", &base_hist), ("patu", &patu_hist)] {
+        println!(
+            "{:<12} {:>10.1} {:>8} {:>8} {:>8}",
+            label,
+            hist.mean(),
+            hist.p50(),
+            hist.p95(),
+            hist.p99()
+        );
+    }
+
     println!(
         "\nparallel runtime: serial {serial_ms:.0} ms, 4 threads {parallel_ms:.0} ms \
          ({:.2}x on {host_cores} host core(s)), outputs bit-identical: {same}",
         serial_ms / parallel_ms
     );
 
+    // Every float routes through `num_fixed`, which emits `null` instead of
+    // the unparseable `inf`/`NaN` tokens (e.g. a zero-cycle frame's fps).
     let json = format!(
         "{{\n  \"bench\": \"headline\",\n  \"host_cores\": {host_cores},\n  \
-         \"serial_ms\": {serial_ms:.1},\n  \"parallel_ms_4_threads\": {parallel_ms:.1},\n  \
-         \"speedup\": {:.3},\n  \"outputs_bit_identical\": {same},\n  \
-         \"reference_render_frame_ms\": {reference_ms:.1},\n  \
-         \"rendering_speedup_vs_baseline\": {:.4},\n  \"energy_ratio\": {:.4},\n  \
-         \"filter_latency_ratio\": {:.4},\n  \"mssim\": {:.4}\n}}\n",
-        serial_ms / parallel_ms,
-        headline.speedup,
-        headline.energy,
-        headline.latency,
-        headline.mssim,
+         \"serial_ms\": {},\n  \"parallel_ms_4_threads\": {},\n  \
+         \"speedup\": {},\n  \"outputs_bit_identical\": {same},\n  \
+         \"reference_render_frame_ms\": {},\n  \
+         \"trace_off_ms\": {},\n  \"trace_spans_ms\": {},\n  \
+         \"rendering_speedup_vs_baseline\": {},\n  \"energy_ratio\": {},\n  \
+         \"filter_latency_ratio\": {},\n  \"mssim\": {},\n  \
+         \"patu_filter_latency_p50\": {},\n  \"patu_filter_latency_p95\": {},\n  \
+         \"patu_filter_latency_p99\": {}\n}}\n",
+        num_fixed(serial_ms, 1),
+        num_fixed(parallel_ms, 1),
+        num_fixed(serial_ms / parallel_ms, 3),
+        num_fixed(reference_ms, 1),
+        num_fixed(reference_ms, 1),
+        num_fixed(trace_spans_ms, 1),
+        num_fixed(headline.speedup, 4),
+        num_fixed(headline.energy, 4),
+        num_fixed(headline.latency, 4),
+        num_fixed(headline.mssim, 4),
+        patu_hist.p50(),
+        patu_hist.p95(),
+        patu_hist.p99(),
     );
     let path = micro::repo_root().join("BENCH_headline.json");
     std::fs::write(&path, json)?;

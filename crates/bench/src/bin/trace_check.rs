@@ -1,0 +1,48 @@
+//! Validates telemetry JSONL artifacts against the in-repo schema
+//! (`patu_obs::schema`). Every line a sink writes must re-parse and carry
+//! the fields its record type promises — CI runs this after `trace_smoke`.
+//!
+//! Usage: `trace_check <file.jsonl>...`; with no arguments it checks
+//! `$PATU_TRACE_OUT/trace_smoke.jsonl`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use patu_obs::{schema, trace_out_dir};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let paths: Vec<PathBuf> = if args.is_empty() {
+        match trace_out_dir() {
+            Some(dir) => vec![dir.join("trace_smoke.jsonl")],
+            None => {
+                eprintln!("usage: trace_check <file.jsonl>... (or set PATU_TRACE_OUT)");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        args.into_iter().map(PathBuf::from).collect()
+    };
+
+    let mut failed = false;
+    for path in paths {
+        match std::fs::read_to_string(&path) {
+            Ok(text) => match schema::check_stream(&text) {
+                Ok(lines) => println!("{}: {lines} lines ok", path.display()),
+                Err((line, err)) => {
+                    eprintln!("{}:{line}: {err}", path.display());
+                    failed = true;
+                }
+            },
+            Err(e) => {
+                eprintln!("{}: {e}", path.display());
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,54 @@
+//! Telemetry smoke run: renders a few PATU frames at the level given by
+//! `PATU_TRACE`, folds the SSIM analysis onto each frame's analysis track,
+//! prints the per-frame report, and (when `PATU_TRACE_OUT` is set) writes
+//! the JSONL + Chrome-trace artifacts that `trace_check` validates.
+
+use patu_core::FilterPolicy;
+use patu_obs::{sink, trace_out_dir, Collector, TelemetryConfig, Track, TraceLevel};
+use patu_quality::SsimConfig;
+use patu_scenes::Workload;
+use patu_sim::render::{render_frame, RenderConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let telemetry = TelemetryConfig::from_env();
+    println!("trace_smoke: PATU_TRACE={}", telemetry.level.name());
+    if telemetry.level == TraceLevel::Off {
+        println!("telemetry off — set PATU_TRACE=counters|spans to record");
+    }
+
+    let workload = Workload::build("doom3", (256, 192))?;
+    let base_cfg = RenderConfig::new(FilterPolicy::Baseline);
+    let cfg = RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 }).with_telemetry(telemetry);
+    let ssim = SsimConfig::default();
+
+    let mut frames = Vec::new();
+    for index in [0u32, 40, 80] {
+        let baseline = render_frame(&workload, index, &base_cfg)?;
+        let mut result = render_frame(&workload, index, &cfg)?;
+        if let Some(mut t) = result.telemetry.take() {
+            // The quality analysis rides the frame's analysis track, so the
+            // artifact shows render and SSIM work side by side.
+            let mut analysis = Collector::new(telemetry, Track::Analysis);
+            let score = ssim.mssim_traced(&mut analysis, &baseline.luma(), &result.luma());
+            t.absorb(analysis);
+            println!("frame {index}: mssim {score:.4}");
+            frames.push(*t);
+        }
+    }
+
+    for frame in &frames {
+        print!("{}", sink::report(frame));
+    }
+    if frames.is_empty() {
+        return Ok(());
+    }
+    match trace_out_dir() {
+        Some(dir) => {
+            for path in sink::write_artifacts(&dir, "trace_smoke", &frames)? {
+                println!("wrote {}", path.display());
+            }
+        }
+        None => println!("PATU_TRACE_OUT unset; skipping artifact files"),
+    }
+    Ok(())
+}

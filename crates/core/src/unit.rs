@@ -61,6 +61,8 @@ pub struct PerceptionAwareTextureUnit {
     sharing: SharingStats,
     approx: ApproxStats,
     faults: FaultInjector,
+    telemetry: bool,
+    tap_hist: patu_obs::Log2Histogram,
 }
 
 impl PerceptionAwareTextureUnit {
@@ -86,6 +88,8 @@ impl PerceptionAwareTextureUnit {
             sharing: SharingStats::new(),
             approx: ApproxStats::new(),
             faults: FaultInjector::disabled(),
+            telemetry: false,
+            tap_hist: patu_obs::Log2Histogram::new(),
         }
     }
 
@@ -107,7 +111,22 @@ impl PerceptionAwareTextureUnit {
             sharing: SharingStats::new(),
             approx: ApproxStats::new(),
             faults: FaultInjector::new(faults).fork(tag),
+            telemetry: false,
+            tap_hist: patu_obs::Log2Histogram::new(),
         })
+    }
+
+    /// Enables or disables tap-count telemetry (off by default).
+    pub fn set_telemetry(&mut self, enabled: bool) {
+        self.telemetry = enabled;
+    }
+
+    /// Distribution of trilinear taps actually fetched per pixel (`N` for
+    /// kept AF, 1 for demotions) — how hard the approximation bites, per
+    /// pixel rather than on average (telemetry only; empty unless
+    /// [`PerceptionAwareTextureUnit::set_telemetry`] was enabled).
+    pub fn tap_hist(&self) -> &patu_obs::Log2Histogram {
+        &self.tap_hist
     }
 
     /// The active policy.
@@ -191,6 +210,9 @@ impl PerceptionAwareTextureUnit {
             }
         };
 
+        if self.telemetry {
+            self.tap_hist.record(u64::from(record.n));
+        }
         FilterOutcome { record, decision }
     }
 
@@ -217,6 +239,7 @@ impl PerceptionAwareTextureUnit {
         self.sharing = SharingStats::new();
         self.approx = ApproxStats::new();
         self.faults.reset_counts();
+        self.tap_hist = patu_obs::Log2Histogram::new();
     }
 }
 
@@ -407,6 +430,24 @@ mod tests {
             0
         )
         .is_err());
+    }
+
+    #[test]
+    fn tap_hist_gates_on_telemetry_and_sees_demotions() {
+        let tex = texture();
+        let mut unit = PerceptionAwareTextureUnit::new(FilterPolicy::Patu { threshold: 0.05 });
+        let _ = unit.filter(&tex, center(), &footprint(8.0), AddressMode::Wrap);
+        assert!(unit.tap_hist().is_empty(), "off by default");
+        unit.set_telemetry(true);
+        let demoted = unit.filter(&tex, center(), &footprint(8.0), AddressMode::Wrap);
+        assert!(demoted.decision.is_approximated());
+        let mut baseline = PerceptionAwareTextureUnit::new(FilterPolicy::Baseline);
+        baseline.set_telemetry(true);
+        let _ = baseline.filter(&tex, center(), &footprint(8.0), AddressMode::Wrap);
+        assert_eq!(unit.tap_hist().max(), 1, "demotion fetched a single tap");
+        assert_eq!(baseline.tap_hist().max(), 8, "baseline fetched all N taps");
+        unit.reset_stats();
+        assert!(unit.tap_hist().is_empty(), "reset clears telemetry");
     }
 
     #[test]

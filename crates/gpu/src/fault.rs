@@ -129,6 +129,38 @@ impl FaultCounts {
         self.fallbacks += other.fallbacks;
         self.watchdog_trips += other.watchdog_trips;
     }
+
+    /// Component-wise difference against an earlier snapshot — how many
+    /// faults fired since `since`. Counters are monotone, so saturating
+    /// subtraction only guards against misuse.
+    pub fn delta(&self, since: &FaultCounts) -> FaultCounts {
+        FaultCounts {
+            cache_bitflips: self.cache_bitflips.saturating_sub(since.cache_bitflips),
+            dram_stalls: self.dram_stalls.saturating_sub(since.dram_stalls),
+            table_corruptions: self.table_corruptions.saturating_sub(since.table_corruptions),
+            predictor_poisons: self.predictor_poisons.saturating_sub(since.predictor_poisons),
+            fallbacks: self.fallbacks.saturating_sub(since.fallbacks),
+            watchdog_trips: self.watchdog_trips.saturating_sub(since.watchdog_trips),
+        }
+    }
+
+    /// Whether every counter is zero.
+    pub fn is_zero(&self) -> bool {
+        *self == FaultCounts::default()
+    }
+
+    /// Injection-site counters as `(site name, count)` pairs, in a stable
+    /// order — the telemetry event stream's fault vocabulary. Excludes the
+    /// reaction counters (`fallbacks`, `watchdog_trips`), which telemetry
+    /// reports as their own event kinds.
+    pub fn sites(&self) -> [(&'static str, u64); 4] {
+        [
+            ("cache_bitflips", self.cache_bitflips),
+            ("dram_stalls", self.dram_stalls),
+            ("table_corruptions", self.table_corruptions),
+            ("predictor_poisons", self.predictor_poisons),
+        ]
+    }
 }
 
 /// A seeded fault source for one consumer (a memory system, a texture
@@ -266,6 +298,26 @@ impl FaultInjector {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn delta_and_sites_expose_per_tile_increments() {
+        let before = FaultCounts { cache_bitflips: 3, dram_stalls: 1, ..FaultCounts::default() };
+        let after = FaultCounts {
+            cache_bitflips: 5,
+            dram_stalls: 1,
+            fallbacks: 2,
+            ..FaultCounts::default()
+        };
+        let d = after.delta(&before);
+        assert_eq!(d.cache_bitflips, 2);
+        assert_eq!(d.dram_stalls, 0);
+        assert_eq!(d.fallbacks, 2);
+        assert!(!d.is_zero());
+        assert!(FaultCounts::default().is_zero());
+        let sites = d.sites();
+        assert_eq!(sites[0], ("cache_bitflips", 2));
+        assert!(sites.iter().all(|(_, count)| *count == 0 || *count == 2));
+    }
 
     #[test]
     fn disabled_injector_never_fires() {

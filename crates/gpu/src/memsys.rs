@@ -7,6 +7,7 @@ use crate::dram::Dram;
 use crate::error::GpuError;
 use crate::fault::{FaultConfig, FaultCounts, FaultInjector};
 use crate::stats::{BandwidthBreakdown, EventCounts, TrafficClass};
+use patu_obs::Log2Histogram;
 use patu_texture::TexelAddress;
 
 /// Where a texel fetch was satisfied.
@@ -42,6 +43,9 @@ pub struct MemorySystem {
     bandwidth: BandwidthBreakdown,
     events: EventCounts,
     faults: FaultInjector,
+    telemetry: bool,
+    fetch_latency_hist: Log2Histogram,
+    miss_penalty_hist: Log2Histogram,
 }
 
 impl MemorySystem {
@@ -71,6 +75,9 @@ impl MemorySystem {
             bandwidth: BandwidthBreakdown::default(),
             events: EventCounts::default(),
             faults: FaultInjector::disabled(),
+            telemetry: false,
+            fetch_latency_hist: Log2Histogram::new(),
+            miss_penalty_hist: Log2Histogram::new(),
         })
     }
 
@@ -108,6 +115,24 @@ impl MemorySystem {
         self.faults.counts()
     }
 
+    /// Enables or disables per-fetch latency telemetry. Off by default so
+    /// the untraced fetch path pays nothing beyond this flag's branch.
+    pub fn set_telemetry(&mut self, enabled: bool) {
+        self.telemetry = enabled;
+    }
+
+    /// Distribution of end-to-end texel-fetch latencies (telemetry only;
+    /// empty unless [`MemorySystem::set_telemetry`] was enabled).
+    pub fn fetch_latency_hist(&self) -> &Log2Histogram {
+        &self.fetch_latency_hist
+    }
+
+    /// Distribution of cache-miss penalties — the DRAM round-trip portion
+    /// of fetches that missed both cache levels (telemetry only).
+    pub fn miss_penalty_hist(&self) -> &Log2Histogram {
+        &self.miss_penalty_hist
+    }
+
     /// Fetches one texel through `cluster`'s L1; returns the latency in
     /// cycles from issue (`now`) to data return.
     ///
@@ -126,6 +151,19 @@ impl MemorySystem {
     ///
     /// Panics if `cluster` is out of range.
     pub fn fetch_texel_detailed(
+        &mut self,
+        cluster: usize,
+        addr: TexelAddress,
+        now: u64,
+    ) -> (u64, FetchLevel) {
+        let (latency, level) = self.fetch_texel_inner(cluster, addr, now);
+        if self.telemetry {
+            self.fetch_latency_hist.record(latency);
+        }
+        (latency, level)
+    }
+
+    fn fetch_texel_inner(
         &mut self,
         cluster: usize,
         addr: TexelAddress,
@@ -161,6 +199,9 @@ impl MemorySystem {
             self.dram.inject_stall(addr, stall, issue);
         }
         let dram_latency = self.dram.read(addr, issue);
+        if self.telemetry {
+            self.miss_penalty_hist.record(dram_latency);
+        }
         self.events.dram_reads += 1;
         self.events.dram_bytes += self.line_size;
         self.bandwidth.add(TrafficClass::TextureFetch, self.line_size);
@@ -215,6 +256,8 @@ impl MemorySystem {
         self.bandwidth = BandwidthBreakdown::default();
         self.events = EventCounts::default();
         self.faults.reset_counts();
+        self.fetch_latency_hist = Log2Histogram::new();
+        self.miss_penalty_hist = Log2Histogram::new();
     }
 }
 
@@ -349,6 +392,22 @@ mod tests {
         let mut m = mem();
         let bad = FaultConfig { dram_stall_rate: 7.0, ..FaultConfig::disabled() };
         assert!(m.set_faults(bad).is_err());
+    }
+
+    #[test]
+    fn telemetry_hists_gate_on_the_flag() {
+        let mut m = mem();
+        let _ = m.fetch_texel(0, TexelAddress::new(0), 0);
+        assert!(m.fetch_latency_hist().is_empty(), "off by default");
+        assert!(m.miss_penalty_hist().is_empty());
+        m.set_telemetry(true);
+        let _ = m.fetch_texel(0, TexelAddress::new(4096), 10); // cold: DRAM
+        let _ = m.fetch_texel(0, TexelAddress::new(4096), 500); // warm: L1
+        assert_eq!(m.fetch_latency_hist().count(), 2);
+        assert_eq!(m.miss_penalty_hist().count(), 1, "only the miss pays DRAM");
+        assert!(m.fetch_latency_hist().max() > m.fetch_latency_hist().min());
+        m.reset();
+        assert!(m.fetch_latency_hist().is_empty(), "reset clears telemetry");
     }
 
     #[test]

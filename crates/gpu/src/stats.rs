@@ -1,6 +1,7 @@
 //! Frame-level statistics: traffic classes, event counts and the aggregate
 //! metrics every experiment binary reports.
 
+use patu_obs::Log2Histogram;
 use std::fmt;
 
 /// Memory-traffic categories for the paper's Fig. 6 bandwidth breakdown.
@@ -198,6 +199,10 @@ pub struct FrameStats {
     pub filter_latency_cycles: u64,
     /// Number of texture filtering requests (shaded fragments that sampled).
     pub filter_requests: u64,
+    /// Log2-bucketed distribution of per-request filtering latency. The
+    /// mean alone hides tail effects (a few DRAM-missing requests dominate
+    /// perceived hitching); benches report p50/p95/p99 from here.
+    pub filter_latency_hist: Log2Histogram,
     /// Off-chip traffic by class.
     pub bandwidth: BandwidthBreakdown,
     /// Event counts for the energy model.
@@ -217,7 +222,35 @@ impl FrameStats {
         }
     }
 
+    /// Records one filtering request's latency into both the running sum
+    /// and the latency histogram.
+    #[inline]
+    pub fn record_filter_latency(&mut self, latency: u64) {
+        self.filter_latency_cycles += latency;
+        self.filter_requests += 1;
+        self.filter_latency_hist.record(latency);
+    }
+
+    /// Median per-request filtering latency in cycles.
+    pub fn filter_latency_p50(&self) -> u64 {
+        self.filter_latency_hist.p50()
+    }
+
+    /// 95th-percentile per-request filtering latency in cycles.
+    pub fn filter_latency_p95(&self) -> u64 {
+        self.filter_latency_hist.p95()
+    }
+
+    /// 99th-percentile per-request filtering latency in cycles.
+    pub fn filter_latency_p99(&self) -> u64 {
+        self.filter_latency_hist.p99()
+    }
+
     /// Frames per second at `frequency_hz` (∞ when the frame took 0 cycles).
+    ///
+    /// Callers writing JSON must route the result through
+    /// `patu_obs::json::num`, which maps the non-finite zero-cycle case to
+    /// `null` — raw `{}` formatting would emit the unparseable token `inf`.
     pub fn fps(&self, frequency_hz: u64) -> f64 {
         if self.cycles == 0 {
             f64::INFINITY
@@ -231,6 +264,7 @@ impl FrameStats {
         self.cycles += other.cycles;
         self.filter_latency_cycles += other.filter_latency_cycles;
         self.filter_requests += other.filter_requests;
+        self.filter_latency_hist.accumulate(&other.filter_latency_hist);
         self.bandwidth.accumulate(&other.bandwidth);
         self.events.accumulate(&other.events);
         self.faults.accumulate(&other.faults);
@@ -290,6 +324,27 @@ mod tests {
         };
         assert_eq!(s.mean_filter_latency(), 25.0);
         assert_eq!(FrameStats::default().mean_filter_latency(), 0.0);
+    }
+
+    #[test]
+    fn filter_latency_percentiles_expose_the_tail() {
+        let mut s = FrameStats::default();
+        for _ in 0..90 {
+            s.record_filter_latency(1);
+        }
+        for _ in 0..10 {
+            s.record_filter_latency(1000);
+        }
+        assert_eq!(s.filter_requests, 100);
+        assert_eq!(s.filter_latency_cycles, 90 + 10 * 1000);
+        assert_eq!(s.filter_latency_p50(), 1, "median ignores the tail");
+        assert_eq!(s.filter_latency_p95(), 1000, "p95 lands in the tail bucket");
+        assert_eq!(s.filter_latency_p99(), 1000);
+        let mut merged = FrameStats::default();
+        merged.accumulate(&s);
+        merged.accumulate(&s);
+        assert_eq!(merged.filter_latency_hist.count(), 200, "hist merges on accumulate");
+        assert_eq!(merged.filter_latency_p50(), 1);
     }
 
     #[test]

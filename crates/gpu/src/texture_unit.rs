@@ -11,6 +11,7 @@
 use crate::config::GpuConfig;
 use crate::memsys::MemorySystem;
 use crate::stats::EventCounts;
+use patu_obs::Log2Histogram;
 use patu_texture::TexelAddress;
 
 /// Parallel filtering pipelines per texture unit — one per pixel of a quad
@@ -61,6 +62,8 @@ pub struct TextureUnit {
     busy_until: u64,
     last_completion: u64,
     events: EventCounts,
+    telemetry: bool,
+    queue_wait_hist: Log2Histogram,
 }
 
 impl TextureUnit {
@@ -74,7 +77,22 @@ impl TextureUnit {
             busy_until: 0,
             last_completion: 0,
             events: EventCounts::default(),
+            telemetry: false,
+            queue_wait_hist: Log2Histogram::new(),
         }
+    }
+
+    /// Enables or disables queue-depth telemetry (off by default; the
+    /// untraced path pays one branch).
+    pub fn set_telemetry(&mut self, enabled: bool) {
+        self.telemetry = enabled;
+    }
+
+    /// Distribution of cycles each request waited for the pipeline to free
+    /// up before issuing — the unit's queue-pressure signal (telemetry
+    /// only; empty unless [`TextureUnit::set_telemetry`] was enabled).
+    pub fn queue_wait_hist(&self) -> &Log2Histogram {
+        &self.queue_wait_hist
     }
 
     /// Issues a request at cycle `now`, fetching texels through `mem`.
@@ -99,6 +117,9 @@ impl TextureUnit {
             .sum::<u64>();
 
         let start = now.max(self.busy_until);
+        if self.telemetry {
+            self.queue_wait_hist.record(start - now);
+        }
 
         // Texel fetches issue `fetch_ports` per cycle; the request waits for
         // the slowest outstanding fetch.
@@ -150,6 +171,7 @@ impl TextureUnit {
         self.busy_until = 0;
         self.last_completion = 0;
         self.events = EventCounts::default();
+        self.queue_wait_hist = Log2Histogram::new();
     }
 }
 
@@ -236,6 +258,23 @@ mod tests {
         assert_eq!(tu.events().trilinear_ops, 3);
         assert_eq!(tu.events().address_calc_ops, 24);
         assert_eq!(mem.events().texel_fetches, 24);
+    }
+
+    #[test]
+    fn queue_wait_telemetry_gates_and_measures_pressure() {
+        let (mut tu, mut mem) = unit();
+        let _ = tu.process(&trilinear_request(0), &mut mem, 0);
+        let _ = tu.process(&trilinear_request(0), &mut mem, 0);
+        assert!(tu.queue_wait_hist().is_empty(), "off by default");
+        tu.reset();
+        mem.reset();
+        tu.set_telemetry(true);
+        let _ = tu.process(&trilinear_request(0), &mut mem, 0);
+        let _ = tu.process(&trilinear_request(0), &mut mem, 0);
+        assert_eq!(tu.queue_wait_hist().count(), 2);
+        assert!(tu.queue_wait_hist().max() > 0, "second request queued");
+        tu.reset();
+        assert!(tu.queue_wait_hist().is_empty(), "reset clears telemetry");
     }
 
     #[test]

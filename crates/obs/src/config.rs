@@ -1,0 +1,142 @@
+//! Telemetry configuration: the `PATU_TRACE` / `PATU_TRACE_OUT` knobs.
+
+use std::path::PathBuf;
+
+/// How much the telemetry layer records.
+///
+/// Levels are ordered: `Off < Counters < Spans`. Each level includes
+/// everything below it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum TraceLevel {
+    /// Record nothing. Every instrumentation site reduces to one branch;
+    /// no event, counter, histogram or flight-recorder state is touched.
+    #[default]
+    Off,
+    /// Counters, histograms and the flight recorder, but no spans — the
+    /// cheap always-on production setting.
+    Counters,
+    /// Everything, including per-tile spans for Chrome-trace export.
+    Spans,
+}
+
+impl TraceLevel {
+    /// Parses `off | counters | spans` (case-insensitive). Unknown values
+    /// sanitize to `Off` so a typo can never slow a run down.
+    pub fn parse(s: &str) -> TraceLevel {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "counters" => TraceLevel::Counters,
+            "spans" => TraceLevel::Spans,
+            _ => TraceLevel::Off,
+        }
+    }
+
+    /// Whether counters/histograms/flight-recorder sites record.
+    pub fn counters_enabled(self) -> bool {
+        self >= TraceLevel::Counters
+    }
+
+    /// Whether span sites record.
+    pub fn spans_enabled(self) -> bool {
+        self >= TraceLevel::Spans
+    }
+
+    /// The canonical lowercase name (`off`, `counters`, `spans`).
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceLevel::Off => "off",
+            TraceLevel::Counters => "counters",
+            TraceLevel::Spans => "spans",
+        }
+    }
+}
+
+/// Telemetry configuration carried by render/experiment configs.
+///
+/// Deliberately `Copy` and tiny: the output *directory* is not part of it —
+/// sinks are driven by whoever writes files (bench binaries, tests), via
+/// [`trace_out_dir`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// What to record.
+    pub level: TraceLevel,
+    /// Flight-recorder ring depth (events kept per cluster).
+    pub flight_depth: u32,
+}
+
+impl TelemetryConfig {
+    /// Telemetry fully off (the default).
+    pub fn disabled() -> TelemetryConfig {
+        TelemetryConfig { level: TraceLevel::Off, flight_depth: DEFAULT_FLIGHT_DEPTH }
+    }
+
+    /// A configuration at `level` with the default flight-recorder depth.
+    pub fn with_level(level: TraceLevel) -> TelemetryConfig {
+        TelemetryConfig { level, flight_depth: DEFAULT_FLIGHT_DEPTH }
+    }
+
+    /// Resolves the `PATU_TRACE` environment variable (`off` when unset or
+    /// unparseable).
+    pub fn from_env() -> TelemetryConfig {
+        let level = std::env::var("PATU_TRACE")
+            .map(|v| TraceLevel::parse(&v))
+            .unwrap_or(TraceLevel::Off);
+        TelemetryConfig::with_level(level)
+    }
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> TelemetryConfig {
+        TelemetryConfig::disabled()
+    }
+}
+
+/// Default flight-recorder ring depth per cluster.
+pub const DEFAULT_FLIGHT_DEPTH: u32 = 64;
+
+/// The directory trace artifacts should be written to: `PATU_TRACE_OUT`,
+/// or `None` when unset/empty (callers then skip file output).
+pub fn trace_out_dir() -> Option<PathBuf> {
+    match std::env::var("PATU_TRACE_OUT") {
+        Ok(dir) if !dir.trim().is_empty() => Some(PathBuf::from(dir)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_are_ordered_and_inclusive() {
+        assert!(TraceLevel::Off < TraceLevel::Counters);
+        assert!(TraceLevel::Counters < TraceLevel::Spans);
+        assert!(!TraceLevel::Off.counters_enabled());
+        assert!(TraceLevel::Counters.counters_enabled());
+        assert!(!TraceLevel::Counters.spans_enabled());
+        assert!(TraceLevel::Spans.counters_enabled());
+        assert!(TraceLevel::Spans.spans_enabled());
+    }
+
+    #[test]
+    fn parse_is_lenient() {
+        assert_eq!(TraceLevel::parse("spans"), TraceLevel::Spans);
+        assert_eq!(TraceLevel::parse(" Counters "), TraceLevel::Counters);
+        assert_eq!(TraceLevel::parse("off"), TraceLevel::Off);
+        assert_eq!(TraceLevel::parse("bogus"), TraceLevel::Off, "typos sanitize to off");
+        assert_eq!(TraceLevel::parse(""), TraceLevel::Off);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for level in [TraceLevel::Off, TraceLevel::Counters, TraceLevel::Spans] {
+            assert_eq!(TraceLevel::parse(level.name()), level);
+        }
+    }
+
+    #[test]
+    fn default_is_disabled() {
+        let cfg = TelemetryConfig::default();
+        assert_eq!(cfg.level, TraceLevel::Off);
+        assert_eq!(cfg.flight_depth, DEFAULT_FLIGHT_DEPTH);
+    }
+}

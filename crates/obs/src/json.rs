@@ -1,0 +1,344 @@
+//! Hand-rolled JSON: string escaping, non-finite-safe number formatting,
+//! and a minimal recursive-descent parser for validating emitted lines.
+//!
+//! The workspace carries no serde; every sink writes JSON by hand, and the
+//! schema checker (`patu-bench`'s `trace_check`) parses it back with
+//! [`parse`]. Keeping writer and reader in one module makes "everything we
+//! emit must re-parse" a single-crate invariant.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Formats an `f64` as a JSON number token, or `null` when non-finite.
+///
+/// Rust's `{}` for `f64` prints `inf`/`NaN`, which are not JSON — a
+/// zero-cycle frame's `fps()` of `+∞` must not corrupt a `BENCH_*.json`
+/// artifact. The finite path uses the shortest round-trip representation.
+pub fn num(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Formats an `f64` with fixed `decimals`, or `null` when non-finite.
+pub fn num_fixed(value: f64, decimals: usize) -> String {
+    if value.is_finite() {
+        format!("{value:.decimals$}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Escapes a string for inclusion between JSON double quotes.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A parsed JSON value (numbers are kept as `f64`; the telemetry schema
+/// only needs magnitude checks, not 64-bit integer fidelity).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number token.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. `BTreeMap` keeps key iteration deterministic.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// The object's field `key`, if this is an object containing it.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number payload, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The array payload, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a complete JSON document, rejecting trailing garbage.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first syntax error, with
+/// its byte offset.
+pub fn parse(input: &str) -> Result<Json, String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < bytes.len() && bytes[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", c as char, pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_keyword(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_keyword(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_keyword(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_keyword(
+    bytes: &[u8],
+    pos: &mut usize,
+    word: &str,
+    value: Json,
+) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid keyword at byte {pos}"))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if matches!(bytes.get(*pos), Some(b'-')) {
+        *pos += 1;
+    }
+    while matches!(bytes.get(*pos), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+        *pos += 1;
+    }
+    let token = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    token
+        .parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("invalid number '{token}' at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| "truncated \\u escape".to_string())?;
+                        let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("invalid escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(&c) if c < 0x20 => {
+                return Err(format!("raw control character at byte {pos}"));
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (the input is a &str, so byte
+                // boundaries are valid).
+                let s = &bytes[*pos..];
+                let ch_len = std::str::from_utf8(s)
+                    .map_err(|e| e.to_string())?
+                    .chars()
+                    .next()
+                    .map_or(1, char::len_utf8);
+                out.push_str(std::str::from_utf8(&s[..ch_len]).map_err(|e| e.to_string())?);
+                *pos += ch_len;
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if matches!(bytes.get(*pos), Some(b']')) {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'{')?;
+    let mut map = BTreeMap::new();
+    skip_ws(bytes, pos);
+    if matches!(bytes.get(*pos), Some(b'}')) {
+        *pos += 1;
+        return Ok(Json::Obj(map));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        map.insert(key, value);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn non_finite_becomes_null() {
+        assert_eq!(num(f64::INFINITY), "null");
+        assert_eq!(num(f64::NEG_INFINITY), "null");
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(num(2.5), "2.5");
+        assert_eq!(num_fixed(f64::INFINITY, 3), "null");
+        assert_eq!(num_fixed(1.23456, 2), "1.23");
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn parses_what_we_emit() {
+        let doc = r#"{"type":"span","name":"raster::tile","start":0,"end":120,"args":{"tile":3},"ok":true,"none":null,"list":[1,2.5,-3e2]}"#;
+        let v = parse(doc).unwrap();
+        assert_eq!(v.get("type").and_then(Json::as_str), Some("span"));
+        assert_eq!(v.get("end").and_then(Json::as_num), Some(120.0));
+        assert_eq!(
+            v.get("args").and_then(|a| a.get("tile")).and_then(Json::as_num),
+            Some(3.0)
+        );
+        assert_eq!(v.get("none"), Some(&Json::Null));
+        assert_eq!(v.get("list").and_then(Json::as_arr).map(<[Json]>::len), Some(3));
+    }
+
+    #[test]
+    fn escaped_strings_round_trip() {
+        let original = "weird \"name\"\twith\nnewlines\\and\u{1}ctl";
+        let doc = format!("{{\"k\":\"{}\"}}", escape(original));
+        let v = parse(&doc).unwrap();
+        assert_eq!(v.get("k").and_then(Json::as_str), Some(original));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{\"a\":}").is_err());
+        assert!(parse("{} trailing").is_err());
+        assert!(parse("inf").is_err());
+        assert!(parse("{\"a\":inf}").is_err(), "bare inf is not JSON");
+        assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse("true").unwrap(), Json::Bool(true));
+        assert_eq!(parse("-12.5").unwrap(), Json::Num(-12.5));
+        assert_eq!(parse("[]").unwrap(), Json::Arr(Vec::new()));
+    }
+}

@@ -1,0 +1,113 @@
+//! The flight recorder: a bounded ring of recent events per cluster,
+//! snapshotted into a postmortem dump when something goes wrong.
+
+use crate::span::Event;
+use std::collections::VecDeque;
+
+/// A bounded ring buffer of the last `depth` [`Event`]s on one cluster.
+///
+/// Recording is O(1) and allocation-free after warm-up; the ring is
+/// worker-private, so parallel rendering never contends on it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightRecorder {
+    depth: usize,
+    events: VecDeque<Event>,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `depth` events (`depth` 0 keeps none).
+    pub fn new(depth: usize) -> FlightRecorder {
+        FlightRecorder { depth, events: VecDeque::with_capacity(depth.min(1024)) }
+    }
+
+    /// Records one event, evicting the oldest when full.
+    pub fn push(&mut self, event: Event) {
+        if self.depth == 0 {
+            return;
+        }
+        if self.events.len() == self.depth {
+            self.events.pop_front();
+        }
+        self.events.push_back(event);
+    }
+
+    /// The retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.events.iter().copied().collect()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// A postmortem: the flight-recorder contents at the moment a watchdog
+/// tripped or a fault fallback fired, plus enough context to reproduce the
+/// run (frame, policy, fault seed) and locate the damage (cluster, tile,
+/// cycle).
+///
+/// `frame`, `policy` and `fault_seed` are filled in by the frame-level
+/// merge — the worker that captures the dump only knows its own cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightDump {
+    /// Why the dump fired (`watchdog_trip`, `fault_fallback`).
+    pub reason: &'static str,
+    /// Cluster that captured the dump.
+    pub cluster: u32,
+    /// The offending tile.
+    pub tile: u32,
+    /// Simulated cycle of capture.
+    pub cycle: u64,
+    /// Frame index (filled at merge; 0 until then).
+    pub frame: u32,
+    /// Filtering policy of the run (filled at merge).
+    pub policy: String,
+    /// Fault-injection master seed of the run (filled at merge).
+    pub fault_seed: u64,
+    /// The ring contents at capture, oldest first.
+    pub events: Vec<Event>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::EventKind;
+
+    fn ev(cycle: u64) -> Event {
+        Event { cycle, cluster: 0, tile: cycle as u32, kind: EventKind::TileBegin }
+    }
+
+    #[test]
+    fn ring_keeps_only_the_last_k() {
+        let mut r = FlightRecorder::new(3);
+        for c in 0..10 {
+            r.push(ev(c));
+        }
+        assert_eq!(r.len(), 3);
+        let cycles: Vec<u64> = r.snapshot().iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![7, 8, 9], "oldest evicted first");
+    }
+
+    #[test]
+    fn zero_depth_records_nothing() {
+        let mut r = FlightRecorder::new(0);
+        r.push(ev(1));
+        assert!(r.is_empty());
+        assert!(r.snapshot().is_empty());
+    }
+
+    #[test]
+    fn underfull_ring_preserves_order() {
+        let mut r = FlightRecorder::new(16);
+        r.push(ev(1));
+        r.push(ev(2));
+        let cycles: Vec<u64> = r.snapshot().iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![1, 2]);
+    }
+}

@@ -1,0 +1,131 @@
+//! Column-aligned plain-text tables — the single formatter behind the
+//! telemetry run report and the bench diagnostics printouts.
+
+/// A plain-text table with a header row, column-aligned output.
+///
+/// The first column is left-aligned (labels); every other column is
+/// right-aligned (numbers). Rendering is deterministic: the output is a
+/// pure function of the rows pushed.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new<S: AsRef<str>>(headers: &[S]) -> Table {
+        Table {
+            headers: headers.iter().map(|h| h.as_ref().to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row. Short rows are padded with empty cells; extra cells
+    /// beyond the header width are kept and get their own columns.
+    pub fn row<S: AsRef<str>>(&mut self, cells: &[S]) {
+        self.rows.push(cells.iter().map(|c| c.as_ref().to_string()).collect());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table, one line per row, with a dashed rule under the
+    /// header. Ends with a newline.
+    pub fn render(&self) -> String {
+        let columns = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.headers.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; columns];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+
+        let mut out = String::new();
+        render_line(&mut out, &self.headers, &widths);
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        render_line(&mut out, &rule, &widths);
+        for row in &self.rows {
+            render_line(&mut out, row, &widths);
+        }
+        out
+    }
+}
+
+fn render_line(out: &mut String, cells: &[String], widths: &[usize]) {
+    for (i, width) in widths.iter().enumerate() {
+        if i > 0 {
+            out.push_str("  ");
+        }
+        let cell = cells.get(i).map_or("", String::as_str);
+        let pad = width.saturating_sub(cell.chars().count());
+        if i == 0 {
+            out.push_str(cell);
+            // Trailing pad only if more columns follow; avoids ragged EOLs.
+            if widths.len() > 1 {
+                out.push_str(&" ".repeat(pad));
+            }
+        } else {
+            out.push_str(&" ".repeat(pad));
+            out.push_str(cell);
+        }
+    }
+    // Drop trailing spaces from padded final cells.
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out.push('\n');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligns_columns() {
+        let mut t = Table::new(&["stage", "cycles"]);
+        t.row(&["raster::tile", "123456"]);
+        t.row(&["geom", "9"]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], "stage         cycles");
+        assert_eq!(lines[1], "------------  ------");
+        assert_eq!(lines[2], "raster::tile  123456");
+        assert_eq!(lines[3], "geom               9");
+    }
+
+    #[test]
+    fn handles_short_and_long_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only"]);
+        t.row(&["x", "y", "extra"]);
+        let text = t.render();
+        assert!(text.contains("extra"));
+        assert_eq!(text.lines().count(), 4);
+    }
+
+    #[test]
+    fn empty_table_renders_header_and_rule() {
+        let t = Table::new(&["name", "value"]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.render().lines().count(), 2);
+    }
+}

@@ -1,0 +1,212 @@
+//! The JSONL telemetry schema checker.
+//!
+//! Every line the sink emits is a self-contained JSON object with a
+//! `"type"` discriminator; [`check_line`] validates the required keys and
+//! key types for each line kind. CI runs this over a smoke render's output
+//! (the `trace_check` bench binary), and the determinism test runs it over
+//! everything it emits — so the writer in [`crate::sink`] cannot drift from
+//! the documented format unnoticed.
+
+use crate::json::{self, Json};
+
+/// The line types the sink emits.
+pub const LINE_TYPES: [&str; 6] = ["frame", "counter", "hist", "span", "event", "dump"];
+
+fn require_num(obj: &Json, key: &str) -> Result<f64, String> {
+    obj.get(key)
+        .and_then(Json::as_num)
+        .ok_or_else(|| format!("missing or non-numeric \"{key}\""))
+}
+
+fn require_str<'a>(obj: &'a Json, key: &str) -> Result<&'a str, String> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("missing or non-string \"{key}\""))
+}
+
+fn check_event_fields(obj: &Json) -> Result<(), String> {
+    require_num(obj, "frame")?;
+    require_num(obj, "cycle")?;
+    require_num(obj, "cluster")?;
+    require_num(obj, "tile")?;
+    let kind = require_str(obj, "kind")?;
+    match kind {
+        "tile_begin" | "tile_end" | "watchdog_trip" => Ok(()),
+        "fault" => {
+            require_str(obj, "site")?;
+            require_num(obj, "count")?;
+            Ok(())
+        }
+        "fallback" => {
+            require_num(obj, "count")?;
+            Ok(())
+        }
+        other => Err(format!("unknown event kind \"{other}\"")),
+    }
+}
+
+/// Validates one JSONL telemetry line.
+///
+/// # Errors
+///
+/// Returns a description of the first problem: unparseable JSON, a missing
+/// `"type"`, an unknown type, or a missing/mistyped required key.
+pub fn check_line(line: &str) -> Result<(), String> {
+    let obj = json::parse(line)?;
+    let line_type = require_str(&obj, "type")?.to_string();
+    match line_type.as_str() {
+        "frame" => {
+            require_num(&obj, "frame")?;
+            require_str(&obj, "policy")?;
+            require_num(&obj, "seed")?;
+            let level = require_str(&obj, "level")?;
+            if !matches!(level, "off" | "counters" | "spans") {
+                return Err(format!("unknown trace level \"{level}\""));
+            }
+            Ok(())
+        }
+        "counter" => {
+            require_num(&obj, "frame")?;
+            require_str(&obj, "name")?;
+            require_num(&obj, "value")?;
+            Ok(())
+        }
+        "hist" => {
+            require_num(&obj, "frame")?;
+            require_str(&obj, "name")?;
+            let count = require_num(&obj, "count")?;
+            require_num(&obj, "sum")?;
+            require_num(&obj, "min")?;
+            require_num(&obj, "max")?;
+            let p50 = require_num(&obj, "p50")?;
+            let p95 = require_num(&obj, "p95")?;
+            let p99 = require_num(&obj, "p99")?;
+            if count > 0.0 && !(p50 <= p95 && p95 <= p99) {
+                return Err(format!("quantiles out of order: p50={p50} p95={p95} p99={p99}"));
+            }
+            let buckets = obj
+                .get("buckets")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| "missing or non-array \"buckets\"".to_string())?;
+            for (i, bucket) in buckets.iter().enumerate() {
+                let pair = bucket
+                    .as_arr()
+                    .filter(|p| p.len() == 2 && p.iter().all(|v| v.as_num().is_some()))
+                    .ok_or_else(|| format!("bucket {i} is not a [lower, count] pair"))?;
+                if pair[1].as_num() == Some(0.0) {
+                    return Err(format!("bucket {i} has zero count (must be elided)"));
+                }
+            }
+            Ok(())
+        }
+        "span" => {
+            require_num(&obj, "frame")?;
+            require_str(&obj, "name")?;
+            require_str(&obj, "track")?;
+            require_num(&obj, "tid")?;
+            let start = require_num(&obj, "start")?;
+            let end = require_num(&obj, "end")?;
+            let dur = require_num(&obj, "dur")?;
+            if end >= start && dur != end - start {
+                return Err(format!("dur {dur} != end {end} - start {start}"));
+            }
+            Ok(())
+        }
+        "event" => check_event_fields(&obj),
+        "dump" => {
+            require_str(&obj, "reason")?;
+            require_num(&obj, "frame")?;
+            require_num(&obj, "cluster")?;
+            require_num(&obj, "tile")?;
+            require_num(&obj, "cycle")?;
+            require_str(&obj, "policy")?;
+            require_num(&obj, "seed")?;
+            let events = obj
+                .get("events")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| "missing or non-array \"events\"".to_string())?;
+            for (i, event) in events.iter().enumerate() {
+                check_event_fields(event).map_err(|e| format!("dump event {i}: {e}"))?;
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown line type \"{other}\"")),
+    }
+}
+
+/// Validates a whole JSONL stream, returning `(line number, error)` for the
+/// first bad line (1-based), or the number of valid lines.
+///
+/// # Errors
+///
+/// See [`check_line`]; blank lines are rejected too.
+pub fn check_stream(stream: &str) -> Result<usize, (usize, String)> {
+    let mut checked = 0usize;
+    for (i, line) in stream.lines().enumerate() {
+        check_line(line).map_err(|e| (i + 1, e))?;
+        checked += 1;
+    }
+    Ok(checked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::{Collector, FrameTelemetry};
+    use crate::config::{TelemetryConfig, TraceLevel};
+    use crate::sink;
+    use crate::span::{Event, EventKind, Track};
+
+    #[test]
+    fn sink_output_passes_the_checker() {
+        let mut frame = FrameTelemetry::new(TraceLevel::Spans, 1, "Patu".into(), 11);
+        let mut c =
+            Collector::new(TelemetryConfig::with_level(TraceLevel::Spans), Track::Cluster(1));
+        c.span_arg("raster::tile", 0, 64, "tile", 9);
+        c.add("pixels", 256);
+        c.record("texture::filter_latency", 17);
+        c.event(Event { cycle: 3, cluster: 1, tile: 9, kind: EventKind::WatchdogTrip });
+        c.event(Event {
+            cycle: 5,
+            cluster: 1,
+            tile: 9,
+            kind: EventKind::Fallback { count: 4 },
+        });
+        c.dump("watchdog_trip", 6, 9);
+        frame.absorb(c);
+        let stream = sink::jsonl(&[frame]);
+        let checked = check_stream(&stream).expect("all lines valid");
+        assert!(checked >= 6, "frame+counter+hist+span+2 events+dump, got {checked}");
+    }
+
+    #[test]
+    fn rejects_missing_keys() {
+        assert!(check_line("{\"type\":\"frame\",\"frame\":0}").is_err());
+        assert!(check_line("{\"type\":\"counter\",\"frame\":0,\"name\":\"x\"}").is_err());
+        assert!(check_line("{\"frame\":0}").is_err(), "no type");
+        assert!(check_line("{\"type\":\"mystery\"}").is_err());
+        assert!(check_line("not json").is_err());
+    }
+
+    #[test]
+    fn rejects_inconsistent_spans_and_hists() {
+        let bad_span = "{\"type\":\"span\",\"frame\":0,\"name\":\"x\",\"track\":\"cluster0\",\"tid\":1,\"start\":10,\"end\":30,\"dur\":5}";
+        assert!(check_line(bad_span).unwrap_err().contains("dur"));
+        let bad_hist = "{\"type\":\"hist\",\"frame\":0,\"name\":\"x\",\"count\":4,\"sum\":10,\"min\":1,\"max\":9,\"mean\":2.5,\"p50\":8,\"p95\":4,\"p99\":9,\"buckets\":[[1,4]]}";
+        assert!(check_line(bad_hist).unwrap_err().contains("quantiles"));
+    }
+
+    #[test]
+    fn rejects_unknown_event_kind() {
+        let line = "{\"type\":\"event\",\"frame\":0,\"cycle\":1,\"cluster\":0,\"tile\":0,\"kind\":\"explosion\"}";
+        assert!(check_line(line).unwrap_err().contains("explosion"));
+    }
+
+    #[test]
+    fn check_stream_reports_line_number() {
+        let good = "{\"type\":\"frame\",\"frame\":0,\"policy\":\"p\",\"seed\":0,\"level\":\"off\"}";
+        let stream = format!("{good}\nnot json\n");
+        let (line, _) = check_stream(&stream).unwrap_err();
+        assert_eq!(line, 2);
+    }
+}

@@ -201,6 +201,31 @@ impl SsimConfig {
     pub fn mssim(&self, x: &GrayImage, y: &GrayImage) -> f32 {
         self.ssim_map(x, y).mean()
     }
+
+    /// Like [`SsimConfig::mssim`], but records a `quality::ssim` span and
+    /// window counters into `telemetry` on the analysis track.
+    ///
+    /// SSIM runs off-pipeline, so its span is clocked in deterministic work
+    /// units — one per window evaluated, starting at 0 — not GPU cycles.
+    /// The recorded numbers are pure functions of the image dimensions and
+    /// SSIM parameters, never of the thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`SsimConfig::ssim_map`].
+    pub fn mssim_traced(
+        &self,
+        telemetry: &mut patu_obs::Collector,
+        x: &GrayImage,
+        y: &GrayImage,
+    ) -> f32 {
+        let map = self.ssim_map(x, y);
+        let windows = u64::from(map.width()) * u64::from(map.height());
+        telemetry.span_arg("quality::ssim", 0, windows, "windows", windows);
+        telemetry.add("ssim::windows", windows);
+        telemetry.add("ssim::pixels_in", u64::from(x.width()) * u64::from(x.height()));
+        map.mean()
+    }
 }
 
 #[cfg(test)]
@@ -315,6 +340,23 @@ mod tests {
             let mb = SsimConfig::default().with_threads(threads).mssim(&a, &b);
             assert_eq!(ms.to_bits(), mb.to_bits(), "MSSIM bits, threads={threads}");
         }
+    }
+
+    #[test]
+    fn traced_mssim_matches_and_records_analysis_span() {
+        use patu_obs::{Collector, TelemetryConfig, Track, TraceLevel};
+        let a = gradient(32, 24);
+        let cfg = SsimConfig::default();
+        let plain = cfg.mssim(&a, &a.clone());
+        let mut telemetry =
+            Collector::new(TelemetryConfig::with_level(TraceLevel::Spans), Track::Analysis);
+        let traced = cfg.mssim_traced(&mut telemetry, &a, &a.clone());
+        assert_eq!(plain.to_bits(), traced.to_bits(), "tracing must not change the metric");
+        let mut frame = patu_obs::FrameTelemetry::new(TraceLevel::Spans, 0, "p".into(), 0);
+        frame.absorb(telemetry);
+        assert_eq!(frame.stage_totals(), vec![("quality::ssim", 1, 25 * 17)]);
+        assert_eq!(frame.counters["ssim::windows"], 25 * 17);
+        assert_eq!(frame.counters["ssim::pixels_in"], 32 * 24);
     }
 
     #[test]

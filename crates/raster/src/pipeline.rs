@@ -65,6 +65,21 @@ pub struct GeometryStats {
     pub tiles_covered: u64,
 }
 
+impl GeometryStats {
+    /// Exports every counter into `telemetry` under `geom::*` names. A
+    /// no-op below [`patu_obs::TraceLevel::Counters`].
+    pub fn export_counters(&self, telemetry: &mut patu_obs::Collector) {
+        telemetry.add("geom::vertices", self.vertices_processed);
+        telemetry.add("geom::triangles_in", self.triangles_in);
+        telemetry.add("geom::triangles_clipped_out", self.triangles_clipped_out);
+        telemetry.add("geom::triangles_culled", self.triangles_culled);
+        telemetry.add("geom::triangles_rasterized", self.triangles_rasterized);
+        telemetry.add("geom::fragments_generated", self.fragments_generated);
+        telemetry.add("geom::fragments_shaded", self.fragments_shaded);
+        telemetry.add("geom::tiles_covered", self.tiles_covered);
+    }
+}
+
 /// One tile's rasterization output: surviving fragments in shading order.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Tile {
@@ -669,6 +684,21 @@ mod tests {
         let out = Pipeline::new(16, 16).run(&[], &camera());
         assert!(out.tiles.is_empty());
         assert_eq!(out.stats.fragments_generated, 0);
+    }
+
+    #[test]
+    fn geometry_counters_export_to_telemetry() {
+        use patu_obs::{Collector, FrameTelemetry, TelemetryConfig, Track, TraceLevel};
+        let out = Pipeline::new(64, 64).run(&[facing_wall(0)], &camera());
+        let mut c =
+            Collector::new(TelemetryConfig::with_level(TraceLevel::Counters), Track::Frontend);
+        out.stats.export_counters(&mut c);
+        let mut frame = FrameTelemetry::new(TraceLevel::Counters, 0, "p".into(), 0);
+        frame.absorb(c);
+        assert_eq!(frame.counters["geom::fragments_shaded"], 64 * 64);
+        assert_eq!(frame.counters["geom::triangles_in"], 2);
+        assert_eq!(frame.counters["geom::vertices"], 4);
+        assert!(frame.counters["geom::tiles_covered"] > 0);
     }
 
     #[test]

@@ -7,6 +7,7 @@ use crate::render::{render_frame, FrameResult, RenderConfig};
 use patu_core::FilterPolicy;
 use patu_energy::EnergyModel;
 use patu_gpu::{FaultConfig, FrameStats, GpuConfig};
+use patu_obs::{FlightDump, TelemetryConfig};
 use patu_quality::SsimConfig;
 use patu_scenes::Workload;
 
@@ -30,6 +31,10 @@ pub struct ExperimentConfig {
     /// [`std::thread::available_parallelism`]. Results are bit-identical
     /// across every value; 1 is the serial path.
     pub threads: Option<usize>,
+    /// Telemetry level forwarded into every rendered frame (off by
+    /// default). Flight-recorder dumps captured by any frame surface on
+    /// [`AggregateResult::dumps`].
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for ExperimentConfig {
@@ -41,6 +46,7 @@ impl Default for ExperimentConfig {
             faults: FaultConfig::disabled(),
             cycle_budget: None,
             threads: None,
+            telemetry: TelemetryConfig::disabled(),
         }
     }
 }
@@ -58,6 +64,13 @@ impl ExperimentConfig {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> ExperimentConfig {
         self.threads = Some(threads);
+        self
+    }
+
+    /// Enables telemetry for every rendered frame (builder style).
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> ExperimentConfig {
+        self.telemetry = telemetry;
         self
     }
 }
@@ -85,6 +98,9 @@ pub struct AggregateResult {
     pub sharing: patu_core::SharingStats,
     /// Accumulated quad divergence (Sec. V-C(1)).
     pub divergence: patu_core::DivergenceStats,
+    /// Flight-recorder dumps captured across all frames (watchdog trips,
+    /// fault fallbacks), in frame order. Empty when telemetry is off.
+    pub dumps: Vec<FlightDump>,
 }
 
 impl AggregateResult {
@@ -115,6 +131,9 @@ fn accumulate(result: &FrameResult, agg: &mut AggregateResult, energy: &EnergyMo
     agg.sharing.accumulate(&result.sharing);
     agg.divergence.accumulate(&result.divergence);
     agg.energy_joules += energy.frame_energy(&result.stats).total_joules();
+    if let Some(telemetry) = &result.telemetry {
+        agg.dumps.extend(telemetry.dumps.iter().cloned());
+    }
 }
 
 /// Runs `policies` over the sampled frames of `workload`, computing each
@@ -148,6 +167,7 @@ pub fn run_policies(
             approx: patu_core::ApproxStats::new(),
             sharing: patu_core::SharingStats::new(),
             divergence: patu_core::DivergenceStats::new(),
+            dumps: Vec::new(),
         })
         .collect();
 
@@ -172,6 +192,7 @@ pub fn run_policies(
         let mut rc = RenderConfig::new(policy).with_gpu(cfg.gpu).with_faults(cfg.faults);
         rc.cycle_budget = cfg.cycle_budget;
         rc.threads = inner_threads;
+        rc.telemetry = cfg.telemetry;
         rc
     };
     let tasks: Vec<parallel::Task<'_, Result<FrameResult, SimError>>> = points

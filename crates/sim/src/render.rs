@@ -7,6 +7,7 @@ use patu_gpu::{
     FaultConfig, FaultCounts, FrameStats, FrameTimer, GpuConfig, MemSideEffects, MemorySystem,
     TextureRequest, TextureUnit, TrafficClass,
 };
+use patu_obs::{Collector, Event, EventKind, FrameTelemetry, Log2Histogram, TelemetryConfig, Track};
 use patu_quality::GrayImage;
 use patu_raster::{Framebuffer, GeometryOutput, Pipeline};
 use patu_scenes::Workload;
@@ -57,6 +58,10 @@ pub struct RenderConfig {
     /// across thread counts (see [`crate::parallel`]); 1 takes the serial
     /// path with no thread spawns.
     pub threads: Option<usize>,
+    /// Telemetry level and flight-recorder depth (off by default). Clocked
+    /// in simulated cycles, so recorded artifacts are bit-identical across
+    /// thread counts like everything else.
+    pub telemetry: TelemetryConfig,
 }
 
 impl RenderConfig {
@@ -72,7 +77,15 @@ impl RenderConfig {
             faults: FaultConfig::disabled(),
             cycle_budget: None,
             threads: None,
+            telemetry: TelemetryConfig::disabled(),
         }
+    }
+
+    /// Enables telemetry recording at the given level/depth.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> RenderConfig {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Pins intra-frame parallelism to `threads` workers (1 = serial).
@@ -145,6 +158,10 @@ pub struct FrameResult {
     /// Whether the cycle-budget watchdog tripped and part of the frame was
     /// rendered with degraded (trilinear-only) filtering.
     pub degraded: bool,
+    /// Merged per-frame telemetry when [`RenderConfig::telemetry`] is
+    /// enabled; `None` at [`patu_obs::TraceLevel::Off`]. Boxed so the
+    /// disabled path carries one pointer.
+    pub telemetry: Option<Box<FrameTelemetry>>,
 }
 
 impl FrameResult {
@@ -173,7 +190,16 @@ pub fn render_frame(
     cfg: &RenderConfig,
 ) -> Result<FrameResult, SimError> {
     let scene = workload.frame(index);
-    render_scene(workload, &scene, cfg)
+    let mut result = render_scene(workload, &scene, cfg)?;
+    // `render_scene` has no frame identity (the stereo path renders derived
+    // scenes); stamp it here so telemetry artifacts name the frame.
+    if let Some(t) = result.telemetry.as_deref_mut() {
+        t.frame = index;
+        for dump in &mut t.dumps {
+            dump.frame = index;
+        }
+    }
+    Ok(result)
 }
 
 /// Renders an explicit scene (meshes + camera) using `workload`'s texture
@@ -273,6 +299,8 @@ pub fn render_scene(
     let mut approx = patu_core::ApproxStats::new();
     let mut sharing = patu_core::SharingStats::new();
     let mut fault_counts = FaultCounts::default();
+    let mut filter_hist = Log2Histogram::new();
+    let mut cluster_obs = Vec::with_capacity(clusters);
     let tile_size = cfg.gpu.tile_size;
     for (c, out) in outputs.into_iter().enumerate() {
         timer.merge_cluster(c, out.finish);
@@ -294,6 +322,8 @@ pub fn render_scene(
         approx.accumulate(&out.approx);
         sharing.accumulate(&out.sharing);
         fault_counts.accumulate(&out.faults);
+        filter_hist.accumulate(&out.filter_hist);
+        cluster_obs.push(out.obs);
     }
 
     // Framebuffer writeout: each tile's pixels once per frame, with
@@ -306,6 +336,7 @@ pub fn render_scene(
         cycles: timer.frame_cycles(),
         filter_latency_cycles: filter_latency,
         filter_requests,
+        filter_latency_hist: filter_hist,
         bandwidth: side.bandwidth,
         events: side.events,
         faults: fault_counts,
@@ -320,7 +351,37 @@ pub fn render_scene(
     stats.events.predictor_evals = approx.stage1_approx + approx.stage2_approx * 2
         + approx.kept_af * if cfg.policy.uses_distribution_stage() { 2 } else { 1 };
 
-    Ok(FrameResult { image, stats, approx, sharing, divergence, degraded })
+    // Merge telemetry in a fixed order — front-end first, then clusters by
+    // index — so the artifact is a pure function of the frame, independent
+    // of how tiles were scheduled onto worker threads.
+    let telemetry = if cfg.telemetry.level.counters_enabled() {
+        let mut front = Collector::new(cfg.telemetry, Track::Frontend);
+        front.span_arg(
+            "geom::frontend",
+            0,
+            frontend,
+            "triangles",
+            geometry.stats.triangles_rasterized,
+        );
+        geometry.stats.export_counters(&mut front);
+        let mut merged = FrameTelemetry::new(
+            cfg.telemetry.level,
+            0,
+            format!("{:?}", cfg.policy),
+            cfg.faults.seed,
+        );
+        merged.absorb(front);
+        for obs in cluster_obs {
+            merged.absorb(obs);
+        }
+        merged.counters.insert("frame::cycles", stats.cycles);
+        merged.hists.insert("filter::latency", stats.filter_latency_hist);
+        Some(Box::new(merged))
+    } else {
+        None
+    };
+
+    Ok(FrameResult { image, stats, approx, sharing, divergence, degraded, telemetry })
 }
 
 /// One cluster's worker-private simulation state: its slice of the memory
@@ -347,6 +408,8 @@ struct ClusterOutput {
     sharing: patu_core::SharingStats,
     side: MemSideEffects,
     faults: FaultCounts,
+    filter_hist: Log2Histogram,
+    obs: Collector,
 }
 
 /// Reusable per-tile quad-outcome accumulator: a flat `(fragments,
@@ -410,6 +473,14 @@ fn run_cluster(
     let mut filter_requests = 0u64;
     let mut wasted_addr_taps = 0u64;
     let mut degraded = false;
+    let mut filter_hist = Log2Histogram::new();
+    let mut obs = Collector::new(cfg.telemetry, Track::Cluster(cluster as u32));
+    let trace = obs.is_enabled();
+    if trace {
+        shard.mem.set_telemetry(true);
+        shard.tex.set_telemetry(true);
+        shard.patu.set_telemetry(true);
+    }
 
     for &ti in tiles {
         let tile = &geometry.tiles[ti];
@@ -420,8 +491,34 @@ fn run_cluster(
         // on.
         if let Some(budget) = cfg.cycle_budget {
             if start > budget {
+                if trace && !degraded {
+                    obs.event(Event {
+                        cycle: start,
+                        cluster: cluster as u32,
+                        tile: ti as u32,
+                        kind: EventKind::WatchdogTrip,
+                    });
+                    if obs.dump_count() == 0 {
+                        obs.dump("watchdog_trip", start, ti as u32);
+                    }
+                }
                 degraded = true;
             }
+        }
+        let faults_before = if trace {
+            let mut f = shard.mem.fault_counts();
+            f.accumulate(&shard.patu.fault_counts());
+            f
+        } else {
+            FaultCounts::default()
+        };
+        if trace {
+            obs.event(Event {
+                cycle: start,
+                cluster: cluster as u32,
+                tile: ti as u32,
+                kind: EventKind::TileBegin,
+            });
         }
         let mut texture_done = start;
         let tile_x0 = tile.tx * cfg.gpu.tile_size;
@@ -468,6 +565,7 @@ fn run_cluster(
             let timing = shard.tex.process(&request, &mut shard.mem, start);
             filter_latency += timing.latency;
             filter_requests += 1;
+            filter_hist.record(timing.latency);
             texture_done = texture_done.max(timing.completion);
             wasted_addr_taps += u64::from(outcome.decision.wasted_addr_taps);
 
@@ -483,12 +581,66 @@ fn run_cluster(
         quads.flush(&mut divergence);
         let shading = timer.shading_cycles(tile.fragments.len() as u64);
         timer.end_tile(cluster, shading, texture_done);
+
+        if trace {
+            let end = timer.cluster_cycles(cluster);
+            obs.span_arg("raster::tile", start, end, "tile", ti as u64);
+            if shading > 0 {
+                obs.span("raster::tile::shade", start, start + shading);
+            }
+            if texture_done > start {
+                obs.span("raster::tile::texture", start, texture_done);
+            }
+            obs.event(Event {
+                cycle: end,
+                cluster: cluster as u32,
+                tile: ti as u32,
+                kind: EventKind::TileEnd,
+            });
+            // Per-tile fault attribution: diff the cumulative counters
+            // across the tile and pin each increment on this tile.
+            let mut after = shard.mem.fault_counts();
+            after.accumulate(&shard.patu.fault_counts());
+            let delta = after.delta(&faults_before);
+            if !delta.is_zero() {
+                for (site, count) in delta.sites() {
+                    if count > 0 {
+                        obs.event(Event {
+                            cycle: end,
+                            cluster: cluster as u32,
+                            tile: ti as u32,
+                            kind: EventKind::Fault { site, count },
+                        });
+                    }
+                }
+                if delta.fallbacks > 0 {
+                    obs.event(Event {
+                        cycle: end,
+                        cluster: cluster as u32,
+                        tile: ti as u32,
+                        kind: EventKind::Fallback { count: delta.fallbacks },
+                    });
+                    if obs.dump_count() == 0 {
+                        obs.dump("fault_fallback", end, ti as u32);
+                    }
+                }
+            }
+        }
     }
 
     let mut side = MemSideEffects { bandwidth: shard.mem.bandwidth(), events: shard.mem.events() };
     side.events.accumulate(&shard.tex.events());
     let mut faults = shard.mem.fault_counts();
     faults.accumulate(&shard.patu.fault_counts());
+
+    if trace {
+        obs.add("tiles", tiles.len() as u64);
+        obs.add("filter::requests", filter_requests);
+        obs.merge_hist("mem::fetch_latency", shard.mem.fetch_latency_hist());
+        obs.merge_hist("mem::miss_penalty", shard.mem.miss_penalty_hist());
+        obs.merge_hist("tex::queue_wait", shard.tex.queue_wait_hist());
+        obs.merge_hist("patu::af_taps", shard.patu.tap_hist());
+    }
 
     ClusterOutput {
         image,
@@ -503,6 +655,8 @@ fn run_cluster(
         sharing: shard.patu.sharing_stats(),
         side,
         faults,
+        filter_hist,
+        obs,
     }
 }
 
@@ -656,6 +810,76 @@ mod tests {
             .with_faults(FaultConfig { dram_stall_rate: 7.0, ..FaultConfig::disabled() });
         let err = render_frame(&w, 0, &bad_rate).unwrap_err();
         assert!(err.to_string().contains("dram_stall_rate"));
+    }
+
+    #[test]
+    fn telemetry_off_yields_none() {
+        let w = workload();
+        let r = render(&w, 0, &RenderConfig::new(FilterPolicy::Baseline));
+        assert!(r.telemetry.is_none(), "off is the default and carries nothing");
+    }
+
+    #[test]
+    fn spans_telemetry_builds_the_stage_tree() {
+        let w = workload();
+        let cfg = RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 })
+            .with_telemetry(TelemetryConfig::with_level(patu_obs::TraceLevel::Spans));
+        let r = render(&w, 2, &cfg);
+        let t = r.telemetry.expect("spans level records");
+        assert_eq!(t.frame, 2, "render_frame stamps the frame index");
+        assert_eq!(t.counters["frame::cycles"], r.stats.cycles);
+        assert_eq!(
+            t.hists["filter::latency"].count(),
+            r.stats.filter_requests,
+            "one latency sample per filter request"
+        );
+        let stages: Vec<&str> = t.stage_totals().iter().map(|&(n, _, _)| n).collect();
+        assert!(stages.contains(&"geom::frontend"), "stages: {stages:?}");
+        assert!(stages.contains(&"raster::tile"));
+        assert!(stages.contains(&"raster::tile::texture"));
+        assert!(t.counters["geom::fragments_shaded"] > 0);
+        assert!(t.hists.contains_key("mem::fetch_latency"));
+        assert!(!t.events.is_empty(), "tile begin/end events in the ring");
+        // The rendered pixels are untouched by observation.
+        let plain = render(&w, 2, &RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 }));
+        assert_eq!(plain.image.pixels(), r.image.pixels());
+        assert_eq!(plain.stats, r.stats);
+    }
+
+    #[test]
+    fn watchdog_trip_captures_a_flight_dump() {
+        let w = workload();
+        let cfg = RenderConfig::new(FilterPolicy::Baseline)
+            .with_cycle_budget(1)
+            .with_telemetry(TelemetryConfig::with_level(patu_obs::TraceLevel::Counters));
+        let r = render(&w, 0, &cfg);
+        assert!(r.degraded);
+        let t = r.telemetry.expect("counters level records");
+        assert!(!t.dumps.is_empty(), "a trip must leave a postmortem");
+        let dump = &t.dumps[0];
+        assert_eq!(dump.reason, "watchdog_trip");
+        assert_eq!(dump.frame, 0);
+        assert_eq!(dump.policy, "Baseline");
+        assert_eq!(dump.fault_seed, 0);
+        assert!(
+            dump.events.iter().any(|e| matches!(e.kind, patu_obs::EventKind::WatchdogTrip)),
+            "the ring holds the trip event itself"
+        );
+    }
+
+    #[test]
+    fn fault_fallback_captures_a_flight_dump() {
+        let w = workload();
+        let cfg = RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 })
+            .with_faults(FaultConfig::uniform(42, 0.05))
+            .with_telemetry(TelemetryConfig::with_level(patu_obs::TraceLevel::Counters));
+        let r = render(&w, 0, &cfg);
+        assert!(r.stats.faults.fallbacks > 0);
+        let t = r.telemetry.expect("counters level records");
+        assert!(t.dumps.iter().any(|d| d.reason == "fault_fallback"));
+        let dump = t.dumps.iter().find(|d| d.reason == "fault_fallback").unwrap();
+        assert_eq!(dump.fault_seed, 42);
+        assert!(dump.policy.starts_with("Patu"));
     }
 
     #[test]

@@ -6,7 +6,10 @@
 #      run twice, serial (PATU_THREADS=1) and multi-threaded
 #      (PATU_THREADS=4), because every simulator output must be
 #      bit-identical across thread counts.
-#   2. Lint: clippy over every target (libs, bins, tests, benches,
+#   2. Telemetry smoke: a traced render (PATU_TRACE=spans) whose JSONL
+#      artifact must validate line-by-line against the in-repo schema
+#      checker (trace_check).
+#   3. Lint: clippy over every target (libs, bins, tests, benches,
 #      examples) with warnings promoted to errors.
 #
 # Usage: scripts/ci.sh [--skip-lint]
@@ -26,6 +29,13 @@ PATU_THREADS=1 cargo test -q
 
 echo "==> tier-1: PATU_THREADS=4 cargo test -q (parallel runtime)"
 PATU_THREADS=4 cargo test -q
+
+echo "==> telemetry smoke: traced render + JSONL schema validation"
+TRACE_DIR="target/ci-trace"
+rm -rf "$TRACE_DIR"
+PATU_TRACE=spans PATU_TRACE_OUT="$TRACE_DIR" \
+    cargo run -q --release -p patu-bench --bin trace_smoke
+PATU_TRACE_OUT="$TRACE_DIR" cargo run -q --release -p patu-bench --bin trace_check
 
 if [[ "${1:-}" != "--skip-lint" ]]; then
     echo "==> lint: cargo clippy --all-targets -- -D warnings"

@@ -1,0 +1,161 @@
+//! Telemetry determinism grid: the serialized artifacts (JSONL stream and
+//! Chrome trace) must be byte-identical across `PATU_THREADS` settings,
+//! with and without fault injection, at every trace level — and `off` must
+//! record nothing at all. The flight recorder's postmortems must name the
+//! offending frame, tile, cluster, policy and fault seed.
+
+use patu_core::FilterPolicy;
+use patu_gpu::FaultConfig;
+use patu_obs::{schema, sink, EventKind, TelemetryConfig, TraceLevel};
+use patu_scenes::Workload;
+use patu_sim::render::{render_frame, RenderConfig};
+
+fn workload() -> Workload {
+    Workload::build("doom3", (256, 192)).unwrap()
+}
+
+/// Renders one frame and serializes its telemetry through both sinks.
+fn artifacts(w: &Workload, cfg: &RenderConfig) -> (String, String) {
+    let r = render_frame(w, 0, cfg).expect("valid test config");
+    let t = r.telemetry.expect("telemetry enabled");
+    let frames = [*t];
+    (sink::jsonl(&frames), sink::chrome_trace(&frames))
+}
+
+#[test]
+fn artifacts_bit_identical_across_threads_and_faults() {
+    let w = workload();
+    for faults in [FaultConfig::disabled(), FaultConfig::uniform(7, 0.02)] {
+        for level in [TraceLevel::Counters, TraceLevel::Spans] {
+            let cfg = RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 })
+                .with_faults(faults)
+                .with_telemetry(TelemetryConfig::with_level(level));
+            let (jsonl_1, trace_1) = artifacts(&w, &cfg.with_threads(1));
+            let (jsonl_4, trace_4) = artifacts(&w, &cfg.with_threads(4));
+            assert_eq!(
+                jsonl_1, jsonl_4,
+                "JSONL must not depend on the thread count (level {level:?}, faults {faults:?})"
+            );
+            assert_eq!(
+                trace_1, trace_4,
+                "Chrome trace must not depend on the thread count \
+                 (level {level:?}, faults {faults:?})"
+            );
+            let lines = schema::check_stream(&jsonl_1)
+                .unwrap_or_else(|(line, err)| panic!("line {line}: {err}"));
+            assert!(lines > 0, "an enabled run emits at least the frame header");
+        }
+    }
+}
+
+#[test]
+fn off_produces_zero_events() {
+    let w = workload();
+    for threads in [1usize, 4] {
+        let cfg = RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 }).with_threads(threads);
+        let r = render_frame(&w, 0, &cfg).unwrap();
+        assert!(r.telemetry.is_none(), "PATU_TRACE=off carries no telemetry at all");
+    }
+}
+
+#[test]
+fn spans_level_strictly_extends_counters() {
+    let w = workload();
+    let base = RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 });
+    let counters = render_frame(
+        &w,
+        0,
+        &base.with_telemetry(TelemetryConfig::with_level(TraceLevel::Counters)),
+    )
+    .unwrap()
+    .telemetry
+    .unwrap();
+    let spans = render_frame(
+        &w,
+        0,
+        &base.with_telemetry(TelemetryConfig::with_level(TraceLevel::Spans)),
+    )
+    .unwrap()
+    .telemetry
+    .unwrap();
+    assert!(counters.spans.is_empty(), "counters level records no spans");
+    assert!(!spans.spans.is_empty(), "spans level records the stage tree");
+    assert_eq!(counters.counters, spans.counters, "counters agree across levels");
+    assert_eq!(counters.hists, spans.hists, "histograms agree across levels");
+}
+
+#[test]
+fn watchdog_dump_names_the_offender_identically_across_threads() {
+    let w = workload();
+    let cfg = RenderConfig::new(FilterPolicy::Baseline)
+        .with_cycle_budget(1)
+        .with_telemetry(TelemetryConfig::with_level(TraceLevel::Counters));
+    let mut reports = Vec::new();
+    for threads in [1usize, 4] {
+        let r = render_frame(&w, 0, &cfg.with_threads(threads)).unwrap();
+        assert!(r.degraded, "a 1-cycle budget trips the watchdog");
+        let t = r.telemetry.expect("counters level records");
+        assert!(!t.dumps.is_empty(), "the trip leaves a postmortem");
+        let dump = &t.dumps[0];
+        assert_eq!(dump.reason, "watchdog_trip");
+        assert_eq!(dump.frame, 0);
+        assert_eq!(dump.policy, "Baseline");
+        assert_eq!(dump.fault_seed, 0);
+        assert!(
+            dump.events.iter().any(|e| matches!(e.kind, EventKind::WatchdogTrip)),
+            "the ring retains the trip event"
+        );
+        let rendered = sink::render_dump(dump);
+        for needle in ["watchdog_trip", "frame 0", "Baseline", "fault seed 0"] {
+            assert!(rendered.contains(needle), "dump report must name {needle:?}: {rendered}");
+        }
+        reports.push(sink::jsonl(std::slice::from_ref(&t)));
+    }
+    assert_eq!(reports[0], reports[1], "dumps serialize identically across thread counts");
+}
+
+#[test]
+fn fault_fallback_dump_carries_the_seed() {
+    let w = workload();
+    let cfg = RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 })
+        .with_faults(FaultConfig::uniform(42, 0.05))
+        .with_telemetry(TelemetryConfig::with_level(TraceLevel::Counters));
+    let r = render_frame(&w, 0, &cfg).unwrap();
+    assert!(r.stats.faults.fallbacks > 0, "5% fault rates force fallbacks");
+    let t = r.telemetry.unwrap();
+    let dump = t
+        .dumps
+        .iter()
+        .find(|d| d.reason == "fault_fallback")
+        .expect("a fallback leaves a postmortem");
+    assert_eq!(dump.fault_seed, 42);
+    assert!(dump.policy.starts_with("Patu"), "policy label: {}", dump.policy);
+    assert!(
+        dump.events.iter().any(|e| matches!(e.kind, EventKind::Fallback { .. })),
+        "the ring retains the fallback event"
+    );
+}
+
+#[test]
+fn experiment_surfaces_dumps() {
+    use patu_sim::experiment::{run_policies, ExperimentConfig};
+    let w = Workload::build("grid", (192, 160)).unwrap();
+    let cfg = ExperimentConfig {
+        frames: 1,
+        frame_stride: 1,
+        faults: FaultConfig::uniform(5, 0.05),
+        ..ExperimentConfig::default()
+    }
+    .with_telemetry(TelemetryConfig::with_level(TraceLevel::Counters));
+    let results = run_policies(
+        &w,
+        &[("PATU", FilterPolicy::Patu { threshold: 0.4 })],
+        &cfg,
+    )
+    .unwrap();
+    assert!(
+        !results[0].dumps.is_empty(),
+        "fault fallbacks under 5% rates surface on the aggregate"
+    );
+    assert_eq!(results[0].dumps[0].fault_seed, 5);
+}
