@@ -2,6 +2,10 @@
 //! accounting comparison: the `HashMap<QuadId, Vec<bool>>` the render loop
 //! used to allocate per tile versus the reusable flat grid it uses now.
 
+// The HashMap here is the measured baseline, not bookkeeping (clippy.toml
+// disallowed-types / patu-lint `hash-order` are about output determinism).
+#![allow(clippy::disallowed_types)]
+
 use patu_bench::micro;
 use patu_core::DivergenceStats;
 use patu_raster::{Pipeline, QuadId};
@@ -33,7 +37,10 @@ fn main() {
         for tile in &geometry.tiles {
             let mut outcomes: HashMap<QuadId, Vec<bool>> = HashMap::new();
             for frag in &tile.fragments {
-                outcomes.entry(frag.quad()).or_default().push(frag.x % 3 == 0);
+                outcomes
+                    .entry(frag.quad())
+                    .or_default()
+                    .push(frag.x % 3 == 0);
             }
             for quad in outcomes.values() {
                 divergence.record_quad(quad);
@@ -50,8 +57,8 @@ fn main() {
         for tile in &geometry.tiles {
             let (x0, y0) = (tile.tx * TILE, tile.ty * TILE);
             for frag in &tile.fragments {
-                let idx = ((frag.y - y0) / 2) as usize * quads_per_side
-                    + ((frag.x - x0) / 2) as usize;
+                let idx =
+                    ((frag.y - y0) / 2) as usize * quads_per_side + ((frag.x - x0) / 2) as usize;
                 fragments[idx] += 1;
                 approximated[idx] += u32::from(frag.x % 3 == 0);
             }

@@ -10,7 +10,10 @@ use patu_sim::experiment::{best_point, threshold_sweep};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let opts = RunOptions::from_args();
-    println!("ABLATION: per-game BP vs unified threshold ({})", opts.profile_banner());
+    println!(
+        "ABLATION: per-game BP vs unified threshold ({})",
+        opts.profile_banner()
+    );
     let thresholds: Vec<f64> = (0..=10).map(|i| f64::from(i) / 10.0).collect();
     let unified = 0.4;
 

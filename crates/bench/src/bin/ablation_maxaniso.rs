@@ -5,7 +5,7 @@
 //! sample budget uniformly, whereas PATU removes work only where it is not
 //! perceivable.
 
-use patu_bench::{RunOptions};
+use patu_bench::RunOptions;
 use patu_core::FilterPolicy;
 use patu_gpu::GpuConfig;
 use patu_quality::SsimConfig;
@@ -32,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "configuration", "cycles", "speedup", "MSSIM"
     );
     for max_aniso in [2u32, 4, 8, 16] {
-        let gpu = GpuConfig { max_aniso, ..GpuConfig::default() };
+        let gpu = GpuConfig {
+            max_aniso,
+            ..GpuConfig::default()
+        };
         let r = render_frame(
             &workload,
             0,

@@ -19,7 +19,10 @@ use patu_texture::{
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let opts = RunOptions::from_args();
     let theta = 0.4;
-    println!("ABLATION: predictor accuracy vs oracle at θ={theta} ({})", opts.profile_banner());
+    println!(
+        "ABLATION: predictor accuracy vs oracle at θ={theta} ({})",
+        opts.profile_banner()
+    );
     println!(
         "\n{:<16} {:>10} | {:>8} {:>9} {:>8} | {:>8} {:>9} {:>8}",
         "game", "pixels", "N acc", "N prec", "N rec", "2st acc", "2st prec", "2st rec"

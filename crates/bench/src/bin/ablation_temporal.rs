@@ -13,7 +13,10 @@ use patu_sim::experiment::temporal_stability;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let opts = RunOptions::from_args();
-    println!("ABLATION: temporal stability (consecutive-frame SSIM) ({})", opts.profile_banner());
+    println!(
+        "ABLATION: temporal stability (consecutive-frame SSIM) ({})",
+        opts.profile_banner()
+    );
     // Consecutive frame indices: the camera moves a small step between them.
     let frames: Vec<u32> = (0..6).collect();
     let cfg = opts.experiment();

@@ -12,7 +12,10 @@ use patu_sim::render::{render_frame, RenderConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let opts = RunOptions::from_args();
-    println!("ABLATION: fragment traversal order ({})", opts.profile_banner());
+    println!(
+        "ABLATION: fragment traversal order ({})",
+        opts.profile_banner()
+    );
     println!(
         "\n{:<16} {:>13} {:>13} {:>16} {:>16}",
         "game", "cycles row", "cycles morton", "L1 misses row", "L1 misses mort"

@@ -11,11 +11,24 @@ use patu_sim::render::{render_frame, RenderConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut table = Table::new(&[
-        "game", "N_avg", "base cycles", "noaf cycles", "ratio", "lat mean", "lat p95",
-        "lat p99", "l2miss", "texfrac", "texel ratio",
+        "game",
+        "N_avg",
+        "base cycles",
+        "noaf cycles",
+        "ratio",
+        "lat mean",
+        "lat p95",
+        "lat p99",
+        "l2miss",
+        "texfrac",
+        "texel ratio",
     ]);
     for name in ["hl2", "doom3", "grid", "nfs", "stal", "ut3", "wolf"] {
-        let res = if name == "wolf" { (320, 240) } else { (640, 512) };
+        let res = if name == "wolf" {
+            (320, 240)
+        } else {
+            (640, 512)
+        };
         let w = Workload::build(name, res).unwrap();
         let base = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Baseline))?;
         let noaf = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::NoAf))?;
@@ -26,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             format!("{n_avg:.2}"),
             base.stats.cycles.to_string(),
             noaf.stats.cycles.to_string(),
-            format!("{:.2}x", base.stats.cycles as f64 / noaf.stats.cycles as f64),
+            format!(
+                "{:.2}x",
+                base.stats.cycles as f64 / noaf.stats.cycles as f64
+            ),
             format!("{:.0}", base.stats.mean_filter_latency()),
             base.stats.filter_latency_p95().to_string(),
             base.stats.filter_latency_p99().to_string(),

@@ -3,10 +3,10 @@
 
 use patu_core::FilterPolicy;
 use patu_quality::SsimConfig;
+use patu_raster::Pipeline;
 use patu_scenes::Workload;
 use patu_sim::render::{render_frame, RenderConfig};
 use patu_texture::{Footprint, MAX_ANISO};
-use patu_raster::Pipeline;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     for name in ["doom3", "grid", "stal"] {
@@ -27,15 +27,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut total = 0u64;
         for f in out.fragments() {
             let t = &w.textures()[f.material];
-            let fp = Footprint::from_derivatives(f.duv_dx, f.duv_dy, t.width(), t.height(), MAX_ANISO);
-            let b = match fp.n { 1 => 0, 2 => 1, 3..=4 => 2, 5..=8 => 3, _ => 4 };
+            let fp =
+                Footprint::from_derivatives(f.duv_dx, f.duv_dy, t.width(), t.height(), MAX_ANISO);
+            let b = match fp.n {
+                1 => 0,
+                2 => 1,
+                3..=4 => 2,
+                5..=8 => 3,
+                _ => 4,
+            };
             nbins[b] += 1;
             total += 1;
         }
         println!("{name}: MSSIM {:.3}", map.mean());
-        println!("  ssim buckets [0-.2,.2-.4,.4-.6,.6-.8,.8-1]: {:?} (of {})", lows, map.values().len());
-        println!("  N buckets [1,2,3-4,5-8,9-16]: {:?} pct {:?}", nbins,
-            nbins.iter().map(|&b| 100 * b / total).collect::<Vec<_>>());
+        println!(
+            "  ssim buckets [0-.2,.2-.4,.4-.6,.6-.8,.8-1]: {:?} (of {})",
+            lows,
+            map.values().len()
+        );
+        println!(
+            "  N buckets [1,2,3-4,5-8,9-16]: {:?} pct {:?}",
+            nbins,
+            nbins.iter().map(|&b| 100 * b / total).collect::<Vec<_>>()
+        );
     }
     Ok(())
 }

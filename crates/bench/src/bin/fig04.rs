@@ -13,7 +13,10 @@ use patu_sim::render::{render_frame, RenderConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let opts = RunOptions::from_args();
-    println!("FIG. 4: R.Bench fps with AF on/off ({})", opts.profile_banner());
+    println!(
+        "FIG. 4: R.Bench fps with AF on/off ({})",
+        opts.profile_banner()
+    );
 
     let freq = GpuConfig::default().frequency_hz;
     for (label, full_res) in [("2K", (2560u32, 1440u32)), ("4K", (3840, 2160))] {
@@ -24,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         };
         let workload = Workload::build("rbench", res)?;
         println!("\n{label} ({}x{}):", res.0, res.1);
-        println!("{:>6} {:>12} {:>12} {:>10}", "frame", "fps AF-on", "fps AF-off", "gain");
+        println!(
+            "{:>6} {:>12} {:>12} {:>10}",
+            "frame", "fps AF-on", "fps AF-off", "gain"
+        );
 
         let (mut sum_on, mut sum_off) = (0.0f64, 0.0f64);
         for i in 0..opts.frames {

@@ -8,7 +8,10 @@ use patu_sim::experiment::run_policies;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let opts = RunOptions::from_args();
-    println!("FIG. 5: AF-off speedup and energy reduction ({})", opts.profile_banner());
+    println!(
+        "FIG. 5: AF-off speedup and energy reduction ({})",
+        opts.profile_banner()
+    );
     println!(
         "\n{:<16} {:>10} {:>16} {:>18}",
         "game", "speedup", "energy ratio", "filter-lat ratio"

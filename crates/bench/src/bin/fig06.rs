@@ -22,7 +22,10 @@ fn print_breakdown(label: &str, b: &BandwidthBreakdown) {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let opts = RunOptions::from_args();
-    println!("FIG. 6: memory bandwidth breakdown, AF on vs off ({})", opts.profile_banner());
+    println!(
+        "FIG. 6: memory bandwidth breakdown, AF on vs off ({})",
+        opts.profile_banner()
+    );
     println!(
         "\n{:<20} {:>9} {:>9} {:>9} {:>12} {:>9}",
         "", "texture", "vertex", "depth", "framebuffer", "other"

@@ -7,7 +7,10 @@ use patu_sim::experiment::run_policies;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let opts = RunOptions::from_args();
-    println!("FIG. 7: MSSIM when AF is disabled ({})", opts.profile_banner());
+    println!(
+        "FIG. 7: MSSIM when AF is disabled ({})",
+        opts.profile_banner()
+    );
     println!("\n{:<16} {:>8} {:>14}", "game", "MSSIM", "quality loss");
 
     let mut losses = Vec::new();
@@ -19,7 +22,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &opts.experiment(),
         )?;
         let mssim = results[0].mssim;
-        println!("{:<16} {:>8.3} {:>14}", spec.label(), mssim, pct(1.0 - mssim));
+        println!(
+            "{:<16} {:>8.3} {:>14}",
+            spec.label(),
+            mssim,
+            pct(1.0 - mssim)
+        );
         losses.push(1.0 - mssim);
     }
     println!(

@@ -12,7 +12,10 @@ use std::io::BufWriter;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let opts = RunOptions::from_args();
     let res = if opts.full { (1600, 1200) } else { (800, 600) };
-    println!("FIG. 8: hl2 AF-on/AF-off SSIM index map ({})", opts.profile_banner());
+    println!(
+        "FIG. 8: hl2 AF-on/AF-off SSIM index map ({})",
+        opts.profile_banner()
+    );
 
     let workload = Workload::build("hl2", res)?;
     let on = render_frame(&workload, 0, &RenderConfig::new(FilterPolicy::Baseline))?;
@@ -20,8 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let map = SsimConfig::default().ssim_map(&on.luma(), &off.luma());
 
     std::fs::create_dir_all("out")?;
-    on.image.write_ppm(BufWriter::new(File::create("out/fig08_af_on.ppm")?))?;
-    off.image.write_ppm(BufWriter::new(File::create("out/fig08_af_off.ppm")?))?;
+    on.image
+        .write_ppm(BufWriter::new(File::create("out/fig08_af_on.ppm")?))?;
+    off.image
+        .write_ppm(BufWriter::new(File::create("out/fig08_af_off.ppm")?))?;
     map.to_gray_image()
         .write_pgm(BufWriter::new(File::create("out/fig08_ssim_map.pgm")?))?;
 

@@ -8,8 +8,14 @@ use patu_sim::experiment::run_policies;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let opts = RunOptions::from_args();
-    println!("FIG. 12: AF taps sharing texel sets with TF ({})", opts.profile_banner());
-    println!("\n{:<16} {:>14} {:>14} {:>10}", "game", "AF taps", "sharing taps", "share");
+    println!(
+        "FIG. 12: AF taps sharing texel sets with TF ({})",
+        opts.profile_banner()
+    );
+    println!(
+        "\n{:<16} {:>14} {:>14} {:>10}",
+        "game", "AF taps", "sharing taps", "share"
+    );
 
     let mut fractions = Vec::new();
     for spec in default_specs() {

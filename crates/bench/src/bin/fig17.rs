@@ -8,7 +8,10 @@ use patu_sim::experiment::{best_point, threshold_sweep};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let opts = RunOptions::from_args();
-    println!("FIG. 17: threshold sweep per game ({})", opts.profile_banner());
+    println!(
+        "FIG. 17: threshold sweep per game ({})",
+        opts.profile_banner()
+    );
     let thresholds: Vec<f64> = (0..=10).map(|i| f64::from(i) / 10.0).collect();
 
     // Per-threshold accumulators for the average subfigure (I).
@@ -25,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         games += 1.0;
 
         println!("\n{} (BP = {bp:.1}):", spec.label());
-        println!("{:>9} {:>9} {:>8} {:>15}", "threshold", "speedup", "MSSIM", "speedup*MSSIM");
+        println!(
+            "{:>9} {:>9} {:>8} {:>15}",
+            "threshold", "speedup", "MSSIM", "speedup*MSSIM"
+        );
         for (i, (t, r)) in sweep.iter().enumerate() {
             let s = r.speedup_vs(&baseline);
             println!(
@@ -41,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\n(I) AVERAGE ACROSS GAMES:");
-    println!("{:>9} {:>9} {:>8} {:>15}", "threshold", "speedup", "MSSIM", "speedup*MSSIM");
+    println!(
+        "{:>9} {:>9} {:>8} {:>15}",
+        "threshold", "speedup", "MSSIM", "speedup*MSSIM"
+    );
     let mut best = (0.0, f64::MIN);
     for (i, &t) in thresholds.iter().enumerate() {
         let s = avg_speedup[i] / games;

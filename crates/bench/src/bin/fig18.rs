@@ -7,7 +7,10 @@ use patu_sim::experiment::{design_points, run_policies};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let opts = RunOptions::from_args();
-    println!("FIG. 18: normalized texture filtering latency ({})", opts.profile_banner());
+    println!(
+        "FIG. 18: normalized texture filtering latency ({})",
+        opts.profile_banner()
+    );
     let points = design_points(0.4);
     println!(
         "\n{:<16} {:>10} {:>12} {:>18} {:>8}",

@@ -7,7 +7,10 @@ use patu_sim::experiment::{design_points, run_policies};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let opts = RunOptions::from_args();
-    println!("FIG. 19: speedup and MSSIM under the design points ({})", opts.profile_banner());
+    println!(
+        "FIG. 19: speedup and MSSIM under the design points ({})",
+        opts.profile_banner()
+    );
     let points = design_points(0.4);
 
     let mut speedup_sum = vec![0.0f64; points.len()];

@@ -7,7 +7,10 @@ use patu_sim::experiment::{design_points, run_policies};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let opts = RunOptions::from_args();
-    println!("FIG. 20: normalized GPU+DRAM energy ({})", opts.profile_banner());
+    println!(
+        "FIG. 20: normalized GPU+DRAM energy ({})",
+        opts.profile_banner()
+    );
     let points = design_points(0.4);
     println!(
         "\n{:<16} {:>10} {:>12} {:>18} {:>8}",
@@ -42,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sums[2] / games,
         sums[3] / games
     );
-    println!("\nPATU mean energy reduction: {}", pct(1.0 - sums[3] / games));
+    println!(
+        "\nPATU mean energy reduction: {}",
+        pct(1.0 - sums[3] / games)
+    );
 
     paper_note(
         "Fig. 20",

@@ -9,13 +9,19 @@ use patu_sim::experiment::{run_policies, ExperimentConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let opts = RunOptions::from_args();
-    println!("FIG. 21: cache scaling with and without PATU ({})", opts.profile_banner());
+    println!(
+        "FIG. 21: cache scaling with and without PATU ({})",
+        opts.profile_banner()
+    );
 
     let configs: Vec<(&str, GpuConfig)> = vec![
         ("1x (Table I)", GpuConfig::default()),
         ("2xLLC", GpuConfig::default().with_llc_scale(2)),
         ("4xLLC", GpuConfig::default().with_llc_scale(4)),
-        ("2xTC+4xLLC", GpuConfig::default().with_tc_scale(2).with_llc_scale(4)),
+        (
+            "2xTC+4xLLC",
+            GpuConfig::default().with_tc_scale(2).with_llc_scale(4),
+        ),
     ];
 
     // Reference: baseline policy on the 1x configuration, per game.
@@ -29,13 +35,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for spec in default_specs() {
             let workload = Workload::build(spec.name, opts.resolution(&spec))?;
             // 1x baseline for normalization.
-            let base_cfg = ExperimentConfig { gpu: GpuConfig::default(), ..opts.experiment() };
+            let base_cfg = ExperimentConfig {
+                gpu: GpuConfig::default(),
+                ..opts.experiment()
+            };
             let ref_run = run_policies(
                 &workload,
                 &[("Baseline", FilterPolicy::Baseline)],
                 &base_cfg,
             )?;
-            let scaled_cfg = ExperimentConfig { gpu: *gpu, ..opts.experiment() };
+            let scaled_cfg = ExperimentConfig {
+                gpu: *gpu,
+                ..opts.experiment()
+            };
             let scaled = run_policies(
                 &workload,
                 &[

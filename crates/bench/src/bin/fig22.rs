@@ -13,7 +13,10 @@ use patu_sim::satisfaction::SatisfactionModel;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let opts = RunOptions::from_args();
-    println!("FIG. 22: user satisfaction vs threshold ({})", opts.profile_banner());
+    println!(
+        "FIG. 22: user satisfaction vs threshold ({})",
+        opts.profile_banner()
+    );
     println!("(synthetic satisfaction model — Fig. 22 substitution, DESIGN.md §2)\n");
 
     let thresholds = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
@@ -47,8 +50,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // baseline lands in the paper's 33-58 fps band (the simulator's
         // absolute cycle counts are not ATTILA's; the *relative* frame
         // times across thresholds are what the study ranks).
-        let mean_base_cycles = baselines.iter().map(|r| r.stats.cycles).sum::<u64>()
-            / baselines.len() as u64;
+        let mean_base_cycles =
+            baselines.iter().map(|r| r.stats.cycles).sum::<u64>() / baselines.len() as u64;
         let clock = mean_base_cycles as f64 * 33.0;
         let replay = ReplayModel {
             gpu_frequency_hz: clock,

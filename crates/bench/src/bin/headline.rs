@@ -8,8 +8,6 @@
 //! count, and the headline metrics land in `BENCH_headline.json` at the
 //! repository root.
 
-use std::time::Instant;
-
 use patu_bench::{micro, paper_note, pct, pct_delta, RunOptions};
 use patu_obs::json::num_fixed;
 use patu_obs::{Log2Histogram, TelemetryConfig, TraceLevel};
@@ -24,7 +22,10 @@ struct Headline {
     mssim: f64,
 }
 
-fn sweep(opts: &RunOptions, threads: usize) -> Result<(Headline, Vec<AggregateResult>), Box<dyn std::error::Error>> {
+fn sweep(
+    opts: &RunOptions,
+    threads: usize,
+) -> Result<(Headline, Vec<AggregateResult>), Box<dyn std::error::Error>> {
     let points = design_points(0.4);
     let cfg = opts.experiment().with_threads(threads);
     let (mut speedup, mut energy, mut latency, mut mssim, mut games) =
@@ -68,34 +69,43 @@ fn identical(a: &[AggregateResult], b: &[AggregateResult]) -> bool {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let opts = RunOptions::from_args();
-    println!("HEADLINE: PATU at the conservative tuning point ({})", opts.profile_banner());
+    println!(
+        "HEADLINE: PATU at the conservative tuning point ({})",
+        opts.profile_banner()
+    );
 
-    let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    let serial_start = Instant::now();
-    let (headline, serial_results) = sweep(&opts, 1)?;
-    let serial_ms = serial_start.elapsed().as_secs_f64() * 1e3;
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let (serial_run, serial_ms) = micro::timed(|| sweep(&opts, 1));
+    let (headline, serial_results) = serial_run?;
 
-    let parallel_start = Instant::now();
-    let (_, parallel_results) = sweep(&opts, 4)?;
-    let parallel_ms = parallel_start.elapsed().as_secs_f64() * 1e3;
+    let (parallel_run, parallel_ms) = micro::timed(|| sweep(&opts, 4));
+    let (_, parallel_results) = parallel_run?;
     let same = identical(&serial_results, &parallel_results);
 
     // Reference render_frame wall time: one doom3 frame at the fast profile,
     // once with telemetry off and once at full span tracing, so the JSON
     // records the observation overhead of this build.
-    let spec = default_specs().into_iter().find(|s| s.name == "doom3").expect("doom3 spec");
+    let spec = default_specs()
+        .into_iter()
+        .find(|s| s.name == "doom3")
+        .expect("doom3 spec");
     let workload = Workload::build(spec.name, opts.resolution(&spec))?;
     let rc = RenderConfig::new(patu_core::FilterPolicy::Patu { threshold: 0.4 });
-    let reference_start = Instant::now();
-    render_frame(&workload, 0, &rc)?;
-    let reference_ms = reference_start.elapsed().as_secs_f64() * 1e3;
+    let (reference_run, reference_ms) = micro::timed(|| render_frame(&workload, 0, &rc));
+    reference_run?;
     let traced_rc = rc.with_telemetry(TelemetryConfig::with_level(TraceLevel::Spans));
-    let traced_start = Instant::now();
-    render_frame(&workload, 0, &traced_rc)?;
-    let trace_spans_ms = traced_start.elapsed().as_secs_f64() * 1e3;
+    let (traced_run, trace_spans_ms) = micro::timed(|| render_frame(&workload, 0, &traced_rc));
+    traced_run?;
 
     println!("\n{:<38} {:>10} {:>10}", "metric", "paper", "measured");
-    println!("{:<38} {:>10} {:>10}", "3D rendering speedup", "+17%", pct_delta(headline.speedup));
+    println!(
+        "{:<38} {:>10} {:>10}",
+        "3D rendering speedup",
+        "+17%",
+        pct_delta(headline.speedup)
+    );
     println!(
         "{:<38} {:>10} {:>10}",
         "total GPU energy reduction",
@@ -108,7 +118,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "29%",
         pct(1.0 - headline.latency)
     );
-    println!("{:<38} {:>10} {:>10}", "perceived quality (MSSIM)", ">=93%", pct(headline.mssim));
+    println!(
+        "{:<38} {:>10} {:>10}",
+        "perceived quality (MSSIM)",
+        ">=93%",
+        pct(headline.mssim)
+    );
 
     // Per-request filtering-latency distribution, merged over every game:
     // the mean alone hides the tail that AF's texel storms create.

@@ -7,8 +7,14 @@ use patu_sim::experiment::run_policies;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let opts = RunOptions::from_args();
-    println!("SEC. V-C(1): quad prediction divergence under PATU θ=0.4 ({})", opts.profile_banner());
-    println!("\n{:<16} {:>12} {:>14} {:>10}", "game", "quads", "divergent", "fraction");
+    println!(
+        "SEC. V-C(1): quad prediction divergence under PATU θ=0.4 ({})",
+        opts.profile_banner()
+    );
+    println!(
+        "\n{:<16} {:>12} {:>14} {:>10}",
+        "game", "quads", "divergent", "fraction"
+    );
 
     let mut fractions = Vec::new();
     for spec in default_specs() {

@@ -11,12 +11,16 @@ use std::io::BufWriter;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let opts = RunOptions::from_args();
     std::fs::create_dir_all("out")?;
-    for name in ["hl2", "doom3", "grid", "nfs", "stal", "ut3", "wolf", "rbench"] {
+    for name in [
+        "hl2", "doom3", "grid", "nfs", "stal", "ut3", "wolf", "rbench",
+    ] {
         let res = if opts.full { (1280, 1024) } else { (640, 512) };
         let workload = Workload::build(name, res)?;
         let frame = render_frame(&workload, 0, &RenderConfig::new(FilterPolicy::Baseline))?;
         let path = format!("out/scene_{name}.ppm");
-        frame.image.write_ppm(BufWriter::new(File::create(&path)?))?;
+        frame
+            .image
+            .write_ppm(BufWriter::new(File::create(&path)?))?;
         println!(
             "{path}: {}x{} | {} fragments | texture share {:.0}%",
             res.0,

@@ -5,7 +5,10 @@ use patu_scenes::catalog;
 fn main() {
     println!("TABLE II: 3D GAMING BENCHMARKS");
     println!("{}", "-".repeat(72));
-    println!("{:<7} {:<32} {:<12} {:<10}", "Abbr.", "Name", "Resolution", "Library");
+    println!(
+        "{:<7} {:<32} {:<12} {:<10}",
+        "Abbr.", "Name", "Resolution", "Library"
+    );
     for spec in catalog() {
         println!(
             "{:<7} {:<32} {:<12} {:<10}",

@@ -4,7 +4,7 @@
 //! the JSONL + Chrome-trace artifacts that `trace_check` validates.
 
 use patu_core::FilterPolicy;
-use patu_obs::{sink, trace_out_dir, Collector, TelemetryConfig, Track, TraceLevel};
+use patu_obs::{sink, trace_out_dir, Collector, TelemetryConfig, TraceLevel, Track};
 use patu_quality::SsimConfig;
 use patu_scenes::Workload;
 use patu_sim::render::{render_frame, RenderConfig};

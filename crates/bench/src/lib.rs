@@ -35,7 +35,10 @@ pub struct RunOptions {
 
 impl Default for RunOptions {
     fn default() -> RunOptions {
-        RunOptions { full: false, frames: 2 }
+        RunOptions {
+            full: false,
+            frames: 2,
+        }
     }
 }
 
@@ -86,7 +89,11 @@ impl RunOptions {
     pub fn profile_banner(&self) -> String {
         format!(
             "profile: {} resolutions, {} frame(s) per data point",
-            if self.full { "paper (Table II)" } else { "fast (half-dimension)" },
+            if self.full {
+                "paper (Table II)"
+            } else {
+                "fast (half-dimension)"
+            },
             self.frames
         )
     }
@@ -141,7 +148,10 @@ mod tests {
 
     #[test]
     fn experiment_uses_frames() {
-        let o = RunOptions { full: false, frames: 5 };
+        let o = RunOptions {
+            full: false,
+            frames: 5,
+        };
         assert_eq!(o.experiment().frames, 5);
     }
 }

@@ -9,9 +9,27 @@
 //! `BENCH_<name>.json` at the repository root for cross-run comparison
 //! (see `scripts/bench.sh`).
 
+// The one sanctioned wall-clock module (patu-lint `wall-clock`, clippy.toml
+// disallowed-methods): everything else times through `timed` or the harness.
+#![allow(clippy::disallowed_methods)]
+
+use patu_obs::json::num_fixed;
 use std::hint::black_box;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
+
+/// Times `f` once and returns its result plus the elapsed wall time in
+/// milliseconds.
+///
+/// This is the only sanctioned wall-clock entry point outside the bench
+/// harness itself: simulator code runs on deterministic cycles, so
+/// `patu-lint`'s `wall-clock` rule bans `Instant`/`SystemTime` everywhere
+/// but this module, and bench binaries measure through here.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed().as_secs_f64() * 1e3)
+}
 
 /// Minimum measured wall time per calibration pass before sampling starts.
 const TARGET: Duration = Duration::from_millis(20);
@@ -49,7 +67,10 @@ pub struct Group {
 /// Starts a benchmark group and prints its header.
 pub fn group(name: &str) -> Group {
     println!("[{name}]");
-    Group { name: name.to_string(), results: Vec::new() }
+    Group {
+        name: name.to_string(),
+        results: Vec::new(),
+    }
 }
 
 /// Sorted-sample quantile (nearest-rank on the sorted slice).
@@ -140,19 +161,21 @@ impl Group {
     }
 
     /// Serializes the collected results as a JSON object (hand-rolled — the
-    /// workspace has no serde).
+    /// workspace has no serde). Quantiles route through
+    /// [`patu_obs::json::num_fixed`], the single null-safe float formatter,
+    /// so a degenerate sample can never write `inf`/`NaN` into the artifact.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str(&format!("  \"group\": \"{}\",\n", self.name));
         out.push_str("  \"results\": [\n");
         for (i, r) in self.results.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"label\": \"{}\", \"median_ns\": {:.1}, \"p10_ns\": {:.1}, \
-                 \"p90_ns\": {:.1}, \"iters\": {}}}{}\n",
+                "    {{\"label\": \"{}\", \"median_ns\": {}, \"p10_ns\": {}, \
+                 \"p90_ns\": {}, \"iters\": {}}}{}\n",
                 r.label,
-                r.median_ns,
-                r.p10_ns,
-                r.p90_ns,
+                num_fixed(r.median_ns, 1),
+                num_fixed(r.p10_ns, 1),
+                num_fixed(r.p90_ns, 1),
                 r.iters,
                 if i + 1 < self.results.len() { "," } else { "" }
             ));
@@ -174,7 +197,9 @@ impl Group {
 
 /// The workspace root (two levels above this crate's manifest).
 pub fn repo_root() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
 }
 
 #[cfg(test)]
@@ -192,7 +217,10 @@ mod tests {
         assert!(calls > 0);
         let r = &g.results[0];
         assert_eq!(r.label, "micro-selftest/counter");
-        assert!(r.p10_ns <= r.median_ns && r.median_ns <= r.p90_ns, "quantiles ordered");
+        assert!(
+            r.p10_ns <= r.median_ns && r.median_ns <= r.p90_ns,
+            "quantiles ordered"
+        );
         assert!(r.iters >= 1);
     }
 

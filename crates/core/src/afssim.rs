@@ -31,7 +31,10 @@ pub fn af_ssim_mu(mu: f64) -> f64 {
 /// Panics if `n` is outside `1..=16` (the paper's Eq. 6 domain). Use
 /// [`try_af_ssim_n`] for a non-panicking variant.
 pub fn af_ssim_n(n: u32) -> f64 {
-    assert!((1..=16).contains(&n), "sample size N must be in 1..=16, got {n}");
+    assert!(
+        (1..=16).contains(&n),
+        "sample size N must be in 1..=16, got {n}"
+    );
     let nf = f64::from(n);
     (2.0 * nf / (nf * nf + 1.0)).powi(2)
 }

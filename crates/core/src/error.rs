@@ -42,7 +42,10 @@ impl fmt::Display for PatuError {
         match self {
             PatuError::Gpu(e) => write!(f, "gpu model: {e}"),
             PatuError::InvalidThreshold { value } => {
-                write!(f, "prediction threshold must be a finite value in [0, 1], got {value}")
+                write!(
+                    f,
+                    "prediction threshold must be a finite value in [0, 1], got {value}"
+                )
             }
             PatuError::InvalidSampleSize { n } => {
                 write!(f, "AF sample size N must be in 1..=16, got {n}")
@@ -78,7 +81,10 @@ mod tests {
 
     #[test]
     fn wraps_gpu_errors() {
-        let gpu = GpuError::ClusterOutOfRange { cluster: 5, clusters: 4 };
+        let gpu = GpuError::ClusterOutOfRange {
+            cluster: 5,
+            clusters: 4,
+        };
         let e = PatuError::from(gpu.clone());
         assert_eq!(e, PatuError::Gpu(gpu));
         assert!(e.to_string().contains("cluster 5"));
@@ -88,10 +94,17 @@ mod tests {
 
     #[test]
     fn messages_are_specific() {
-        assert!(PatuError::InvalidThreshold { value: 1.5 }.to_string().contains("1.5"));
-        assert!(PatuError::InvalidSampleSize { n: 99 }.to_string().contains("99"));
-        assert!(PatuError::NonFinitePrediction { stage: "txds", value: f64::NAN }
+        assert!(PatuError::InvalidThreshold { value: 1.5 }
             .to_string()
-            .contains("txds"));
+            .contains("1.5"));
+        assert!(PatuError::InvalidSampleSize { n: 99 }
+            .to_string()
+            .contains("99"));
+        assert!(PatuError::NonFinitePrediction {
+            stage: "txds",
+            value: f64::NAN
+        }
+        .to_string()
+        .contains("txds"));
     }
 }

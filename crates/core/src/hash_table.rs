@@ -115,7 +115,10 @@ impl TexelAddressTable {
             return true;
         }
         if self.entries.len() < self.capacity {
-            self.entries.push(Entry { addresses: key, count: 1 });
+            self.entries.push(Entry {
+                addresses: key,
+                count: 1,
+            });
         } else {
             self.overflowed = true;
         }
@@ -290,13 +293,19 @@ mod tests {
     #[test]
     fn try_with_capacity_rejects_zero() {
         assert!(TexelAddressTable::try_with_capacity(0).is_err());
-        assert_eq!(TexelAddressTable::try_with_capacity(8).unwrap().capacity(), 8);
+        assert_eq!(
+            TexelAddressTable::try_with_capacity(8).unwrap().capacity(),
+            8
+        );
     }
 
     #[test]
     fn corruption_raises_parity_and_reset_clears_it() {
         let mut t = TexelAddressTable::new();
-        assert!(!t.corrupt_count(0, 0), "empty table has no state to corrupt");
+        assert!(
+            !t.corrupt_count(0, 0),
+            "empty table has no state to corrupt"
+        );
         t.insert(&set(0));
         t.insert(&set(0));
         assert!(t.corrupt_count(0, 1));

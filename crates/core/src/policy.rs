@@ -150,7 +150,9 @@ impl std::str::FromStr for FilterPolicy {
     /// `@threshold` suffix (default 0.4): `patu`, `patu@0.6`,
     /// `sample-area@0.2`, `sample-area-txds`.
     fn from_str(s: &str) -> Result<FilterPolicy, ParsePolicyError> {
-        let err = || ParsePolicyError { input: s.to_string() };
+        let err = || ParsePolicyError {
+            input: s.to_string(),
+        };
         let (name, threshold) = match s.split_once('@') {
             Some((n, t)) => {
                 let t: f64 = t.parse().map_err(|_| err())?;
@@ -165,9 +167,7 @@ impl std::str::FromStr for FilterPolicy {
             "baseline" | "af" => Ok(FilterPolicy::Baseline),
             "noaf" | "no-af" | "off" => Ok(FilterPolicy::NoAf),
             "sample-area" | "afssim-n" => Ok(FilterPolicy::SampleArea { threshold }),
-            "sample-area-txds" | "afssim-n-txds" => {
-                Ok(FilterPolicy::SampleAreaTxds { threshold })
-            }
+            "sample-area-txds" | "afssim-n-txds" => Ok(FilterPolicy::SampleAreaTxds { threshold }),
             "patu" => Ok(FilterPolicy::Patu { threshold }),
             _ => Err(err()),
         }
@@ -489,8 +489,9 @@ mod tests {
     #[test]
     fn txds_policy_demotes_to_tf_lod() {
         let mut t = TexelAddressTable::new();
-        let d = FilterPolicy::SampleAreaTxds { threshold: 0.4 }
-            .decide(&footprint(8.0), &mut t, || shared_sets(8));
+        let d =
+            FilterPolicy::SampleAreaTxds { threshold: 0.4 }
+                .decide(&footprint(8.0), &mut t, || shared_sets(8));
         assert_eq!(
             d.mode,
             FilterMode::TrilinearTfLod,
@@ -532,11 +533,17 @@ mod tests {
     #[test]
     fn nan_threshold_falls_back_to_full_af() {
         let mut t = TexelAddressTable::new();
-        let d = FilterPolicy::Patu { threshold: f64::NAN }
-            .decide(&footprint(4.0), &mut t, Vec::new);
+        let d = FilterPolicy::Patu {
+            threshold: f64::NAN,
+        }
+        .decide(&footprint(4.0), &mut t, Vec::new);
         assert_eq!(d.stage, DecisionStage::Fallback);
         assert_eq!(d.mode, FilterMode::Anisotropic, "fallback is quality-safe");
-        assert!(FilterPolicy::Patu { threshold: f64::NAN }.validate().is_err());
+        assert!(FilterPolicy::Patu {
+            threshold: f64::NAN
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
@@ -600,7 +607,10 @@ mod tests {
     #[test]
     fn policy_parses_from_strings() {
         use std::str::FromStr;
-        assert_eq!(FilterPolicy::from_str("baseline").unwrap(), FilterPolicy::Baseline);
+        assert_eq!(
+            FilterPolicy::from_str("baseline").unwrap(),
+            FilterPolicy::Baseline
+        );
         assert_eq!(FilterPolicy::from_str("noaf").unwrap(), FilterPolicy::NoAf);
         assert_eq!(
             FilterPolicy::from_str("patu").unwrap(),

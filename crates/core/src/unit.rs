@@ -15,8 +15,8 @@ use crate::stats::{ApproxStats, SharingStats};
 use patu_gmath::Vec2;
 use patu_gpu::{FaultConfig, FaultCounts, FaultInjector};
 use patu_texture::{
-    sampler::bilinear_addresses,
-    sample_anisotropic, sample_trilinear_record, AddressMode, Footprint, SampleRecord, Texture,
+    sample_anisotropic, sample_trilinear_record, sampler::bilinear_addresses, AddressMode,
+    Footprint, SampleRecord, Texture,
 };
 
 /// The complete functional result of filtering one pixel under a policy.
@@ -189,8 +189,7 @@ impl PerceptionAwareTextureUnit {
 
         let record = match decision.mode {
             FilterMode::Anisotropic => {
-                let rec = af_record
-                    .unwrap_or_else(|| sample_anisotropic(tex, uv, footprint, mode));
+                let rec = af_record.unwrap_or_else(|| sample_anisotropic(tex, uv, footprint, mode));
                 // Fig. 12 instrumentation: taps sharing the center's texels,
                 // at the same TF-sample-area granularity the hash table uses.
                 let tf_level = footprint.tf_lod.floor() as u32;
@@ -202,12 +201,8 @@ impl PerceptionAwareTextureUnit {
                 self.sharing.record(&sets);
                 rec
             }
-            FilterMode::TrilinearTfLod => {
-                sample_trilinear_record(tex, uv, footprint.tf_lod, mode)
-            }
-            FilterMode::TrilinearAfLod => {
-                sample_trilinear_record(tex, uv, footprint.af_lod, mode)
-            }
+            FilterMode::TrilinearTfLod => sample_trilinear_record(tex, uv, footprint.tf_lod, mode),
+            FilterMode::TrilinearAfLod => sample_trilinear_record(tex, uv, footprint.af_lod, mode),
         };
 
         if self.telemetry {
@@ -245,8 +240,8 @@ impl PerceptionAwareTextureUnit {
 
 #[cfg(test)]
 mod tests {
-    use crate::policy::DecisionStage;
     use super::*;
+    use crate::policy::DecisionStage;
     use patu_texture::procedural;
 
     fn texture() -> Texture {
@@ -348,7 +343,11 @@ mod tests {
         let tex = texture();
         let mut unit = PerceptionAwareTextureUnit::new(FilterPolicy::NoAf);
         let _ = unit.filter(&tex, center(), &footprint(8.0), AddressMode::Wrap);
-        assert_eq!(unit.sharing_stats().taps_total, 0, "no AF -> no sharing data");
+        assert_eq!(
+            unit.sharing_stats().taps_total,
+            0,
+            "no AF -> no sharing data"
+        );
 
         let mut base = PerceptionAwareTextureUnit::new(FilterPolicy::Baseline);
         let _ = base.filter(&tex, center(), &footprint(8.0), AddressMode::Wrap);
@@ -408,7 +407,10 @@ mod tests {
 
     #[test]
     fn try_with_faults_validates_everything() {
-        let bad_rate = FaultConfig { cache_bitflip_rate: 2.0, ..FaultConfig::disabled() };
+        let bad_rate = FaultConfig {
+            cache_bitflip_rate: 2.0,
+            ..FaultConfig::disabled()
+        };
         assert!(PerceptionAwareTextureUnit::try_with_faults(
             FilterPolicy::Baseline,
             16,
@@ -417,7 +419,9 @@ mod tests {
         )
         .is_err());
         assert!(PerceptionAwareTextureUnit::try_with_faults(
-            FilterPolicy::Patu { threshold: f64::NAN },
+            FilterPolicy::Patu {
+                threshold: f64::NAN
+            },
             16,
             FaultConfig::disabled(),
             0

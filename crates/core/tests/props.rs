@@ -28,7 +28,10 @@ fn prob_vector(rng: &mut DetRng) -> Vec<f64> {
     let len = rng.range_between(1, 8) as usize;
     let weights: Vec<u32> = (0..len).map(|_| rng.range_between(1, 100) as u32).collect();
     let total: u32 = weights.iter().sum();
-    weights.iter().map(|&w| f64::from(w) / f64::from(total)).collect()
+    weights
+        .iter()
+        .map(|&w| f64::from(w) / f64::from(total))
+        .collect()
 }
 
 fn footprint(texels_x: f32, texels_y: f32) -> Footprint {
@@ -119,10 +122,8 @@ fn policy_monotone_in_threshold() {
         let sets: Vec<Vec<TexelAddress>> =
             (0..fp.n as u64).map(|i| tap_set((i % 3) * 0x100)).collect();
         let mut table = TexelAddressTable::new();
-        let strict = FilterPolicy::Patu { threshold: hi }
-            .decide(&fp, &mut table, || sets.clone());
-        let loose = FilterPolicy::Patu { threshold: lo }
-            .decide(&fp, &mut table, || sets.clone());
+        let strict = FilterPolicy::Patu { threshold: hi }.decide(&fp, &mut table, || sets.clone());
+        let loose = FilterPolicy::Patu { threshold: lo }.decide(&fp, &mut table, || sets.clone());
         if strict.is_approximated() {
             assert!(loose.is_approximated(), "θ={lo} stricter than θ={hi}?");
         }

@@ -173,7 +173,11 @@ mod tests {
     use patu_gpu::EventCounts;
 
     fn stats_with(events: EventCounts, cycles: u64) -> FrameStats {
-        FrameStats { cycles, events, ..FrameStats::default() }
+        FrameStats {
+            cycles,
+            events,
+            ..FrameStats::default()
+        }
     }
 
     #[test]

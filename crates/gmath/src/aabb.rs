@@ -27,7 +27,10 @@ pub struct Aabb2 {
 impl Aabb2 {
     /// Creates a box from two corners (they need not be ordered).
     pub fn new(a: Vec2, b: Vec2) -> Aabb2 {
-        Aabb2 { min: a.min(b), max: a.max(b) }
+        Aabb2 {
+            min: a.min(b),
+            max: a.max(b),
+        }
     }
 
     /// The empty box: grows from nothing, intersects nothing.

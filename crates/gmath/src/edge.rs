@@ -78,7 +78,13 @@ impl EdgeEval {
         if area == 0.0 || !area.is_finite() {
             return None;
         }
-        Some(EdgeEval { a, b, c, area, inv_area: 1.0 / area })
+        Some(EdgeEval {
+            a,
+            b,
+            c,
+            area,
+            inv_area: 1.0 / area,
+        })
     }
 
     /// Signed doubled area (positive for counter-clockwise winding).

@@ -40,7 +40,9 @@ impl Mat4 {
     /// Builds a matrix from four column vectors.
     #[inline]
     pub const fn from_cols(c0: [f32; 4], c1: [f32; 4], c2: [f32; 4], c3: [f32; 4]) -> Mat4 {
-        Mat4 { cols: [c0, c1, c2, c3] }
+        Mat4 {
+            cols: [c0, c1, c2, c3],
+        }
     }
 
     /// Translation by `t`.
@@ -163,7 +165,12 @@ impl Mat4 {
     /// Panics if `r >= 4`.
     #[inline]
     pub fn row(&self, r: usize) -> Vec4 {
-        Vec4::new(self.cols[0][r], self.cols[1][r], self.cols[2][r], self.cols[3][r])
+        Vec4::new(
+            self.cols[0][r],
+            self.cols[1][r],
+            self.cols[2][r],
+            self.cols[3][r],
+        )
     }
 
     /// Returns column `c` as a [`Vec4`].
@@ -245,7 +252,10 @@ mod tests {
     fn translation_moves_points_not_directions() {
         let t = Mat4::translation(Vec3::new(5.0, 0.0, 0.0));
         assert_eq!(t.transform_point(Vec3::ZERO), Vec3::new(5.0, 0.0, 0.0));
-        assert_eq!(t.transform_dir(Vec3::new(0.0, 1.0, 0.0)), Vec3::new(0.0, 1.0, 0.0));
+        assert_eq!(
+            t.transform_dir(Vec3::new(0.0, 1.0, 0.0)),
+            Vec3::new(0.0, 1.0, 0.0)
+        );
     }
 
     #[test]
@@ -310,8 +320,16 @@ mod tests {
         let proj = Mat4::perspective(1.0, 1.0, 1.0, 10.0);
         let near = (proj * Vec4::new(0.0, 0.0, -1.0, 1.0)).perspective_divide();
         let far = (proj * Vec4::new(0.0, 0.0, -10.0, 1.0)).perspective_divide();
-        assert!(approx_eq(near.z, -1.0, 1e-5), "near plane -> z=-1, got {}", near.z);
-        assert!(approx_eq(far.z, 1.0, 1e-5), "far plane -> z=+1, got {}", far.z);
+        assert!(
+            approx_eq(near.z, -1.0, 1e-5),
+            "near plane -> z=-1, got {}",
+            near.z
+        );
+        assert!(
+            approx_eq(far.z, 1.0, 1e-5),
+            "far plane -> z=+1, got {}",
+            far.z
+        );
     }
 
     #[test]

@@ -16,7 +16,14 @@ pub struct Plane {
 impl Plane {
     /// Creates a plane from its four coefficients.
     pub const fn new(a: f32, b: f32, c: f32, d: f32) -> Plane {
-        Plane { coeffs: Vec4 { x: a, y: b, z: c, w: d } }
+        Plane {
+            coeffs: Vec4 {
+                x: a,
+                y: b,
+                z: c,
+                w: d,
+            },
+        }
     }
 
     /// Signed distance-like value; non-negative means inside.

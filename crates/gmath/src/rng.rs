@@ -198,7 +198,10 @@ mod tests {
     fn chance_roughly_calibrated() {
         let mut r = DetRng::new(23);
         let hits = (0..10_000).filter(|_| r.chance(0.25)).count();
-        assert!((2000..3000).contains(&hits), "p=0.25 over 10k draws: {hits}");
+        assert!(
+            (2000..3000).contains(&hits),
+            "p=0.25 over 10k draws: {hits}"
+        );
     }
 
     #[test]

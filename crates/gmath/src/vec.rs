@@ -201,11 +201,23 @@ impl Vec2 {
 
 impl Vec3 {
     /// The zero vector.
-    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
     /// The all-ones vector.
-    pub const ONE: Vec3 = Vec3 { x: 1.0, y: 1.0, z: 1.0 };
+    pub const ONE: Vec3 = Vec3 {
+        x: 1.0,
+        y: 1.0,
+        z: 1.0,
+    };
     /// World up (+Y).
-    pub const UP: Vec3 = Vec3 { x: 0.0, y: 1.0, z: 0.0 };
+    pub const UP: Vec3 = Vec3 {
+        x: 0.0,
+        y: 1.0,
+        z: 0.0,
+    };
 
     /// Creates a vector from components.
     #[inline]
@@ -287,9 +299,19 @@ impl Vec3 {
 
 impl Vec4 {
     /// The zero vector.
-    pub const ZERO: Vec4 = Vec4 { x: 0.0, y: 0.0, z: 0.0, w: 0.0 };
+    pub const ZERO: Vec4 = Vec4 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+        w: 0.0,
+    };
     /// The all-ones vector.
-    pub const ONE: Vec4 = Vec4 { x: 1.0, y: 1.0, z: 1.0, w: 1.0 };
+    pub const ONE: Vec4 = Vec4 {
+        x: 1.0,
+        y: 1.0,
+        z: 1.0,
+        w: 1.0,
+    };
 
     /// Creates a vector from components.
     #[inline]
@@ -300,7 +322,12 @@ impl Vec4 {
     /// Creates a vector with all components equal to `v`.
     #[inline]
     pub const fn splat(v: f32) -> Vec4 {
-        Vec4 { x: v, y: v, z: v, w: v }
+        Vec4 {
+            x: v,
+            y: v,
+            z: v,
+            w: v,
+        }
     }
 
     /// Dot product.

@@ -70,7 +70,12 @@ fn normalized_has_unit_length_or_zero() {
 fn barycentric_weights_sum_to_one() {
     let mut rng = DetRng::new(0x67_05);
     for _ in 0..CASES {
-        let (a, b, c, p) = (vec2(&mut rng), vec2(&mut rng), vec2(&mut rng), vec2(&mut rng));
+        let (a, b, c, p) = (
+            vec2(&mut rng),
+            vec2(&mut rng),
+            vec2(&mut rng),
+            vec2(&mut rng),
+        );
         if let Some((w0, w1, w2)) = barycentric(a, b, c, p) {
             let area = (b - a).cross(c - a).abs();
             // Skip nearly-degenerate triangles where cancellation dominates.
@@ -86,7 +91,12 @@ fn barycentric_weights_sum_to_one() {
 fn barycentric_reconstructs_point() {
     let mut rng = DetRng::new(0x67_06);
     for _ in 0..CASES {
-        let (a, b, c, p) = (vec2(&mut rng), vec2(&mut rng), vec2(&mut rng), vec2(&mut rng));
+        let (a, b, c, p) = (
+            vec2(&mut rng),
+            vec2(&mut rng),
+            vec2(&mut rng),
+            vec2(&mut rng),
+        );
         if let Some((w0, w1, w2)) = barycentric(a, b, c, p) {
             let area = (b - a).cross(c - a).abs();
             // Cancellation error grows with the triangle's conditioning
@@ -105,7 +115,12 @@ fn barycentric_reconstructs_point() {
 fn edge_eval_agrees_with_barycentric() {
     let mut rng = DetRng::new(0x67_07);
     for _ in 0..CASES {
-        let (a, b, c, p) = (vec2(&mut rng), vec2(&mut rng), vec2(&mut rng), vec2(&mut rng));
+        let (a, b, c, p) = (
+            vec2(&mut rng),
+            vec2(&mut rng),
+            vec2(&mut rng),
+            vec2(&mut rng),
+        );
         if let (Some(tri), Some((w0, w1, w2))) = (EdgeEval::new(a, b, c), barycentric(a, b, c, p)) {
             let area = (b - a).cross(c - a).abs();
             let perimeter = (b - a).length() + (c - b).length() + (a - c).length();
@@ -124,7 +139,12 @@ fn edge_eval_agrees_with_barycentric() {
 fn aabb_union_contains_inputs() {
     let mut rng = DetRng::new(0x67_08);
     for _ in 0..CASES {
-        let (a, b, c, d) = (vec2(&mut rng), vec2(&mut rng), vec2(&mut rng), vec2(&mut rng));
+        let (a, b, c, d) = (
+            vec2(&mut rng),
+            vec2(&mut rng),
+            vec2(&mut rng),
+            vec2(&mut rng),
+        );
         let x = Aabb2::new(a, b);
         let y = Aabb2::new(c, d);
         let u = x.union(&y);
@@ -136,7 +156,12 @@ fn aabb_union_contains_inputs() {
 fn aabb_intersection_subset_of_both() {
     let mut rng = DetRng::new(0x67_09);
     for _ in 0..CASES {
-        let (a, b, c, d) = (vec2(&mut rng), vec2(&mut rng), vec2(&mut rng), vec2(&mut rng));
+        let (a, b, c, d) = (
+            vec2(&mut rng),
+            vec2(&mut rng),
+            vec2(&mut rng),
+            vec2(&mut rng),
+        );
         let x = Aabb2::new(a, b);
         let y = Aabb2::new(c, d);
         if let Some(i) = x.intersection(&y) {

@@ -68,12 +68,22 @@ impl Cache {
     /// at least one full set (`ways * line_size`). Use [`Cache::try_new`]
     /// for a non-panicking variant.
     pub fn new(size_bytes: u64, ways: u32, line_size: u64) -> Cache {
-        assert!(size_bytes > 0 && ways > 0 && line_size > 0, "cache parameters must be positive");
+        assert!(
+            size_bytes > 0 && ways > 0 && line_size > 0,
+            "cache parameters must be positive"
+        );
         let num_sets = size_bytes / (u64::from(ways) * line_size);
         assert!(num_sets > 0, "cache too small for its associativity");
         Cache {
             sets: vec![
-                vec![Way { tag: 0, last_used: 0, valid: false }; ways as usize];
+                vec![
+                    Way {
+                        tag: 0,
+                        last_used: 0,
+                        valid: false
+                    };
+                    ways as usize
+                ];
                 num_sets as usize
             ],
             num_sets,
@@ -86,7 +96,11 @@ impl Cache {
     /// Like [`Cache::new`] but reports degenerate geometry as a typed error
     /// instead of panicking.
     pub fn try_new(size_bytes: u64, ways: u32, line_size: u64) -> Result<Cache, crate::GpuError> {
-        let err = crate::GpuError::InvalidCacheGeometry { size_bytes, ways, line_size };
+        let err = crate::GpuError::InvalidCacheGeometry {
+            size_bytes,
+            ways,
+            line_size,
+        };
         if size_bytes == 0 || ways == 0 || line_size == 0 {
             return Err(err);
         }
@@ -122,14 +136,17 @@ impl Cache {
             return true;
         }
 
-        // Miss: fill the LRU (or first invalid) way.
-        let victim = set
+        // Miss: fill the LRU (or first invalid) way. Sets are non-empty by
+        // `try_new`'s geometry validation; if that were ever violated the
+        // miss is still reported, just without a fill.
+        if let Some(victim) = set
             .iter_mut()
             .min_by_key(|w| if w.valid { w.last_used } else { 0 })
-            .expect("cache sets are non-empty");
-        victim.tag = tag;
-        victim.valid = true;
-        victim.last_used = self.clock;
+        {
+            victim.tag = tag;
+            victim.valid = true;
+            victim.last_used = self.clock;
+        }
         false
     }
 
@@ -150,7 +167,10 @@ impl Cache {
         let line = addr.cache_line(self.line_size);
         let set_idx = (line % self.num_sets) as usize;
         let tag = line / self.num_sets;
-        if let Some(way) = self.sets[set_idx].iter_mut().find(|w| w.valid && w.tag == tag) {
+        if let Some(way) = self.sets[set_idx]
+            .iter_mut()
+            .find(|w| w.valid && w.tag == tag)
+        {
             way.valid = false;
             return true;
         }

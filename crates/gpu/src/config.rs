@@ -139,23 +139,29 @@ impl GpuConfig {
     /// harness binary.
     pub fn table1(&self) -> Vec<(&'static str, String)> {
         vec![
-            ("Frequency", format!("{} GHz", self.frequency_hz as f64 / 1e9)),
+            (
+                "Frequency",
+                format!("{} GHz", self.frequency_hz as f64 / 1e9),
+            ),
             ("Number of cluster", self.clusters.to_string()),
-            ("Unified shader per cluster", self.shaders_per_cluster.to_string()),
+            (
+                "Unified shader per cluster",
+                self.shaders_per_cluster.to_string(),
+            ),
             (
                 "Unified shader configuration",
                 format!(
                     "SIMD{}-scale ALUs, {} shader elements, {}x{} tile size",
-                    self.simd_width,
-                    self.clusters,
-                    self.tile_size,
-                    self.tile_size
+                    self.simd_width, self.clusters, self.tile_size, self.tile_size
                 ),
             ),
             ("Number of Texture Units", "1 per cluster".to_string()),
             (
                 "Texture unit configuration",
-                format!("{} address ALUs, {} filtering ALUs", self.address_alus, self.filter_alus),
+                format!(
+                    "{} address ALUs, {} filtering ALUs",
+                    self.address_alus, self.filter_alus
+                ),
             ),
             (
                 "Texture throughput",
@@ -217,7 +223,10 @@ mod tests {
     #[test]
     fn fragments_per_cycle_default() {
         let c = GpuConfig::default();
-        assert!((c.fragments_per_cycle() - 1.0).abs() < 1e-9, "64 lanes / 64 ops");
+        assert!(
+            (c.fragments_per_cycle() - 1.0).abs() < 1e-9,
+            "64 lanes / 64 ops"
+        );
     }
 
     #[test]
@@ -225,7 +234,10 @@ mod tests {
         let full = GpuConfig::default();
         let shard = full.cluster_shard();
         assert_eq!(shard.clusters, 1);
-        assert_eq!(shard.tex_l1_bytes, full.tex_l1_bytes, "L1 is already per-cluster");
+        assert_eq!(
+            shard.tex_l1_bytes, full.tex_l1_bytes,
+            "L1 is already per-cluster"
+        );
         assert_eq!(shard.tex_l2_bytes, full.tex_l2_bytes / 4);
         assert_eq!(shard.dram_channels, 2);
         assert_eq!(shard.dram_bytes_per_cycle, 4);
@@ -237,12 +249,20 @@ mod tests {
 
     #[test]
     fn cluster_shard_clamps_degenerate_shares() {
-        let skinny = GpuConfig { dram_channels: 1, dram_bytes_per_cycle: 1, ..GpuConfig::default() };
+        let skinny = GpuConfig {
+            dram_channels: 1,
+            dram_bytes_per_cycle: 1,
+            ..GpuConfig::default()
+        };
         let shard = skinny.cluster_shard();
         assert_eq!(shard.dram_channels, 1);
         assert!(shard.dram_bytes_per_cycle >= 1);
         // L2 share never drops below one full set.
-        let tiny = GpuConfig { tex_l2_bytes: 1024, tex_l2_ways: 8, ..GpuConfig::default() };
+        let tiny = GpuConfig {
+            tex_l2_bytes: 1024,
+            tex_l2_ways: 8,
+            ..GpuConfig::default()
+        };
         let shard = tiny.cluster_shard();
         assert_eq!(shard.tex_l2_bytes, 64 * 8);
     }
@@ -251,6 +271,8 @@ mod tests {
     fn table1_has_all_rows() {
         let rows = GpuConfig::default().table1();
         assert_eq!(rows.len(), 10);
-        assert!(rows.iter().any(|(k, v)| *k == "Texture L1 cache" && v.contains("16KB")));
+        assert!(rows
+            .iter()
+            .any(|(k, v)| *k == "Texture L1 cache" && v.contains("16KB")));
     }
 }

@@ -84,7 +84,11 @@ impl Dram {
         let row_hit = bank.open_row == Some(row);
         bank.open_row = Some(row);
 
-        let access_cycles = if row_hit { self.row_hit_cycles } else { self.row_miss_cycles };
+        let access_cycles = if row_hit {
+            self.row_hit_cycles
+        } else {
+            self.row_miss_cycles
+        };
 
         // Only the data transfer occupies the channel bus; bank activation
         // (RAS/CAS) pipelines under other banks' transfers, so back-to-back
@@ -123,8 +127,7 @@ impl Dram {
         for b in 0..self.banks_per_channel {
             self.banks[(base + b) as usize].open_row = None;
         }
-        self.stats.busiest_channel_cycles =
-            self.stats.busiest_channel_cycles.max(busy);
+        self.stats.busiest_channel_cycles = self.stats.busiest_channel_cycles.max(busy);
     }
 
     /// Accumulated statistics.
@@ -180,7 +183,10 @@ mod tests {
         let l1 = d.read(TexelAddress::new(0), 0);
         // Immediately issue another read to the same channel.
         let l2 = d.read(TexelAddress::new(8 * 64), 0);
-        assert!(l2 > l1 || l2 >= d.transfer_cycles, "second read waits for the bus");
+        assert!(
+            l2 > l1 || l2 >= d.transfer_cycles,
+            "second read waits for the bus"
+        );
     }
 
     #[test]
@@ -188,7 +194,7 @@ mod tests {
         let mut d = dram();
         let l1 = d.read(TexelAddress::new(0), 0); // channel 0
         let l2 = d.read(TexelAddress::new(64), 0); // channel 1
-        // Both cold row misses with idle channels: identical latency.
+                                                   // Both cold row misses with idle channels: identical latency.
         assert_eq!(l1, l2);
     }
 
@@ -208,7 +214,10 @@ mod tests {
         d.inject_stall(TexelAddress::new(0), 5_000, 0);
         let stalled = d.read(TexelAddress::new(0), 0); // channel 0: queued
         let other = d.read(TexelAddress::new(64), 0); // channel 1: free
-        assert!(stalled >= clean + 5_000, "stall adds latency: {stalled} vs {clean}");
+        assert!(
+            stalled >= clean + 5_000,
+            "stall adds latency: {stalled} vs {clean}"
+        );
         assert_eq!(other, clean, "other channels unaffected");
         assert_eq!(d.stats().reads, 2, "stalls are not reads");
         assert_eq!(d.stats().bytes, 128, "accounting invariant holds");

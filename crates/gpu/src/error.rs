@@ -38,7 +38,11 @@ pub enum GpuError {
 impl fmt::Display for GpuError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            GpuError::InvalidCacheGeometry { size_bytes, ways, line_size } => write!(
+            GpuError::InvalidCacheGeometry {
+                size_bytes,
+                ways,
+                line_size,
+            } => write!(
                 f,
                 "invalid cache geometry: {size_bytes} bytes, {ways} ways, \
                  {line_size}-byte lines (need positive parameters and at \
@@ -62,18 +66,30 @@ mod tests {
 
     #[test]
     fn messages_name_the_problem() {
-        let e = GpuError::InvalidCacheGeometry { size_bytes: 64, ways: 4, line_size: 64 };
+        let e = GpuError::InvalidCacheGeometry {
+            size_bytes: 64,
+            ways: 4,
+            line_size: 64,
+        };
         assert!(e.to_string().contains("cache geometry"));
-        let e = GpuError::ClusterOutOfRange { cluster: 9, clusters: 4 };
+        let e = GpuError::ClusterOutOfRange {
+            cluster: 9,
+            clusters: 4,
+        };
         assert!(e.to_string().contains("cluster 9"));
-        let e = GpuError::InvalidFaultRate { name: "cache_bitflip_rate", value: 2.0 };
+        let e = GpuError::InvalidFaultRate {
+            name: "cache_bitflip_rate",
+            value: 2.0,
+        };
         assert!(e.to_string().contains("cache_bitflip_rate"));
     }
 
     #[test]
     fn implements_error_trait() {
-        let e: Box<dyn std::error::Error> =
-            Box::new(GpuError::ClusterOutOfRange { cluster: 1, clusters: 1 });
+        let e: Box<dyn std::error::Error> = Box::new(GpuError::ClusterOutOfRange {
+            cluster: 1,
+            clusters: 1,
+        });
         assert!(!e.to_string().is_empty());
     }
 }

@@ -137,8 +137,12 @@ impl FaultCounts {
         FaultCounts {
             cache_bitflips: self.cache_bitflips.saturating_sub(since.cache_bitflips),
             dram_stalls: self.dram_stalls.saturating_sub(since.dram_stalls),
-            table_corruptions: self.table_corruptions.saturating_sub(since.table_corruptions),
-            predictor_poisons: self.predictor_poisons.saturating_sub(since.predictor_poisons),
+            table_corruptions: self
+                .table_corruptions
+                .saturating_sub(since.table_corruptions),
+            predictor_poisons: self
+                .predictor_poisons
+                .saturating_sub(since.predictor_poisons),
             fallbacks: self.fallbacks.saturating_sub(since.fallbacks),
             watchdog_trips: self.watchdog_trips.saturating_sub(since.watchdog_trips),
         }
@@ -185,7 +189,11 @@ pub struct FaultInjector {
 impl FaultInjector {
     /// Creates an injector from a (validated or trusted) configuration.
     pub fn new(cfg: FaultConfig) -> FaultInjector {
-        FaultInjector { cfg, rng: DetRng::new(cfg.seed), counts: FaultCounts::default() }
+        FaultInjector {
+            cfg,
+            rng: DetRng::new(cfg.seed),
+            counts: FaultCounts::default(),
+        }
     }
 
     /// An injector that never fires and never draws randomness.
@@ -301,7 +309,11 @@ mod tests {
 
     #[test]
     fn delta_and_sites_expose_per_tile_increments() {
-        let before = FaultCounts { cache_bitflips: 3, dram_stalls: 1, ..FaultCounts::default() };
+        let before = FaultCounts {
+            cache_bitflips: 3,
+            dram_stalls: 1,
+            ..FaultCounts::default()
+        };
         let after = FaultCounts {
             cache_bitflips: 5,
             dram_stalls: 1,
@@ -387,8 +399,16 @@ mod tests {
 
     #[test]
     fn counts_accumulate() {
-        let mut a = FaultCounts { cache_bitflips: 1, fallbacks: 2, ..FaultCounts::default() };
-        let b = FaultCounts { cache_bitflips: 3, watchdog_trips: 1, ..FaultCounts::default() };
+        let mut a = FaultCounts {
+            cache_bitflips: 1,
+            fallbacks: 2,
+            ..FaultCounts::default()
+        };
+        let b = FaultCounts {
+            cache_bitflips: 3,
+            watchdog_trips: 1,
+            ..FaultCounts::default()
+        };
         a.accumulate(&b);
         assert_eq!(a.cache_bitflips, 4);
         assert_eq!(a.fallbacks, 2);

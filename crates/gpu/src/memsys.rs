@@ -57,6 +57,7 @@ impl MemorySystem {
     /// Panics on degenerate cache geometry; use [`MemorySystem::try_new`]
     /// for a non-panicking variant.
     pub fn new(cfg: &GpuConfig) -> MemorySystem {
+        // patu-lint: allow(panic-path) — documented panicking convenience for tests; library paths use try_new
         MemorySystem::try_new(cfg).expect("valid cache geometry")
     }
 
@@ -204,7 +205,8 @@ impl MemorySystem {
         }
         self.events.dram_reads += 1;
         self.events.dram_bytes += self.line_size;
-        self.bandwidth.add(TrafficClass::TextureFetch, self.line_size);
+        self.bandwidth
+            .add(TrafficClass::TextureFetch, self.line_size);
         (
             self.l1_hit_cycles + self.l2_hit_cycles + dram_latency,
             FetchLevel::Dram,
@@ -330,7 +332,10 @@ mod tests {
         assert_eq!(e.l2_accesses, e.l1_misses);
         assert_eq!(e.dram_reads, e.l2_misses);
         assert_eq!(e.dram_bytes, e.dram_reads * 64, "bytes == reads * line");
-        assert!(m.fault_counts().faults_injected() > 0, "faults actually fired");
+        assert!(
+            m.fault_counts().faults_injected() > 0,
+            "faults actually fired"
+        );
     }
 
     #[test]
@@ -364,7 +369,8 @@ mod tests {
     fn cluster_forks_draw_distinct_deterministic_streams() {
         let run = |cluster: u64| {
             let mut m = MemorySystem::new(&GpuConfig::default().cluster_shard());
-            m.set_cluster_faults(FaultConfig::uniform(9, 0.1), cluster).unwrap();
+            m.set_cluster_faults(FaultConfig::uniform(9, 0.1), cluster)
+                .unwrap();
             for i in 0..1_000u64 {
                 let _ = m.fetch_texel(0, TexelAddress::new((i % 200) * 48), i * 2);
             }
@@ -376,21 +382,30 @@ mod tests {
         assert_eq!(f0, f0_again);
         let (_, f1) = run(1);
         assert!(f0.faults_injected() > 0 && f1.faults_injected() > 0);
-        assert_ne!((f0.cache_bitflips, f0.dram_stalls), (f1.cache_bitflips, f1.dram_stalls),
-            "different cluster tags decorrelate");
+        assert_ne!(
+            (f0.cache_bitflips, f0.dram_stalls),
+            (f1.cache_bitflips, f1.dram_stalls),
+            "different cluster tags decorrelate"
+        );
     }
 
     #[test]
     fn cluster_faults_reject_bad_rates() {
         let mut m = mem();
-        let bad = FaultConfig { cache_bitflip_rate: -0.5, ..FaultConfig::disabled() };
+        let bad = FaultConfig {
+            cache_bitflip_rate: -0.5,
+            ..FaultConfig::disabled()
+        };
         assert!(m.set_cluster_faults(bad, 2).is_err());
     }
 
     #[test]
     fn set_faults_rejects_bad_rates() {
         let mut m = mem();
-        let bad = FaultConfig { dram_stall_rate: 7.0, ..FaultConfig::disabled() };
+        let bad = FaultConfig {
+            dram_stall_rate: 7.0,
+            ..FaultConfig::disabled()
+        };
         assert!(m.set_faults(bad).is_err());
     }
 
@@ -412,7 +427,10 @@ mod tests {
 
     #[test]
     fn try_new_rejects_degenerate_config() {
-        let cfg = GpuConfig { tex_l1_bytes: 1, ..GpuConfig::default() };
+        let cfg = GpuConfig {
+            tex_l1_bytes: 1,
+            ..GpuConfig::default()
+        };
         assert!(MemorySystem::try_new(&cfg).is_err());
     }
 

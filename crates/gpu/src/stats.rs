@@ -264,7 +264,8 @@ impl FrameStats {
         self.cycles += other.cycles;
         self.filter_latency_cycles += other.filter_latency_cycles;
         self.filter_requests += other.filter_requests;
-        self.filter_latency_hist.accumulate(&other.filter_latency_hist);
+        self.filter_latency_hist
+            .accumulate(&other.filter_latency_hist);
         self.bandwidth.accumulate(&other.bandwidth);
         self.events.accumulate(&other.events);
         self.faults.accumulate(&other.faults);
@@ -284,7 +285,10 @@ mod tests {
         a.accumulate(&b);
         assert_eq!(a.bandwidth.vertex, 100);
         assert_eq!(a.bandwidth.framebuffer, 50);
-        assert_eq!(a.events.dram_bytes, 150, "record_traffic also counts DRAM bytes");
+        assert_eq!(
+            a.events.dram_bytes, 150,
+            "record_traffic also counts DRAM bytes"
+        );
     }
 
     #[test]
@@ -343,20 +347,34 @@ mod tests {
         let mut merged = FrameStats::default();
         merged.accumulate(&s);
         merged.accumulate(&s);
-        assert_eq!(merged.filter_latency_hist.count(), 200, "hist merges on accumulate");
+        assert_eq!(
+            merged.filter_latency_hist.count(),
+            200,
+            "hist merges on accumulate"
+        );
         assert_eq!(merged.filter_latency_p50(), 1);
     }
 
     #[test]
     fn fps_at_one_ghz() {
-        let s = FrameStats { cycles: 20_000_000, ..FrameStats::default() };
+        let s = FrameStats {
+            cycles: 20_000_000,
+            ..FrameStats::default()
+        };
         assert!((s.fps(1_000_000_000) - 50.0).abs() < 1e-9);
     }
 
     #[test]
     fn event_counts_accumulate() {
-        let mut a = EventCounts { trilinear_ops: 3, ..EventCounts::default() };
-        let b = EventCounts { trilinear_ops: 4, l1_accesses: 10, ..EventCounts::default() };
+        let mut a = EventCounts {
+            trilinear_ops: 3,
+            ..EventCounts::default()
+        };
+        let b = EventCounts {
+            trilinear_ops: 4,
+            l1_accesses: 10,
+            ..EventCounts::default()
+        };
         a.accumulate(&b);
         assert_eq!(a.trilinear_ops, 7);
         assert_eq!(a.l1_accesses, 10);

@@ -152,7 +152,10 @@ impl TextureUnit {
         let completion = (start + latency).max(self.last_completion);
         self.last_completion = completion;
 
-        RequestTiming { latency: completion - now, completion }
+        RequestTiming {
+            latency: completion - now,
+            completion,
+        }
     }
 
     /// Cycle at which the pipeline can accept the next request.

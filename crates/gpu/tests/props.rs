@@ -122,7 +122,11 @@ fn texture_unit_latency_scales_with_taps() {
         let mut tu = TextureUnit::new(0, &cfg);
         let mut mem = MemorySystem::new(&cfg);
         let taps: Vec<Vec<TexelAddress>> = (0..n)
-            .map(|i| (0..8).map(|j| TexelAddress::new((i * 64 + j * 4) as u64)).collect())
+            .map(|i| {
+                (0..8)
+                    .map(|j| TexelAddress::new((i * 64 + j * 4) as u64))
+                    .collect()
+            })
             .collect();
         let req = TextureRequest::new(taps);
         let t = tu.process(&req, &mut mem, 0);
@@ -160,8 +164,9 @@ fn shading_cycles_linear_bounds() {
     for _ in 0..512 {
         let frags = rng.range(1_000_000);
         let cycles = timer.shading_cycles(frags);
-        if let Some(per_cycle) =
-            lanes.checked_div(u64::from(cfg.shader_ops_per_fragment)).filter(|&p| p > 0)
+        if let Some(per_cycle) = lanes
+            .checked_div(u64::from(cfg.shader_ops_per_fragment))
+            .filter(|&p| p > 0)
         {
             assert!(cycles >= frags / per_cycle);
             assert!(cycles <= frags / per_cycle + 1);

@@ -1,0 +1,102 @@
+//! Lint diagnostics and their human/JSON renderings.
+
+/// One lint finding, anchored to a repo-relative `file:line`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule id (see [`crate::rules::RULES`]).
+    pub rule: &'static str,
+    /// Repo-relative path, forward slashes.
+    pub path: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// What was found and what to do instead.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// `path:line: [rule] message` — the clickable one-line form.
+    pub fn human(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            ch if (ch as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", ch as u32));
+            }
+            ch => out.push(ch),
+        }
+    }
+    out
+}
+
+/// Serializes diagnostics as a JSON document (hand-rolled; the linter is
+/// zero-dependency by design). Integers and escaped strings only, so the
+/// output needs no float handling.
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"tool\": \"patu-lint\",\n");
+    out.push_str(&format!("  \"violations\": {},\n", diags.len()));
+    out.push_str("  \"diagnostics\": [\n");
+    for (i, d) in diags.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\"}}{}\n",
+            escape(d.rule),
+            escape(&d.path),
+            d.line,
+            escape(&d.message),
+            if i + 1 < diags.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_form_is_clickable() {
+        let d = Diagnostic {
+            rule: "panic-path",
+            path: "crates/gpu/src/cache.rs".to_string(),
+            line: 129,
+            message: "`.expect()` in library code".to_string(),
+        };
+        assert_eq!(
+            d.human(),
+            "crates/gpu/src/cache.rs:129: [panic-path] `.expect()` in library code"
+        );
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let d = Diagnostic {
+            rule: "float-fmt",
+            path: "a/b.rs".to_string(),
+            line: 7,
+            message: "raw \"{:.1}\" in JSON".to_string(),
+        };
+        let json = to_json(&[d]);
+        assert!(json.contains("\"violations\": 1"));
+        assert!(json.contains("raw \\\"{:.1}\\\" in JSON"));
+    }
+
+    #[test]
+    fn empty_report_is_valid() {
+        let json = to_json(&[]);
+        assert!(json.contains("\"violations\": 0"));
+        assert!(json.contains("\"diagnostics\": [\n  ]"));
+    }
+}

@@ -1,0 +1,103 @@
+//! `patu-lint` — the workspace invariant checker.
+//!
+//! PRs 1–3 established three promises that ordinary tests can only probe
+//! after the fact: simulator output is bit-identical across `PATU_THREADS`
+//! settings, library crates report typed errors instead of panicking, and
+//! telemetry reduces to a single gated branch when `PATU_TRACE=off`. This
+//! crate enforces those promises *statically*: a small token-level Rust
+//! lexer (comment-, string- and attribute-aware — no `syn`, no external
+//! dependencies at all) feeds a rule engine that walks every `.rs` file and
+//! `Cargo.toml` in the workspace and reports `file:line` diagnostics.
+//!
+//! The rules (see [`rules::RULES`] for the machine-readable table):
+//!
+//! | id             | invariant                                                            |
+//! |----------------|----------------------------------------------------------------------|
+//! | `wall-clock`   | no `Instant`/`SystemTime` outside `patu_bench::micro`                |
+//! | `thread-spawn` | no `std::thread::{spawn,scope}` outside `patu_sim::parallel`         |
+//! | `panic-path`   | no `unwrap`/`expect`/`panic!`/`unreachable!` in non-test library code|
+//! | `hash-order`   | no `HashMap`/`HashSet` in non-test library code (`BTreeMap` instead) |
+//! | `env-var`      | no `std::env::var` outside the `PATU_THREADS`/`PATU_TRACE` readers   |
+//! | `float-fmt`    | floats enter JSON via `patu_obs::json::{num,num_fixed}`, never `{:.N}`|
+//! | `unsafe-code`  | `unsafe` forbidden workspace-wide; every lib root carries the forbid |
+//! | `extern-dep`   | every `Cargo.toml` dependency is a `path` dependency (offline/0-dep) |
+//!
+//! Scoping: library-crate sources are checked strictly; `crates/bench`,
+//! `crates/lint` test fixtures, `tests/`, `benches/`, `examples/` and
+//! `src/bin/` targets are relaxed (panic/hash/env rules off, determinism
+//! rules still on). `#[cfg(test)]` regions inside library crates are
+//! relaxed the same way. A violation that is genuinely unreachable can be
+//! suppressed inline with a reasoned pragma:
+//!
+//! ```text
+//! // patu-lint: allow(panic-path) — worker panics must propagate verbatim
+//! ```
+//!
+//! A pragma without a reason, or naming an unknown rule, is itself a
+//! diagnostic (`bad-pragma`).
+//!
+//! Run it as `cargo run -p patu-lint --release -- --format json`; exit code
+//! 0 means the workspace is clean, 1 means violations, 2 means I/O failure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod lexer;
+pub mod manifest;
+pub mod rules;
+pub mod scope;
+pub mod walk;
+
+use std::path::Path;
+
+pub use diag::{to_json, Diagnostic};
+
+/// A failure of the linter itself (not a lint finding): unreadable file,
+/// missing root, and the like.
+#[derive(Debug)]
+pub struct LintError {
+    /// What the linter was doing when it failed.
+    pub context: String,
+    /// The underlying I/O error.
+    pub source: std::io::Error,
+}
+
+impl std::fmt::Display for LintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.context, self.source)
+    }
+}
+
+impl std::error::Error for LintError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// Lints every `.rs` and `Cargo.toml` under `root` (skipping `target/`,
+/// `out/`, `.git/` and lint-fixture directories), returning all diagnostics
+/// in deterministic path-then-line order.
+///
+/// # Errors
+///
+/// Returns [`LintError`] when the tree cannot be walked or a file cannot be
+/// read — never for lint findings, which are data, not errors.
+pub fn run(root: &Path) -> Result<Vec<Diagnostic>, LintError> {
+    let files = walk::workspace_files(root)?;
+    let mut diags = Vec::new();
+    for rel in &files {
+        let full = root.join(rel);
+        let src = std::fs::read_to_string(&full).map_err(|source| LintError {
+            context: format!("reading {}", full.display()),
+            source,
+        })?;
+        if rel.ends_with("Cargo.toml") {
+            diags.extend(manifest::lint_manifest(rel, &src));
+        } else {
+            diags.extend(rules::lint_source(rel, &src));
+        }
+    }
+    diags.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(diags)
+}

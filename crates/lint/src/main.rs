@@ -1,0 +1,93 @@
+//! The `patu-lint` command: walk the workspace, print diagnostics, exit
+//! nonzero when invariants are violated.
+//!
+//! ```text
+//! cargo run -p patu-lint --release -- [--format human|json] [--root <dir>]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O failure.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: patu-lint [--format human|json] [--root <dir>] [--rules]\n\
+                     \n\
+                     Statically checks the PATU workspace invariants:\n\
+                     determinism (wall-clock, thread-spawn, hash-order, env-var),\n\
+                     error hygiene (panic-path), telemetry/JSON hygiene (float-fmt),\n\
+                     memory safety (unsafe-code) and the offline guarantee (extern-dep).";
+
+enum Format {
+    Human,
+    Json,
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("patu-lint: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut format = Format::Human;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => match args.next().as_deref() {
+                Some("human") => format = Format::Human,
+                Some("json") => format = Format::Json,
+                other => {
+                    return fail(&format!("--format expects human|json, got {other:?}"));
+                }
+            },
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return fail("--root expects a directory"),
+            },
+            "--rules" => {
+                for rule in patu_lint::rules::RULES {
+                    println!("{:<12} {}", rule.id, rule.invariant);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return fail(&format!("unknown argument {other:?}")),
+        }
+    }
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..")
+    });
+
+    let diags = match patu_lint::run(&root) {
+        Ok(diags) => diags,
+        Err(e) => {
+            eprintln!("patu-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match format {
+        Format::Json => print!("{}", patu_lint::to_json(&diags)),
+        Format::Human => {
+            for d in &diags {
+                println!("{}", d.human());
+            }
+            if diags.is_empty() {
+                println!("patu-lint: workspace clean");
+            } else {
+                println!("patu-lint: {} violation(s)", diags.len());
+            }
+        }
+    }
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

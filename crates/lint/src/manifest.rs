@@ -1,0 +1,225 @@
+//! `Cargo.toml` scanning for the `extern-dep` rule: the workspace's
+//! offline/zero-dependency guarantee means every dependency in every
+//! manifest must be a `path` (or workspace-inherited path) dependency.
+//!
+//! This is a line-oriented scan, not a TOML parser — the dependency tables
+//! this workspace allows are simple enough that section headers plus
+//! `key = value` lines cover them exactly, and a parser would be the kind
+//! of dependency this rule exists to forbid.
+
+use crate::diag::Diagnostic;
+use crate::lexer;
+
+const DEP_SECTIONS: &[&str] = &["dependencies", "dev-dependencies", "build-dependencies"];
+
+/// Strips a trailing `# comment`, honoring basic and literal strings, and
+/// returns `(code, comment)`.
+fn split_comment(line: &str) -> (&str, Option<&str>) {
+    let mut in_basic = false;
+    let mut in_literal = false;
+    for (i, ch) in line.char_indices() {
+        match ch {
+            '"' if !in_literal => in_basic = !in_basic,
+            '\'' if !in_basic => in_literal = !in_literal,
+            '#' if !in_basic && !in_literal => {
+                return (&line[..i], Some(&line[i + 1..]));
+            }
+            _ => {}
+        }
+    }
+    (line, None)
+}
+
+fn dep_segment_index(section: &[String]) -> Option<usize> {
+    section
+        .iter()
+        .position(|s| DEP_SECTIONS.contains(&s.as_str()))
+}
+
+fn extern_dep(rel_path: &str, line: u32, name: &str) -> Diagnostic {
+    Diagnostic {
+        rule: "extern-dep",
+        path: rel_path.to_string(),
+        line,
+        message: format!(
+            "external (non-path) dependency `{name}` — the workspace builds offline \
+             with zero external crates; use a path dependency or drop it"
+        ),
+    }
+}
+
+/// Lints one manifest. Suppression works like in Rust sources, with TOML
+/// comment syntax: `# patu-lint: allow(extern-dep) — <reason>` on the same
+/// line or the line above.
+pub fn lint_manifest(rel_path: &str, src: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    // Pass 1: pragmas (and their own validity).
+    let mut suppressed: Vec<u32> = Vec::new();
+    for (idx, raw_line) in src.lines().enumerate() {
+        let line_no = idx as u32 + 1;
+        let (_, comment) = split_comment(raw_line);
+        let Some(comment) = comment else { continue };
+        let Some(pragma) = lexer::parse_comment_pragma(comment, line_no) else {
+            continue;
+        };
+        if !pragma.well_formed {
+            out.push(Diagnostic {
+                rule: "bad-pragma",
+                path: rel_path.to_string(),
+                line: line_no,
+                message: format!(
+                    "unrecognized pragma — expected `{} allow(<rule>) — <reason>`",
+                    lexer::PRAGMA_MARKER
+                ),
+            });
+            continue;
+        }
+        if !pragma.has_reason {
+            out.push(Diagnostic {
+                rule: "bad-pragma",
+                path: rel_path.to_string(),
+                line: line_no,
+                message: "suppression pragma needs a reason after `allow(...)`".to_string(),
+            });
+            continue;
+        }
+        for rule in &pragma.rules {
+            if !crate::rules::is_known_rule(rule) {
+                out.push(Diagnostic {
+                    rule: "bad-pragma",
+                    path: rel_path.to_string(),
+                    line: line_no,
+                    message: format!("unknown rule `{rule}` in allow(...)"),
+                });
+            } else if rule == "extern-dep" {
+                suppressed.push(line_no);
+                suppressed.push(line_no + 1);
+            }
+        }
+    }
+
+    // Pass 2: dependency sections.
+    let mut section: Vec<String> = Vec::new();
+    // An open `[dependencies.<name>]` subtable: (header line, name, has path).
+    let mut subtable: Option<(u32, String, bool)> = None;
+    let close_subtable = |sub: &mut Option<(u32, String, bool)>, out: &mut Vec<Diagnostic>| {
+        if let Some((line, name, ok)) = sub.take() {
+            if !ok && !suppressed.contains(&line) {
+                out.push(extern_dep(rel_path, line, &name));
+            }
+        }
+    };
+
+    for (idx, raw_line) in src.lines().enumerate() {
+        let line_no = idx as u32 + 1;
+        let (code, _) = split_comment(raw_line);
+        let t = code.trim();
+        if t.is_empty() {
+            continue;
+        }
+        if t.starts_with('[') {
+            close_subtable(&mut subtable, &mut out);
+            let name = t.trim_matches(['[', ']']).trim();
+            section = name
+                .split('.')
+                .map(|s| s.trim().trim_matches(['"', '\'']).to_string())
+                .collect();
+            if let Some(pos) = dep_segment_index(&section) {
+                if pos + 1 < section.len() {
+                    let dep = section[pos + 1..].join(".");
+                    subtable = Some((line_no, dep, false));
+                }
+            }
+            continue;
+        }
+        if dep_segment_index(&section).is_none() {
+            continue;
+        }
+        let Some((key, value)) = t.split_once('=') else {
+            continue;
+        };
+        let (key, value) = (key.trim(), value.trim());
+        if let Some(sub) = &mut subtable {
+            if key == "path" || (key == "workspace" && value.starts_with("true")) {
+                sub.2 = true;
+            }
+            continue;
+        }
+        let ok = (value.contains('{') && (value.contains("path") || value.contains("workspace")))
+            || key.ends_with(".workspace") && value.starts_with("true");
+        if !ok && !suppressed.contains(&line_no) {
+            out.push(extern_dep(rel_path, line_no, key));
+        }
+    }
+    close_subtable(&mut subtable, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const M: &str = "crates/fake/Cargo.toml";
+
+    fn rules_hit(src: &str) -> Vec<(&'static str, u32)> {
+        lint_manifest(M, src)
+            .into_iter()
+            .map(|d| (d.rule, d.line))
+            .collect()
+    }
+
+    #[test]
+    fn path_and_workspace_deps_pass() {
+        let src = "[package]\nname = \"x\"\nversion = \"0.1.0\"\n\n[dependencies]\n\
+                   patu-obs = { workspace = true }\n\
+                   patu-gpu = { path = \"../gpu\" }\npatu-core.workspace = true\n";
+        assert!(rules_hit(src).is_empty());
+    }
+
+    #[test]
+    fn versioned_git_and_registry_deps_fail() {
+        let src = "[dependencies]\nserde = \"1.0\"\n\
+                   rand = { version = \"0.8\", features = [\"small_rng\"] }\n\
+                   syn = { git = \"https://github.com/dtolnay/syn\" }\n";
+        assert_eq!(
+            rules_hit(src),
+            vec![("extern-dep", 2), ("extern-dep", 3), ("extern-dep", 4)]
+        );
+    }
+
+    #[test]
+    fn dep_subtables_need_a_path() {
+        let good = "[dependencies.patu-obs]\npath = \"../obs\"\n";
+        assert!(rules_hit(good).is_empty());
+        let bad = "[dependencies.serde]\nversion = \"1.0\"\nfeatures = [\"derive\"]\n";
+        assert_eq!(rules_hit(bad), vec![("extern-dep", 1)]);
+    }
+
+    #[test]
+    fn dev_and_build_dependencies_are_covered() {
+        let src = "[dev-dependencies]\nproptest = \"1\"\n\n[build-dependencies]\ncc = \"1\"\n";
+        assert_eq!(rules_hit(src), vec![("extern-dep", 2), ("extern-dep", 5)]);
+    }
+
+    #[test]
+    fn package_metadata_is_not_a_dependency() {
+        let src = "[package]\nversion = \"0.1.0\"\nedition = \"2021\"\n\n[[bench]]\nname = \"x\"\nharness = false\n";
+        assert!(rules_hit(src).is_empty());
+    }
+
+    #[test]
+    fn toml_pragma_suppresses_with_reason() {
+        let src = "[dependencies]\n\
+                   # patu-lint: allow(extern-dep) — vendored locally in CI image\n\
+                   weird = \"1.0\"\n\
+                   other = \"1.0\"\n";
+        assert_eq!(rules_hit(src), vec![("extern-dep", 4)]);
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_confuse_sections() {
+        let src = "[dependencies] # serde = \"1.0\"\npatu-obs = { path = \"../obs\" } # not rand = \"0.8\"\n";
+        assert!(rules_hit(src).is_empty());
+    }
+}

@@ -1,0 +1,573 @@
+//! The rule engine: token-sequence matching for the workspace invariants,
+//! `#[cfg(test)]`-region detection, and suppression-pragma application.
+
+use crate::diag::Diagnostic;
+use crate::lexer::{self, Lexed, Tok, TokKind};
+use crate::scope::{self, Strictness};
+
+/// One row of the rule table (also rendered in DESIGN.md §10).
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Stable rule id, used in diagnostics and `allow(...)` pragmas.
+    pub id: &'static str,
+    /// The invariant the rule enforces.
+    pub invariant: &'static str,
+    /// Whether the rule only applies to strict (library) non-test code.
+    pub strict_only: bool,
+}
+
+/// Every rule `patu-lint` knows, in diagnostic order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "wall-clock",
+        invariant: "no Instant/SystemTime outside patu_bench::micro — simulated \
+                    cycles are the only clock, so reruns are bit-identical",
+        strict_only: false,
+    },
+    RuleInfo {
+        id: "thread-spawn",
+        invariant: "no std::thread::{spawn,scope} outside patu_sim::parallel — \
+                    all concurrency goes through the deterministic task runner",
+        strict_only: false,
+    },
+    RuleInfo {
+        id: "panic-path",
+        invariant: "no unwrap/expect/panic!/unreachable!/todo!/unimplemented! in \
+                    non-test library code — errors are typed end-to-end",
+        strict_only: true,
+    },
+    RuleInfo {
+        id: "hash-order",
+        invariant: "no HashMap/HashSet in non-test library code — iteration \
+                    order must be deterministic (BTreeMap, or sort + allow)",
+        strict_only: true,
+    },
+    RuleInfo {
+        id: "env-var",
+        invariant: "no std::env::var outside the PATU_THREADS/PATU_TRACE \
+                    config entry points — ambient state is read exactly once",
+        strict_only: true,
+    },
+    RuleInfo {
+        id: "float-fmt",
+        invariant: "floats enter JSON through patu_obs::json::{num,num_fixed} \
+                    (null-safe), never a raw {:.N} format spec",
+        strict_only: false,
+    },
+    RuleInfo {
+        id: "unsafe-code",
+        invariant: "unsafe is forbidden workspace-wide, and every library \
+                    crate root carries #![forbid(unsafe_code)]",
+        strict_only: false,
+    },
+    RuleInfo {
+        id: "extern-dep",
+        invariant: "every Cargo.toml dependency is a path dependency — the \
+                    workspace builds offline with zero external crates",
+        strict_only: false,
+    },
+];
+
+/// Files exempt from a rule because they *are* the sanctioned entry point.
+fn allowed_files(rule: &str) -> &'static [&'static str] {
+    match rule {
+        "wall-clock" => &["crates/bench/src/micro.rs"],
+        "thread-spawn" => &["crates/sim/src/parallel.rs"],
+        "env-var" => &[
+            "crates/sim/src/parallel.rs",
+            "crates/quality/src/par.rs",
+            "crates/obs/src/config.rs",
+        ],
+        "float-fmt" => &["crates/obs/src/json.rs"],
+        _ => &[],
+    }
+}
+
+/// Whether `id` names a known rule (valid inside `allow(...)`).
+pub fn is_known_rule(id: &str) -> bool {
+    RULES.iter().any(|r| r.id == id)
+}
+
+fn punct_at(toks: &[Tok], i: usize, ch: char) -> bool {
+    toks.get(i).is_some_and(|t| {
+        t.kind == TokKind::Punct && t.text.len() == ch.len_utf8() && t.text.starts_with(ch)
+    })
+}
+
+fn ident_at(toks: &[Tok], i: usize) -> Option<&str> {
+    match toks.get(i) {
+        Some(t) if t.kind == TokKind::Ident => Some(&t.text),
+        _ => None,
+    }
+}
+
+/// Marks every token inside a `#[cfg(test)]`-gated item (or after an inner
+/// `#![cfg(test)]`) as test code, where the strict-only rules do not apply.
+fn test_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        if !punct_at(toks, i, '#') {
+            i += 1;
+            continue;
+        }
+        let inner = punct_at(toks, i + 1, '!');
+        let open = i + 1 + usize::from(inner);
+        if !punct_at(toks, open, '[') {
+            i += 1;
+            continue;
+        }
+        // Scan the attribute body to its matching `]`.
+        let mut j = open + 1;
+        let mut depth = 1usize;
+        let mut saw_cfg = false;
+        let mut saw_test = false;
+        while j < toks.len() && depth > 0 {
+            if punct_at(toks, j, '[') {
+                depth += 1;
+            } else if punct_at(toks, j, ']') {
+                depth -= 1;
+            } else if let Some(id) = ident_at(toks, j) {
+                if id == "cfg" {
+                    saw_cfg = true;
+                } else if id == "test" {
+                    saw_test = true;
+                }
+            }
+            j += 1;
+        }
+        if !(saw_cfg && saw_test) {
+            i = j;
+            continue;
+        }
+        if inner {
+            // `#![cfg(test)]`: the whole enclosing file is test-only.
+            for m in mask.iter_mut().skip(i) {
+                *m = true;
+            }
+            return mask;
+        }
+        // Skip any further attributes on the same item.
+        let mut k = j;
+        while punct_at(toks, k, '#') && punct_at(toks, k + 1, '[') {
+            let mut d = 1usize;
+            k += 2;
+            while k < toks.len() && d > 0 {
+                if punct_at(toks, k, '[') {
+                    d += 1;
+                } else if punct_at(toks, k, ']') {
+                    d -= 1;
+                }
+                k += 1;
+            }
+        }
+        // The gated item runs to its matching `}` (or a terminating `;`).
+        let mut m = k;
+        while m < toks.len() && !punct_at(toks, m, '{') && !punct_at(toks, m, ';') {
+            m += 1;
+        }
+        let end = if punct_at(toks, m, '{') {
+            let mut bd = 1usize;
+            let mut n = m + 1;
+            while n < toks.len() && bd > 0 {
+                if punct_at(toks, n, '{') {
+                    bd += 1;
+                } else if punct_at(toks, n, '}') {
+                    bd -= 1;
+                }
+                n += 1;
+            }
+            n
+        } else {
+            (m + 1).min(toks.len())
+        };
+        for flag in mask.iter_mut().take(end).skip(i) {
+            *flag = true;
+        }
+        i = end;
+    }
+    mask
+}
+
+/// Whether a format-string literal (raw source text, quotes included) pairs
+/// a JSON key (`":`) with a float-style placeholder (`{..:..[.e]..}`).
+fn json_float_spec(text: &str) -> bool {
+    if !text.contains("\":") {
+        return false;
+    }
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'{' {
+            if i + 1 < bytes.len() && bytes[i + 1] == b'{' {
+                i += 2; // escaped `{{`
+                continue;
+            }
+            let close = bytes[i + 1..].iter().position(|&b| b == b'}');
+            if let Some(off) = close {
+                let inner = &text[i + 1..i + 1 + off];
+                // A literal `{` inside a JSON *data* string (as opposed to a
+                // format placeholder) drags quotes, spaces or commas into
+                // `inner` — a real format spec never contains those.
+                let speclike = !inner.contains(['"', '\\', ' ', ',', '{']);
+                if speclike {
+                    if let Some(spec) = inner.split_once(':').map(|(_, s)| s) {
+                        if spec.contains('.') || spec.ends_with('e') || spec.ends_with('E') {
+                            return true;
+                        }
+                    }
+                    i += off + 2;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    false
+}
+
+fn applies(rule: &str, rel_path: &str) -> bool {
+    !allowed_files(rule).contains(&rel_path)
+}
+
+/// Lints one Rust source file, returning all unsuppressed diagnostics.
+pub fn lint_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
+    let lexed = lexer::lex(src);
+    let strict = scope::classify(rel_path) == Strictness::Strict;
+    let in_test = test_mask(&lexed.toks);
+    let toks = &lexed.toks;
+    let mut raw: Vec<Diagnostic> = Vec::new();
+    let push = |rule: &'static str, line: u32, message: String, raw: &mut Vec<Diagnostic>| {
+        raw.push(Diagnostic {
+            rule,
+            path: rel_path.to_string(),
+            line,
+            message,
+        });
+    };
+
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        let strict_here = strict && !in_test[i];
+        match t.kind {
+            TokKind::Ident => match t.text.as_str() {
+                name @ ("Instant" | "SystemTime") if applies("wall-clock", rel_path) => {
+                    push(
+                        "wall-clock",
+                        t.line,
+                        format!(
+                            "wall-clock source `{name}` — simulated cycles are the only \
+                             clock here; time through `patu_bench::micro` instead"
+                        ),
+                        &mut raw,
+                    );
+                }
+                "thread"
+                    if punct_at(toks, i + 1, ':')
+                        && punct_at(toks, i + 2, ':')
+                        && matches!(ident_at(toks, i + 3), Some("spawn" | "scope"))
+                        && applies("thread-spawn", rel_path) =>
+                {
+                    let what = ident_at(toks, i + 3).unwrap_or("spawn");
+                    push(
+                        "thread-spawn",
+                        t.line,
+                        format!(
+                            "`std::thread::{what}` outside `patu_sim::parallel` — use the \
+                             deterministic task runner (`parallel::run_tasks`)"
+                        ),
+                        &mut raw,
+                    );
+                }
+                "env"
+                    if strict_here
+                        && punct_at(toks, i + 1, ':')
+                        && punct_at(toks, i + 2, ':')
+                        && matches!(ident_at(toks, i + 3), Some("var" | "var_os" | "vars"))
+                        && applies("env-var", rel_path) =>
+                {
+                    push(
+                        "env-var",
+                        t.line,
+                        "`std::env::var` outside the config entry points — PATU_THREADS/\
+                         PATU_TRACE are read once by `patu_sim::parallel` / `patu_obs::config`"
+                            .to_string(),
+                        &mut raw,
+                    );
+                }
+                name @ ("HashMap" | "HashSet") if strict_here => {
+                    push(
+                        "hash-order",
+                        t.line,
+                        format!(
+                            "`{name}` in library code can leak nondeterministic iteration \
+                             order into outputs — use `BTreeMap`/`BTreeSet`, or sort at the \
+                             site and justify with a pragma"
+                        ),
+                        &mut raw,
+                    );
+                }
+                name @ ("unwrap" | "expect")
+                    if strict_here
+                        && punct_at(toks, i.wrapping_sub(1), '.')
+                        && punct_at(toks, i + 1, '(') =>
+                {
+                    push(
+                        "panic-path",
+                        t.line,
+                        format!(
+                            "`.{name}()` in non-test library code — return a typed error, \
+                             restructure to an infallible pattern, or justify with \
+                             `patu-lint: allow(panic-path)`"
+                        ),
+                        &mut raw,
+                    );
+                }
+                name @ ("panic" | "unreachable" | "todo" | "unimplemented")
+                    if strict_here && punct_at(toks, i + 1, '!') =>
+                {
+                    push(
+                        "panic-path",
+                        t.line,
+                        format!(
+                            "`{name}!` in non-test library code — library crates report \
+                             typed errors end-to-end"
+                        ),
+                        &mut raw,
+                    );
+                }
+                "unsafe" => {
+                    push(
+                        "unsafe-code",
+                        t.line,
+                        "`unsafe` is forbidden workspace-wide".to_string(),
+                        &mut raw,
+                    );
+                }
+                _ => {}
+            },
+            // Test regions hold JSON *data* literals (schema fixtures), not
+            // sinks — only live code feeds floats into artifacts.
+            TokKind::Str
+                if !in_test[i] && applies("float-fmt", rel_path) && json_float_spec(&t.text) =>
+            {
+                push(
+                    "float-fmt",
+                    t.line,
+                    "float format spec inside a JSON literal — non-finite values \
+                     would emit `inf`/`NaN`; route through `patu_obs::json::num` / \
+                     `num_fixed`"
+                        .to_string(),
+                    &mut raw,
+                );
+            }
+            _ => {}
+        }
+    }
+
+    if scope::is_lib_root(rel_path) && !has_forbid_unsafe(toks) {
+        raw.push(Diagnostic {
+            rule: "unsafe-code",
+            path: rel_path.to_string(),
+            line: 1,
+            message: "library crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+        });
+    }
+
+    apply_pragmas(rel_path, &lexed, raw)
+}
+
+fn has_forbid_unsafe(toks: &[Tok]) -> bool {
+    (0..toks.len()).any(|i| {
+        ident_at(toks, i) == Some("forbid")
+            && punct_at(toks, i + 1, '(')
+            && ident_at(toks, i + 2) == Some("unsafe_code")
+    })
+}
+
+/// Validates pragmas (emitting `bad-pragma` findings) and filters out
+/// diagnostics they legitimately suppress. A pragma on a code line covers
+/// that line; a pragma on its own line covers the next line bearing code.
+fn apply_pragmas(rel_path: &str, lexed: &Lexed, raw: Vec<Diagnostic>) -> Vec<Diagnostic> {
+    let mut token_lines: Vec<u32> = lexed.toks.iter().map(|t| t.line).collect();
+    token_lines.sort_unstable();
+    token_lines.dedup();
+
+    let mut suppressed: Vec<(String, u32)> = Vec::new();
+    let mut out: Vec<Diagnostic> = Vec::new();
+
+    for p in &lexed.pragmas {
+        if !p.well_formed {
+            out.push(Diagnostic {
+                rule: "bad-pragma",
+                path: rel_path.to_string(),
+                line: p.line,
+                message: format!(
+                    "unrecognized pragma — expected `{} allow(<rule>) — <reason>`",
+                    lexer::PRAGMA_MARKER
+                ),
+            });
+            continue;
+        }
+        if !p.has_reason {
+            out.push(Diagnostic {
+                rule: "bad-pragma",
+                path: rel_path.to_string(),
+                line: p.line,
+                message: "suppression pragma needs a reason after `allow(...)`".to_string(),
+            });
+            continue;
+        }
+        let mut all_known = true;
+        for rule in &p.rules {
+            if !is_known_rule(rule) {
+                all_known = false;
+                out.push(Diagnostic {
+                    rule: "bad-pragma",
+                    path: rel_path.to_string(),
+                    line: p.line,
+                    message: format!("unknown rule `{rule}` in allow(...)"),
+                });
+            }
+        }
+        if !all_known {
+            continue;
+        }
+        let target = if token_lines.binary_search(&p.line).is_ok() {
+            p.line
+        } else {
+            let next = token_lines.partition_point(|&l| l <= p.line);
+            token_lines.get(next).copied().unwrap_or(p.line)
+        };
+        for rule in &p.rules {
+            suppressed.push((rule.clone(), target));
+        }
+    }
+
+    for d in raw {
+        let hit = suppressed
+            .iter()
+            .any(|(rule, line)| rule == d.rule && *line == d.line);
+        if !hit {
+            out.push(d);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIB: &str = "crates/fake/src/engine.rs";
+    const BIN: &str = "crates/bench/src/bin/fake.rs";
+
+    fn rules_hit(path: &str, src: &str) -> Vec<(&'static str, u32)> {
+        lint_source(path, src)
+            .into_iter()
+            .map(|d| (d.rule, d.line))
+            .collect()
+    }
+
+    #[test]
+    fn banned_tokens_in_strings_and_comments_are_ignored() {
+        let src = "// .unwrap() HashMap Instant std::thread::spawn\n\
+                   fn f() -> &'static str { \"Instant::now() HashMap unsafe\" }\n";
+        assert!(rules_hit(LIB, src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_is_not_unwrap() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap_or(1).max(x.unwrap_or_default()) }\n";
+        assert!(rules_hit(LIB, src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_mod_is_exempt_from_strict_rules() {
+        let src = "fn good() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       use std::collections::HashMap;\n\
+                       #[test]\n\
+                       fn t() { let m: HashMap<u32, u32> = HashMap::new(); \
+                        assert_eq!(m.len(), 0); Some(1).unwrap(); }\n\
+                   }\n";
+        assert!(rules_hit(LIB, src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_applies_even_to_test_mods_and_bins() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { let _ = Instant::now(); }\n}\n";
+        assert_eq!(rules_hit(LIB, src), vec![("wall-clock", 3)]);
+        assert_eq!(
+            rules_hit(BIN, "fn main() { let _ = Instant::now(); }\n"),
+            vec![("wall-clock", 1)]
+        );
+    }
+
+    #[test]
+    fn strict_rules_skip_relaxed_files() {
+        let src =
+            "fn main() { Some(1).unwrap(); let _ = std::collections::HashMap::<u8, u8>::new(); }\n";
+        assert!(rules_hit(BIN, src).is_empty());
+    }
+
+    #[test]
+    fn pragma_suppresses_exactly_its_line() {
+        let src = "// patu-lint: allow(panic-path) — provably non-empty by construction\n\
+                   fn f(v: &[u32]) -> u32 { v.first().copied().expect(\"non-empty\") }\n\
+                   fn g(v: &[u32]) -> u32 { v.first().copied().expect(\"non-empty\") }\n";
+        assert_eq!(rules_hit(LIB, src), vec![("panic-path", 3)]);
+    }
+
+    #[test]
+    fn reasonless_or_unknown_pragmas_are_diagnosed() {
+        let src = "// patu-lint: allow(panic-path)\n\
+                   fn f(v: &[u32]) -> u32 { v.first().copied().expect(\"x\") }\n\
+                   // patu-lint: allow(no-such-rule) — because\n\
+                   fn g() {}\n";
+        let hits = rules_hit(LIB, src);
+        assert!(hits.contains(&("bad-pragma", 1)));
+        assert!(
+            hits.contains(&("panic-path", 2)),
+            "reasonless pragma must not suppress"
+        );
+        assert!(hits.contains(&("bad-pragma", 3)));
+    }
+
+    #[test]
+    fn json_float_spec_detection() {
+        assert!(json_float_spec(r#""{{\"mean\": {:.1}}}""#));
+        assert!(json_float_spec(r#""\"p90_ns\": {v:.3},""#));
+        assert!(
+            !json_float_spec(r#""{:>10.1} cycles""#),
+            "not JSON — no key"
+        );
+        assert!(
+            !json_float_spec(r#""\"count\": {}""#),
+            "plain placeholder is fine"
+        );
+        assert!(!json_float_spec(r#""{{\"label\": \"{}\"}}""#));
+        // JSON *data* (a literal `{` with quoted keys) is not a format sink.
+        assert!(!json_float_spec(
+            r#""{\"type\":\"hist\",\"mean\":2.5,\"p50\":8}""#
+        ));
+    }
+
+    #[test]
+    fn lib_root_without_forbid_is_flagged() {
+        let hits = rules_hit("crates/fake/src/lib.rs", "pub fn f() {}\n");
+        assert_eq!(hits, vec![("unsafe-code", 1)]);
+        let clean = rules_hit(
+            "crates/fake/src/lib.rs",
+            "#![forbid(unsafe_code)]\npub fn f() {}\n",
+        );
+        assert!(clean.is_empty());
+    }
+
+    #[test]
+    fn inner_cfg_test_marks_whole_file() {
+        let src = "#![cfg(test)]\nfn helper() { Some(1).unwrap(); }\n";
+        assert!(rules_hit(LIB, src).is_empty());
+    }
+}

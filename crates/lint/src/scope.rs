@@ -1,0 +1,89 @@
+//! Per-file strictness: which rule set a file is held to.
+//!
+//! Library-crate sources carry the workspace's determinism and
+//! error-hygiene promises, so they get the full rule set. Everything that
+//! only *drives* the libraries — the bench harness, integration tests,
+//! bench targets, examples, and binary entry points — may panic on broken
+//! invariants and use whatever collections it likes, but still may not
+//! reach for wall clocks, unstructured threads, or `unsafe`.
+
+/// How strictly a file is linted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strictness {
+    /// Full rule set: library crate source.
+    Strict,
+    /// Determinism rules only: harness, tests, benches, examples, bins.
+    Relaxed,
+}
+
+/// Classifies a repo-relative path (forward slashes).
+pub fn classify(rel_path: &str) -> Strictness {
+    let p = rel_path;
+    if !p.starts_with("crates/") {
+        // Top-level tests/ and examples/ (compiled as patu-sim targets).
+        return Strictness::Relaxed;
+    }
+    if p.starts_with("crates/bench/") {
+        return Strictness::Relaxed;
+    }
+    if p.contains("/tests/") || p.contains("/benches/") || p.contains("/examples/") {
+        return Strictness::Relaxed;
+    }
+    if p.contains("/src/bin/") || p.ends_with("/src/main.rs") {
+        return Strictness::Relaxed;
+    }
+    Strictness::Strict
+}
+
+/// Whether `rel_path` is a library crate root (`crates/<name>/src/lib.rs`),
+/// which must carry `#![forbid(unsafe_code)]`.
+pub fn is_lib_root(rel_path: &str) -> bool {
+    let Some(rest) = rel_path.strip_prefix("crates/") else {
+        return false;
+    };
+    let mut parts = rest.split('/');
+    matches!(
+        (parts.next(), parts.next(), parts.next(), parts.next()),
+        (Some(_), Some("src"), Some("lib.rs"), None)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_sources_are_strict() {
+        for p in [
+            "crates/gpu/src/memsys.rs",
+            "crates/sim/src/render.rs",
+            "crates/lint/src/rules.rs",
+            "crates/obs/src/json.rs",
+        ] {
+            assert_eq!(classify(p), Strictness::Strict, "{p}");
+        }
+    }
+
+    #[test]
+    fn harness_and_test_targets_are_relaxed() {
+        for p in [
+            "crates/bench/src/micro.rs",
+            "crates/bench/src/bin/headline.rs",
+            "crates/bench/benches/raster.rs",
+            "crates/gpu/tests/props.rs",
+            "crates/lint/src/main.rs",
+            "tests/parallel_determinism.rs",
+            "examples/quickstart.rs",
+        ] {
+            assert_eq!(classify(p), Strictness::Relaxed, "{p}");
+        }
+    }
+
+    #[test]
+    fn lib_roots_are_recognized() {
+        assert!(is_lib_root("crates/gpu/src/lib.rs"));
+        assert!(!is_lib_root("crates/gpu/src/memsys.rs"));
+        assert!(!is_lib_root("crates/gpu/tests/lib.rs"));
+        assert!(!is_lib_root("tests/lib.rs"));
+    }
+}

@@ -1,0 +1,83 @@
+//! Deterministic workspace walk: every `.rs` and `Cargo.toml` under the
+//! root, in sorted repo-relative order, skipping build output (`target/`),
+//! experiment artifacts (`out/`), hidden directories, and lint-test
+//! `fixtures/` directories (whose files carry violations on purpose).
+
+use crate::LintError;
+use std::path::Path;
+
+const SKIP_DIRS: &[&str] = &["target", "out", "fixtures", "node_modules"];
+
+/// Collects lintable files under `root` as sorted repo-relative paths with
+/// forward slashes.
+///
+/// # Errors
+///
+/// Returns [`LintError`] when a directory cannot be read.
+pub fn workspace_files(root: &Path) -> Result<Vec<String>, LintError> {
+    let mut out = Vec::new();
+    visit(root, String::new(), &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn visit(root: &Path, rel_dir: String, out: &mut Vec<String>) -> Result<(), LintError> {
+    let full = if rel_dir.is_empty() {
+        root.to_path_buf()
+    } else {
+        root.join(&rel_dir)
+    };
+    let entries = std::fs::read_dir(&full).map_err(|source| LintError {
+        context: format!("listing {}", full.display()),
+        source,
+    })?;
+    for entry in entries {
+        let entry = entry.map_err(|source| LintError {
+            context: format!("listing {}", full.display()),
+            source,
+        })?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let rel = if rel_dir.is_empty() {
+            name.clone()
+        } else {
+            format!("{rel_dir}/{name}")
+        };
+        let file_type = entry.file_type().map_err(|source| LintError {
+            context: format!("inspecting {rel}"),
+            source,
+        })?;
+        if file_type.is_dir() {
+            if name.starts_with('.') || SKIP_DIRS.contains(&name.as_str()) {
+                continue;
+            }
+            visit(root, rel, out)?;
+        } else if name.ends_with(".rs") || name == "Cargo.toml" {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walk_finds_this_crate_and_skips_fixtures() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+        let files = workspace_files(&root).unwrap();
+        assert!(files.contains(&"crates/lint/src/lib.rs".to_string()));
+        assert!(files.contains(&"Cargo.toml".to_string()));
+        assert!(
+            files.iter().all(|f| !f.contains("fixtures/")),
+            "fixtures must be skipped"
+        );
+        assert!(
+            files.iter().all(|f| !f.starts_with("target/")),
+            "target must be skipped"
+        );
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted, "walk order is deterministic");
+    }
+}

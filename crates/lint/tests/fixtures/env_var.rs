@@ -1,0 +1,6 @@
+// Fixture: env-var rule.
+pub fn threads() -> usize {
+    let parsed = std::env::var("PATU_THREADS").ok(); //~ env-var
+    let listed = std::env::vars().count(); //~ env-var
+    parsed.and_then(|v| v.parse().ok()).unwrap_or(listed.min(1))
+}

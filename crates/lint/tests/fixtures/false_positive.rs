@@ -1,0 +1,49 @@
+// Fixture: zero diagnostics expected. Banned tokens appear only in places
+// the lexer must ignore: comments, strings, lookalike identifiers, and
+// `#[cfg(test)]` regions for the strict-only rules.
+//
+// Comment mentions: Instant::now() HashMap::new() std::thread::spawn panic!
+/* block comment: unreachable! std::env::var("PATU_THREADS") unsafe { } */
+
+pub fn strings() -> (&'static str, String) {
+    let a = "Instant::now() and HashMap::new() and unsafe and x.unwrap()";
+    let b = format!("data: {}", "SystemTime::now()");
+    (a, b)
+}
+
+pub fn lookalikes(x: Option<u32>) -> u32 {
+    x.unwrap_or_default().max(x.unwrap_or(3)).max(x.expect_value())
+}
+
+trait ExpectValue {
+    fn expect_value(&self) -> u32;
+}
+
+impl ExpectValue for Option<u32> {
+    fn expect_value(&self) -> u32 {
+        self.unwrap_or(0)
+    }
+}
+
+pub fn json_data_not_a_spec() -> &'static str {
+    "{\"type\":\"hist\",\"mean\":2.5,\"p50\":8}"
+}
+
+pub fn raw_string_banned_tokens() -> &'static str {
+    r#"std::time::SystemTime::now(); let m: HashSet<u32>;"#
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn strict_only_rules_relax_inside_test_regions() {
+        let mut m = HashMap::new();
+        m.insert(1u32, 2u32);
+        assert_eq!(m.values().sum::<u32>(), 2);
+        let v = Some(7u32).unwrap();
+        let json = format!("{{\"v\": {:.1}}}", f64::from(v));
+        assert!(json.contains("7.0"));
+    }
+}

@@ -1,0 +1,13 @@
+// Fixture: float-fmt rule. Raw float specs into JSON keys are flagged;
+// pre-rendered tokens (the patu-obs helper output) are not.
+pub fn to_json(mean: f64, count: u64) -> String {
+    format!("{{\"mean\": {:.2}, \"count\": {count}}}", mean) //~ float-fmt
+}
+
+pub fn scientific(p99: f64) -> String {
+    format!("{{\"p99\": {:e}}}", p99) //~ float-fmt
+}
+
+pub fn safe(mean_token: &str, count: u64) -> String {
+    format!("{{\"mean\": {mean_token}, \"count\": {count}}}")
+}

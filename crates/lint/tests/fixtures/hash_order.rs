@@ -1,0 +1,12 @@
+// Fixture: hash-order rule.
+use std::collections::HashMap; //~ hash-order
+use std::collections::HashSet; //~ hash-order
+
+pub fn count(keys: &[u32]) -> usize {
+    let set: HashSet<u32> = keys.iter().copied().collect(); //~ hash-order
+    let mut map: HashMap<u32, u32> = HashMap::new(); //~ hash-order hash-order
+    for k in keys {
+        *map.entry(*k).or_insert(0) += 1;
+    }
+    set.len() + map.len()
+}

@@ -1,0 +1,4 @@
+//! Fixture: a crate root without `#![forbid(unsafe_code)]`. //~ unsafe-code
+pub fn fine() -> u32 {
+    7
+}

@@ -1,0 +1,14 @@
+// Fixture: panic-path rule in strict library scope.
+pub fn all_forms(x: Option<u32>, r: Result<u32, u32>) -> u32 {
+    let a = x.unwrap(); //~ panic-path
+    let b = r.expect("boom"); //~ panic-path
+    if a > b {
+        panic!("a > b"); //~ panic-path
+    }
+    match a {
+        0 => unreachable!(), //~ panic-path
+        1 => todo!(), //~ panic-path
+        2 => unimplemented!(), //~ panic-path
+        _ => a + b,
+    }
+}

@@ -1,0 +1,7 @@
+// Fixture: thread-spawn rule.
+pub fn run() -> i32 {
+    let handle = std::thread::spawn(|| 42); //~ thread-spawn
+    let joined = handle.join();
+    std::thread::scope(|_s| {}); //~ thread-spawn
+    joined.unwrap_or(0)
+}

@@ -1,0 +1,4 @@
+// Fixture: unsafe-code rule.
+pub fn peek(v: &[u8]) -> u8 {
+    unsafe { *v.get_unchecked(0) } //~ unsafe-code
+}

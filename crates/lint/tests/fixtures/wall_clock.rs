@@ -1,0 +1,9 @@
+// Fixture: wall-clock rule. Marked lines must each be reported once.
+use std::time::Instant; //~ wall-clock
+use std::time::SystemTime; //~ wall-clock
+
+pub fn now_ms() -> u128 {
+    let t = Instant::now(); //~ wall-clock
+    let _ = SystemTime::now(); //~ wall-clock
+    t.elapsed().as_millis()
+}

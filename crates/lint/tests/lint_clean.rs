@@ -1,0 +1,25 @@
+//! The workspace self-lint: the tree this test runs in must hold every
+//! invariant `patu-lint` enforces. A violation anywhere in the workspace —
+//! including in the linter's own sources — fails this test with the full
+//! `file:line` diagnostic list.
+
+use std::path::Path;
+
+#[test]
+fn workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let diags = match patu_lint::run(&root) {
+        Ok(diags) => diags,
+        Err(e) => panic!("patu-lint failed to walk the workspace: {e}"),
+    };
+    assert!(
+        diags.is_empty(),
+        "workspace must be patu-lint clean, found {} violation(s):\n{}",
+        diags.len(),
+        diags
+            .iter()
+            .map(|d| d.human())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

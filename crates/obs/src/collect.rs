@@ -81,7 +81,14 @@ impl Collector {
         arg: u64,
     ) {
         if self.level.spans_enabled() {
-            self.spans.push(Span { name, track: self.track, start, end, arg_name, arg });
+            self.spans.push(Span {
+                name,
+                track: self.track,
+                start,
+                end,
+                arg_name,
+                arg,
+            });
         }
     }
 
@@ -192,7 +199,14 @@ impl FrameTelemetry {
     /// byte-identity across thread counts rests on every absorb sequence
     /// being a pure function of the frame, not of scheduling.
     pub fn absorb(&mut self, collector: Collector) {
-        let Collector { spans, counters, hists, recorder, dumps, .. } = collector;
+        let Collector {
+            spans,
+            counters,
+            hists,
+            recorder,
+            dumps,
+            ..
+        } = collector;
         self.spans.extend(spans);
         for (name, value) in counters {
             *self.counters.entry(name).or_insert(0) += value;
@@ -218,7 +232,10 @@ impl FrameTelemetry {
             entry.0 += 1;
             entry.1 += span.duration();
         }
-        totals.into_iter().map(|(name, (count, cycles))| (name, count, cycles)).collect()
+        totals
+            .into_iter()
+            .map(|(name, (count, cycles))| (name, count, cycles))
+            .collect()
     }
 
     /// Whether the frame recorded nothing (the `Off` invariant).
@@ -246,7 +263,12 @@ mod tests {
         c.span("raster::tile", 0, 100);
         c.add("pixels", 10);
         c.record("latency", 42);
-        c.event(Event { cycle: 1, cluster: 0, tile: 0, kind: EventKind::TileBegin });
+        c.event(Event {
+            cycle: 1,
+            cluster: 0,
+            tile: 0,
+            kind: EventKind::TileBegin,
+        });
         c.dump("watchdog_trip", 5, 0);
         let mut frame = FrameTelemetry::new(TraceLevel::Off, 0, "p".into(), 0);
         frame.absorb(c);
@@ -255,8 +277,10 @@ mod tests {
 
     #[test]
     fn counters_level_drops_spans_only() {
-        let mut c =
-            Collector::new(TelemetryConfig::with_level(TraceLevel::Counters), Track::Cluster(1));
+        let mut c = Collector::new(
+            TelemetryConfig::with_level(TraceLevel::Counters),
+            Track::Cluster(1),
+        );
         c.span("raster::tile", 0, 100);
         c.add("pixels", 10);
         c.record("latency", 42);
@@ -272,7 +296,13 @@ mod tests {
         let mut frame = FrameTelemetry::new(TraceLevel::Spans, 7, "PATU".into(), 42);
         for cluster in 0..3u32 {
             let mut c = Collector::new(spans_cfg(), Track::Cluster(cluster));
-            c.span_arg("raster::tile", u64::from(cluster), u64::from(cluster) + 10, "tile", 0);
+            c.span_arg(
+                "raster::tile",
+                u64::from(cluster),
+                u64::from(cluster) + 10,
+                "tile",
+                0,
+            );
             c.add("pixels", 1);
             frame.absorb(c);
         }
@@ -289,7 +319,12 @@ mod tests {
     #[test]
     fn dumps_get_frame_context() {
         let mut c = Collector::new(spans_cfg(), Track::Cluster(2));
-        c.event(Event { cycle: 9, cluster: 2, tile: 5, kind: EventKind::TileBegin });
+        c.event(Event {
+            cycle: 9,
+            cluster: 2,
+            tile: 5,
+            kind: EventKind::TileBegin,
+        });
         c.dump("fault_fallback", 12, 5);
         assert_eq!(c.dump_count(), 1);
         let mut frame = FrameTelemetry::new(TraceLevel::Spans, 3, "PATU@0.4".into(), 99);

@@ -66,12 +66,18 @@ pub struct TelemetryConfig {
 impl TelemetryConfig {
     /// Telemetry fully off (the default).
     pub fn disabled() -> TelemetryConfig {
-        TelemetryConfig { level: TraceLevel::Off, flight_depth: DEFAULT_FLIGHT_DEPTH }
+        TelemetryConfig {
+            level: TraceLevel::Off,
+            flight_depth: DEFAULT_FLIGHT_DEPTH,
+        }
     }
 
     /// A configuration at `level` with the default flight-recorder depth.
     pub fn with_level(level: TraceLevel) -> TelemetryConfig {
-        TelemetryConfig { level, flight_depth: DEFAULT_FLIGHT_DEPTH }
+        TelemetryConfig {
+            level,
+            flight_depth: DEFAULT_FLIGHT_DEPTH,
+        }
     }
 
     /// Resolves the `PATU_TRACE` environment variable (`off` when unset or
@@ -122,7 +128,11 @@ mod tests {
         assert_eq!(TraceLevel::parse("spans"), TraceLevel::Spans);
         assert_eq!(TraceLevel::parse(" Counters "), TraceLevel::Counters);
         assert_eq!(TraceLevel::parse("off"), TraceLevel::Off);
-        assert_eq!(TraceLevel::parse("bogus"), TraceLevel::Off, "typos sanitize to off");
+        assert_eq!(
+            TraceLevel::parse("bogus"),
+            TraceLevel::Off,
+            "typos sanitize to off"
+        );
         assert_eq!(TraceLevel::parse(""), TraceLevel::Off);
     }
 

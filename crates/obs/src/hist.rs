@@ -40,7 +40,13 @@ impl Default for Log2Histogram {
 impl Log2Histogram {
     /// An empty histogram.
     pub fn new() -> Log2Histogram {
-        Log2Histogram { buckets: [0; BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
+        Log2Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
     }
 
     /// The bucket index a value lands in.

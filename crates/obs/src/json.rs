@@ -148,12 +148,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
     }
 }
 
-fn parse_keyword(
-    bytes: &[u8],
-    pos: &mut usize,
-    word: &str,
-    value: Json,
-) -> Result<Json, String> {
+fn parse_keyword(bytes: &[u8], pos: &mut usize, word: &str, value: Json) -> Result<Json, String> {
     if bytes[*pos..].starts_with(word.as_bytes()) {
         *pos += word.len();
         Ok(value)
@@ -167,7 +162,10 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
     if matches!(bytes.get(*pos), Some(b'-')) {
         *pos += 1;
     }
-    while matches!(bytes.get(*pos), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+    while matches!(
+        bytes.get(*pos),
+        Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    ) {
         *pos += 1;
     }
     let token = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
@@ -203,8 +201,7 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                             .get(*pos + 1..*pos + 5)
                             .ok_or_else(|| "truncated \\u escape".to_string())?;
                         let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
-                        let code =
-                            u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
                         out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
                         *pos += 4;
                     }
@@ -308,11 +305,16 @@ mod tests {
         assert_eq!(v.get("type").and_then(Json::as_str), Some("span"));
         assert_eq!(v.get("end").and_then(Json::as_num), Some(120.0));
         assert_eq!(
-            v.get("args").and_then(|a| a.get("tile")).and_then(Json::as_num),
+            v.get("args")
+                .and_then(|a| a.get("tile"))
+                .and_then(Json::as_num),
             Some(3.0)
         );
         assert_eq!(v.get("none"), Some(&Json::Null));
-        assert_eq!(v.get("list").and_then(Json::as_arr).map(<[Json]>::len), Some(3));
+        assert_eq!(
+            v.get("list").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(3)
+        );
     }
 
     #[test]

@@ -17,7 +17,10 @@ pub struct FlightRecorder {
 impl FlightRecorder {
     /// A recorder keeping the last `depth` events (`depth` 0 keeps none).
     pub fn new(depth: usize) -> FlightRecorder {
-        FlightRecorder { depth, events: VecDeque::with_capacity(depth.min(1024)) }
+        FlightRecorder {
+            depth,
+            events: VecDeque::with_capacity(depth.min(1024)),
+        }
     }
 
     /// Records one event, evicting the oldest when full.
@@ -80,7 +83,12 @@ mod tests {
     use crate::span::EventKind;
 
     fn ev(cycle: u64) -> Event {
-        Event { cycle, cluster: 0, tile: cycle as u32, kind: EventKind::TileBegin }
+        Event {
+            cycle,
+            cluster: 0,
+            tile: cycle as u32,
+            kind: EventKind::TileBegin,
+        }
     }
 
     #[test]

@@ -24,7 +24,8 @@ impl Table {
     /// Appends one row. Short rows are padded with empty cells; extra cells
     /// beyond the header width are kept and get their own columns.
     pub fn row<S: AsRef<str>>(&mut self, cells: &[S]) {
-        self.rows.push(cells.iter().map(|c| c.as_ref().to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.as_ref().to_string()).collect());
     }
 
     /// Number of data rows.

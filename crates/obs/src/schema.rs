@@ -82,7 +82,9 @@ pub fn check_line(line: &str) -> Result<(), String> {
             let p95 = require_num(&obj, "p95")?;
             let p99 = require_num(&obj, "p99")?;
             if count > 0.0 && !(p50 <= p95 && p95 <= p99) {
-                return Err(format!("quantiles out of order: p50={p50} p95={p95} p99={p99}"));
+                return Err(format!(
+                    "quantiles out of order: p50={p50} p95={p95} p99={p99}"
+                ));
             }
             let buckets = obj
                 .get("buckets")
@@ -160,12 +162,19 @@ mod tests {
     #[test]
     fn sink_output_passes_the_checker() {
         let mut frame = FrameTelemetry::new(TraceLevel::Spans, 1, "Patu".into(), 11);
-        let mut c =
-            Collector::new(TelemetryConfig::with_level(TraceLevel::Spans), Track::Cluster(1));
+        let mut c = Collector::new(
+            TelemetryConfig::with_level(TraceLevel::Spans),
+            Track::Cluster(1),
+        );
         c.span_arg("raster::tile", 0, 64, "tile", 9);
         c.add("pixels", 256);
         c.record("texture::filter_latency", 17);
-        c.event(Event { cycle: 3, cluster: 1, tile: 9, kind: EventKind::WatchdogTrip });
+        c.event(Event {
+            cycle: 3,
+            cluster: 1,
+            tile: 9,
+            kind: EventKind::WatchdogTrip,
+        });
         c.event(Event {
             cycle: 5,
             cluster: 1,
@@ -176,7 +185,10 @@ mod tests {
         frame.absorb(c);
         let stream = sink::jsonl(&[frame]);
         let checked = check_stream(&stream).expect("all lines valid");
-        assert!(checked >= 6, "frame+counter+hist+span+2 events+dump, got {checked}");
+        assert!(
+            checked >= 6,
+            "frame+counter+hist+span+2 events+dump, got {checked}"
+        );
     }
 
     #[test]

@@ -121,7 +121,11 @@ pub fn jsonl_frame(t: &FrameTelemetry) -> String {
         let _ = writeln!(out, "{}", span_line(t.frame, span));
     }
     for event in &t.events {
-        let _ = writeln!(out, "{{\"type\":\"event\",{}}}", event_fields(t.frame, event));
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"event\",{}}}",
+            event_fields(t.frame, event)
+        );
     }
     for dump in &t.dumps {
         let _ = writeln!(out, "{}", dump_line(dump));
@@ -143,7 +147,9 @@ pub fn chrome_trace(frames: &[FrameTelemetry]) -> String {
     let mut tracks: BTreeMap<u32, String> = BTreeMap::new();
     for t in frames {
         for span in &t.spans {
-            tracks.entry(span.track.tid()).or_insert_with(|| span.track.name());
+            tracks
+                .entry(span.track.tid())
+                .or_insert_with(|| span.track.name());
         }
     }
     let mut out = String::from("{\"traceEvents\":[\n");
@@ -189,7 +195,10 @@ pub fn chrome_trace(frames: &[FrameTelemetry]) -> String {
 pub fn report(t: &FrameTelemetry) -> String {
     let mut out = format!(
         "== telemetry: frame {} | policy {} | seed {} | level {} ==\n",
-        t.frame, t.policy, t.fault_seed, t.level.name()
+        t.frame,
+        t.policy,
+        t.fault_seed,
+        t.level.name()
     );
 
     let stages = t.stage_totals();
@@ -249,7 +258,12 @@ pub fn render_dump(d: &FlightDump) -> String {
             EventKind::Fallback { count } => format!("fallback x{count}"),
             kind => kind.label().to_string(),
         };
-        table.row(&[e.cycle.to_string(), e.cluster.to_string(), e.tile.to_string(), what]);
+        table.row(&[
+            e.cycle.to_string(),
+            e.cluster.to_string(),
+            e.tile.to_string(),
+            what,
+        ]);
     }
     out.push_str(&table.render());
     out
@@ -285,17 +299,27 @@ mod tests {
 
     fn sample_frame() -> FrameTelemetry {
         let mut frame = FrameTelemetry::new(TraceLevel::Spans, 2, "Patu { t: 0.4 }".into(), 7);
-        let mut c =
-            Collector::new(TelemetryConfig::with_level(TraceLevel::Spans), Track::Cluster(0));
+        let mut c = Collector::new(
+            TelemetryConfig::with_level(TraceLevel::Spans),
+            Track::Cluster(0),
+        );
         c.span_arg("raster::tile", 10, 50, "tile", 3);
         c.add("events::texel_fetches", 123);
         c.record("texture::filter_latency", 40);
-        c.event(Event { cycle: 12, cluster: 0, tile: 3, kind: EventKind::TileBegin });
+        c.event(Event {
+            cycle: 12,
+            cluster: 0,
+            tile: 3,
+            kind: EventKind::TileBegin,
+        });
         c.event(Event {
             cycle: 44,
             cluster: 0,
             tile: 3,
-            kind: EventKind::Fault { site: "dram_stalls", count: 2 },
+            kind: EventKind::Fault {
+                site: "dram_stalls",
+                count: 2,
+            },
         });
         c.dump("fault_fallback", 50, 3);
         frame.absorb(c);
@@ -317,7 +341,10 @@ mod tests {
         let frame = sample_frame();
         let doc = chrome_trace(&[frame]);
         let parsed = json::parse(&doc).expect("valid trace json");
-        let events = parsed.get("traceEvents").and_then(json::Json::as_arr).unwrap();
+        let events = parsed
+            .get("traceEvents")
+            .and_then(json::Json::as_arr)
+            .unwrap();
         assert!(events.len() >= 2, "metadata + span");
         let metas: Vec<&json::Json> = events
             .iter()

@@ -141,7 +141,14 @@ mod tests {
     #[test]
     fn event_labels_are_stable() {
         assert_eq!(EventKind::TileBegin.label(), "tile_begin");
-        assert_eq!(EventKind::Fault { site: "dram_stalls", count: 2 }.label(), "fault");
+        assert_eq!(
+            EventKind::Fault {
+                site: "dram_stalls",
+                count: 2
+            }
+            .label(),
+            "fault"
+        );
         assert_eq!(EventKind::WatchdogTrip.label(), "watchdog_trip");
     }
 }

@@ -146,8 +146,10 @@ impl GaussianSsimConfig {
         // Window rows banded across workers; the reduction runs serially on
         // the concatenated values, in the same order as the serial scan, so
         // the mean's floating-point rounding is thread-count independent.
-        let rows: Vec<u32> =
-            (0..a.height()).step_by(stride as usize).take_while(|y| y + self.window <= a.height()).collect();
+        let rows: Vec<u32> = (0..a.height())
+            .step_by(stride as usize)
+            .take_while(|y| y + self.window <= a.height())
+            .collect();
         let threads = crate::par::thread_count(self.threads);
         let values = crate::par::map_rows(threads, rows.len(), |row| {
             let y = rows[row];
@@ -176,12 +178,7 @@ impl GaussianSsimConfig {
     /// # Panics
     ///
     /// See [`GaussianSsimConfig::mssim_strided`].
-    pub fn components_strided(
-        &self,
-        a: &GrayImage,
-        b: &GrayImage,
-        stride: u32,
-    ) -> SsimComponents {
+    pub fn components_strided(&self, a: &GrayImage, b: &GrayImage, stride: u32) -> SsimComponents {
         assert_eq!(a.width(), b.width(), "image widths differ");
         assert_eq!(a.height(), b.height(), "image heights differ");
         assert!(stride > 0, "stride must be positive");
@@ -203,7 +200,11 @@ impl GaussianSsimConfig {
             y += stride;
         }
         let n = count as f64;
-        SsimComponents { luminance: l / n, contrast: c / n, structure: s / n }
+        SsimComponents {
+            luminance: l / n,
+            contrast: c / n,
+            structure: s / n,
+        }
     }
 }
 
@@ -249,7 +250,10 @@ mod tests {
         let gauss = GaussianSsimConfig::default().mssim(&a, &b);
         let uniform = f64::from(SsimConfig::default().mssim(&a, &b));
         assert!(gauss < 1.0 && uniform < 1.0);
-        assert!((gauss - uniform).abs() < 0.25, "gauss {gauss} vs uniform {uniform}");
+        assert!(
+            (gauss - uniform).abs() < 0.25,
+            "gauss {gauss} vs uniform {uniform}"
+        );
     }
 
     #[test]
@@ -268,7 +272,11 @@ mod tests {
         let a = GrayImage::filled(16, 16, 60.0);
         let b = GrayImage::filled(16, 16, 180.0);
         let comp = GaussianSsimConfig::default().components_strided(&a, &b, 1);
-        assert!(comp.luminance < 0.8, "luminance term drops: {}", comp.luminance);
+        assert!(
+            comp.luminance < 0.8,
+            "luminance term drops: {}",
+            comp.luminance
+        );
         // Flat images: contrast/structure terms stay at their stabilized 1.
         assert!((comp.contrast - 1.0).abs() < 1e-9);
     }
@@ -281,11 +289,22 @@ mod tests {
         let b = GrayImage::new(
             22,
             22,
-            a.samples().iter().map(|&v| mean + (v - mean) * 0.3).collect(),
+            a.samples()
+                .iter()
+                .map(|&v| mean + (v - mean) * 0.3)
+                .collect(),
         );
         let comp = GaussianSsimConfig::default().components_strided(&a, &b, 1);
-        assert!(comp.contrast < 0.9, "contrast term drops: {}", comp.contrast);
-        assert!(comp.structure > 0.95, "structure preserved: {}", comp.structure);
+        assert!(
+            comp.contrast < 0.9,
+            "contrast term drops: {}",
+            comp.contrast
+        );
+        assert!(
+            comp.structure > 0.95,
+            "structure preserved: {}",
+            comp.structure
+        );
     }
 
     #[test]
@@ -301,12 +320,22 @@ mod tests {
         let a = gradient(40, 33, 0);
         let b = gradient(40, 33, 17);
         for stride in [1u32, 3] {
-            let serial = GaussianSsimConfig { threads: Some(1), ..Default::default() }
-                .mssim_strided(&a, &b, stride);
+            let serial = GaussianSsimConfig {
+                threads: Some(1),
+                ..Default::default()
+            }
+            .mssim_strided(&a, &b, stride);
             for threads in [2usize, 4, 9] {
-                let banded = GaussianSsimConfig { threads: Some(threads), ..Default::default() }
-                    .mssim_strided(&a, &b, stride);
-                assert_eq!(serial.to_bits(), banded.to_bits(), "stride={stride} threads={threads}");
+                let banded = GaussianSsimConfig {
+                    threads: Some(threads),
+                    ..Default::default()
+                }
+                .mssim_strided(&a, &b, stride);
+                assert_eq!(
+                    serial.to_bits(),
+                    banded.to_bits(),
+                    "stride={stride} threads={threads}"
+                );
             }
         }
     }

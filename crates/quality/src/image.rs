@@ -30,12 +30,20 @@ impl GrayImage {
             (width as usize) * (height as usize),
             "data length must equal width * height"
         );
-        GrayImage { width, height, data }
+        GrayImage {
+            width,
+            height,
+            data,
+        }
     }
 
     /// An image filled with a constant value.
     pub fn filled(width: u32, height: u32, value: f32) -> GrayImage {
-        GrayImage::new(width, height, vec![value; (width as usize) * (height as usize)])
+        GrayImage::new(
+            width,
+            height,
+            vec![value; (width as usize) * (height as usize)],
+        )
     }
 
     /// Image width.

@@ -20,11 +20,18 @@ pub(crate) fn thread_count(explicit: Option<usize>) -> usize {
     if let Some(n) = env_threads() {
         return n;
     }
-    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
 }
 
 fn env_threads() -> Option<usize> {
-    std::env::var("PATU_THREADS").ok()?.trim().parse::<usize>().ok().filter(|&n| n >= 1)
+    std::env::var("PATU_THREADS")
+        .ok()?
+        .trim()
+        .parse::<usize>()
+        .ok()
+        .filter(|&n| n >= 1)
 }
 
 /// Maps `per_row` over `rows` row indices and concatenates the per-row
@@ -48,6 +55,7 @@ where
     let workers = threads.min(rows);
     let band = rows.div_ceil(workers);
     let mut out = Vec::new();
+    // patu-lint: allow(thread-spawn) — the banded-SSIM runner: scoped workers, band-ordered merge, bit-identical to serial
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
@@ -64,6 +72,7 @@ where
             })
             .collect();
         for handle in handles {
+            // patu-lint: allow(panic-path) — a worker panic must propagate verbatim, not be converted to a quality result
             out.extend(handle.join().expect("SSIM band worker panicked"));
         }
     });
@@ -76,7 +85,11 @@ mod tests {
 
     #[test]
     fn banded_map_matches_serial_for_any_thread_count() {
-        let per_row = |row: usize| (0..5).map(|col| (row * 31 + col) as u64).collect::<Vec<u64>>();
+        let per_row = |row: usize| {
+            (0..5)
+                .map(|col| (row * 31 + col) as u64)
+                .collect::<Vec<u64>>()
+        };
         let serial = map_rows(1, 13, per_row);
         for threads in [2, 3, 4, 8, 64] {
             assert_eq!(map_rows(threads, 13, per_row), serial, "threads={threads}");

@@ -38,7 +38,13 @@ pub struct SsimConfig {
 
 impl Default for SsimConfig {
     fn default() -> SsimConfig {
-        SsimConfig { window: 8, k1: 0.01, k2: 0.03, dynamic_range: 255.0, threads: None }
+        SsimConfig {
+            window: 8,
+            k1: 0.01,
+            k2: 0.03,
+            dynamic_range: 255.0,
+            threads: None,
+        }
     }
 }
 
@@ -103,7 +109,10 @@ impl SsimMap {
         GrayImage::new(
             self.width,
             self.height,
-            self.values.iter().map(|v| v.clamp(0.0, 1.0) * 255.0).collect(),
+            self.values
+                .iter()
+                .map(|v| v.clamp(0.0, 1.0) * 255.0)
+                .collect(),
         )
     }
 }
@@ -124,17 +133,22 @@ impl Integral {
         for y in 0..h {
             let mut row_acc = 0.0f64;
             for x in 0..w {
-                row_acc += f64::from(a.get(x as u32, y as u32)) * f64::from(b.get(x as u32, y as u32));
+                row_acc +=
+                    f64::from(a.get(x as u32, y as u32)) * f64::from(b.get(x as u32, y as u32));
                 sums[(y + 1) * stride + (x + 1)] = sums[y * stride + (x + 1)] + row_acc;
             }
         }
-        Integral { width: stride, sums }
+        Integral {
+            width: stride,
+            sums,
+        }
     }
 
     /// Sum over the half-open window `[x0, x1) × [y0, y1)`.
     #[inline]
     fn window_sum(&self, x0: usize, y0: usize, x1: usize, y1: usize) -> f64 {
-        self.sums[y1 * self.width + x1] - self.sums[y0 * self.width + x1]
+        self.sums[y1 * self.width + x1]
+            - self.sums[y0 * self.width + x1]
             - self.sums[y1 * self.width + x0]
             + self.sums[y0 * self.width + x0]
     }
@@ -190,7 +204,11 @@ impl SsimConfig {
             }
             row
         });
-        SsimMap { width: out_w, height: out_h, values }
+        SsimMap {
+            width: out_w,
+            height: out_h,
+            values,
+        }
     }
 
     /// The mean SSIM between two images (the paper's Eq. 2).
@@ -223,7 +241,10 @@ impl SsimConfig {
         let windows = u64::from(map.width()) * u64::from(map.height());
         telemetry.span_arg("quality::ssim", 0, windows, "windows", windows);
         telemetry.add("ssim::windows", windows);
-        telemetry.add("ssim::pixels_in", u64::from(x.width()) * u64::from(x.height()));
+        telemetry.add(
+            "ssim::pixels_in",
+            u64::from(x.width()) * u64::from(x.height()),
+        );
         map.mean()
     }
 }
@@ -256,11 +277,7 @@ mod tests {
     #[test]
     fn inverted_image_scores_low() {
         let img = gradient(32, 32);
-        let inv = GrayImage::new(
-            32,
-            32,
-            img.samples().iter().map(|v| 255.0 - v).collect(),
-        );
+        let inv = GrayImage::new(32, 32, img.samples().iter().map(|v| 255.0 - v).collect());
         let m = SsimConfig::default().mssim(&img, &inv);
         assert!(m < 0.3, "structural inversion must score low, got {m}");
     }
@@ -303,7 +320,10 @@ mod tests {
         let damaged = map.get(0, 0);
         let pristine = map.get(40, 40);
         assert!(damaged < 0.7, "damaged window scores low, got {damaged}");
-        assert!((pristine - 1.0).abs() < 1e-5, "far window untouched, got {pristine}");
+        assert!(
+            (pristine - 1.0).abs() < 1e-5,
+            "far window untouched, got {pristine}"
+        );
     }
 
     #[test]
@@ -321,7 +341,10 @@ mod tests {
         let cfg = SsimConfig::default();
         let m_blur = cfg.mssim(&a, &blurred);
         let m_inv = cfg.mssim(&a, &inv);
-        assert!(m_blur > m_inv, "blur {m_blur} should beat inversion {m_inv}");
+        assert!(
+            m_blur > m_inv,
+            "blur {m_blur} should beat inversion {m_inv}"
+        );
         assert!(m_blur < 1.0);
     }
 
@@ -344,14 +367,20 @@ mod tests {
 
     #[test]
     fn traced_mssim_matches_and_records_analysis_span() {
-        use patu_obs::{Collector, TelemetryConfig, Track, TraceLevel};
+        use patu_obs::{Collector, TelemetryConfig, TraceLevel, Track};
         let a = gradient(32, 24);
         let cfg = SsimConfig::default();
         let plain = cfg.mssim(&a, &a.clone());
-        let mut telemetry =
-            Collector::new(TelemetryConfig::with_level(TraceLevel::Spans), Track::Analysis);
+        let mut telemetry = Collector::new(
+            TelemetryConfig::with_level(TraceLevel::Spans),
+            Track::Analysis,
+        );
         let traced = cfg.mssim_traced(&mut telemetry, &a, &a.clone());
-        assert_eq!(plain.to_bits(), traced.to_bits(), "tracing must not change the metric");
+        assert_eq!(
+            plain.to_bits(),
+            traced.to_bits(),
+            "tracing must not change the metric"
+        );
         let mut frame = patu_obs::FrameTelemetry::new(TraceLevel::Spans, 0, "p".into(), 0);
         frame.absorb(telemetry);
         assert_eq!(frame.stage_totals(), vec![("quality::ssim", 1, 25 * 17)]);
@@ -379,7 +408,10 @@ mod tests {
     #[test]
     fn window_size_is_respected() {
         let a = gradient(32, 32);
-        let cfg = SsimConfig { window: 11, ..SsimConfig::default() };
+        let cfg = SsimConfig {
+            window: 11,
+            ..SsimConfig::default()
+        };
         let map = cfg.ssim_map(&a, &a.clone());
         assert_eq!(map.width(), 22);
     }
@@ -404,7 +436,10 @@ mod tests {
         let a = gradient(16, 16);
         let map = SsimConfig::default().ssim_map(&a, &a.clone());
         let img = map.to_gray_image();
-        assert!(img.samples().iter().all(|&v| v > 254.0), "all-ones map -> white");
+        assert!(
+            img.samples().iter().all(|&v| v > 254.0),
+            "all-ones map -> white"
+        );
     }
 
     #[test]

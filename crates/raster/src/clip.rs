@@ -139,7 +139,11 @@ mod tests {
             .collect();
         assert!(!crossing.is_empty(), "an edge must cross x = w");
         for p in crossing {
-            assert!((p.uv.x - 1.0).abs() < 0.51, "uv tracks position: {}", p.uv.x);
+            assert!(
+                (p.uv.x - 1.0).abs() < 0.51,
+                "uv tracks position: {}",
+                p.uv.x
+            );
         }
     }
 
@@ -165,7 +169,11 @@ mod tests {
             v(10.0, -10.0, 0.0, 1.0),
             v(0.0, 10.0, 0.0, 1.0),
         );
-        assert!(poly.len() >= 4, "clipping against corners adds vertices, got {}", poly.len());
+        assert!(
+            poly.len() >= 4,
+            "clipping against corners adds vertices, got {}",
+            poly.len()
+        );
     }
 
     #[test]

@@ -19,7 +19,10 @@ impl QuadId {
     /// The quad containing pixel `(x, y)`.
     #[inline]
     pub const fn of_pixel(x: u32, y: u32) -> QuadId {
-        QuadId { qx: x / 2, qy: y / 2 }
+        QuadId {
+            qx: x / 2,
+            qy: y / 2,
+        }
     }
 }
 

@@ -64,7 +64,12 @@ impl Mesh {
                 "triangle index out of bounds: {t:?} with {n} vertices"
             );
         }
-        Mesh { vertices, triangles, material, transform: Mat4::IDENTITY }
+        Mesh {
+            vertices,
+            triangles,
+            material,
+            transform: Mat4::IDENTITY,
+        }
     }
 
     /// Sets the object-to-world transform, consuming and returning the mesh.

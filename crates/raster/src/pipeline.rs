@@ -141,7 +141,12 @@ impl Pipeline {
     pub fn with_tile_size(width: u32, height: u32, tile_size: u32) -> Pipeline {
         assert!(width > 0 && height > 0, "viewport must be non-empty");
         assert!(tile_size > 0, "tile size must be positive");
-        Pipeline { width, height, tile_size, traversal: TraversalOrder::RowMajor }
+        Pipeline {
+            width,
+            height,
+            tile_size,
+            traversal: TraversalOrder::RowMajor,
+        }
     }
 
     /// Sets the intra-tile fragment traversal order.
@@ -182,7 +187,12 @@ impl Pipeline {
             }
         }
 
-        GeometryOutput { width: self.width, height: self.height, tiles, stats }
+        GeometryOutput {
+            width: self.width,
+            height: self.height,
+            tiles,
+            stats,
+        }
     }
 
     /// Vertex processing + clipping + culling + viewport transform.
@@ -265,7 +275,14 @@ impl Pipeline {
         if area >= 0.0 {
             return None;
         }
-        Some(ScreenTriangle { pos, z, inv_w, uv_over_w, material, primitive })
+        Some(ScreenTriangle {
+            pos,
+            z,
+            inv_w,
+            uv_over_w,
+            material,
+            primitive,
+        })
     }
 
     /// Rasterizes all triangles binned to `bin`, early-depth-testing against
@@ -325,12 +342,10 @@ impl Pipeline {
 
                     // Perspective-correct UV and analytic derivatives.
                     let q = tri.inv_w[0] * w0 + tri.inv_w[1] * w1 + tri.inv_w[2] * w2;
-                    let s = tri.uv_over_w[0].x * w0
-                        + tri.uv_over_w[1].x * w1
-                        + tri.uv_over_w[2].x * w2;
-                    let t = tri.uv_over_w[0].y * w0
-                        + tri.uv_over_w[1].y * w1
-                        + tri.uv_over_w[2].y * w2;
+                    let s =
+                        tri.uv_over_w[0].x * w0 + tri.uv_over_w[1].x * w1 + tri.uv_over_w[2].x * w2;
+                    let t =
+                        tri.uv_over_w[0].y * w0 + tri.uv_over_w[1].y * w1 + tri.uv_over_w[2].y * w2;
                     let inv_q = 1.0 / q;
                     let uv = Vec2::new(s * inv_q, t * inv_q);
                     // d(s/q)/dx = (ds/dx * q - s * dq/dx) / q^2
@@ -362,7 +377,11 @@ impl Pipeline {
             // submission order, so last-write-wins depth resolution holds.
             fragments.sort_by_key(|f| morton_key(f.x, f.y));
         }
-        Tile { tx: bin.tx, ty: bin.ty, fragments }
+        Tile {
+            tx: bin.tx,
+            ty: bin.ty,
+            fragments,
+        }
     }
 }
 
@@ -385,6 +404,8 @@ fn linear_gradient(pos: &[Vec2; 3], f: &[f32; 3]) -> Vec2 {
 
 #[cfg(test)]
 mod tests {
+    // Tests may hash: iteration order is never observed in assertions.
+    #![allow(clippy::disallowed_types)]
     use super::*;
     use patu_gmath::Vec3;
 
@@ -417,17 +438,31 @@ mod tests {
     }
 
     fn camera() -> Camera {
-        Camera::new(Vec3::new(0.0, 1.0, 0.0), Vec3::new(0.0, 1.0, -10.0), 1.0, 1.0)
+        Camera::new(
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(0.0, 1.0, -10.0),
+            1.0,
+            1.0,
+        )
     }
 
     fn ground_camera() -> Camera {
-        Camera::new(Vec3::new(0.0, 2.0, 0.0), Vec3::new(0.0, 0.0, -30.0), 1.0, 1.0)
+        Camera::new(
+            Vec3::new(0.0, 2.0, 0.0),
+            Vec3::new(0.0, 0.0, -30.0),
+            1.0,
+            1.0,
+        )
     }
 
     #[test]
     fn facing_wall_fills_viewport() {
         let out = Pipeline::new(64, 64).run(&[facing_wall(0)], &camera());
-        assert_eq!(out.stats.fragments_shaded, 64 * 64, "every pixel covered once");
+        assert_eq!(
+            out.stats.fragments_shaded,
+            64 * 64,
+            "every pixel covered once"
+        );
         assert_eq!(out.stats.triangles_in, 2);
     }
 
@@ -443,9 +478,8 @@ mod tests {
 
     #[test]
     fn offscreen_mesh_fully_clipped() {
-        let wall = facing_wall(0).with_transform(patu_gmath::Mat4::translation(
-            Vec3::new(1000.0, 0.0, 0.0),
-        ));
+        let wall = facing_wall(0)
+            .with_transform(patu_gmath::Mat4::translation(Vec3::new(1000.0, 0.0, 0.0)));
         let out = Pipeline::new(64, 64).run(&[wall], &camera());
         assert_eq!(out.stats.triangles_clipped_out, 2);
         assert_eq!(out.stats.fragments_shaded, 0);
@@ -460,9 +494,8 @@ mod tests {
     #[test]
     fn depth_test_keeps_closer_surface() {
         // Two walls: far wall first, near wall second; near must win everywhere.
-        let far = facing_wall(0).with_transform(patu_gmath::Mat4::translation(
-            Vec3::new(0.0, 0.0, -10.0),
-        ));
+        let far = facing_wall(0)
+            .with_transform(patu_gmath::Mat4::translation(Vec3::new(0.0, 0.0, -10.0)));
         let near = facing_wall(1);
         let out = Pipeline::new(32, 32).run(&[far, near], &camera());
         // Every pixel gets two surviving fragments (far drawn first passes,
@@ -479,9 +512,8 @@ mod tests {
     #[test]
     fn depth_test_rejects_farther_drawn_later() {
         let near = facing_wall(1);
-        let far = facing_wall(0).with_transform(patu_gmath::Mat4::translation(
-            Vec3::new(0.0, 0.0, -10.0),
-        ));
+        let far = facing_wall(0)
+            .with_transform(patu_gmath::Mat4::translation(Vec3::new(0.0, 0.0, -10.0)));
         // Near drawn first: far fragments all fail early-Z.
         let out = Pipeline::new(32, 32).run(&[near, far], &camera());
         assert_eq!(out.stats.fragments_shaded, 32 * 32);
@@ -495,7 +527,12 @@ mod tests {
         let out = Pipeline::new(64, 64).run(&[facing_wall(0)], &camera());
         let mut seen = std::collections::HashSet::new();
         for f in out.fragments() {
-            assert!(seen.insert((f.x, f.y)), "pixel ({}, {}) shaded twice", f.x, f.y);
+            assert!(
+                seen.insert((f.x, f.y)),
+                "pixel ({}, {}) shaded twice",
+                f.x,
+                f.y
+            );
         }
     }
 
@@ -519,7 +556,10 @@ mod tests {
         let ax = f.duv_dx.length();
         let ay = f.duv_dy.length();
         let ratio = ax.max(ay) / ax.min(ay).max(1e-9);
-        assert!(ratio < 1.3, "screen-aligned wall is near-isotropic, ratio {ratio}");
+        assert!(
+            ratio < 1.3,
+            "screen-aligned wall is near-isotropic, ratio {ratio}"
+        );
     }
 
     #[test]
@@ -625,9 +665,8 @@ mod tests {
 
     #[test]
     fn morton_traversal_preserves_pixel_set_and_last_write() {
-        let far = facing_wall(0).with_transform(patu_gmath::Mat4::translation(
-            Vec3::new(0.0, 0.0, -10.0),
-        ));
+        let far = facing_wall(0)
+            .with_transform(patu_gmath::Mat4::translation(Vec3::new(0.0, 0.0, -10.0)));
         let near = facing_wall(1);
         let meshes = vec![far, near];
         let row = Pipeline::new(64, 64).run(&meshes, &camera());
@@ -647,7 +686,10 @@ mod tests {
         for f in morton.fragments() {
             last.insert((f.x, f.y), f.material);
         }
-        assert!(last.values().all(|&m| m == 1), "Morton sort is stable per pixel");
+        assert!(
+            last.values().all(|&m| m == 1),
+            "Morton sort is stable per pixel"
+        );
     }
 
     #[test]
@@ -671,7 +713,11 @@ mod tests {
 
     #[test]
     fn linear_gradient_of_plane() {
-        let pos = [Vec2::new(0.0, 0.0), Vec2::new(1.0, 0.0), Vec2::new(0.0, 1.0)];
+        let pos = [
+            Vec2::new(0.0, 0.0),
+            Vec2::new(1.0, 0.0),
+            Vec2::new(0.0, 1.0),
+        ];
         // f = 3x + 5y + 2
         let f = [2.0, 5.0, 7.0];
         let g = linear_gradient(&pos, &f);
@@ -688,10 +734,12 @@ mod tests {
 
     #[test]
     fn geometry_counters_export_to_telemetry() {
-        use patu_obs::{Collector, FrameTelemetry, TelemetryConfig, Track, TraceLevel};
+        use patu_obs::{Collector, FrameTelemetry, TelemetryConfig, TraceLevel, Track};
         let out = Pipeline::new(64, 64).run(&[facing_wall(0)], &camera());
-        let mut c =
-            Collector::new(TelemetryConfig::with_level(TraceLevel::Counters), Track::Frontend);
+        let mut c = Collector::new(
+            TelemetryConfig::with_level(TraceLevel::Counters),
+            Track::Frontend,
+        );
         out.stats.export_counters(&mut c);
         let mut frame = FrameTelemetry::new(TraceLevel::Counters, 0, "p".into(), 0);
         frame.absorb(c);

@@ -107,7 +107,11 @@ pub fn bin_triangles(
         for tx in 0..tiles_x {
             let tris = std::mem::take(&mut bins[(ty * tiles_x + tx) as usize]);
             if !tris.is_empty() {
-                out.push(TileBin { tx, ty, triangles: tris });
+                out.push(TileBin {
+                    tx,
+                    ty,
+                    triangles: tris,
+                });
             }
         }
     }
@@ -144,7 +148,12 @@ mod tests {
 
     #[test]
     fn offscreen_triangle_binned_nowhere() {
-        let bins = bin_triangles(&[tri(-100.0, -100.0, -50.0, -100.0, -100.0, -50.0)], 64, 64, 16);
+        let bins = bin_triangles(
+            &[tri(-100.0, -100.0, -50.0, -100.0, -100.0, -50.0)],
+            64,
+            64,
+            16,
+        );
         assert!(bins.is_empty());
     }
 
@@ -179,7 +188,11 @@ mod tests {
 
     #[test]
     fn tile_origin_helpers() {
-        let b = TileBin { tx: 3, ty: 2, triangles: vec![] };
+        let b = TileBin {
+            tx: 3,
+            ty: 2,
+            triangles: vec![],
+        };
         assert_eq!(b.x0(16), 48);
         assert_eq!(b.y0(16), 32);
     }

@@ -86,16 +86,22 @@ pub fn catalog() -> Vec<WorkloadSpec> {
 /// The default single resolution per game used by most experiments
 /// (1280×1024 where supported, per Sec. VI's benchmarking policy).
 pub fn default_specs() -> Vec<WorkloadSpec> {
-    let mut out = Vec::new();
-    for name in game_names() {
-        let res = if name == "wolf" { (640, 480) } else { (1280, 1024) };
-        let spec = catalog()
-            .into_iter()
-            .find(|s| s.name == name && s.resolution == res)
-            .expect("catalog covers every game's default resolution");
-        out.push(spec);
-    }
-    out
+    // Every game has its default resolution in the catalog (asserted by
+    // `default_specs_cover_all_games`); a hypothetical gap drops the game
+    // rather than panicking mid-experiment.
+    game_names()
+        .into_iter()
+        .filter_map(|name| {
+            let res = if name == "wolf" {
+                (640, 480)
+            } else {
+                (1280, 1024)
+            };
+            catalog()
+                .into_iter()
+                .find(|s| s.name == name && s.resolution == res)
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -138,6 +144,8 @@ mod tests {
     fn default_specs_cover_all_games() {
         let defaults = default_specs();
         assert_eq!(defaults.len(), 7);
-        assert!(defaults.iter().all(|s| s.resolution == (1280, 1024) || s.name == "wolf"));
+        assert!(defaults
+            .iter()
+            .all(|s| s.resolution == (1280, 1024) || s.name == "wolf"));
     }
 }

@@ -1,9 +1,7 @@
 //! The workload implementations: one procedural scene per game of Table II,
 //! plus `rbench`.
 
-use crate::geometry::{
-    ceiling_plane, facing_wall, ground_plane, prop_box, side_wall,
-};
+use crate::geometry::{ceiling_plane, facing_wall, ground_plane, prop_box, side_wall};
 use patu_gmath::{Vec2, Vec3};
 use patu_raster::{Camera, Mesh};
 use patu_texture::{procedural, Texture};
@@ -136,15 +134,19 @@ impl Workload {
             "ut3" => (Kind::Ut3, "ut3"),
             "wolf" => (Kind::Wolf, "wolf"),
             "rbench" => (Kind::Rbench, "rbench"),
-            other => return Err(WorkloadError { name: other.to_string() }),
+            other => {
+                return Err(WorkloadError {
+                    name: other.to_string(),
+                })
+            }
         };
         let textures = alloc_textures(match kind {
             Kind::Hl2 => vec![
-                procedural::plaid(256, 256, 0x11),           // 0 grass/field surface
-                procedural::stripes(256, 256, 6, 0x12),      // 1 water ripples
-                procedural::composite(256, 256, 0x13),       // 2 cliff
-                procedural::bricks(256, 256, 32, 12, 0x14),  // 3 building
-                procedural::value_noise(256, 256, 5, 0x15),  // 4 foliage
+                procedural::plaid(256, 256, 0x11),          // 0 grass/field surface
+                procedural::stripes(256, 256, 6, 0x12),     // 1 water ripples
+                procedural::composite(256, 256, 0x13),      // 2 cliff
+                procedural::bricks(256, 256, 32, 12, 0x14), // 3 building
+                procedural::value_noise(256, 256, 5, 0x15), // 4 foliage
             ],
             Kind::Doom3 => vec![
                 procedural::plaid(256, 256, 0x21),          // 0 floor plating
@@ -153,25 +155,25 @@ impl Workload {
                 procedural::value_noise(256, 256, 3, 0x24), // 3 ceiling grime
             ],
             Kind::Grid => vec![
-                procedural::road(256, 256, 0x31),          // 0 track
-                procedural::stripes(256, 256, 8, 0x32),    // 1 barriers
-                procedural::glyphs(256, 256, 0x33),        // 2 billboards
-                procedural::plaid(256, 256, 0x34),          // 3 verge/terrain
+                procedural::road(256, 256, 0x31),       // 0 track
+                procedural::stripes(256, 256, 8, 0x32), // 1 barriers
+                procedural::glyphs(256, 256, 0x33),     // 2 billboards
+                procedural::plaid(256, 256, 0x34),      // 3 verge/terrain
             ],
             Kind::Nfs => vec![
-                procedural::plaid(256, 256, 0x41),          // 0 paved street
-                procedural::composite(256, 256, 0x42),      // 1 buildings
-                procedural::glyphs(256, 256, 0x43),         // 2 signage
+                procedural::plaid(256, 256, 0x41),     // 0 paved street
+                procedural::composite(256, 256, 0x42), // 1 buildings
+                procedural::glyphs(256, 256, 0x43),    // 2 signage
             ],
             Kind::Stal => vec![
-                procedural::plaid(256, 256, 0x51),          // 0 terrain
-                procedural::stripes(256, 256, 4, 0x52),     // 1 fence
-                procedural::composite(256, 256, 0x53),      // 2 ruins
+                procedural::plaid(256, 256, 0x51),      // 0 terrain
+                procedural::stripes(256, 256, 4, 0x52), // 1 fence
+                procedural::composite(256, 256, 0x53),  // 2 ruins
             ],
             Kind::Ut3 => vec![
-                procedural::plaid(256, 256, 0x61),            // 0 arena floor
-                procedural::composite(256, 256, 0x62),        // 1 walls
-                procedural::glyphs(256, 256, 0x63),           // 2 trim
+                procedural::plaid(256, 256, 0x61),     // 0 arena floor
+                procedural::composite(256, 256, 0x62), // 1 walls
+                procedural::glyphs(256, 256, 0x63),    // 2 trim
             ],
             Kind::Wolf => vec![
                 procedural::checkerboard(256, 256, 32, 0x71), // 0 floor
@@ -296,7 +298,11 @@ fn hl2_frame(t: f32, aspect: f32) -> FrameScene {
         // Sky backdrop: screen-facing, magnified (isotropic, cheap).
         facing_wall(0.0, 55.0, 900.0, 260.0, z0 - 295.0, Vec2::new(3.0, 1.0), 4),
         // A building on the right.
-        prop_box(Vec3::new(30.0, 6.0, z0 - 80.0), Vec3::new(18.0, 12.0, 24.0), 3),
+        prop_box(
+            Vec3::new(30.0, 6.0, z0 - 80.0),
+            Vec3::new(18.0, 12.0, 24.0),
+            3,
+        ),
     ];
     // Foliage props along the path.
     for k in 0..6 {
@@ -308,7 +314,10 @@ fn hl2_frame(t: f32, aspect: f32) -> FrameScene {
             4,
         ));
     }
-    FrameScene { meshes, camera: cam }
+    FrameScene {
+        meshes,
+        camera: cam,
+    }
 }
 
 /// Indoor corridor: floor, ceiling and both walls all stretch to the
@@ -334,7 +343,10 @@ fn doom3_frame(t: f32, aspect: f32) -> FrameScene {
             2,
         ));
     }
-    FrameScene { meshes, camera: cam }
+    FrameScene {
+        meshes,
+        camera: cam,
+    }
 }
 
 /// Race circuit: a low, fast camera over a road — extreme anisotropy on most
@@ -346,9 +358,26 @@ fn grid_frame(t: f32, aspect: f32) -> FrameScene {
         ground_plane(0.0, 9.0, z0 - 0.4, z0 - 500.0, Vec2::new(2.0, 34.0), 0),
         // Grass verges outside the barriers.
         ground_plane(-0.02, 120.0, z0 - 0.4, z0 - 500.0, Vec2::new(10.0, 34.0), 3),
-        side_wall(-9.0, 0.0, 1.2, z0 - 0.4, z0 - 480.0, Vec2::new(34.0, 1.0), 1, true),
-        side_wall(9.0, 0.0, 1.2, z0 - 0.4, z0 - 480.0, Vec2::new(34.0, 1.0), 1, false)
-        ,
+        side_wall(
+            -9.0,
+            0.0,
+            1.2,
+            z0 - 0.4,
+            z0 - 480.0,
+            Vec2::new(34.0, 1.0),
+            1,
+            true,
+        ),
+        side_wall(
+            9.0,
+            0.0,
+            1.2,
+            z0 - 0.4,
+            z0 - 480.0,
+            Vec2::new(34.0, 1.0),
+            1,
+            false,
+        ),
         // Horizon sky backdrop.
         facing_wall(0.0, 8.0, 1200.0, 320.0, z0 - 495.0, Vec2::new(3.0, 1.0), 3),
     ];
@@ -364,7 +393,10 @@ fn grid_frame(t: f32, aspect: f32) -> FrameScene {
             2,
         ));
     }
-    FrameScene { meshes, camera: cam }
+    FrameScene {
+        meshes,
+        camera: cam,
+    }
 }
 
 /// City street: road with building canyons on both sides.
@@ -373,9 +405,26 @@ fn nfs_frame(t: f32, aspect: f32) -> FrameScene {
     let z0 = cam.eye.z;
     let mut meshes = vec![
         ground_plane(0.0, 14.0, z0 - 0.4, z0 - 420.0, Vec2::new(2.0, 30.0), 0),
-        side_wall(-14.0, 0.0, 22.0, z0 - 0.4, z0 - 400.0, Vec2::new(16.0, 2.0), 1, true),
-        side_wall(14.0, 0.0, 22.0, z0 - 0.4, z0 - 400.0, Vec2::new(16.0, 2.0), 1, false)
-        ,
+        side_wall(
+            -14.0,
+            0.0,
+            22.0,
+            z0 - 0.4,
+            z0 - 400.0,
+            Vec2::new(16.0, 2.0),
+            1,
+            true,
+        ),
+        side_wall(
+            14.0,
+            0.0,
+            22.0,
+            z0 - 0.4,
+            z0 - 400.0,
+            Vec2::new(16.0, 2.0),
+            1,
+            false,
+        ),
         // Street-end backdrop.
         facing_wall(0.0, 0.0, 600.0, 200.0, z0 - 415.0, Vec2::new(4.0, 2.0), 1),
     ];
@@ -391,7 +440,10 @@ fn nfs_frame(t: f32, aspect: f32) -> FrameScene {
             2,
         ));
     }
-    FrameScene { meshes, camera: cam }
+    FrameScene {
+        meshes,
+        camera: cam,
+    }
 }
 
 /// Open terrain: undulating ground (several tilted patches), fence lines and
@@ -415,7 +467,16 @@ fn stal_frame(t: f32, aspect: f32) -> FrameScene {
         // Overcast sky backdrop.
         facing_wall(0.0, 20.0, 1000.0, 300.0, z0 - 345.0, Vec2::new(3.0, 1.0), 0),
         // Fence line along the left.
-        side_wall(-20.0, 0.0, 2.0, z0 - 5.0, z0 - 320.0, Vec2::new(24.0, 1.0), 1, true),
+        side_wall(
+            -20.0,
+            0.0,
+            2.0,
+            z0 - 5.0,
+            z0 - 320.0,
+            Vec2::new(24.0, 1.0),
+            1,
+            true,
+        ),
     ];
     for k in 0..5 {
         let kz = z0 - 40.0 - 55.0 * k as f32;
@@ -425,7 +486,10 @@ fn stal_frame(t: f32, aspect: f32) -> FrameScene {
             2,
         ));
     }
-    FrameScene { meshes, camera: cam }
+    FrameScene {
+        meshes,
+        camera: cam,
+    }
 }
 
 /// Arena: an orbiting camera around mixed facing/oblique architecture —
@@ -453,11 +517,32 @@ fn wolf_frame(t: f32, aspect: f32) -> FrameScene {
     let meshes = vec![
         ground_plane(0.0, 3.0, z0 - 0.4, z0 - 150.0, Vec2::new(1.0, 12.0), 0),
         ceiling_plane(3.0, 3.0, z0 - 0.4, z0 - 150.0, Vec2::new(1.0, 12.0), 0),
-        side_wall(-3.0, 0.0, 3.0, z0 - 0.4, z0 - 150.0, Vec2::new(12.0, 1.0), 1, true),
-        side_wall(3.0, 0.0, 3.0, z0 - 0.4, z0 - 150.0, Vec2::new(12.0, 1.0), 1, false),
+        side_wall(
+            -3.0,
+            0.0,
+            3.0,
+            z0 - 0.4,
+            z0 - 150.0,
+            Vec2::new(12.0, 1.0),
+            1,
+            true,
+        ),
+        side_wall(
+            3.0,
+            0.0,
+            3.0,
+            z0 - 0.4,
+            z0 - 150.0,
+            Vec2::new(12.0, 1.0),
+            1,
+            false,
+        ),
         facing_wall(0.0, 0.0, 6.0, 3.0, z0 - 149.0, Vec2::new(1.5, 0.8), 1),
     ];
-    FrameScene { meshes, camera: cam }
+    FrameScene {
+        meshes,
+        camera: cam,
+    }
 }
 
 /// The texture-stress benchmark: several overlapping oblique planes carrying
@@ -491,15 +576,22 @@ fn rbench_frame(t: f32, aspect: f32) -> FrameScene {
         ),
         facing_wall(0.0, 0.0, 200.0, 45.0, z0 - 290.0, Vec2::new(26.0, 7.0), 3),
     ];
-    FrameScene { meshes, camera: cam }
+    FrameScene {
+        meshes,
+        camera: cam,
+    }
 }
 
 #[cfg(test)]
 mod tests {
+    // Tests may hash: iteration order is never observed in assertions.
+    #![allow(clippy::disallowed_types)]
     use super::*;
     use patu_raster::Pipeline;
 
-    const ALL: [&str; 8] = ["hl2", "doom3", "grid", "nfs", "stal", "ut3", "wolf", "rbench"];
+    const ALL: [&str; 8] = [
+        "hl2", "doom3", "grid", "nfs", "stal", "ut3", "wolf", "rbench",
+    ];
 
     #[test]
     fn unknown_name_errors() {
@@ -527,7 +619,10 @@ mod tests {
                 .collect();
             regions.sort_unstable();
             for pair in regions.windows(2) {
-                assert!(pair[0].1 <= pair[1].0, "{name}: overlapping texture regions");
+                assert!(
+                    pair[0].1 <= pair[1].0,
+                    "{name}: overlapping texture regions"
+                );
             }
         }
     }
@@ -538,7 +633,11 @@ mod tests {
             let w = Workload::build(name, (320, 240)).unwrap();
             let frame = w.frame(0);
             for m in &frame.meshes {
-                assert!(m.material < w.textures().len(), "{name}: material {}", m.material);
+                assert!(
+                    m.material < w.textures().len(),
+                    "{name}: material {}",
+                    m.material
+                );
             }
         }
     }
@@ -550,7 +649,10 @@ mod tests {
             let frame = w.frame(0);
             let out = Pipeline::new(320, 240).run(&frame.meshes, &frame.camera);
             let coverage = out.stats.fragments_shaded as f64 / (320.0 * 240.0);
-            assert!(coverage > 0.5, "{name}: only {coverage:.2} of pixels covered");
+            assert!(
+                coverage > 0.5,
+                "{name}: only {coverage:.2} of pixels covered"
+            );
         }
     }
 

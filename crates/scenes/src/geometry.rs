@@ -60,7 +60,11 @@ pub fn side_wall(
     material: usize,
     faces_positive_x: bool,
 ) -> Mesh {
-    let (za, zb) = if faces_positive_x { (z_near, z_far) } else { (z_far, z_near) };
+    let (za, zb) = if faces_positive_x {
+        (z_near, z_far)
+    } else {
+        (z_far, z_near)
+    };
     Mesh::quad(
         [
             Vec3::new(x, y0, za),
@@ -146,7 +150,10 @@ mod tests {
 
     fn render(meshes: &[Mesh], eye: Vec3, target: Vec3) -> u64 {
         let cam = Camera::new(eye, target, 1.0, 1.0);
-        Pipeline::new(64, 64).run(meshes, &cam).stats.fragments_shaded
+        Pipeline::new(64, 64)
+            .run(meshes, &cam)
+            .stats
+            .fragments_shaded
     }
 
     #[test]
@@ -186,7 +193,12 @@ mod tests {
     fn prop_box_shows_at_most_three_faces() {
         let b = prop_box(Vec3::new(0.0, 1.0, -10.0), Vec3::splat(2.0), 0);
         assert_eq!(b.triangles.len(), 12);
-        let cam = Camera::new(Vec3::new(3.0, 3.0, 0.0), Vec3::new(0.0, 1.0, -10.0), 1.0, 1.0);
+        let cam = Camera::new(
+            Vec3::new(3.0, 3.0, 0.0),
+            Vec3::new(0.0, 1.0, -10.0),
+            1.0,
+            1.0,
+        );
         let out = Pipeline::new(64, 64).run(&[b], &cam);
         // Half the faces are culled as back-facing.
         assert!(out.stats.triangles_culled >= 6);

@@ -35,13 +35,20 @@ pub struct ParseTraceError {
 
 impl ParseTraceError {
     fn new(line: usize, message: impl Into<String>) -> ParseTraceError {
-        ParseTraceError { line, message: message.into() }
+        ParseTraceError {
+            line,
+            message: message.into(),
+        }
     }
 }
 
 impl fmt::Display for ParseTraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -96,8 +103,19 @@ impl Trace {
             let _ = writeln!(
                 out,
                 "camera {} {} {} {} {} {} {} {} {} {} {} {} {}",
-                c.eye.x, c.eye.y, c.eye.z, c.target.x, c.target.y, c.target.z,
-                c.up.x, c.up.y, c.up.z, c.fovy, c.aspect, c.near, c.far
+                c.eye.x,
+                c.eye.y,
+                c.eye.z,
+                c.target.x,
+                c.target.y,
+                c.target.z,
+                c.up.x,
+                c.up.y,
+                c.up.z,
+                c.fovy,
+                c.aspect,
+                c.near,
+                c.far
             );
             for mesh in &scene.meshes {
                 let _ = writeln!(
@@ -163,14 +181,21 @@ impl Trace {
             match word {
                 "frame" => {
                     if current.is_some() {
-                        return Err(ParseTraceError::new(line_no, "nested frame (missing 'end')"));
+                        return Err(ParseTraceError::new(
+                            line_no,
+                            "nested frame (missing 'end')",
+                        ));
                     }
                     let index: u32 = rest
                         .trim()
                         .parse()
                         .map_err(|e| ParseTraceError::new(line_no, format!("bad index: {e}")))?;
                     // Placeholder camera until the camera line arrives.
-                    current = Some((index, Camera::new(Vec3::ZERO, Vec3::new(0.0, 0.0, -1.0), 1.0, 1.0), Vec::new()));
+                    current = Some((
+                        index,
+                        Camera::new(Vec3::ZERO, Vec3::new(0.0, 0.0, -1.0), 1.0, 1.0),
+                        Vec::new(),
+                    ));
                 }
                 "camera" => {
                     let vals = floats(13, rest, line_no)?;
@@ -223,9 +248,9 @@ impl Trace {
                             .next()
                             .ok_or_else(|| ParseTraceError::new(line_no, "truncated triangles"))?;
                         let tline = tline.trim();
-                        let body = tline
-                            .strip_prefix("t ")
-                            .ok_or_else(|| ParseTraceError::new(ti + 1, "expected triangle line"))?;
+                        let body = tline.strip_prefix("t ").ok_or_else(|| {
+                            ParseTraceError::new(ti + 1, "expected triangle line")
+                        })?;
                         let idx: Result<Vec<u32>, _> =
                             body.split_whitespace().map(str::parse::<u32>).collect();
                         let idx = idx
@@ -234,7 +259,10 @@ impl Trace {
                             return Err(ParseTraceError::new(ti + 1, "triangle needs 3 indices"));
                         }
                         if idx.iter().any(|&k| k as usize >= n_verts) {
-                            return Err(ParseTraceError::new(ti + 1, "triangle index out of range"));
+                            return Err(ParseTraceError::new(
+                                ti + 1,
+                                "triangle index out of range",
+                            ));
                         }
                         triangles.push([idx[0], idx[1], idx[2]]);
                     }
@@ -250,12 +278,18 @@ impl Trace {
                     frames.push((index, FrameScene { meshes, camera }));
                 }
                 other => {
-                    return Err(ParseTraceError::new(line_no, format!("unknown record '{other}'")));
+                    return Err(ParseTraceError::new(
+                        line_no,
+                        format!("unknown record '{other}'"),
+                    ));
                 }
             }
         }
         if current.is_some() {
-            return Err(ParseTraceError::new(text.lines().count(), "unterminated frame"));
+            return Err(ParseTraceError::new(
+                text.lines().count(),
+                "unterminated frame",
+            ));
         }
         Ok(Trace { frames })
     }

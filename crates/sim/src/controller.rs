@@ -58,8 +58,16 @@ impl ThresholdController {
     /// inverted pair is swapped.
     #[must_use]
     pub fn with_bounds(mut self, min: f64, max: f64) -> ThresholdController {
-        let min = if min.is_finite() { min.clamp(0.0, 1.0) } else { 0.0 };
-        let max = if max.is_finite() { max.clamp(0.0, 1.0) } else { 1.0 };
+        let min = if min.is_finite() {
+            min.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let max = if max.is_finite() {
+            max.clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
         let (min, max) = if min <= max { (min, max) } else { (max, min) };
         self.min_threshold = min;
         self.max_threshold = max;
@@ -121,7 +129,11 @@ mod tests {
         let settled = plant(c.threshold(), base);
         let err = (settled as f64 / target as f64 - 1.0).abs();
         assert!(err < 0.05, "settled within 5% of budget, err {err}");
-        assert!((c.threshold() - 0.5).abs() < 0.15, "θ near 0.5: {}", c.threshold());
+        assert!(
+            (c.threshold() - 0.5).abs() < 0.15,
+            "θ near 0.5: {}",
+            c.threshold()
+        );
     }
 
     #[test]

@@ -71,7 +71,10 @@ mod tests {
 
     #[test]
     fn chain_preserves_the_original_site() {
-        let gpu = GpuError::InvalidFaultRate { name: "dram_stall_rate", value: 2.0 };
+        let gpu = GpuError::InvalidFaultRate {
+            name: "dram_stall_rate",
+            value: 2.0,
+        };
         let sim = SimError::from(gpu);
         assert!(sim.to_string().contains("dram_stall_rate"));
         use std::error::Error;

@@ -57,7 +57,9 @@ impl ExperimentConfig {
     /// products (workload builders wrap the camera loop, so a saturated
     /// index still renders).
     pub fn frame_indices(&self) -> Vec<u32> {
-        (0..self.frames).map(|i| i.saturating_mul(self.frame_stride)).collect()
+        (0..self.frames)
+            .map(|i| i.saturating_mul(self.frame_stride))
+            .collect()
     }
 
     /// Sets the worker-thread knob (builder style).
@@ -187,9 +189,15 @@ pub fn run_policies(
             }
         }
     }
-    let inner_threads = if points.len() > 1 { Some(1) } else { cfg.threads };
+    let inner_threads = if points.len() > 1 {
+        Some(1)
+    } else {
+        cfg.threads
+    };
     let render_cfg = move |policy: FilterPolicy| {
-        let mut rc = RenderConfig::new(policy).with_gpu(cfg.gpu).with_faults(cfg.faults);
+        let mut rc = RenderConfig::new(policy)
+            .with_gpu(cfg.gpu)
+            .with_faults(cfg.faults);
         rc.cycle_budget = cfg.cycle_budget;
         rc.threads = inner_threads;
         rc.telemetry = cfg.telemetry;
@@ -253,7 +261,10 @@ pub fn design_points(theta: f64) -> Vec<(&'static str, FilterPolicy)> {
     vec![
         ("Baseline", FilterPolicy::Baseline),
         ("AF-SSIM(N)", FilterPolicy::SampleArea { threshold: theta }),
-        ("AF-SSIM(N)+(Txds)", FilterPolicy::SampleAreaTxds { threshold: theta }),
+        (
+            "AF-SSIM(N)+(Txds)",
+            FilterPolicy::SampleAreaTxds { threshold: theta },
+        ),
         ("PATU", FilterPolicy::Patu { threshold: theta }),
     ]
 }
@@ -265,9 +276,8 @@ pub fn threshold_sweep(
     thresholds: &[f64],
     cfg: &ExperimentConfig,
 ) -> Result<(AggregateResult, Vec<(f64, AggregateResult)>), SimError> {
-    let mut policies: Vec<(String, FilterPolicy)> = vec![
-        ("Baseline".to_string(), FilterPolicy::Baseline),
-    ];
+    let mut policies: Vec<(String, FilterPolicy)> =
+        vec![("Baseline".to_string(), FilterPolicy::Baseline)];
     for &t in thresholds {
         policies.push((format!("PATU@{t:.1}"), FilterPolicy::Patu { threshold: t }));
     }
@@ -296,14 +306,21 @@ pub fn temporal_stability(
     cfg: &ExperimentConfig,
 ) -> Result<f64, SimError> {
     if frames.len() < 2 {
-        return Err(SimError::NotEnoughFrames { got: frames.len(), need: 2 });
+        return Err(SimError::NotEnoughFrames {
+            got: frames.len(),
+            need: 2,
+        });
     }
     let ssim = SsimConfig::default();
     let mut rc = RenderConfig::new(policy).with_gpu(cfg.gpu);
     // Frames render in parallel (serially inside each render when several
     // are in flight); the consecutive-pair SSIM scan stays serial and in
     // frame order, so the mean is bit-identical across thread counts.
-    rc.threads = if frames.len() > 1 { Some(1) } else { cfg.threads };
+    rc.threads = if frames.len() > 1 {
+        Some(1)
+    } else {
+        cfg.threads
+    };
     let tasks: Vec<parallel::Task<'_, Result<patu_quality::GrayImage, SimError>>> = frames
         .iter()
         .map(|&f| {
@@ -328,7 +345,10 @@ pub fn temporal_stability(
 pub fn best_point(baseline: &AggregateResult, sweep: &[(f64, AggregateResult)]) -> f64 {
     sweep
         .iter()
-        .max_by(|a, b| a.1.tuning_metric(baseline).total_cmp(&b.1.tuning_metric(baseline)))
+        .max_by(|a, b| {
+            a.1.tuning_metric(baseline)
+                .total_cmp(&b.1.tuning_metric(baseline))
+        })
         .map(|(t, _)| *t)
         .unwrap_or(1.0)
 }
@@ -338,7 +358,11 @@ mod tests {
     use super::*;
 
     fn small_cfg() -> ExperimentConfig {
-        ExperimentConfig { frames: 1, frame_stride: 1, ..ExperimentConfig::default() }
+        ExperimentConfig {
+            frames: 1,
+            frame_stride: 1,
+            ..ExperimentConfig::default()
+        }
     }
 
     fn workload() -> Workload {
@@ -347,14 +371,21 @@ mod tests {
 
     #[test]
     fn frame_indices_stride() {
-        let cfg = ExperimentConfig { frames: 3, frame_stride: 100, ..Default::default() };
+        let cfg = ExperimentConfig {
+            frames: 3,
+            frame_stride: 100,
+            ..Default::default()
+        };
         assert_eq!(cfg.frame_indices(), vec![0, 100, 200]);
     }
 
     #[test]
     fn frame_indices_saturate_instead_of_overflowing() {
-        let cfg =
-            ExperimentConfig { frames: 4, frame_stride: u32::MAX / 2, ..Default::default() };
+        let cfg = ExperimentConfig {
+            frames: 4,
+            frame_stride: u32::MAX / 2,
+            ..Default::default()
+        };
         assert_eq!(
             cfg.frame_indices(),
             vec![0, u32::MAX / 2, u32::MAX - 1, u32::MAX],
@@ -386,7 +417,11 @@ mod tests {
         let results = run_policies(&w, &design_points(0.4), &small_cfg()).unwrap();
         let base = &results[0];
         let patu = &results[3];
-        assert!(patu.speedup_vs(base) > 1.0, "PATU speeds up: {}", patu.speedup_vs(base));
+        assert!(
+            patu.speedup_vs(base) > 1.0,
+            "PATU speeds up: {}",
+            patu.speedup_vs(base)
+        );
         assert!(patu.mssim > 0.8, "PATU quality stays high: {}", patu.mssim);
         assert!(patu.filter_latency_ratio_vs(base) < 1.0);
     }
@@ -408,8 +443,7 @@ mod tests {
     #[test]
     fn sweep_quality_rises_with_threshold() {
         let w = workload();
-        let (baseline, sweep) =
-            threshold_sweep(&w, &[0.0, 0.5, 1.0], &small_cfg()).unwrap();
+        let (baseline, sweep) = threshold_sweep(&w, &[0.0, 0.5, 1.0], &small_cfg()).unwrap();
         assert_eq!(sweep.len(), 3);
         let q0 = sweep[0].1.mssim;
         let q1 = sweep[2].1.mssim;
@@ -424,8 +458,7 @@ mod tests {
     fn temporal_stability_in_unit_range_and_tracks_baseline() {
         let w = workload();
         let frames = [0u32, 1, 2];
-        let base =
-            temporal_stability(&w, FilterPolicy::Baseline, &frames, &small_cfg()).unwrap();
+        let base = temporal_stability(&w, FilterPolicy::Baseline, &frames, &small_cfg()).unwrap();
         let patu = temporal_stability(
             &w,
             FilterPolicy::Patu { threshold: 0.4 },
@@ -442,9 +475,11 @@ mod tests {
     #[test]
     fn temporal_stability_needs_two_frames() {
         let w = workload();
-        let err = temporal_stability(&w, FilterPolicy::Baseline, &[0], &small_cfg())
-            .unwrap_err();
-        assert!(matches!(err, crate::error::SimError::NotEnoughFrames { got: 1, need: 2 }));
+        let err = temporal_stability(&w, FilterPolicy::Baseline, &[0], &small_cfg()).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::SimError::NotEnoughFrames { got: 1, need: 2 }
+        ));
     }
 
     #[test]
@@ -458,7 +493,10 @@ mod tests {
         let patu = &results[3];
         assert!(patu.stats.faults.faults_injected() > 0);
         assert!(patu.stats.faults.fallbacks > 0);
-        assert!((0.0..=1.0).contains(&patu.mssim), "SSIM stays valid under faults");
+        assert!(
+            (0.0..=1.0).contains(&patu.mssim),
+            "SSIM stays valid under faults"
+        );
         // Same seed, same chaos: the whole experiment is reproducible.
         let again = run_policies(&w, &design_points(0.4), &cfg).unwrap();
         assert_eq!(patu.stats, again[3].stats);
@@ -468,7 +506,10 @@ mod tests {
     fn invalid_fault_rate_is_an_error_not_a_panic() {
         let w = workload();
         let cfg = ExperimentConfig {
-            faults: FaultConfig { cache_bitflip_rate: -1.0, ..FaultConfig::disabled() },
+            faults: FaultConfig {
+                cache_bitflip_rate: -1.0,
+                ..FaultConfig::disabled()
+            },
             ..small_cfg()
         };
         assert!(run_policies(&w, &design_points(0.4), &cfg).is_err());
@@ -479,7 +520,10 @@ mod tests {
         let w = workload();
         let (baseline, sweep) = threshold_sweep(&w, &[0.2, 0.8], &small_cfg()).unwrap();
         let bp = best_point(&baseline, &sweep);
-        let metrics: Vec<f64> = sweep.iter().map(|(_, r)| r.tuning_metric(&baseline)).collect();
+        let metrics: Vec<f64> = sweep
+            .iter()
+            .map(|(_, r)| r.tuning_metric(&baseline))
+            .collect();
         let best_idx = if metrics[0] >= metrics[1] { 0 } else { 1 };
         assert_eq!(bp, sweep[best_idx].0);
     }

@@ -57,8 +57,7 @@ impl Foveation {
             (y as f32 + 0.5) / height as f32,
         );
         let r = (p - self.center).length();
-        let t = ((r - self.inner_radius) / (self.outer_radius - self.inner_radius))
-            .clamp(0.0, 1.0);
+        let t = ((r - self.inner_radius) / (self.outer_radius - self.inner_radius)).clamp(0.0, 1.0);
         f64::from(1.0 + (self.edge_scale - 1.0) * t)
     }
 }
@@ -77,7 +76,10 @@ mod tests {
     fn periphery_reaches_edge_scale() {
         let f = Foveation::default();
         let corner = f.threshold_scale(0, 0, 640, 480);
-        assert!((corner - f64::from(f.edge_scale)).abs() < 0.05, "got {corner}");
+        assert!(
+            (corner - f64::from(f.edge_scale)).abs() < 0.05,
+            "got {corner}"
+        );
     }
 
     #[test]
@@ -93,7 +95,10 @@ mod tests {
 
     #[test]
     fn off_center_fixation() {
-        let f = Foveation { center: Vec2::new(0.25, 0.5), ..Foveation::default() };
+        let f = Foveation {
+            center: Vec2::new(0.25, 0.5),
+            ..Foveation::default()
+        };
         let near = f.threshold_scale(160, 240, 640, 480);
         let far = f.threshold_scale(639, 240, 640, 480);
         assert_eq!(near, 1.0);

@@ -52,5 +52,5 @@ pub use experiment::{AggregateResult, ExperimentConfig};
 pub use foveation::Foveation;
 pub use render::{render_frame, FrameResult, RenderConfig};
 pub use replay::{ReplayModel, ReplayResult};
-pub use stereo::{render_stereo, StereoFrameResult};
 pub use satisfaction::SatisfactionModel;
+pub use stereo::{render_stereo, StereoFrameResult};

@@ -39,11 +39,18 @@ pub fn thread_count(explicit: Option<usize>) -> usize {
     if let Some(n) = env_threads() {
         return n;
     }
-    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
 }
 
 fn env_threads() -> Option<usize> {
-    std::env::var("PATU_THREADS").ok()?.trim().parse::<usize>().ok().filter(|&n| n >= 1)
+    std::env::var("PATU_THREADS")
+        .ok()?
+        .trim()
+        .parse::<usize>()
+        .ok()
+        .filter(|&n| n >= 1)
 }
 
 /// The static tile→cluster assignment: round-robin on the tile index. A
@@ -83,17 +90,25 @@ pub fn run_tasks<T: Send>(threads: usize, tasks: Vec<Task<'_, T>>) -> Vec<T> {
             .into_iter()
             .map(|queue| {
                 scope.spawn(move || {
-                    queue.into_iter().map(|(i, task)| (i, task())).collect::<Vec<(usize, T)>>()
+                    queue
+                        .into_iter()
+                        .map(|(i, task)| (i, task()))
+                        .collect::<Vec<(usize, T)>>()
                 })
             })
             .collect();
         for handle in handles {
+            // patu-lint: allow(panic-path) — a worker panic must propagate verbatim (documented: "Propagates panics")
             for (i, value) in handle.join().expect("parallel worker panicked") {
                 slots[i] = Some(value);
             }
         }
     });
-    slots.into_iter().map(|slot| slot.expect("every task ran exactly once")).collect()
+    slots
+        .into_iter()
+        // patu-lint: allow(panic-path) — every index is filled: task i goes to worker i mod workers
+        .map(|slot| slot.expect("every task ran exactly once"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -101,14 +116,20 @@ mod tests {
     use super::*;
 
     fn squares(n: usize) -> Vec<Task<'static, usize>> {
-        (0..n).map(|i| Box::new(move || i * i) as Task<'static, usize>).collect()
+        (0..n)
+            .map(|i| Box::new(move || i * i) as Task<'static, usize>)
+            .collect()
     }
 
     #[test]
     fn results_keep_task_order() {
         let expected: Vec<usize> = (0..23).map(|i| i * i).collect();
         for threads in [1, 2, 3, 4, 16, 64] {
-            assert_eq!(run_tasks(threads, squares(23)), expected, "threads={threads}");
+            assert_eq!(
+                run_tasks(threads, squares(23)),
+                expected,
+                "threads={threads}"
+            );
         }
     }
 
@@ -135,7 +156,10 @@ mod tests {
     fn thread_count_resolution() {
         assert_eq!(thread_count(Some(5)), 5);
         assert_eq!(thread_count(Some(0)), 1, "zero sanitizes to one");
-        assert!(thread_count(None) >= 1, "env/available fallback is positive");
+        assert!(
+            thread_count(None) >= 1,
+            "env/available fallback is positive"
+        );
     }
 
     #[test]

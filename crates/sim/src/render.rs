@@ -7,7 +7,9 @@ use patu_gpu::{
     FaultConfig, FaultCounts, FrameStats, FrameTimer, GpuConfig, MemSideEffects, MemorySystem,
     TextureRequest, TextureUnit, TrafficClass,
 };
-use patu_obs::{Collector, Event, EventKind, FrameTelemetry, Log2Histogram, TelemetryConfig, Track};
+use patu_obs::{
+    Collector, Event, EventKind, FrameTelemetry, Log2Histogram, TelemetryConfig, Track,
+};
 use patu_quality::GrayImage;
 use patu_raster::{Framebuffer, GeometryOutput, Pipeline};
 use patu_scenes::Workload;
@@ -216,8 +218,8 @@ pub fn render_scene(
     cfg: &RenderConfig,
 ) -> Result<FrameResult, SimError> {
     let (width, height) = workload.resolution();
-    let pipeline = Pipeline::with_tile_size(width, height, cfg.gpu.tile_size)
-        .with_traversal(cfg.traversal);
+    let pipeline =
+        Pipeline::with_tile_size(width, height, cfg.gpu.tile_size).with_traversal(cfg.traversal);
     let geometry = pipeline.run(&scene.meshes, &scene.camera);
 
     // Fallible setup happens serially, before any worker spawns, so
@@ -328,7 +330,10 @@ pub fn render_scene(
 
     // Framebuffer writeout: each tile's pixels once per frame, with
     // lossless framebuffer compression (~2:1, standard on mobile GPUs).
-    side.record_traffic(TrafficClass::Framebuffer, u64::from(width) * u64::from(height) * 2);
+    side.record_traffic(
+        TrafficClass::Framebuffer,
+        u64::from(width) * u64::from(height) * 2,
+    );
     side.record_traffic(TrafficClass::Other, 4096); // command stream
     fault_counts.watchdog_trips += u64::from(degraded);
 
@@ -348,8 +353,14 @@ pub fn render_scene(
         geometry.stats.fragments_shaded * u64::from(cfg.gpu.shader_ops_per_fragment);
     stats.events.vertices = geometry.stats.vertices_processed;
     stats.events.hash_table_accesses += hash_accesses;
-    stats.events.predictor_evals = approx.stage1_approx + approx.stage2_approx * 2
-        + approx.kept_af * if cfg.policy.uses_distribution_stage() { 2 } else { 1 };
+    stats.events.predictor_evals = approx.stage1_approx
+        + approx.stage2_approx * 2
+        + approx.kept_af
+            * if cfg.policy.uses_distribution_stage() {
+                2
+            } else {
+                1
+            };
 
     // Merge telemetry in a fixed order — front-end first, then clusters by
     // index — so the artifact is a pure function of the frame, independent
@@ -375,13 +386,23 @@ pub fn render_scene(
             merged.absorb(obs);
         }
         merged.counters.insert("frame::cycles", stats.cycles);
-        merged.hists.insert("filter::latency", stats.filter_latency_hist);
+        merged
+            .hists
+            .insert("filter::latency", stats.filter_latency_hist);
         Some(Box::new(merged))
     } else {
         None
     };
 
-    Ok(FrameResult { image, stats, approx, sharing, divergence, degraded, telemetry })
+    Ok(FrameResult {
+        image,
+        stats,
+        approx,
+        sharing,
+        divergence,
+        degraded,
+        telemetry,
+    })
 }
 
 /// One cluster's worker-private simulation state: its slice of the memory
@@ -425,7 +446,11 @@ struct QuadScratch {
 impl QuadScratch {
     fn new(tile_size: u32) -> QuadScratch {
         let q = (tile_size as usize).div_ceil(2).max(1);
-        QuadScratch { quads_per_side: q, fragments: vec![0; q * q], approximated: vec![0; q * q] }
+        QuadScratch {
+            quads_per_side: q,
+            fragments: vec![0; q * q],
+            approximated: vec![0; q * q],
+        }
     }
 
     #[inline]
@@ -534,7 +559,9 @@ fn run_cluster(
                 cfg.gpu.max_aniso,
             );
             let outcome = if degraded {
-                shard.patu.filter_with(FilterPolicy::NoAf, tex, frag.uv, &fp, cfg.address_mode)
+                shard
+                    .patu
+                    .filter_with(FilterPolicy::NoAf, tex, frag.uv, &fp, cfg.address_mode)
             } else {
                 match cfg.foveation {
                     None => shard.patu.filter(tex, frag.uv, &fp, cfg.address_mode),
@@ -547,7 +574,9 @@ fn run_cluster(
                             ),
                             None => cfg.policy,
                         };
-                        shard.patu.filter_with(policy, tex, frag.uv, &fp, cfg.address_mode)
+                        shard
+                            .patu
+                            .filter_with(policy, tex, frag.uv, &fp, cfg.address_mode)
                     }
                 }
             };
@@ -569,7 +598,13 @@ fn run_cluster(
             texture_done = texture_done.max(timing.completion);
             wasted_addr_taps += u64::from(outcome.decision.wasted_addr_taps);
 
-            quads.record(frag.x, frag.y, tile_x0, tile_y0, outcome.decision.is_approximated());
+            quads.record(
+                frag.x,
+                frag.y,
+                tile_x0,
+                tile_y0,
+                outcome.decision.is_approximated(),
+            );
 
             // Fragment shading applies the material's (possibly non-linear)
             // response to the filtered texel — the paper's vanished-effects
@@ -618,7 +653,9 @@ fn run_cluster(
                         cycle: end,
                         cluster: cluster as u32,
                         tile: ti as u32,
-                        kind: EventKind::Fallback { count: delta.fallbacks },
+                        kind: EventKind::Fallback {
+                            count: delta.fallbacks,
+                        },
                     });
                     if obs.dump_count() == 0 {
                         obs.dump("fault_fallback", end, ti as u32);
@@ -628,7 +665,10 @@ fn run_cluster(
         }
     }
 
-    let mut side = MemSideEffects { bandwidth: shard.mem.bandwidth(), events: shard.mem.events() };
+    let mut side = MemSideEffects {
+        bandwidth: shard.mem.bandwidth(),
+        events: shard.mem.events(),
+    };
     side.events.accumulate(&shard.tex.events());
     let mut faults = shard.mem.fault_counts();
     faults.accumulate(&shard.patu.fault_counts());
@@ -678,7 +718,10 @@ mod tests {
         let r = render(&w, 0, &RenderConfig::new(FilterPolicy::Baseline));
         assert!(r.stats.cycles > 0);
         assert!(r.stats.filter_requests > 10_000);
-        assert!(r.stats.events.trilinear_ops > r.stats.filter_requests, "AF multiplies taps");
+        assert!(
+            r.stats.events.trilinear_ops > r.stats.filter_requests,
+            "AF multiplies taps"
+        );
         assert!(r.stats.bandwidth.texture > 0);
     }
 
@@ -687,7 +730,10 @@ mod tests {
         let w = workload();
         let base = render(&w, 0, &RenderConfig::new(FilterPolicy::Baseline));
         let noaf = render(&w, 0, &RenderConfig::new(FilterPolicy::NoAf));
-        assert!(noaf.stats.cycles < base.stats.cycles, "disabling AF speeds up");
+        assert!(
+            noaf.stats.cycles < base.stats.cycles,
+            "disabling AF speeds up"
+        );
         assert!(noaf.stats.events.texel_fetches < base.stats.events.texel_fetches);
         assert!(
             noaf.stats.filter_latency_cycles < base.stats.filter_latency_cycles,
@@ -700,11 +746,18 @@ mod tests {
         let w = workload();
         let base = render(&w, 0, &RenderConfig::new(FilterPolicy::Baseline));
         let noaf = render(&w, 0, &RenderConfig::new(FilterPolicy::NoAf));
-        let patu = render(&w, 0, &RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 }));
+        let patu = render(
+            &w,
+            0,
+            &RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 }),
+        );
         assert!(patu.stats.events.texel_fetches <= base.stats.events.texel_fetches);
         assert!(patu.stats.events.texel_fetches >= noaf.stats.events.texel_fetches);
         assert!(patu.approx.pixels > 0);
-        assert!(patu.stats.events.hash_table_accesses > 0, "stage 2 exercised");
+        assert!(
+            patu.stats.events.hash_table_accesses > 0,
+            "stage 2 exercised"
+        );
     }
 
     #[test]
@@ -731,7 +784,11 @@ mod tests {
     #[test]
     fn divergence_is_rare() {
         let w = workload();
-        let r = render(&w, 0, &RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 }));
+        let r = render(
+            &w,
+            0,
+            &RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 }),
+        );
         assert!(r.divergence.quads > 100);
         // The paper reports ~1% on commercial traces; our procedural scenes
         // have sharper decision boundaries, so allow more headroom while
@@ -759,7 +816,10 @@ mod tests {
         let w = workload();
         let plain = RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 });
         // A non-zero seed with all-zero rates must change nothing.
-        let seeded = plain.with_faults(FaultConfig { seed: 99, ..FaultConfig::disabled() });
+        let seeded = plain.with_faults(FaultConfig {
+            seed: 99,
+            ..FaultConfig::disabled()
+        });
         let a = render(&w, 0, &plain);
         let b = render(&w, 0, &seeded);
         assert_eq!(a.image.pixels(), b.image.pixels());
@@ -801,13 +861,17 @@ mod tests {
     #[test]
     fn adversarial_configs_are_typed_errors() {
         let w = workload();
-        let nan_threshold = RenderConfig::new(FilterPolicy::Patu { threshold: f64::NAN });
+        let nan_threshold = RenderConfig::new(FilterPolicy::Patu {
+            threshold: f64::NAN,
+        });
         assert!(render_frame(&w, 0, &nan_threshold).is_err());
         let zero_table =
             RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 }).with_hash_table_capacity(0);
         assert!(render_frame(&w, 0, &zero_table).is_err());
-        let bad_rate = RenderConfig::new(FilterPolicy::Baseline)
-            .with_faults(FaultConfig { dram_stall_rate: 7.0, ..FaultConfig::disabled() });
+        let bad_rate = RenderConfig::new(FilterPolicy::Baseline).with_faults(FaultConfig {
+            dram_stall_rate: 7.0,
+            ..FaultConfig::disabled()
+        });
         let err = render_frame(&w, 0, &bad_rate).unwrap_err();
         assert!(err.to_string().contains("dram_stall_rate"));
     }
@@ -816,7 +880,10 @@ mod tests {
     fn telemetry_off_yields_none() {
         let w = workload();
         let r = render(&w, 0, &RenderConfig::new(FilterPolicy::Baseline));
-        assert!(r.telemetry.is_none(), "off is the default and carries nothing");
+        assert!(
+            r.telemetry.is_none(),
+            "off is the default and carries nothing"
+        );
     }
 
     #[test]
@@ -841,7 +908,11 @@ mod tests {
         assert!(t.hists.contains_key("mem::fetch_latency"));
         assert!(!t.events.is_empty(), "tile begin/end events in the ring");
         // The rendered pixels are untouched by observation.
-        let plain = render(&w, 2, &RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 }));
+        let plain = render(
+            &w,
+            2,
+            &RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 }),
+        );
         assert_eq!(plain.image.pixels(), r.image.pixels());
         assert_eq!(plain.stats, r.stats);
     }
@@ -862,7 +933,9 @@ mod tests {
         assert_eq!(dump.policy, "Baseline");
         assert_eq!(dump.fault_seed, 0);
         assert!(
-            dump.events.iter().any(|e| matches!(e.kind, patu_obs::EventKind::WatchdogTrip)),
+            dump.events
+                .iter()
+                .any(|e| matches!(e.kind, patu_obs::EventKind::WatchdogTrip)),
             "the ring holds the trip event itself"
         );
     }
@@ -877,7 +950,11 @@ mod tests {
         assert!(r.stats.faults.fallbacks > 0);
         let t = r.telemetry.expect("counters level records");
         assert!(t.dumps.iter().any(|d| d.reason == "fault_fallback"));
-        let dump = t.dumps.iter().find(|d| d.reason == "fault_fallback").unwrap();
+        let dump = t
+            .dumps
+            .iter()
+            .find(|d| d.reason == "fault_fallback")
+            .unwrap();
         assert_eq!(dump.fault_seed, 42);
         assert!(dump.policy.starts_with("Patu"));
     }

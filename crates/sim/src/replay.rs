@@ -45,8 +45,7 @@ impl ReplayResult {
     /// Average displayed frames per second over the replay: the frame count
     /// over the refresh span they occupied (inclusive of the first tick).
     pub fn average_fps(&self, refresh_hz: f64) -> f64 {
-        let (Some(&first), Some(&last)) =
-            (self.display_ticks.first(), self.display_ticks.last())
+        let (Some(&first), Some(&last)) = (self.display_ticks.first(), self.display_ticks.last())
         else {
             return 0.0;
         };
@@ -72,8 +71,7 @@ impl ReplayModel {
     /// its work completes. A frame that spans `k` extra refresh intervals
     /// contributes `k` stalled refreshes.
     pub fn replay(&self, frame_cycles: &[u64]) -> ReplayResult {
-        let refresh_cycles =
-            (self.gpu_frequency_hz / self.refresh_hz).round() as u64;
+        let refresh_cycles = (self.gpu_frequency_hz / self.refresh_hz).round() as u64;
         let mut display_ticks = Vec::with_capacity(frame_cycles.len());
         let mut stalled = 0u64;
         // Time (in cycles) at which the pipeline is free to start a frame.
@@ -95,7 +93,11 @@ impl ReplayModel {
             free_at = tick * refresh_cycles;
         }
 
-        ReplayResult { refresh_cycles, display_ticks, stalled_refreshes: stalled }
+        ReplayResult {
+            refresh_cycles,
+            display_ticks,
+            stalled_refreshes: stalled,
+        }
     }
 
     /// Convenience: average displayed fps for a frame-cycle sequence.
@@ -110,7 +112,10 @@ mod tests {
 
     /// A model with a small CPU latency so GPU time dominates.
     fn fast_cpu() -> ReplayModel {
-        ReplayModel { cpu_latency_cycles: 1_000, ..ReplayModel::default() }
+        ReplayModel {
+            cpu_latency_cycles: 1_000,
+            ..ReplayModel::default()
+        }
     }
 
     #[test]

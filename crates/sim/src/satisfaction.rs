@@ -121,7 +121,10 @@ mod tests {
         let m = SatisfactionModel::default();
         let a = m.score(0.94, 60.0, HI_RES);
         let b = m.score(1.0, 60.0, HI_RES);
-        assert!((a - b).abs() < 0.05, "0.94 vs 1.0 MSSIM barely differ: {a} vs {b}");
+        assert!(
+            (a - b).abs() < 0.05,
+            "0.94 vs 1.0 MSSIM barely differ: {a} vs {b}"
+        );
     }
 
     #[test]
@@ -129,7 +132,10 @@ mod tests {
         let m = SatisfactionModel::default();
         let good = m.score(0.93, 60.0, HI_RES);
         let bad = m.score(0.72, 60.0, HI_RES);
-        assert!(good - bad > 0.3, "visible loss costs score: {good} vs {bad}");
+        assert!(
+            good - bad > 0.3,
+            "visible loss costs score: {good} vs {bad}"
+        );
     }
 
     #[test]

@@ -43,7 +43,10 @@ fn eye_scene(scene: &FrameScene, half_ipd: f32) -> FrameScene {
     let mut eye_cam = cam;
     eye_cam.eye += offset;
     eye_cam.target += offset;
-    FrameScene { meshes: scene.meshes.clone(), camera: eye_cam }
+    FrameScene {
+        meshes: scene.meshes.clone(),
+        camera: eye_cam,
+    }
 }
 
 /// Renders frame `index` of `workload` in stereo with the given
@@ -100,10 +103,7 @@ mod tests {
         let cfg = RenderConfig::new(FilterPolicy::Baseline);
         let s = render_stereo(&w, 0, &cfg, 0.4).unwrap();
         let combined = s.combined_stats();
-        assert_eq!(
-            combined.cycles,
-            s.left.stats.cycles + s.right.stats.cycles
-        );
+        assert_eq!(combined.cycles, s.left.stats.cycles + s.right.stats.cycles);
         assert_eq!(
             combined.events.texel_fetches,
             s.left.stats.events.texel_fetches + s.right.stats.events.texel_fetches
@@ -113,8 +113,7 @@ mod tests {
     #[test]
     fn patu_saves_on_both_eyes() {
         let w = workload();
-        let base =
-            render_stereo(&w, 0, &RenderConfig::new(FilterPolicy::Baseline), 0.4).unwrap();
+        let base = render_stereo(&w, 0, &RenderConfig::new(FilterPolicy::Baseline), 0.4).unwrap();
         let patu = render_stereo(
             &w,
             0,

@@ -147,14 +147,8 @@ impl Footprint {
     /// the TF sample).
     pub fn tap_offsets(&self) -> Vec<f32> {
         let n = self.n as usize;
-        let mut offsets: Vec<f32> = (0..n)
-            .map(|i| (i as f32 + 0.5) / n as f32 - 0.5)
-            .collect();
-        offsets.sort_by(|a, b| {
-            a.abs()
-                .partial_cmp(&b.abs())
-                .expect("tap offsets are finite")
-        });
+        let mut offsets: Vec<f32> = (0..n).map(|i| (i as f32 + 0.5) / n as f32 - 0.5).collect();
+        offsets.sort_by(|a, b| a.abs().total_cmp(&b.abs()));
         offsets
     }
 }
@@ -211,13 +205,21 @@ mod tests {
     #[test]
     fn tf_lod_from_major_axis() {
         let f = fp(8.0, 1.0, 256);
-        assert!((f.tf_lod - 3.0).abs() < 1e-5, "log2(8) = 3, got {}", f.tf_lod);
+        assert!(
+            (f.tf_lod - 3.0).abs() < 1e-5,
+            "log2(8) = 3, got {}",
+            f.tf_lod
+        );
     }
 
     #[test]
     fn af_lod_from_minor_axis() {
         let f = fp(8.0, 1.0, 256);
-        assert!((f.af_lod - 0.0).abs() < 1e-5, "8 taps over 8 texels, got {}", f.af_lod);
+        assert!(
+            (f.af_lod - 0.0).abs() < 1e-5,
+            "8 taps over 8 texels, got {}",
+            f.af_lod
+        );
         assert!((f.lod_shift() - 3.0).abs() < 1e-5);
     }
 

@@ -55,8 +55,8 @@ pub mod texture;
 
 pub use footprint::Footprint;
 pub use sampler::{
-    sample_anisotropic, sample_bilinear, sample_nearest, sample_trilinear,
-    sample_trilinear_record, SampleRecord, Tap,
+    sample_anisotropic, sample_bilinear, sample_nearest, sample_trilinear, sample_trilinear_record,
+    SampleRecord, Tap,
 };
 pub use texel::{Rgba8, TexelAddress};
 pub use texture::{AddressMode, MipLevel, Texture};

@@ -179,8 +179,13 @@ pub fn glyphs(width: u32, height: u32, seed: u64) -> Image {
             let bits = hash2(cx, cy, seed);
             let (ox, oy) = (x % cell, y % cell);
             // 5x7 pseudo-glyph inside an 8x8 cell, 1-texel margin.
-            let lit = (1..=5).contains(&ox) && (1..=7).contains(&oy) && (bits >> (ox + oy * 5)) & 1 == 1;
-            data.push(if lit { Rgba8::gray(15) } else { Rgba8::gray(235) });
+            let lit =
+                (1..=5).contains(&ox) && (1..=7).contains(&oy) && (bits >> (ox + oy * 5)) & 1 == 1;
+            data.push(if lit {
+                Rgba8::gray(15)
+            } else {
+                Rgba8::gray(235)
+            });
         }
     }
     (width, height, data)
@@ -250,7 +255,13 @@ pub fn plaid(width: u32, height: u32, seed: u64) -> Image {
 /// Panics if the image is empty.
 pub fn composite(width: u32, height: u32, seed: u64) -> Image {
     let (_, _, noise) = value_noise(width, height, 3, seed);
-    let (_, _, brick) = bricks(width, height, (width / 8).max(2), (height / 16).max(2), seed ^ 0x5A5A);
+    let (_, _, brick) = bricks(
+        width,
+        height,
+        (width / 8).max(2),
+        (height / 16).max(2),
+        seed ^ 0x5A5A,
+    );
     let mut data = Vec::with_capacity((width * height) as usize);
     for (n, b) in noise.iter().zip(&brick) {
         data.push(Rgba8::weighted_sum(&[(*n, 0.35), (*b, 0.65)]));

@@ -170,7 +170,12 @@ pub fn sample_trilinear(tex: &Texture, uv: Vec2, lod: f32, mode: AddressMode) ->
     addresses.extend_from_slice(&a0);
     addresses.extend_from_slice(&a1);
 
-    Tap { uv, lod, color, addresses }
+    Tap {
+        uv,
+        lod,
+        color,
+        addresses,
+    }
 }
 
 /// Plain trilinear filtering of a pixel, as a [`SampleRecord`] with `n = 1`.
@@ -185,7 +190,12 @@ pub fn sample_trilinear_record(
     mode: AddressMode,
 ) -> SampleRecord {
     let tap = sample_trilinear(tex, uv, lod, mode);
-    SampleRecord { color: tap.color, lod: tap.lod, taps: vec![tap], n: 1 }
+    SampleRecord {
+        color: tap.color,
+        lod: tap.lod,
+        taps: vec![tap],
+        n: 1,
+    }
 }
 
 /// Anisotropic filtering of a pixel per the paper's Eq. (3): `N` trilinear
@@ -217,6 +227,8 @@ pub fn sample_anisotropic(
 
 #[cfg(test)]
 mod tests {
+    // Tests may hash: iteration order is never observed in assertions.
+    #![allow(clippy::disallowed_types)]
     use super::*;
     use crate::procedural;
 
@@ -231,12 +243,16 @@ mod tests {
     #[test]
     fn nearest_picks_containing_texel() {
         let tex = Texture::single_level(
-            (2, 2, vec![
-                Rgba8::rgb(255, 0, 0),
-                Rgba8::rgb(0, 255, 0),
-                Rgba8::rgb(0, 0, 255),
-                Rgba8::rgb(255, 255, 0),
-            ]),
+            (
+                2,
+                2,
+                vec![
+                    Rgba8::rgb(255, 0, 0),
+                    Rgba8::rgb(0, 255, 0),
+                    Rgba8::rgb(0, 0, 255),
+                    Rgba8::rgb(255, 255, 0),
+                ],
+            ),
             0,
         );
         // Anywhere inside the upper-left quadrant maps to texel (0,0).
@@ -267,12 +283,16 @@ mod tests {
     fn bilinear_at_texel_center_returns_that_texel() {
         // 2x2 texture: distinct corners.
         let tex = Texture::single_level(
-            (2, 2, vec![
-                Rgba8::rgb(255, 0, 0),
-                Rgba8::rgb(0, 255, 0),
-                Rgba8::rgb(0, 0, 255),
-                Rgba8::rgb(255, 255, 0),
-            ]),
+            (
+                2,
+                2,
+                vec![
+                    Rgba8::rgb(255, 0, 0),
+                    Rgba8::rgb(0, 255, 0),
+                    Rgba8::rgb(0, 0, 255),
+                    Rgba8::rgb(255, 255, 0),
+                ],
+            ),
             0,
         );
         // Texel (0,0) center is uv (0.25, 0.25).
@@ -282,10 +302,7 @@ mod tests {
 
     #[test]
     fn bilinear_midpoint_blends_evenly() {
-        let tex = Texture::single_level(
-            (2, 1, vec![Rgba8::BLACK, Rgba8::WHITE]),
-            0,
-        );
+        let tex = Texture::single_level((2, 1, vec![Rgba8::BLACK, Rgba8::WHITE]), 0);
         let (out, _) = sample_bilinear(&tex, Vec2::new(0.5, 0.5), 0, AddressMode::Clamp);
         assert!((i32::from(out.r) - 128).abs() <= 1, "got {}", out.r);
     }
@@ -409,7 +426,12 @@ mod tests {
             16,
         );
         let af = sample_anisotropic(&tex, center_uv(), &fp, AddressMode::Wrap);
-        assert!(af.lod < fp.tf_lod, "AF lod {} < TF lod {}", af.lod, fp.tf_lod);
+        assert!(
+            af.lod < fp.tf_lod,
+            "AF lod {} < TF lod {}",
+            af.lod,
+            fp.tf_lod
+        );
     }
 
     #[test]

@@ -25,11 +25,26 @@ pub struct Rgba8 {
 
 impl Rgba8 {
     /// Opaque black.
-    pub const BLACK: Rgba8 = Rgba8 { r: 0, g: 0, b: 0, a: 255 };
+    pub const BLACK: Rgba8 = Rgba8 {
+        r: 0,
+        g: 0,
+        b: 0,
+        a: 255,
+    };
     /// Opaque white.
-    pub const WHITE: Rgba8 = Rgba8 { r: 255, g: 255, b: 255, a: 255 };
+    pub const WHITE: Rgba8 = Rgba8 {
+        r: 255,
+        g: 255,
+        b: 255,
+        a: 255,
+    };
     /// Fully transparent black.
-    pub const TRANSPARENT: Rgba8 = Rgba8 { r: 0, g: 0, b: 0, a: 0 };
+    pub const TRANSPARENT: Rgba8 = Rgba8 {
+        r: 0,
+        g: 0,
+        b: 0,
+        a: 0,
+    };
 
     /// Creates a texel from channel values.
     #[inline]
@@ -40,7 +55,12 @@ impl Rgba8 {
     /// Creates an opaque gray texel.
     #[inline]
     pub const fn gray(v: u8) -> Rgba8 {
-        Rgba8 { r: v, g: v, b: v, a: 255 }
+        Rgba8 {
+            r: v,
+            g: v,
+            b: v,
+            a: 255,
+        }
     }
 
     /// Creates an opaque texel from RGB.
@@ -102,7 +122,11 @@ impl Rgba8 {
 
 impl fmt::Display for Rgba8 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "#{:02x}{:02x}{:02x}{:02x}", self.r, self.g, self.b, self.a)
+        write!(
+            f,
+            "#{:02x}{:02x}{:02x}{:02x}",
+            self.r, self.g, self.b, self.a
+        )
     }
 }
 

@@ -127,11 +127,15 @@ impl Texture {
 
         let mut levels = Vec::new();
         let mut offset = 0u64;
-        levels.push(MipLevel { width, height, offset, data });
+        levels.push(MipLevel {
+            width,
+            height,
+            offset,
+            data,
+        });
         offset += u64::from(width) * u64::from(height) * BYTES_PER_TEXEL;
 
-        while levels.last().map(|l| l.width > 1 || l.height > 1) == Some(true) {
-            let prev = levels.last().expect("chain is non-empty");
+        while let Some(prev) = levels.last().filter(|l| l.width > 1 || l.height > 1) {
             let nw = (prev.width / 2).max(1);
             let nh = (prev.height / 2).max(1);
             let mut data = Vec::with_capacity((nw as usize) * (nh as usize));
@@ -150,11 +154,20 @@ impl Texture {
                     ]));
                 }
             }
-            levels.push(MipLevel { width: nw, height: nh, offset, data });
+            levels.push(MipLevel {
+                width: nw,
+                height: nh,
+                offset,
+                data,
+            });
             offset += u64::from(nw) * u64::from(nh) * BYTES_PER_TEXEL;
         }
 
-        Texture { levels, base_address, footprint_bytes: offset }
+        Texture {
+            levels,
+            base_address,
+            footprint_bytes: offset,
+        }
     }
 
     /// Builds a single-level texture (no mip chain) — useful in tests.
@@ -164,7 +177,12 @@ impl Texture {
         assert_eq!(data.len(), (width as usize) * (height as usize));
         let footprint_bytes = u64::from(width) * u64::from(height) * BYTES_PER_TEXEL;
         Texture {
-            levels: vec![MipLevel { width, height, offset: 0, data }],
+            levels: vec![MipLevel {
+                width,
+                height,
+                offset: 0,
+                data,
+            }],
             base_address,
             footprint_bytes,
         }
@@ -230,6 +248,8 @@ impl Texture {
 
 #[cfg(test)]
 mod tests {
+    // Tests may hash: iteration order is never observed in assertions.
+    #![allow(clippy::disallowed_types)]
     use super::*;
 
     fn flat(width: u32, height: u32, c: Rgba8) -> (u32, u32, Vec<Rgba8>) {
@@ -292,7 +312,12 @@ mod tests {
         let top = t.texel(t.mip_count() - 1, 0, 0, AddressMode::Clamp);
         // A 1-texel checker of two tones averages near the midpoint.
         let expected = (t.level(0).texel(0, 0).luma() + t.level(0).texel(1, 0).luma()) / 2.0;
-        assert!((top.luma() - expected).abs() < 16.0, "{} vs {}", top.luma(), expected);
+        assert!(
+            (top.luma() - expected).abs() < 16.0,
+            "{} vs {}",
+            top.luma(),
+            expected
+        );
     }
 
     #[test]
@@ -323,7 +348,10 @@ mod tests {
     #[test]
     fn texel_address_includes_base() {
         let t = Texture::with_mips(flat(4, 4, Rgba8::WHITE), 0xABC0);
-        assert_eq!(t.texel_address(0, 0, 0, AddressMode::Clamp).as_u64(), 0xABC0);
+        assert_eq!(
+            t.texel_address(0, 0, 0, AddressMode::Clamp).as_u64(),
+            0xABC0
+        );
         assert_eq!(
             t.texel_address(0, 1, 0, AddressMode::Clamp).as_u64(),
             0xABC0 + BYTES_PER_TEXEL

@@ -74,9 +74,12 @@ fn bilinear_output_within_texel_range() {
         let (color, _addrs) = sample_bilinear(&tex, uv, 0, mode);
         // Filtered value is a convex combination: luma bounded by min/max texel luma.
         let lvl = tex.level(0);
-        let (lo, hi) = lvl.texels().iter().fold((f32::MAX, f32::MIN), |(lo, hi), t| {
-            (lo.min(t.luma()), hi.max(t.luma()))
-        });
+        let (lo, hi) = lvl
+            .texels()
+            .iter()
+            .fold((f32::MAX, f32::MIN), |(lo, hi), t| {
+                (lo.min(t.luma()), hi.max(t.luma()))
+            });
         assert!(color.luma() >= lo - 1.5 && color.luma() <= hi + 1.5);
     }
 }
@@ -110,7 +113,10 @@ fn footprint_invariants() {
             max_aniso,
         );
         assert!(fp.n >= 1 && fp.n <= max_aniso);
-        assert!(fp.af_lod <= fp.tf_lod + 1e-6, "AF LOD is never coarser than TF LOD");
+        assert!(
+            fp.af_lod <= fp.tf_lod + 1e-6,
+            "AF LOD is never coarser than TF LOD"
+        );
         assert!(fp.lod_shift() >= -1e-6);
         assert!(fp.anisotropy >= 1.0);
         assert!(fp.major_len >= fp.minor_len);
@@ -177,6 +183,7 @@ fn aniso_color_bounded_by_tap_colors() {
 }
 
 #[test]
+#[allow(clippy::disallowed_types)] // HashSet is a uniqueness oracle; order unused
 fn mip_chain_addresses_never_overlap() {
     for seed in 0..16u64 {
         let tex = Texture::with_mips(procedural::checkerboard(16, 16, 2, seed), 0x4000);

@@ -19,8 +19,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let budget = baseline.stats.cycles * 85 / 100;
     let mut controller = ThresholdController::new(budget, 1.0).with_bounds(0.05, 1.0);
 
-    println!("frame budget: {budget} cycles (baseline frame 0: {})\n", baseline.stats.cycles);
-    println!("{:>6} {:>10} {:>12} {:>10} {:>14}", "frame", "theta", "cycles", "vs budget", "approximated");
+    println!(
+        "frame budget: {budget} cycles (baseline frame 0: {})\n",
+        baseline.stats.cycles
+    );
+    println!(
+        "{:>6} {:>10} {:>12} {:>10} {:>14}",
+        "frame", "theta", "cycles", "vs budget", "approximated"
+    );
     for i in 0..12u32 {
         let theta = controller.threshold();
         let r = render_frame(

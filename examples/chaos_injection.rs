@@ -60,7 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Adversarial configuration is a typed error, not a panic.
-    let bad = FaultConfig { dram_stall_rate: 7.0, ..FaultConfig::disabled() };
+    let bad = FaultConfig {
+        dram_stall_rate: 7.0,
+        ..FaultConfig::disabled()
+    };
     match render_frame(&workload, 0, &RenderConfig::new(policy).with_faults(bad)) {
         Err(e) => println!("bad config rejected: {e}"),
         Ok(_) => unreachable!("a 700% stall rate must not validate"),

@@ -18,7 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let policies = [
         ("Baseline 16xAF", FilterPolicy::Baseline),
         ("AF disabled", FilterPolicy::NoAf),
-        ("PATU (threshold 0.4)", FilterPolicy::Patu { threshold: 0.4 }),
+        (
+            "PATU (threshold 0.4)",
+            FilterPolicy::Patu { threshold: 0.4 },
+        ),
     ];
 
     let baseline = render_frame(&workload, 0, &RenderConfig::new(FilterPolicy::Baseline))?;

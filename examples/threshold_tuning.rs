@@ -8,11 +8,20 @@ use patu_scenes::Workload;
 use patu_sim::experiment::{best_point, threshold_sweep, ExperimentConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let game = std::env::args().nth(1).unwrap_or_else(|| "grid".to_string());
+    let game = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "grid".to_string());
     let workload = Workload::build(&game, (480, 384))?;
-    let cfg = ExperimentConfig { frames: 2, frame_stride: 200, ..Default::default() };
+    let cfg = ExperimentConfig {
+        frames: 2,
+        frame_stride: 200,
+        ..Default::default()
+    };
 
-    println!("threshold sweep on {game} @ 480x384 ({} frames)...\n", cfg.frames);
+    println!(
+        "threshold sweep on {game} @ 480x384 ({} frames)...\n",
+        cfg.frames
+    );
     let thresholds: Vec<f64> = (0..=10).map(|i| f64::from(i) / 10.0).collect();
     let (baseline, sweep) = threshold_sweep(&workload, &thresholds, &cfg)?;
 

@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut baseline_cycles = 0;
     for (label, policy) in [
         ("Baseline 16xAF", FilterPolicy::Baseline),
-        ("PATU (threshold 0.4)", FilterPolicy::Patu { threshold: 0.4 }),
+        (
+            "PATU (threshold 0.4)",
+            FilterPolicy::Patu { threshold: 0.4 },
+        ),
     ] {
         let s = render_stereo(&workload, 0, &RenderConfig::new(policy), IPD)?;
         let stats = s.combined_stats();

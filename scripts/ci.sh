@@ -9,8 +9,10 @@
 #   2. Telemetry smoke: a traced render (PATU_TRACE=spans) whose JSONL
 #      artifact must validate line-by-line against the in-repo schema
 #      checker (trace_check).
-#   3. Lint: clippy over every target (libs, bins, tests, benches,
-#      examples) with warnings promoted to errors.
+#   3. Lint: patu-lint (the workspace invariant checker — determinism,
+#      error hygiene, telemetry gating; hard fail on any violation),
+#      clippy over every target (libs, bins, tests, benches, examples)
+#      with warnings promoted to errors, and cargo fmt --check.
 #
 # Usage: scripts/ci.sh [--skip-lint]
 
@@ -38,8 +40,14 @@ PATU_TRACE=spans PATU_TRACE_OUT="$TRACE_DIR" \
 PATU_TRACE_OUT="$TRACE_DIR" cargo run -q --release -p patu-bench --bin trace_check
 
 if [[ "${1:-}" != "--skip-lint" ]]; then
+    echo "==> lint: patu-lint (workspace invariants)"
+    cargo run -q --release -p patu-lint
+
     echo "==> lint: cargo clippy --all-targets -- -D warnings"
     cargo clippy --all-targets -- -D warnings
+
+    echo "==> lint: cargo fmt --check"
+    cargo fmt --check
 fi
 
 echo "==> ci green"

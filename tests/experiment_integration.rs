@@ -14,7 +14,11 @@ use patu_sim::satisfaction::SatisfactionModel;
 const RES: (u32, u32) = (192, 160);
 
 fn quick() -> ExperimentConfig {
-    ExperimentConfig { frames: 1, frame_stride: 1, ..ExperimentConfig::default() }
+    ExperimentConfig {
+        frames: 1,
+        frame_stride: 1,
+        ..ExperimentConfig::default()
+    }
 }
 
 #[test]
@@ -28,7 +32,10 @@ fn design_point_comparison_reproduces_fig19_ordering() {
 
     // Fig. 19: AF-SSIM(N)+(Txds) is the fastest; AF-SSIM(N) the slowest of
     // the predictive designs; PATU trades a sliver of speed for quality.
-    assert!(both.speedup_vs(base) >= area.speedup_vs(base), "Txds adds speedup");
+    assert!(
+        both.speedup_vs(base) >= area.speedup_vs(base),
+        "Txds adds speedup"
+    );
     assert!(patu.speedup_vs(base) > 1.0, "PATU beats baseline");
     assert!(patu.mssim >= both.mssim, "PATU quality >= naive demotion");
 }
@@ -76,7 +83,8 @@ fn fig21_cache_scaling_patu_still_wins() {
                 ("PATU", FilterPolicy::Patu { threshold: 0.4 }),
             ],
             &cfg,
-        ).unwrap();
+        )
+        .unwrap();
         assert!(
             results[1].speedup_vs(&results[0]) > 1.0,
             "PATU speedup persists at scaled caches"
@@ -120,7 +128,12 @@ fn replay_plus_satisfaction_full_loop() {
     ] {
         let cycles: Vec<u64> = frames
             .iter()
-            .map(|&f| render_frame(&w, f, &RenderConfig::new(policy)).unwrap().stats.cycles)
+            .map(|&f| {
+                render_frame(&w, f, &RenderConfig::new(policy))
+                    .unwrap()
+                    .stats
+                    .cycles
+            })
             .collect();
         let fps = replay.average_fps(&cycles);
         // Use known quality approximations per policy for the loop test.
@@ -150,7 +163,8 @@ fn higher_resolution_bigger_patu_gain() {
                 ("PATU", FilterPolicy::Patu { threshold: 0.4 }),
             ],
             &quick(),
-        ).unwrap();
+        )
+        .unwrap();
         speedups.push(results[1].speedup_vs(&results[0]));
     }
     // At these miniature test resolutions fixed costs blur the effect;

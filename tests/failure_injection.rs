@@ -9,7 +9,12 @@ use patu_sim::render::{render_frame, RenderConfig};
 use patu_texture::{sample_anisotropic, AddressMode, Footprint, Rgba8, Texture};
 
 fn camera() -> Camera {
-    Camera::new(Vec3::new(0.0, 1.0, 0.0), Vec3::new(0.0, 1.0, -10.0), 1.0, 1.0)
+    Camera::new(
+        Vec3::new(0.0, 1.0, 0.0),
+        Vec3::new(0.0, 1.0, -10.0),
+        1.0,
+        1.0,
+    )
 }
 
 #[test]
@@ -111,15 +116,30 @@ fn extreme_threshold_values_are_exact_bounds() {
     let w = Workload::build("wolf", (96, 64)).unwrap();
     // θ exactly 0 and exactly 1 are legal and behave like the fixed policies
     // in terms of texel work direction.
-    let lo = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Patu { threshold: 0.0 })).unwrap();
-    let hi = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Patu { threshold: 1.0 })).unwrap();
+    let lo = render_frame(
+        &w,
+        0,
+        &RenderConfig::new(FilterPolicy::Patu { threshold: 0.0 }),
+    )
+    .unwrap();
+    let hi = render_frame(
+        &w,
+        0,
+        &RenderConfig::new(FilterPolicy::Patu { threshold: 1.0 }),
+    )
+    .unwrap();
     assert!(lo.stats.events.texel_fetches <= hi.stats.events.texel_fetches);
 }
 
 #[test]
 fn tiny_viewport_still_renders() {
     let w = Workload::build("doom3", (16, 16)).unwrap();
-    let r = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 })).unwrap();
+    let r = render_frame(
+        &w,
+        0,
+        &RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 }),
+    )
+    .unwrap();
     assert!(r.stats.filter_requests > 0);
     assert_eq!(r.image.width(), 16);
 }
@@ -128,12 +148,16 @@ fn tiny_viewport_still_renders() {
 fn single_pixel_tiles_work() {
     // Tile size 1 is degenerate but legal.
     let w = Workload::build("wolf", (32, 32)).unwrap();
-    let gpu = patu_gpu::GpuConfig { tile_size: 1, ..patu_gpu::GpuConfig::default() };
+    let gpu = patu_gpu::GpuConfig {
+        tile_size: 1,
+        ..patu_gpu::GpuConfig::default()
+    };
     let r = render_frame(
         &w,
         0,
         &RenderConfig::new(FilterPolicy::Baseline).with_gpu(gpu),
-    ).unwrap();
+    )
+    .unwrap();
     assert!(r.stats.filter_requests > 0);
 }
 
@@ -224,9 +248,15 @@ mod chaos {
         let cfg = patu_cfg(FaultConfig::uniform(42, 0.05));
         let a = render_frame(&workload, 0, &cfg).unwrap();
         let b = render_frame(&workload, 0, &cfg).unwrap();
-        assert_eq!(a.stats, b.stats, "FrameStats (incl. fault counters) reproduce");
+        assert_eq!(
+            a.stats, b.stats,
+            "FrameStats (incl. fault counters) reproduce"
+        );
         assert_eq!(a.degraded, b.degraded);
-        assert!(a.stats.faults.faults_injected() > 0, "the run was actually faulty");
+        assert!(
+            a.stats.faults.faults_injected() > 0,
+            "the run was actually faulty"
+        );
     }
 
     #[test]
@@ -244,7 +274,10 @@ mod chaos {
         let armed = render_frame(
             &workload,
             0,
-            &patu_cfg(FaultConfig { seed: 0xDEAD_BEEF, ..FaultConfig::disabled() }),
+            &patu_cfg(FaultConfig {
+                seed: 0xDEAD_BEEF,
+                ..FaultConfig::disabled()
+            }),
         )
         .unwrap();
         assert_eq!(plain.stats, armed.stats);

@@ -35,21 +35,31 @@ fn foveation_noop_for_fixed_policies() {
         &w,
         0,
         &RenderConfig::new(FilterPolicy::Baseline).with_foveation(Foveation::default()),
-    ).unwrap();
+    )
+    .unwrap();
     assert_eq!(plain.image.pixels(), foveated.image.pixels());
-    assert_eq!(plain.stats.events.texel_fetches, foveated.stats.events.texel_fetches);
+    assert_eq!(
+        plain.stats.events.texel_fetches,
+        foveated.stats.events.texel_fetches
+    );
 }
 
 #[test]
 fn tight_fovea_approximates_more_than_wide() {
     let w = Workload::build("doom3", RES).unwrap();
     let policy = FilterPolicy::Patu { threshold: 0.8 };
-    let wide = Foveation { inner_radius: 0.45, outer_radius: 0.9, ..Foveation::default() };
-    let tight = Foveation { inner_radius: 0.05, outer_radius: 0.3, ..Foveation::default() };
-    let r_wide =
-        render_frame(&w, 0, &RenderConfig::new(policy).with_foveation(wide)).unwrap();
-    let r_tight =
-        render_frame(&w, 0, &RenderConfig::new(policy).with_foveation(tight)).unwrap();
+    let wide = Foveation {
+        inner_radius: 0.45,
+        outer_radius: 0.9,
+        ..Foveation::default()
+    };
+    let tight = Foveation {
+        inner_radius: 0.05,
+        outer_radius: 0.3,
+        ..Foveation::default()
+    };
+    let r_wide = render_frame(&w, 0, &RenderConfig::new(policy).with_foveation(wide)).unwrap();
+    let r_tight = render_frame(&w, 0, &RenderConfig::new(policy).with_foveation(tight)).unwrap();
     assert!(
         r_tight.stats.events.texel_fetches <= r_wide.stats.events.texel_fetches,
         "smaller fovea -> more periphery -> fewer texels"
@@ -60,8 +70,10 @@ fn tight_fovea_approximates_more_than_wide() {
 fn foveated_stereo_composes() {
     // The VR path with per-eye foveation around each eye's screen center.
     let w = Workload::build("doom3", RES).unwrap();
-    let cfg = RenderConfig::new(FilterPolicy::Patu { threshold: 0.6 })
-        .with_foveation(Foveation { center: Vec2::new(0.5, 0.5), ..Foveation::default() });
+    let cfg = RenderConfig::new(FilterPolicy::Patu { threshold: 0.6 }).with_foveation(Foveation {
+        center: Vec2::new(0.5, 0.5),
+        ..Foveation::default()
+    });
     let s = render_stereo(&w, 0, &cfg, 0.3).unwrap();
     assert!(s.left.approx.pixels > 0);
     assert!(s.right.approx.pixels > 0);

@@ -13,7 +13,9 @@ use patu_sim::experiment::{design_points, run_policies, temporal_stability, Expe
 use patu_sim::render::{render_frame, FrameResult, RenderConfig};
 
 fn thread_counts() -> Vec<usize> {
-    let avail = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let avail = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let mut counts = vec![1, 2, 4];
     if !counts.contains(&avail) {
         counts.push(avail);
@@ -22,12 +24,30 @@ fn thread_counts() -> Vec<usize> {
 }
 
 fn assert_frames_identical(reference: &FrameResult, other: &FrameResult, context: &str) {
-    assert_eq!(reference.image, other.image, "framebuffer bytes differ: {context}");
-    assert_eq!(reference.stats, other.stats, "frame stats differ: {context}");
-    assert_eq!(reference.approx, other.approx, "approx stats differ: {context}");
-    assert_eq!(reference.sharing, other.sharing, "sharing stats differ: {context}");
-    assert_eq!(reference.divergence, other.divergence, "divergence differs: {context}");
-    assert_eq!(reference.degraded, other.degraded, "degradation flag differs: {context}");
+    assert_eq!(
+        reference.image, other.image,
+        "framebuffer bytes differ: {context}"
+    );
+    assert_eq!(
+        reference.stats, other.stats,
+        "frame stats differ: {context}"
+    );
+    assert_eq!(
+        reference.approx, other.approx,
+        "approx stats differ: {context}"
+    );
+    assert_eq!(
+        reference.sharing, other.sharing,
+        "sharing stats differ: {context}"
+    );
+    assert_eq!(
+        reference.divergence, other.divergence,
+        "divergence differs: {context}"
+    );
+    assert_eq!(
+        reference.degraded, other.degraded,
+        "degradation flag differs: {context}"
+    );
 }
 
 #[test]
@@ -43,7 +63,9 @@ fn frame_outputs_bit_identical_across_thread_counts() {
     for policy in policies {
         for faults in fault_modes {
             let cfg = |threads: usize| {
-                RenderConfig::new(policy).with_faults(faults).with_threads(threads)
+                RenderConfig::new(policy)
+                    .with_faults(faults)
+                    .with_threads(threads)
             };
             let reference = render_frame(&workload, 0, &cfg(1)).unwrap();
             for threads in thread_counts() {
@@ -63,20 +85,25 @@ fn aggregate_sweeps_bit_identical_across_thread_counts() {
     let workload = Workload::build("grid", (160, 128)).unwrap();
     let points = design_points(0.4);
     for faults in [FaultConfig::disabled(), FaultConfig::uniform(7, 0.05)] {
-        let cfg = |threads: usize| ExperimentConfig {
-            frames: 2,
-            frame_stride: 100,
-            faults,
-            ..ExperimentConfig::default()
-        }
-        .with_threads(threads);
+        let cfg = |threads: usize| {
+            ExperimentConfig {
+                frames: 2,
+                frame_stride: 100,
+                faults,
+                ..ExperimentConfig::default()
+            }
+            .with_threads(threads)
+        };
         let reference = run_policies(&workload, &points, &cfg(1)).unwrap();
         for threads in [2usize, 4] {
             let run = run_policies(&workload, &points, &cfg(threads)).unwrap();
             assert_eq!(reference.len(), run.len());
             for (r, o) in reference.iter().zip(&run) {
-                let context =
-                    format!("policy {}, faults {}, threads {threads}", r.label, !faults.is_disabled());
+                let context = format!(
+                    "policy {}, faults {}, threads {threads}",
+                    r.label,
+                    !faults.is_disabled()
+                );
                 assert_eq!(r.stats, o.stats, "aggregate stats differ: {context}");
                 assert_eq!(r.approx, o.approx, "approx differs: {context}");
                 assert_eq!(r.sharing, o.sharing, "sharing differs: {context}");
@@ -113,13 +140,21 @@ fn temporal_stability_bit_identical_across_thread_counts() {
     let workload = Workload::build("grid", (160, 128)).unwrap();
     let frames = [0u32, 1, 2];
     let cfg = |threads: usize| ExperimentConfig::default().with_threads(threads);
-    let reference =
-        temporal_stability(&workload, FilterPolicy::Patu { threshold: 0.4 }, &frames, &cfg(1))
-            .unwrap();
+    let reference = temporal_stability(
+        &workload,
+        FilterPolicy::Patu { threshold: 0.4 },
+        &frames,
+        &cfg(1),
+    )
+    .unwrap();
     for threads in [2usize, 4] {
-        let run =
-            temporal_stability(&workload, FilterPolicy::Patu { threshold: 0.4 }, &frames, &cfg(threads))
-                .unwrap();
+        let run = temporal_stability(
+            &workload,
+            FilterPolicy::Patu { threshold: 0.4 },
+            &frames,
+            &cfg(threads),
+        )
+        .unwrap();
         assert_eq!(reference.to_bits(), run.to_bits(), "threads {threads}");
     }
 }

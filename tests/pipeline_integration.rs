@@ -11,12 +11,25 @@ const RES: (u32, u32) = (224, 160);
 
 #[test]
 fn every_workload_runs_end_to_end_under_patu() {
-    for name in ["hl2", "doom3", "grid", "nfs", "stal", "ut3", "wolf", "rbench"] {
+    for name in [
+        "hl2", "doom3", "grid", "nfs", "stal", "ut3", "wolf", "rbench",
+    ] {
         let w = Workload::build(name, RES).expect(name);
-        let r = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 })).unwrap();
+        let r = render_frame(
+            &w,
+            0,
+            &RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 }),
+        )
+        .unwrap();
         assert!(r.stats.cycles > 0, "{name}: zero cycles");
-        assert!(r.stats.filter_requests > 1000, "{name}: too few filter requests");
-        assert!(r.approx.pixels == r.stats.filter_requests, "{name}: every request decided");
+        assert!(
+            r.stats.filter_requests > 1000,
+            "{name}: too few filter requests"
+        );
+        assert!(
+            r.approx.pixels == r.stats.filter_requests,
+            "{name}: every request decided"
+        );
         assert!(r.stats.bandwidth.total() > 0, "{name}: no memory traffic");
     }
 }
@@ -25,7 +38,12 @@ fn every_workload_runs_end_to_end_under_patu() {
 fn cycle_ordering_baseline_ge_patu_ge_noaf() {
     let w = Workload::build("doom3", RES).unwrap();
     let base = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Baseline)).unwrap();
-    let patu = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 })).unwrap();
+    let patu = render_frame(
+        &w,
+        0,
+        &RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 }),
+    )
+    .unwrap();
     let noaf = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::NoAf)).unwrap();
     assert!(
         base.stats.cycles >= patu.stats.cycles,
@@ -45,8 +63,18 @@ fn cycle_ordering_baseline_ge_patu_ge_noaf() {
 fn texel_fetch_ordering_matches_policy_strictness() {
     let w = Workload::build("grid", RES).unwrap();
     let base = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Baseline)).unwrap();
-    let loose = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Patu { threshold: 0.1 })).unwrap();
-    let strict = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Patu { threshold: 0.9 })).unwrap();
+    let loose = render_frame(
+        &w,
+        0,
+        &RenderConfig::new(FilterPolicy::Patu { threshold: 0.1 }),
+    )
+    .unwrap();
+    let strict = render_frame(
+        &w,
+        0,
+        &RenderConfig::new(FilterPolicy::Patu { threshold: 0.9 }),
+    )
+    .unwrap();
     assert!(loose.stats.events.texel_fetches <= strict.stats.events.texel_fetches);
     assert!(strict.stats.events.texel_fetches <= base.stats.events.texel_fetches);
 }
@@ -57,20 +85,33 @@ fn threshold_one_without_txds_matches_baseline_fetches() {
     // so its fetch behavior must be identical to the baseline.
     let w = Workload::build("wolf", RES).unwrap();
     let base = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Baseline)).unwrap();
-    let strict =
-        render_frame(&w, 0, &RenderConfig::new(FilterPolicy::SampleArea { threshold: 1.0 })).unwrap();
+    let strict = render_frame(
+        &w,
+        0,
+        &RenderConfig::new(FilterPolicy::SampleArea { threshold: 1.0 }),
+    )
+    .unwrap();
     assert_eq!(
         base.stats.events.texel_fetches,
         strict.stats.events.texel_fetches
     );
-    assert_eq!(base.image.pixels(), strict.image.pixels(), "identical images");
+    assert_eq!(
+        base.image.pixels(),
+        strict.image.pixels(),
+        "identical images"
+    );
 }
 
 #[test]
 fn noaf_equals_patu_at_threshold_zero_in_coverage() {
     // θ=0 approximates every anisotropic pixel (stage 1 always approves).
     let w = Workload::build("nfs", RES).unwrap();
-    let patu0 = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Patu { threshold: 0.0 })).unwrap();
+    let patu0 = render_frame(
+        &w,
+        0,
+        &RenderConfig::new(FilterPolicy::Patu { threshold: 0.0 }),
+    )
+    .unwrap();
     assert_eq!(patu0.approx.kept_af, 0, "nothing keeps AF at θ=0");
     assert_eq!(
         patu0.stats.events.trilinear_ops, patu0.stats.filter_requests,
@@ -85,9 +126,18 @@ fn patu_improves_l1_hit_rate_over_naive_demotion() {
     // Verify both run and produce sane hit rates; the exact relation varies
     // by scene, so check bandwidth instead: PATU must not fetch wildly more.
     let w = Workload::build("doom3", RES).unwrap();
-    let naive =
-        render_frame(&w, 0, &RenderConfig::new(FilterPolicy::SampleAreaTxds { threshold: 0.4 })).unwrap();
-    let patu = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 })).unwrap();
+    let naive = render_frame(
+        &w,
+        0,
+        &RenderConfig::new(FilterPolicy::SampleAreaTxds { threshold: 0.4 }),
+    )
+    .unwrap();
+    let patu = render_frame(
+        &w,
+        0,
+        &RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 }),
+    )
+    .unwrap();
     let ratio = patu.stats.bandwidth.texture as f64 / naive.stats.bandwidth.texture.max(1) as f64;
     assert!(ratio < 1.6, "PATU texture traffic within reason: {ratio}");
 }
@@ -96,8 +146,18 @@ fn patu_improves_l1_hit_rate_over_naive_demotion() {
 fn hash_table_only_active_for_distribution_policies() {
     let w = Workload::build("stal", RES).unwrap();
     let base = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Baseline)).unwrap();
-    let area = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::SampleArea { threshold: 0.4 })).unwrap();
-    let patu = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 })).unwrap();
+    let area = render_frame(
+        &w,
+        0,
+        &RenderConfig::new(FilterPolicy::SampleArea { threshold: 0.4 }),
+    )
+    .unwrap();
+    let patu = render_frame(
+        &w,
+        0,
+        &RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 }),
+    )
+    .unwrap();
     assert_eq!(base.stats.events.hash_table_accesses, 0);
     assert_eq!(area.stats.events.hash_table_accesses, 0);
     assert!(patu.stats.events.hash_table_accesses > 0);
@@ -109,5 +169,9 @@ fn frame_animation_changes_output() {
     let cfg = RenderConfig::new(FilterPolicy::Baseline);
     let a = render_frame(&w, 0, &cfg).unwrap();
     let b = render_frame(&w, 120, &cfg).unwrap();
-    assert_ne!(a.image.pixels(), b.image.pixels(), "camera motion changes the frame");
+    assert_ne!(
+        a.image.pixels(),
+        b.image.pixels(),
+        "camera motion changes the frame"
+    );
 }

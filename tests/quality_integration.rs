@@ -28,7 +28,12 @@ fn patu_quality_beats_noaf() {
     let w = Workload::build("grid", RES).unwrap();
     let on = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Baseline)).unwrap();
     let off = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::NoAf)).unwrap();
-    let patu = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 })).unwrap();
+    let patu = render_frame(
+        &w,
+        0,
+        &RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 }),
+    )
+    .unwrap();
     let q_off = mssim(&on, &off);
     let q_patu = mssim(&on, &patu);
     assert!(
@@ -43,9 +48,18 @@ fn patu_lod_reuse_beats_naive_demotion() {
     // by eliminating the LOD shift.
     let w = Workload::build("doom3", RES).unwrap();
     let on = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Baseline)).unwrap();
-    let naive =
-        render_frame(&w, 0, &RenderConfig::new(FilterPolicy::SampleAreaTxds { threshold: 0.4 })).unwrap();
-    let patu = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 })).unwrap();
+    let naive = render_frame(
+        &w,
+        0,
+        &RenderConfig::new(FilterPolicy::SampleAreaTxds { threshold: 0.4 }),
+    )
+    .unwrap();
+    let patu = render_frame(
+        &w,
+        0,
+        &RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 }),
+    )
+    .unwrap();
     let q_naive = mssim(&on, &naive);
     let q_patu = mssim(&on, &patu);
     assert!(
@@ -74,7 +88,12 @@ fn quality_monotone_in_threshold() {
     let on = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Baseline)).unwrap();
     let mut last = 0.0;
     for theta in [0.0, 0.4, 0.8] {
-        let r = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Patu { threshold: theta })).unwrap();
+        let r = render_frame(
+            &w,
+            0,
+            &RenderConfig::new(FilterPolicy::Patu { threshold: theta }),
+        )
+        .unwrap();
         let q = mssim(&on, &r);
         assert!(
             q >= last - 0.02,
@@ -90,7 +109,12 @@ fn conservative_patu_is_visually_lossless() {
     // at or above the "difficult to distinguish" band.
     let w = Workload::build("ut3", RES).unwrap();
     let on = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Baseline)).unwrap();
-    let patu = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::Patu { threshold: 0.8 })).unwrap();
+    let patu = render_frame(
+        &w,
+        0,
+        &RenderConfig::new(FilterPolicy::Patu { threshold: 0.8 }),
+    )
+    .unwrap();
     let q = mssim(&on, &patu);
     assert!(q > 0.9, "conservative threshold keeps MSSIM high, got {q}");
 }
@@ -118,7 +142,11 @@ fn ssim_component_split_identifies_blur_as_contrast_loss() {
     let off = render_frame(&w, 0, &RenderConfig::new(FilterPolicy::NoAf)).unwrap();
     let comp = GaussianSsimConfig::default().components_strided(&on.luma(), &off.luma(), 4);
     // AF-off blurs: luminance stays close, contrast/structure carry the loss.
-    assert!(comp.luminance > 0.95, "means barely move: {}", comp.luminance);
+    assert!(
+        comp.luminance > 0.95,
+        "means barely move: {}",
+        comp.luminance
+    );
     assert!(
         comp.contrast * comp.structure <= comp.luminance,
         "the loss is in contrast x structure"

@@ -54,7 +54,10 @@ fn off_produces_zero_events() {
     for threads in [1usize, 4] {
         let cfg = RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 }).with_threads(threads);
         let r = render_frame(&w, 0, &cfg).unwrap();
-        assert!(r.telemetry.is_none(), "PATU_TRACE=off carries no telemetry at all");
+        assert!(
+            r.telemetry.is_none(),
+            "PATU_TRACE=off carries no telemetry at all"
+        );
     }
 }
 
@@ -79,9 +82,18 @@ fn spans_level_strictly_extends_counters() {
     .telemetry
     .unwrap();
     assert!(counters.spans.is_empty(), "counters level records no spans");
-    assert!(!spans.spans.is_empty(), "spans level records the stage tree");
-    assert_eq!(counters.counters, spans.counters, "counters agree across levels");
-    assert_eq!(counters.hists, spans.hists, "histograms agree across levels");
+    assert!(
+        !spans.spans.is_empty(),
+        "spans level records the stage tree"
+    );
+    assert_eq!(
+        counters.counters, spans.counters,
+        "counters agree across levels"
+    );
+    assert_eq!(
+        counters.hists, spans.hists,
+        "histograms agree across levels"
+    );
 }
 
 #[test]
@@ -102,16 +114,24 @@ fn watchdog_dump_names_the_offender_identically_across_threads() {
         assert_eq!(dump.policy, "Baseline");
         assert_eq!(dump.fault_seed, 0);
         assert!(
-            dump.events.iter().any(|e| matches!(e.kind, EventKind::WatchdogTrip)),
+            dump.events
+                .iter()
+                .any(|e| matches!(e.kind, EventKind::WatchdogTrip)),
             "the ring retains the trip event"
         );
         let rendered = sink::render_dump(dump);
         for needle in ["watchdog_trip", "frame 0", "Baseline", "fault seed 0"] {
-            assert!(rendered.contains(needle), "dump report must name {needle:?}: {rendered}");
+            assert!(
+                rendered.contains(needle),
+                "dump report must name {needle:?}: {rendered}"
+            );
         }
         reports.push(sink::jsonl(std::slice::from_ref(&t)));
     }
-    assert_eq!(reports[0], reports[1], "dumps serialize identically across thread counts");
+    assert_eq!(
+        reports[0], reports[1],
+        "dumps serialize identically across thread counts"
+    );
 }
 
 #[test]
@@ -121,7 +141,10 @@ fn fault_fallback_dump_carries_the_seed() {
         .with_faults(FaultConfig::uniform(42, 0.05))
         .with_telemetry(TelemetryConfig::with_level(TraceLevel::Counters));
     let r = render_frame(&w, 0, &cfg).unwrap();
-    assert!(r.stats.faults.fallbacks > 0, "5% fault rates force fallbacks");
+    assert!(
+        r.stats.faults.fallbacks > 0,
+        "5% fault rates force fallbacks"
+    );
     let t = r.telemetry.unwrap();
     let dump = t
         .dumps
@@ -129,9 +152,15 @@ fn fault_fallback_dump_carries_the_seed() {
         .find(|d| d.reason == "fault_fallback")
         .expect("a fallback leaves a postmortem");
     assert_eq!(dump.fault_seed, 42);
-    assert!(dump.policy.starts_with("Patu"), "policy label: {}", dump.policy);
     assert!(
-        dump.events.iter().any(|e| matches!(e.kind, EventKind::Fallback { .. })),
+        dump.policy.starts_with("Patu"),
+        "policy label: {}",
+        dump.policy
+    );
+    assert!(
+        dump.events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Fallback { .. })),
         "the ring retains the fallback event"
     );
 }
@@ -147,12 +176,8 @@ fn experiment_surfaces_dumps() {
         ..ExperimentConfig::default()
     }
     .with_telemetry(TelemetryConfig::with_level(TraceLevel::Counters));
-    let results = run_policies(
-        &w,
-        &[("PATU", FilterPolicy::Patu { threshold: 0.4 })],
-        &cfg,
-    )
-    .unwrap();
+    let results =
+        run_policies(&w, &[("PATU", FilterPolicy::Patu { threshold: 0.4 })], &cfg).unwrap();
     assert!(
         !results[0].dumps.is_empty(),
         "fault fallbacks under 5% rates surface on the aggregate"
