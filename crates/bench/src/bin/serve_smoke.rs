@@ -1,0 +1,54 @@
+//! CI smoke for the serving subsystem: one small overloaded workload run
+//! at `threads = 1` and `threads = 4`, asserting the sessions are
+//! bit-identical and the serve log validates line-by-line against the
+//! in-repo JSONL schema. Exits non-zero on any violation, so `ci.sh` can
+//! gate on it.
+
+use patu_obs::TraceLevel;
+use patu_serve::{run_session, ServeConfig, ServeReport, SimFrameService};
+
+fn run(threads: usize) -> Result<ServeReport, Box<dyn std::error::Error>> {
+    let cfg = ServeConfig {
+        seed: 7,
+        clients: 3,
+        jobs_per_client: 4,
+        resolution: (96, 64),
+        frame_span: 2,
+        load: 2.0,
+        queue_capacity: 6,
+        threads: Some(threads),
+        trace: TraceLevel::Spans,
+        ..ServeConfig::default()
+    };
+    let mut service = SimFrameService::new(&cfg)?;
+    Ok(run_session(&cfg, &mut service)?)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let serial = run(1)?;
+    let parallel = run(4)?;
+
+    if serial.log != parallel.log
+        || serial.completed != parallel.completed
+        || serial.chrome_trace() != parallel.chrome_trace()
+    {
+        return Err("serve sessions diverge between threads=1 and threads=4".into());
+    }
+
+    let checked = patu_obs::schema::check_stream(&serial.log)
+        .map_err(|(line, err)| format!("serve log line {line}: {err}"))?;
+    if checked as u64 != serial.stats.submitted {
+        return Err(format!(
+            "schema checked {checked} lines but {} jobs were submitted",
+            serial.stats.submitted
+        )
+        .into());
+    }
+
+    println!(
+        "serve smoke: {} jobs ({} delivered, {} shed, {} degraded), \
+         log schema-clean, threads 1 == 4",
+        serial.stats.submitted, serial.stats.delivered, serial.stats.shed, serial.stats.degrades
+    );
+    Ok(())
+}

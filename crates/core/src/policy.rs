@@ -208,6 +208,26 @@ impl FilterPolicy {
         }
     }
 
+    /// The hook for externally-governed thresholds (the serving layer's
+    /// quality governor): replaces the threshold with `theta` snapped onto a
+    /// grid of `steps` equal intervals across `[0, 1]`.
+    ///
+    /// Quantization matters for two reasons. It bounds the set of distinct
+    /// policies a continuous controller can emit — so per-policy caches
+    /// (rendered-frame reuse across same-scene jobs, design-point tables)
+    /// actually hit — and it snaps tiny floating-point differences in the
+    /// controller state to the same rendered output, keeping governed runs
+    /// reproducible. A non-finite `theta` falls to the quality ceiling
+    /// (1.0, the safe direction), matching `ThresholdController::new`;
+    /// `steps == 0` sanitizes to 1. Fixed policies are returned unchanged.
+    #[must_use]
+    pub fn govern(self, theta: f64, steps: u32) -> FilterPolicy {
+        let theta = if theta.is_finite() { theta } else { 1.0 };
+        let steps = f64::from(steps.max(1));
+        let snapped = (theta.clamp(0.0, 1.0) * steps).round() / steps;
+        self.with_threshold(snapped)
+    }
+
     /// Whether the policy runs the distribution (Txds) stage.
     pub fn uses_distribution_stage(&self) -> bool {
         matches!(
@@ -635,6 +655,55 @@ mod tests {
         assert!(FilterPolicy::from_str("patu@nan").is_err());
         let msg = FilterPolicy::from_str("xyz").unwrap_err().to_string();
         assert!(msg.contains("xyz"));
+    }
+
+    #[test]
+    fn govern_snaps_onto_the_step_grid() {
+        let p = FilterPolicy::Patu { threshold: 0.4 };
+        assert_eq!(p.govern(0.437, 20), FilterPolicy::Patu { threshold: 0.45 });
+        assert_eq!(p.govern(0.42, 20), FilterPolicy::Patu { threshold: 0.4 });
+        assert_eq!(p.govern(0.0, 20), FilterPolicy::Patu { threshold: 0.0 });
+        assert_eq!(p.govern(1.0, 20), FilterPolicy::Patu { threshold: 1.0 });
+        // Two controller states in the same cell produce the same policy —
+        // the property that makes governed render caches hit.
+        assert_eq!(p.govern(0.4249, 20), p.govern(0.3751, 20));
+    }
+
+    #[test]
+    fn govern_sanitizes_adversarial_inputs() {
+        let p = FilterPolicy::SampleArea { threshold: 0.4 };
+        assert_eq!(
+            p.govern(f64::NAN, 20),
+            FilterPolicy::SampleArea { threshold: 1.0 },
+            "non-finite falls to the quality ceiling"
+        );
+        assert_eq!(
+            p.govern(f64::NEG_INFINITY, 20),
+            FilterPolicy::SampleArea { threshold: 1.0 }
+        );
+        assert_eq!(
+            p.govern(7.0, 20),
+            FilterPolicy::SampleArea { threshold: 1.0 },
+            "out-of-range clamps"
+        );
+        assert_eq!(
+            p.govern(-3.0, 20),
+            FilterPolicy::SampleArea { threshold: 0.0 }
+        );
+        assert_eq!(
+            p.govern(0.7, 0),
+            FilterPolicy::SampleArea { threshold: 1.0 },
+            "zero steps sanitizes to a single-interval grid"
+        );
+    }
+
+    #[test]
+    fn govern_leaves_fixed_policies_alone() {
+        assert_eq!(
+            FilterPolicy::Baseline.govern(0.3, 20),
+            FilterPolicy::Baseline
+        );
+        assert_eq!(FilterPolicy::NoAf.govern(0.3, 20), FilterPolicy::NoAf);
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! | `thread-spawn` | no `std::thread::{spawn,scope}` outside `patu_sim::parallel`         |
 //! | `panic-path`   | no `unwrap`/`expect`/`panic!`/`unreachable!` in non-test library code|
 //! | `hash-order`   | no `HashMap`/`HashSet` in non-test library code (`BTreeMap` instead) |
-//! | `env-var`      | no `std::env::var` outside the `PATU_THREADS`/`PATU_TRACE` readers   |
+//! | `env-var`      | no `std::env::var` outside the readers in [`rules::ENV_KNOBS`]       |
 //! | `float-fmt`    | floats enter JSON via `patu_obs::json::{num,num_fixed}`, never `{:.N}`|
 //! | `unsafe-code`  | `unsafe` forbidden workspace-wide; every lib root carries the forbid |
 //! | `extern-dep`   | every `Cargo.toml` dependency is a `path` dependency (offline/0-dep) |

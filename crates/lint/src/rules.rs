@@ -44,8 +44,9 @@ pub const RULES: &[RuleInfo] = &[
     },
     RuleInfo {
         id: "env-var",
-        invariant: "no std::env::var outside the PATU_THREADS/PATU_TRACE \
-                    config entry points — ambient state is read exactly once",
+        invariant: "no std::env::var outside the readers registered in \
+                    ENV_KNOBS — every ambient knob is declared in one table \
+                    and read exactly once",
         strict_only: true,
     },
     RuleInfo {
@@ -68,19 +69,50 @@ pub const RULES: &[RuleInfo] = &[
     },
 ];
 
+/// One registered environment knob: the variable's name and the source
+/// files sanctioned to read it.
+#[derive(Debug, Clone, Copy)]
+pub struct EnvKnob {
+    /// The environment variable.
+    pub name: &'static str,
+    /// The files allowed to call `std::env::var` for it — the knob's config
+    /// entry points. Everywhere else takes the parsed value as an argument.
+    pub readers: &'static [&'static str],
+}
+
+/// Every environment knob the workspace reads. This table is the single
+/// registration point: adding a knob here both exempts its reader from the
+/// `env-var` rule and puts its name in the diagnostic text — no scattered
+/// allowlists to keep in sync.
+pub const ENV_KNOBS: &[EnvKnob] = &[
+    EnvKnob {
+        name: "PATU_THREADS",
+        readers: &["crates/sim/src/parallel.rs", "crates/quality/src/par.rs"],
+    },
+    EnvKnob {
+        name: "PATU_TRACE",
+        readers: &["crates/obs/src/config.rs"],
+    },
+    EnvKnob {
+        name: "PATU_SERVE_CLIENTS",
+        readers: &["crates/serve/src/workload.rs"],
+    },
+];
+
 /// Files exempt from a rule because they *are* the sanctioned entry point.
 fn allowed_files(rule: &str) -> &'static [&'static str] {
     match rule {
         "wall-clock" => &["crates/bench/src/micro.rs"],
         "thread-spawn" => &["crates/sim/src/parallel.rs"],
-        "env-var" => &[
-            "crates/sim/src/parallel.rs",
-            "crates/quality/src/par.rs",
-            "crates/obs/src/config.rs",
-        ],
         "float-fmt" => &["crates/obs/src/json.rs"],
         _ => &[],
     }
+}
+
+/// The knob names, comma-joined, for the `env-var` diagnostic.
+fn knob_names() -> String {
+    let names: Vec<&str> = ENV_KNOBS.iter().map(|k| k.name).collect();
+    names.join("/")
 }
 
 /// Whether `id` names a known rule (valid inside `allow(...)`).
@@ -227,6 +259,9 @@ fn json_float_spec(text: &str) -> bool {
 }
 
 fn applies(rule: &str, rel_path: &str) -> bool {
+    if rule == "env-var" {
+        return !ENV_KNOBS.iter().any(|k| k.readers.contains(&rel_path));
+    }
     !allowed_files(rule).contains(&rel_path)
 }
 
@@ -289,9 +324,12 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
                     push(
                         "env-var",
                         t.line,
-                        "`std::env::var` outside the config entry points — PATU_THREADS/\
-                         PATU_TRACE are read once by `patu_sim::parallel` / `patu_obs::config`"
-                            .to_string(),
+                        format!(
+                            "`std::env::var` outside the config entry points — each \
+                             knob ({}) is read once by the reader registered in \
+                             `ENV_KNOBS`",
+                            knob_names()
+                        ),
                         &mut raw,
                     );
                 }
@@ -563,6 +601,35 @@ mod tests {
             "#![forbid(unsafe_code)]\npub fn f() {}\n",
         );
         assert!(clean.is_empty());
+    }
+
+    #[test]
+    fn registered_knob_readers_are_exempt_from_env_var() {
+        let src = "pub fn knob() -> Option<String> { std::env::var(\"PATU_X\").ok() }\n";
+        for knob in ENV_KNOBS {
+            for reader in knob.readers {
+                assert!(
+                    rules_hit(reader, src).is_empty(),
+                    "{reader} is the registered reader for {}",
+                    knob.name
+                );
+            }
+        }
+        assert_eq!(rules_hit(LIB, src), vec![("env-var", 1)]);
+    }
+
+    #[test]
+    fn knob_table_is_well_formed() {
+        let mut names: Vec<&str> = ENV_KNOBS.iter().map(|k| k.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ENV_KNOBS.len(), "knob names are unique");
+        for knob in ENV_KNOBS {
+            assert!(knob.name.starts_with("PATU_"), "{}", knob.name);
+            assert!(!knob.readers.is_empty(), "{} has a reader", knob.name);
+        }
+        let diag = &rules_hit(LIB, "fn f() { std::env::var(\"X\").ok(); }\n");
+        assert_eq!(diag, &[("env-var", 1)]);
     }
 
     #[test]

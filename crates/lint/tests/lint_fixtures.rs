@@ -176,4 +176,16 @@ fn sanctioned_entry_points_are_exempt() {
     assert!(lint_source("crates/bench/src/micro.rs", clocks).is_empty());
     let spawns = include_str!("fixtures/thread_spawn.rs");
     assert!(lint_source("crates/sim/src/parallel.rs", spawns).is_empty());
+    // Every reader registered in ENV_KNOBS is exempt from env-var — the
+    // fixture that fires everywhere else stays silent there.
+    let envs = include_str!("fixtures/env_var.rs");
+    for knob in patu_lint::rules::ENV_KNOBS {
+        for reader in knob.readers {
+            assert!(
+                lint_source(reader, envs).is_empty(),
+                "{reader} reads {}",
+                knob.name
+            );
+        }
+    }
 }

@@ -9,8 +9,10 @@
 
 use crate::json::{self, Json};
 
-/// The line types the sink emits.
-pub const LINE_TYPES: [&str; 6] = ["frame", "counter", "hist", "span", "event", "dump"];
+/// The line types the sink emits. `"serve"` lines come from the
+/// `patu-serve` layer's per-job log rather than the frame sink, but share
+/// the stream format so one checker covers both.
+pub const LINE_TYPES: [&str; 7] = ["frame", "counter", "hist", "span", "event", "dump", "serve"];
 
 fn require_num(obj: &Json, key: &str) -> Result<f64, String> {
     obj.get(key)
@@ -115,6 +117,30 @@ pub fn check_line(line: &str) -> Result<(), String> {
             Ok(())
         }
         "event" => check_event_fields(&obj),
+        "serve" => {
+            require_num(&obj, "job")?;
+            require_num(&obj, "client")?;
+            require_num(&obj, "tier")?;
+            require_str(&obj, "scene")?;
+            require_num(&obj, "frame")?;
+            let arrival = require_num(&obj, "arrival")?;
+            require_num(&obj, "deadline")?;
+            let outcome = require_str(&obj, "outcome")?;
+            match outcome {
+                "delivered" => {
+                    let finish = require_num(&obj, "finish")?;
+                    if finish < arrival {
+                        return Err(format!("finish {finish} before arrival {arrival}"));
+                    }
+                    require_num(&obj, "theta")?;
+                    require_num(&obj, "ssim")?;
+                    require_num(&obj, "hash")?;
+                    Ok(())
+                }
+                "shed" => Ok(()),
+                other => Err(format!("unknown serve outcome \"{other}\"")),
+            }
+        }
         "dump" => {
             require_str(&obj, "reason")?;
             require_num(&obj, "frame")?;
@@ -212,6 +238,22 @@ mod tests {
     fn rejects_unknown_event_kind() {
         let line = "{\"type\":\"event\",\"frame\":0,\"cycle\":1,\"cluster\":0,\"tile\":0,\"kind\":\"explosion\"}";
         assert!(check_line(line).unwrap_err().contains("explosion"));
+    }
+
+    #[test]
+    fn serve_lines_validate() {
+        let delivered = "{\"type\":\"serve\",\"job\":3,\"client\":1,\"tier\":0,\"scene\":\"oblivion\",\"frame\":2,\"arrival\":100,\"deadline\":900,\"outcome\":\"delivered\",\"finish\":400,\"theta\":0.4,\"ssim\":0.97,\"hash\":123456}";
+        assert!(check_line(delivered).is_ok());
+        let shed = "{\"type\":\"serve\",\"job\":4,\"client\":2,\"tier\":1,\"scene\":\"crysis\",\"frame\":0,\"arrival\":150,\"deadline\":950,\"outcome\":\"shed\"}";
+        assert!(check_line(shed).is_ok());
+        let backwards = "{\"type\":\"serve\",\"job\":5,\"client\":0,\"tier\":0,\"scene\":\"x\",\"frame\":0,\"arrival\":500,\"deadline\":900,\"outcome\":\"delivered\",\"finish\":400,\"theta\":0.4,\"ssim\":0.9,\"hash\":1}";
+        assert!(check_line(backwards)
+            .unwrap_err()
+            .contains("before arrival"));
+        let unknown = "{\"type\":\"serve\",\"job\":5,\"client\":0,\"tier\":0,\"scene\":\"x\",\"frame\":0,\"arrival\":1,\"deadline\":2,\"outcome\":\"vaporized\"}";
+        assert!(check_line(unknown).unwrap_err().contains("vaporized"));
+        let missing = "{\"type\":\"serve\",\"job\":5,\"outcome\":\"shed\"}";
+        assert!(check_line(missing).is_err());
     }
 
     #[test]

@@ -1,0 +1,71 @@
+//! The serving layer's typed error, extending the `GpuError` →
+//! `PatuError` → `SimError` chain one level up the stack.
+
+use patu_sim::SimError;
+use std::fmt;
+
+/// Errors raised while configuring or running the frame-serving subsystem.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The underlying simulator rejected a render (bad policy, workload,
+    /// cache geometry…).
+    Sim(SimError),
+    /// The serve configuration is unusable as given.
+    InvalidConfig {
+        /// Which knob was wrong.
+        what: &'static str,
+    },
+    /// A scene index escaped the configured scene list — an internal
+    /// invariant violation surfaced as data instead of a panic.
+    UnknownScene {
+        /// The out-of-range index.
+        index: usize,
+        /// How many scenes the service actually holds.
+        scenes: usize,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Sim(e) => write!(f, "serve render: {e}"),
+            ServeError::InvalidConfig { what } => {
+                write!(f, "invalid serve configuration: {what}")
+            }
+            ServeError::UnknownScene { index, scenes } => {
+                write!(f, "scene index {index} out of range (have {scenes})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for ServeError {
+    fn from(e: SimError) -> ServeError {
+        ServeError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_chain_readably() {
+        let e = ServeError::InvalidConfig { what: "gpus" };
+        assert!(e.to_string().contains("gpus"));
+        let e = ServeError::UnknownScene {
+            index: 9,
+            scenes: 2,
+        };
+        assert!(e.to_string().contains('9'));
+    }
+}

@@ -1,0 +1,175 @@
+//! Render jobs: what a client submits and what the server delivers.
+
+/// A client's priority tier. Lower discriminants are more urgent; the
+/// scheduler orders by `(tier, deadline, id)`, so `Interactive` jobs always
+/// dispatch before `Standard` ones with comparable deadlines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Tier {
+    /// Latency-critical (a player's own viewport).
+    Interactive = 0,
+    /// Ordinary streaming traffic.
+    Standard = 1,
+    /// Deferred work (thumbnails, replays) with loose deadlines.
+    Batch = 2,
+}
+
+impl Tier {
+    /// All tiers, in scheduling order.
+    pub const ALL: [Tier; 3] = [Tier::Interactive, Tier::Standard, Tier::Batch];
+
+    /// Stable index for per-tier arrays and artifacts.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Human-readable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Tier::Interactive => "interactive",
+            Tier::Standard => "standard",
+            Tier::Batch => "batch",
+        }
+    }
+
+    /// Deadline slack multiplier relative to the mean service time: tighter
+    /// for interactive traffic, looser for batch.
+    pub fn slack_factor(self) -> u64 {
+        match self {
+            Tier::Interactive => 3,
+            Tier::Standard => 6,
+            Tier::Batch => 12,
+        }
+    }
+}
+
+/// One render request: a client asks for a frame of a scene by a deadline.
+/// All times are on the virtual clock, in simulated GPU cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Job {
+    /// Globally unique, assigned in arrival order — the deterministic
+    /// tiebreaker everywhere.
+    pub id: u64,
+    /// Which client submitted it.
+    pub client: u32,
+    /// Priority tier.
+    pub tier: Tier,
+    /// Index into the configured scene list.
+    pub scene: usize,
+    /// Frame index within the scene's camera loop.
+    pub frame: u32,
+    /// Submission time (virtual cycles).
+    pub arrival: u64,
+    /// Latest acceptable completion time (virtual cycles).
+    pub deadline: u64,
+}
+
+impl Job {
+    /// The scheduler's EDF-with-tiers ordering key.
+    pub fn key(&self) -> (u8, u64, u64) {
+        (self.tier as u8, self.deadline, self.id)
+    }
+}
+
+/// How a job left the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Rendered and delivered (possibly after its deadline — see
+    /// [`CompletedJob::missed_deadline`]).
+    Delivered,
+    /// Rejected at admission: the queue was full.
+    Shed,
+}
+
+/// The terminal record of one job, as written to the serve log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompletedJob {
+    /// The original request.
+    pub job: Job,
+    /// Delivered or shed.
+    pub outcome: Outcome,
+    /// Completion time (virtual cycles); equals `job.arrival` for sheds.
+    pub finish: u64,
+    /// The effective AF-SSIM threshold the frame was rendered with
+    /// (quantized by the governor); 0 for sheds.
+    pub theta: f64,
+    /// Mean SSIM of the delivered frame against the 16×AF baseline; 0 for
+    /// sheds.
+    pub ssim: f64,
+    /// Content hash of the delivered pixels (FNV-1a) — the cheap
+    /// bit-identity witness for determinism tests; 0 for sheds.
+    pub image_hash: u64,
+    /// Whether the governor delivered below the configured base threshold
+    /// (quality was traded for throughput).
+    pub degraded: bool,
+}
+
+impl CompletedJob {
+    /// Whether a delivered job finished after its deadline.
+    pub fn missed_deadline(&self) -> bool {
+        self.outcome == Outcome::Delivered && self.finish > self.job.deadline
+    }
+
+    /// Queueing + service latency for delivered jobs (0 for sheds).
+    pub fn latency(&self) -> u64 {
+        self.finish.saturating_sub(self.job.arrival)
+    }
+
+    /// Cycles of headroom left before the deadline (0 when missed or shed).
+    pub fn slack(&self) -> u64 {
+        match self.outcome {
+            Outcome::Delivered => self.job.deadline.saturating_sub(self.finish),
+            Outcome::Shed => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: u64, tier: Tier, deadline: u64) -> Job {
+        Job {
+            id,
+            client: 0,
+            tier,
+            scene: 0,
+            frame: 0,
+            arrival: 10,
+            deadline,
+        }
+    }
+
+    #[test]
+    fn key_orders_tier_then_deadline_then_id() {
+        let interactive_late = job(5, Tier::Interactive, 900);
+        let standard_early = job(1, Tier::Standard, 100);
+        assert!(
+            interactive_late.key() < standard_early.key(),
+            "tier dominates deadline"
+        );
+        let a = job(1, Tier::Standard, 100);
+        let b = job(2, Tier::Standard, 100);
+        assert!(a.key() < b.key(), "id breaks deadline ties");
+    }
+
+    #[test]
+    fn completion_accounting() {
+        let mut c = CompletedJob {
+            job: job(1, Tier::Interactive, 500),
+            outcome: Outcome::Delivered,
+            finish: 400,
+            theta: 0.4,
+            ssim: 0.97,
+            image_hash: 1,
+            degraded: false,
+        };
+        assert!(!c.missed_deadline());
+        assert_eq!(c.latency(), 390);
+        assert_eq!(c.slack(), 100);
+        c.finish = 600;
+        assert!(c.missed_deadline());
+        assert_eq!(c.slack(), 0);
+        c.outcome = Outcome::Shed;
+        assert!(!c.missed_deadline(), "sheds are not deadline misses");
+    }
+}

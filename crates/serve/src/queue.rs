@@ -1,0 +1,160 @@
+//! The admission-controlled bounded queue.
+//!
+//! Ordering is EDF with priority tiers: the queue is a `BTreeMap` keyed by
+//! `(tier, deadline, id)`, so `pop` is the urgent head and iteration order
+//! is deterministic by construction (no hash maps anywhere). Admission is a
+//! hard capacity check — the backpressure signal the quality governor and
+//! the shed counters both read.
+
+use crate::job::Job;
+use std::collections::BTreeMap;
+
+/// What [`AdmissionQueue::offer`] did with an arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Enqueued; the queue depth after admission is attached.
+    Admitted(usize),
+    /// Rejected: the queue was at capacity. The job is returned to the
+    /// caller to record as shed.
+    Rejected(Job),
+}
+
+/// A bounded priority queue of pending jobs.
+#[derive(Debug, Clone, Default)]
+pub struct AdmissionQueue {
+    capacity: usize,
+    jobs: BTreeMap<(u8, u64, u64), Job>,
+}
+
+impl AdmissionQueue {
+    /// An empty queue holding at most `capacity` jobs.
+    pub fn new(capacity: usize) -> AdmissionQueue {
+        AdmissionQueue {
+            capacity: capacity.max(1),
+            jobs: BTreeMap::new(),
+        }
+    }
+
+    /// Current depth.
+    pub fn depth(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the queue holds no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Queue pressure in `[0, 1]`: depth over capacity.
+    pub fn pressure(&self) -> f64 {
+        self.jobs.len() as f64 / self.capacity as f64
+    }
+
+    /// Offers an arrival: admitted if there is room, rejected (returned)
+    /// otherwise. Admission never evicts — a queued job is a promise.
+    pub fn offer(&mut self, job: Job) -> Admission {
+        if self.jobs.len() >= self.capacity {
+            return Admission::Rejected(job);
+        }
+        self.jobs.insert(job.key(), job);
+        Admission::Admitted(self.jobs.len())
+    }
+
+    /// Removes and returns the most urgent job: lowest `(tier, deadline,
+    /// id)`.
+    pub fn pop(&mut self) -> Option<Job> {
+        let key = *self.jobs.keys().next()?;
+        self.jobs.remove(&key)
+    }
+
+    /// Removes and returns up to `max` additional queued jobs rendering the
+    /// same scene as `head`, in EDF order — the same-scene batch that
+    /// amortizes scene setup. `head` itself is not in the queue any more.
+    pub fn take_same_scene(&mut self, head: &Job, max: usize) -> Vec<Job> {
+        let keys: Vec<(u8, u64, u64)> = self
+            .jobs
+            .iter()
+            .filter(|(_, j)| j.scene == head.scene)
+            .take(max)
+            .map(|(k, _)| *k)
+            .collect();
+        keys.iter().filter_map(|k| self.jobs.remove(k)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Tier;
+
+    fn job(id: u64, tier: Tier, deadline: u64, scene: usize) -> Job {
+        Job {
+            id,
+            client: 0,
+            tier,
+            scene,
+            frame: 0,
+            arrival: 0,
+            deadline,
+        }
+    }
+
+    #[test]
+    fn pops_edf_within_tier_priority() {
+        let mut q = AdmissionQueue::new(8);
+        q.offer(job(1, Tier::Batch, 10, 0));
+        q.offer(job(2, Tier::Standard, 500, 0));
+        q.offer(job(3, Tier::Standard, 100, 0));
+        q.offer(job(4, Tier::Interactive, 900, 0));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|j| j.id).collect();
+        assert_eq!(order, vec![4, 3, 2, 1], "tier first, then deadline");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn rejects_when_full_without_evicting() {
+        let mut q = AdmissionQueue::new(2);
+        assert_eq!(
+            q.offer(job(1, Tier::Standard, 10, 0)),
+            Admission::Admitted(1)
+        );
+        assert_eq!(
+            q.offer(job(2, Tier::Standard, 20, 0)),
+            Admission::Admitted(2)
+        );
+        let urgent = job(3, Tier::Interactive, 1, 0);
+        assert_eq!(q.offer(urgent), Admission::Rejected(urgent));
+        assert_eq!(q.depth(), 2, "admission never evicts");
+        assert!((q.pressure() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_scene_batch_respects_edf_and_max() {
+        let mut q = AdmissionQueue::new(8);
+        q.offer(job(1, Tier::Standard, 100, 7));
+        q.offer(job(2, Tier::Standard, 50, 7));
+        q.offer(job(3, Tier::Standard, 75, 2));
+        q.offer(job(4, Tier::Batch, 10, 7));
+        let head = q.pop().expect("head");
+        assert_eq!(head.id, 2, "EDF head");
+        let batch = q.take_same_scene(&head, 1);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].id, 1, "same scene, next in EDF order");
+        assert_eq!(q.depth(), 2, "other-scene and over-max jobs remain");
+    }
+
+    #[test]
+    fn zero_capacity_sanitizes_to_one() {
+        let mut q = AdmissionQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        assert!(matches!(
+            q.offer(job(1, Tier::Standard, 5, 0)),
+            Admission::Admitted(1)
+        ));
+    }
+}

@@ -1,0 +1,536 @@
+//! The serve loop: a discrete-event simulation of the GPU pool on the
+//! virtual clock.
+//!
+//! Time is simulated GPU cycles, advanced only by two event kinds — job
+//! arrivals and GPU completions — so a session is a pure function of its
+//! [`ServeConfig`] and [`FrameService`]: bit-identical logs, stats and
+//! delivered frames on every run and every `PATU_THREADS` setting. The loop
+//! per step: admit every arrival due now (shedding on a full queue),
+//! dispatch EDF batches onto free GPUs with the governor's quantized
+//! threshold, else advance the clock to the next event.
+
+use crate::error::ServeError;
+use crate::exec::{FrameService, RenderKey};
+use crate::governor::QualityGovernor;
+use crate::job::{CompletedJob, Job, Outcome, Tier};
+use crate::queue::{Admission, AdmissionQueue};
+use crate::workload::{self, ServeConfig};
+use patu_core::FilterPolicy;
+use patu_obs::json::{escape, num_fixed};
+use patu_obs::report::Table;
+use patu_obs::{sink, Collector, FrameTelemetry, Log2Histogram, TelemetryConfig, Track};
+
+/// Session-level counters and distributions.
+#[derive(Debug, Clone, Default)]
+pub struct ServeStats {
+    /// Jobs the workload generator submitted.
+    pub submitted: u64,
+    /// Jobs rendered and delivered (on time or late).
+    pub delivered: u64,
+    /// Jobs rejected at admission (queue full).
+    pub shed: u64,
+    /// Delivered jobs that finished after their deadline.
+    pub deadline_misses: u64,
+    /// Delivered jobs rendered below the base threshold — quality the
+    /// governor traded for throughput.
+    pub degrades: u64,
+    /// Batches dispatched (each paid one scene-setup cost).
+    pub batches: u64,
+    /// Virtual cycle the last job finished.
+    pub makespan: u64,
+    /// Sum of delivered SSIM (for the mean).
+    pub ssim_sum: f64,
+    /// Queue depth observed at each admission.
+    pub queue_depth: Log2Histogram,
+    /// Deadline headroom of on-time deliveries.
+    pub slack: Log2Histogram,
+    /// Arrival→delivery latency per tier (index = `Tier::index()`).
+    pub latency: [Log2Histogram; 3],
+}
+
+impl ServeStats {
+    /// Mean SSIM over delivered jobs (1.0 for an empty session: no frame
+    /// was degraded).
+    pub fn mean_ssim(&self) -> f64 {
+        if self.delivered == 0 {
+            1.0
+        } else {
+            self.ssim_sum / self.delivered as f64
+        }
+    }
+
+    /// The fraction of submitted jobs that failed their contract: shed at
+    /// admission or delivered past deadline. The headline SLO metric.
+    pub fn miss_rate(&self) -> f64 {
+        if self.submitted == 0 {
+            0.0
+        } else {
+            (self.deadline_misses + self.shed) as f64 / self.submitted as f64
+        }
+    }
+
+    /// Delivered jobs per million virtual cycles.
+    pub fn throughput(&self) -> f64 {
+        if self.makespan == 0 {
+            0.0
+        } else {
+            self.delivered as f64 * 1.0e6 / self.makespan as f64
+        }
+    }
+}
+
+/// Everything a session produces.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Counters and distributions.
+    pub stats: ServeStats,
+    /// Terminal record of every job, in completion order.
+    pub completed: Vec<CompletedJob>,
+    /// The JSONL serve log (one `"serve"` line per job, schema-checked by
+    /// `patu_obs::schema`).
+    pub log: String,
+    /// Spans (per job and batch, on per-GPU tracks) and session counters,
+    /// exportable as a Chrome trace.
+    pub telemetry: FrameTelemetry,
+}
+
+impl ServeReport {
+    /// Per-tier latency table for run summaries.
+    pub fn table(&self) -> String {
+        let mut t = Table::new(&["tier", "delivered", "p50", "p95", "p99"]);
+        for tier in Tier::ALL {
+            let h = &self.stats.latency[tier.index()];
+            t.row(&[
+                tier.label().to_string(),
+                h.count().to_string(),
+                h.p50().to_string(),
+                h.p95().to_string(),
+                h.p99().to_string(),
+            ]);
+        }
+        t.render()
+    }
+
+    /// The session as a Chrome Trace Event Format document.
+    pub fn chrome_trace(&self) -> String {
+        sink::chrome_trace(std::slice::from_ref(&self.telemetry))
+    }
+}
+
+/// Maps an (already quantized) threshold onto its bucket index.
+fn bucket_of(theta: f64, steps: u32) -> u32 {
+    let steps = steps.max(1);
+    (theta.clamp(0.0, 1.0) * f64::from(steps)).round() as u32
+}
+
+/// State for one session run; split out so the event loop reads linearly.
+struct Session<'a, S: FrameService> {
+    cfg: &'a ServeConfig,
+    service: &'a mut S,
+    governor: QualityGovernor,
+    queue: AdmissionQueue,
+    gpu_free: Vec<u64>,
+    gpu_obs: Vec<Collector>,
+    now: u64,
+    stats: ServeStats,
+    completed: Vec<CompletedJob>,
+    log: String,
+}
+
+impl<'a, S: FrameService> Session<'a, S> {
+    fn log_line(&mut self, job: &Job, done: &CompletedJob) {
+        let scene = self.cfg.scenes.get(job.scene).map_or("?", String::as_str);
+        let head = format!(
+            "{{\"type\":\"serve\",\"job\":{},\"client\":{},\"tier\":{},\"scene\":\"{}\",\"frame\":{},\"arrival\":{},\"deadline\":{}",
+            job.id,
+            job.client,
+            job.tier.index(),
+            escape(scene),
+            job.frame,
+            job.arrival,
+            job.deadline,
+        );
+        let tail = match done.outcome {
+            Outcome::Shed => ",\"outcome\":\"shed\"}".to_string(),
+            Outcome::Delivered => format!(
+                ",\"outcome\":\"delivered\",\"finish\":{},\"theta\":{},\"ssim\":{},\"hash\":{}}}",
+                done.finish,
+                num_fixed(done.theta, 4),
+                num_fixed(done.ssim, 6),
+                done.image_hash,
+            ),
+        };
+        self.log.push_str(&head);
+        self.log.push_str(&tail);
+        self.log.push('\n');
+    }
+
+    fn shed(&mut self, job: Job) {
+        let done = CompletedJob {
+            job,
+            outcome: Outcome::Shed,
+            finish: job.arrival,
+            theta: 0.0,
+            ssim: 0.0,
+            image_hash: 0,
+            degraded: false,
+        };
+        self.stats.shed += 1;
+        self.log_line(&job, &done);
+        self.completed.push(done);
+    }
+
+    fn deliver(&mut self, job: Job, finish: u64, theta: f64, ssim: f64, hash: u64) {
+        let degraded = theta + 1e-9 < self.cfg.base_threshold;
+        let done = CompletedJob {
+            job,
+            outcome: Outcome::Delivered,
+            finish,
+            theta,
+            ssim,
+            image_hash: hash,
+            degraded,
+        };
+        self.stats.delivered += 1;
+        self.stats.deadline_misses += u64::from(done.missed_deadline());
+        self.stats.degrades += u64::from(degraded);
+        self.stats.ssim_sum += ssim;
+        self.stats.makespan = self.stats.makespan.max(finish);
+        self.stats.latency[job.tier.index()].record(done.latency());
+        if !done.missed_deadline() {
+            self.stats.slack.record(done.slack());
+        }
+        self.log_line(&job, &done);
+        self.completed.push(done);
+    }
+
+    /// Dispatches one EDF batch onto GPU `gpu`, returning its completion
+    /// cycle.
+    fn dispatch(&mut self, gpu: usize, setup: u64) -> Result<(), ServeError> {
+        let policy = self
+            .governor
+            .policy_for(self.queue.depth(), self.queue.capacity());
+        let theta = QualityGovernor::effective_threshold(&policy);
+        let bucket = bucket_of(theta, self.cfg.governor_steps);
+        let Some(head) = self.queue.pop() else {
+            return Ok(());
+        };
+        let mut batch = vec![head];
+        batch.extend(
+            self.queue
+                .take_same_scene(&head, self.cfg.batch_max.saturating_sub(1)),
+        );
+        let keys: Vec<RenderKey> = batch
+            .iter()
+            .map(|j| RenderKey {
+                scene: j.scene,
+                frame: j.frame,
+                bucket,
+            })
+            .collect();
+        let served = self.service.serve(&keys)?;
+        let start = self.now;
+        let mut t = start.saturating_add(setup);
+        for (job, frame) in batch.iter().zip(&served) {
+            let job_start = t;
+            t = t.saturating_add(frame.cycles);
+            self.governor.observe(frame.cycles);
+            self.gpu_obs[gpu].span_arg("serve::job", job_start, t, "job", job.id);
+            self.deliver(*job, t, theta, frame.ssim, frame.image_hash);
+        }
+        self.gpu_obs[gpu].span_arg("serve::batch", start, t, "jobs", batch.len() as u64);
+        self.gpu_free[gpu] = t;
+        self.stats.batches += 1;
+        Ok(())
+    }
+}
+
+/// Runs one serving session to completion.
+///
+/// # Errors
+///
+/// Returns [`ServeError`] for invalid configurations or service failures;
+/// a clean run delivers or sheds every submitted job.
+pub fn run_session<S: FrameService>(
+    cfg: &ServeConfig,
+    service: &mut S,
+) -> Result<ServeReport, ServeError> {
+    cfg.validate()?;
+    let base_bucket = bucket_of(cfg.base_threshold, cfg.governor_steps);
+    let mean_service = service.calibrate(base_bucket)?;
+    let setup = (mean_service as f64 * cfg.setup_frac) as u64;
+    let jobs = workload::generate(cfg, mean_service);
+    let base_policy = FilterPolicy::Patu {
+        threshold: cfg.base_threshold,
+    };
+    let telemetry_cfg = TelemetryConfig::with_level(cfg.trace);
+
+    let mut session = Session {
+        cfg,
+        service,
+        governor: QualityGovernor::new(
+            base_policy,
+            mean_service,
+            cfg.governor_floor,
+            cfg.governor_steps,
+            cfg.pressure_gain,
+            cfg.governor,
+        ),
+        queue: AdmissionQueue::new(cfg.queue_capacity),
+        gpu_free: vec![0; cfg.gpus],
+        gpu_obs: (0..cfg.gpus)
+            .map(|g| Collector::new(telemetry_cfg, Track::Cluster(g as u32)))
+            .collect(),
+        now: 0,
+        stats: ServeStats {
+            submitted: jobs.len() as u64,
+            ..ServeStats::default()
+        },
+        completed: Vec::with_capacity(jobs.len()),
+        log: String::new(),
+    };
+
+    let mut next_arrival = 0usize;
+    loop {
+        // 1. Admit every arrival due by now, in arrival order; a full queue
+        //    sheds the newcomer (admission never evicts a promise).
+        while next_arrival < jobs.len() && jobs[next_arrival].arrival <= session.now {
+            let job = jobs[next_arrival];
+            next_arrival += 1;
+            match session.queue.offer(job) {
+                Admission::Admitted(depth) => session.stats.queue_depth.record(depth as u64),
+                Admission::Rejected(job) => session.shed(job),
+            }
+        }
+
+        // 2. Dispatch onto the lowest-indexed idle GPU, if any work waits.
+        if !session.queue.is_empty() {
+            let idle = (0..session.gpu_free.len()).find(|&g| session.gpu_free[g] <= session.now);
+            if let Some(gpu) = idle {
+                session.dispatch(gpu, setup)?;
+                continue; // other GPUs may be idle at the same cycle
+            }
+        }
+
+        // 3. Advance the virtual clock to the next event.
+        let arrival = (next_arrival < jobs.len()).then(|| jobs[next_arrival].arrival);
+        let completion = if session.queue.is_empty() {
+            None
+        } else {
+            session
+                .gpu_free
+                .iter()
+                .copied()
+                .filter(|&f| f > session.now)
+                .min()
+        };
+        session.now = match (arrival, completion) {
+            (Some(a), Some(c)) => a.min(c),
+            (Some(a), None) => a,
+            (None, Some(c)) => c,
+            (None, None) => break, // no arrivals left, queue drained
+        };
+    }
+
+    let Session {
+        stats,
+        completed,
+        log,
+        gpu_obs,
+        ..
+    } = session;
+
+    let mut telemetry = FrameTelemetry::new(cfg.trace, 0, format!("{base_policy:?}"), cfg.seed);
+    for obs in gpu_obs {
+        telemetry.absorb(obs);
+    }
+    telemetry
+        .counters
+        .insert("serve::submitted", stats.submitted);
+    telemetry
+        .counters
+        .insert("serve::delivered", stats.delivered);
+    telemetry.counters.insert("serve::shed", stats.shed);
+    telemetry
+        .counters
+        .insert("serve::deadline_misses", stats.deadline_misses);
+    telemetry.counters.insert("serve::degrades", stats.degrades);
+    telemetry.counters.insert("serve::batches", stats.batches);
+    telemetry
+        .hists
+        .insert("serve::queue_depth", stats.queue_depth);
+    telemetry.hists.insert("serve::slack", stats.slack);
+    telemetry
+        .hists
+        .insert("serve::latency_interactive", stats.latency[0]);
+    telemetry
+        .hists
+        .insert("serve::latency_standard", stats.latency[1]);
+    telemetry
+        .hists
+        .insert("serve::latency_batch", stats.latency[2]);
+
+    Ok(ServeReport {
+        stats,
+        completed,
+        log,
+        telemetry,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::SyntheticService;
+
+    fn cfg() -> ServeConfig {
+        ServeConfig {
+            clients: 4,
+            jobs_per_client: 12,
+            load: 1.0,
+            gpus: 2,
+            queue_capacity: 8,
+            ..ServeConfig::default()
+        }
+    }
+
+    fn run(cfg: &ServeConfig) -> ServeReport {
+        let mut service = SyntheticService::new(1_000_000, cfg.governor_steps);
+        run_session(cfg, &mut service).expect("session runs")
+    }
+
+    #[test]
+    fn every_job_terminates_exactly_once() {
+        let report = run(&cfg());
+        let s = &report.stats;
+        assert_eq!(s.submitted, 48);
+        assert_eq!(s.delivered + s.shed, s.submitted);
+        assert_eq!(report.completed.len(), 48);
+        let mut ids: Vec<u64> = report.completed.iter().map(|c| c.job.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 48, "no duplicate completions");
+        assert_eq!(report.log.lines().count(), 48);
+    }
+
+    #[test]
+    fn sessions_are_bit_identical() {
+        let a = run(&cfg());
+        let b = run(&cfg());
+        assert_eq!(a.log, b.log);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.stats.makespan, b.stats.makespan);
+        assert_eq!(a.chrome_trace(), b.chrome_trace());
+    }
+
+    #[test]
+    fn serve_log_passes_the_schema_checker() {
+        let report = run(&ServeConfig {
+            load: 4.0, // force some sheds so both outcomes appear
+            queue_capacity: 2,
+            ..cfg()
+        });
+        let checked = patu_obs::schema::check_stream(&report.log).expect("all lines valid");
+        assert_eq!(checked as u64, report.stats.submitted);
+        assert!(report.stats.shed > 0, "4x load on a 2-deep queue sheds");
+    }
+
+    #[test]
+    fn governor_cuts_misses_under_overload() {
+        let overload = ServeConfig { load: 3.0, ..cfg() };
+        let governed = run(&overload);
+        let ungoverned = run(&ServeConfig {
+            governor: false,
+            ..overload
+        });
+        assert!(
+            governed.stats.miss_rate() < ungoverned.stats.miss_rate(),
+            "governed {} vs ungoverned {}",
+            governed.stats.miss_rate(),
+            ungoverned.stats.miss_rate()
+        );
+        assert!(governed.stats.degrades > 0, "quality was actually traded");
+        assert!(
+            governed.stats.mean_ssim() >= 0.88,
+            "floor bounds the trade: {}",
+            governed.stats.mean_ssim()
+        );
+        assert_eq!(ungoverned.stats.degrades, 0);
+    }
+
+    #[test]
+    fn sheds_are_monotone_in_load() {
+        let base = cfg();
+        let mut last = 0u64;
+        for load in [0.5, 2.0, 5.0] {
+            let report = run(&ServeConfig {
+                load,
+                queue_capacity: 3,
+                governor: false,
+                ..base.clone()
+            });
+            assert!(
+                report.stats.shed >= last,
+                "shed at load {load}: {} < {last}",
+                report.stats.shed
+            );
+            last = report.stats.shed;
+        }
+    }
+
+    #[test]
+    fn report_table_lists_every_tier() {
+        let report = run(&cfg());
+        let table = report.table();
+        for tier in Tier::ALL {
+            assert!(table.contains(tier.label()), "{table}");
+        }
+    }
+
+    #[test]
+    fn batching_amortizes_setup() {
+        let batched = run(&ServeConfig {
+            batch_max: 4,
+            load: 2.0,
+            ..cfg()
+        });
+        let unbatched = run(&ServeConfig {
+            batch_max: 1,
+            load: 2.0,
+            ..cfg()
+        });
+        assert!(
+            batched.stats.batches < unbatched.stats.batches,
+            "same-scene jobs coalesce: {} vs {}",
+            batched.stats.batches,
+            unbatched.stats.batches
+        );
+        assert_eq!(
+            batched.stats.delivered + batched.stats.shed,
+            unbatched.stats.delivered + unbatched.stats.shed,
+            "both modes account for every job"
+        );
+    }
+
+    #[test]
+    fn telemetry_records_spans_and_counters() {
+        let report = run(&ServeConfig {
+            trace: patu_obs::TraceLevel::Spans,
+            ..cfg()
+        });
+        assert_eq!(
+            report.telemetry.counters["serve::delivered"],
+            report.stats.delivered
+        );
+        let stages: Vec<&str> = report
+            .telemetry
+            .stage_totals()
+            .iter()
+            .map(|&(n, _, _)| n)
+            .collect();
+        assert!(stages.contains(&"serve::job"), "stages: {stages:?}");
+        assert!(stages.contains(&"serve::batch"));
+        let trace = report.chrome_trace();
+        assert!(trace.contains("serve::job"));
+    }
+}

@@ -15,6 +15,12 @@
 /// Each [`ThresholdController::observe`] call takes the cycles the last
 /// frame needed under the current threshold and nudges the threshold down
 /// (more approximation) when over budget, up (more quality) when under.
+///
+/// An outer control loop (the `patu-serve` quality governor) can overlay an
+/// *external bias* via [`ThresholdController::set_external_bias`]: an
+/// additive offset applied on top of the proportional state, so system-level
+/// pressure (queue depth, deadline slack) and frame-level pressure (cycles
+/// vs. budget) compose without fighting over one integrator.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ThresholdController {
     /// Target frame cycles (e.g. the 60 Hz budget at the GPU clock).
@@ -26,6 +32,7 @@ pub struct ThresholdController {
     /// Upper bound (1.0 = full AF).
     pub max_threshold: f64,
     threshold: f64,
+    external_bias: f64,
 }
 
 impl ThresholdController {
@@ -47,6 +54,7 @@ impl ThresholdController {
             min_threshold: 0.0,
             max_threshold: 1.0,
             threshold,
+            external_bias: 0.0,
         }
     }
 
@@ -75,20 +83,45 @@ impl ThresholdController {
         self
     }
 
-    /// The threshold to render the next frame with.
+    /// The threshold to render the next frame with: the proportional state
+    /// plus the external bias, clamped into the operating range.
     pub fn threshold(&self) -> f64 {
-        self.threshold
+        (self.threshold + self.external_bias).clamp(self.min_threshold, self.max_threshold)
+    }
+
+    /// Overlays an additive bias from an outer controller (e.g. the serving
+    /// layer's quality governor trading SSIM for throughput under queue
+    /// pressure). Negative bias pushes toward more approximation.
+    ///
+    /// The input is sanitized rather than trusted, consistent with the rest
+    /// of the controller: a non-finite bias becomes 0 (no external
+    /// pressure — the safe direction), and finite values clamp into
+    /// `[-1, 1]`, the widest offset that can ever matter on a `[0, 1]` knob.
+    pub fn set_external_bias(&mut self, bias: f64) {
+        self.external_bias = if bias.is_finite() {
+            bias.clamp(-1.0, 1.0)
+        } else {
+            0.0
+        };
+    }
+
+    /// The currently applied external bias (0 unless an outer controller
+    /// set one).
+    pub fn external_bias(&self) -> f64 {
+        self.external_bias
     }
 
     /// Feeds back the last frame's cost and returns the updated threshold.
     ///
     /// Over budget ⇒ relative error positive ⇒ threshold falls (approximate
-    /// more). Under budget ⇒ threshold rises back toward full quality.
+    /// more). Under budget ⇒ threshold rises back toward full quality. The
+    /// proportional state integrates without the bias; the returned value
+    /// (like [`ThresholdController::threshold`]) includes it.
     pub fn observe(&mut self, frame_cycles: u64) -> f64 {
         let error = frame_cycles as f64 / self.target_cycles as f64 - 1.0;
         self.threshold =
             (self.threshold - self.gain * error).clamp(self.min_threshold, self.max_threshold);
-        self.threshold
+        self.threshold()
     }
 }
 
@@ -162,6 +195,55 @@ mod tests {
         assert_eq!(c.min_threshold, 0.1);
         assert_eq!(c.max_threshold, 0.9);
         assert_eq!(c.threshold(), 0.5, "threshold already inside the range");
+    }
+
+    #[test]
+    fn external_bias_shifts_the_effective_threshold() {
+        let mut c = ThresholdController::new(1_000_000, 0.6);
+        c.set_external_bias(-0.2);
+        assert!((c.threshold() - 0.4).abs() < 1e-12);
+        assert!((c.external_bias() - (-0.2)).abs() < 1e-12);
+        // The proportional state is unbiased: clearing the bias restores it.
+        c.set_external_bias(0.0);
+        assert!((c.threshold() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn external_bias_clamps_at_its_edges() {
+        let mut c = ThresholdController::new(1, 0.5);
+        c.set_external_bias(7.5);
+        assert_eq!(c.external_bias(), 1.0, "upper clamp edge");
+        assert_eq!(c.threshold(), 1.0, "effective value stays in range");
+        c.set_external_bias(-7.5);
+        assert_eq!(c.external_bias(), -1.0, "lower clamp edge");
+        assert_eq!(c.threshold(), 0.0);
+        c.set_external_bias(-1.0);
+        assert_eq!(c.external_bias(), -1.0, "exact edge passes unchanged");
+        c.set_external_bias(1.0);
+        assert_eq!(c.external_bias(), 1.0);
+    }
+
+    #[test]
+    fn non_finite_bias_sanitizes_to_zero() {
+        let mut c = ThresholdController::new(1, 0.5);
+        for wild in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            c.set_external_bias(wild);
+            assert_eq!(c.external_bias(), 0.0, "{wild} sanitizes to no bias");
+            assert!((c.threshold() - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn biased_threshold_respects_operating_bounds() {
+        let mut c = ThresholdController::new(1_000_000, 0.5).with_bounds(0.3, 0.8);
+        c.set_external_bias(-1.0);
+        assert_eq!(c.threshold(), 0.3, "bias cannot cross the quality floor");
+        c.set_external_bias(1.0);
+        assert_eq!(c.threshold(), 0.8, "bias cannot cross the ceiling");
+        // observe() reports the biased, clamped value too.
+        c.set_external_bias(-1.0);
+        let t = c.observe(1_000_000);
+        assert_eq!(t, 0.3);
     }
 
     #[test]

@@ -21,5 +21,8 @@ cargo bench -p patu-bench
 echo "==> headline: cargo run --release -p patu-bench --bin headline"
 cargo run --release -p patu-bench --bin headline -- "$@"
 
+echo "==> serve: cargo run --release -p patu-bench --bin serve_bench"
+cargo run --release -p patu-bench --bin serve_bench
+
 echo "==> bench artifacts:"
 ls -1 BENCH_*.json

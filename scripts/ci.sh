@@ -9,7 +9,10 @@
 #   2. Telemetry smoke: a traced render (PATU_TRACE=spans) whose JSONL
 #      artifact must validate line-by-line against the in-repo schema
 #      checker (trace_check).
-#   3. Lint: patu-lint (the workspace invariant checker — determinism,
+#   3. Serve smoke: a small overloaded serving session run at both thread
+#      counts — sessions must be bit-identical and the serve log must
+#      validate against the JSONL schema (serve_smoke).
+#   4. Lint: patu-lint (the workspace invariant checker — determinism,
 #      error hygiene, telemetry gating; hard fail on any violation),
 #      clippy over every target (libs, bins, tests, benches, examples)
 #      with warnings promoted to errors, and cargo fmt --check.
@@ -38,6 +41,9 @@ rm -rf "$TRACE_DIR"
 PATU_TRACE=spans PATU_TRACE_OUT="$TRACE_DIR" \
     cargo run -q --release -p patu-bench --bin trace_smoke
 PATU_TRACE_OUT="$TRACE_DIR" cargo run -q --release -p patu-bench --bin trace_check
+
+echo "==> serve smoke: bit-identical sessions + schema-validated serve log"
+cargo run -q --release -p patu-bench --bin serve_smoke
 
 if [[ "${1:-}" != "--skip-lint" ]]; then
     echo "==> lint: patu-lint (workspace invariants)"
