@@ -106,6 +106,13 @@ pub struct FaultCounts {
     pub table_corruptions: u64,
     /// Predictor evaluations whose inputs went non-finite.
     pub predictor_poisons: u64,
+    /// Whole-GPU outage windows entered (a crash that takes the unit
+    /// offline until its drawn recovery cycle — counted by the serve
+    /// layer's health model).
+    pub outages: u64,
+    /// Straggler episodes hit: windows where a unit's service time is
+    /// multiplied by a slowdown factor without going offline.
+    pub stragglers: u64,
     /// Pixels that fell back to a quality-safe path (full AF) because
     /// predictor or table state could not be trusted.
     pub fallbacks: u64,
@@ -117,7 +124,12 @@ impl FaultCounts {
     /// Total faults injected across all sites (excludes the degradation
     /// counters, which are *reactions* to faults).
     pub fn faults_injected(&self) -> u64 {
-        self.cache_bitflips + self.dram_stalls + self.table_corruptions + self.predictor_poisons
+        self.cache_bitflips
+            + self.dram_stalls
+            + self.table_corruptions
+            + self.predictor_poisons
+            + self.outages
+            + self.stragglers
     }
 
     /// Component-wise sum.
@@ -126,6 +138,8 @@ impl FaultCounts {
         self.dram_stalls += other.dram_stalls;
         self.table_corruptions += other.table_corruptions;
         self.predictor_poisons += other.predictor_poisons;
+        self.outages += other.outages;
+        self.stragglers += other.stragglers;
         self.fallbacks += other.fallbacks;
         self.watchdog_trips += other.watchdog_trips;
     }
@@ -143,6 +157,8 @@ impl FaultCounts {
             predictor_poisons: self
                 .predictor_poisons
                 .saturating_sub(since.predictor_poisons),
+            outages: self.outages.saturating_sub(since.outages),
+            stragglers: self.stragglers.saturating_sub(since.stragglers),
             fallbacks: self.fallbacks.saturating_sub(since.fallbacks),
             watchdog_trips: self.watchdog_trips.saturating_sub(since.watchdog_trips),
         }
@@ -157,12 +173,14 @@ impl FaultCounts {
     /// order — the telemetry event stream's fault vocabulary. Excludes the
     /// reaction counters (`fallbacks`, `watchdog_trips`), which telemetry
     /// reports as their own event kinds.
-    pub fn sites(&self) -> [(&'static str, u64); 4] {
+    pub fn sites(&self) -> [(&'static str, u64); 6] {
         [
             ("cache_bitflips", self.cache_bitflips),
             ("dram_stalls", self.dram_stalls),
             ("table_corruptions", self.table_corruptions),
             ("predictor_poisons", self.predictor_poisons),
+            ("outages", self.outages),
+            ("stragglers", self.stragglers),
         ]
     }
 }
@@ -329,6 +347,35 @@ mod tests {
         let sites = d.sites();
         assert_eq!(sites[0], ("cache_bitflips", 2));
         assert!(sites.iter().all(|(_, count)| *count == 0 || *count == 2));
+    }
+
+    #[test]
+    fn outage_and_straggler_sites_flow_through_the_counters() {
+        let before = FaultCounts {
+            outages: 1,
+            stragglers: 4,
+            ..FaultCounts::default()
+        };
+        let after = FaultCounts {
+            outages: 3,
+            stragglers: 9,
+            ..FaultCounts::default()
+        };
+        let d = after.delta(&before);
+        assert_eq!(d.outages, 2);
+        assert_eq!(d.stragglers, 5);
+        assert_eq!(d.faults_injected(), 7, "serve-level sites count as faults");
+        let sites = d.sites();
+        assert_eq!(sites[4], ("outages", 2));
+        assert_eq!(sites[5], ("stragglers", 5));
+        let mut sum = before;
+        sum.accumulate(&d);
+        assert_eq!(sum, after, "accumulate inverts delta on monotone counts");
+        assert!(!FaultCounts {
+            outages: 1,
+            ..FaultCounts::default()
+        }
+        .is_zero());
     }
 
     #[test]

@@ -97,6 +97,10 @@ pub const ENV_KNOBS: &[EnvKnob] = &[
         name: "PATU_SERVE_CLIENTS",
         readers: &["crates/serve/src/workload.rs"],
     },
+    EnvKnob {
+        name: "PATU_SERVE_SCENARIO",
+        readers: &["crates/serve/src/chaos.rs"],
+    },
 ];
 
 /// Files exempt from a rule because they *are* the sanctioned entry point.

@@ -26,6 +26,12 @@ fn require_str<'a>(obj: &'a Json, key: &str) -> Result<&'a str, String> {
         .ok_or_else(|| format!("missing or non-string \"{key}\""))
 }
 
+fn require_bool(obj: &Json, key: &str) -> Result<bool, String> {
+    obj.get(key)
+        .and_then(Json::as_bool)
+        .ok_or_else(|| format!("missing or non-boolean \"{key}\""))
+}
+
 fn check_event_fields(obj: &Json) -> Result<(), String> {
     require_num(obj, "frame")?;
     require_num(obj, "cycle")?;
@@ -135,6 +141,20 @@ pub fn check_line(line: &str) -> Result<(), String> {
                     require_num(&obj, "theta")?;
                     require_num(&obj, "ssim")?;
                     require_num(&obj, "hash")?;
+                    require_num(&obj, "gpu")?;
+                    require_num(&obj, "retries")?;
+                    require_bool(&obj, "hedged")?;
+                    Ok(())
+                }
+                // A job abandoned by the resilience layer: its per-tier
+                // retry budget ran out, or no remaining retry could meet
+                // the deadline.
+                "failed" => {
+                    let finish = require_num(&obj, "finish")?;
+                    if finish < arrival {
+                        return Err(format!("finish {finish} before arrival {arrival}"));
+                    }
+                    require_num(&obj, "retries")?;
                     Ok(())
                 }
                 "shed" => Ok(()),
@@ -242,11 +262,11 @@ mod tests {
 
     #[test]
     fn serve_lines_validate() {
-        let delivered = "{\"type\":\"serve\",\"job\":3,\"client\":1,\"tier\":0,\"scene\":\"oblivion\",\"frame\":2,\"arrival\":100,\"deadline\":900,\"outcome\":\"delivered\",\"finish\":400,\"theta\":0.4,\"ssim\":0.97,\"hash\":123456}";
+        let delivered = "{\"type\":\"serve\",\"job\":3,\"client\":1,\"tier\":0,\"scene\":\"oblivion\",\"frame\":2,\"arrival\":100,\"deadline\":900,\"outcome\":\"delivered\",\"finish\":400,\"theta\":0.4,\"ssim\":0.97,\"hash\":123456,\"gpu\":1,\"retries\":0,\"hedged\":false}";
         assert!(check_line(delivered).is_ok());
         let shed = "{\"type\":\"serve\",\"job\":4,\"client\":2,\"tier\":1,\"scene\":\"crysis\",\"frame\":0,\"arrival\":150,\"deadline\":950,\"outcome\":\"shed\"}";
         assert!(check_line(shed).is_ok());
-        let backwards = "{\"type\":\"serve\",\"job\":5,\"client\":0,\"tier\":0,\"scene\":\"x\",\"frame\":0,\"arrival\":500,\"deadline\":900,\"outcome\":\"delivered\",\"finish\":400,\"theta\":0.4,\"ssim\":0.9,\"hash\":1}";
+        let backwards = "{\"type\":\"serve\",\"job\":5,\"client\":0,\"tier\":0,\"scene\":\"x\",\"frame\":0,\"arrival\":500,\"deadline\":900,\"outcome\":\"delivered\",\"finish\":400,\"theta\":0.4,\"ssim\":0.9,\"hash\":1,\"gpu\":0,\"retries\":0,\"hedged\":false}";
         assert!(check_line(backwards)
             .unwrap_err()
             .contains("before arrival"));
@@ -254,6 +274,24 @@ mod tests {
         assert!(check_line(unknown).unwrap_err().contains("vaporized"));
         let missing = "{\"type\":\"serve\",\"job\":5,\"outcome\":\"shed\"}";
         assert!(check_line(missing).is_err());
+    }
+
+    #[test]
+    fn serve_resilience_fields_validate() {
+        let hedged = "{\"type\":\"serve\",\"job\":7,\"client\":1,\"tier\":0,\"scene\":\"doom3\",\"frame\":1,\"arrival\":100,\"deadline\":500,\"outcome\":\"delivered\",\"finish\":300,\"theta\":0.75,\"ssim\":0.95,\"hash\":99,\"gpu\":2,\"retries\":1,\"hedged\":true}";
+        assert!(check_line(hedged).is_ok());
+        let no_gpu = "{\"type\":\"serve\",\"job\":7,\"client\":1,\"tier\":0,\"scene\":\"doom3\",\"frame\":1,\"arrival\":100,\"deadline\":500,\"outcome\":\"delivered\",\"finish\":300,\"theta\":0.75,\"ssim\":0.95,\"hash\":99,\"retries\":1,\"hedged\":true}";
+        assert!(check_line(no_gpu).unwrap_err().contains("gpu"));
+        let hedged_num = "{\"type\":\"serve\",\"job\":7,\"client\":1,\"tier\":0,\"scene\":\"doom3\",\"frame\":1,\"arrival\":100,\"deadline\":500,\"outcome\":\"delivered\",\"finish\":300,\"theta\":0.75,\"ssim\":0.95,\"hash\":99,\"gpu\":2,\"retries\":1,\"hedged\":1}";
+        assert!(check_line(hedged_num).unwrap_err().contains("boolean"));
+        let failed = "{\"type\":\"serve\",\"job\":8,\"client\":0,\"tier\":1,\"scene\":\"hl2\",\"frame\":0,\"arrival\":100,\"deadline\":400,\"outcome\":\"failed\",\"finish\":900,\"retries\":2}";
+        assert!(check_line(failed).is_ok());
+        let failed_backwards = "{\"type\":\"serve\",\"job\":8,\"client\":0,\"tier\":1,\"scene\":\"hl2\",\"frame\":0,\"arrival\":1000,\"deadline\":1400,\"outcome\":\"failed\",\"finish\":900,\"retries\":2}";
+        assert!(check_line(failed_backwards)
+            .unwrap_err()
+            .contains("before arrival"));
+        let failed_missing = "{\"type\":\"serve\",\"job\":8,\"client\":0,\"tier\":1,\"scene\":\"hl2\",\"frame\":0,\"arrival\":100,\"deadline\":400,\"outcome\":\"failed\",\"finish\":900}";
+        assert!(check_line(failed_missing).unwrap_err().contains("retries"));
     }
 
     #[test]

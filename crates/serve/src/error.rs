@@ -23,6 +23,24 @@ pub enum ServeError {
         /// How many scenes the service actually holds.
         scenes: usize,
     },
+    /// A dispatch targeted a GPU that cannot take work right now (out of
+    /// range, busy, in an outage window, or breaker-blocked) — the typed
+    /// replacement for what used to be an index/invariant panic path.
+    GpuUnavailable {
+        /// The GPU that was targeted.
+        gpu: usize,
+        /// Earliest cycle it could take work again (0 when unknown, e.g.
+        /// an out-of-range index).
+        until: u64,
+    },
+    /// A failing job ran out of retry budget, or no remaining retry could
+    /// finish before its deadline.
+    RetriesExhausted {
+        /// The job that gave up.
+        job: u64,
+        /// Retries actually spent before giving up.
+        retries: u32,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -34,6 +52,15 @@ impl fmt::Display for ServeError {
             }
             ServeError::UnknownScene { index, scenes } => {
                 write!(f, "scene index {index} out of range (have {scenes})")
+            }
+            ServeError::GpuUnavailable { gpu, until } => {
+                write!(f, "gpu {gpu} unavailable until cycle {until}")
+            }
+            ServeError::RetriesExhausted { job, retries } => {
+                write!(
+                    f,
+                    "job {job} exhausted its retry budget after {retries} retries"
+                )
             }
         }
     }
@@ -67,5 +94,12 @@ mod tests {
             scenes: 2,
         };
         assert!(e.to_string().contains('9'));
+        let e = ServeError::GpuUnavailable { gpu: 3, until: 77 };
+        assert!(e.to_string().contains('3') && e.to_string().contains("77"));
+        let e = ServeError::RetriesExhausted {
+            job: 12,
+            retries: 2,
+        };
+        assert!(e.to_string().contains("12") && e.to_string().contains("retry"));
     }
 }

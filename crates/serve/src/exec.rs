@@ -30,6 +30,18 @@ pub fn fnv1a(seed: u64, bytes: impl IntoIterator<Item = u8>) -> u64 {
     h
 }
 
+/// Deterministically perturbs a frame hash into the *corrupt* value a
+/// transient GPU fault leaves behind — the detection signal the serve
+/// layer's retry path keys on. Guaranteed distinct from `hash`.
+pub fn corrupted(hash: u64, salt: u64) -> u64 {
+    let c = fnv1a(salt ^ 0x636f_7272_7570_7421, hash.to_le_bytes());
+    if c == hash {
+        !c
+    } else {
+        c
+    }
+}
+
 /// Identifies one unit of render work: a scene frame at a quantized
 /// threshold bucket (`theta = bucket / steps`). Jobs asking for the same
 /// key share the rendered result — the cache the governor's quantization
@@ -323,6 +335,18 @@ mod tests {
             frame,
             bucket,
         }
+    }
+
+    #[test]
+    fn corrupted_hashes_differ_and_replay() {
+        for h in [0u64, 1, 0xdead_beef, u64::MAX] {
+            for salt in [0u64, 7, 1207] {
+                let c = corrupted(h, salt);
+                assert_ne!(c, h, "corruption must be detectable");
+                assert_eq!(c, corrupted(h, salt), "and deterministic");
+            }
+        }
+        assert_ne!(corrupted(5, 1), corrupted(5, 2), "salt decorrelates");
     }
 
     #[test]

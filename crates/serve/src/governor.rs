@@ -8,6 +8,14 @@
 //! threshold onto a small grid with [`FilterPolicy::govern`], so overload
 //! trades SSIM for throughput in a handful of cacheable steps instead of a
 //! continuum of distinct render configurations.
+//!
+//! The failure domain adds a second, independent lever: the **brownout
+//! ladder**. When GPUs drop out (outage windows, open circuit breakers),
+//! the healthy-capacity fraction is quantized onto quarter rungs and fed
+//! through [`ThresholdController::set_capacity_bias`], composing
+//! additively with queue pressure. Losing capacity therefore degrades
+//! quality in the same ordered, cache-friendly steps as overload does —
+//! never by dropping contracts first.
 
 use patu_core::FilterPolicy;
 use patu_sim::ThresholdController;
@@ -19,6 +27,7 @@ pub struct QualityGovernor {
     base: FilterPolicy,
     steps: u32,
     pressure_gain: f64,
+    capacity_bias: f64,
     enabled: bool,
 }
 
@@ -54,8 +63,32 @@ impl QualityGovernor {
             } else {
                 0.0
             },
+            capacity_bias: 0.0,
             enabled,
         }
+    }
+
+    /// Feeds the brownout ladder: quantizes the *lost* capacity fraction
+    /// (`1 - healthy_fraction`) onto quarter rungs and arms a bias of
+    /// `-gain × rung`, applied on the next [`QualityGovernor::policy_for`]
+    /// call via [`ThresholdController::set_capacity_bias`]. Rung
+    /// quantization keeps degradation quality-ordered: a flapping GPU
+    /// walks the threshold down a discrete ladder instead of jittering it
+    /// continuously.
+    pub fn set_capacity_fraction(&mut self, healthy_fraction: f64, gain: f64) {
+        let healthy = if healthy_fraction.is_finite() {
+            healthy_fraction.clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        let gain = if gain.is_finite() { gain.max(0.0) } else { 0.0 };
+        let rung = ((1.0 - healthy) * 4.0).ceil() / 4.0;
+        self.capacity_bias = -gain * rung;
+    }
+
+    /// The currently armed brownout bias (0 when the pool is healthy).
+    pub fn capacity_bias(&self) -> f64 {
+        self.capacity_bias
     }
 
     /// Whether the loop is closed.
@@ -74,6 +107,7 @@ impl QualityGovernor {
         let pressure = depth as f64 / capacity.max(1) as f64;
         self.controller
             .set_external_bias(-self.pressure_gain * pressure);
+        self.controller.set_capacity_bias(self.capacity_bias);
         self.base.govern(self.controller.threshold(), self.steps)
     }
 
@@ -136,6 +170,42 @@ mod tests {
             let snapped = (t * 4.0).round() / 4.0;
             assert!((t - snapped).abs() < 1e-12, "t {t} sits on the 4-grid");
         }
+    }
+
+    #[test]
+    fn brownout_ladder_lowers_quality_in_rungs() {
+        let mut g = QualityGovernor::new(patu(0.8), 1_000_000, 0.0, 64, 0.0, true);
+        let healthy = QualityGovernor::effective_threshold(&g.policy_for(0, 16));
+        g.set_capacity_fraction(0.5, 0.4);
+        let brown = QualityGovernor::effective_threshold(&g.policy_for(0, 16));
+        assert!(brown < healthy, "lost capacity degrades quality: {brown}");
+        // Rung quantization: 60% and 70% healthy share the half-lost rung.
+        g.set_capacity_fraction(0.6, 0.4);
+        let a = QualityGovernor::effective_threshold(&g.policy_for(0, 16));
+        g.set_capacity_fraction(0.7, 0.4);
+        let b = QualityGovernor::effective_threshold(&g.policy_for(0, 16));
+        assert!((a - b).abs() < 1e-12, "same rung, same threshold");
+        g.set_capacity_fraction(1.0, 0.4);
+        let restored = QualityGovernor::effective_threshold(&g.policy_for(0, 16));
+        assert!(
+            (restored - healthy).abs() < 1e-12,
+            "recovery restores quality"
+        );
+        assert_eq!(g.capacity_bias(), 0.0);
+        g.set_capacity_fraction(f64::NAN, 0.4);
+        assert_eq!(g.capacity_bias(), 0.0, "NaN fraction reads as healthy");
+    }
+
+    #[test]
+    fn brownout_composes_with_queue_pressure() {
+        let mut g = QualityGovernor::new(patu(0.8), 1_000_000, 0.0, 64, 0.5, true);
+        g.set_capacity_fraction(0.5, 0.4);
+        let brown_idle = QualityGovernor::effective_threshold(&g.policy_for(0, 16));
+        let brown_busy = QualityGovernor::effective_threshold(&g.policy_for(16, 16));
+        assert!(
+            brown_busy < brown_idle,
+            "pressure still bites under brownout: {brown_busy} vs {brown_idle}"
+        );
     }
 
     #[test]

@@ -78,6 +78,9 @@ pub enum Outcome {
     Delivered,
     /// Rejected at admission: the queue was full.
     Shed,
+    /// Every execution attempt failed (crash, corrupt frame) and the
+    /// retry budget — or the deadline — ran out.
+    Failed,
 }
 
 /// The terminal record of one job, as written to the serve log.
@@ -85,22 +88,32 @@ pub enum Outcome {
 pub struct CompletedJob {
     /// The original request.
     pub job: Job,
-    /// Delivered or shed.
+    /// Delivered, shed, or failed.
     pub outcome: Outcome,
-    /// Completion time (virtual cycles); equals `job.arrival` for sheds.
+    /// Completion time (virtual cycles); equals `job.arrival` for sheds,
+    /// and the moment the last attempt was abandoned for failures.
     pub finish: u64,
     /// The effective AF-SSIM threshold the frame was rendered with
-    /// (quantized by the governor); 0 for sheds.
+    /// (quantized by the governor); 0 for sheds and failures.
     pub theta: f64,
     /// Mean SSIM of the delivered frame against the 16×AF baseline; 0 for
-    /// sheds.
+    /// sheds and failures.
     pub ssim: f64,
     /// Content hash of the delivered pixels (FNV-1a) — the cheap
-    /// bit-identity witness for determinism tests; 0 for sheds.
+    /// bit-identity witness for determinism tests; 0 for sheds and
+    /// failures.
     pub image_hash: u64,
     /// Whether the governor delivered below the configured base threshold
     /// (quality was traded for throughput).
     pub degraded: bool,
+    /// The GPU that produced the delivered frame (the winning side of a
+    /// hedge); 0 for sheds and failures.
+    pub gpu: u32,
+    /// Re-executions the job consumed before reaching this outcome.
+    pub retries: u32,
+    /// Whether the delivered frame came out of a hedged duplicate
+    /// dispatch.
+    pub hedged: bool,
 }
 
 impl CompletedJob {
@@ -109,16 +122,18 @@ impl CompletedJob {
         self.outcome == Outcome::Delivered && self.finish > self.job.deadline
     }
 
-    /// Queueing + service latency for delivered jobs (0 for sheds).
+    /// Queueing + service latency for delivered jobs (0 for sheds; time
+    /// to abandonment for failures).
     pub fn latency(&self) -> u64 {
         self.finish.saturating_sub(self.job.arrival)
     }
 
-    /// Cycles of headroom left before the deadline (0 when missed or shed).
+    /// Cycles of headroom left before the deadline (0 when missed, shed,
+    /// or failed).
     pub fn slack(&self) -> u64 {
         match self.outcome {
             Outcome::Delivered => self.job.deadline.saturating_sub(self.finish),
-            Outcome::Shed => 0,
+            Outcome::Shed | Outcome::Failed => 0,
         }
     }
 }
@@ -162,6 +177,9 @@ mod tests {
             ssim: 0.97,
             image_hash: 1,
             degraded: false,
+            gpu: 1,
+            retries: 0,
+            hedged: false,
         };
         assert!(!c.missed_deadline());
         assert_eq!(c.latency(), 390);
@@ -171,5 +189,9 @@ mod tests {
         assert_eq!(c.slack(), 0);
         c.outcome = Outcome::Shed;
         assert!(!c.missed_deadline(), "sheds are not deadline misses");
+        c.outcome = Outcome::Failed;
+        assert!(!c.missed_deadline(), "failures are counted separately");
+        assert_eq!(c.slack(), 0);
+        assert_eq!(c.latency(), 590, "failure latency is time to abandonment");
     }
 }

@@ -20,9 +20,16 @@
 //!   [`SimFrameService`] renders through `patu_sim` (baseline SSIM
 //!   references, per-key render cache, FNV-1a image hashes as bit-identity
 //!   witnesses) and the cheap [`SyntheticService`] drives scheduler tests.
+//! - [`health`] — the failure domain: per-GPU outage and straggle
+//!   [`Episode`] scripts, hash-drawn transient faults, and the resilience
+//!   primitives ([`RetryPolicy`], [`CircuitBreaker`], [`HedgeConfig`],
+//!   [`ResilienceConfig`]).
+//! - [`chaos`] — named, fully-seeded [`Scenario`] scripts (single-GPU
+//!   flap, correlated half-pool outage, straggler storm…), including the
+//!   `PATU_SERVE_SCENARIO` env override.
 //! - [`server`] — the discrete-event loop tying it together, producing a
 //!   [`ServeReport`]: stats, a schema-checked JSONL serve log, and
-//!   Chrome-traceable telemetry.
+//!   Chrome-traceable telemetry with per-GPU outage postmortems.
 //!
 //! Quickstart:
 //!
@@ -39,7 +46,7 @@
 //! let mut service = SimFrameService::new(&cfg).unwrap();
 //! let report = run_session(&cfg, &mut service).unwrap();
 //! assert_eq!(
-//!     report.stats.delivered + report.stats.shed,
+//!     report.stats.delivered + report.stats.shed + report.stats.failed,
 //!     report.stats.submitted
 //! );
 //! ```
@@ -47,17 +54,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod error;
 pub mod exec;
 pub mod governor;
+pub mod health;
 pub mod job;
 pub mod queue;
 pub mod server;
 pub mod workload;
 
+pub use chaos::{default_scenario, Scenario};
 pub use error::ServeError;
 pub use exec::{FrameService, RenderKey, ServedFrame, SimFrameService, SyntheticService};
 pub use governor::QualityGovernor;
+pub use health::{
+    BreakerConfig, BreakerState, CircuitBreaker, Episode, EpisodeKind, HealthModel, HedgeConfig,
+    ResilienceConfig, RetryPolicy,
+};
 pub use job::{CompletedJob, Job, Outcome, Tier};
 pub use queue::{Admission, AdmissionQueue};
 pub use server::{run_session, ServeReport, ServeStats};

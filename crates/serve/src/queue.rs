@@ -72,6 +72,16 @@ impl AdmissionQueue {
         self.jobs.remove(&key)
     }
 
+    /// Re-admits a previously admitted job — a retry re-entering the
+    /// queue. Capacity is deliberately not enforced: the admission
+    /// promise was made when the job was first offered, and shedding a
+    /// retry would double-count the client's request. Returns the depth
+    /// after insertion.
+    pub fn requeue(&mut self, job: Job) -> usize {
+        self.jobs.insert(job.key(), job);
+        self.jobs.len()
+    }
+
     /// Removes and returns up to `max` additional queued jobs rendering the
     /// same scene as `head`, in EDF order — the same-scene batch that
     /// amortizes scene setup. `head` itself is not in the queue any more.
@@ -146,6 +156,20 @@ mod tests {
         assert_eq!(batch.len(), 1);
         assert_eq!(batch[0].id, 1, "same scene, next in EDF order");
         assert_eq!(q.depth(), 2, "other-scene and over-max jobs remain");
+    }
+
+    #[test]
+    fn requeue_bypasses_capacity_and_keeps_edf_order() {
+        let mut q = AdmissionQueue::new(1);
+        assert!(matches!(
+            q.offer(job(1, Tier::Standard, 100, 0)),
+            Admission::Admitted(1)
+        ));
+        let retry = job(2, Tier::Interactive, 50, 0);
+        assert_eq!(q.requeue(retry), 2, "a retry is never shed");
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.pop().map(|j| j.id), Some(2), "retry pops in EDF order");
+        assert_eq!(q.pop().map(|j| j.id), Some(1));
     }
 
     #[test]

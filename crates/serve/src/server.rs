@@ -1,24 +1,39 @@
 //! The serve loop: a discrete-event simulation of the GPU pool on the
 //! virtual clock.
 //!
-//! Time is simulated GPU cycles, advanced only by two event kinds — job
-//! arrivals and GPU completions — so a session is a pure function of its
-//! [`ServeConfig`] and [`FrameService`]: bit-identical logs, stats and
-//! delivered frames on every run and every `PATU_THREADS` setting. The loop
-//! per step: admit every arrival due now (shedding on a full queue),
-//! dispatch EDF batches onto free GPUs with the governor's quantized
-//! threshold, else advance the clock to the next event.
+//! Time is simulated GPU cycles, advanced only by three event kinds — job
+//! arrivals, GPU completions, and retry due-times — so a session is a pure
+//! function of its [`ServeConfig`] and [`FrameService`]: bit-identical
+//! logs, stats and delivered frames on every run and every `PATU_THREADS`
+//! setting. The loop per step: admit every arrival due now (shedding on a
+//! full queue), requeue every retry that has cooled down, dispatch EDF
+//! batches onto available GPUs with the governor's quantized threshold,
+//! else advance the clock to the next event.
+//!
+//! The failure domain threads through every dispatch: the session's
+//! [`HealthModel`] (scripted by [`ServeConfig::scenario`]) can crash a GPU
+//! mid-batch (work in flight is lost at the outage's start cycle),
+//! stretch its service times through straggle windows, or corrupt a
+//! frame's hash in flight. The resilience machinery answers with typed
+//! retries, hedged duplicate dispatch for at-risk interactive jobs,
+//! per-GPU circuit breakers, and the brownout ladder that leans lost
+//! capacity onto the quality governor.
 
 use crate::error::ServeError;
-use crate::exec::{FrameService, RenderKey};
+use crate::exec::{corrupted, FrameService, RenderKey, ServedFrame};
 use crate::governor::QualityGovernor;
+use crate::health::{BreakerState, CircuitBreaker, HealthModel};
 use crate::job::{CompletedJob, Job, Outcome, Tier};
 use crate::queue::{Admission, AdmissionQueue};
 use crate::workload::{self, ServeConfig};
 use patu_core::FilterPolicy;
+use patu_gmath::DetRng;
 use patu_obs::json::{escape, num_fixed};
 use patu_obs::report::Table;
-use patu_obs::{sink, Collector, FrameTelemetry, Log2Histogram, TelemetryConfig, Track};
+use patu_obs::{
+    sink, Collector, Event, EventKind, FrameTelemetry, Log2Histogram, TelemetryConfig, Track,
+};
+use std::collections::BTreeMap;
 
 /// Session-level counters and distributions.
 #[derive(Debug, Clone, Default)]
@@ -29,6 +44,9 @@ pub struct ServeStats {
     pub delivered: u64,
     /// Jobs rejected at admission (queue full).
     pub shed: u64,
+    /// Jobs whose every attempt failed — crashed mid-render or detected
+    /// corrupt — with no retry budget (or deadline headroom) left.
+    pub failed: u64,
     /// Delivered jobs that finished after their deadline.
     pub deadline_misses: u64,
     /// Delivered jobs rendered below the base threshold — quality the
@@ -36,6 +54,21 @@ pub struct ServeStats {
     pub degrades: u64,
     /// Batches dispatched (each paid one scene-setup cost).
     pub batches: u64,
+    /// Retries scheduled after failed attempts.
+    pub retries: u64,
+    /// Hedged (duplicate) dispatches issued for at-risk interactive jobs.
+    pub hedges: u64,
+    /// Hedges the secondary GPU won.
+    pub hedge_wins: u64,
+    /// Times a per-GPU circuit breaker opened.
+    pub breaker_opens: u64,
+    /// Distinct GPU outage episodes the session collided with.
+    pub outages: u64,
+    /// Job executions stretched by a straggle window.
+    pub straggles: u64,
+    /// Attempts that came back with a corrupt frame hash (transient GPU
+    /// faults).
+    pub corrupt_frames: u64,
     /// Virtual cycle the last job finished.
     pub makespan: u64,
     /// Sum of delivered SSIM (for the mean).
@@ -59,13 +92,25 @@ impl ServeStats {
         }
     }
 
-    /// The fraction of submitted jobs that failed their contract: shed at
-    /// admission or delivered past deadline. The headline SLO metric.
+    /// The fraction of submitted jobs that were shed at admission or
+    /// delivered past deadline (failures are counted separately — see
+    /// [`ServeStats::violation_rate`] for the full contract metric).
     pub fn miss_rate(&self) -> f64 {
         if self.submitted == 0 {
             0.0
         } else {
             (self.deadline_misses + self.shed) as f64 / self.submitted as f64
+        }
+    }
+
+    /// The fraction of submitted jobs whose contract was violated in any
+    /// way: shed at admission, delivered past deadline, or failed
+    /// outright. The chaos benchmarks' headline SLO metric.
+    pub fn violation_rate(&self) -> f64 {
+        if self.submitted == 0 {
+            0.0
+        } else {
+            (self.deadline_misses + self.shed + self.failed) as f64 / self.submitted as f64
         }
     }
 
@@ -89,8 +134,8 @@ pub struct ServeReport {
     /// The JSONL serve log (one `"serve"` line per job, schema-checked by
     /// `patu_obs::schema`).
     pub log: String,
-    /// Spans (per job and batch, on per-GPU tracks) and session counters,
-    /// exportable as a Chrome trace.
+    /// Spans (per job and batch, on per-GPU tracks), session counters,
+    /// and per-GPU outage postmortems, exportable as a Chrome trace.
     pub telemetry: FrameTelemetry,
 }
 
@@ -123,14 +168,38 @@ fn bucket_of(theta: f64, steps: u32) -> u32 {
     (theta.clamp(0.0, 1.0) * f64::from(steps)).round() as u32
 }
 
+/// How one execution attempt on one GPU ended.
+enum AttemptEnd {
+    /// Delivered a clean frame at `finish`.
+    Done { finish: u64 },
+    /// Computed to completion but the hash came back corrupt (transient
+    /// fault); the cycles are spent either way.
+    Corrupt { finish: u64 },
+    /// The attempt was lost to an outage; `at` is when the hang detector
+    /// reported it (progress stopped + one mean service time), which is
+    /// also when the dispatcher reclaims the GPU slot.
+    Crashed { at: u64 },
+}
+
 /// State for one session run; split out so the event loop reads linearly.
 struct Session<'a, S: FrameService> {
     cfg: &'a ServeConfig,
     service: &'a mut S,
     governor: QualityGovernor,
     queue: AdmissionQueue,
+    health: HealthModel,
+    hazardous: bool,
+    breakers: Vec<CircuitBreaker>,
+    /// Retries cooling down, keyed `(due, job id)` — drained into the
+    /// queue as the clock passes each due cycle.
+    retries: BTreeMap<(u64, u64), Job>,
+    /// Failed executions so far per in-flight job id.
+    attempts: BTreeMap<u64, u32>,
+    /// Outage episodes (gpu, start) already postmortem-dumped.
+    dumped_outages: Vec<(usize, u64)>,
     gpu_free: Vec<u64>,
     gpu_obs: Vec<Collector>,
+    mean_service: u64,
     now: u64,
     stats: ServeStats,
     completed: Vec<CompletedJob>,
@@ -152,12 +221,19 @@ impl<'a, S: FrameService> Session<'a, S> {
         );
         let tail = match done.outcome {
             Outcome::Shed => ",\"outcome\":\"shed\"}".to_string(),
+            Outcome::Failed => format!(
+                ",\"outcome\":\"failed\",\"finish\":{},\"retries\":{}}}",
+                done.finish, done.retries,
+            ),
             Outcome::Delivered => format!(
-                ",\"outcome\":\"delivered\",\"finish\":{},\"theta\":{},\"ssim\":{},\"hash\":{}}}",
+                ",\"outcome\":\"delivered\",\"finish\":{},\"theta\":{},\"ssim\":{},\"hash\":{},\"gpu\":{},\"retries\":{},\"hedged\":{}}}",
                 done.finish,
                 num_fixed(done.theta, 4),
                 num_fixed(done.ssim, 6),
                 done.image_hash,
+                done.gpu,
+                done.retries,
+                done.hedged,
             ),
         };
         self.log.push_str(&head);
@@ -174,13 +250,27 @@ impl<'a, S: FrameService> Session<'a, S> {
             ssim: 0.0,
             image_hash: 0,
             degraded: false,
+            gpu: 0,
+            retries: 0,
+            hedged: false,
         };
         self.stats.shed += 1;
         self.log_line(&job, &done);
         self.completed.push(done);
     }
 
-    fn deliver(&mut self, job: Job, finish: u64, theta: f64, ssim: f64, hash: u64) {
+    #[allow(clippy::too_many_arguments)]
+    fn deliver(
+        &mut self,
+        job: Job,
+        finish: u64,
+        theta: f64,
+        ssim: f64,
+        hash: u64,
+        gpu: usize,
+        retries: u32,
+        hedged: bool,
+    ) {
         let degraded = theta + 1e-9 < self.cfg.base_threshold;
         let done = CompletedJob {
             job,
@@ -190,6 +280,9 @@ impl<'a, S: FrameService> Session<'a, S> {
             ssim,
             image_hash: hash,
             degraded,
+            gpu: gpu as u32,
+            retries,
+            hedged,
         };
         self.stats.delivered += 1;
         self.stats.deadline_misses += u64::from(done.missed_deadline());
@@ -204,9 +297,302 @@ impl<'a, S: FrameService> Session<'a, S> {
         self.completed.push(done);
     }
 
-    /// Dispatches one EDF batch onto GPU `gpu`, returning its completion
-    /// cycle.
+    /// Records a job's terminal failure at cycle `finish` after spending
+    /// `retries` retries.
+    fn fail(&mut self, job: Job, finish: u64, retries: u32) {
+        let done = CompletedJob {
+            job,
+            outcome: Outcome::Failed,
+            finish,
+            theta: 0.0,
+            ssim: 0.0,
+            image_hash: 0,
+            degraded: false,
+            gpu: 0,
+            retries,
+            hedged: false,
+        };
+        self.stats.failed += 1;
+        self.stats.makespan = self.stats.makespan.max(finish);
+        self.log_line(&job, &done);
+        self.completed.push(done);
+    }
+
+    /// Whether `gpu` can take a dispatch right now: idle and not
+    /// breaker-blocked. The scheduler deliberately has *no* oracle view
+    /// of the health script — a GPU inside an outage window still looks
+    /// idle here, the dispatch hangs until the detection timeout, and the
+    /// circuit breaker is how the scheduler *learns* the GPU is bad.
+    fn gpu_available(&self, gpu: usize) -> bool {
+        self.gpu_free.get(gpu).is_some_and(|&f| f <= self.now)
+            && self
+                .breakers
+                .get(gpu)
+                .is_some_and(|b| b.available(self.now))
+    }
+
+    /// The earliest cycle `gpu` could take work again, folding in its
+    /// busy-until time and any open breaker (the scheduler's only
+    /// knowledge of GPU health).
+    fn gpu_next_free(&self, gpu: usize) -> u64 {
+        let mut t = self.gpu_free.get(gpu).copied().unwrap_or(0);
+        if let Some(until) = self
+            .breakers
+            .get(gpu)
+            .and_then(|b| b.blocked_until(self.now))
+        {
+            t = t.max(until);
+        }
+        t
+    }
+
+    /// The fraction of the pool the scheduler believes is healthy at
+    /// `now`: GPUs whose breaker is not open. Busy is not unhealthy, and
+    /// an undetected outage still counts as healthy — the brownout ladder
+    /// reacts to *known* capacity loss, which is exactly what the
+    /// breakers encode.
+    fn healthy_fraction(&self) -> f64 {
+        let total = self.gpu_free.len().max(1);
+        let healthy = (0..self.gpu_free.len())
+            .filter(|&g| self.breakers[g].available(self.now))
+            .count();
+        healthy as f64 / total as f64
+    }
+
+    /// Records an outage collision: one fault event and one flight-recorder
+    /// postmortem per distinct episode, no matter how many jobs it killed.
+    fn note_outage(&mut self, gpu: usize, at: u64) {
+        if self.dumped_outages.contains(&(gpu, at)) {
+            return;
+        }
+        self.dumped_outages.push((gpu, at));
+        self.stats.outages += 1;
+        self.gpu_obs[gpu].event(Event {
+            cycle: at,
+            cluster: gpu as u32,
+            tile: 0,
+            kind: EventKind::Fault {
+                site: "outages",
+                count: 1,
+            },
+        });
+        self.gpu_obs[gpu].dump("gpu_outage", at, 0);
+    }
+
+    /// Runs one attempt of `job` on `gpu` starting at `start`, applying
+    /// the health model: straggle windows stretch the cycles, an outage
+    /// kills the attempt, and a transient draw corrupts the delivered
+    /// hash.
+    ///
+    /// Outages are detected by timeout, not oracle: an attempt thrown
+    /// into a dead GPU (or cut down mid-flight) hangs from the moment
+    /// progress stops until one mean service time has passed, and only
+    /// then is reported crashed — that detection latency is the price the
+    /// control arm keeps paying once its pool loses a GPU.
+    fn run_attempt(
+        &mut self,
+        gpu: usize,
+        job: &Job,
+        frame: &ServedFrame,
+        start: u64,
+        attempt: u32,
+        span: &'static str,
+    ) -> AttemptEnd {
+        let timeout = self.mean_service.max(1);
+        if let Some((episode, _)) = self.health.outage_covering(gpu, start) {
+            self.note_outage(gpu, episode);
+            return AttemptEnd::Crashed {
+                at: start.saturating_add(timeout),
+            };
+        }
+        let factor = self.health.straggle_factor(gpu, start);
+        let mut cycles = frame.cycles.max(1);
+        if factor > 1.0 {
+            cycles = ((cycles as f64) * factor).max(1.0) as u64;
+            self.stats.straggles += 1;
+            self.gpu_obs[gpu].event(Event {
+                cycle: start,
+                cluster: gpu as u32,
+                tile: 0,
+                kind: EventKind::Fault {
+                    site: "stragglers",
+                    count: 1,
+                },
+            });
+        }
+        let finish = start.saturating_add(cycles);
+        if let Some((at, _)) = self.health.next_outage_in(gpu, start, finish) {
+            self.note_outage(gpu, at);
+            return AttemptEnd::Crashed {
+                at: at.saturating_add(timeout),
+            };
+        }
+        self.governor.observe(cycles);
+        self.gpu_obs[gpu].span_arg(span, start, finish, "job", job.id);
+        // A transient fault leaves the cycles spent but the content hash
+        // wrong — detection is comparing the observed hash against the
+        // frame's own content hash.
+        let salt = self.cfg.seed ^ job.id ^ (u64::from(attempt) << 32) ^ ((gpu as u64) << 48);
+        let observed = if self.health.transient_fails(gpu, job.id, attempt) {
+            corrupted(frame.image_hash, salt)
+        } else {
+            frame.image_hash
+        };
+        if observed != frame.image_hash {
+            self.stats.corrupt_frames += 1;
+            return AttemptEnd::Corrupt { finish };
+        }
+        AttemptEnd::Done { finish }
+    }
+
+    /// Routes a failed attempt: schedule a retry if the policy allows,
+    /// else record the terminal failure. `failed_attempts` counts this
+    /// one.
+    ///
+    /// The completion estimate handed to the policy includes the expected
+    /// *queue wait* (`mean × depth / gpus`), not just the service time,
+    /// and carries a 1.5× pessimism margin: retrying into a saturated
+    /// pool delivers late — still a contract violation — while delaying
+    /// every job queued behind the retry. A retry storm amplifying an
+    /// outage into a latency collapse is the textbook failure mode this
+    /// guards against, so the estimate errs toward giving up.
+    fn schedule_retry(&mut self, job: Job, failed_attempts: u32, at: u64) {
+        let wait = self.mean_service.saturating_mul(self.queue.depth() as u64)
+            / (self.cfg.gpus as u64).max(1);
+        let est = self.mean_service.saturating_add(wait).saturating_mul(3) / 2;
+        match self.cfg.resilience.retry.next_attempt(
+            &job,
+            failed_attempts,
+            at,
+            est,
+            self.mean_service,
+        ) {
+            Ok(due) => {
+                self.stats.retries += 1;
+                self.attempts.insert(job.id, failed_attempts);
+                self.retries.insert((due, job.id), job);
+            }
+            Err(_) => {
+                self.attempts.remove(&job.id);
+                self.fail(job, at, failed_attempts.saturating_sub(1));
+            }
+        }
+    }
+
+    /// A failed attempt on `gpu`: feed the breaker, then retry or fail.
+    fn attempt_failed(&mut self, job: Job, failed_attempts: u32, at: u64, gpu: usize) {
+        if self.breakers[gpu].on_failure(at, self.mean_service) {
+            self.stats.breaker_opens += 1;
+        }
+        self.schedule_retry(job, failed_attempts, at);
+    }
+
+    /// Dispatches one at-risk interactive job on two GPUs at once: the
+    /// primary starts immediately, the secondary queues behind its GPU's
+    /// in-flight work. The first clean completion wins (ties break toward
+    /// the lower GPU index); the loser's cycles are sunk cost. Both sides
+    /// failing counts as one attempt, retried from the later failure
+    /// time.
+    fn dispatch_hedged(
+        &mut self,
+        job: Job,
+        primary: usize,
+        secondary: usize,
+        theta: f64,
+        bucket: u32,
+        setup: u64,
+    ) -> Result<(), ServeError> {
+        let key = RenderKey {
+            scene: job.scene,
+            frame: job.frame,
+            bucket,
+        };
+        let served = self.service.serve(&[key])?;
+        let Some(frame) = served.first().cloned() else {
+            // The service contract is one frame per key; a short result
+            // is an internal invariant violation surfaced as data.
+            return Err(ServeError::UnknownScene {
+                index: job.scene,
+                scenes: self.cfg.scenes.len(),
+            });
+        };
+        self.breakers[secondary].note_dispatch(self.now);
+        self.stats.hedges += 1;
+        let prior = self.attempts.get(&job.id).copied().unwrap_or(0);
+        let attempt = prior + 1;
+        let starts = [
+            self.now.saturating_add(setup),
+            self.gpu_free[secondary].max(self.now).saturating_add(setup),
+        ];
+        let mut winner: Option<(u64, usize)> = None;
+        let mut last_fail = self.now;
+        for (gpu, start) in [primary, secondary].into_iter().zip(starts) {
+            match self.run_attempt(gpu, &job, &frame, start, attempt, "serve::hedge") {
+                AttemptEnd::Done { finish } => {
+                    self.gpu_free[gpu] = finish;
+                    self.breakers[gpu].on_success();
+                    if winner.is_none_or(|w| (finish, gpu) < w) {
+                        winner = Some((finish, gpu));
+                    }
+                }
+                AttemptEnd::Corrupt { finish } => {
+                    self.gpu_free[gpu] = finish;
+                    if self.breakers[gpu].on_failure(finish, self.mean_service) {
+                        self.stats.breaker_opens += 1;
+                    }
+                    last_fail = last_fail.max(finish);
+                }
+                AttemptEnd::Crashed { at } => {
+                    self.gpu_free[gpu] = at;
+                    if self.breakers[gpu].on_failure(at, self.mean_service) {
+                        self.stats.breaker_opens += 1;
+                    }
+                    last_fail = last_fail.max(at);
+                }
+            }
+        }
+        self.stats.batches += 1;
+        match winner {
+            Some((finish, gpu)) => {
+                if gpu == secondary {
+                    self.stats.hedge_wins += 1;
+                }
+                self.attempts.remove(&job.id);
+                self.deliver(
+                    job,
+                    finish,
+                    theta,
+                    frame.ssim,
+                    frame.image_hash,
+                    gpu,
+                    prior,
+                    true,
+                );
+            }
+            None => self.schedule_retry(job, attempt, last_fail),
+        }
+        Ok(())
+    }
+
+    /// Dispatches one EDF batch (or hedge) onto GPU `gpu`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::GpuUnavailable`] if `gpu` cannot take work at
+    /// the current cycle — the typed replacement for what used to be an
+    /// unchecked-index invariant.
     fn dispatch(&mut self, gpu: usize, setup: u64) -> Result<(), ServeError> {
+        if !self.gpu_available(gpu) {
+            return Err(ServeError::GpuUnavailable {
+                gpu,
+                until: self.gpu_next_free(gpu),
+            });
+        }
+        let res = self.cfg.resilience;
+        if res.brownout {
+            let frac = self.healthy_fraction();
+            self.governor.set_capacity_fraction(frac, res.brownout_gain);
+        }
         let policy = self
             .governor
             .policy_for(self.queue.depth(), self.queue.capacity());
@@ -215,11 +601,47 @@ impl<'a, S: FrameService> Session<'a, S> {
         let Some(head) = self.queue.pop() else {
             return Ok(());
         };
+        self.breakers[gpu].note_dispatch(self.now);
+        // A half-open breaker admits exactly one trial job: a failed
+        // probe should cost one job and re-open, not burn a whole batch.
+        let probing = self.breakers[gpu].state() == BreakerState::HalfOpen;
+
+        // Hedge at-risk interactive heads when the model is hazardous:
+        // remaining slack below `slack_factor × (setup + mean)` — scaled
+        // up by the target GPU's current straggle factor — means one
+        // straggle or one transient would blow the deadline.
+        if res.hedge.enabled && self.hazardous && head.tier == Tier::Interactive {
+            let est = (self.mean_service.saturating_add(setup)) as f64
+                * self.health.straggle_factor(gpu, self.now);
+            let slack = head.deadline.saturating_sub(self.now);
+            let at_risk = (slack as f64) < res.hedge.slack_factor * est;
+            if at_risk {
+                // The duplicate queues behind the soonest-free other GPU
+                // whose breaker is closed; hedge only when that side is
+                // expected to beat both the deadline and the straggling
+                // primary — otherwise the duplicate is pure capacity
+                // loss.
+                let buddy = (0..self.gpu_free.len())
+                    .filter(|&g| g != gpu && self.breakers[g].available(self.now))
+                    .min_by_key(|&g| (self.gpu_free[g], g));
+                if let Some(buddy) = buddy {
+                    let b_done = self.gpu_free[buddy].max(self.now) as f64
+                        + (self.mean_service.saturating_add(setup)) as f64
+                            * self.health.straggle_factor(buddy, self.now);
+                    if b_done <= head.deadline as f64 && b_done < self.now as f64 + est {
+                        return self.dispatch_hedged(head, gpu, buddy, theta, bucket, setup);
+                    }
+                }
+            }
+        }
+
         let mut batch = vec![head];
-        batch.extend(
-            self.queue
-                .take_same_scene(&head, self.cfg.batch_max.saturating_sub(1)),
-        );
+        if !probing {
+            batch.extend(
+                self.queue
+                    .take_same_scene(&head, self.cfg.batch_max.saturating_sub(1)),
+            );
+        }
         let keys: Vec<RenderKey> = batch
             .iter()
             .map(|j| RenderKey {
@@ -231,15 +653,45 @@ impl<'a, S: FrameService> Session<'a, S> {
         let served = self.service.serve(&keys)?;
         let start = self.now;
         let mut t = start.saturating_add(setup);
+        let mut crashed: Option<u64> = None;
         for (job, frame) in batch.iter().zip(&served) {
-            let job_start = t;
-            t = t.saturating_add(frame.cycles);
-            self.governor.observe(frame.cycles);
-            self.gpu_obs[gpu].span_arg("serve::job", job_start, t, "job", job.id);
-            self.deliver(*job, t, theta, frame.ssim, frame.image_hash);
+            let prior = self.attempts.get(&job.id).copied().unwrap_or(0);
+            let attempt = prior + 1;
+            if let Some(at) = crashed {
+                // Queued behind the crash: the work is lost at the crash
+                // cycle without consuming fresh GPU time.
+                self.attempt_failed(*job, attempt, at, gpu);
+                continue;
+            }
+            match self.run_attempt(gpu, job, frame, t, attempt, "serve::job") {
+                AttemptEnd::Done { finish } => {
+                    t = finish;
+                    self.breakers[gpu].on_success();
+                    self.attempts.remove(&job.id);
+                    self.deliver(
+                        *job,
+                        finish,
+                        theta,
+                        frame.ssim,
+                        frame.image_hash,
+                        gpu,
+                        prior,
+                        false,
+                    );
+                }
+                AttemptEnd::Corrupt { finish } => {
+                    t = finish;
+                    self.attempt_failed(*job, attempt, finish, gpu);
+                }
+                AttemptEnd::Crashed { at } => {
+                    crashed = Some(at);
+                    self.attempt_failed(*job, attempt, at, gpu);
+                }
+            }
         }
-        self.gpu_obs[gpu].span_arg("serve::batch", start, t, "jobs", batch.len() as u64);
-        self.gpu_free[gpu] = t;
+        let end = crashed.unwrap_or(t);
+        self.gpu_obs[gpu].span_arg("serve::batch", start, end, "jobs", batch.len() as u64);
+        self.gpu_free[gpu] = end;
         self.stats.batches += 1;
         Ok(())
     }
@@ -250,7 +702,7 @@ impl<'a, S: FrameService> Session<'a, S> {
 /// # Errors
 ///
 /// Returns [`ServeError`] for invalid configurations or service failures;
-/// a clean run delivers or sheds every submitted job.
+/// a clean run delivers, sheds, or fails every submitted job.
 pub fn run_session<S: FrameService>(
     cfg: &ServeConfig,
     service: &mut S,
@@ -265,6 +717,18 @@ pub fn run_session<S: FrameService>(
     };
     let telemetry_cfg = TelemetryConfig::with_level(cfg.trace);
 
+    // The chaos horizon: the expected makespan (arrival span or total
+    // work over the pool, whichever dominates) plus slack, so scenario
+    // windows placed "mid-session" actually land mid-session at any load.
+    let last_arrival = jobs.last().map_or(0, |j| j.arrival);
+    let work = (jobs.len() as u64).saturating_mul(mean_service.max(1)) / cfg.gpus.max(1) as u64;
+    let horizon = last_arrival
+        .max(work)
+        .saturating_add(mean_service.saturating_mul(4));
+    let health = cfg
+        .scenario
+        .model(cfg.gpus, mean_service, horizon, cfg.seed);
+
     let mut session = Session {
         cfg,
         service,
@@ -277,10 +741,24 @@ pub fn run_session<S: FrameService>(
             cfg.governor,
         ),
         queue: AdmissionQueue::new(cfg.queue_capacity),
+        hazardous: !health.is_calm(),
+        health,
+        breakers: (0..cfg.gpus)
+            .map(|g| {
+                CircuitBreaker::new(
+                    cfg.resilience.breaker,
+                    DetRng::new(cfg.seed ^ 0x6272_6561_6b65_7273).fork(g as u64),
+                )
+            })
+            .collect(),
+        retries: BTreeMap::new(),
+        attempts: BTreeMap::new(),
+        dumped_outages: Vec::new(),
         gpu_free: vec![0; cfg.gpus],
         gpu_obs: (0..cfg.gpus)
             .map(|g| Collector::new(telemetry_cfg, Track::Cluster(g as u32)))
             .collect(),
+        mean_service,
         now: 0,
         stats: ServeStats {
             submitted: jobs.len() as u64,
@@ -303,33 +781,69 @@ pub fn run_session<S: FrameService>(
             }
         }
 
-        // 2. Dispatch onto the lowest-indexed idle GPU, if any work waits.
-        if !session.queue.is_empty() {
-            let idle = (0..session.gpu_free.len()).find(|&g| session.gpu_free[g] <= session.now);
-            if let Some(gpu) = idle {
-                session.dispatch(gpu, setup)?;
-                continue; // other GPUs may be idle at the same cycle
+        // 1b. Requeue every retry whose backoff has cooled down — the
+        //     admission promise was made on first offer, so capacity does
+        //     not apply.
+        while let Some((&(due, id), _)) = session.retries.first_key_value() {
+            if due > session.now {
+                break;
+            }
+            if let Some(job) = session.retries.remove(&(due, id)) {
+                // Re-check feasibility at requeue time: the admission
+                // estimate went stale while the backoff cooled, and a
+                // retry that can no longer meet its deadline is pure
+                // load amplification — abandon it instead.
+                if session.now.saturating_add(session.mean_service) > job.deadline {
+                    let retries = session.attempts.remove(&id).unwrap_or(1).saturating_sub(1);
+                    session.fail(job, session.now, retries);
+                    continue;
+                }
+                let depth = session.queue.requeue(job);
+                session.stats.queue_depth.record(depth as u64);
             }
         }
 
-        // 3. Advance the virtual clock to the next event.
+        // 2. Dispatch onto the lowest-indexed available GPU (idle,
+        //    breaker not open), if any work waits.
+        if !session.queue.is_empty() {
+            let ready = (0..session.gpu_free.len()).find(|&g| session.gpu_available(g));
+            if let Some(gpu) = ready {
+                session.dispatch(gpu, setup)?;
+                continue; // other GPUs may be available at the same cycle
+            }
+        }
+
+        // 3. Advance the virtual clock to the next event: an arrival, a
+        //    retry coming off backoff, or a GPU becoming available again
+        //    (completion, hang-detector timeout, or breaker cooldown).
         let arrival = (next_arrival < jobs.len()).then(|| jobs[next_arrival].arrival);
-        let completion = if session.queue.is_empty() {
+        let retry_due = session.retries.keys().next().map(|&(due, _)| due);
+        let availability = if session.queue.is_empty() {
             None
         } else {
-            session
-                .gpu_free
-                .iter()
-                .copied()
-                .filter(|&f| f > session.now)
+            (0..session.gpu_free.len())
+                .map(|g| session.gpu_next_free(g))
+                .filter(|&t| t > session.now)
                 .min()
         };
-        session.now = match (arrival, completion) {
-            (Some(a), Some(c)) => a.min(c),
-            (Some(a), None) => a,
-            (None, Some(c)) => c,
-            (None, None) => break, // no arrivals left, queue drained
-        };
+        match [arrival, retry_due, availability]
+            .into_iter()
+            .flatten()
+            .min()
+        {
+            Some(t) => session.now = session.now.max(t),
+            None => break, // no arrivals, no retries cooling, queue drained
+        }
+    }
+
+    // Every admitted job must have terminated; anything still queued here
+    // means the availability accounting livelocked — surface it as a
+    // typed error rather than silently dropping contracts.
+    if !(session.queue.is_empty() && session.retries.is_empty()) {
+        return Err(ServeError::GpuUnavailable {
+            gpu: 0,
+            until: session.now,
+        });
     }
 
     let Session {
@@ -351,11 +865,27 @@ pub fn run_session<S: FrameService>(
         .counters
         .insert("serve::delivered", stats.delivered);
     telemetry.counters.insert("serve::shed", stats.shed);
+    telemetry.counters.insert("serve::failed", stats.failed);
     telemetry
         .counters
         .insert("serve::deadline_misses", stats.deadline_misses);
     telemetry.counters.insert("serve::degrades", stats.degrades);
     telemetry.counters.insert("serve::batches", stats.batches);
+    telemetry.counters.insert("serve::retries", stats.retries);
+    telemetry.counters.insert("serve::hedges", stats.hedges);
+    telemetry
+        .counters
+        .insert("serve::hedge_wins", stats.hedge_wins);
+    telemetry
+        .counters
+        .insert("serve::breaker_opens", stats.breaker_opens);
+    telemetry.counters.insert("serve::outages", stats.outages);
+    telemetry
+        .counters
+        .insert("serve::straggles", stats.straggles);
+    telemetry
+        .counters
+        .insert("serve::corrupt_frames", stats.corrupt_frames);
     telemetry
         .hists
         .insert("serve::queue_depth", stats.queue_depth);
@@ -381,7 +911,9 @@ pub fn run_session<S: FrameService>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::chaos::Scenario;
     use crate::exec::SyntheticService;
+    use crate::health::ResilienceConfig;
 
     fn cfg() -> ServeConfig {
         ServeConfig {
@@ -390,6 +922,7 @@ mod tests {
             load: 1.0,
             gpus: 2,
             queue_capacity: 8,
+            scenario: Scenario::Calm,
             ..ServeConfig::default()
         }
     }
@@ -399,12 +932,17 @@ mod tests {
         run_session(cfg, &mut service).expect("session runs")
     }
 
+    fn conserved(s: &ServeStats) -> bool {
+        s.delivered + s.shed + s.failed == s.submitted
+    }
+
     #[test]
     fn every_job_terminates_exactly_once() {
         let report = run(&cfg());
         let s = &report.stats;
         assert_eq!(s.submitted, 48);
-        assert_eq!(s.delivered + s.shed, s.submitted);
+        assert_eq!(s.failed, 0, "calm sessions never fail jobs");
+        assert!(conserved(s));
         assert_eq!(report.completed.len(), 48);
         let mut ids: Vec<u64> = report.completed.iter().map(|c| c.job.id).collect();
         ids.sort_unstable();
@@ -532,5 +1070,152 @@ mod tests {
         assert!(stages.contains(&"serve::batch"));
         let trace = report.chrome_trace();
         assert!(trace.contains("serve::job"));
+    }
+
+    #[test]
+    fn every_scenario_conserves_jobs_and_passes_the_schema() {
+        for scenario in Scenario::ALL {
+            let report = run(&ServeConfig {
+                scenario,
+                load: 1.5,
+                ..cfg()
+            });
+            assert!(
+                conserved(&report.stats),
+                "{}: delivered {} + shed {} + failed {} != submitted {}",
+                scenario.label(),
+                report.stats.delivered,
+                report.stats.shed,
+                report.stats.failed,
+                report.stats.submitted
+            );
+            let checked = patu_obs::schema::check_stream(&report.log).expect("valid lines");
+            assert_eq!(
+                checked as u64,
+                report.stats.submitted,
+                "{}",
+                scenario.label()
+            );
+        }
+    }
+
+    #[test]
+    fn chaos_sessions_replay_bit_identically() {
+        for scenario in Scenario::CHAOS {
+            let c = ServeConfig {
+                scenario,
+                load: 1.5,
+                ..cfg()
+            };
+            let a = run(&c);
+            let b = run(&c);
+            assert_eq!(a.log, b.log, "{}", scenario.label());
+            assert_eq!(a.completed, b.completed, "{}", scenario.label());
+        }
+    }
+
+    #[test]
+    fn flap_trips_breakers_and_dumps_postmortems() {
+        let report = run(&ServeConfig {
+            scenario: Scenario::SingleGpuFlap,
+            jobs_per_client: 24,
+            load: 1.5,
+            ..cfg()
+        });
+        let s = &report.stats;
+        assert!(s.outages > 0, "the flapping GPU was actually hit");
+        assert!(s.retries > 0, "lost work was retried");
+        assert!(
+            s.breaker_opens > 0,
+            "repeated crashes open the breaker: {s:?}"
+        );
+        assert_eq!(
+            report.telemetry.dumps.len() as u64,
+            s.outages,
+            "one postmortem per distinct outage episode"
+        );
+        assert!(report
+            .telemetry
+            .dumps
+            .iter()
+            .all(|d| d.reason == "gpu_outage"));
+        assert!(conserved(s));
+    }
+
+    #[test]
+    fn resilience_beats_the_control_arm_under_transients() {
+        let chaotic = ServeConfig {
+            scenario: Scenario::SteadyTransients,
+            jobs_per_client: 24,
+            load: 1.2,
+            ..cfg()
+        };
+        let on = run(&chaotic);
+        let off = run(&ServeConfig {
+            resilience: ResilienceConfig::disabled(),
+            ..chaotic.clone()
+        });
+        assert!(
+            off.stats.failed > 0,
+            "without retries, transients fail jobs outright"
+        );
+        assert!(
+            on.stats.violation_rate() < off.stats.violation_rate(),
+            "resilience on {} vs off {}",
+            on.stats.violation_rate(),
+            off.stats.violation_rate()
+        );
+        assert!(on.stats.retries > 0);
+        assert!(conserved(&on.stats) && conserved(&off.stats));
+    }
+
+    #[test]
+    fn straggler_storm_stretches_and_hedges() {
+        let report = run(&ServeConfig {
+            scenario: Scenario::StragglerStorm,
+            jobs_per_client: 24,
+            load: 1.2,
+            ..cfg()
+        });
+        let s = &report.stats;
+        assert!(s.straggles > 0, "storm windows actually stretched work");
+        assert!(s.hedges > 0, "at-risk interactive jobs were hedged");
+        assert!(conserved(s));
+        let hedged_deliveries = report
+            .completed
+            .iter()
+            .filter(|c| c.outcome == Outcome::Delivered && c.hedged)
+            .count();
+        assert!(hedged_deliveries > 0, "some hedges delivered");
+    }
+
+    #[test]
+    fn calm_sessions_never_hedge_or_retry() {
+        let report = run(&ServeConfig { load: 2.0, ..cfg() });
+        let s = &report.stats;
+        assert_eq!(s.hedges, 0, "hedging stands down on a calm model");
+        assert_eq!(s.retries, 0);
+        assert_eq!(s.breaker_opens, 0);
+        assert_eq!(s.outages, 0);
+        assert_eq!(s.straggles, 0);
+        assert_eq!(s.corrupt_frames, 0);
+        assert!(report.telemetry.dumps.is_empty());
+    }
+
+    #[test]
+    fn violation_rate_counts_all_contract_losses() {
+        let s = ServeStats {
+            submitted: 10,
+            shed: 1,
+            deadline_misses: 2,
+            failed: 3,
+            ..ServeStats::default()
+        };
+        assert!((s.violation_rate() - 0.6).abs() < 1e-12);
+        assert!(
+            (s.miss_rate() - 0.3).abs() < 1e-12,
+            "miss_rate excludes failures"
+        );
+        assert_eq!(ServeStats::default().violation_rate(), 0.0);
     }
 }

@@ -13,7 +13,9 @@
 //! client count is read exactly once, here, and flows everywhere else as a
 //! plain field.
 
+use crate::chaos::{default_scenario, Scenario};
 use crate::error::ServeError;
+use crate::health::ResilienceConfig;
 use crate::job::{Job, Tier};
 use patu_gmath::DetRng;
 use patu_gpu::FaultConfig;
@@ -85,6 +87,15 @@ pub struct ServeConfig {
     pub setup_frac: f64,
     /// Fault injection forwarded into every render (disabled by default).
     pub faults: FaultConfig,
+    /// The chaos scenario the session runs under — which GPU outage,
+    /// straggler, and transient-failure script is in force. Defaults to
+    /// `PATU_SERVE_SCENARIO` when set to a known label, else calm.
+    pub scenario: Scenario,
+    /// The resilience posture: retries, hedging, circuit breakers, and
+    /// the brownout ladder. All on by default;
+    /// [`ResilienceConfig::disabled`] is the chaos benchmarks' control
+    /// arm.
+    pub resilience: ResilienceConfig,
     /// Worker threads for batch rendering. `None` resolves `PATU_THREADS`,
     /// then available parallelism; outputs are bit-identical across all
     /// values.
@@ -113,6 +124,8 @@ impl Default for ServeConfig {
             pressure_gain: 1.0,
             setup_frac: 0.2,
             faults: FaultConfig::disabled(),
+            scenario: default_scenario(),
+            resilience: ResilienceConfig::default(),
             threads: None,
             trace: TraceLevel::Counters,
         }
@@ -162,6 +175,7 @@ impl ServeConfig {
         if !(self.setup_frac.is_finite() && (0.0..=1.0).contains(&self.setup_frac)) {
             return bad("setup_frac must be in [0, 1]");
         }
+        self.resilience.validate()?;
         Ok(())
     }
 

@@ -33,6 +33,7 @@ pub struct ThresholdController {
     pub max_threshold: f64,
     threshold: f64,
     external_bias: f64,
+    capacity_bias: f64,
 }
 
 impl ThresholdController {
@@ -55,6 +56,7 @@ impl ThresholdController {
             max_threshold: 1.0,
             threshold,
             external_bias: 0.0,
+            capacity_bias: 0.0,
         }
     }
 
@@ -86,7 +88,8 @@ impl ThresholdController {
     /// The threshold to render the next frame with: the proportional state
     /// plus the external bias, clamped into the operating range.
     pub fn threshold(&self) -> f64 {
-        (self.threshold + self.external_bias).clamp(self.min_threshold, self.max_threshold)
+        (self.threshold + self.external_bias + self.capacity_bias)
+            .clamp(self.min_threshold, self.max_threshold)
     }
 
     /// Overlays an additive bias from an outer controller (e.g. the serving
@@ -109,6 +112,28 @@ impl ThresholdController {
     /// set one).
     pub fn external_bias(&self) -> f64 {
         self.external_bias
+    }
+
+    /// Overlays a second additive bias tracking *capacity* scarcity (GPUs
+    /// lost to outages or open circuit breakers), composed with the
+    /// load-pressure bias from [`ThresholdController::set_external_bias`]
+    /// so the serving layer's brownout ladder and its queue-pressure
+    /// governor steer one knob without fighting over one integrator.
+    ///
+    /// Sanitized like the external bias: non-finite becomes 0 (no capacity
+    /// pressure), finite values clamp into `[-1, 1]`.
+    pub fn set_capacity_bias(&mut self, bias: f64) {
+        self.capacity_bias = if bias.is_finite() {
+            bias.clamp(-1.0, 1.0)
+        } else {
+            0.0
+        };
+    }
+
+    /// The currently applied capacity bias (0 unless a brownout ladder set
+    /// one).
+    pub fn capacity_bias(&self) -> f64 {
+        self.capacity_bias
     }
 
     /// Feeds back the last frame's cost and returns the updated threshold.
@@ -166,6 +191,39 @@ mod tests {
             (c.threshold() - 0.5).abs() < 0.15,
             "θ near 0.5: {}",
             c.threshold()
+        );
+    }
+
+    #[test]
+    fn capacity_bias_composes_additively_with_external_bias() {
+        let mut c = ThresholdController::new(1_000_000, 0.8);
+        c.set_external_bias(-0.2);
+        c.set_capacity_bias(-0.3);
+        assert!((c.threshold() - 0.3).abs() < 1e-12, "0.8 - 0.2 - 0.3");
+        assert!((c.capacity_bias() - (-0.3)).abs() < 1e-12);
+        c.set_capacity_bias(0.0);
+        assert!((c.threshold() - 0.6).abs() < 1e-12, "external bias remains");
+    }
+
+    #[test]
+    fn capacity_bias_sanitizes_and_clamps() {
+        let mut c = ThresholdController::new(1_000_000, 0.9);
+        c.set_capacity_bias(-7.0);
+        assert_eq!(c.capacity_bias(), -1.0, "clamps to [-1, 1]");
+        assert_eq!(c.threshold(), 0.0, "composed value respects the floor");
+        for wild in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            c.set_capacity_bias(wild);
+            assert_eq!(c.capacity_bias(), 0.0, "{wild} sanitizes to no bias");
+        }
+    }
+
+    #[test]
+    fn capacity_bias_respects_operating_bounds() {
+        let mut c = ThresholdController::new(1_000_000, 0.8).with_bounds(0.25, 0.8);
+        c.set_capacity_bias(-1.0);
+        assert!(
+            (c.threshold() - 0.25).abs() < 1e-12,
+            "full brownout still floors at the quality bound"
         );
     }
 

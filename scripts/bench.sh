@@ -24,5 +24,8 @@ cargo run --release -p patu-bench --bin headline -- "$@"
 echo "==> serve: cargo run --release -p patu-bench --bin serve_bench"
 cargo run --release -p patu-bench --bin serve_bench
 
+echo "==> chaos: cargo run --release -p patu-bench --bin serve_chaos"
+cargo run --release -p patu-bench --bin serve_chaos
+
 echo "==> bench artifacts:"
 ls -1 BENCH_*.json

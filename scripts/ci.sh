@@ -12,7 +12,11 @@
 #   3. Serve smoke: a small overloaded serving session run at both thread
 #      counts — sessions must be bit-identical and the serve log must
 #      validate against the JSONL schema (serve_smoke).
-#   4. Lint: patu-lint (the workspace invariant checker — determinism,
+#   4. Chaos smoke: every named failure scenario (flap, half-pool outage,
+#      straggler storm, ...) run resilience-on and -off at both thread
+#      counts — sessions must be bit-identical, conserve every job, and
+#      keep the serve log schema-clean (serve_chaos --smoke).
+#   5. Lint: patu-lint (the workspace invariant checker — determinism,
 #      error hygiene, telemetry gating; hard fail on any violation),
 #      clippy over every target (libs, bins, tests, benches, examples)
 #      with warnings promoted to errors, and cargo fmt --check.
@@ -44,6 +48,9 @@ PATU_TRACE_OUT="$TRACE_DIR" cargo run -q --release -p patu-bench --bin trace_che
 
 echo "==> serve smoke: bit-identical sessions + schema-validated serve log"
 cargo run -q --release -p patu-bench --bin serve_smoke
+
+echo "==> chaos smoke: deterministic failure scenarios, resilience on/off"
+cargo run -q --release -p patu-bench --bin serve_chaos -- --smoke
 
 if [[ "${1:-}" != "--skip-lint" ]]; then
     echo "==> lint: patu-lint (workspace invariants)"

@@ -8,7 +8,7 @@
 //! is immune to the test harness environment.
 
 use patu_gpu::FaultConfig;
-use patu_serve::{run_session, ServeConfig, ServeReport, SimFrameService};
+use patu_serve::{run_session, Scenario, ServeConfig, ServeReport, SimFrameService};
 
 fn base_cfg() -> ServeConfig {
     ServeConfig {
@@ -21,6 +21,9 @@ fn base_cfg() -> ServeConfig {
         gpus: 2,
         queue_capacity: 6,
         batch_max: 3,
+        // Pin the scenario so an ambient PATU_SERVE_SCENARIO can never
+        // perturb the grid; chaos coverage gets its own explicit axis.
+        scenario: Scenario::Calm,
         ..ServeConfig::default()
     }
 }
@@ -30,17 +33,16 @@ fn run(cfg: &ServeConfig) -> ServeReport {
     run_session(cfg, &mut service).expect("session runs")
 }
 
-/// Everything we compare between two runs of the same configuration.
-fn fingerprint(report: &ServeReport) -> (String, Vec<u64>, u64, u64, u64, u64, String) {
+/// Everything we compare between two runs of the same configuration. The
+/// full `ServeStats` debug form folds in every resilience counter
+/// (retries, hedges, breaker opens, outages, corrupt frames, ...).
+fn fingerprint(report: &ServeReport) -> (String, Vec<u64>, String, String) {
     let mut hashes: Vec<u64> = report.completed.iter().map(|c| c.image_hash).collect();
     hashes.sort_unstable();
     (
         report.log.clone(),
         hashes,
-        report.stats.shed,
-        report.stats.degrades,
-        report.stats.deadline_misses,
-        report.stats.makespan,
+        format!("{:?}", report.stats),
         report.chrome_trace(),
     )
 }
@@ -95,6 +97,34 @@ fn thread_count_never_leaks_into_results() {
 }
 
 #[test]
+fn chaos_scenarios_replay_bit_identically_across_thread_counts() {
+    for scenario in Scenario::ALL {
+        let cfg = |threads: usize| ServeConfig {
+            threads: Some(threads),
+            scenario,
+            load: 1.5,
+            jobs_per_client: 6,
+            ..base_cfg()
+        };
+        let one = fingerprint(&run(&cfg(1)));
+        let four = fingerprint(&run(&cfg(4)));
+        assert_eq!(
+            one,
+            four,
+            "scenario {} must be bit-identical across PATU_THREADS=1 vs 4",
+            scenario.label()
+        );
+        let replay = fingerprint(&run(&cfg(1)));
+        assert_eq!(
+            one,
+            replay,
+            "scenario {} must replay on the same thread count",
+            scenario.label()
+        );
+    }
+}
+
+#[test]
 fn overload_degradation_is_deterministic_and_monotone() {
     let mut prev_pressure = 0u64;
     for &load in &[0.8f64, 2.0, 4.0] {
@@ -120,7 +150,7 @@ fn overload_degradation_is_deterministic_and_monotone() {
         );
         prev_pressure = pressure;
         assert_eq!(
-            a.stats.delivered + a.stats.shed,
+            a.stats.delivered + a.stats.shed + a.stats.failed,
             a.stats.submitted,
             "conservation at load {load}"
         );
