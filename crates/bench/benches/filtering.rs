@@ -2,7 +2,7 @@
 //! PATU-demoted path.
 
 use patu_bench::micro;
-use patu_core::{FilterPolicy, PerceptionAwareTextureUnit};
+use patu_core::{FilterPolicy, PerceptionAwareTextureUnit, SoaBatch};
 use patu_gmath::Vec2;
 use patu_texture::{
     procedural, sample_anisotropic, sample_trilinear_record, AddressMode, Footprint, Texture,
@@ -44,6 +44,36 @@ fn main() {
         "patu_decide_and_filter_n8",
         || PerceptionAwareTextureUnit::new(FilterPolicy::Patu { threshold: 0.4 }),
         |mut unit| unit.filter(&tex, black_box(uv), &fp, AddressMode::Wrap),
+    );
+
+    // The fused SoA kernel over a 64-lane batch of the same pixel, reported
+    // per lane — directly comparable with `patu_decide_and_filter_n8`
+    // (bit-identical outputs, batched layout and lazy AF fetch).
+    const LANES: usize = 64;
+    group.bench_batched_scaled(
+        "patu_batched_n8",
+        LANES as u64,
+        || {
+            let unit = PerceptionAwareTextureUnit::new(FilterPolicy::Patu { threshold: 0.4 });
+            let mut batch = SoaBatch::new();
+            for i in 0..LANES {
+                let (x, y) = (i as u32 % 8, i as u32 / 8);
+                batch.push(
+                    x,
+                    y,
+                    uv,
+                    Vec2::new(8.0 / 512.0, 0.0),
+                    Vec2::new(0.0, 1.0 / 512.0),
+                );
+            }
+            (unit, batch)
+        },
+        |(mut unit, mut batch)| {
+            unit.filter_batch(&tex, AddressMode::Wrap, 16, &mut batch, |_| {
+                FilterPolicy::Patu { threshold: 0.4 }
+            });
+            black_box(batch.color(LANES - 1))
+        },
     );
     group.write_json();
 }

@@ -1,16 +1,13 @@
-//! Rasterization pipeline throughput, plus the per-tile quad divergence
-//! accounting comparison: the `HashMap<QuadId, Vec<bool>>` the render loop
-//! used to allocate per tile versus the reusable flat grid it uses now.
-
-// The HashMap here is the measured baseline, not bookkeeping (clippy.toml
-// disallowed-types / patu-lint `hash-order` are about output determinism).
-#![allow(clippy::disallowed_types)]
+//! Rasterization pipeline throughput, plus the reusable flat-grid quad
+//! divergence accounting the render loop uses. (The retired
+//! `HashMap<QuadId, Vec<bool>>` baseline it replaced measured ~9.5× slower
+//! — see BENCH_raster.json history — and was dropped along with the dead
+//! per-tile HashMap code path.)
 
 use patu_bench::micro;
 use patu_core::DivergenceStats;
-use patu_raster::{Pipeline, QuadId};
+use patu_raster::Pipeline;
 use patu_scenes::Workload;
-use std::collections::HashMap;
 use std::hint::black_box;
 
 const TILE: u32 = 16;
@@ -26,28 +23,10 @@ fn main() {
         });
     }
 
-    // Quad accounting: both strategies walk the same frame's tiles and feed
-    // the same divergence counters; only the bookkeeping differs.
+    // Quad accounting: the reusable flat grid the render loop ships with.
     let workload = Workload::build("doom3", (320, 256)).expect("known game");
     let frame = workload.frame(0);
     let geometry = Pipeline::with_tile_size(320, 256, TILE).run(&frame.meshes, &frame.camera);
-
-    group.bench("quad_accounting/hashmap_per_tile", || {
-        let mut divergence = DivergenceStats::new();
-        for tile in &geometry.tiles {
-            let mut outcomes: HashMap<QuadId, Vec<bool>> = HashMap::new();
-            for frag in &tile.fragments {
-                outcomes
-                    .entry(frag.quad())
-                    .or_default()
-                    .push(frag.x % 3 == 0);
-            }
-            for quad in outcomes.values() {
-                divergence.record_quad(quad);
-            }
-        }
-        black_box(divergence)
-    });
 
     let quads_per_side = (TILE as usize).div_ceil(2);
     let mut fragments = vec![0u32; quads_per_side * quads_per_side];

@@ -1,7 +1,7 @@
 //! SSIM analyzer throughput (the analysis layer's dominant cost).
 
 use patu_bench::micro;
-use patu_quality::{GrayImage, SsimConfig};
+use patu_quality::{GrayImage, SampledSsimConfig, SsimConfig};
 use std::hint::black_box;
 
 fn gradient(width: u32, height: u32, phase: u32) -> GrayImage {
@@ -24,6 +24,17 @@ fn main() {
     let b = gradient(256, 256, 11);
     group.bench("full_map_256", || {
         SsimConfig::default().ssim_map(black_box(&a), black_box(&b))
+    });
+
+    // The stratified sampled estimator at the default 1/4 fraction —
+    // compare with `mssim_512x512` for the sampling speedup (the fraction
+    // is pinned so the row never depends on `PATU_SSIM_SAMPLE`).
+    let a = gradient(512, 512, 0);
+    let b = gradient(512, 512, 11);
+    let sampled =
+        SampledSsimConfig::new(0x55A9).with_fraction(patu_quality::sampled::DEFAULT_FRACTION);
+    group.bench("sampled_512x512", || {
+        sampled.mssim_sampled(black_box(&a), black_box(&b))
     });
     group.write_json();
 }

@@ -1,0 +1,186 @@
+//! CI bench smoke gate: re-measures the two tentpole perf pairs — the
+//! batched SoA kernel vs. the scalar filter path, and the sampled MSSIM
+//! estimator vs. the full scan — and hard-fails (exit 1) when either
+//! *ratio* regresses more than 10% against the recorded `BENCH_*.json`
+//! baselines at the repository root.
+//!
+//! Ratios, not absolute nanoseconds: CI machines differ in clock speed, but
+//! fast-path / slow-path quotients measured on the same machine in the same
+//! process are stable. Each pair gets up to [`ATTEMPTS`] measurements and
+//! passes on the first one under its limit — a genuine regression fails
+//! every attempt, while scheduler noise does not repeat. The gate also
+//! enforces the absolute design floors regardless of what the baselines
+//! recorded: batched ≤ 0.5× scalar (≥ 2× speedup) and sampled ≤ 0.2× full
+//! (≥ 5× speedup).
+
+use patu_bench::micro;
+use patu_core::{FilterPolicy, PerceptionAwareTextureUnit, SoaBatch};
+use patu_gmath::Vec2;
+use patu_quality::{GrayImage, SampledSsimConfig, SsimConfig};
+use patu_texture::{procedural, AddressMode, Footprint, Texture};
+use std::hint::black_box;
+use std::process::ExitCode;
+
+/// Maximum allowed ratio regression against the recorded baseline ratio.
+const SLACK: f64 = 1.10;
+
+/// Absolute ratio headroom on top of [`SLACK`]. At very small baseline
+/// ratios (the sampled estimator runs ~20× faster than the full scan) a
+/// pure relative bound sits inside timer granularity; one extra percentage
+/// point keeps the gate meaningful without tripping on quantization.
+const ABS_MARGIN: f64 = 0.01;
+
+/// Measurement attempts per pair before declaring a regression.
+const ATTEMPTS: usize = 3;
+
+fn gradient(size: u32, phase: u32) -> GrayImage {
+    let data = (0..size)
+        .flat_map(|y| (0..size).map(move |x| ((x * 7 + y * 13 + phase) % 256) as f32))
+        .collect();
+    GrayImage::new(size, size, data)
+}
+
+/// Extracts `median_ns` of `label` from a recorded `BENCH_*.json` artifact.
+fn recorded_median(json: &str, label: &str) -> Option<f64> {
+    let pos = json.find(&format!("\"label\": \"{label}\""))?;
+    let rest = &json[pos..];
+    let key = "\"median_ns\": ";
+    let tail = &rest[rest.find(key)? + key.len()..];
+    let end = tail.find([',', '}'])?;
+    tail[..end].trim().parse().ok()
+}
+
+/// One fresh fast/slow measurement of the filtering pair (ns medians).
+fn filtering_pair(attempt: usize) -> (f64, f64) {
+    let tex = Texture::with_mips(procedural::composite(512, 512, 0xBE), 0);
+    let uv = Vec2::new(0.37, 0.61);
+    let fp = Footprint::from_derivatives(
+        Vec2::new(8.0 / 512.0, 0.0),
+        Vec2::new(0.0, 1.0 / 512.0),
+        512,
+        512,
+        16,
+    );
+    let policy = FilterPolicy::Patu { threshold: 0.4 };
+    let mut group = micro::group(&format!("smoke_filtering_{attempt}"));
+    group.bench_batched(
+        "scalar_n8",
+        || PerceptionAwareTextureUnit::new(policy),
+        |mut unit| unit.filter(&tex, black_box(uv), &fp, AddressMode::Wrap),
+    );
+    const LANES: usize = 64;
+    group.bench_batched_scaled(
+        "batched_n8",
+        LANES as u64,
+        || {
+            let unit = PerceptionAwareTextureUnit::new(policy);
+            let mut batch = SoaBatch::new();
+            for i in 0..LANES {
+                let (x, y) = (i as u32 % 8, i as u32 / 8);
+                batch.push(
+                    x,
+                    y,
+                    uv,
+                    Vec2::new(8.0 / 512.0, 0.0),
+                    Vec2::new(0.0, 1.0 / 512.0),
+                );
+            }
+            (unit, batch)
+        },
+        |(mut unit, mut batch)| {
+            unit.filter_batch(&tex, AddressMode::Wrap, 16, &mut batch, |_| policy);
+            black_box(batch.color(LANES - 1))
+        },
+    );
+    let r = group.results();
+    (r[1].median_ns, r[0].median_ns)
+}
+
+/// One fresh fast/slow measurement of the SSIM pair (ns medians).
+fn ssim_pair(attempt: usize) -> (f64, f64) {
+    let a = gradient(512, 0);
+    let b = gradient(512, 11);
+    let mut group = micro::group(&format!("smoke_ssim_{attempt}"));
+    group.bench("full_512", || {
+        SsimConfig::default()
+            .with_threads(1)
+            .mssim(black_box(&a), black_box(&b))
+    });
+    let sampled =
+        SampledSsimConfig::new(0x55A9).with_fraction(patu_quality::sampled::DEFAULT_FRACTION);
+    group.bench("sampled_512", || {
+        sampled.mssim_sampled(black_box(&a), black_box(&b))
+    });
+    let r = group.results();
+    (r[1].median_ns, r[0].median_ns)
+}
+
+/// Retries `measure` up to [`ATTEMPTS`] times; passes on the first ratio
+/// under both the regression limit and the absolute floor.
+fn gate(
+    name: &str,
+    recorded_ratio: f64,
+    floor: f64,
+    mut measure: impl FnMut(usize) -> (f64, f64),
+) -> bool {
+    let limit = recorded_ratio * SLACK + ABS_MARGIN;
+    let mut worst = f64::INFINITY;
+    for attempt in 1..=ATTEMPTS {
+        let (fast, slow) = measure(attempt);
+        let ratio = fast / slow;
+        worst = worst.min(ratio);
+        if ratio <= limit && ratio <= floor {
+            println!(
+                "bench_smoke PASS {name}: ratio {ratio:.3} \
+                 (recorded {recorded_ratio:.3}, limit {limit:.3}, floor {floor:.3})"
+            );
+            return true;
+        }
+        println!(
+            "bench_smoke retry {name}: attempt {attempt} ratio {ratio:.3} over \
+             limit {limit:.3} or floor {floor:.3}"
+        );
+    }
+    eprintln!(
+        "bench_smoke FAIL {name}: best ratio {worst:.3} \
+         (recorded {recorded_ratio:.3}, limit {limit:.3}, floor {floor:.3})"
+    );
+    false
+}
+
+fn main() -> ExitCode {
+    let root = micro::repo_root();
+    let filtering = std::fs::read_to_string(root.join("BENCH_filtering.json"));
+    let ssim = std::fs::read_to_string(root.join("BENCH_ssim.json"));
+    let (Ok(filtering), Ok(ssim)) = (filtering, ssim) else {
+        eprintln!("bench_smoke: missing recorded BENCH_filtering.json / BENCH_ssim.json");
+        eprintln!("bench_smoke: run scripts/bench.sh once to record baselines");
+        return ExitCode::FAILURE;
+    };
+    let recorded = |json: &str, label: &str| -> f64 {
+        recorded_median(json, label).unwrap_or_else(|| {
+            eprintln!("bench_smoke: recorded baseline lacks {label}");
+            std::process::exit(1);
+        })
+    };
+
+    let filtering_recorded = recorded(&filtering, "filtering/patu_batched_n8")
+        / recorded(&filtering, "filtering/patu_decide_and_filter_n8");
+    let ssim_recorded =
+        recorded(&ssim, "ssim/sampled_512x512") / recorded(&ssim, "ssim/mssim_512x512");
+
+    let mut ok = gate(
+        "filtering batched/scalar",
+        filtering_recorded,
+        0.5,
+        filtering_pair,
+    );
+    ok &= gate("ssim sampled/full", ssim_recorded, 0.2, ssim_pair);
+
+    if ok {
+        println!("bench_smoke: all perf gates hold");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -133,9 +133,24 @@ impl Group {
     pub fn bench_batched<S, T>(
         &mut self,
         label: &str,
+        setup: impl FnMut() -> S,
+        f: impl FnMut(S) -> T,
+    ) {
+        self.bench_batched_scaled(label, 1, setup, f);
+    }
+
+    /// Like [`Group::bench_batched`] but the measured body processes
+    /// `lanes` homogeneous work items per call; recorded quantiles are
+    /// normalized to ns per *item*, so batched rows stay directly
+    /// comparable with their single-item counterparts.
+    pub fn bench_batched_scaled<S, T>(
+        &mut self,
+        label: &str,
+        lanes: u64,
         mut setup: impl FnMut() -> S,
         mut f: impl FnMut(S) -> T,
     ) {
+        let lanes = lanes.max(1);
         for _ in 0..3 {
             black_box(f(setup()));
         }
@@ -155,9 +170,15 @@ impl Group {
         }
         let mut samples = [0.0f64; SAMPLES];
         for sample in &mut samples {
-            *sample = run(iters).as_nanos() as f64 / iters as f64;
+            *sample = run(iters).as_nanos() as f64 / (iters * lanes) as f64;
         }
         self.record(label, &mut samples, iters);
+    }
+
+    /// The measurements collected so far, in bench order (used by the CI
+    /// smoke gate to compare fresh ratios against recorded baselines).
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
     }
 
     /// Serializes the collected results as a JSON object (hand-rolled — the

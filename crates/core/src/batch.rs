@@ -1,0 +1,369 @@
+//! Batched struct-of-arrays fragment→texel path.
+//!
+//! [`SoaBatch`] holds a run of fragments (same texture, same policy source)
+//! in struct-of-arrays layout. [`PerceptionAwareTextureUnit::filter_batch`]
+//! streams the whole batch through a fused predictor+filter kernel:
+//!
+//! - the footprint pass computes mip/anisotropy math for every lane up
+//!   front, over contiguous derivative arrays;
+//! - the fused per-lane kernel runs the prediction flow with tap address
+//!   sets streamed straight into the 16-entry hash table (no per-tap
+//!   `Vec<Vec<TexelAddress>>`), then performs only the filtering the
+//!   decision demands — a demoted lane never reads the `N×8` AF texels the
+//!   scalar path touches just to enumerate tap addresses;
+//! - every texel address fetched lands in one contiguous per-batch buffer
+//!   (`addresses`), 8 per trilinear tap, which the timing model replays via
+//!   `TextureUnit::process_flat`.
+//!
+//! The kernel is bit-identical to the scalar
+//! [`PerceptionAwareTextureUnit::filter_with`] path by construction: both
+//! bottom out in `FilterPolicy::decide_streamed` (same fault-injector draw
+//! sequence, same hash-table access sequence) and in the same trilinear
+//! sampling routines, and lanes are processed in fragment order — batching
+//! changes memory layout, never arithmetic or ordering.
+
+use crate::policy::{FilterPolicy, PolicyDecision};
+use crate::unit::PerceptionAwareTextureUnit;
+use patu_gmath::Vec2;
+use patu_texture::{AddressMode, Footprint, Rgba8, TexelAddress, Texture};
+
+/// Reusable per-lane scratch buffers for the fused kernel: AF tap offsets,
+/// colors and TF-level comparison keys. One instance lives inside each
+/// [`SoaBatch`]; steady-state filtering performs no heap allocation.
+#[derive(Debug, Clone, Default)]
+pub struct LaneScratch {
+    pub(crate) offsets: Vec<f32>,
+    pub(crate) tap_colors: Vec<Rgba8>,
+    pub(crate) tap_keys: Vec<[TexelAddress; 4]>,
+}
+
+/// The fused kernel's per-lane result (the batched analogue of the scalar
+/// path's `FilterOutcome`, minus the per-pixel `SampleRecord` allocation —
+/// tap addresses live in the batch's contiguous buffer instead).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaneOutcome {
+    /// Final filtered color returned to the shader.
+    pub color: Rgba8,
+    /// The LOD the lane's taps used.
+    pub lod: f32,
+    /// Trilinear taps fetched (`N` for kept AF, 1 for demotions).
+    pub taps: u32,
+    /// The policy decision that produced the filtering.
+    pub decision: PolicyDecision,
+}
+
+/// A struct-of-arrays batch of fragments awaiting the fused kernel.
+///
+/// Fill it with [`SoaBatch::push`] in fragment order, run
+/// [`PerceptionAwareTextureUnit::filter_batch`], then read the per-lane
+/// outputs back with the accessors. All buffers are reused across
+/// [`SoaBatch::clear`] cycles.
+#[derive(Debug, Clone, Default)]
+pub struct SoaBatch {
+    // Inputs, one entry per lane, in fragment order.
+    xs: Vec<u32>,
+    ys: Vec<u32>,
+    uvs: Vec<Vec2>,
+    duv_dxs: Vec<Vec2>,
+    duv_dys: Vec<Vec2>,
+    // Footprint pass output.
+    footprints: Vec<Footprint>,
+    // Fused kernel outputs, one entry per lane.
+    colors: Vec<Rgba8>,
+    decisions: Vec<PolicyDecision>,
+    lods: Vec<f32>,
+    taps: Vec<u32>,
+    addr_ranges: Vec<(u32, u32)>,
+    /// Every texel address the batch fetched, contiguous, 8 per tap.
+    addresses: Vec<TexelAddress>,
+    scratch: LaneScratch,
+}
+
+impl SoaBatch {
+    /// Creates an empty batch.
+    pub fn new() -> SoaBatch {
+        SoaBatch::default()
+    }
+
+    /// Appends one fragment lane (screen position, texture coordinates and
+    /// derivatives).
+    pub fn push(&mut self, x: u32, y: u32, uv: Vec2, duv_dx: Vec2, duv_dy: Vec2) {
+        self.xs.push(x);
+        self.ys.push(y);
+        self.uvs.push(uv);
+        self.duv_dxs.push(duv_dx);
+        self.duv_dys.push(duv_dy);
+    }
+
+    /// Clears the input lanes for the next run of fragments. Capacity (and
+    /// the kernel's scratch buffers) are retained.
+    pub fn clear(&mut self) {
+        self.xs.clear();
+        self.ys.clear();
+        self.uvs.clear();
+        self.duv_dxs.clear();
+        self.duv_dys.clear();
+    }
+
+    /// Number of lanes.
+    pub fn len(&self) -> usize {
+        self.uvs.len()
+    }
+
+    /// Whether the batch holds no lanes.
+    pub fn is_empty(&self) -> bool {
+        self.uvs.is_empty()
+    }
+
+    /// Lane `i`'s screen x.
+    pub fn x(&self, i: usize) -> u32 {
+        self.xs[i]
+    }
+
+    /// Lane `i`'s screen y.
+    pub fn y(&self, i: usize) -> u32 {
+        self.ys[i]
+    }
+
+    /// Lane `i`'s filtered color.
+    pub fn color(&self, i: usize) -> Rgba8 {
+        self.colors[i]
+    }
+
+    /// Lane `i`'s policy decision.
+    pub fn decision(&self, i: usize) -> PolicyDecision {
+        self.decisions[i]
+    }
+
+    /// Lane `i`'s sampling LOD.
+    pub fn lod(&self, i: usize) -> f32 {
+        self.lods[i]
+    }
+
+    /// Lane `i`'s trilinear tap count.
+    pub fn taps(&self, i: usize) -> u32 {
+        self.taps[i]
+    }
+
+    /// Lane `i`'s fetched texel addresses (8 per tap, tap-major — the exact
+    /// order the scalar path's `SampleRecord::addresses()` yields).
+    pub fn tap_addresses(&self, i: usize) -> &[TexelAddress] {
+        let (start, end) = self.addr_ranges[i];
+        &self.addresses[start as usize..end as usize]
+    }
+
+    /// Footprint pass: derive every lane's [`Footprint`] and reset the
+    /// output arrays.
+    fn begin(&mut self, tex: &Texture, max_aniso: u32) {
+        self.footprints.clear();
+        self.colors.clear();
+        self.decisions.clear();
+        self.lods.clear();
+        self.taps.clear();
+        self.addr_ranges.clear();
+        self.addresses.clear();
+        let (w, h) = (tex.width(), tex.height());
+        for i in 0..self.uvs.len() {
+            self.footprints.push(Footprint::from_derivatives(
+                self.duv_dxs[i],
+                self.duv_dys[i],
+                w,
+                h,
+                max_aniso,
+            ));
+        }
+    }
+}
+
+impl PerceptionAwareTextureUnit {
+    /// Streams a whole [`SoaBatch`] through the fused predictor+filter
+    /// kernel. `policy_of(lane)` supplies each lane's (possibly modulated)
+    /// policy — pass `|_| unit.policy()` for a uniform batch.
+    ///
+    /// Lanes are processed in push order; statistics, the hash table and the
+    /// fault-injector stream advance exactly as if
+    /// [`PerceptionAwareTextureUnit::filter_with`] had been called once per
+    /// lane. Outputs are read back from the batch accessors.
+    pub fn filter_batch<P>(
+        &mut self,
+        tex: &Texture,
+        mode: AddressMode,
+        max_aniso: u32,
+        batch: &mut SoaBatch,
+        mut policy_of: P,
+    ) where
+        P: FnMut(usize) -> FilterPolicy,
+    {
+        batch.begin(tex, max_aniso);
+        let SoaBatch {
+            uvs,
+            footprints,
+            colors,
+            decisions,
+            lods,
+            taps,
+            addr_ranges,
+            addresses,
+            scratch,
+            ..
+        } = batch;
+        for (i, fp) in footprints.iter().enumerate() {
+            let start = addresses.len() as u32;
+            let lane = self.filter_lane(policy_of(i), tex, uvs[i], fp, mode, scratch, addresses);
+            colors.push(lane.color);
+            decisions.push(lane.decision);
+            lods.push(lane.lod);
+            taps.push(lane.taps);
+            addr_ranges.push((start, addresses.len() as u32));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patu_gpu::FaultConfig;
+    use patu_texture::procedural;
+
+    fn texture() -> Texture {
+        Texture::with_mips(procedural::composite(256, 256, 0xC0FE), 0)
+    }
+
+    fn lane_inputs(count: usize) -> Vec<(u32, u32, Vec2, Vec2, Vec2)> {
+        (0..count)
+            .map(|i| {
+                let fi = i as f32;
+                let uv = Vec2::new((0.07 + fi * 0.031) % 1.0, (0.61 + fi * 0.017) % 1.0);
+                let n_texels = 1.0 + (i % 13) as f32;
+                (
+                    i as u32 % 16,
+                    i as u32 / 16,
+                    uv,
+                    Vec2::new(n_texels / 256.0, 0.0),
+                    Vec2::new(0.0, 1.0 / 256.0),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_scalar_unit_exactly() {
+        let tex = texture();
+        let policies = [
+            FilterPolicy::Baseline,
+            FilterPolicy::NoAf,
+            FilterPolicy::SampleArea { threshold: 0.4 },
+            FilterPolicy::SampleAreaTxds { threshold: 0.4 },
+            FilterPolicy::Patu { threshold: 0.4 },
+            FilterPolicy::Patu { threshold: 0.9 },
+        ];
+        for policy in policies {
+            for rate in [0.0, 0.25] {
+                let cfg = FaultConfig::uniform(17, rate);
+                let mut scalar =
+                    PerceptionAwareTextureUnit::try_with_faults(policy, 16, cfg, 3).unwrap();
+                let mut batched =
+                    PerceptionAwareTextureUnit::try_with_faults(policy, 16, cfg, 3).unwrap();
+                scalar.set_telemetry(true);
+                batched.set_telemetry(true);
+
+                let lanes = lane_inputs(40);
+                let mut batch = SoaBatch::new();
+                for &(x, y, uv, dx, dy) in &lanes {
+                    batch.push(x, y, uv, dx, dy);
+                }
+                batched.filter_batch(&tex, AddressMode::Wrap, 16, &mut batch, |_| policy);
+
+                for (i, &(_, _, uv, dx, dy)) in lanes.iter().enumerate() {
+                    let fp = Footprint::from_derivatives(dx, dy, 256, 256, 16);
+                    let out = scalar.filter_with(policy, &tex, uv, &fp, AddressMode::Wrap);
+                    assert_eq!(batch.color(i), out.record.color, "{policy:?} lane {i}");
+                    assert_eq!(batch.decision(i), out.decision, "{policy:?} lane {i}");
+                    assert_eq!(batch.lod(i), out.record.lod, "{policy:?} lane {i}");
+                    assert_eq!(batch.taps(i), out.record.n, "{policy:?} lane {i}");
+                    let scalar_addrs: Vec<TexelAddress> = out.record.addresses().collect();
+                    assert_eq!(batch.tap_addresses(i), scalar_addrs, "{policy:?} lane {i}");
+                }
+                assert_eq!(
+                    batched.hash_accesses(),
+                    scalar.hash_accesses(),
+                    "{policy:?}"
+                );
+                assert_eq!(
+                    batched.sharing_stats(),
+                    scalar.sharing_stats(),
+                    "{policy:?}"
+                );
+                assert_eq!(batched.approx_stats(), scalar.approx_stats(), "{policy:?}");
+                assert_eq!(batched.fault_counts(), scalar.fault_counts(), "{policy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_reuse_does_not_leak_state_across_runs() {
+        let tex = texture();
+        let policy = FilterPolicy::Patu { threshold: 0.4 };
+        let mut unit = PerceptionAwareTextureUnit::new(policy);
+        let mut batch = SoaBatch::new();
+        let lanes = lane_inputs(12);
+
+        // First run fills every buffer; the second must produce identical
+        // outputs from recycled capacity.
+        let run = |unit: &mut PerceptionAwareTextureUnit, batch: &mut SoaBatch| {
+            batch.clear();
+            for &(x, y, uv, dx, dy) in &lanes {
+                batch.push(x, y, uv, dx, dy);
+            }
+            unit.filter_batch(&tex, AddressMode::Wrap, 16, batch, |_| policy);
+            (0..batch.len())
+                .map(|i| {
+                    (
+                        batch.color(i),
+                        batch.decision(i),
+                        batch.tap_addresses(i).to_vec(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        let first = run(&mut unit, &mut batch);
+        let second = run(&mut unit, &mut batch);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn per_lane_policy_modulation() {
+        let tex = texture();
+        let base = FilterPolicy::Patu { threshold: 0.4 };
+        let mut unit = PerceptionAwareTextureUnit::new(base);
+        let mut batch = SoaBatch::new();
+        for &(x, y, uv, dx, dy) in &lane_inputs(8) {
+            batch.push(x, y, uv, dx, dy);
+        }
+        // Odd lanes run NoAf; the decision surface must reflect it.
+        unit.filter_batch(&tex, AddressMode::Wrap, 16, &mut batch, |i| {
+            if i % 2 == 1 {
+                FilterPolicy::NoAf
+            } else {
+                base
+            }
+        });
+        for i in 0..batch.len() {
+            if i % 2 == 1 {
+                assert!(batch.decision(i).is_approximated(), "lane {i} forced off");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let tex = texture();
+        let mut unit = PerceptionAwareTextureUnit::new(FilterPolicy::Baseline);
+        let mut batch = SoaBatch::new();
+        unit.filter_batch(&tex, AddressMode::Wrap, 16, &mut batch, |_| {
+            FilterPolicy::Baseline
+        });
+        assert_eq!(batch.len(), 0);
+        assert_eq!(unit.approx_stats().pixels, 0);
+    }
+}

@@ -42,14 +42,30 @@ struct Entry {
 /// table.insert(&set_b);
 /// assert_eq!(table.counts(), vec![2, 1]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct TexelAddressTable {
     entries: Vec<Entry>,
     capacity: usize,
     accesses: u64,
     overflowed: bool,
     parity_error: bool,
+    /// Key vectors retired by [`TexelAddressTable::reset`] and recycled by
+    /// the next misses, so steady-state per-pixel operation stops allocating.
+    /// Pure scratch: never observable, excluded from equality.
+    spare: Vec<Vec<TexelAddress>>,
 }
+
+impl PartialEq for TexelAddressTable {
+    fn eq(&self, other: &TexelAddressTable) -> bool {
+        self.entries == other.entries
+            && self.capacity == other.capacity
+            && self.accesses == other.accesses
+            && self.overflowed == other.overflowed
+            && self.parity_error == other.parity_error
+    }
+}
+
+impl Eq for TexelAddressTable {}
 
 impl Default for TexelAddressTable {
     fn default() -> TexelAddressTable {
@@ -78,6 +94,7 @@ impl TexelAddressTable {
             accesses: 0,
             overflowed: false,
             parity_error: false,
+            spare: Vec::new(),
         }
     }
 
@@ -106,17 +123,42 @@ impl TexelAddressTable {
     /// exceeds the max AF level of 16.
     pub fn insert(&mut self, addresses: &[TexelAddress]) -> bool {
         self.accesses += 1;
-        let mut key: Vec<TexelAddress> = addresses.to_vec();
-        key.sort_unstable();
-        key.dedup();
+        // Sort + dedup the key on the stack for hardware-sized taps (a
+        // trilinear tap has 8 addresses; the hardware comparator width is
+        // 16). Only oversized test inputs take the heap path.
+        if addresses.len() <= TABLE_ENTRIES {
+            let mut buf = [TexelAddress::default(); TABLE_ENTRIES];
+            let buf = &mut buf[..addresses.len()];
+            buf.copy_from_slice(addresses);
+            buf.sort_unstable();
+            let mut len = 0;
+            for i in 0..buf.len() {
+                if len == 0 || buf[i] != buf[len - 1] {
+                    buf[len] = buf[i];
+                    len += 1;
+                }
+            }
+            self.insert_key(&buf[..len])
+        } else {
+            let mut key = addresses.to_vec();
+            key.sort_unstable();
+            key.dedup();
+            self.insert_key(&key)
+        }
+    }
 
+    /// Inserts an already-normalized (sorted, deduplicated) key.
+    fn insert_key(&mut self, key: &[TexelAddress]) -> bool {
         if let Some(e) = self.entries.iter_mut().find(|e| e.addresses == key) {
             e.count = (e.count + 1).min(COUNT_TAG_MAX);
             return true;
         }
         if self.entries.len() < self.capacity {
+            let mut addresses = self.spare.pop().unwrap_or_default();
+            addresses.clear();
+            addresses.extend_from_slice(key);
             self.entries.push(Entry {
-                addresses: key,
+                addresses,
                 count: 1,
             });
         } else {
@@ -182,8 +224,12 @@ impl TexelAddressTable {
 
     /// Clears the table for the next pixel (the paper resets it per request).
     /// The access counter is preserved — it is cumulative over a frame.
+    /// Retired entries keep their key buffers in the recycle pool, so a
+    /// steady-state reset→insert cycle performs no heap allocation.
     pub fn reset(&mut self) {
-        self.entries.clear();
+        for e in self.entries.drain(..) {
+            self.spare.push(e.addresses);
+        }
         self.overflowed = false;
         self.parity_error = false;
     }
@@ -327,6 +373,32 @@ mod tests {
         let sum: f64 = p.iter().sum();
         assert!(p.iter().all(|x| x.is_finite()));
         assert!((sum - 1.0).abs() < 1e-12 || p.is_empty());
+    }
+
+    #[test]
+    fn reset_recycling_preserves_semantics() {
+        // Entry buffers recycled across resets must behave exactly like
+        // fresh allocations: same counts, same insertion order.
+        let mut t = TexelAddressTable::new();
+        for round in 0..4u64 {
+            t.reset();
+            t.insert(&set(round * 0x1000));
+            t.insert(&set(round * 0x1000));
+            t.insert(&set(0x5000));
+            assert_eq!(t.counts(), vec![2, 1], "round {round}");
+            assert_eq!(t.distinct_sets(), 2);
+        }
+    }
+
+    #[test]
+    fn oversized_key_takes_heap_path() {
+        // More than 16 addresses in one tap exceeds the stack comparator
+        // width; the key must still normalize identically.
+        let mut t = TexelAddressTable::new();
+        let big: Vec<TexelAddress> = (0..20).map(|i| TexelAddress::new(i % 5)).collect();
+        t.insert(&big);
+        let small: Vec<TexelAddress> = (0..5).map(TexelAddress::new).collect();
+        assert!(t.insert(&small), "deduped oversized key matches");
     }
 
     #[test]

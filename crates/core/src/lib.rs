@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod afssim;
+pub mod batch;
 pub mod error;
 pub mod hash_table;
 pub mod oracle;
@@ -45,6 +46,7 @@ pub mod stats;
 pub mod unit;
 
 pub use afssim::{af_ssim_mu, af_ssim_n, af_ssim_txds, entropy, try_af_ssim_n, txds};
+pub use batch::{LaneOutcome, LaneScratch, SoaBatch};
 pub use error::PatuError;
 pub use hash_table::TexelAddressTable;
 pub use oracle::{oracle_af_ssim, oracle_mu, PredictionAccuracy};

@@ -293,6 +293,36 @@ impl FilterPolicy {
         F: FnOnce() -> Vec<Vec<TexelAddress>>,
     {
         let n = footprint.n;
+        self.decide_streamed(footprint, table, faults, move |table| {
+            let sets = tap_sets();
+            debug_assert_eq!(sets.len(), n as usize, "one address set per AF tap");
+            table.reset();
+            for s in &sets {
+                table.insert(s);
+            }
+            sets.len() as u32
+        })
+    }
+
+    /// The streaming form of [`FilterPolicy::decide_with`]: instead of
+    /// materializing every tap's address set as a `Vec<Vec<TexelAddress>>`,
+    /// the caller streams the sets straight into the table. `stream_taps` is
+    /// only invoked when the distribution stage runs; it must `reset` the
+    /// table, `insert` one normalized set per AF tap, and return the number
+    /// of taps streamed. It must not draw from the fault injector — the
+    /// injector's draw sequence is part of the bit-exact contract between
+    /// the scalar and batched paths, both of which bottom out here.
+    pub fn decide_streamed<F>(
+        &self,
+        footprint: &Footprint,
+        table: &mut TexelAddressTable,
+        faults: &mut FaultInjector,
+        stream_taps: F,
+    ) -> PolicyDecision
+    where
+        F: FnOnce(&mut TexelAddressTable) -> u32,
+    {
+        let n = footprint.n;
 
         // An isotropic footprint never takes the AF path, under any policy.
         if n == 1 {
@@ -355,13 +385,7 @@ impl FilterPolicy {
 
         // Stage 2: texel-distribution check (components ② + ③), right after
         // Texel Address Calculation.
-        let sets = tap_sets();
-        debug_assert_eq!(sets.len(), n as usize, "one address set per AF tap");
-        table.reset();
-        for s in &sets {
-            table.insert(s);
-        }
-        let hash_accesses = sets.len() as u32;
+        let hash_accesses = stream_taps(table);
         // Fault site: a soft error strikes a count tag after the tap stream
         // lands. The modeled parity bit detects it below.
         if let Some((selector, bit)) = faults.table_corruption() {

@@ -44,6 +44,37 @@ impl SharingStats {
         }
     }
 
+    /// Fixed-width, allocation-free form of [`SharingStats::record`] for the
+    /// batched fragment path: each tap's set is the 4 TF-level bilinear
+    /// addresses the hash table compares at, as a stack array. Produces
+    /// exactly the counters `record` would for the equivalent `Vec` sets.
+    pub fn record_fixed(&mut self, tap_sets: &[[TexelAddress; 4]]) {
+        fn normalize(set: &mut [TexelAddress; 4]) -> usize {
+            set.sort_unstable();
+            let mut len = 0;
+            for i in 0..set.len() {
+                if len == 0 || set[i] != set[len - 1] {
+                    set[len] = set[i];
+                    len += 1;
+                }
+            }
+            len
+        }
+        if tap_sets.len() < 2 {
+            return;
+        }
+        let mut center = tap_sets[0];
+        let center_len = normalize(&mut center);
+        for tap in &tap_sets[1..] {
+            let mut key = *tap;
+            let key_len = normalize(&mut key);
+            self.taps_total += 1;
+            if key[..key_len] == center[..center_len] {
+                self.taps_shared += 1;
+            }
+        }
+    }
+
     /// Fraction of non-center AF taps sharing the center's texel set
     /// (0 when nothing was recorded).
     pub fn sharing_fraction(&self) -> f64 {
@@ -78,26 +109,13 @@ impl DivergenceStats {
         DivergenceStats::default()
     }
 
-    /// Records one quad's per-pixel approximation outcomes (true =
-    /// approximated). Quads with fewer than 2 covered pixels are skipped —
-    /// divergence is undefined for them.
-    pub fn record_quad(&mut self, approximated: &[bool]) {
-        if approximated.len() < 2 {
-            return;
-        }
-        self.quads += 1;
-        let first = approximated[0];
-        if approximated.iter().any(|&a| a != first) {
-            self.divergent_quads += 1;
-        }
-    }
-
-    /// Count-based form of [`DivergenceStats::record_quad`]: a quad with
-    /// `fragments` fragments of which `approximated` were demoted. Divergence
-    /// is a mixed quad (`0 < approximated < fragments`), exactly the "any
-    /// outcome differs from the first" condition without materializing the
-    /// outcome list — the renderer's flat per-tile quad buffer feeds this.
-    /// Quads with fewer than two fragments are ignored, as in `record_quad`.
+    /// Records one quad: `fragments` covered fragments of which
+    /// `approximated` were demoted. Divergence is a mixed quad
+    /// (`0 < approximated < fragments`) — the "any outcome differs from the
+    /// first" condition without materializing a per-pixel outcome list; the
+    /// renderer's flat per-tile quad buffer feeds this directly. Quads with
+    /// fewer than two fragments are skipped — divergence is undefined for
+    /// them.
     pub fn record_quad_counts(&mut self, fragments: u64, approximated: u64) {
         if fragments < 2 {
             return;
@@ -237,8 +255,8 @@ mod tests {
     #[test]
     fn divergence_uniform_quad_not_divergent() {
         let mut d = DivergenceStats::new();
-        d.record_quad(&[true, true, true, true]);
-        d.record_quad(&[false, false, false, false]);
+        d.record_quad_counts(4, 4);
+        d.record_quad_counts(4, 0);
         assert_eq!(d.quads, 2);
         assert_eq!(d.divergent_quads, 0);
     }
@@ -246,14 +264,15 @@ mod tests {
     #[test]
     fn divergence_mixed_quad_divergent() {
         let mut d = DivergenceStats::new();
-        d.record_quad(&[true, false, true, true]);
+        d.record_quad_counts(4, 3);
         assert_eq!(d.divergent_quads, 1);
         assert_eq!(d.divergence_fraction(), 1.0);
     }
 
     #[test]
-    fn divergence_counts_match_slice_form() {
-        let mut by_slice = DivergenceStats::new();
+    fn divergence_counts_match_outcome_lists() {
+        // The count form agrees with the definition over explicit outcome
+        // lists: divergent iff any outcome differs from the first.
         let mut by_count = DivergenceStats::new();
         let quads: [&[bool]; 5] = [
             &[true, true, true, true],
@@ -262,12 +281,18 @@ mod tests {
             &[false],
             &[false, true, false, false],
         ];
+        let mut expect_quads = 0;
+        let mut expect_divergent = 0;
         for q in quads {
-            by_slice.record_quad(q);
             let approx = q.iter().filter(|&&a| a).count() as u64;
             by_count.record_quad_counts(q.len() as u64, approx);
+            if q.len() >= 2 {
+                expect_quads += 1;
+                expect_divergent += u64::from(q.iter().any(|&a| a != q[0]));
+            }
         }
-        assert_eq!(by_slice, by_count);
+        assert_eq!(by_count.quads, expect_quads);
+        assert_eq!(by_count.divergent_quads, expect_divergent);
         assert_eq!(by_count.quads, 4);
         assert_eq!(by_count.divergent_quads, 2);
     }
@@ -275,8 +300,38 @@ mod tests {
     #[test]
     fn divergence_skips_single_pixel_quads() {
         let mut d = DivergenceStats::new();
-        d.record_quad(&[true]);
+        d.record_quad_counts(1, 1);
         assert_eq!(d.quads, 0);
+    }
+
+    #[test]
+    fn sharing_fixed_matches_vec_form() {
+        // The batched path's stack-array recorder must agree with the
+        // allocating form on every sharing pattern, including unsorted and
+        // duplicate-bearing sets.
+        let quad = |base: u64| -> [TexelAddress; 4] {
+            [
+                TexelAddress::new(base + 12),
+                TexelAddress::new(base),
+                TexelAddress::new(base + 4),
+                TexelAddress::new(base + 12),
+            ]
+        };
+        let patterns: [&[u64]; 4] = [
+            &[0, 0, 0x100, 0],
+            &[0, 0x100, 0x200],
+            &[0x40],
+            &[0, 0, 0, 0, 0],
+        ];
+        for bases in patterns {
+            let mut by_vec = SharingStats::new();
+            let mut by_fixed = SharingStats::new();
+            let sets: Vec<Vec<TexelAddress>> = bases.iter().map(|&b| quad(b).to_vec()).collect();
+            let fixed: Vec<[TexelAddress; 4]> = bases.iter().map(|&b| quad(b)).collect();
+            by_vec.record(&sets);
+            by_fixed.record_fixed(&fixed);
+            assert_eq!(by_vec, by_fixed, "bases {bases:?}");
+        }
     }
 
     #[test]

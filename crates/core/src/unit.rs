@@ -8,6 +8,7 @@
 //! the LOD shift of Sec. V-C(2)). The record carries every texel address the
 //! timing model must replay.
 
+use crate::batch::{LaneOutcome, LaneScratch};
 use crate::error::PatuError;
 use crate::hash_table::TexelAddressTable;
 use crate::policy::{FilterMode, FilterPolicy, PolicyDecision};
@@ -15,8 +16,9 @@ use crate::stats::{ApproxStats, SharingStats};
 use patu_gmath::Vec2;
 use patu_gpu::{FaultConfig, FaultCounts, FaultInjector};
 use patu_texture::{
-    sample_anisotropic, sample_trilinear_record, sampler::bilinear_addresses, AddressMode,
-    Footprint, SampleRecord, Texture,
+    sample_anisotropic, sample_trilinear_record,
+    sampler::{bilinear_addresses, sample_trilinear_into},
+    AddressMode, Footprint, Rgba8, SampleRecord, TexelAddress, Texture,
 };
 
 /// The complete functional result of filtering one pixel under a policy.
@@ -209,6 +211,83 @@ impl PerceptionAwareTextureUnit {
             self.tap_hist.record(u64::from(record.n));
         }
         FilterOutcome { record, decision }
+    }
+
+    /// The fused per-lane kernel of the batched path (see [`crate::batch`]):
+    /// one pixel's prediction flow with tap addresses streamed straight into
+    /// the hash table, then only the filtering the decision demands, with
+    /// fetched addresses appended to the batch's flat buffer.
+    ///
+    /// Bit-identical to [`PerceptionAwareTextureUnit::filter_with`]: the
+    /// decision bottoms out in the same `decide_streamed` flow (same fault
+    /// draws, same table accesses in the same order), and the sampling
+    /// routines are the `_into` forms of the exact scalar ones. The one
+    /// deliberate difference is laziness, not values: a demoted lane never
+    /// reads the `N×8` AF texels the scalar path fetches just to enumerate
+    /// tap addresses — the stage-2 keys are pure address math.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn filter_lane(
+        &mut self,
+        policy_override: FilterPolicy,
+        tex: &Texture,
+        uv: Vec2,
+        footprint: &Footprint,
+        mode: AddressMode,
+        scratch: &mut LaneScratch,
+        addresses: &mut Vec<TexelAddress>,
+    ) -> LaneOutcome {
+        // TF-sample-area granularity of the hash-table keys; see filter_with.
+        let tf_level = footprint.tf_lod.floor() as u32;
+        let decision = {
+            let scratch = &mut *scratch;
+            policy_override.decide_streamed(footprint, &mut self.table, &mut self.faults, |table| {
+                footprint.tap_offsets_into(&mut scratch.offsets);
+                table.reset();
+                for &t in &scratch.offsets {
+                    let tap_uv = uv + footprint.major_axis_uv * t;
+                    table.insert(&bilinear_addresses(tex, tap_uv, tf_level, mode));
+                }
+                scratch.offsets.len() as u32
+            })
+        };
+        self.approx.record(&decision);
+
+        let (color, lod, taps) = match decision.mode {
+            FilterMode::Anisotropic => {
+                let lod = tex.clamp_lod(footprint.af_lod);
+                footprint.tap_offsets_into(&mut scratch.offsets);
+                scratch.tap_colors.clear();
+                scratch.tap_keys.clear();
+                for &t in &scratch.offsets {
+                    let tap_uv = uv + footprint.major_axis_uv * t;
+                    let (c, _) = sample_trilinear_into(tex, tap_uv, lod, mode, addresses);
+                    scratch.tap_colors.push(c);
+                    scratch
+                        .tap_keys
+                        .push(bilinear_addresses(tex, tap_uv, tf_level, mode));
+                }
+                self.sharing.record_fixed(&scratch.tap_keys);
+                (Rgba8::average(&scratch.tap_colors), lod, footprint.n)
+            }
+            FilterMode::TrilinearTfLod => {
+                let (c, lod) = sample_trilinear_into(tex, uv, footprint.tf_lod, mode, addresses);
+                (c, lod, 1)
+            }
+            FilterMode::TrilinearAfLod => {
+                let (c, lod) = sample_trilinear_into(tex, uv, footprint.af_lod, mode, addresses);
+                (c, lod, 1)
+            }
+        };
+
+        if self.telemetry {
+            self.tap_hist.record(u64::from(taps));
+        }
+        LaneOutcome {
+            color,
+            lod,
+            taps,
+            decision,
+        }
     }
 
     /// Cumulative hash-table accesses (energy model input).

@@ -158,6 +158,58 @@ impl TextureUnit {
         }
     }
 
+    /// Flat-layout form of [`TextureUnit::process`] for the batched
+    /// fragment path: `taps` trilinear taps whose addresses lie contiguous
+    /// in `addresses`, every tap the same width (`addresses.len() / taps` —
+    /// 8 for trilinear taps; the batched filter kernel produces exactly this
+    /// layout). Bit-identical to building the equivalent [`TextureRequest`]
+    /// and calling `process`: same per-tap address cycles, same fetch issue
+    /// order and offsets, same pipeline-occupancy updates.
+    pub fn process_flat(
+        &mut self,
+        addresses: &[TexelAddress],
+        taps: u64,
+        mem: &mut MemorySystem,
+        now: u64,
+    ) -> RequestTiming {
+        let texels = addresses.len() as u64;
+        let per_tap = texels.checked_div(taps).unwrap_or(0);
+        debug_assert_eq!(per_tap * taps, texels, "uniform tap width");
+
+        let addr_cycles = taps * per_tap.div_ceil(self.address_alus);
+
+        let start = now.max(self.busy_until);
+        if self.telemetry {
+            self.queue_wait_hist.record(start - now);
+        }
+
+        let mut fetch_latency = 0u64;
+        for (issued, &addr) in addresses.iter().enumerate() {
+            let issue_offset = addr_cycles + issued as u64 / self.fetch_ports;
+            let lat = mem.fetch_texel(self.cluster, addr, start + issue_offset);
+            fetch_latency = fetch_latency.max(issue_offset + lat);
+        }
+
+        let filter_cycles = taps * self.cycles_per_trilinear;
+        let latency = addr_cycles + fetch_latency + filter_cycles;
+
+        let issue_cycles = texels.div_ceil(self.fetch_ports.max(1));
+        let bottleneck = addr_cycles.max(filter_cycles).max(issue_cycles).max(1);
+        let occupancy = bottleneck.div_ceil(QUAD_PIPELINES);
+        self.busy_until = start + occupancy.max(1);
+
+        self.events.trilinear_ops += taps;
+        self.events.address_calc_ops += texels;
+
+        let completion = (start + latency).max(self.last_completion);
+        self.last_completion = completion;
+
+        RequestTiming {
+            latency: completion - now,
+            completion,
+        }
+    }
+
     /// Cycle at which the pipeline can accept the next request.
     pub fn busy_until(&self) -> u64 {
         self.busy_until
@@ -278,6 +330,48 @@ mod tests {
         assert!(tu.queue_wait_hist().max() > 0, "second request queued");
         tu.reset();
         assert!(tu.queue_wait_hist().is_empty(), "reset clears telemetry");
+    }
+
+    #[test]
+    fn process_flat_matches_process() {
+        // The flat batched layout must replay to the exact cycle: same
+        // latency, completion, pipeline state, events and memory behavior.
+        let cfg = GpuConfig::default();
+        let mut tu_a = TextureUnit::new(0, &cfg);
+        let mut mem_a = MemorySystem::new(&cfg);
+        let mut tu_b = TextureUnit::new(0, &cfg);
+        let mut mem_b = MemorySystem::new(&cfg);
+        tu_a.set_telemetry(true);
+        tu_b.set_telemetry(true);
+
+        let requests = [
+            aniso_request(0, 8),
+            trilinear_request(0x40),
+            aniso_request(0x900, 3),
+        ];
+        let mut now = 0;
+        for req in &requests {
+            let flat: Vec<TexelAddress> = req.taps.iter().flatten().copied().collect();
+            let a = tu_a.process(req, &mut mem_a, now);
+            let b = tu_b.process_flat(&flat, req.tap_count() as u64, &mut mem_b, now);
+            assert_eq!(a, b);
+            assert_eq!(tu_a.busy_until(), tu_b.busy_until());
+            now = a.completion / 2; // overlap the next request with the pipe
+        }
+        assert_eq!(tu_a.events(), tu_b.events());
+        assert_eq!(mem_a.events(), mem_b.events());
+        assert_eq!(
+            tu_a.queue_wait_hist().count(),
+            tu_b.queue_wait_hist().count()
+        );
+    }
+
+    #[test]
+    fn process_flat_empty_is_cheap() {
+        let (mut tu, mut mem) = unit();
+        let t = tu.process_flat(&[], 0, &mut mem, 5);
+        assert_eq!(t.latency, 0);
+        assert_eq!(t.completion, 5);
     }
 
     #[test]

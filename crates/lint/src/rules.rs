@@ -101,6 +101,10 @@ pub const ENV_KNOBS: &[EnvKnob] = &[
         name: "PATU_SERVE_SCENARIO",
         readers: &["crates/serve/src/chaos.rs"],
     },
+    EnvKnob {
+        name: "PATU_SSIM_SAMPLE",
+        readers: &["crates/quality/src/sampled.rs"],
+    },
 ];
 
 /// Files exempt from a rule because they *are* the sanctioned entry point.
@@ -620,6 +624,23 @@ mod tests {
             }
         }
         assert_eq!(rules_hit(LIB, src), vec![("env-var", 1)]);
+    }
+
+    #[test]
+    fn ssim_sample_knob_reads_only_from_the_sampled_module() {
+        // The sampled-MSSIM estimator resolves `PATU_SSIM_SAMPLE` itself;
+        // every other quality or serve file must take the resolved fraction
+        // as an argument.
+        let src = "fn mode() -> Option<String> { std::env::var(\"PATU_SSIM_SAMPLE\").ok() }\n";
+        assert!(rules_hit("crates/quality/src/sampled.rs", src).is_empty());
+        assert_eq!(
+            rules_hit("crates/quality/src/ssim.rs", src),
+            vec![("env-var", 1)]
+        );
+        assert_eq!(
+            rules_hit("crates/serve/src/exec.rs", src),
+            vec![("env-var", 1)]
+        );
     }
 
     #[test]

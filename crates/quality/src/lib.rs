@@ -31,9 +31,11 @@ pub mod gaussian;
 pub mod image;
 pub mod metrics;
 mod par;
+pub mod sampled;
 pub mod ssim;
 
 pub use gaussian::{GaussianSsimConfig, SsimComponents};
 pub use image::GrayImage;
 pub use metrics::{mse, psnr};
+pub use sampled::SampledSsimConfig;
 pub use ssim::{SsimConfig, SsimMap};

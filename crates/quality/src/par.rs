@@ -1,7 +1,7 @@
 //! Deterministic row-band parallelism for the SSIM scans.
 //!
-//! The quality crate is dependency-free, so it carries its own tiny banding
-//! helper instead of sharing the simulator's runtime. The contract matches
+//! The quality crate stays off the simulator's runtime, so it carries its
+//! own tiny banding helper instead of sharing one. The contract matches
 //! it exactly: workers compute disjoint row bands, results are concatenated
 //! in band order, and every reduction happens *after* the concatenation on
 //! the calling thread — so the output is bit-identical for every thread

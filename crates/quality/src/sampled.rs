@@ -1,0 +1,397 @@
+//! Deterministic sampled MSSIM: a stratified-tile estimator of Eq. (2).
+//!
+//! Full MSSIM ([`SsimConfig::mssim`]) builds five full-resolution integral
+//! images before scanning every window position — the global table build
+//! dominates the cost at production resolutions. The sampled estimator
+//! avoids it entirely:
+//!
+//! 1. window positions are partitioned into square tiles of
+//!    [`SampledSsimConfig::tile`] × `tile` positions, row-major;
+//! 2. consecutive runs of `S = round(1 / fraction)` tiles form strata, and a
+//!    [`DetRng`] seeded with [`SampledSsimConfig::seed`] picks exactly one
+//!    tile per stratum (one draw per stratum — the plan is a pure function
+//!    of the seed and the image dimensions, so the estimate is bit-identical
+//!    across runs, machines and `PATU_THREADS` settings);
+//! 3. each sampled tile is evaluated over *local* integral images covering
+//!    only its `(tile + window − 1)²` pixel support, with the same window
+//!    arithmetic as the full map;
+//! 4. per-window `f32` SSIM values accumulate in `f64` and the mean over
+//!    sampled windows is the estimate.
+//!
+//! Work therefore scales with the sampled fraction instead of the frame
+//! area: at the default 1/4 fraction a 512×512 comparison evaluates ~1/4 of
+//! the windows and never touches the other 3/4 of the frame.
+//!
+//! # Error bound
+//!
+//! Each stratum contributes the exact mean of one of its `S` tiles, so the
+//! estimate deviates from the full MSSIM by at most the mean within-stratum
+//! spread: `|est − MSSIM| ≤ mean_s(max_tile_mean(s) − min_tile_mean(s))`,
+//! which is 0 for spatially uniform quality and degrades gracefully as
+//! quality becomes patchy (SSIM itself is bounded in `[−1, 1]`, so the
+//! bound never exceeds 2). Rendered-frame comparisons — same scene, same
+//! camera, different filtering — have strongly correlated neighboring
+//! tiles; the acceptance suite (`tests/batch_equivalence.rs`) pins the
+//! observed error at ≤ 0.005 against the full MSSIM on every seed scene.
+//!
+//! # The `PATU_SSIM_SAMPLE` knob
+//!
+//! When [`SampledSsimConfig::fraction`] is `None`, the environment variable
+//! `PATU_SSIM_SAMPLE` selects the mode: `off` (case-insensitive) forces the
+//! full computation, a float in `(0, 1)` sets the sampled fraction, and
+//! anything else (including unset) falls back to the default fraction
+//! [`DEFAULT_FRACTION`]. Values ≥ 1 also run the full computation — a
+//! fraction of 1 *is* the full scan.
+
+use crate::image::GrayImage;
+use crate::ssim::SsimConfig;
+use patu_gmath::DetRng;
+
+/// The sampled fraction used when neither the config nor the
+/// `PATU_SSIM_SAMPLE` environment variable picks one: 1/4 of the tiles.
+///
+/// Paired with the default 8-window tile this is the coarsest plan that
+/// keeps the observed estimator error within 0.005 of the full MSSIM on
+/// every seed scene (see `tests/batch_equivalence.rs`).
+pub const DEFAULT_FRACTION: f64 = 0.25;
+
+/// Configuration of the stratified sampled-MSSIM estimator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampledSsimConfig {
+    /// Window parameters shared with the full computation (and used verbatim
+    /// when the estimator falls back to the full scan).
+    pub ssim: SsimConfig,
+    /// Tile edge length in window positions (default 8).
+    pub tile: u32,
+    /// Sampled fraction of tiles in `(0, 1)`. `None` resolves the
+    /// `PATU_SSIM_SAMPLE` environment variable, then [`DEFAULT_FRACTION`];
+    /// values outside `(0, 1)` run the full computation.
+    pub fraction: Option<f64>,
+    /// Seed of the tile-selection plan. Equal seeds and dimensions yield
+    /// identical plans — and therefore bit-identical estimates.
+    pub seed: u64,
+}
+
+impl SampledSsimConfig {
+    /// Default estimator (8×8 windows, 8-window tiles) with the given plan
+    /// seed.
+    pub fn new(seed: u64) -> SampledSsimConfig {
+        SampledSsimConfig {
+            ssim: SsimConfig::default(),
+            tile: 8,
+            fraction: None,
+            seed,
+        }
+    }
+
+    /// Overrides the sampled fraction, bypassing `PATU_SSIM_SAMPLE`.
+    #[must_use]
+    pub fn with_fraction(mut self, fraction: f64) -> SampledSsimConfig {
+        self.fraction = Some(fraction);
+        self
+    }
+
+    /// Overrides the tile edge length (window positions per tile side).
+    #[must_use]
+    pub fn with_tile(mut self, tile: u32) -> SampledSsimConfig {
+        self.tile = tile;
+        self
+    }
+
+    /// Overrides the underlying SSIM window parameters.
+    #[must_use]
+    pub fn with_ssim(mut self, ssim: SsimConfig) -> SampledSsimConfig {
+        self.ssim = ssim;
+        self
+    }
+
+    /// The effective sampled fraction: `Some(f)` for a sampled run, `None`
+    /// when the estimator would run the full computation (explicit or
+    /// `PATU_SSIM_SAMPLE=off`, or a fraction outside `(0, 1)`).
+    pub fn resolved_fraction(&self) -> Option<f64> {
+        match self.fraction {
+            Some(f) => sanitize(f),
+            None => match env_mode() {
+                EnvMode::Off => None,
+                EnvMode::Fraction(f) => sanitize(f),
+                EnvMode::Default => Some(DEFAULT_FRACTION),
+            },
+        }
+    }
+
+    /// Estimates the mean SSIM between `x` and `y` from a deterministic
+    /// stratified sample of window tiles (or computes it exactly when the
+    /// resolved mode is full — see [`SampledSsimConfig::resolved_fraction`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`SsimConfig::ssim_map`]: images
+    /// that differ in size or are smaller than the window.
+    pub fn mssim_sampled(&self, x: &GrayImage, y: &GrayImage) -> f32 {
+        match self.resolved_fraction() {
+            None => self.ssim.mssim(x, y),
+            Some(fraction) => self.estimate(x, y, fraction),
+        }
+    }
+
+    fn estimate(&self, x: &GrayImage, y: &GrayImage, fraction: f64) -> f32 {
+        assert_eq!(x.width(), y.width(), "image widths differ");
+        assert_eq!(x.height(), y.height(), "image heights differ");
+        assert!(
+            x.width() >= self.ssim.window && x.height() >= self.ssim.window,
+            "images smaller than the SSIM window"
+        );
+        let win = self.ssim.window as usize;
+        let out_w = (x.width() - self.ssim.window + 1) as usize;
+        let out_h = (x.height() - self.ssim.window + 1) as usize;
+        let tile = (self.tile.max(1)) as usize;
+        let tiles_x = out_w.div_ceil(tile);
+        let tiles_y = out_h.div_ceil(tile);
+        let total = tiles_x * tiles_y;
+        let stride = (1.0 / fraction).round().max(1.0) as usize;
+
+        let n = (win * win) as f64;
+        let c1 = f64::from((self.ssim.k1 * self.ssim.dynamic_range).powi(2));
+        let c2 = f64::from((self.ssim.k2 * self.ssim.dynamic_range).powi(2));
+
+        let mut rng = DetRng::new(self.seed);
+        let mut scratch = TileIntegrals::default();
+        let mut sum = 0.0f64;
+        let mut count = 0u64;
+        let mut s = 0;
+        while s < total {
+            let len = (total - s).min(stride);
+            let pick = s + rng.range(len as u64) as usize;
+            let wx0 = (pick % tiles_x) * tile;
+            let wy0 = (pick / tiles_x) * tile;
+            let tw = tile.min(out_w - wx0);
+            let th = tile.min(out_h - wy0);
+            scratch.build(x, y, wx0 as u32, wy0 as u32, tw + win - 1, th + win - 1);
+            for wy in 0..th {
+                for wx in 0..tw {
+                    let (x0, y0, x1, y1) = (wx, wy, wx + win, wy + win);
+                    let mx = scratch.win(&scratch.sx, x0, y0, x1, y1) / n;
+                    let my = scratch.win(&scratch.sy, x0, y0, x1, y1) / n;
+                    let vx = (scratch.win(&scratch.sxx, x0, y0, x1, y1) / n - mx * mx).max(0.0);
+                    let vy = (scratch.win(&scratch.syy, x0, y0, x1, y1) / n - my * my).max(0.0);
+                    let cov = scratch.win(&scratch.sxy, x0, y0, x1, y1) / n - mx * my;
+                    let ssim = ((2.0 * mx * my + c1) * (2.0 * cov + c2))
+                        / ((mx * mx + my * my + c1) * (vx + vy + c2));
+                    sum += f64::from(ssim as f32);
+                }
+            }
+            count += (tw * th) as u64;
+            s += len;
+        }
+        (sum / count as f64) as f32
+    }
+}
+
+/// What the environment variable asked for.
+enum EnvMode {
+    Off,
+    Fraction(f64),
+    Default,
+}
+
+fn env_mode() -> EnvMode {
+    match std::env::var("PATU_SSIM_SAMPLE") {
+        Ok(v) => {
+            let v = v.trim();
+            if v.eq_ignore_ascii_case("off") {
+                EnvMode::Off
+            } else {
+                match v.parse::<f64>() {
+                    Ok(f) => EnvMode::Fraction(f),
+                    Err(_) => EnvMode::Default,
+                }
+            }
+        }
+        Err(_) => EnvMode::Default,
+    }
+}
+
+/// `Some(f)` for a usable sampled fraction, `None` (full scan) otherwise.
+fn sanitize(f: f64) -> Option<f64> {
+    (f.is_finite() && f > 0.0 && f < 1.0).then_some(f)
+}
+
+/// Five local summed-area tables over one sampled tile's pixel support,
+/// rebuilt (into recycled buffers) per tile. Indexed in tile-local
+/// coordinates; one extra zero row/column simplifies window queries, exactly
+/// like the full-resolution tables in [`crate::ssim`].
+#[derive(Default)]
+struct TileIntegrals {
+    stride: usize,
+    sx: Vec<f64>,
+    sy: Vec<f64>,
+    sxx: Vec<f64>,
+    syy: Vec<f64>,
+    sxy: Vec<f64>,
+}
+
+impl TileIntegrals {
+    fn build(&mut self, a: &GrayImage, b: &GrayImage, px0: u32, py0: u32, w: usize, h: usize) {
+        let stride = w + 1;
+        self.stride = stride;
+        for sums in [
+            &mut self.sx,
+            &mut self.sy,
+            &mut self.sxx,
+            &mut self.syy,
+            &mut self.sxy,
+        ] {
+            sums.clear();
+            sums.resize(stride * (h + 1), 0.0);
+        }
+        for y in 0..h {
+            let mut acc_x = 0.0f64;
+            let mut acc_y = 0.0f64;
+            let mut acc_xx = 0.0f64;
+            let mut acc_yy = 0.0f64;
+            let mut acc_xy = 0.0f64;
+            for x in 0..w {
+                let av = f64::from(a.get(px0 + x as u32, py0 + y as u32));
+                let bv = f64::from(b.get(px0 + x as u32, py0 + y as u32));
+                acc_x += av;
+                acc_y += bv;
+                acc_xx += av * av;
+                acc_yy += bv * bv;
+                acc_xy += av * bv;
+                let i = (y + 1) * stride + (x + 1);
+                let up = y * stride + (x + 1);
+                self.sx[i] = self.sx[up] + acc_x;
+                self.sy[i] = self.sy[up] + acc_y;
+                self.sxx[i] = self.sxx[up] + acc_xx;
+                self.syy[i] = self.syy[up] + acc_yy;
+                self.sxy[i] = self.sxy[up] + acc_xy;
+            }
+        }
+    }
+
+    /// Sum over the half-open window `[x0, x1) × [y0, y1)` (tile-local).
+    #[inline]
+    fn win(&self, sums: &[f64], x0: usize, y0: usize, x1: usize, y1: usize) -> f64 {
+        sums[y1 * self.stride + x1] - sums[y0 * self.stride + x1] - sums[y1 * self.stride + x0]
+            + sums[y0 * self.stride + x0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gradient(width: u32, height: u32, phase: u32) -> GrayImage {
+        let data = (0..height)
+            .flat_map(|y| (0..width).map(move |x| ((x * 7 + y * 13 + phase) % 256) as f32))
+            .collect();
+        GrayImage::new(width, height, data)
+    }
+
+    #[test]
+    fn identical_images_estimate_one() {
+        let img = gradient(128, 96, 0);
+        let m = SampledSsimConfig::new(7)
+            .with_fraction(0.25)
+            .mssim_sampled(&img, &img);
+        assert!((m - 1.0).abs() < 1e-6, "got {m}");
+    }
+
+    #[test]
+    fn estimate_is_deterministic_per_seed() {
+        let a = gradient(160, 120, 0);
+        let b = gradient(160, 120, 40);
+        let cfg = SampledSsimConfig::new(99).with_fraction(0.125);
+        let m1 = cfg.mssim_sampled(&a, &b);
+        let m2 = cfg.mssim_sampled(&a, &b);
+        assert_eq!(m1.to_bits(), m2.to_bits(), "same seed, same estimate");
+    }
+
+    #[test]
+    fn estimate_tracks_the_full_mssim() {
+        // A spatially uniform distortion (gain + bias), the shape rendered
+        // frame pairs take: per-tile means stay close, so stratified
+        // sampling tracks tightly. (Two *phase-shifted* periodic gradients
+        // would instead alias against the plan — the integration suite pins
+        // real frame pairs at ≤ 0.005.)
+        let a = gradient(160, 120, 0);
+        let b = GrayImage::new(
+            160,
+            120,
+            a.samples().iter().map(|v| v * 0.92 + 5.0).collect(),
+        );
+        let full = SsimConfig::default().with_threads(1).mssim(&a, &b);
+        for seed in [1, 2, 17, 99] {
+            let est = SampledSsimConfig::new(seed)
+                .with_tile(8)
+                .with_fraction(0.125)
+                .mssim_sampled(&a, &b);
+            assert!(
+                (est - full).abs() <= 0.005,
+                "seed {seed}: estimate {est} vs full {full}"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_fraction_runs_the_full_scan() {
+        let a = gradient(96, 96, 0);
+        let b = gradient(96, 96, 70);
+        let full = SsimConfig::default().with_threads(1).mssim(&a, &b);
+        for f in [1.0, 2.0, 0.0, -0.5, f64::NAN] {
+            let est = SampledSsimConfig::new(3)
+                .with_ssim(SsimConfig::default().with_threads(1))
+                .with_fraction(f)
+                .mssim_sampled(&a, &b);
+            assert_eq!(est.to_bits(), full.to_bits(), "fraction {f}");
+        }
+    }
+
+    #[test]
+    fn sampled_windows_match_the_full_map_values() {
+        // The local-integral window arithmetic must agree with the global
+        // tables to within f32 rounding: estimate at fraction ~1 (every
+        // stratum holds one tile, so every tile is sampled) and compare to
+        // the exact mean computed the same way from the full map's values.
+        let a = gradient(96, 64, 0);
+        let b = gradient(96, 64, 25);
+        let est = SampledSsimConfig::new(5)
+            .with_fraction(0.9999)
+            .mssim_sampled(&a, &b);
+        let map = SsimConfig::default().with_threads(1).ssim_map(&a, &b);
+        let exact = (map.values().iter().map(|&v| f64::from(v)).sum::<f64>()
+            / map.values().len() as f64) as f32;
+        assert!((est - exact).abs() < 1e-6, "est {est} vs exact {exact}");
+    }
+
+    #[test]
+    fn small_images_and_tiny_tiles_work() {
+        let a = gradient(16, 12, 0);
+        let b = gradient(16, 12, 9);
+        let m = SampledSsimConfig::new(1)
+            .with_tile(4)
+            .with_fraction(0.5)
+            .mssim_sampled(&a, &b);
+        assert!(m.is_finite() && m <= 1.0 + 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "widths differ")]
+    fn mismatched_sizes_panic() {
+        let a = gradient(32, 32, 0);
+        let b = gradient(33, 32, 0);
+        let _ = SampledSsimConfig::new(0)
+            .with_fraction(0.5)
+            .mssim_sampled(&a, &b);
+    }
+
+    #[test]
+    fn sanitize_accepts_only_open_unit_interval() {
+        assert_eq!(sanitize(0.125), Some(0.125));
+        assert_eq!(sanitize(0.0), None);
+        assert_eq!(sanitize(1.0), None);
+        assert_eq!(sanitize(-1.0), None);
+        assert_eq!(sanitize(f64::INFINITY), None);
+        assert_eq!(sanitize(f64::NAN), None);
+    }
+}

@@ -12,7 +12,7 @@ use crate::error::ServeError;
 use crate::workload::ServeConfig;
 use patu_core::FilterPolicy;
 use patu_gpu::FaultConfig;
-use patu_quality::{GrayImage, SsimConfig};
+use patu_quality::{GrayImage, SampledSsimConfig};
 use patu_scenes::Workload;
 use patu_sim::render::{render_frame, RenderConfig};
 use patu_sim::{parallel, SimError};
@@ -252,10 +252,12 @@ impl FrameService for SimFrameService {
                         .with_faults(faults);
                     let result = render_frame(&workloads[key.scene], key.frame, &cfg)?;
                     let ssim = match baselines.get(&(key.scene, key.frame)) {
+                        // Sampled estimator, seeded per render key: the
+                        // stratified plan is a pure function of the key and
+                        // the frame size, so cache hits and misses — and any
+                        // PATU_THREADS setting — report the same number.
                         Some((luma, _)) => f64::from(
-                            SsimConfig::default()
-                                .with_threads(1)
-                                .mssim(luma, &result.luma()),
+                            SampledSsimConfig::new(key.mix()).mssim_sampled(luma, &result.luma()),
                         ),
                         // Unreachable (fill_baselines ran), but degrade to
                         // "no quality claim" instead of panicking.

@@ -2,7 +2,7 @@
 
 use crate::error::SimError;
 use crate::parallel;
-use patu_core::{DivergenceStats, FilterPolicy, PerceptionAwareTextureUnit};
+use patu_core::{DivergenceStats, FilterPolicy, PerceptionAwareTextureUnit, SoaBatch};
 use patu_gpu::{
     FaultConfig, FaultCounts, FrameStats, FrameTimer, GpuConfig, MemSideEffects, MemorySystem,
     TextureRequest, TextureUnit, TrafficClass,
@@ -29,6 +29,19 @@ const CYCLES_PER_VERTEX: u64 = 4;
 
 /// Front-end cost per rasterized triangle (setup), cycles.
 const CYCLES_PER_TRIANGLE: u64 = 2;
+
+/// How fragments flow through the texture unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchMode {
+    /// One `filter_with` + `TextureUnit::process` call per fragment — the
+    /// original reference path, kept for equivalence testing and ablation.
+    Scalar,
+    /// Material-run struct-of-arrays batches through the fused
+    /// predictor+filter kernel and `TextureUnit::process_flat` (the
+    /// default). Bit-identical to [`BatchMode::Scalar`] — see
+    /// `tests/batch_equivalence.rs`.
+    Soa,
+}
 
 /// Configuration for rendering a frame.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -64,6 +77,11 @@ pub struct RenderConfig {
     /// in simulated cycles, so recorded artifacts are bit-identical across
     /// thread counts like everything else.
     pub telemetry: TelemetryConfig,
+    /// Fragment→texel execution strategy. [`BatchMode::Soa`] (default)
+    /// streams material runs through the fused SoA kernel;
+    /// [`BatchMode::Scalar`] takes the per-fragment reference path. Both
+    /// produce bit-identical frames and statistics.
+    pub batching: BatchMode,
 }
 
 impl RenderConfig {
@@ -80,7 +98,16 @@ impl RenderConfig {
             cycle_budget: None,
             threads: None,
             telemetry: TelemetryConfig::disabled(),
+            batching: BatchMode::Soa,
         }
+    }
+
+    /// Selects the fragment→texel execution strategy (equivalence testing
+    /// and ablation; outputs are bit-identical either way).
+    #[must_use]
+    pub fn with_batching(mut self, batching: BatchMode) -> RenderConfig {
+        self.batching = batching;
+        self
     }
 
     /// Enables telemetry recording at the given level/depth.
@@ -492,6 +519,7 @@ fn run_cluster(
     let mut timer = FrameTimer::new(&cfg.gpu);
     timer.add_frontend_cycles(frontend);
     let mut image = Framebuffer::new(width, height, Rgba8::BLACK);
+    let mut batch = SoaBatch::new();
     let mut quads = QuadScratch::new(cfg.gpu.tile_size);
     let mut divergence = DivergenceStats::new();
     let mut filter_latency = 0u64;
@@ -549,68 +577,126 @@ fn run_cluster(
         let tile_x0 = tile.tx * cfg.gpu.tile_size;
         let tile_y0 = tile.ty * cfg.gpu.tile_size;
 
-        for frag in &tile.fragments {
-            let tex = &workload.textures()[frag.material];
-            let fp = Footprint::from_derivatives(
-                frag.duv_dx,
-                frag.duv_dy,
-                tex.width(),
-                tex.height(),
-                cfg.gpu.max_aniso,
-            );
-            let outcome = if degraded {
-                shard
-                    .patu
-                    .filter_with(FilterPolicy::NoAf, tex, frag.uv, &fp, cfg.address_mode)
-            } else {
-                match cfg.foveation {
-                    None => shard.patu.filter(tex, frag.uv, &fp, cfg.address_mode),
-                    Some(fov) => {
-                        // Loosen the knob with eccentricity: scaled
-                        // threshold, same two-stage flow.
-                        let policy = match cfg.policy.threshold() {
-                            Some(base) => cfg.policy.with_threshold(
-                                base * fov.threshold_scale(frag.x, frag.y, width, height),
-                            ),
-                            None => cfg.policy,
-                        };
-                        shard
-                            .patu
-                            .filter_with(policy, tex, frag.uv, &fp, cfg.address_mode)
-                    }
+        // Per-fragment policy: degraded clusters demote everything to
+        // trilinear; foveation loosens the knob with eccentricity (scaled
+        // threshold, same two-stage flow).
+        let policy_for = |x: u32, y: u32| -> FilterPolicy {
+            if degraded {
+                return FilterPolicy::NoAf;
+            }
+            match cfg.foveation {
+                None => cfg.policy,
+                Some(fov) => match cfg.policy.threshold() {
+                    Some(base) => cfg
+                        .policy
+                        .with_threshold(base * fov.threshold_scale(x, y, width, height)),
+                    None => cfg.policy,
+                },
+            }
+        };
+
+        match cfg.batching {
+            BatchMode::Scalar => {
+                for frag in &tile.fragments {
+                    let tex = &workload.textures()[frag.material];
+                    let fp = Footprint::from_derivatives(
+                        frag.duv_dx,
+                        frag.duv_dy,
+                        tex.width(),
+                        tex.height(),
+                        cfg.gpu.max_aniso,
+                    );
+                    let outcome = shard.patu.filter_with(
+                        policy_for(frag.x, frag.y),
+                        tex,
+                        frag.uv,
+                        &fp,
+                        cfg.address_mode,
+                    );
+
+                    // Timing: replay the performed fetches through the
+                    // texture unit (index 0 of this cluster's private shard).
+                    let request = TextureRequest::new(
+                        outcome
+                            .record
+                            .taps
+                            .iter()
+                            .map(|t| t.addresses.clone())
+                            .collect(),
+                    );
+                    let timing = shard.tex.process(&request, &mut shard.mem, start);
+                    filter_latency += timing.latency;
+                    filter_requests += 1;
+                    filter_hist.record(timing.latency);
+                    texture_done = texture_done.max(timing.completion);
+                    wasted_addr_taps += u64::from(outcome.decision.wasted_addr_taps);
+
+                    quads.record(
+                        frag.x,
+                        frag.y,
+                        tile_x0,
+                        tile_y0,
+                        outcome.decision.is_approximated(),
+                    );
+
+                    // Fragment shading applies the material's (possibly
+                    // non-linear) response to the filtered texel — the
+                    // paper's vanished-effects mechanism lives here.
+                    let shaded = workload.shader(frag.material).apply(outcome.color());
+                    image.put(frag.x, frag.y, shaded);
                 }
-            };
+            }
+            BatchMode::Soa => {
+                // Material runs: consecutive fragments sharing a texture
+                // form one SoA batch, in traversal order — batching changes
+                // layout, never ordering, so outputs stay bit-identical to
+                // the scalar path.
+                let frags = &tile.fragments;
+                let mut i = 0;
+                while i < frags.len() {
+                    let material = frags[i].material;
+                    let mut j = i + 1;
+                    while j < frags.len() && frags[j].material == material {
+                        j += 1;
+                    }
+                    let run = &frags[i..j];
+                    let tex = &workload.textures()[material];
+                    batch.clear();
+                    for frag in run {
+                        batch.push(frag.x, frag.y, frag.uv, frag.duv_dx, frag.duv_dy);
+                    }
+                    shard.patu.filter_batch(
+                        tex,
+                        cfg.address_mode,
+                        cfg.gpu.max_aniso,
+                        &mut batch,
+                        |lane| policy_for(run[lane].x, run[lane].y),
+                    );
 
-            // Timing: replay the performed fetches through the texture unit
-            // (index 0 of this cluster's private shard).
-            let request = TextureRequest::new(
-                outcome
-                    .record
-                    .taps
-                    .iter()
-                    .map(|t| t.addresses.clone())
-                    .collect(),
-            );
-            let timing = shard.tex.process(&request, &mut shard.mem, start);
-            filter_latency += timing.latency;
-            filter_requests += 1;
-            filter_hist.record(timing.latency);
-            texture_done = texture_done.max(timing.completion);
-            wasted_addr_taps += u64::from(outcome.decision.wasted_addr_taps);
+                    for (lane, frag) in run.iter().enumerate() {
+                        // Timing: replay the batch's contiguous fetch buffer
+                        // through the flat texture-unit path.
+                        let timing = shard.tex.process_flat(
+                            batch.tap_addresses(lane),
+                            u64::from(batch.taps(lane)),
+                            &mut shard.mem,
+                            start,
+                        );
+                        filter_latency += timing.latency;
+                        filter_requests += 1;
+                        filter_hist.record(timing.latency);
+                        texture_done = texture_done.max(timing.completion);
+                        let decision = batch.decision(lane);
+                        wasted_addr_taps += u64::from(decision.wasted_addr_taps);
 
-            quads.record(
-                frag.x,
-                frag.y,
-                tile_x0,
-                tile_y0,
-                outcome.decision.is_approximated(),
-            );
+                        quads.record(frag.x, frag.y, tile_x0, tile_y0, decision.is_approximated());
 
-            // Fragment shading applies the material's (possibly non-linear)
-            // response to the filtered texel — the paper's vanished-effects
-            // mechanism lives here.
-            let shaded = workload.shader(frag.material).apply(outcome.color());
-            image.put(frag.x, frag.y, shaded);
+                        let shaded = workload.shader(frag.material).apply(batch.color(lane));
+                        image.put(frag.x, frag.y, shaded);
+                    }
+                    i = j;
+                }
+            }
         }
 
         quads.flush(&mut divergence);

@@ -146,10 +146,20 @@ impl Footprint {
     /// center-most sample (the paper's `X_0`, which shares its center with
     /// the TF sample).
     pub fn tap_offsets(&self) -> Vec<f32> {
-        let n = self.n as usize;
-        let mut offsets: Vec<f32> = (0..n).map(|i| (i as f32 + 0.5) / n as f32 - 0.5).collect();
-        offsets.sort_by(|a, b| a.abs().total_cmp(&b.abs()));
+        let mut offsets = Vec::with_capacity(self.n as usize);
+        self.tap_offsets_into(&mut offsets);
         offsets
+    }
+
+    /// Allocation-free form of [`Footprint::tap_offsets`]: clears `out` and
+    /// fills it with the same offsets in the same center-outward order. The
+    /// batched fragment path reuses one scratch vector across a whole batch
+    /// instead of allocating per pixel.
+    pub fn tap_offsets_into(&self, out: &mut Vec<f32>) {
+        let n = self.n as usize;
+        out.clear();
+        out.extend((0..n).map(|i| (i as f32 + 0.5) / n as f32 - 0.5));
+        out.sort_by(|a, b| a.abs().total_cmp(&b.abs()));
     }
 }
 

@@ -157,6 +157,30 @@ pub fn sample_bilinear(
 ///
 /// The LOD is clamped into the texture's mip range like hardware does.
 pub fn sample_trilinear(tex: &Texture, uv: Vec2, lod: f32, mode: AddressMode) -> Tap {
+    let mut addresses = Vec::with_capacity(8);
+    let (color, lod) = sample_trilinear_into(tex, uv, lod, mode, &mut addresses);
+    Tap {
+        uv,
+        lod,
+        color,
+        addresses,
+    }
+}
+
+/// Flat-output form of [`sample_trilinear`]: appends the tap's 8 texel
+/// addresses (4 fine, then 4 coarse) to `addresses` instead of allocating a
+/// fresh vector, and returns the filtered color and clamped LOD.
+///
+/// [`sample_trilinear`] is implemented on top of this, so the two are
+/// bit-identical by construction; the batched fragment path uses this form
+/// directly to lay a whole batch's fetches out contiguously.
+pub fn sample_trilinear_into(
+    tex: &Texture,
+    uv: Vec2,
+    lod: f32,
+    mode: AddressMode,
+    addresses: &mut Vec<TexelAddress>,
+) -> (Rgba8, f32) {
     let lod = tex.clamp_lod(lod);
     let l0 = lod.floor() as u32;
     let l1 = (l0 + 1).min(tex.mip_count() - 1);
@@ -166,16 +190,9 @@ pub fn sample_trilinear(tex: &Texture, uv: Vec2, lod: f32, mode: AddressMode) ->
     let (c1, a1) = sample_bilinear(tex, uv, l1, mode);
     let color = Rgba8::weighted_sum(&[(c0, 1.0 - frac), (c1, frac)]);
 
-    let mut addresses = Vec::with_capacity(8);
     addresses.extend_from_slice(&a0);
     addresses.extend_from_slice(&a1);
-
-    Tap {
-        uv,
-        lod,
-        color,
-        addresses,
-    }
+    (color, lod)
 }
 
 /// Plain trilinear filtering of a pixel, as a [`SampleRecord`] with `n = 1`.
@@ -449,6 +466,41 @@ mod tests {
         let af = sample_anisotropic(&tex, center_uv(), &fp, AddressMode::Wrap);
         let tf = sample_trilinear_record(&tex, center_uv(), fp.tf_lod, AddressMode::Wrap);
         assert_eq!(af.color, tf.color);
+    }
+
+    #[test]
+    fn trilinear_into_matches_allocating_form() {
+        let tex = Texture::with_mips(procedural::checkerboard(64, 64, 4, 9), 0);
+        for lod in [0.0, 0.4, 1.5, 99.0, -2.0] {
+            let tap = sample_trilinear(&tex, Vec2::new(0.31, 0.77), lod, AddressMode::Wrap);
+            let mut flat = Vec::new();
+            let (color, clamped) = sample_trilinear_into(
+                &tex,
+                Vec2::new(0.31, 0.77),
+                lod,
+                AddressMode::Wrap,
+                &mut flat,
+            );
+            assert_eq!(color, tap.color);
+            assert_eq!(clamped, tap.lod);
+            assert_eq!(flat, tap.addresses);
+        }
+    }
+
+    #[test]
+    fn tap_offsets_into_matches_allocating_form() {
+        for n_texels in [1.0f32, 2.0, 5.0, 16.0] {
+            let fp = Footprint::from_derivatives(
+                Vec2::new(n_texels / 256.0, 0.0),
+                Vec2::new(0.0, 1.0 / 256.0),
+                256,
+                256,
+                16,
+            );
+            let mut scratch = vec![9.0f32; 3];
+            fp.tap_offsets_into(&mut scratch);
+            assert_eq!(scratch, fp.tap_offsets());
+        }
     }
 
     #[test]

@@ -27,5 +27,8 @@ cargo run --release -p patu-bench --bin serve_bench
 echo "==> chaos: cargo run --release -p patu-bench --bin serve_chaos"
 cargo run --release -p patu-bench --bin serve_chaos
 
+echo "==> perf gate: cargo run --release -p patu-bench --bin bench_smoke"
+cargo run --release -p patu-bench --bin bench_smoke
+
 echo "==> bench artifacts:"
 ls -1 BENCH_*.json

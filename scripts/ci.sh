@@ -16,7 +16,11 @@
 #      straggler storm, ...) run resilience-on and -off at both thread
 #      counts — sessions must be bit-identical, conserve every job, and
 #      keep the serve log schema-clean (serve_chaos --smoke).
-#   5. Lint: patu-lint (the workspace invariant checker — determinism,
+#   5. Bench smoke: the perf gate (bench_smoke) re-measures the batched
+#      SoA kernel vs. the scalar filter path and the sampled MSSIM
+#      estimator vs. the full scan, and hard-fails if either ratio
+#      regresses >10% against the recorded BENCH_*.json baselines.
+#   6. Lint: patu-lint (the workspace invariant checker — determinism,
 #      error hygiene, telemetry gating; hard fail on any violation),
 #      clippy over every target (libs, bins, tests, benches, examples)
 #      with warnings promoted to errors, and cargo fmt --check.
@@ -51,6 +55,9 @@ cargo run -q --release -p patu-bench --bin serve_smoke
 
 echo "==> chaos smoke: deterministic failure scenarios, resilience on/off"
 cargo run -q --release -p patu-bench --bin serve_chaos -- --smoke
+
+echo "==> bench --smoke: perf ratio gate vs recorded BENCH_*.json baselines"
+cargo run -q --release -p patu-bench --bin bench_smoke
 
 if [[ "${1:-}" != "--skip-lint" ]]; then
     echo "==> lint: patu-lint (workspace invariants)"
