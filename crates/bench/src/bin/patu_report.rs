@@ -1,0 +1,579 @@
+//! patu_report: renders patu JSONL telemetry artifacts into a
+//! self-contained Markdown (or HTML) dashboard, and doubles as the
+//! observability CI gate.
+//!
+//! Modes:
+//!
+//! * `patu_report <artifact.jsonl> [--html] [-o <path>]` — summarize a
+//!   JSONL stream (serve lines, causal trace trees, SLO alerts, cycle
+//!   attribution) into one document. With `--html` the same tables render
+//!   as a standalone HTML page; `-o` writes to a file instead of stdout.
+//! * `patu_report --check` — the CI smoke stage: renders every bundled
+//!   scene and hard-fails unless per-frame cycle attribution conserves
+//!   (stage sums equal total frame cycles), runs a half-pool-outage chaos
+//!   session with traces + SLO tracking on and checks every artifact is
+//!   schema-clean, bit-identical across `threads ∈ {1, 4}`, and that
+//!   burn-rate alerts fire at deterministic cycles — then diffs each
+//!   scene's top-k attribution shares against `BENCH_attribution.json`.
+//! * `patu_report --record` — (re)records `BENCH_attribution.json`.
+
+use patu_bench::micro;
+use patu_core::FilterPolicy;
+use patu_obs::{schema, Attribution, SloOptions, Stage, TelemetryConfig, TraceLevel};
+use patu_scenes::{game_names, Workload};
+use patu_serve::{
+    run_session, Scenario, ServeConfig, ServeReport, SimFrameService, SyntheticService,
+};
+use patu_sim::render::{render_frame, RenderConfig};
+
+/// Resolution for the attribution baseline renders — small enough for CI,
+/// large enough that every pipeline stage shows up.
+const ATTRIB_RES: (u32, u32) = (96, 64);
+/// Threshold for the attribution baseline renders.
+const ATTRIB_THETA: f64 = 0.4;
+/// Stages compared against the recorded baseline per scene.
+const TOP_K: usize = 4;
+/// Allowed per-stage share drift vs the baseline, in ×10000 units (500 =
+/// 5 percentage points).
+const SHARE_TOLERANCE_X10000: u64 = 500;
+
+// ---------------------------------------------------------------------------
+// Tiny JSONL field extraction (the artifacts are flat, machine-written
+// lines; no general JSON parser needed).
+
+/// Extracts the raw text of `"key":` up to the next comma/brace at this
+/// nesting level — good enough for the flat numeric/string fields the
+/// sinks emit.
+fn field_raw<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let mut end = rest.len();
+    let mut depth = 0usize;
+    for (i, c) in rest.char_indices() {
+        match c {
+            '{' | '[' => depth += 1,
+            '}' | ']' if depth > 0 => depth -= 1,
+            ',' | '}' | ']' if depth == 0 => {
+                end = i;
+                break;
+            }
+            _ => {}
+        }
+    }
+    Some(rest[..end].trim())
+}
+
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    field_raw(line, key)?.parse().ok()
+}
+
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    field_raw(line, key)?.strip_prefix('"')?.strip_suffix('"')
+}
+
+// ---------------------------------------------------------------------------
+// Dashboard model: sections of rows, rendered as Markdown or HTML.
+
+struct Section {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+fn render_markdown(title: &str, sections: &[Section]) -> String {
+    let mut out = format!("# {title}\n");
+    for s in sections {
+        out.push_str(&format!("\n## {}\n\n", s.title));
+        if !s.rows.is_empty() {
+            out.push_str(&format!("| {} |\n", s.header.join(" | ")));
+            out.push_str(&format!(
+                "|{}\n",
+                s.header.iter().map(|_| "---|").collect::<String>()
+            ));
+            for row in &s.rows {
+                out.push_str(&format!("| {} |\n", row.join(" | ")));
+            }
+        }
+        for n in &s.notes {
+            out.push_str(&format!("\n{n}\n"));
+        }
+    }
+    out
+}
+
+fn html_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+fn render_html(title: &str, sections: &[Section]) -> String {
+    let mut out = format!(
+        "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"><title>{0}</title>\n\
+         <style>body{{font-family:monospace;margin:2em}}table{{border-collapse:collapse}}\
+         td,th{{border:1px solid #999;padding:2px 8px;text-align:right}}\
+         th{{background:#eee}}td:first-child,th:first-child{{text-align:left}}</style>\n\
+         </head><body><h1>{0}</h1>\n",
+        html_escape(title)
+    );
+    for s in sections {
+        out.push_str(&format!("<h2>{}</h2>\n", html_escape(&s.title)));
+        if !s.rows.is_empty() {
+            out.push_str("<table><tr>");
+            for h in &s.header {
+                out.push_str(&format!("<th>{}</th>", html_escape(h)));
+            }
+            out.push_str("</tr>\n");
+            for row in &s.rows {
+                out.push_str("<tr>");
+                for cell in row {
+                    out.push_str(&format!("<td>{}</td>", html_escape(cell)));
+                }
+                out.push_str("</tr>\n");
+            }
+            out.push_str("</table>\n");
+        }
+        for n in &s.notes {
+            out.push_str(&format!("<p>{}</p>\n", html_escape(n)));
+        }
+    }
+    out.push_str("</body></html>\n");
+    out
+}
+
+/// A proportional unicode bar for flame-style share columns.
+fn bar(share_x10000: u64) -> String {
+    "█".repeat(((share_x10000 * 24).div_ceil(10_000)) as usize)
+}
+
+/// Builds the dashboard sections from one JSONL stream.
+fn dashboard(stream: &str) -> Vec<Section> {
+    let mut sections = Vec::new();
+
+    // Line inventory.
+    let mut kinds: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
+    for line in stream.lines() {
+        let kind = field_str(line, "type").unwrap_or("?");
+        *kinds.entry(kind).or_insert(0) += 1;
+    }
+    sections.push(Section {
+        title: "Line inventory".into(),
+        header: vec!["type".into(), "lines".into()],
+        rows: kinds
+            .iter()
+            .map(|(k, v)| vec![(*k).to_string(), v.to_string()])
+            .collect(),
+        notes: Vec::new(),
+    });
+
+    // Serve outcomes.
+    let serve: Vec<&str> = stream
+        .lines()
+        .filter(|l| field_str(l, "type") == Some("serve"))
+        .collect();
+    if !serve.is_empty() {
+        let count = |o: &str| {
+            serve
+                .iter()
+                .filter(|l| field_str(l, "outcome") == Some(o))
+                .count()
+        };
+        let missed = serve
+            .iter()
+            .filter(|l| {
+                field_str(l, "outcome") == Some("delivered")
+                    && field_u64(l, "finish")
+                        .zip(field_u64(l, "deadline"))
+                        .is_some_and(|(f, d)| f > d)
+            })
+            .count();
+        sections.push(Section {
+            title: "Serve outcomes".into(),
+            header: vec!["outcome".into(), "jobs".into()],
+            rows: vec![
+                vec!["delivered".into(), count("delivered").to_string()],
+                vec!["  of which late".into(), missed.to_string()],
+                vec!["shed".into(), count("shed").to_string()],
+                vec!["failed".into(), count("failed").to_string()],
+            ],
+            notes: Vec::new(),
+        });
+    }
+
+    // Causal traces: span-name totals across every tree.
+    let mut span_names: std::collections::BTreeMap<String, (u64, u64)> =
+        std::collections::BTreeMap::new();
+    let mut traces = 0u64;
+    for line in stream.lines() {
+        if field_str(line, "type") != Some("trace") {
+            continue;
+        }
+        traces += 1;
+        // Spans are objects inside the "spans" array; each carries
+        // name/start/end.
+        for chunk in line.split("{\"id\":").skip(1) {
+            let obj = format!("{{\"id\":{chunk}");
+            if let (Some(name), Some(start), Some(end)) = (
+                field_str(&obj, "name"),
+                field_u64(&obj, "start"),
+                field_u64(&obj, "end"),
+            ) {
+                let e = span_names.entry(name.to_string()).or_insert((0, 0));
+                e.0 += 1;
+                e.1 += end.saturating_sub(start);
+            }
+        }
+    }
+    if traces > 0 {
+        sections.push(Section {
+            title: format!("Causal traces ({traces} jobs)"),
+            header: vec!["span".into(), "count".into(), "total cycles".into()],
+            rows: span_names
+                .iter()
+                .map(|(n, (c, cy))| vec![n.clone(), c.to_string(), cy.to_string()])
+                .collect(),
+            notes: Vec::new(),
+        });
+    }
+
+    // SLO burn-rate alerts.
+    let slo_rows: Vec<Vec<String>> = stream
+        .lines()
+        .filter(|l| field_str(l, "type") == Some("slo"))
+        .map(|l| {
+            vec![
+                field_str(l, "slo").unwrap_or("?").to_string(),
+                field_u64(l, "cycle").unwrap_or(0).to_string(),
+                field_u64(l, "job").unwrap_or(0).to_string(),
+                format!(
+                    "{:.1}x",
+                    field_u64(l, "burn_fast_x1000").unwrap_or(0) as f64 / 1000.0
+                ),
+                format!(
+                    "{:.1}x",
+                    field_u64(l, "burn_slow_x1000").unwrap_or(0) as f64 / 1000.0
+                ),
+            ]
+        })
+        .collect();
+    if !slo_rows.is_empty() {
+        sections.push(Section {
+            title: "SLO burn-rate alerts".into(),
+            header: vec![
+                "objective".into(),
+                "cycle".into(),
+                "job".into(),
+                "fast burn".into(),
+                "slow burn".into(),
+            ],
+            rows: slo_rows,
+            notes: Vec::new(),
+        });
+    }
+
+    // Cycle attribution, accumulated over every attrib line.
+    let mut attrib = Attribution::new();
+    let mut frames = 0u64;
+    for line in stream.lines() {
+        if field_str(line, "type") != Some("attrib") {
+            continue;
+        }
+        frames += 1;
+        for stage in Stage::ALL {
+            if let Some(cycles) = field_u64(line, stage.name()) {
+                attrib.add(stage, cycles);
+            }
+        }
+    }
+    if frames > 0 {
+        let rows = attrib
+            .shares_x10000()
+            .into_iter()
+            .map(|(name, share)| {
+                vec![
+                    name.to_string(),
+                    attrib
+                        .get(Stage::from_name(name).unwrap_or(Stage::Setup))
+                        .to_string(),
+                    format!("{:.1}%", share as f64 / 100.0),
+                    bar(share),
+                ]
+            })
+            .collect();
+        sections.push(Section {
+            title: format!("Cycle attribution ({frames} frames)"),
+            header: vec!["stage".into(), "cycles".into(), "share".into(), "".into()],
+            rows,
+            notes: vec![format!(
+                "Render-path stages conserve: {} cycles total (ssim_baseline is analysis-track).",
+                attrib.frame_total()
+            )],
+        });
+    }
+
+    sections
+}
+
+// ---------------------------------------------------------------------------
+// Attribution baseline (BENCH_attribution.json).
+
+/// Renders frame 0 of `scene` at the baseline resolution and returns its
+/// cycle attribution + total cycles, hard-checking conservation.
+fn scene_attribution(scene: &str) -> Result<(Attribution, u64), Box<dyn std::error::Error>> {
+    let workload = Workload::build(scene, ATTRIB_RES)?;
+    let cfg = RenderConfig::new(FilterPolicy::Patu {
+        threshold: ATTRIB_THETA,
+    })
+    .with_telemetry(TelemetryConfig::with_level(TraceLevel::Counters));
+    let result = render_frame(&workload, 0, &cfg)?;
+    let telemetry = result
+        .telemetry
+        .as_ref()
+        .ok_or("telemetry missing at counters level")?;
+    let attrib = telemetry.attrib.clone();
+    if attrib.frame_total() != result.stats.cycles {
+        return Err(format!(
+            "{scene}: attribution leaks cycles ({} attributed != {} total)",
+            attrib.frame_total(),
+            result.stats.cycles
+        )
+        .into());
+    }
+    // The schema checker enforces the same invariant on the wire format.
+    schema::check_stream(&format!("{}\n", attrib.jsonl_line(0)))
+        .map_err(|(_, e)| format!("{scene}: attrib line rejected: {e}"))?;
+    Ok((attrib, result.stats.cycles))
+}
+
+fn record_baseline() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rows = String::new();
+    for (i, scene) in game_names().into_iter().enumerate() {
+        let (attrib, total) = scene_attribution(scene)?;
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        let mut stages = String::new();
+        for (j, (name, share)) in attrib.shares_x10000().into_iter().enumerate() {
+            if j > 0 {
+                stages.push_str(", ");
+            }
+            stages.push_str(&format!("\"{name}\": {share}"));
+        }
+        rows.push_str(&format!(
+            "    {{\"scene\": \"{scene}\", \"total\": {total}, \"shares_x10000\": {{{stages}}}}}"
+        ));
+        println!("recorded {scene}: {total} cycles");
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"attribution\",\n  \"resolution\": [{}, {}],\n  \
+         \"threshold\": {ATTRIB_THETA},\n  \"scenes\": [\n{rows}\n  ]\n}}\n",
+        ATTRIB_RES.0, ATTRIB_RES.1
+    );
+    let path = micro::repo_root().join("BENCH_attribution.json");
+    std::fs::write(&path, json)?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+/// Extracts `"<stage>": <n>` for `scene` from the recorded baseline.
+fn recorded_share(json: &str, scene: &str, stage: &str) -> Option<u64> {
+    let pos = json.find(&format!("\"scene\": \"{scene}\""))?;
+    let obj_end = json[pos..].find('}')? + pos + 1;
+    field_u64(&json[pos..obj_end].replace(": ", ":"), stage)
+}
+
+/// Diffs each scene's top-k attribution shares against the recorded
+/// baseline; any drift beyond tolerance is a hard failure with a
+/// regeneration hint.
+fn check_against_baseline() -> Result<(), Box<dyn std::error::Error>> {
+    let path = micro::repo_root().join("BENCH_attribution.json");
+    let json = std::fs::read_to_string(&path).map_err(|_| {
+        "BENCH_attribution.json missing; record it with \
+         `cargo run --release -p patu-bench --bin patu_report -- --record`"
+    })?;
+    for scene in game_names() {
+        let (attrib, _) = scene_attribution(scene)?;
+        let mut shares = attrib.shares_x10000();
+        shares.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        for (stage, measured) in shares.into_iter().take(TOP_K) {
+            let recorded = recorded_share(&json, scene, stage).ok_or_else(|| {
+                format!("BENCH_attribution.json lacks {scene}/{stage}; re-record it")
+            })?;
+            let drift = measured.abs_diff(recorded);
+            if drift > SHARE_TOLERANCE_X10000 {
+                return Err(format!(
+                    "{scene}: stage `{stage}` share drifted {:.1}pp (measured {:.1}%, \
+                     recorded {:.1}%). If the stage mix change is intended, regenerate \
+                     the baseline with `cargo run --release -p patu-bench --bin \
+                     patu_report -- --record`.",
+                    drift as f64 / 100.0,
+                    measured as f64 / 100.0,
+                    recorded as f64 / 100.0,
+                )
+                .into());
+            }
+        }
+        println!("attribution baseline holds for {scene} (top-{TOP_K} within tolerance)");
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// CI check mode.
+
+fn chaos_cfg() -> ServeConfig {
+    ServeConfig {
+        seed: 1207,
+        scenario: Scenario::HalfPoolOutage,
+        load: 1.5,
+        gpus: 2,
+        queue_capacity: 8,
+        trace: TraceLevel::Spans,
+        slo: SloOptions::default(),
+        pressure_gain: 0.4,
+        ..ServeConfig::default()
+    }
+}
+
+fn check_report(report: &ServeReport, label: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let checked = schema::check_stream(&report.log)
+        .map_err(|(line, err)| format!("{label}: log line {line}: {err}"))?;
+    let traces = report
+        .log
+        .lines()
+        .filter(|l| field_str(l, "type") == Some("trace"))
+        .count();
+    if traces as u64 != report.stats.submitted {
+        return Err(format!(
+            "{label}: {traces} trace trees for {} submitted jobs",
+            report.stats.submitted
+        )
+        .into());
+    }
+    let expected = report.stats.submitted * 2 + report.stats.slo_alerts;
+    if checked as u64 != expected {
+        return Err(format!("{label}: schema checked {checked} lines, expected {expected}").into());
+    }
+    Ok(())
+}
+
+fn run_check() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Per-frame attribution conserves on every bundled scene, and the
+    //    recorded stage mix has not drifted.
+    println!("== attribution conservation + baseline diff ==");
+    check_against_baseline()?;
+
+    // 2. A half-pool-outage session at 1.5x load with traces and SLOs on:
+    //    schema-clean, and burn-rate alerts fire at deterministic cycles.
+    println!("== chaos traces + SLO burn alerts (synthetic plant) ==");
+    let burn_cfg = ServeConfig {
+        clients: 4,
+        jobs_per_client: 48,
+        ..chaos_cfg()
+    };
+    let mut plant = SyntheticService::new(1_000_000, burn_cfg.governor_steps);
+    let a = run_session(&burn_cfg, &mut plant)?;
+    let mut plant = SyntheticService::new(1_000_000, burn_cfg.governor_steps);
+    let b = run_session(&burn_cfg, &mut plant)?;
+    check_report(&a, "burn session")?;
+    if a.alerts.is_empty() {
+        return Err("half-pool outage at 1.5x load fired no burn-rate alerts".into());
+    }
+    if a.alerts != b.alerts || a.log != b.log {
+        return Err("burn session replays diverge".into());
+    }
+    println!(
+        "   {} alerts, first `{}` at cycle {}",
+        a.alerts.len(),
+        a.alerts[0].slo,
+        a.alerts[0].cycle
+    );
+
+    // 3. The same chaos scenario on real renders, threads 1 vs 4: every
+    //    artifact byte-identical.
+    println!("== thread invariance on real renders ==");
+    let sim_cfg = ServeConfig {
+        clients: 3,
+        jobs_per_client: 4,
+        resolution: (96, 64),
+        frame_span: 2,
+        ..chaos_cfg()
+    };
+    let narrow_cfg = ServeConfig {
+        threads: Some(1),
+        ..sim_cfg.clone()
+    };
+    let wide_cfg = ServeConfig {
+        threads: Some(4),
+        ..sim_cfg
+    };
+    let mut svc = SimFrameService::new(&narrow_cfg)?;
+    let narrow = run_session(&narrow_cfg, &mut svc)?;
+    let baseline_cycles = svc.baseline_cycles();
+    let mut svc = SimFrameService::new(&wide_cfg)?;
+    let wide = run_session(&wide_cfg, &mut svc)?;
+    check_report(&narrow, "sim session")?;
+    if narrow.log != wide.log || narrow.chrome_trace() != wide.chrome_trace() {
+        return Err("serve artifacts diverge between threads 1 and 4".into());
+    }
+    if baseline_cycles != svc.baseline_cycles() {
+        return Err("ssim-baseline cycle accounting diverges between thread counts".into());
+    }
+    println!(
+        "   log + chrome trace byte-identical; {} analysis-track baseline cycles",
+        baseline_cycles
+    );
+
+    // 4. The dashboard renders from the artifact it just produced.
+    let sections = dashboard(&narrow.log);
+    let md = render_markdown("patu serve session", &sections);
+    let html = render_html("patu serve session", &sections);
+    for needle in ["Line inventory", "Causal traces", "serve::lifecycle"] {
+        if !md.contains(needle) || !html.contains(needle) {
+            return Err(format!("dashboard is missing `{needle}`").into());
+        }
+    }
+    println!("== dashboard renders ({} sections) ==", sections.len());
+
+    println!("patu_report --check: all gates green");
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--check") {
+        return run_check();
+    }
+    if args.iter().any(|a| a == "--record") {
+        return record_baseline();
+    }
+    let html = args.iter().any(|a| a == "--html");
+    let out_path = args
+        .iter()
+        .position(|a| a == "-o")
+        .and_then(|i| args.get(i + 1).cloned());
+    let input = args
+        .iter()
+        .find(|a| !a.starts_with('-') && Some(a.as_str()) != out_path.as_deref())
+        .ok_or("usage: patu_report <artifact.jsonl> [--html] [-o out] | --check | --record")?;
+    let stream = std::fs::read_to_string(input)?;
+    let sections = dashboard(&stream);
+    let title = format!("patu report: {input}");
+    let doc = if html {
+        render_html(&title, &sections)
+    } else {
+        render_markdown(&title, &sections)
+    };
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, doc)?;
+            println!("wrote {path}");
+        }
+        None => print!("{doc}"),
+    }
+    Ok(())
+}

@@ -1,10 +1,12 @@
 //! CI smoke for the serving subsystem: one small overloaded workload run
 //! at `threads = 1` and `threads = 4`, asserting the sessions are
 //! bit-identical and the serve log validates line-by-line against the
-//! in-repo JSONL schema. Exits non-zero on any violation, so `ci.sh` can
-//! gate on it.
+//! in-repo JSONL schema — at spans level that log carries one `"serve"`
+//! line plus one causal `"trace"` tree per job, and (SLO tracking
+//! resolves from `PATU_SLO`, on by default) an `"slo"` line per burn
+//! alert. Exits non-zero on any violation, so `ci.sh` can gate on it.
 
-use patu_obs::TraceLevel;
+use patu_obs::{SloOptions, TraceLevel};
 use patu_serve::{run_session, ServeConfig, ServeReport, SimFrameService};
 
 fn run(threads: usize) -> Result<ServeReport, Box<dyn std::error::Error>> {
@@ -18,6 +20,7 @@ fn run(threads: usize) -> Result<ServeReport, Box<dyn std::error::Error>> {
         queue_capacity: 6,
         threads: Some(threads),
         trace: TraceLevel::Spans,
+        slo: SloOptions::from_env(),
         ..ServeConfig::default()
     };
     let mut service = SimFrameService::new(&cfg)?;
@@ -37,10 +40,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let checked = patu_obs::schema::check_stream(&serial.log)
         .map_err(|(line, err)| format!("serve log line {line}: {err}"))?;
-    if checked as u64 != serial.stats.submitted {
+    // One "serve" + one "trace" line per job, one "slo" line per alert.
+    let expected = serial.stats.submitted * 2 + serial.stats.slo_alerts;
+    if checked as u64 != expected {
         return Err(format!(
-            "schema checked {checked} lines but {} jobs were submitted",
-            serial.stats.submitted
+            "schema checked {checked} lines but expected {expected} \
+             ({} jobs + as many traces + {} slo alerts)",
+            serial.stats.submitted, serial.stats.slo_alerts
         )
         .into());
     }

@@ -1,13 +1,79 @@
 //! Telemetry smoke run: renders a few PATU frames at the level given by
 //! `PATU_TRACE`, folds the SSIM analysis onto each frame's analysis track,
 //! prints the per-frame report, and (when `PATU_TRACE_OUT` is set) writes
-//! the JSONL + Chrome-trace artifacts that `trace_check` validates.
+//! the JSONL + Chrome-trace artifacts that `trace_check` validates. With
+//! `PATU_OBS_DUMP=<dir>` it additionally writes per-frame PPM maps: an
+//! SSIM-error heatmap (per-tile mean |baseline − approx| luma) and a
+//! demotion-decision map (per-tile share of fragments the predictor
+//! demoted to a cheaper filter).
 
 use patu_core::FilterPolicy;
-use patu_obs::{sink, trace_out_dir, Collector, TelemetryConfig, TraceLevel, Track};
-use patu_quality::SsimConfig;
+use patu_obs::{
+    heat_color, obs_dump_dir, sink, trace_out_dir, Collector, TelemetryConfig, TraceLevel, Track,
+};
+use patu_quality::{GrayImage, SsimConfig};
 use patu_scenes::Workload;
-use patu_sim::render::{render_frame, RenderConfig};
+use patu_sim::render::{render_frame, FrameResult, RenderConfig};
+use std::path::Path;
+
+/// Cell size (pixels per tile) in the dumped PPM maps.
+const DUMP_CELL: usize = 8;
+/// Gain applied to the mean per-tile luma error before the color ramp —
+/// raw errors rarely exceed a few percent, so the map would be all-blue
+/// without amplification.
+const HEAT_GAIN: u64 = 8;
+
+/// Writes `<prefix>_ssim_error.ppm` and `<prefix>_demotion.ppm` for one
+/// frame: both maps share the render's tile grid, one cell per tile.
+fn dump_frame_maps(
+    dir: &Path,
+    index: u32,
+    tile_size: u32,
+    baseline: &GrayImage,
+    approx: &GrayImage,
+    result: &FrameResult,
+) -> std::io::Result<Vec<std::path::PathBuf>> {
+    let (width, height) = (baseline.width(), baseline.height());
+    let tiles_x = width.div_ceil(tile_size) as usize;
+    let tiles_y = height.div_ceil(tile_size) as usize;
+
+    // SSIM-error heatmap: per-tile mean absolute luma difference between
+    // the baseline and approximated frames, on a cold-to-hot ramp.
+    let mut heat = patu_obs::TileGrid::new(tiles_x, tiles_y, DUMP_CELL);
+    for ty in 0..tiles_y as u32 {
+        for tx in 0..tiles_x as u32 {
+            let x0 = tx * tile_size;
+            let y0 = ty * tile_size;
+            let mut sum_x1000 = 0u64;
+            let mut pixels = 0u64;
+            for y in y0..(y0 + tile_size).min(height) {
+                for x in x0..(x0 + tile_size).min(width) {
+                    let diff = (baseline.get(x, y) - approx.get(x, y)).abs();
+                    // Quantize before accumulating so the map is exactly
+                    // reproducible regardless of summation order.
+                    sum_x1000 += (f64::from(diff) * 1000.0).round() as u64;
+                    pixels += 1;
+                }
+            }
+            // Mean error as a share of full scale (samples are 0..255).
+            let mean_x1000 = sum_x1000 / (pixels.max(1) * 255);
+            heat.paint(tx as usize, ty as usize, heat_color(mean_x1000 * HEAT_GAIN));
+        }
+    }
+    let heat_path = dir.join(format!("trace_smoke_f{index:03}_ssim_error.ppm"));
+    heat.write(&heat_path)?;
+
+    // Demotion-decision map: the share of each tile's fragments the
+    // perception predictor demoted, on the same ramp.
+    let mut demo = patu_obs::TileGrid::new(tiles_x, tiles_y, DUMP_CELL);
+    for t in &result.tile_stats {
+        let share_x1000 = t.demoted * 1000 / t.fragments.max(1);
+        demo.paint(t.tx as usize, t.ty as usize, heat_color(share_x1000));
+    }
+    let demo_path = dir.join(format!("trace_smoke_f{index:03}_demotion.ppm"));
+    demo.write(&demo_path)?;
+    Ok(vec![heat_path, demo_path])
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let telemetry = TelemetryConfig::from_env();
@@ -21,15 +87,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 }).with_telemetry(telemetry);
     let ssim = SsimConfig::default();
 
+    let dump_dir = obs_dump_dir();
     let mut frames = Vec::new();
     for index in [0u32, 40, 80] {
         let baseline = render_frame(&workload, index, &base_cfg)?;
         let mut result = render_frame(&workload, index, &cfg)?;
+        let (base_luma, approx_luma) = (baseline.luma(), result.luma());
+        if let Some(dir) = &dump_dir {
+            let paths = dump_frame_maps(
+                dir,
+                index,
+                cfg.gpu.tile_size,
+                &base_luma,
+                &approx_luma,
+                &result,
+            )?;
+            for path in paths {
+                println!("dumped {}", path.display());
+            }
+        }
         if let Some(mut t) = result.telemetry.take() {
             // The quality analysis rides the frame's analysis track, so the
             // artifact shows render and SSIM work side by side.
             let mut analysis = Collector::new(telemetry, Track::Analysis);
-            let score = ssim.mssim_traced(&mut analysis, &baseline.luma(), &result.luma());
+            let score = ssim.mssim_traced(&mut analysis, &base_luma, &approx_luma);
             t.absorb(analysis);
             println!("frame {index}: mssim {score:.4}");
             frames.push(*t);

@@ -52,4 +52,4 @@ pub use hash_table::TexelAddressTable;
 pub use oracle::{oracle_af_ssim, oracle_mu, PredictionAccuracy};
 pub use policy::{DecisionStage, FilterMode, FilterPolicy, ParsePolicyError, PolicyDecision};
 pub use stats::{ApproxStats, DivergenceStats, SharingStats};
-pub use unit::{FilterOutcome, PerceptionAwareTextureUnit};
+pub use unit::{DecisionAttrib, FilterOutcome, PerceptionAwareTextureUnit};

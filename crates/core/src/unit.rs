@@ -38,6 +38,20 @@ impl FilterOutcome {
     }
 }
 
+/// Telemetry-only work counts from the prediction flow, the attribution
+/// profiler's weights for the `predictor` / `hash_stage1` / `hash_stage2`
+/// stages. Identical between the scalar and batched kernels because both
+/// accumulate from the same [`PolicyDecision`] values.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecisionAttrib {
+    /// Total predictor (AF-SSIM compute logic) evaluations.
+    pub predictor_evals: u64,
+    /// Pixels whose decision consulted stage 1 at all.
+    pub stage1_consults: u64,
+    /// Total stage-2 hash-table accesses.
+    pub stage2_accesses: u64,
+}
+
 /// A texture unit with the PATU extensions, parameterized by policy.
 ///
 /// ```
@@ -65,6 +79,7 @@ pub struct PerceptionAwareTextureUnit {
     faults: FaultInjector,
     telemetry: bool,
     tap_hist: patu_obs::Log2Histogram,
+    attrib: DecisionAttrib,
 }
 
 impl PerceptionAwareTextureUnit {
@@ -92,6 +107,7 @@ impl PerceptionAwareTextureUnit {
             faults: FaultInjector::disabled(),
             telemetry: false,
             tap_hist: patu_obs::Log2Histogram::new(),
+            attrib: DecisionAttrib::default(),
         }
     }
 
@@ -115,6 +131,7 @@ impl PerceptionAwareTextureUnit {
             faults: FaultInjector::new(faults).fork(tag),
             telemetry: false,
             tap_hist: patu_obs::Log2Histogram::new(),
+            attrib: DecisionAttrib::default(),
         })
     }
 
@@ -188,6 +205,11 @@ impl PerceptionAwareTextureUnit {
             })
         };
         self.approx.record(&decision);
+        if self.telemetry {
+            self.attrib.predictor_evals += u64::from(decision.predictor_evals);
+            self.attrib.stage1_consults += u64::from(decision.predictor_evals >= 1);
+            self.attrib.stage2_accesses += u64::from(decision.hash_accesses);
+        }
 
         let record = match decision.mode {
             FilterMode::Anisotropic => {
@@ -251,6 +273,11 @@ impl PerceptionAwareTextureUnit {
             })
         };
         self.approx.record(&decision);
+        if self.telemetry {
+            self.attrib.predictor_evals += u64::from(decision.predictor_evals);
+            self.attrib.stage1_consults += u64::from(decision.predictor_evals >= 1);
+            self.attrib.stage2_accesses += u64::from(decision.hash_accesses);
+        }
 
         let (color, lod, taps) = match decision.mode {
             FilterMode::Anisotropic => {
@@ -305,6 +332,13 @@ impl PerceptionAwareTextureUnit {
         self.approx
     }
 
+    /// Prediction-flow work counts for the cycle-attribution profiler
+    /// (telemetry only; all-zero unless
+    /// [`PerceptionAwareTextureUnit::set_telemetry`] was enabled).
+    pub fn decision_attrib(&self) -> DecisionAttrib {
+        self.attrib
+    }
+
     /// Resets all cumulative statistics (between frames or runs). The fault
     /// injector's counters clear too, but its stream position advances
     /// monotonically — fault patterns never repeat across frames.
@@ -314,6 +348,7 @@ impl PerceptionAwareTextureUnit {
         self.approx = ApproxStats::new();
         self.faults.reset_counts();
         self.tap_hist = patu_obs::Log2Histogram::new();
+        self.attrib = DecisionAttrib::default();
     }
 }
 
@@ -531,6 +566,40 @@ mod tests {
         assert_eq!(baseline.tap_hist().max(), 8, "baseline fetched all N taps");
         unit.reset_stats();
         assert!(unit.tap_hist().is_empty(), "reset clears telemetry");
+    }
+
+    #[test]
+    fn decision_attrib_gates_on_telemetry_and_mirrors_decisions() {
+        let tex = texture();
+        let mut unit = PerceptionAwareTextureUnit::new(FilterPolicy::Patu { threshold: 0.4 });
+        let _ = unit.filter(&tex, center(), &footprint(8.0), AddressMode::Wrap);
+        assert_eq!(
+            unit.decision_attrib(),
+            DecisionAttrib::default(),
+            "off by default"
+        );
+        unit.set_telemetry(true);
+        let out = unit.filter(&tex, center(), &footprint(8.0), AddressMode::Wrap);
+        let attrib = unit.decision_attrib();
+        assert_eq!(
+            attrib.predictor_evals,
+            u64::from(out.decision.predictor_evals)
+        );
+        assert_eq!(attrib.stage1_consults, 1, "one pixel consulted stage 1");
+        assert_eq!(
+            attrib.stage2_accesses,
+            u64::from(out.decision.hash_accesses)
+        );
+        assert!(
+            attrib.stage2_accesses > 0,
+            "N=8 at θ=0.4 reaches the hash table"
+        );
+        unit.reset_stats();
+        assert_eq!(
+            unit.decision_attrib(),
+            DecisionAttrib::default(),
+            "reset clears attribution"
+        );
     }
 
     #[test]

@@ -58,7 +58,7 @@ pub use config::GpuConfig;
 pub use dram::{Dram, DramStats};
 pub use error::GpuError;
 pub use fault::{FaultConfig, FaultCounts, FaultInjector};
-pub use memsys::{FetchLevel, MemorySystem};
+pub use memsys::{FetchLevel, MemAttribCycles, MemorySystem};
 pub use stats::{BandwidthBreakdown, EventCounts, FrameStats, MemSideEffects, TrafficClass};
 pub use texture_unit::{TextureRequest, TextureUnit};
 pub use timing::FrameTimer;

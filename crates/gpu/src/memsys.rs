@@ -10,6 +10,19 @@ use crate::stats::{BandwidthBreakdown, EventCounts, TrafficClass};
 use patu_obs::Log2Histogram;
 use patu_texture::TexelAddress;
 
+/// Telemetry-only cycle totals by memory level, the attribution profiler's
+/// raw material: how many fetch-latency cycles each level of the hierarchy
+/// contributed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemAttribCycles {
+    /// Cycles spent in L1 hit latency (every fetch pays this).
+    pub l1: u64,
+    /// Cycles spent in L2 hit latency (L1 misses pay this).
+    pub l2: u64,
+    /// Cycles spent in the DRAM round-trip, including injected stalls.
+    pub dram: u64,
+}
+
 /// Where a texel fetch was satisfied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FetchLevel {
@@ -46,6 +59,7 @@ pub struct MemorySystem {
     telemetry: bool,
     fetch_latency_hist: Log2Histogram,
     miss_penalty_hist: Log2Histogram,
+    attrib_cycles: MemAttribCycles,
 }
 
 impl MemorySystem {
@@ -79,6 +93,7 @@ impl MemorySystem {
             telemetry: false,
             fetch_latency_hist: Log2Histogram::new(),
             miss_penalty_hist: Log2Histogram::new(),
+            attrib_cycles: MemAttribCycles::default(),
         })
     }
 
@@ -134,6 +149,12 @@ impl MemorySystem {
         &self.miss_penalty_hist
     }
 
+    /// Cycle totals by memory level (telemetry only; all zero unless
+    /// [`MemorySystem::set_telemetry`] was enabled).
+    pub fn attrib_cycles(&self) -> MemAttribCycles {
+        self.attrib_cycles
+    }
+
     /// Fetches one texel through `cluster`'s L1; returns the latency in
     /// cycles from issue (`now`) to data return.
     ///
@@ -160,6 +181,16 @@ impl MemorySystem {
         let (latency, level) = self.fetch_texel_inner(cluster, addr, now);
         if self.telemetry {
             self.fetch_latency_hist.record(latency);
+            self.attrib_cycles.l1 += self.l1_hit_cycles;
+            match level {
+                FetchLevel::L1 => {}
+                FetchLevel::L2 => self.attrib_cycles.l2 += self.l2_hit_cycles,
+                FetchLevel::Dram => {
+                    self.attrib_cycles.l2 += self.l2_hit_cycles;
+                    self.attrib_cycles.dram +=
+                        latency.saturating_sub(self.l1_hit_cycles + self.l2_hit_cycles);
+                }
+            }
         }
         (latency, level)
     }
@@ -260,6 +291,7 @@ impl MemorySystem {
         self.faults.reset_counts();
         self.fetch_latency_hist = Log2Histogram::new();
         self.miss_penalty_hist = Log2Histogram::new();
+        self.attrib_cycles = MemAttribCycles::default();
     }
 }
 
@@ -423,6 +455,31 @@ mod tests {
         assert!(m.fetch_latency_hist().max() > m.fetch_latency_hist().min());
         m.reset();
         assert!(m.fetch_latency_hist().is_empty(), "reset clears telemetry");
+    }
+
+    #[test]
+    fn attrib_cycles_split_by_level_and_gate_on_telemetry() {
+        let mut m = mem();
+        let _ = m.fetch_texel(0, TexelAddress::new(0), 0);
+        assert_eq!(
+            m.attrib_cycles(),
+            MemAttribCycles::default(),
+            "off by default"
+        );
+        m.set_telemetry(true);
+        let (cold, _) = m.fetch_texel_detailed(0, TexelAddress::new(4096), 0); // DRAM
+        let _ = m.fetch_texel(1, TexelAddress::new(4096), 400); // L2 (other cluster's L1 misses)
+        let _ = m.fetch_texel(0, TexelAddress::new(4096), 800); // L1
+        let a = m.attrib_cycles();
+        assert_eq!(a.l1, 3, "every fetch pays the 1-cycle L1 latency");
+        assert_eq!(a.l2, 24, "DRAM and L2 fetches pay the 12-cycle L2 latency");
+        assert_eq!(
+            a.dram,
+            cold - 1 - 12,
+            "DRAM share is the rest of the cold fetch"
+        );
+        m.reset();
+        assert_eq!(m.attrib_cycles(), MemAttribCycles::default());
     }
 
     #[test]

@@ -64,6 +64,7 @@ pub struct TextureUnit {
     events: EventCounts,
     telemetry: bool,
     queue_wait_hist: Log2Histogram,
+    attrib_work_cycles: u64,
 }
 
 impl TextureUnit {
@@ -79,6 +80,7 @@ impl TextureUnit {
             events: EventCounts::default(),
             telemetry: false,
             queue_wait_hist: Log2Histogram::new(),
+            attrib_work_cycles: 0,
         }
     }
 
@@ -93,6 +95,14 @@ impl TextureUnit {
     /// only; empty unless [`TextureUnit::set_telemetry`] was enabled).
     pub fn queue_wait_hist(&self) -> &Log2Histogram {
         &self.queue_wait_hist
+    }
+
+    /// Total address-calculation plus filtering-math cycles across all
+    /// requests — the texture unit's contribution to the attribution
+    /// profiler's `texel_fetch` stage (telemetry only; 0 unless
+    /// [`TextureUnit::set_telemetry`] was enabled).
+    pub fn attrib_work_cycles(&self) -> u64 {
+        self.attrib_work_cycles
     }
 
     /// Issues a request at cycle `now`, fetching texels through `mem`.
@@ -136,6 +146,9 @@ impl TextureUnit {
 
         let filter_cycles = taps * self.cycles_per_trilinear;
         let latency = addr_cycles + fetch_latency + filter_cycles;
+        if self.telemetry {
+            self.attrib_work_cycles += addr_cycles + filter_cycles;
+        }
 
         // Pipeline occupancy: the bottleneck stage gates throughput. The
         // unit runs four filtering pipelines in parallel (one per quad pixel,
@@ -192,6 +205,9 @@ impl TextureUnit {
 
         let filter_cycles = taps * self.cycles_per_trilinear;
         let latency = addr_cycles + fetch_latency + filter_cycles;
+        if self.telemetry {
+            self.attrib_work_cycles += addr_cycles + filter_cycles;
+        }
 
         let issue_cycles = texels.div_ceil(self.fetch_ports.max(1));
         let bottleneck = addr_cycles.max(filter_cycles).max(issue_cycles).max(1);
@@ -227,6 +243,7 @@ impl TextureUnit {
         self.last_completion = 0;
         self.events = EventCounts::default();
         self.queue_wait_hist = Log2Histogram::new();
+        self.attrib_work_cycles = 0;
     }
 }
 
@@ -364,6 +381,28 @@ mod tests {
             tu_a.queue_wait_hist().count(),
             tu_b.queue_wait_hist().count()
         );
+        assert_eq!(
+            tu_a.attrib_work_cycles(),
+            tu_b.attrib_work_cycles(),
+            "attribution taps agree between scalar and flat paths"
+        );
+        assert!(tu_a.attrib_work_cycles() > 0);
+    }
+
+    #[test]
+    fn attrib_work_cycles_gate_on_telemetry() {
+        let (mut tu, mut mem) = unit();
+        let _ = tu.process(&aniso_request(0, 4), &mut mem, 0);
+        assert_eq!(tu.attrib_work_cycles(), 0, "off by default");
+        tu.set_telemetry(true);
+        let _ = tu.process(&aniso_request(0, 4), &mut mem, 0);
+        // 4 taps: 4 * ceil(8/alus) address cycles + 4 * cycles_per_trilinear.
+        let cfg = GpuConfig::default();
+        let expected = 4 * 8u64.div_ceil(u64::from(cfg.address_alus))
+            + 4 * u64::from(cfg.cycles_per_trilinear);
+        assert_eq!(tu.attrib_work_cycles(), expected);
+        tu.reset();
+        assert_eq!(tu.attrib_work_cycles(), 0, "reset clears the tap");
     }
 
     #[test]

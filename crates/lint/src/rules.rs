@@ -105,6 +105,14 @@ pub const ENV_KNOBS: &[EnvKnob] = &[
         name: "PATU_SSIM_SAMPLE",
         readers: &["crates/quality/src/sampled.rs"],
     },
+    EnvKnob {
+        name: "PATU_OBS_DUMP",
+        readers: &["crates/obs/src/dump.rs"],
+    },
+    EnvKnob {
+        name: "PATU_SLO",
+        readers: &["crates/obs/src/slo.rs"],
+    },
 ];
 
 /// Files exempt from a rule because they *are* the sanctioned entry point.
@@ -639,6 +647,25 @@ mod tests {
         );
         assert_eq!(
             rules_hit("crates/serve/src/exec.rs", src),
+            vec![("env-var", 1)]
+        );
+    }
+
+    #[test]
+    fn observability_knobs_read_only_from_their_obs_modules() {
+        // `PATU_OBS_DUMP` resolves in the dump sink and `PATU_SLO` in the
+        // SLO options; every other library file takes the parsed values
+        // (dump dir, SloOptions) as arguments.
+        let dump = "fn dir() -> Option<String> { std::env::var(\"PATU_OBS_DUMP\").ok() }\n";
+        assert!(rules_hit("crates/obs/src/dump.rs", dump).is_empty());
+        assert_eq!(
+            rules_hit("crates/obs/src/sink.rs", dump),
+            vec![("env-var", 1)]
+        );
+        let slo = "fn raw() -> Option<String> { std::env::var(\"PATU_SLO\").ok() }\n";
+        assert!(rules_hit("crates/obs/src/slo.rs", slo).is_empty());
+        assert_eq!(
+            rules_hit("crates/serve/src/server.rs", slo),
             vec![("env-var", 1)]
         );
     }

@@ -1,5 +1,6 @@
 //! Worker-private collectors and their deterministic frame-level merge.
 
+use crate::attrib::Attribution;
 use crate::config::{TelemetryConfig, TraceLevel};
 use crate::hist::Log2Histogram;
 use crate::recorder::{FlightDump, FlightRecorder};
@@ -23,6 +24,7 @@ pub struct Collector {
     hists: BTreeMap<&'static str, Log2Histogram>,
     recorder: FlightRecorder,
     dumps: Vec<FlightDump>,
+    next_span: u64,
 }
 
 impl Collector {
@@ -40,6 +42,7 @@ impl Collector {
                 0
             }),
             dumps: Vec::new(),
+            next_span: 1,
         }
     }
 
@@ -88,8 +91,86 @@ impl Collector {
                 end,
                 arg_name,
                 arg,
+                id: 0,
+                parent: 0,
             });
         }
+    }
+
+    /// Records a span as a node of a causal tree and returns its
+    /// deterministic id (`(tid + 1) << 32 | seq`, where `seq` counts tree
+    /// spans within this collector), or 0 when spans are disabled. Pass
+    /// `parent == 0` for a root. Ids are a pure function of the collector's
+    /// track and call order, so merged artifacts stay byte-identical across
+    /// thread counts.
+    pub fn span_node(
+        &mut self,
+        name: &'static str,
+        start: u64,
+        end: u64,
+        parent: u64,
+        arg_name: &'static str,
+        arg: u64,
+    ) -> u64 {
+        if !self.level.spans_enabled() {
+            return 0;
+        }
+        let id = (u64::from(self.track.tid()) + 1) << 32 | self.next_span;
+        self.next_span += 1;
+        self.spans.push(Span {
+            name,
+            track: self.track,
+            start,
+            end,
+            arg_name,
+            arg,
+            id,
+            parent,
+        });
+        id
+    }
+
+    /// Reserves the next span id on this collector's track without
+    /// recording a span — for roots whose end cycle is only known later
+    /// (e.g. a job's lifecycle span, closed at its terminal outcome) while
+    /// children recorded in the meantime need the parent id for causal
+    /// links. Returns 0 when spans are disabled. Pair with
+    /// [`Collector::span_with_id`] to record the span once it closes.
+    pub fn reserve_span_id(&mut self) -> u64 {
+        if !self.level.spans_enabled() {
+            return 0;
+        }
+        let id = (u64::from(self.track.tid()) + 1) << 32 | self.next_span;
+        self.next_span += 1;
+        id
+    }
+
+    /// Records a span under an id previously handed out by
+    /// [`Collector::reserve_span_id`]. A no-op when `id == 0` (spans
+    /// disabled at reservation time), so callers can thread the reserved id
+    /// unconditionally. `arg` is the span's `(name, value)` annotation.
+    pub fn span_with_id(
+        &mut self,
+        id: u64,
+        name: &'static str,
+        start: u64,
+        end: u64,
+        parent: u64,
+        arg: (&'static str, u64),
+    ) {
+        if id == 0 || !self.level.spans_enabled() {
+            return;
+        }
+        self.spans.push(Span {
+            name,
+            track: self.track,
+            start,
+            end,
+            arg_name: arg.0,
+            arg: arg.1,
+            id,
+            parent,
+        });
     }
 
     /// Adds `value` to the named counter (at `Counters` and above).
@@ -177,6 +258,9 @@ pub struct FrameTelemetry {
     pub events: Vec<Event>,
     /// Captured postmortems, enriched with frame/policy/seed context.
     pub dumps: Vec<FlightDump>,
+    /// Per-stage cycle attribution for the frame (empty unless the renderer
+    /// filled it in).
+    pub attrib: Attribution,
 }
 
 impl FrameTelemetry {
@@ -192,6 +276,7 @@ impl FrameTelemetry {
             hists: BTreeMap::new(),
             events: Vec::new(),
             dumps: Vec::new(),
+            attrib: Attribution::default(),
         }
     }
 
@@ -245,6 +330,7 @@ impl FrameTelemetry {
             && self.hists.is_empty()
             && self.events.is_empty()
             && self.dumps.is_empty()
+            && self.attrib.is_empty()
     }
 }
 
@@ -273,6 +359,44 @@ mod tests {
         let mut frame = FrameTelemetry::new(TraceLevel::Off, 0, "p".into(), 0);
         frame.absorb(c);
         assert!(frame.is_empty());
+    }
+
+    #[test]
+    fn reserved_ids_share_the_sequence_with_span_node() {
+        let mut c = Collector::new(spans_cfg(), Track::Serve);
+        let root = c.reserve_span_id();
+        let child = c.span_node("serve::batch", 10, 20, root, "", 0);
+        c.span_with_id(root, "serve::lifecycle", 0, 50, 0, ("job", 7));
+        assert_ne!(root, 0);
+        assert_eq!(child, root + 1);
+        let mut frame = FrameTelemetry::new(TraceLevel::Spans, 0, "p".into(), 0);
+        frame.absorb(c);
+        let life = frame
+            .spans
+            .iter()
+            .find(|s| s.name == "serve::lifecycle")
+            .unwrap();
+        assert_eq!((life.id, life.parent), (root, 0));
+        let batch = frame
+            .spans
+            .iter()
+            .find(|s| s.name == "serve::batch")
+            .unwrap();
+        assert_eq!(batch.parent, root);
+    }
+
+    #[test]
+    fn reservation_is_inert_when_spans_are_disabled() {
+        let mut c = Collector::new(
+            TelemetryConfig::with_level(TraceLevel::Counters),
+            Track::Serve,
+        );
+        let id = c.reserve_span_id();
+        assert_eq!(id, 0);
+        c.span_with_id(id, "serve::lifecycle", 0, 50, 0, ("", 0));
+        let mut frame = FrameTelemetry::new(TraceLevel::Counters, 0, "p".into(), 0);
+        frame.absorb(c);
+        assert!(frame.spans.is_empty());
     }
 
     #[test]
@@ -350,6 +474,21 @@ mod tests {
             frame.stage_totals(),
             vec![("geom::frontend", 1, 5), ("raster::tile", 2, 30)]
         );
+    }
+
+    #[test]
+    fn span_node_ids_are_deterministic_per_track() {
+        let mut c = Collector::new(spans_cfg(), Track::Cluster(1));
+        let root = c.span_node("raster::tile", 0, 10, 0, "tile", 3);
+        let child = c.span_node("raster::tile::shade", 0, 5, root, "", 0);
+        assert_eq!(root, (3u64 << 32) | 1, "Cluster(1) has tid 2, so id base 3");
+        assert_eq!(child, (3u64 << 32) | 2);
+        let mut frame = FrameTelemetry::new(TraceLevel::Spans, 0, "p".into(), 0);
+        frame.absorb(c);
+        assert_eq!(frame.spans[1].parent, root);
+
+        let mut off = Collector::disabled(Track::Cluster(1));
+        assert_eq!(off.span_node("raster::tile", 0, 10, 0, "", 0), 0);
     }
 
     #[test]

@@ -113,11 +113,23 @@ impl Log2Histogram {
     /// the deliberate price of a fixed 65×8-byte footprint; the value is a
     /// pure function of the bucket counts, so it is deterministic and
     /// merge-order independent. Returns 0 when empty.
+    ///
+    /// The nearest rank is `ceil(q * count)`, computed with an epsilon guard:
+    /// `q * count` in binary floating point can land a hair above an exact
+    /// integer (`0.95 * 20 == 19.000000000000004`), and a bare `ceil` would
+    /// then overshoot the rank by one.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let scaled = q.clamp(0.0, 1.0) * self.count as f64;
+        let nearest = scaled.round();
+        let rank = if (scaled - nearest).abs() < 1e-9 * (self.count as f64).max(1.0) {
+            nearest as u64
+        } else {
+            scaled.ceil() as u64
+        }
+        .clamp(1, self.count);
         let mut seen = 0u64;
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
@@ -252,6 +264,82 @@ mod tests {
         h.record(5);
         let buckets = h.nonzero_buckets();
         assert_eq!(buckets, vec![(0, 1), (4, 2)]);
+    }
+
+    #[test]
+    fn bucket_edges_at_exact_powers_of_two() {
+        // A value equal to a bucket edge 2^k belongs to bucket k+1 (the
+        // bucket whose range is [2^k, 2^(k+1))), and nonzero_buckets
+        // reports exactly that lower bound.
+        for k in 0..63u32 {
+            let v = 1u64 << k;
+            assert_eq!(Log2Histogram::bucket(v), k as usize + 1, "bucket(2^{k})");
+            let mut h = Log2Histogram::new();
+            h.record(v);
+            assert_eq!(h.nonzero_buckets(), vec![(v, 1)]);
+            // With one sample every quantile is that sample.
+            for q in [0.0, 0.5, 0.95, 1.0] {
+                assert_eq!(h.quantile(q), v, "quantile({q}) of single 2^{k}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_rank_is_not_fooled_by_float_rounding() {
+        // 0.95 * 20 == 19.000000000000004 in f64; a bare ceil turns rank 19
+        // into rank 20. With 19 fast samples and one huge outlier the two
+        // ranks land in different buckets, so the bug is observable.
+        let mut h = Log2Histogram::new();
+        for _ in 0..19 {
+            h.record(1);
+        }
+        h.record(1_000_000);
+        assert_eq!(h.p95(), 1, "rank 19 of 20 is the last fast sample");
+        assert!(h.p99() >= 524_288, "rank 20 is the outlier: {}", h.p99());
+    }
+
+    #[test]
+    fn quantile_matches_nearest_rank_reference_over_detrng_sweep() {
+        use patu_gmath::DetRng;
+        let mut rng = DetRng::new(0x0b5e_77ab_1e5e_ed01);
+        for trial in 0..200u32 {
+            let n = 1 + (rng.next_u64() % 64) as usize;
+            let mut samples: Vec<u64> = (0..n)
+                .map(|_| {
+                    let shift = rng.next_u64() % 20;
+                    rng.next_u64() % (1u64 << (shift + 1))
+                })
+                .collect();
+            let mut h = Log2Histogram::new();
+            for &s in &samples {
+                h.record(s);
+            }
+            samples.sort_unstable();
+            for &q in &[0.0, 0.01, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+                let scaled = q * n as f64;
+                let nearest = scaled.round();
+                let rank = if (scaled - nearest).abs() < 1e-9 * n as f64 {
+                    nearest as usize
+                } else {
+                    scaled.ceil() as usize
+                }
+                .clamp(1, n);
+                let reference = samples[rank - 1];
+                let got = h.quantile(q);
+                // The histogram answers with the containing bucket's upper
+                // bound clamped to [min, max]: never below the true
+                // nearest-rank value, never above its bucket's upper edge.
+                let upper = if reference == 0 {
+                    0
+                } else {
+                    ((1u64 << Log2Histogram::bucket(reference)) - 1).min(h.max())
+                };
+                assert!(
+                    got >= reference && got <= upper.max(reference),
+                    "trial {trial} q={q} n={n}: reference {reference}, got {got}, upper {upper}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -26,6 +26,12 @@
 //! * [`json`] — hand-rolled JSON: escaping, non-finite-`f64`-to-`null`
 //!   formatting, and a minimal parser for the schema checker.
 //! * [`schema`] — validation of every JSONL line the sinks emit.
+//! * [`attrib`] — per-frame cycle attribution by stage with an exact
+//!   conservation invariant against the frame's critical path.
+//! * [`slo`] — declarative SLOs with deterministic multi-window burn-rate
+//!   alerting on the virtual clock (the `PATU_SLO` knob).
+//! * [`dump`] — `PATU_OBS_DUMP` perceptual debug artifacts (PPM heatmaps
+//!   and per-tile decision maps).
 //!
 //! Nothing here depends on wall clocks, random state, iteration order of
 //! hash maps, or anything else that could differ between two runs of the
@@ -34,19 +40,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attrib;
 pub mod collect;
 pub mod config;
+pub mod dump;
 pub mod hist;
 pub mod json;
 pub mod recorder;
 pub mod report;
 pub mod schema;
 pub mod sink;
+pub mod slo;
 pub mod span;
 
+pub use attrib::{Attribution, Stage};
 pub use collect::{Collector, FrameTelemetry};
 pub use config::{trace_out_dir, TelemetryConfig, TraceLevel};
+pub use dump::{heat_color, obs_dump_dir, write_ppm, TileGrid};
 pub use hist::Log2Histogram;
 pub use recorder::{FlightDump, FlightRecorder};
 pub use report::Table;
+pub use slo::{SloAlert, SloOptions, SloSpec, SloTracker};
 pub use span::{Event, EventKind, Span, Track};

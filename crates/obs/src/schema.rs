@@ -9,10 +9,12 @@
 
 use crate::json::{self, Json};
 
-/// The line types the sink emits. `"serve"` lines come from the
-/// `patu-serve` layer's per-job log rather than the frame sink, but share
-/// the stream format so one checker covers both.
-pub const LINE_TYPES: [&str; 7] = ["frame", "counter", "hist", "span", "event", "dump", "serve"];
+/// The line types the sink emits. `"serve"`, `"trace"` and `"slo"` lines
+/// come from the `patu-serve` layer's per-job log rather than the frame
+/// sink, but share the stream format so one checker covers both.
+pub const LINE_TYPES: [&str; 10] = [
+    "frame", "counter", "hist", "span", "event", "dump", "serve", "trace", "slo", "attrib",
+];
 
 fn require_num(obj: &Json, key: &str) -> Result<f64, String> {
     obj.get(key)
@@ -49,8 +51,61 @@ fn check_event_fields(obj: &Json) -> Result<(), String> {
             require_num(obj, "count")?;
             Ok(())
         }
+        "slo_burn" => {
+            require_str(obj, "slo")?;
+            require_num(obj, "burn_x1000")?;
+            Ok(())
+        }
         other => Err(format!("unknown event kind \"{other}\"")),
     }
+}
+
+/// Validates the span array of a `"trace"` line as a well-formed tree:
+/// unique ids ≥ 1, exactly one root (`parent == 0`) matching the line's
+/// `root` field, every non-zero parent present, and `start <= end` on each
+/// node.
+fn check_trace_tree(spans: &[Json], root: u64) -> Result<(), String> {
+    if spans.is_empty() {
+        return Err("trace has no spans".to_string());
+    }
+    let mut ids = Vec::with_capacity(spans.len());
+    let mut parents = Vec::with_capacity(spans.len());
+    let mut roots = Vec::new();
+    for (i, span) in spans.iter().enumerate() {
+        let err = |e: String| format!("trace span {i}: {e}");
+        let id = require_num(span, "id").map_err(err)? as u64;
+        let parent =
+            require_num(span, "parent").map_err(|e| format!("trace span {i}: {e}"))? as u64;
+        require_str(span, "name").map_err(|e| format!("trace span {i}: {e}"))?;
+        let start = require_num(span, "start").map_err(|e| format!("trace span {i}: {e}"))?;
+        let end = require_num(span, "end").map_err(|e| format!("trace span {i}: {e}"))?;
+        if id == 0 {
+            return Err(format!("trace span {i}: id must be >= 1"));
+        }
+        if start > end {
+            return Err(format!("trace span {i}: start {start} > end {end}"));
+        }
+        if ids.contains(&id) {
+            return Err(format!("trace span {i}: duplicate id {id}"));
+        }
+        if parent == 0 {
+            roots.push(id);
+        }
+        ids.push(id);
+        parents.push(parent);
+    }
+    if roots.len() != 1 {
+        return Err(format!("trace has {} roots, want exactly 1", roots.len()));
+    }
+    if roots[0] != root {
+        return Err(format!("trace root field {root} != tree root {}", roots[0]));
+    }
+    for (i, &parent) in parents.iter().enumerate() {
+        if parent != 0 && !ids.contains(&parent) {
+            return Err(format!("trace span {i}: parent {parent} not in tree"));
+        }
+    }
+    Ok(())
 }
 
 /// Validates one JSONL telemetry line.
@@ -120,9 +175,78 @@ pub fn check_line(line: &str) -> Result<(), String> {
             if end >= start && dur != end - start {
                 return Err(format!("dur {dur} != end {end} - start {start}"));
             }
+            // Tree spans carry id/parent; flat spans omit both.
+            if let Some(id) = obj.get("id") {
+                let id = id.as_num().ok_or("non-numeric \"id\"")?;
+                if id < 1.0 {
+                    return Err(format!("span id {id} must be >= 1"));
+                }
+                require_num(&obj, "parent")?;
+            } else if obj.get("parent").is_some() {
+                return Err("span has \"parent\" without \"id\"".to_string());
+            }
             Ok(())
         }
         "event" => check_event_fields(&obj),
+        "trace" => {
+            require_num(&obj, "job")?;
+            require_num(&obj, "client")?;
+            require_num(&obj, "tier")?;
+            let outcome = require_str(&obj, "outcome")?;
+            if !matches!(outcome, "delivered" | "shed" | "failed") {
+                return Err(format!("unknown trace outcome \"{outcome}\""));
+            }
+            let root = require_num(&obj, "root")? as u64;
+            let spans = obj
+                .get("spans")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| "missing or non-array \"spans\"".to_string())?;
+            check_trace_tree(spans, root)
+        }
+        "slo" => {
+            require_str(&obj, "slo")?;
+            require_num(&obj, "cycle")?;
+            require_num(&obj, "job")?;
+            require_num(&obj, "burn_fast_x1000")?;
+            require_num(&obj, "burn_slow_x1000")?;
+            let budget = require_num(&obj, "budget_x1000")?;
+            if budget < 1.0 {
+                return Err(format!("slo budget_x1000 {budget} must be >= 1"));
+            }
+            let fast = require_num(&obj, "fast_window")?;
+            let slow = require_num(&obj, "slow_window")?;
+            if fast < 1.0 || slow < fast {
+                return Err(format!("slo windows out of order: fast={fast} slow={slow}"));
+            }
+            Ok(())
+        }
+        "attrib" => {
+            require_num(&obj, "frame")?;
+            let total = require_num(&obj, "total")?;
+            let Some(Json::Obj(stages)) = obj.get("stages") else {
+                return Err("missing or non-object \"stages\"".to_string());
+            };
+            let mut render_sum = 0.0f64;
+            for (name, value) in stages {
+                let stage = crate::attrib::Stage::from_name(name)
+                    .ok_or_else(|| format!("unknown attribution stage \"{name}\""))?;
+                let cycles = value
+                    .as_num()
+                    .ok_or_else(|| format!("non-numeric stage \"{name}\""))?;
+                if cycles < 0.0 {
+                    return Err(format!("negative stage \"{name}\""));
+                }
+                if stage.on_render_path() {
+                    render_sum += cycles;
+                }
+            }
+            if render_sum != total {
+                return Err(format!(
+                    "attribution not conserved: stage sum {render_sum} != total {total}"
+                ));
+            }
+            Ok(())
+        }
         "serve" => {
             require_num(&obj, "job")?;
             require_num(&obj, "client")?;
@@ -292,6 +416,70 @@ mod tests {
             .contains("before arrival"));
         let failed_missing = "{\"type\":\"serve\",\"job\":8,\"client\":0,\"tier\":1,\"scene\":\"hl2\",\"frame\":0,\"arrival\":100,\"deadline\":400,\"outcome\":\"failed\",\"finish\":900}";
         assert!(check_line(failed_missing).unwrap_err().contains("retries"));
+    }
+
+    #[test]
+    fn trace_lines_validate_tree_shape() {
+        let good = "{\"type\":\"trace\",\"job\":3,\"client\":1,\"tier\":0,\"outcome\":\"delivered\",\"root\":1,\"spans\":[{\"id\":1,\"parent\":0,\"name\":\"serve::job\",\"start\":100,\"end\":900},{\"id\":2,\"parent\":1,\"name\":\"serve::queue\",\"start\":100,\"end\":150}]}";
+        assert!(check_line(good).is_ok());
+        let orphan = "{\"type\":\"trace\",\"job\":3,\"client\":1,\"tier\":0,\"outcome\":\"shed\",\"root\":1,\"spans\":[{\"id\":1,\"parent\":0,\"name\":\"serve::job\",\"start\":0,\"end\":9},{\"id\":2,\"parent\":7,\"name\":\"x\",\"start\":0,\"end\":1}]}";
+        assert!(check_line(orphan).unwrap_err().contains("not in tree"));
+        let two_roots = "{\"type\":\"trace\",\"job\":3,\"client\":1,\"tier\":0,\"outcome\":\"failed\",\"root\":1,\"spans\":[{\"id\":1,\"parent\":0,\"name\":\"a\",\"start\":0,\"end\":1},{\"id\":2,\"parent\":0,\"name\":\"b\",\"start\":0,\"end\":1}]}";
+        assert!(check_line(two_roots).unwrap_err().contains("roots"));
+        let dup = "{\"type\":\"trace\",\"job\":3,\"client\":1,\"tier\":0,\"outcome\":\"shed\",\"root\":1,\"spans\":[{\"id\":1,\"parent\":0,\"name\":\"a\",\"start\":0,\"end\":1},{\"id\":1,\"parent\":1,\"name\":\"b\",\"start\":0,\"end\":1}]}";
+        assert!(check_line(dup).unwrap_err().contains("duplicate"));
+        let empty = "{\"type\":\"trace\",\"job\":3,\"client\":1,\"tier\":0,\"outcome\":\"shed\",\"root\":1,\"spans\":[]}";
+        assert!(check_line(empty).unwrap_err().contains("no spans"));
+        let bad_outcome = "{\"type\":\"trace\",\"job\":3,\"client\":1,\"tier\":0,\"outcome\":\"lost\",\"root\":1,\"spans\":[{\"id\":1,\"parent\":0,\"name\":\"a\",\"start\":0,\"end\":1}]}";
+        assert!(check_line(bad_outcome).unwrap_err().contains("lost"));
+    }
+
+    #[test]
+    fn slo_lines_validate() {
+        let good = "{\"type\":\"slo\",\"slo\":\"slo::shed\",\"cycle\":4200,\"job\":17,\"burn_fast_x1000\":9000,\"burn_slow_x1000\":2500,\"budget_x1000\":50,\"fast_window\":100,\"slow_window\":800}";
+        assert!(check_line(good).is_ok());
+        let bad_windows = "{\"type\":\"slo\",\"slo\":\"slo::shed\",\"cycle\":4200,\"job\":17,\"burn_fast_x1000\":9000,\"burn_slow_x1000\":2500,\"budget_x1000\":50,\"fast_window\":800,\"slow_window\":100}";
+        assert!(check_line(bad_windows).unwrap_err().contains("windows"));
+        let zero_budget = "{\"type\":\"slo\",\"slo\":\"s\",\"cycle\":1,\"job\":1,\"burn_fast_x1000\":1,\"burn_slow_x1000\":1,\"budget_x1000\":0,\"fast_window\":1,\"slow_window\":1}";
+        assert!(check_line(zero_budget).unwrap_err().contains("budget"));
+    }
+
+    #[test]
+    fn attrib_lines_enforce_conservation() {
+        use crate::attrib::{Attribution, Stage};
+        let mut a = Attribution::new();
+        a.add(Stage::Setup, 100);
+        a.add(Stage::Shade, 400);
+        a.add(Stage::Dram, 500);
+        a.add(Stage::SsimBaseline, 9_999);
+        assert!(check_line(&a.jsonl_line(2)).is_ok());
+        let broken = "{\"type\":\"attrib\",\"frame\":0,\"total\":100,\"stages\":{\"setup\":60,\"shade\":60}}";
+        assert!(check_line(broken).unwrap_err().contains("not conserved"));
+        let unknown = "{\"type\":\"attrib\",\"frame\":0,\"total\":5,\"stages\":{\"mystery\":5}}";
+        assert!(check_line(unknown).unwrap_err().contains("mystery"));
+        // ssim_baseline rides outside the conservation sum.
+        let side = "{\"type\":\"attrib\",\"frame\":0,\"total\":10,\"stages\":{\"setup\":10,\"ssim_baseline\":77}}";
+        assert!(check_line(side).is_ok());
+    }
+
+    #[test]
+    fn span_id_parent_pairs_validate() {
+        let tree = "{\"type\":\"span\",\"frame\":0,\"name\":\"raster::tile\",\"track\":\"cluster0\",\"tid\":1,\"start\":10,\"end\":30,\"dur\":20,\"id\":4294967297,\"parent\":0}";
+        assert!(check_line(tree).is_ok());
+        let zero_id = "{\"type\":\"span\",\"frame\":0,\"name\":\"x\",\"track\":\"cluster0\",\"tid\":1,\"start\":0,\"end\":1,\"dur\":1,\"id\":0,\"parent\":0}";
+        assert!(check_line(zero_id).unwrap_err().contains(">= 1"));
+        let orphan_parent = "{\"type\":\"span\",\"frame\":0,\"name\":\"x\",\"track\":\"cluster0\",\"tid\":1,\"start\":0,\"end\":1,\"dur\":1,\"parent\":3}";
+        assert!(check_line(orphan_parent)
+            .unwrap_err()
+            .contains("without \"id\""));
+    }
+
+    #[test]
+    fn slo_burn_events_validate() {
+        let good = "{\"type\":\"event\",\"frame\":0,\"cycle\":900,\"cluster\":0,\"tile\":0,\"kind\":\"slo_burn\",\"slo\":\"slo::miss::interactive\",\"burn_x1000\":12000}";
+        assert!(check_line(good).is_ok());
+        let missing = "{\"type\":\"event\",\"frame\":0,\"cycle\":900,\"cluster\":0,\"tile\":0,\"kind\":\"slo_burn\"}";
+        assert!(check_line(missing).is_err());
     }
 
     #[test]

@@ -30,6 +30,13 @@ fn event_fields(frame: u32, e: &Event) -> String {
         EventKind::Fallback { count } => {
             let _ = write!(out, ",\"count\":{count}");
         }
+        EventKind::SloBurn { slo, burn_x1000 } => {
+            let _ = write!(
+                out,
+                ",\"slo\":\"{}\",\"burn_x1000\":{burn_x1000}",
+                escape(slo)
+            );
+        }
         EventKind::TileBegin | EventKind::TileEnd | EventKind::WatchdogTrip => {}
     }
     out
@@ -47,6 +54,11 @@ fn span_line(frame: u32, s: &Span) -> String {
     );
     if !s.arg_name.is_empty() {
         let _ = write!(line, ",\"args\":{{\"{}\":{}}}", escape(s.arg_name), s.arg);
+    }
+    // Tree spans carry their causal links; flat (legacy) spans omit them so
+    // pre-existing artifacts keep their exact shape.
+    if s.id != 0 {
+        let _ = write!(line, ",\"id\":{},\"parent\":{}", s.id, s.parent);
     }
     line.push('}');
     line
@@ -117,6 +129,9 @@ pub fn jsonl_frame(t: &FrameTelemetry) -> String {
         line.push_str("]}");
         let _ = writeln!(out, "{line}");
     }
+    if !t.attrib.is_empty() {
+        let _ = writeln!(out, "{}", t.attrib.jsonl_line(t.frame));
+    }
     for span in &t.spans {
         let _ = writeln!(out, "{}", span_line(t.frame, span));
     }
@@ -145,11 +160,18 @@ pub fn jsonl(frames: &[FrameTelemetry]) -> String {
 /// unit, nominally microseconds, is irrelevant for relative inspection).
 pub fn chrome_trace(frames: &[FrameTelemetry]) -> String {
     let mut tracks: BTreeMap<u32, String> = BTreeMap::new();
+    // Tree-span index for causal flow arrows: id -> (tid, start cycle).
+    let mut by_id: BTreeMap<u64, (u32, u64)> = BTreeMap::new();
     for t in frames {
         for span in &t.spans {
             tracks
                 .entry(span.track.tid())
                 .or_insert_with(|| span.track.name());
+            if span.id != 0 {
+                by_id
+                    .entry(span.id)
+                    .or_insert((span.track.tid(), span.start));
+            }
         }
     }
     let mut out = String::from("{\"traceEvents\":[\n");
@@ -184,6 +206,27 @@ pub fn chrome_trace(frames: &[FrameTelemetry]) -> String {
                 let _ = write!(out, ",\"{}\":{}", escape(span.arg_name), span.arg);
             }
             out.push_str("}}");
+            // Nesting on one track is implied by ts/dur; a parent on a
+            // *different* track gets an explicit flow arrow (start at the
+            // parent, finish at the child's first cycle).
+            if span.id != 0 && span.parent != 0 {
+                if let Some(&(parent_tid, parent_start)) = by_id.get(&span.parent) {
+                    if parent_tid != span.track.tid() {
+                        let _ = write!(
+                            out,
+                            ",\n{{\"ph\":\"s\",\"pid\":0,\"tid\":{parent_tid},\"ts\":{parent_start},\"id\":{},\"name\":\"causal\",\"cat\":\"flow\"}}",
+                            span.id
+                        );
+                        let _ = write!(
+                            out,
+                            ",\n{{\"ph\":\"f\",\"bp\":\"e\",\"pid\":0,\"tid\":{},\"ts\":{},\"id\":{},\"name\":\"causal\",\"cat\":\"flow\"}}",
+                            span.track.tid(),
+                            span.start,
+                            span.id
+                        );
+                    }
+                }
+            }
         }
     }
     out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
@@ -211,6 +254,15 @@ pub fn report(t: &FrameTelemetry) -> String {
             table.row(&[label, count.to_string(), cycles.to_string()]);
         }
         out.push_str(&table.render());
+    }
+
+    if !t.attrib.is_empty() {
+        let _ = write!(
+            out,
+            "\ncycle attribution (critical path; {} cycles conserved):\n",
+            t.attrib.frame_total()
+        );
+        out.push_str(&t.attrib.table().render());
     }
 
     if !t.hists.is_empty() {
@@ -367,6 +419,58 @@ mod tests {
         assert!(text.contains("fault seed 7"));
         assert!(text.contains("raster::tile"));
         assert!(text.contains("texture::filter_latency"));
+    }
+
+    #[test]
+    fn tree_spans_emit_ids_and_cross_track_flows() {
+        use crate::attrib::{Attribution, Stage};
+        let mut frame = FrameTelemetry::new(TraceLevel::Spans, 0, "Patu".into(), 0);
+        let mut serve =
+            Collector::new(TelemetryConfig::with_level(TraceLevel::Spans), Track::Serve);
+        let job = serve.span_node("serve::job", 0, 500, 0, "job", 1);
+        let mut cluster = Collector::new(
+            TelemetryConfig::with_level(TraceLevel::Spans),
+            Track::Cluster(0),
+        );
+        cluster.span_node("raster::tile", 100, 400, job, "tile", 0);
+        frame.absorb(serve);
+        frame.absorb(cluster);
+        let mut attrib = Attribution::new();
+        attrib.add(Stage::Setup, 100);
+        attrib.add(Stage::Shade, 300);
+        frame.attrib = attrib;
+
+        let stream = jsonl_frame(&frame);
+        let lines: Vec<&str> = stream.lines().collect();
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("\"type\":\"attrib\"") && l.contains("\"total\":400")));
+        let tree_span = lines
+            .iter()
+            .find(|l| l.contains("raster::tile"))
+            .expect("tree span serialized");
+        assert!(tree_span.contains(&format!("\"parent\":{job}")));
+        for line in &lines {
+            json::parse(line).unwrap_or_else(|e| panic!("line {line:?}: {e}"));
+        }
+
+        let doc = chrome_trace(&[frame.clone()]);
+        json::parse(&doc).expect("valid trace json");
+        assert!(doc.contains("\"ph\":\"s\""), "flow start emitted");
+        assert!(doc.contains("\"ph\":\"f\""), "flow finish emitted");
+
+        let text = report(&frame);
+        assert!(text.contains("cycle attribution"));
+        assert!(text.contains("shade"));
+    }
+
+    #[test]
+    fn flat_spans_carry_no_id_or_flow() {
+        let frame = sample_frame();
+        let stream = jsonl_frame(&frame);
+        assert!(!stream.contains("\"id\":"), "legacy spans stay flat");
+        let doc = chrome_trace(&[frame]);
+        assert!(!doc.contains("\"cat\":\"flow\""));
     }
 
     #[test]

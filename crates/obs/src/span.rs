@@ -12,15 +12,19 @@ pub enum Track {
     /// Off-pipeline analysis work (SSIM, report generation) clocked in
     /// deterministic work units instead of GPU cycles.
     Analysis,
+    /// The serving layer's job-lifecycle timeline (admit, queue, dispatch,
+    /// deliver), clocked on the same virtual clock as the GPU tracks.
+    Serve,
 }
 
 impl Track {
     /// A stable small integer for Chrome-trace `tid` assignment: front-end
-    /// 0, clusters 1..=N, analysis 999.
+    /// 0, clusters 1..=N, serve 500, analysis 999.
     pub fn tid(self) -> u32 {
         match self {
             Track::Frontend => 0,
             Track::Cluster(c) => c + 1,
+            Track::Serve => 500,
             Track::Analysis => 999,
         }
     }
@@ -30,6 +34,7 @@ impl Track {
         match self {
             Track::Frontend => "frontend".to_string(),
             Track::Cluster(c) => format!("cluster{c}"),
+            Track::Serve => "serve".to_string(),
             Track::Analysis => "analysis".to_string(),
         }
     }
@@ -51,6 +56,11 @@ pub struct Span {
     pub arg_name: &'static str,
     /// Argument value (tile index, item count, …).
     pub arg: u64,
+    /// Deterministic span id (`(tid + 1) << 32 | seq`), or 0 for legacy
+    /// flat spans that never participate in a causal tree.
+    pub id: u64,
+    /// Id of the causal parent span, or 0 for roots and flat spans.
+    pub parent: u64,
 }
 
 impl Span {
@@ -84,6 +94,14 @@ pub enum EventKind {
     /// The per-frame cycle-budget watchdog tripped; the rest of the
     /// cluster's tile stream renders degraded.
     WatchdogTrip,
+    /// An SLO burn-rate alert fired: the named objective is consuming its
+    /// error budget `burn_x1000 / 1000` times faster than sustainable.
+    SloBurn {
+        /// The SLO's stable name (e.g. `slo::miss::interactive`).
+        slo: &'static str,
+        /// Fast-window burn rate, fixed-point ×1000.
+        burn_x1000: u64,
+    },
 }
 
 impl EventKind {
@@ -95,6 +113,7 @@ impl EventKind {
             EventKind::Fault { .. } => "fault",
             EventKind::Fallback { .. } => "fallback",
             EventKind::WatchdogTrip => "watchdog_trip",
+            EventKind::SloBurn { .. } => "slo_burn",
         }
     }
 }
@@ -134,8 +153,16 @@ mod tests {
             end: 4,
             arg_name: "",
             arg: 0,
+            id: 0,
+            parent: 0,
         };
         assert_eq!(s.duration(), 0);
+    }
+
+    #[test]
+    fn serve_track_is_distinct() {
+        assert_eq!(Track::Serve.tid(), 500);
+        assert_eq!(Track::Serve.name(), "serve");
     }
 
     #[test]
@@ -150,5 +177,13 @@ mod tests {
             "fault"
         );
         assert_eq!(EventKind::WatchdogTrip.label(), "watchdog_trip");
+        assert_eq!(
+            EventKind::SloBurn {
+                slo: "slo::shed",
+                burn_x1000: 8000
+            }
+            .label(),
+            "slo_burn"
+        );
     }
 }

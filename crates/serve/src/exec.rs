@@ -127,6 +127,7 @@ pub struct SimFrameService {
     threads: usize,
     baselines: BTreeMap<(usize, u32), (GrayImage, u64)>,
     rendered: BTreeMap<RenderKey, ServedFrame>,
+    baseline_cycles: u64,
 }
 
 impl SimFrameService {
@@ -155,6 +156,7 @@ impl SimFrameService {
             threads: parallel::thread_count(cfg.threads),
             baselines: BTreeMap::new(),
             rendered: BTreeMap::new(),
+            baseline_cycles: 0,
         })
     }
 
@@ -162,6 +164,14 @@ impl SimFrameService {
     /// governor's quantization actually bounds distinct render work.
     pub fn distinct_renders(&self) -> usize {
         self.rendered.len()
+    }
+
+    /// Simulated cycles spent rendering 16×AF SSIM baselines — reference
+    /// work on the analysis track, *not* on any serving GPU's clock. This
+    /// is the source for the attribution profiler's `ssim_baseline` stage
+    /// (excluded from the render-path conservation sum).
+    pub fn baseline_cycles(&self) -> u64 {
+        self.baseline_cycles
     }
 
     fn check_scene(&self, key: &RenderKey) -> Result<(), ServeError> {
@@ -188,7 +198,7 @@ impl SimFrameService {
             return Ok(());
         }
         let workloads = &self.workloads;
-        let results: Vec<Result<(GrayImage, u64), SimError>> =
+        let results: Vec<Result<(GrayImage, u64, u64), SimError>> =
             parallel::run_indexed(self.threads.min(need.len()), need.len(), |i| {
                 let (scene, frame) = need[i];
                 // The baseline is the *reference*: rendered clean (no fault
@@ -197,10 +207,11 @@ impl SimFrameService {
                 let cfg = RenderConfig::new(FilterPolicy::Baseline).with_threads(1);
                 let result = render_frame(&workloads[scene], frame, &cfg)?;
                 let hash = hash_image(&result);
-                Ok((result.luma(), hash))
+                Ok((result.luma(), hash, result.stats.cycles))
             });
         for (id, result) in need.into_iter().zip(results) {
-            let (luma, hash) = result?;
+            let (luma, hash, cycles) = result?;
+            self.baseline_cycles += cycles;
             self.baselines.insert(id, (luma, hash));
         }
         Ok(())

@@ -62,6 +62,7 @@ pub mod health;
 pub mod job;
 pub mod queue;
 pub mod server;
+mod trace;
 pub mod workload;
 
 pub use chaos::{default_scenario, Scenario};

@@ -25,13 +25,15 @@ use crate::governor::QualityGovernor;
 use crate::health::{BreakerState, CircuitBreaker, HealthModel};
 use crate::job::{CompletedJob, Job, Outcome, Tier};
 use crate::queue::{Admission, AdmissionQueue};
+use crate::trace::{AttemptTraceKind, TraceBuilder};
 use crate::workload::{self, ServeConfig};
 use patu_core::FilterPolicy;
 use patu_gmath::DetRng;
 use patu_obs::json::{escape, num_fixed};
 use patu_obs::report::Table;
 use patu_obs::{
-    sink, Collector, Event, EventKind, FrameTelemetry, Log2Histogram, TelemetryConfig, Track,
+    sink, Collector, Event, EventKind, FrameTelemetry, Log2Histogram, SloAlert, SloTracker,
+    TelemetryConfig, Track,
 };
 use std::collections::BTreeMap;
 
@@ -69,6 +71,8 @@ pub struct ServeStats {
     /// Attempts that came back with a corrupt frame hash (transient GPU
     /// faults).
     pub corrupt_frames: u64,
+    /// SLO burn-rate alerts fired (see [`ServeReport::alerts`]).
+    pub slo_alerts: u64,
     /// Virtual cycle the last job finished.
     pub makespan: u64,
     /// Sum of delivered SSIM (for the mean).
@@ -131,9 +135,14 @@ pub struct ServeReport {
     pub stats: ServeStats,
     /// Terminal record of every job, in completion order.
     pub completed: Vec<CompletedJob>,
-    /// The JSONL serve log (one `"serve"` line per job, schema-checked by
-    /// `patu_obs::schema`).
+    /// The JSONL serve log, schema-checked by `patu_obs::schema`: one
+    /// `"serve"` line per job, plus (at [`patu_obs::TraceLevel::Spans`])
+    /// one `"trace"` causal-tree line per job, plus one `"slo"` line per
+    /// fired burn-rate alert when [`ServeConfig::slo`] tracking is on.
     pub log: String,
+    /// SLO burn-rate alerts in firing order — deterministic virtual-clock
+    /// cycles, bit-identical across runs and `PATU_THREADS` settings.
+    pub alerts: Vec<SloAlert>,
     /// Spans (per job and batch, on per-GPU tracks), session counters,
     /// and per-GPU outage postmortems, exportable as a Chrome trace.
     pub telemetry: FrameTelemetry,
@@ -181,6 +190,29 @@ enum AttemptEnd {
     Crashed { at: u64 },
 }
 
+/// What a standard SLO spec measures — which terminal outcomes it
+/// observes and what counts as "bad". Paired positionally with
+/// [`patu_obs::SloOptions::standard_specs`], which returns the suite in
+/// exactly this order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SloKind {
+    /// Deadline misses (and outright failures) for one tier's jobs.
+    Miss(Tier),
+    /// Deliveries below the configured SSIM floor.
+    SsimFloor,
+    /// Jobs shed at admission, over all terminals.
+    Shed,
+}
+
+/// The kinds matching `SloOptions::standard_specs` element-for-element.
+const SLO_KINDS: [SloKind; 5] = [
+    SloKind::Miss(Tier::Interactive),
+    SloKind::Miss(Tier::Standard),
+    SloKind::Miss(Tier::Batch),
+    SloKind::SsimFloor,
+    SloKind::Shed,
+];
+
 /// State for one session run; split out so the event loop reads linearly.
 struct Session<'a, S: FrameService> {
     cfg: &'a ServeConfig,
@@ -199,6 +231,22 @@ struct Session<'a, S: FrameService> {
     dumped_outages: Vec<(usize, u64)>,
     gpu_free: Vec<u64>,
     gpu_obs: Vec<Collector>,
+    /// Session-track collector: job lifecycle spans (the flow roots the
+    /// per-GPU render spans link to), SLO burn events, and burn
+    /// postmortem dumps.
+    obs: Collector,
+    /// In-flight causal trace trees, keyed by job id; populated only at
+    /// `TraceLevel::Spans`, drained at each job's terminal outcome.
+    traces: BTreeMap<u64, TraceBuilder>,
+    /// Whether per-job trace trees are being built (spans-level trace).
+    trace_jobs: bool,
+    /// Burn-rate trackers paired with what they measure; empty when SLO
+    /// tracking is off.
+    slos: Vec<(SloKind, SloTracker)>,
+    /// Alerts fired so far, in firing order.
+    alerts: Vec<SloAlert>,
+    /// Delivered-SSIM floor (×1000) for the `slo::ssim_floor` objective.
+    ssim_floor_x1000: u64,
     mean_service: u64,
     now: u64,
     stats: ServeStats,
@@ -241,6 +289,91 @@ impl<'a, S: FrameService> Session<'a, S> {
         self.log.push('\n');
     }
 
+    /// Opens a causal trace tree for a newly submitted job (spans-level
+    /// trace only), reserving the session-track span id its GPU render
+    /// spans will flow-link to.
+    fn begin_trace(&mut self, job: &Job) {
+        if self.trace_jobs {
+            let flow = self.obs.reserve_span_id();
+            self.traces.insert(job.id, TraceBuilder::new(job, flow));
+        }
+    }
+
+    /// Feeds a job's terminal outcome to every SLO tracker it is in scope
+    /// for, returning the alerts that fired on this observation.
+    fn observe_slos(
+        &mut self,
+        job: &Job,
+        outcome: Outcome,
+        finish: u64,
+        ssim: f64,
+    ) -> Vec<SloAlert> {
+        let mut fired = Vec::new();
+        for (kind, tracker) in &mut self.slos {
+            let bad = match (*kind, outcome) {
+                // Shed rate is measured over every terminal: the objective
+                // is "what fraction of submitted work did we turn away".
+                (SloKind::Shed, _) => outcome == Outcome::Shed,
+                // Miss objectives see only their tier's executed jobs:
+                // a late delivery or an outright failure burns budget.
+                (SloKind::Miss(t), Outcome::Delivered) if t == job.tier => finish > job.deadline,
+                (SloKind::Miss(t), Outcome::Failed) if t == job.tier => true,
+                // The SSIM floor sees deliveries only.
+                (SloKind::SsimFloor, Outcome::Delivered) => {
+                    ssim * 1000.0 < self.ssim_floor_x1000 as f64
+                }
+                _ => continue,
+            };
+            if let Some(alert) = tracker.observe(finish, bad, job.id) {
+                fired.push(alert);
+            }
+        }
+        fired
+    }
+
+    /// Common terminal-outcome bookkeeping, after the `"serve"` log line:
+    /// SLO observations (alerts land in the flight recorder, the event
+    /// stream, the log, and the job's own trace), then the trace line.
+    fn terminal(&mut self, job: &Job, outcome: Outcome, finish: u64, ssim: f64) {
+        let fired = if self.slos.is_empty() {
+            Vec::new()
+        } else {
+            self.observe_slos(job, outcome, finish, ssim)
+        };
+        for alert in &fired {
+            self.stats.slo_alerts += 1;
+            self.obs.event(Event {
+                cycle: alert.cycle,
+                cluster: 0,
+                tile: 0,
+                kind: EventKind::SloBurn {
+                    slo: alert.slo,
+                    burn_x1000: alert.burn_fast_x1000,
+                },
+            });
+            self.obs.dump("slo_burn", alert.cycle, 0);
+        }
+        if let Some(mut builder) = self.traces.remove(&job.id) {
+            for alert in &fired {
+                builder.slo_burn(alert.slo);
+            }
+            self.obs.span_with_id(
+                builder.flow(),
+                "serve::lifecycle",
+                job.arrival,
+                finish.max(job.arrival),
+                0,
+                ("job", job.id),
+            );
+            self.log.push_str(&builder.finish(outcome, finish));
+        }
+        for alert in &fired {
+            self.log.push_str(&alert.jsonl_line());
+            self.log.push('\n');
+        }
+        self.alerts.extend(fired);
+    }
+
     fn shed(&mut self, job: Job) {
         let done = CompletedJob {
             job,
@@ -257,6 +390,7 @@ impl<'a, S: FrameService> Session<'a, S> {
         self.stats.shed += 1;
         self.log_line(&job, &done);
         self.completed.push(done);
+        self.terminal(&job, Outcome::Shed, job.arrival, 0.0);
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -295,6 +429,7 @@ impl<'a, S: FrameService> Session<'a, S> {
         }
         self.log_line(&job, &done);
         self.completed.push(done);
+        self.terminal(&job, Outcome::Delivered, finish, ssim);
     }
 
     /// Records a job's terminal failure at cycle `finish` after spending
@@ -316,6 +451,7 @@ impl<'a, S: FrameService> Session<'a, S> {
         self.stats.makespan = self.stats.makespan.max(finish);
         self.log_line(&job, &done);
         self.completed.push(done);
+        self.terminal(&job, Outcome::Failed, finish, 0.0);
     }
 
     /// Whether `gpu` can take a dispatch right now: idle and not
@@ -379,6 +515,28 @@ impl<'a, S: FrameService> Session<'a, S> {
         self.gpu_obs[gpu].dump("gpu_outage", at, 0);
     }
 
+    /// Records one attempt (and its render work, when cycles were spent)
+    /// into the job's trace tree, if one is being built.
+    #[allow(clippy::too_many_arguments)]
+    fn trace_attempt(
+        &mut self,
+        job: &Job,
+        span: &'static str,
+        kind: AttemptTraceKind,
+        gpu: usize,
+        attempt: u32,
+        start: u64,
+        end: u64,
+        cycles: u64,
+    ) {
+        if let Some(builder) = self.traces.get_mut(&job.id) {
+            let id = builder.attempt(span == "serve::hedge", kind, gpu, attempt, start, end);
+            if cycles > 0 {
+                builder.render(id, start, end, cycles);
+            }
+        }
+    }
+
     /// Runs one attempt of `job` on `gpu` starting at `start`, applying
     /// the health model: straggle windows stretch the cycles, an outage
     /// kills the attempt, and a transient draw corrupts the delivered
@@ -401,9 +559,18 @@ impl<'a, S: FrameService> Session<'a, S> {
         let timeout = self.mean_service.max(1);
         if let Some((episode, _)) = self.health.outage_covering(gpu, start) {
             self.note_outage(gpu, episode);
-            return AttemptEnd::Crashed {
-                at: start.saturating_add(timeout),
-            };
+            let at = start.saturating_add(timeout);
+            self.trace_attempt(
+                job,
+                span,
+                AttemptTraceKind::Crashed,
+                gpu,
+                attempt,
+                start,
+                at,
+                0,
+            );
+            return AttemptEnd::Crashed { at };
         }
         let factor = self.health.straggle_factor(gpu, start);
         let mut cycles = frame.cycles.max(1);
@@ -423,12 +590,25 @@ impl<'a, S: FrameService> Session<'a, S> {
         let finish = start.saturating_add(cycles);
         if let Some((at, _)) = self.health.next_outage_in(gpu, start, finish) {
             self.note_outage(gpu, at);
-            return AttemptEnd::Crashed {
-                at: at.saturating_add(timeout),
-            };
+            let detected = at.saturating_add(timeout);
+            self.trace_attempt(
+                job,
+                span,
+                AttemptTraceKind::Crashed,
+                gpu,
+                attempt,
+                start,
+                detected,
+                0,
+            );
+            return AttemptEnd::Crashed { at: detected };
         }
         self.governor.observe(cycles);
-        self.gpu_obs[gpu].span_arg(span, start, finish, "job", job.id);
+        // The per-GPU render span parents to the job's session-track
+        // lifecycle span, so the Chrome exporter draws a flow arrow from
+        // the job lane down into the GPU lane that executed it.
+        let flow = self.traces.get(&job.id).map_or(0, TraceBuilder::flow);
+        self.gpu_obs[gpu].span_node(span, start, finish, flow, "job", job.id);
         // A transient fault leaves the cycles spent but the content hash
         // wrong — detection is comparing the observed hash against the
         // frame's own content hash.
@@ -440,8 +620,28 @@ impl<'a, S: FrameService> Session<'a, S> {
         };
         if observed != frame.image_hash {
             self.stats.corrupt_frames += 1;
+            self.trace_attempt(
+                job,
+                span,
+                AttemptTraceKind::Corrupt,
+                gpu,
+                attempt,
+                start,
+                finish,
+                cycles,
+            );
             return AttemptEnd::Corrupt { finish };
         }
+        self.trace_attempt(
+            job,
+            span,
+            AttemptTraceKind::Clean,
+            gpu,
+            attempt,
+            start,
+            finish,
+            cycles,
+        );
         AttemptEnd::Done { finish }
     }
 
@@ -469,6 +669,9 @@ impl<'a, S: FrameService> Session<'a, S> {
         ) {
             Ok(due) => {
                 self.stats.retries += 1;
+                if let Some(builder) = self.traces.get_mut(&job.id) {
+                    builder.retry_wait(at, due);
+                }
                 self.attempts.insert(job.id, failed_attempts);
                 self.retries.insert((due, job.id), job);
             }
@@ -518,6 +721,9 @@ impl<'a, S: FrameService> Session<'a, S> {
         };
         self.breakers[secondary].note_dispatch(self.now);
         self.stats.hedges += 1;
+        if let Some(builder) = self.traces.get_mut(&job.id) {
+            builder.dispatched(self.now);
+        }
         let prior = self.attempts.get(&job.id).copied().unwrap_or(0);
         let attempt = prior + 1;
         let starts = [
@@ -642,6 +848,13 @@ impl<'a, S: FrameService> Session<'a, S> {
                     .take_same_scene(&head, self.cfg.batch_max.saturating_sub(1)),
             );
         }
+        if self.trace_jobs {
+            for j in &batch {
+                if let Some(builder) = self.traces.get_mut(&j.id) {
+                    builder.dispatched(self.now);
+                }
+            }
+        }
         let keys: Vec<RenderKey> = batch
             .iter()
             .map(|j| RenderKey {
@@ -728,6 +941,13 @@ pub fn run_session<S: FrameService>(
     let health = cfg
         .scenario
         .model(cfg.gpus, mean_service, horizon, cfg.seed);
+    // The burn-rate windows scale off the same horizon the chaos scripts
+    // use, so "fast" and "slow" mean the same thing at any load.
+    let slo_specs = if cfg.slo.enabled {
+        cfg.slo.standard_specs(horizon)
+    } else {
+        Vec::new()
+    };
 
     let mut session = Session {
         cfg,
@@ -758,6 +978,16 @@ pub fn run_session<S: FrameService>(
         gpu_obs: (0..cfg.gpus)
             .map(|g| Collector::new(telemetry_cfg, Track::Cluster(g as u32)))
             .collect(),
+        obs: Collector::new(telemetry_cfg, Track::Serve),
+        traces: BTreeMap::new(),
+        trace_jobs: cfg.trace.spans_enabled(),
+        slos: SLO_KINDS
+            .into_iter()
+            .zip(slo_specs)
+            .map(|(kind, spec)| (kind, SloTracker::new(spec)))
+            .collect(),
+        alerts: Vec::new(),
+        ssim_floor_x1000: cfg.slo.ssim_floor_x1000,
         mean_service,
         now: 0,
         stats: ServeStats {
@@ -775,6 +1005,7 @@ pub fn run_session<S: FrameService>(
         while next_arrival < jobs.len() && jobs[next_arrival].arrival <= session.now {
             let job = jobs[next_arrival];
             next_arrival += 1;
+            session.begin_trace(&job);
             match session.queue.offer(job) {
                 Admission::Admitted(depth) => session.stats.queue_depth.record(depth as u64),
                 Admission::Rejected(job) => session.shed(job),
@@ -797,6 +1028,9 @@ pub fn run_session<S: FrameService>(
                     let retries = session.attempts.remove(&id).unwrap_or(1).saturating_sub(1);
                     session.fail(job, session.now, retries);
                     continue;
+                }
+                if let Some(builder) = session.traces.get_mut(&id) {
+                    builder.requeued(session.now);
                 }
                 let depth = session.queue.requeue(job);
                 session.stats.queue_depth.record(depth as u64);
@@ -851,13 +1085,16 @@ pub fn run_session<S: FrameService>(
         completed,
         log,
         gpu_obs,
+        obs,
+        alerts,
         ..
     } = session;
 
     let mut telemetry = FrameTelemetry::new(cfg.trace, 0, format!("{base_policy:?}"), cfg.seed);
-    for obs in gpu_obs {
-        telemetry.absorb(obs);
+    for gpu in gpu_obs {
+        telemetry.absorb(gpu);
     }
+    telemetry.absorb(obs);
     telemetry
         .counters
         .insert("serve::submitted", stats.submitted);
@@ -886,6 +1123,11 @@ pub fn run_session<S: FrameService>(
     telemetry
         .counters
         .insert("serve::corrupt_frames", stats.corrupt_frames);
+    if cfg.slo.enabled {
+        telemetry
+            .counters
+            .insert("serve::slo_alerts", stats.slo_alerts);
+    }
     telemetry
         .hists
         .insert("serve::queue_depth", stats.queue_depth);
@@ -904,6 +1146,7 @@ pub fn run_session<S: FrameService>(
         stats,
         completed,
         log,
+        alerts,
         telemetry,
     })
 }
@@ -1200,6 +1443,82 @@ mod tests {
         assert_eq!(s.straggles, 0);
         assert_eq!(s.corrupt_frames, 0);
         assert!(report.telemetry.dumps.is_empty());
+    }
+
+    #[test]
+    fn spans_trace_emits_a_well_formed_tree_per_job() {
+        let report = run(&ServeConfig {
+            trace: patu_obs::TraceLevel::Spans,
+            scenario: Scenario::HalfPoolOutage,
+            jobs_per_client: 24,
+            load: 1.5,
+            ..cfg()
+        });
+        // One "serve" line plus one schema-validated "trace" tree per job.
+        let checked = patu_obs::schema::check_stream(&report.log).expect("valid lines");
+        assert_eq!(checked as u64, report.stats.submitted * 2);
+        let traces = report
+            .log
+            .lines()
+            .filter(|l| l.starts_with("{\"type\":\"trace\""))
+            .count();
+        assert_eq!(traces as u64, report.stats.submitted);
+        assert!(report.stats.failed > 0, "the outage actually failed jobs");
+        assert!(report.log.contains("serve::attempt::crashed"));
+        assert!(report.log.contains("serve::retry_wait"));
+        // Lifecycle spans land on the serve track and flow into GPU lanes.
+        assert!(report.chrome_trace().contains("serve::lifecycle"));
+    }
+
+    #[test]
+    fn counters_trace_emits_no_trace_lines() {
+        let report = run(&cfg());
+        assert!(!report.log.contains("\"type\":\"trace\""));
+        assert_eq!(report.log.lines().count() as u64, report.stats.submitted);
+    }
+
+    #[test]
+    fn half_pool_outage_burns_slo_budget_deterministically() {
+        let c = ServeConfig {
+            slo: patu_obs::SloOptions::default(),
+            trace: patu_obs::TraceLevel::Spans,
+            scenario: Scenario::HalfPoolOutage,
+            // Enough terminals that the fast burn window (horizon/64)
+            // holds its 8-sample minimum during the outage.
+            jobs_per_client: 48,
+            load: 1.5,
+            ..cfg()
+        };
+        let a = run(&c);
+        assert!(!a.alerts.is_empty(), "losing half the pool burns budget");
+        assert_eq!(a.stats.slo_alerts, a.alerts.len() as u64);
+        let b = run(&c);
+        assert_eq!(a.alerts, b.alerts, "alert cycles are deterministic");
+        // Alerts land in the log, the flight recorder, the event stream,
+        // and the trace of the job whose observation tipped the burn.
+        let slo_lines = a
+            .log
+            .lines()
+            .filter(|l| l.starts_with("{\"type\":\"slo\""))
+            .count();
+        assert_eq!(slo_lines, a.alerts.len());
+        assert!(a.telemetry.dumps.iter().any(|d| d.reason == "slo_burn"));
+        assert!(a.log.contains("\"slo_burns\":["));
+        assert_eq!(
+            a.telemetry.counters["serve::slo_alerts"],
+            a.alerts.len() as u64
+        );
+        patu_obs::schema::check_stream(&a.log).expect("slo lines pass the schema");
+    }
+
+    #[test]
+    fn calm_sessions_fire_no_slo_alerts() {
+        let report = run(&ServeConfig {
+            slo: patu_obs::SloOptions::default(),
+            ..cfg()
+        });
+        assert!(report.alerts.is_empty(), "{:?}", report.alerts);
+        assert_eq!(report.stats.slo_alerts, 0);
     }
 
     #[test]

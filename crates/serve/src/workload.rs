@@ -19,7 +19,7 @@ use crate::health::ResilienceConfig;
 use crate::job::{Job, Tier};
 use patu_gmath::DetRng;
 use patu_gpu::FaultConfig;
-use patu_obs::TraceLevel;
+use patu_obs::{SloOptions, TraceLevel};
 
 /// Fallback client count when `PATU_SERVE_CLIENTS` is unset or invalid.
 const DEFAULT_CLIENTS: usize = 8;
@@ -100,8 +100,14 @@ pub struct ServeConfig {
     /// then available parallelism; outputs are bit-identical across all
     /// values.
     pub threads: Option<usize>,
-    /// Telemetry level for serve spans/counters.
+    /// Telemetry level for serve spans/counters. At
+    /// [`TraceLevel::Spans`] the session also emits one `"trace"` JSONL
+    /// line per terminated job — its full causal lifecycle tree.
     pub trace: TraceLevel,
+    /// SLO burn-rate tracking (see [`patu_obs::slo`]). Off by default so
+    /// the serve log stays minimal; binaries that want the `PATU_SLO` knob
+    /// resolve it via [`SloOptions::from_env`].
+    pub slo: SloOptions,
 }
 
 impl Default for ServeConfig {
@@ -128,6 +134,7 @@ impl Default for ServeConfig {
             resilience: ResilienceConfig::default(),
             threads: None,
             trace: TraceLevel::Counters,
+            slo: SloOptions::disabled(),
         }
     }
 }

@@ -2,13 +2,16 @@
 
 use crate::error::SimError;
 use crate::parallel;
-use patu_core::{DivergenceStats, FilterPolicy, PerceptionAwareTextureUnit, SoaBatch};
+use patu_core::{
+    DecisionAttrib, DivergenceStats, FilterPolicy, PerceptionAwareTextureUnit, SoaBatch,
+};
 use patu_gpu::{
-    FaultConfig, FaultCounts, FrameStats, FrameTimer, GpuConfig, MemSideEffects, MemorySystem,
-    TextureRequest, TextureUnit, TrafficClass,
+    FaultConfig, FaultCounts, FrameStats, FrameTimer, GpuConfig, MemAttribCycles, MemSideEffects,
+    MemorySystem, TextureRequest, TextureUnit, TrafficClass,
 };
 use patu_obs::{
-    Collector, Event, EventKind, FrameTelemetry, Log2Histogram, TelemetryConfig, Track,
+    Attribution, Collector, Event, EventKind, FrameTelemetry, Log2Histogram, Stage,
+    TelemetryConfig, Track,
 };
 use patu_quality::GrayImage;
 use patu_raster::{Framebuffer, GeometryOutput, Pipeline};
@@ -171,6 +174,23 @@ impl RenderConfig {
     }
 }
 
+/// Per-tile approximation coverage: how many fragments the tile shaded and
+/// how many of them the policy demoted. This is the raw material for the
+/// `PATU_OBS_DUMP` demotion-decision map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileApproxStats {
+    /// Tile index in the frame's tile list.
+    pub tile: u32,
+    /// Tile column.
+    pub tx: u32,
+    /// Tile row.
+    pub ty: u32,
+    /// Fragments shaded in this tile.
+    pub fragments: u64,
+    /// Fragments whose filtering was approximated (demoted).
+    pub demoted: u64,
+}
+
 /// Everything produced by rendering one frame.
 #[derive(Debug, Clone)]
 pub struct FrameResult {
@@ -191,6 +211,10 @@ pub struct FrameResult {
     /// enabled; `None` at [`patu_obs::TraceLevel::Off`]. Boxed so the
     /// disabled path carries one pointer.
     pub telemetry: Option<Box<FrameTelemetry>>,
+    /// Per-tile approximation coverage in tile-index order (for demotion
+    /// maps; always collected — the counters ride the existing per-fragment
+    /// decision flow).
+    pub tile_stats: Vec<TileApproxStats>,
 }
 
 impl FrameResult {
@@ -330,6 +354,8 @@ pub fn render_scene(
     let mut fault_counts = FaultCounts::default();
     let mut filter_hist = Log2Histogram::new();
     let mut cluster_obs = Vec::with_capacity(clusters);
+    let mut cluster_attrib: Vec<ClusterAttribInput> = Vec::with_capacity(clusters);
+    let mut tile_stats: Vec<TileApproxStats> = Vec::with_capacity(geometry.tiles.len());
     let tile_size = cfg.gpu.tile_size;
     for (c, out) in outputs.into_iter().enumerate() {
         timer.merge_cluster(c, out.finish);
@@ -352,8 +378,18 @@ pub fn render_scene(
         sharing.accumulate(&out.sharing);
         fault_counts.accumulate(&out.faults);
         filter_hist.accumulate(&out.filter_hist);
+        cluster_attrib.push(ClusterAttribInput {
+            finish: out.finish,
+            shade_cycles: out.shade_cycles,
+            tex_work_cycles: out.tex_work_cycles,
+            mem: out.mem_attrib,
+            decisions: out.decisions,
+        });
+        tile_stats.extend(out.tiles);
         cluster_obs.push(out.obs);
     }
+    // Cluster partitions interleave tiles, so restore frame tile order.
+    tile_stats.sort_unstable_by_key(|t| t.tile);
 
     // Framebuffer writeout: each tile's pixels once per frame, with
     // lossless framebuffer compression (~2:1, standard on mobile GPUs).
@@ -416,6 +452,7 @@ pub fn render_scene(
         merged
             .hists
             .insert("filter::latency", stats.filter_latency_hist);
+        merged.attrib = assemble_attribution(frontend, stats.cycles, &cluster_attrib);
         Some(Box::new(merged))
     } else {
         None
@@ -429,7 +466,57 @@ pub fn render_scene(
         divergence,
         degraded,
         telemetry,
+        tile_stats,
     })
+}
+
+/// Per-cluster inputs to the critical-path cycle attribution: the cluster's
+/// finish cycle plus the telemetry-gated component work counters measured
+/// while its tile stream ran.
+struct ClusterAttribInput {
+    finish: u64,
+    shade_cycles: u64,
+    tex_work_cycles: u64,
+    mem: MemAttribCycles,
+    decisions: DecisionAttrib,
+}
+
+/// Builds the frame's cycle attribution from the critical cluster (the one
+/// whose finish cycle equals the frame time; ties break toward the lowest
+/// cluster index). See `patu_obs::attrib` for the conservation identity —
+/// the returned breakdown's [`Attribution::frame_total`] always equals
+/// `total`.
+fn assemble_attribution(frontend: u64, total: u64, clusters: &[ClusterAttribInput]) -> Attribution {
+    let mut attrib = Attribution::new();
+    let crit = clusters
+        .iter()
+        .enumerate()
+        .max_by(|(ia, a), (ib, b)| a.finish.cmp(&b.finish).then(ib.cmp(ia)))
+        .map(|(_, c)| c);
+    match crit {
+        Some(c) if c.finish > frontend => {
+            attrib.add(Stage::Setup, frontend);
+            // The identity guarantees shade <= finish - frontend; the clamp
+            // keeps conservation unconditional rather than trusting it.
+            let shade = c.shade_cycles.min(c.finish - frontend);
+            attrib.add(Stage::Shade, shade);
+            let stall = c.finish - frontend - shade;
+            attrib.scatter_stall(
+                stall,
+                &[
+                    (Stage::Predictor, c.decisions.predictor_evals),
+                    (Stage::HashStage1, c.decisions.stage1_consults),
+                    (Stage::HashStage2, c.decisions.stage2_accesses),
+                    (Stage::TexelFetch, c.tex_work_cycles + c.mem.l1),
+                    (Stage::CacheStall, c.mem.l2),
+                    (Stage::Dram, c.mem.dram),
+                ],
+            );
+        }
+        // No tile ever outran the front end: the whole frame is setup.
+        _ => attrib.add(Stage::Setup, total),
+    }
+    attrib
 }
 
 /// One cluster's worker-private simulation state: its slice of the memory
@@ -458,6 +545,11 @@ struct ClusterOutput {
     faults: FaultCounts,
     filter_hist: Log2Histogram,
     obs: Collector,
+    shade_cycles: u64,
+    tex_work_cycles: u64,
+    mem_attrib: MemAttribCycles,
+    decisions: DecisionAttrib,
+    tiles: Vec<TileApproxStats>,
 }
 
 /// Reusable per-tile quad-outcome accumulator: a flat `(fragments,
@@ -527,6 +619,8 @@ fn run_cluster(
     let mut wasted_addr_taps = 0u64;
     let mut degraded = false;
     let mut filter_hist = Log2Histogram::new();
+    let mut shade_cycles = 0u64;
+    let mut tile_stats: Vec<TileApproxStats> = Vec::with_capacity(tiles.len());
     let mut obs = Collector::new(cfg.telemetry, Track::Cluster(cluster as u32));
     let trace = obs.is_enabled();
     if trace {
@@ -574,6 +668,7 @@ fn run_cluster(
             });
         }
         let mut texture_done = start;
+        let mut tile_demoted = 0u64;
         let tile_x0 = tile.tx * cfg.gpu.tile_size;
         let tile_y0 = tile.ty * cfg.gpu.tile_size;
 
@@ -631,13 +726,9 @@ fn run_cluster(
                     texture_done = texture_done.max(timing.completion);
                     wasted_addr_taps += u64::from(outcome.decision.wasted_addr_taps);
 
-                    quads.record(
-                        frag.x,
-                        frag.y,
-                        tile_x0,
-                        tile_y0,
-                        outcome.decision.is_approximated(),
-                    );
+                    let demoted = outcome.decision.is_approximated();
+                    tile_demoted += u64::from(demoted);
+                    quads.record(frag.x, frag.y, tile_x0, tile_y0, demoted);
 
                     // Fragment shading applies the material's (possibly
                     // non-linear) response to the filtered texel — the
@@ -689,7 +780,9 @@ fn run_cluster(
                         let decision = batch.decision(lane);
                         wasted_addr_taps += u64::from(decision.wasted_addr_taps);
 
-                        quads.record(frag.x, frag.y, tile_x0, tile_y0, decision.is_approximated());
+                        let demoted = decision.is_approximated();
+                        tile_demoted += u64::from(demoted);
+                        quads.record(frag.x, frag.y, tile_x0, tile_y0, demoted);
 
                         let shaded = workload.shader(frag.material).apply(batch.color(lane));
                         image.put(frag.x, frag.y, shaded);
@@ -702,15 +795,37 @@ fn run_cluster(
         quads.flush(&mut divergence);
         let shading = timer.shading_cycles(tile.fragments.len() as u64);
         timer.end_tile(cluster, shading, texture_done);
+        shade_cycles += shading;
+        tile_stats.push(TileApproxStats {
+            tile: ti as u32,
+            tx: tile.tx,
+            ty: tile.ty,
+            fragments: tile.fragments.len() as u64,
+            demoted: tile_demoted,
+        });
 
         if trace {
             let end = timer.cluster_cycles(cluster);
-            obs.span_arg("raster::tile", start, end, "tile", ti as u64);
+            let tile_span = obs.span_node("raster::tile", start, end, 0, "tile", ti as u64);
             if shading > 0 {
-                obs.span("raster::tile::shade", start, start + shading);
+                obs.span_node(
+                    "raster::tile::shade",
+                    start,
+                    start + shading,
+                    tile_span,
+                    "",
+                    0,
+                );
             }
             if texture_done > start {
-                obs.span("raster::tile::texture", start, texture_done);
+                obs.span_node(
+                    "raster::tile::texture",
+                    start,
+                    texture_done,
+                    tile_span,
+                    "",
+                    0,
+                );
             }
             obs.event(Event {
                 cycle: end,
@@ -783,6 +898,11 @@ fn run_cluster(
         faults,
         filter_hist,
         obs,
+        shade_cycles,
+        tex_work_cycles: shard.tex.attrib_work_cycles(),
+        mem_attrib: shard.mem.attrib_cycles(),
+        decisions: shard.patu.decision_attrib(),
+        tiles: tile_stats,
     }
 }
 
@@ -1043,6 +1163,89 @@ mod tests {
             .unwrap();
         assert_eq!(dump.fault_seed, 42);
         assert!(dump.policy.starts_with("Patu"));
+    }
+
+    #[test]
+    fn attribution_conserves_frame_cycles() {
+        let w = workload();
+        for policy in [
+            FilterPolicy::Baseline,
+            FilterPolicy::NoAf,
+            FilterPolicy::Patu { threshold: 0.4 },
+        ] {
+            let cfg = RenderConfig::new(policy)
+                .with_telemetry(TelemetryConfig::with_level(patu_obs::TraceLevel::Counters));
+            let r = render(&w, 0, &cfg);
+            let t = r.telemetry.expect("counters level records");
+            assert_eq!(
+                t.attrib.frame_total(),
+                r.stats.cycles,
+                "conservation for {policy:?}"
+            );
+            assert!(t.attrib.get(Stage::Setup) > 0, "front-end work exists");
+            assert!(t.attrib.get(Stage::Shade) > 0, "shading work exists");
+        }
+    }
+
+    #[test]
+    fn patu_attribution_sees_prediction_flow_work() {
+        let w = workload();
+        let cfg = RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 })
+            .with_telemetry(TelemetryConfig::with_level(patu_obs::TraceLevel::Counters));
+        let r = render(&w, 0, &cfg);
+        let t = r.telemetry.expect("counters level records");
+        assert!(
+            t.attrib.get(Stage::Predictor) > 0,
+            "predictor evaluations attributed"
+        );
+        assert!(t.attrib.get(Stage::TexelFetch) > 0, "texel work attributed");
+        assert_eq!(
+            t.attrib.get(Stage::SsimBaseline),
+            0,
+            "no analysis track inside a render"
+        );
+    }
+
+    #[test]
+    fn tile_stats_cover_every_tile_and_count_demotions() {
+        let w = workload();
+        let r = render(
+            &w,
+            0,
+            &RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 }),
+        );
+        assert!(!r.tile_stats.is_empty());
+        assert!(
+            r.tile_stats.windows(2).all(|w| w[0].tile < w[1].tile),
+            "tile order restored after the cluster merge"
+        );
+        let fragments: u64 = r.tile_stats.iter().map(|t| t.fragments).sum();
+        let demoted: u64 = r.tile_stats.iter().map(|t| t.demoted).sum();
+        assert_eq!(fragments, r.approx.pixels);
+        assert_eq!(demoted, r.approx.stage1_approx + r.approx.stage2_approx);
+        assert!(demoted > 0, "the policy demotes at θ=0.4");
+    }
+
+    #[test]
+    fn raster_spans_form_a_tree() {
+        let w = workload();
+        let cfg = RenderConfig::new(FilterPolicy::Baseline)
+            .with_telemetry(TelemetryConfig::with_level(patu_obs::TraceLevel::Spans));
+        let r = render(&w, 0, &cfg);
+        let t = r.telemetry.expect("spans level records");
+        let spans = &t.spans;
+        assert!(spans.iter().any(|s| s.name == "raster::tile" && s.id != 0));
+        for s in spans {
+            if s.name.starts_with("raster::tile::") {
+                assert_ne!(s.parent, 0, "{} must link to its tile", s.name);
+                let parent = spans.iter().find(|p| p.id == s.parent);
+                assert!(
+                    parent.is_some_and(|p| p.name == "raster::tile"),
+                    "{} parent must be a tile span",
+                    s.name
+                );
+            }
+        }
     }
 
     #[test]

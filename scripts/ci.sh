@@ -20,7 +20,13 @@
 #      SoA kernel vs. the scalar filter path and the sampled MSSIM
 #      estimator vs. the full scan, and hard-fails if either ratio
 #      regresses >10% against the recorded BENCH_*.json baselines.
-#   6. Lint: patu-lint (the workspace invariant checker — determinism,
+#   6. Report smoke: the observability gate (patu_report --check) —
+#      per-frame cycle attribution must conserve on every bundled scene
+#      and hold against BENCH_attribution.json, a half-pool-outage chaos
+#      session must fire SLO burn alerts at deterministic cycles with a
+#      schema-clean trace tree per job, and the trace/SLO artifacts must
+#      be byte-identical across thread counts.
+#   7. Lint: patu-lint (the workspace invariant checker — determinism,
 #      error hygiene, telemetry gating; hard fail on any violation),
 #      clippy over every target (libs, bins, tests, benches, examples)
 #      with warnings promoted to errors, and cargo fmt --check.
@@ -58,6 +64,9 @@ cargo run -q --release -p patu-bench --bin serve_chaos -- --smoke
 
 echo "==> bench --smoke: perf ratio gate vs recorded BENCH_*.json baselines"
 cargo run -q --release -p patu-bench --bin bench_smoke
+
+echo "==> report smoke: attribution conservation + trace/SLO determinism gate"
+cargo run -q --release -p patu-bench --bin patu_report -- --check
 
 if [[ "${1:-}" != "--skip-lint" ]]; then
     echo "==> lint: patu-lint (workspace invariants)"

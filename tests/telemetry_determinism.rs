@@ -2,7 +2,10 @@
 //! Chrome trace) must be byte-identical across `PATU_THREADS` settings,
 //! with and without fault injection, at every trace level — and `off` must
 //! record nothing at all. The flight recorder's postmortems must name the
-//! offending frame, tile, cluster, policy and fault seed.
+//! offending frame, tile, cluster, policy and fault seed. The serve-layer
+//! grid extends the same bar to observability v2: causal trace trees, SLO
+//! burn alerts and per-frame cycle attribution must be bit-identical
+//! across thread counts under every chaos scenario.
 
 use patu_core::FilterPolicy;
 use patu_gpu::FaultConfig;
@@ -163,6 +166,157 @@ fn fault_fallback_dump_carries_the_seed() {
             .any(|e| matches!(e.kind, EventKind::Fallback { .. })),
         "the ring retains the fallback event"
     );
+}
+
+mod serve_observability {
+    //! Observability v2 determinism: per-job causal trace trees, SLO
+    //! burn-rate alerts and attribution-bearing artifacts out of full
+    //! serve sessions, pinned across `PATU_THREADS` and chaos scenarios.
+
+    use patu_core::FilterPolicy;
+    use patu_obs::{schema, sink, SloOptions, TelemetryConfig, TraceLevel};
+    use patu_scenes::Workload;
+    use patu_serve::{run_session, Scenario, ServeConfig, SimFrameService, SyntheticService};
+    use patu_sim::render::{render_frame, RenderConfig};
+
+    const CHAOS_GRID: [Scenario; 3] = [
+        Scenario::SingleGpuFlap,
+        Scenario::HalfPoolOutage,
+        Scenario::StragglerStorm,
+    ];
+
+    /// A dense synthetic session: enough jobs for retries, hedges and
+    /// (under outage) SLO burn alerts, cheap enough to run per scenario.
+    fn chaos_cfg(scenario: Scenario) -> ServeConfig {
+        ServeConfig {
+            seed: 1207,
+            clients: 4,
+            jobs_per_client: 48,
+            scenario,
+            load: 1.5,
+            gpus: 2,
+            queue_capacity: 8,
+            trace: TraceLevel::Spans,
+            slo: SloOptions::default(),
+            pressure_gain: 0.4,
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn every_terminal_job_leaves_a_well_formed_trace_tree() {
+        for scenario in CHAOS_GRID {
+            let cfg = chaos_cfg(scenario);
+            let mut svc = SyntheticService::new(1_000_000, cfg.governor_steps);
+            let report = run_session(&cfg, &mut svc).unwrap();
+            // The schema checker walks every trace line's span tree:
+            // single root, valid parent links, children inside bounds.
+            schema::check_stream(&report.log)
+                .unwrap_or_else(|(line, err)| panic!("{scenario:?}: line {line}: {err}"));
+            let traces = report
+                .log
+                .lines()
+                .filter(|l| l.starts_with("{\"type\":\"trace\""))
+                .count();
+            assert_eq!(
+                traces as u64, report.stats.submitted,
+                "{scenario:?}: one causal tree per submitted job"
+            );
+            assert!(
+                report.log.contains("serve::lifecycle"),
+                "{scenario:?}: every tree is rooted in the job lifecycle"
+            );
+        }
+    }
+
+    #[test]
+    fn serve_artifacts_bit_identical_across_threads_under_chaos() {
+        for scenario in CHAOS_GRID {
+            let base = ServeConfig {
+                clients: 3,
+                jobs_per_client: 4,
+                resolution: (96, 64),
+                frame_span: 2,
+                ..chaos_cfg(scenario)
+            };
+            let mut artifacts = Vec::new();
+            for threads in [1usize, 4] {
+                let cfg = ServeConfig {
+                    threads: Some(threads),
+                    ..base.clone()
+                };
+                let mut svc = SimFrameService::new(&cfg).unwrap();
+                let report = run_session(&cfg, &mut svc).unwrap();
+                schema::check_stream(&report.log)
+                    .unwrap_or_else(|(line, err)| panic!("{scenario:?}: line {line}: {err}"));
+                artifacts.push((report.log.clone(), report.chrome_trace()));
+            }
+            assert_eq!(
+                artifacts[0].0, artifacts[1].0,
+                "{scenario:?}: serve log must not depend on the thread count"
+            );
+            assert_eq!(
+                artifacts[0].1, artifacts[1].1,
+                "{scenario:?}: chrome trace must not depend on the thread count"
+            );
+        }
+    }
+
+    #[test]
+    fn half_pool_outage_alerts_fire_at_identical_cycles_across_runs() {
+        let cfg = chaos_cfg(Scenario::HalfPoolOutage);
+        let mut cycles = Vec::new();
+        for _ in 0..2 {
+            let mut svc = SyntheticService::new(1_000_000, cfg.governor_steps);
+            let report = run_session(&cfg, &mut svc).unwrap();
+            assert!(
+                !report.alerts.is_empty(),
+                "losing half the pool at 1.5x load burns SLO budget"
+            );
+            cycles.push(
+                report
+                    .alerts
+                    .iter()
+                    .map(|a| (a.slo, a.cycle))
+                    .collect::<Vec<_>>(),
+            );
+        }
+        assert_eq!(
+            cycles[0], cycles[1],
+            "burn alerts land at deterministic virtual-clock cycles"
+        );
+    }
+
+    #[test]
+    fn attribution_artifacts_conserve_and_match_across_threads() {
+        let w = Workload::build("doom3", (128, 96)).unwrap();
+        let base = RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 })
+            .with_telemetry(TelemetryConfig::with_level(TraceLevel::Counters));
+        let mut lines = Vec::new();
+        for threads in [1usize, 4] {
+            let r = render_frame(&w, 0, &base.with_threads(threads)).unwrap();
+            let t = r.telemetry.expect("counters level records");
+            assert_eq!(
+                t.attrib.frame_total(),
+                r.stats.cycles,
+                "render-path stage cycles conserve to the frame total"
+            );
+            lines.push(t.attrib.jsonl_line(0));
+        }
+        assert_eq!(
+            lines[0], lines[1],
+            "the attribution line must not depend on the thread count"
+        );
+        schema::check_stream(&format!("{}\n", lines[0]))
+            .unwrap_or_else(|(line, err)| panic!("line {line}: {err}"));
+        // The full JSONL sink carries the attribution line per frame.
+        let r = render_frame(&w, 0, &base.with_threads(1)).unwrap();
+        let stream = sink::jsonl(std::slice::from_ref(&r.telemetry.unwrap()));
+        assert!(
+            stream.contains("{\"type\":\"attrib\""),
+            "sink::jsonl emits the per-frame attribution line"
+        );
+    }
 }
 
 #[test]
