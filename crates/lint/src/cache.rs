@@ -1,0 +1,489 @@
+//! The incremental-lint cache under `target/patu-lint/`.
+//!
+//! A file's *entire* per-file analysis — raw intraprocedural diagnostics,
+//! pragma suppression table, and the facts the global pass consumes — is a
+//! pure function of its bytes, so it is cached by content hash (FNV-1a,
+//! hand-rolled: the linter stays zero-dep). A warm run re-hashes every
+//! file but skips lexing, item parsing, and dataflow for unchanged ones.
+//! The *global* pass (call graph, knob reachability, schema sync) is always
+//! recomputed from the cached facts — a change to any file can invalidate
+//! interprocedural conclusions about every file in its dependency closure,
+//! and the facts make recomputation cheap, so invalidation is handled by
+//! construction rather than by tracking the closure explicitly.
+//!
+//! The cache is one JSON document, parsed back with the same hand-rolled
+//! parser the SARIF validator uses. Any version or workspace-fingerprint
+//! mismatch drops the whole cache — correctness over cleverness. The
+//! fingerprint folds in every file *path* (not contents), so adding or
+//! deleting files invalidates implicitly while unchanged files still hit.
+
+use crate::dataflow::{CallFact, FileFacts, FnFacts};
+use crate::diag::Diagnostic;
+use crate::rules::{FileAnalysis, Suppression};
+use crate::sarif::{self, Json};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Bumped whenever rule or fact semantics change; stale caches self-evict.
+pub const LINT_VERSION: u32 = 2;
+
+/// FNV-1a over bytes — stable across platforms and runs, no dependencies.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Fingerprint of the workspace *shape*: the ordered relative paths.
+#[must_use]
+pub fn workspace_fingerprint(files: &[String]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for f in files {
+        h ^= fnv1a(f.as_bytes());
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The loaded cache: path → (content hash, analysis at that hash).
+#[derive(Debug, Default)]
+pub struct Cache {
+    entries: BTreeMap<String, (u64, FileAnalysis)>,
+    /// Whether any entry changed since load (skip the write when clean).
+    dirty: bool,
+}
+
+impl Cache {
+    /// Loads the cache for `root`, or an empty one when missing, stale, or
+    /// from a different workspace shape. Never errors: an unreadable cache
+    /// is just a cold cache.
+    #[must_use]
+    pub fn load(root: &Path, fingerprint: u64) -> Self {
+        let mut cache = Self::default();
+        let Ok(text) = std::fs::read_to_string(cache_path(root)) else {
+            return cache;
+        };
+        let Ok(doc) = sarif::parse(&text) else {
+            return cache;
+        };
+        if read_u64(doc.get("version")) != Some(u64::from(LINT_VERSION))
+            || doc.get("fingerprint").and_then(Json::str)
+                != Some(format!("{fingerprint:016x}").as_str())
+        {
+            return cache;
+        }
+        for entry in doc.get("files").map(Json::items).unwrap_or(&[]) {
+            let (Some(path), Some(hash)) = (
+                entry.get("path").and_then(Json::str),
+                entry
+                    .get("hash")
+                    .and_then(Json::str)
+                    .and_then(|h| u64::from_str_radix(h, 16).ok()),
+            ) else {
+                continue;
+            };
+            let Some(analysis) = decode_analysis(path, entry) else {
+                continue;
+            };
+            cache.entries.insert(path.to_string(), (hash, analysis));
+        }
+        cache
+    }
+
+    /// Returns the cached analysis when `hash` matches the stored entry.
+    #[must_use]
+    pub fn get(&self, path: &str, hash: u64) -> Option<&FileAnalysis> {
+        self.entries
+            .get(path)
+            .filter(|(h, _)| *h == hash)
+            .map(|(_, a)| a)
+    }
+
+    /// Records a fresh per-file analysis.
+    pub fn put(&mut self, path: &str, hash: u64, analysis: FileAnalysis) {
+        self.dirty = true;
+        self.entries.insert(path.to_string(), (hash, analysis));
+    }
+
+    /// Drops entries for paths no longer in the workspace.
+    pub fn retain_paths(&mut self, live: &[String]) {
+        let before = self.entries.len();
+        self.entries.retain(|p, _| live.contains(p));
+        if self.entries.len() != before {
+            self.dirty = true;
+        }
+    }
+
+    /// Persists the cache when anything changed since load.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the directory or file cannot
+    /// be written. Callers treat this as a warning, not a lint failure.
+    pub fn store(&self, root: &Path, fingerprint: u64) -> std::io::Result<()> {
+        if !self.dirty {
+            return Ok(());
+        }
+        let path = cache_path(root);
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"version\": {LINT_VERSION}, \"fingerprint\": \"{fingerprint:016x}\", \"files\": ["
+        );
+        for (i, (p, (hash, analysis))) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n{{\"path\": {}, \"hash\": \"{hash:016x}\", ",
+                jstr(p)
+            );
+            encode_analysis(&mut out, analysis);
+            out.push('}');
+        }
+        out.push_str("\n]}\n");
+        std::fs::write(path, out)
+    }
+}
+
+fn cache_path(root: &Path) -> std::path::PathBuf {
+    root.join("target").join("patu-lint").join("cache.json")
+}
+
+fn jstr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+// Every field with a default value (empty list/string, false) is omitted
+// on encode — the decoder treats a missing key as the default. Most calls
+// carry no taint and most functions no summaries, so this roughly halves
+// the document and with it the warm-run parse time.
+fn encode_analysis(out: &mut String, a: &FileAnalysis) {
+    out.push_str("\"raw\": [");
+    for (i, d) in a.raw.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"r\": {}, \"l\": {}, \"m\": {}}}",
+            jstr(d.rule),
+            d.line,
+            jstr(&d.message)
+        );
+    }
+    out.push_str("], \"sup\": [");
+    for (i, s) in a.suppressions.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"r\": {}, \"t\": {}, \"p\": {}}}",
+            jstr(&s.rule),
+            s.target,
+            s.pragma_line
+        );
+    }
+    out.push_str("], \"fns\": [");
+    for (i, f) in a.facts.fns.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"q\": {}, \"n\": {}, \"l\": {}",
+            jstr(&f.qual),
+            jstr(&f.name),
+            f.line,
+        );
+        if f.in_test {
+            out.push_str(", \"it\": true");
+        }
+        if f.returns_float_string {
+            out.push_str(", \"rfs\": true");
+        }
+        if !f.rng_cross_params.is_empty() {
+            let _ = write!(out, ", \"rng\": {:?}", f.rng_cross_params);
+        }
+        if !f.thread_fold_params.is_empty() {
+            let _ = write!(out, ", \"tfp\": {:?}", f.thread_fold_params);
+        }
+        if !f.env_reads.is_empty() {
+            out.push_str(", \"env\": [");
+            encode_pairs(out, &f.env_reads);
+            out.push(']');
+        }
+        if !f.json_sinks.is_empty() {
+            out.push_str(", \"sinks\": [");
+            for (j, (line, args)) in f.json_sinks.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[{line}, [");
+                for (k, a) in args.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&jstr(a));
+                }
+                out.push_str("]]");
+            }
+            out.push(']');
+        }
+        if !f.calls.is_empty() {
+            out.push_str(", \"calls\": [");
+            for (j, c) in f.calls.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{{\"t\": {}, \"l\": {}", jstr(&c.target), c.line);
+                if !c.rng_args.is_empty() {
+                    let _ = write!(out, ", \"r\": {:?}", c.rng_args);
+                }
+                if !c.thread_args.is_empty() {
+                    let _ = write!(out, ", \"th\": {:?}", c.thread_args);
+                }
+                if !c.binds.is_empty() {
+                    let _ = write!(out, ", \"b\": {}", jstr(&c.binds));
+                }
+                if c.in_partition {
+                    out.push_str(", \"p\": true");
+                }
+                out.push('}');
+            }
+            out.push(']');
+        }
+        out.push('}');
+    }
+    out.push(']');
+    if !a.facts.emits.is_empty() {
+        out.push_str(", \"emits\": [");
+        encode_pairs(out, &a.facts.emits);
+        out.push(']');
+    }
+    if !a.facts.registry.is_empty() {
+        out.push_str(", \"reg\": [");
+        encode_pairs(out, &a.facts.registry);
+        out.push(']');
+    }
+}
+
+fn encode_pairs(out: &mut String, pairs: &[(String, u32)]) {
+    for (i, (name, line)) in pairs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "[{}, {line}]", jstr(name));
+    }
+}
+
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+fn read_u64(v: Option<&Json>) -> Option<u64> {
+    match v {
+        Some(Json::Num(n)) if *n >= 0.0 => Some(*n as u64),
+        _ => None,
+    }
+}
+
+fn read_u32(v: Option<&Json>) -> Option<u32> {
+    read_u64(v).and_then(|n| u32::try_from(n).ok())
+}
+
+fn read_usize_list(v: Option<&Json>) -> Vec<usize> {
+    v.map(Json::items)
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(|n| read_u64(Some(n)).and_then(|n| usize::try_from(n).ok()))
+        .collect()
+}
+
+fn read_bool(v: Option<&Json>) -> bool {
+    matches!(v, Some(Json::Bool(true)))
+}
+
+fn read_pairs(v: Option<&Json>) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    for item in v.map(Json::items).unwrap_or(&[]) {
+        let pair = item.items();
+        if let (Some(name), Some(line)) = (pair.first().and_then(Json::str), read_u32(pair.get(1)))
+        {
+            out.push((name.to_string(), line));
+        }
+    }
+    out
+}
+
+fn decode_analysis(path: &str, entry: &Json) -> Option<FileAnalysis> {
+    let mut raw = Vec::new();
+    for d in entry.get("raw").map(Json::items).unwrap_or(&[]) {
+        let rule_name = d.get("r").and_then(Json::str)?;
+        // Diagnostic rule ids are &'static; map back through the table.
+        let rule = crate::rules::RULES
+            .iter()
+            .map(|r| r.id)
+            .chain(["bad-pragma"])
+            .find(|id| *id == rule_name)?;
+        raw.push(Diagnostic {
+            rule,
+            path: path.to_string(),
+            line: read_u32(d.get("l"))?,
+            message: d.get("m").and_then(Json::str)?.to_string(),
+        });
+    }
+    let mut suppressions = Vec::new();
+    for s in entry.get("sup").map(Json::items).unwrap_or(&[]) {
+        suppressions.push(Suppression {
+            rule: s.get("r").and_then(Json::str)?.to_string(),
+            target: read_u32(s.get("t"))?,
+            pragma_line: read_u32(s.get("p"))?,
+        });
+    }
+    let mut fns = Vec::new();
+    for f in entry.get("fns").map(Json::items).unwrap_or(&[]) {
+        let mut json_sinks = Vec::new();
+        for sink in f.get("sinks").map(Json::items).unwrap_or(&[]) {
+            let pair = sink.items();
+            let line = read_u32(pair.first())?;
+            let args = pair
+                .get(1)
+                .map(Json::items)
+                .unwrap_or(&[])
+                .iter()
+                .filter_map(|a| a.str().map(str::to_string))
+                .collect();
+            json_sinks.push((line, args));
+        }
+        let mut calls = Vec::new();
+        for c in f.get("calls").map(Json::items).unwrap_or(&[]) {
+            calls.push(CallFact {
+                target: c.get("t").and_then(Json::str)?.to_string(),
+                line: read_u32(c.get("l"))?,
+                rng_args: read_usize_list(c.get("r")),
+                thread_args: read_usize_list(c.get("th")),
+                binds: c.get("b").and_then(Json::str).unwrap_or("").to_string(),
+                in_partition: read_bool(c.get("p")),
+            });
+        }
+        fns.push(FnFacts {
+            qual: f.get("q").and_then(Json::str)?.to_string(),
+            name: f.get("n").and_then(Json::str)?.to_string(),
+            line: read_u32(f.get("l"))?,
+            calls,
+            env_reads: read_pairs(f.get("env")),
+            rng_cross_params: read_usize_list(f.get("rng")),
+            thread_fold_params: read_usize_list(f.get("tfp")),
+            returns_float_string: read_bool(f.get("rfs")),
+            json_sinks,
+            in_test: read_bool(f.get("it")),
+        });
+    }
+    Some(FileAnalysis {
+        raw,
+        suppressions,
+        facts: FileFacts {
+            fns,
+            emits: read_pairs(entry.get("emits")),
+            registry: read_pairs(entry.get("reg")),
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable_and_input_sensitive() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+        assert_eq!(fnv1a(b"patu"), fnv1a(b"patu"));
+    }
+
+    fn sample_analysis(path: &str) -> FileAnalysis {
+        crate::rules::analyze_source(
+            path,
+            "use patu_gmath::DetRng;\n\
+             // patu-lint: allow(panic-path) — provably non-empty\n\
+             pub fn pick(v: &[u32], seed: u64) -> u32 {\n\
+                 let mut rng = DetRng::new(seed);\n\
+                 let i = rng.range(v.len() as u64) as usize;\n\
+                 v.first().copied().expect(\"non-empty\")\n\
+             }\n\
+             fn pct(x: f64) -> String { format!(\"{x:.1}%\") }\n",
+            &BTreeMap::new(),
+        )
+    }
+
+    #[test]
+    fn roundtrip_through_disk_preserves_analysis() {
+        let dir = std::env::temp_dir().join(format!("patu-lint-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = "crates/fake/src/engine.rs";
+        let analysis = sample_analysis(path);
+        let files = vec![path.to_string()];
+        let fp = workspace_fingerprint(&files);
+
+        let mut cache = Cache::default();
+        cache.put(path, 7, analysis);
+        cache.store(&dir, fp).expect("store");
+
+        let loaded = Cache::load(&dir, fp);
+        let hit = loaded.get(path, 7).expect("hash hit");
+        let fresh = sample_analysis(path);
+        assert_eq!(hit.raw.len(), fresh.raw.len());
+        assert_eq!(hit.suppressions, fresh.suppressions);
+        assert_eq!(hit.facts.fns.len(), fresh.facts.fns.len());
+        for (a, b) in hit.facts.fns.iter().zip(&fresh.facts.fns) {
+            assert_eq!(a.qual, b.qual);
+            assert_eq!(a.returns_float_string, b.returns_float_string);
+            assert_eq!(a.calls.len(), b.calls.len());
+            for (ca, cb) in a.calls.iter().zip(&b.calls) {
+                assert_eq!(ca.target, cb.target);
+                assert_eq!(ca.rng_args, cb.rng_args);
+                assert_eq!(ca.binds, cb.binds);
+            }
+        }
+        assert!(loaded.get(path, 8).is_none(), "stale hash must miss");
+
+        // A different workspace shape or lint version drops everything.
+        let other = Cache::load(&dir, fp ^ 1);
+        assert!(other.get(path, 7).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retain_drops_deleted_paths() {
+        let mut cache = Cache::default();
+        cache.put("a.rs", 1, FileAnalysis::default());
+        cache.put("gone.rs", 2, FileAnalysis::default());
+        cache.retain_paths(&["a.rs".to_string()]);
+        assert!(cache.get("a.rs", 1).is_some());
+        assert!(cache.get("gone.rs", 2).is_none());
+    }
+}

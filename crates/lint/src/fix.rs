@@ -1,0 +1,419 @@
+//! The `--fix` engine: mechanical rewrites for the rules whose remedy is
+//! unambiguous, and (under `--scaffold`) reasoned-TODO pragma insertion for
+//! the rest.
+//!
+//! Rewrites:
+//!
+//! * `hash-order` — `HashMap`/`HashSet` → `BTreeMap`/`BTreeSet` on the
+//!   diagnosed line, which also corrects `use std::collections::…` paths
+//!   (the `use` line carries its own diagnostic).
+//! * `float-fmt` — an inline-named float placeholder in a JSON literal,
+//!   `{v:.3}`, becomes `{}` with `patu_obs::json::num_fixed(f64::from(v), 3)`
+//!   appended to the macro's arguments. Only the inline-named form with the
+//!   macro call closing on the same line is rewritten; anything else is
+//!   reported as skipped rather than guessed at.
+//!
+//! Scaffolds insert `// patu-lint: allow(<rule>) — TODO(patu-lint --fix):
+//! …` above the diagnosed line: the violation is suppressed but stays
+//! greppable debt (and `--debt` flags the pragma if the violation is later
+//! fixed for real).
+//!
+//! Fixes are idempotent by construction: a rewritten line no longer
+//! triggers its rule, and a scaffolded line is suppressed, so a second
+//! `--fix` pass finds nothing to change. `--fix --check` runs the same
+//! engine dry and fails if any change *would* be made.
+
+use crate::diag::Diagnostic;
+use crate::LintError;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Rules fixed by rewriting the diagnosed line.
+const REWRITE_RULES: &[&str] = &["hash-order", "float-fmt"];
+
+/// Rules eligible for a `--scaffold` pragma (suppressible, line-anchored).
+const SCAFFOLD_RULES: &[&str] = &[
+    "wall-clock",
+    "thread-spawn",
+    "panic-path",
+    "env-var",
+    "det-rng-discipline",
+    "parallel-float-fold",
+    "knob-at-construction",
+    "schema-sync",
+];
+
+/// What one `--fix` run did (or, dry, would do).
+#[derive(Debug, Default)]
+pub struct FixReport {
+    /// Files whose contents changed (repo-relative), with change counts.
+    pub changed: Vec<(String, usize)>,
+    /// Diagnostics no rewrite or scaffold applies to.
+    pub skipped: Vec<Diagnostic>,
+}
+
+impl FixReport {
+    /// Whether the run changed (or would change) anything.
+    #[must_use]
+    pub fn changed_anything(&self) -> bool {
+        !self.changed.is_empty()
+    }
+}
+
+/// Applies fixes for `diags` under `root`. With `dry`, nothing is written —
+/// the report says what would change. With `scaffold`, unfixable-but-
+/// suppressible diagnostics get TODO pragmas instead of being skipped.
+///
+/// # Errors
+///
+/// Returns [`LintError`] when a diagnosed file cannot be read or written.
+pub fn run_fix(
+    root: &Path,
+    diags: &[Diagnostic],
+    scaffold: bool,
+    dry: bool,
+) -> Result<FixReport, LintError> {
+    let mut report = FixReport::default();
+    let mut by_path: BTreeMap<&str, Vec<&Diagnostic>> = BTreeMap::new();
+    for d in diags {
+        by_path.entry(d.path.as_str()).or_default().push(d);
+    }
+    for (path, file_diags) in by_path {
+        let full = root.join(path);
+        let src = std::fs::read_to_string(&full).map_err(|source| LintError {
+            context: format!("reading {} for --fix", full.display()),
+            source,
+        })?;
+        let had_trailing_newline = src.ends_with('\n');
+        let mut lines: Vec<String> = src.lines().map(str::to_string).collect();
+        let mut edits = 0usize;
+
+        // Bottom-up so insertions above a line don't shift later targets.
+        let mut ordered: Vec<&Diagnostic> = file_diags;
+        ordered.sort_by_key(|d| std::cmp::Reverse(d.line));
+        for d in ordered {
+            let Some(idx) = (d.line as usize)
+                .checked_sub(1)
+                .filter(|i| *i < lines.len())
+            else {
+                report.skipped.push(d.clone());
+                continue;
+            };
+            if REWRITE_RULES.contains(&d.rule) {
+                let rewritten = match d.rule {
+                    "hash-order" => rewrite_hash_order(&lines[idx]),
+                    _ => rewrite_float_fmt(&lines[idx]),
+                };
+                match rewritten {
+                    Some(new_line) if new_line != lines[idx] => {
+                        lines[idx] = new_line;
+                        edits += 1;
+                    }
+                    // Already rewritten by an earlier same-line diagnostic.
+                    Some(_) => {}
+                    None => report.skipped.push(d.clone()),
+                }
+            } else if scaffold && SCAFFOLD_RULES.contains(&d.rule) {
+                let indent: String = lines[idx]
+                    .chars()
+                    .take_while(|c| c.is_whitespace())
+                    .collect();
+                lines.insert(
+                    idx,
+                    format!(
+                        "{indent}// patu-lint: allow({}) — TODO(patu-lint --fix): justify \
+                         this suppression or fix the violation",
+                        d.rule
+                    ),
+                );
+                edits += 1;
+            } else {
+                report.skipped.push(d.clone());
+            }
+        }
+        if edits > 0 {
+            if !dry {
+                let mut out = lines.join("\n");
+                if had_trailing_newline {
+                    out.push('\n');
+                }
+                std::fs::write(&full, out).map_err(|source| LintError {
+                    context: format!("writing {} for --fix", full.display()),
+                    source,
+                })?;
+            }
+            report.changed.push((path.to_string(), edits));
+        }
+    }
+    report
+        .skipped
+        .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(report)
+}
+
+/// `HashMap`/`HashSet` → the BTree equivalents, everywhere on the line
+/// (covers both the use-path and the type positions).
+fn rewrite_hash_order(line: &str) -> Option<String> {
+    if !line.contains("HashMap") && !line.contains("HashSet") {
+        return None;
+    }
+    Some(
+        line.replace("HashMap", "BTreeMap")
+            .replace("HashSet", "BTreeSet"),
+    )
+}
+
+/// Rewrites inline-named float placeholders (`{v:.3}`) in the line's first
+/// float-bearing string literal to `{}` + `num_fixed` arguments. Returns
+/// `None` when the pattern is not the safe, mechanical one.
+fn rewrite_float_fmt(line: &str) -> Option<String> {
+    let (lit_start, lit_end) = first_plain_literal(line)?;
+    let lit = &line[lit_start..lit_end];
+    let (new_lit, args) = rewrite_placeholders(lit)?;
+    if args.is_empty() {
+        return None;
+    }
+    // Find the macro call's closing paren after the literal: the first `)`
+    // at depth 0. If the call spans lines we refuse rather than guess.
+    let tail = &line[lit_end..];
+    let mut depth = 0i32;
+    let mut insert_at = None;
+    let mut in_str = false;
+    let mut prev_escape = false;
+    for (i, c) in tail.char_indices() {
+        if in_str {
+            if prev_escape {
+                prev_escape = false;
+            } else if c == '\\' {
+                prev_escape = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '(' => depth += 1,
+            ')' => {
+                if depth == 0 {
+                    insert_at = Some(lit_end + i);
+                    break;
+                }
+                depth -= 1;
+            }
+            _ => {}
+        }
+    }
+    let insert_at = insert_at?;
+    let added: Vec<String> = args
+        .iter()
+        .map(|(name, prec)| format!("patu_obs::json::num_fixed(f64::from({name}), {prec})"))
+        .collect();
+    Some(format!(
+        "{}{}{}, {}{}",
+        &line[..lit_start],
+        new_lit,
+        &line[lit_end..insert_at],
+        added.join(", "),
+        &line[insert_at..]
+    ))
+}
+
+/// Bounds (inclusive quotes) of the first non-raw string literal holding a
+/// float placeholder.
+fn first_plain_literal(line: &str) -> Option<(usize, usize)> {
+    let bytes = line.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if bytes[i] == b'"' && !matches!(i.checked_sub(1).map(|p| bytes[p]), Some(b'#' | b'r')) {
+            let start = i;
+            i += 1;
+            let mut escape = false;
+            while i < bytes.len() {
+                let c = bytes[i];
+                if escape {
+                    escape = false;
+                } else if c == b'\\' {
+                    escape = true;
+                } else if c == b'"' {
+                    let end = i + 1;
+                    let lit = &line[start..end];
+                    if rewrite_placeholders(lit).is_some_and(|(_, args)| !args.is_empty()) {
+                        return Some((start, end));
+                    }
+                    break;
+                }
+                i += 1;
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Rewrites every `{ident:.digits}` in the literal to `{}`; returns the new
+/// literal and the (ident, digits) list, or `None` when a float placeholder
+/// exists in a form the rewrite cannot handle (positional, width, exp).
+fn rewrite_placeholders(lit: &str) -> Option<(String, Vec<(String, String)>)> {
+    let mut out = String::with_capacity(lit.len());
+    let mut args = Vec::new();
+    let bytes = lit.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if bytes[i] == b'{' {
+            if bytes.get(i + 1) == Some(&b'{') {
+                out.push_str("{{");
+                i += 2;
+                continue;
+            }
+            let close = bytes[i + 1..].iter().position(|&b| b == b'}');
+            if let Some(off) = close {
+                let inner = &lit[i + 1..i + 1 + off];
+                let speclike = !inner.contains(['"', '\\', ' ', ',', '{']);
+                if speclike {
+                    if let Some((name, spec)) = inner.split_once(':') {
+                        let floaty =
+                            spec.contains('.') || spec.ends_with('e') || spec.ends_with('E');
+                        if floaty {
+                            let prec = spec.strip_prefix('.')?;
+                            let named = !name.is_empty()
+                                && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+                                && !name.starts_with(|c: char| c.is_ascii_digit());
+                            if !named
+                                || prec.is_empty()
+                                || !prec.bytes().all(|b| b.is_ascii_digit())
+                            {
+                                return None;
+                            }
+                            out.push_str("{}");
+                            args.push((name.to_string(), prec.to_string()));
+                            i += off + 2;
+                            continue;
+                        }
+                    }
+                }
+            }
+        }
+        // Copy one full UTF-8 char.
+        let ch = lit[i..].chars().next()?;
+        out.push(ch);
+        i += ch.len_utf8();
+    }
+    Some((out, args))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_order_rewrites_types_and_use_paths() {
+        assert_eq!(
+            rewrite_hash_order("use std::collections::{HashMap, HashSet};").as_deref(),
+            Some("use std::collections::{BTreeMap, BTreeSet};")
+        );
+        assert_eq!(
+            rewrite_hash_order("    let m: HashMap<u32, f64> = HashMap::new();").as_deref(),
+            Some("    let m: BTreeMap<u32, f64> = BTreeMap::new();")
+        );
+        assert!(rewrite_hash_order("let x = 1;").is_none());
+    }
+
+    #[test]
+    fn float_fmt_rewrites_inline_named_placeholders() {
+        let line = r#"        format!("{{\"mean\": {mean:.3}, \"n\": {n}}}")"#;
+        let fixed = rewrite_float_fmt(line).expect("fixable");
+        assert_eq!(
+            fixed,
+            r#"        format!("{{\"mean\": {}, \"n\": {n}}}", patu_obs::json::num_fixed(f64::from(mean), 3))"#
+        );
+    }
+
+    #[test]
+    fn float_fmt_appends_inside_the_right_paren() {
+        let line = r#"    writeln!(out, "\"p90\": {p90:.1},").ok();"#;
+        let fixed = rewrite_float_fmt(line).expect("fixable");
+        assert_eq!(
+            fixed,
+            r#"    writeln!(out, "\"p90\": {},", patu_obs::json::num_fixed(f64::from(p90), 1)).ok();"#
+        );
+    }
+
+    #[test]
+    fn positional_and_exotic_specs_are_refused() {
+        assert!(rewrite_float_fmt(r#"format!("\"x\": {:.2}", v)"#).is_none());
+        assert!(rewrite_float_fmt(r#"format!("\"x\": {v:e}")"#).is_none());
+        assert!(rewrite_float_fmt(r#"format!("\"x\": {v:>8.2}")"#).is_none());
+    }
+
+    #[test]
+    fn fix_is_idempotent_on_a_temp_tree() {
+        let dir = std::env::temp_dir().join(format!("patu-lint-fix-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let file = dir.join("crates/fake/src/engine.rs");
+        std::fs::create_dir_all(file.parent().expect("parent")).expect("mkdirs");
+        std::fs::write(
+            &file,
+            "use std::collections::HashMap;\n\
+             pub fn emit(mean: f64) -> String {\n\
+                 let _m: HashMap<u32, u32> = HashMap::new();\n\
+                 format!(\"{{\\\"mean\\\": {mean:.2}}}\")\n\
+             }\n",
+        )
+        .expect("write");
+
+        let rel = "crates/fake/src/engine.rs";
+        let lint = |root: &Path| {
+            let src = std::fs::read_to_string(root.join(rel)).expect("read");
+            crate::rules::lint_source(rel, &src)
+        };
+        let before = lint(&dir);
+        assert!(before.iter().any(|d| d.rule == "hash-order"));
+        assert!(before.iter().any(|d| d.rule == "float-fmt"));
+
+        let report = run_fix(&dir, &before, false, false).expect("fix");
+        assert_eq!(report.changed.len(), 1);
+        let after = lint(&dir);
+        assert!(
+            after
+                .iter()
+                .all(|d| d.rule != "hash-order" && d.rule != "float-fmt"),
+            "{after:?}"
+        );
+
+        // Second pass: nothing left to do, dry or wet.
+        let again = run_fix(&dir, &after, false, true).expect("dry");
+        assert!(!again.changed_anything(), "{again:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scaffold_inserts_a_suppressing_todo_pragma() {
+        let dir = std::env::temp_dir().join(format!("patu-lint-scaffold-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let file = dir.join("crates/fake/src/engine.rs");
+        std::fs::create_dir_all(file.parent().expect("parent")).expect("mkdirs");
+        std::fs::write(
+            &file,
+            "pub fn f(v: &[u32]) -> u32 {\n    v.first().copied().expect(\"non-empty\")\n}\n",
+        )
+        .expect("write");
+        let rel = "crates/fake/src/engine.rs";
+        let before = crate::rules::lint_source(rel, &std::fs::read_to_string(&file).expect("read"));
+        assert_eq!(before.len(), 1);
+        assert_eq!(before[0].rule, "panic-path");
+
+        // Without --scaffold the diagnostic is skipped, not guessed at.
+        let plain = run_fix(&dir, &before, false, false).expect("fix");
+        assert!(!plain.changed_anything());
+        assert_eq!(plain.skipped.len(), 1);
+
+        let report = run_fix(&dir, &before, true, false).expect("scaffold");
+        assert!(report.changed_anything());
+        let fixed = std::fs::read_to_string(&file).expect("read");
+        assert!(fixed.contains("    // patu-lint: allow(panic-path) — TODO"));
+        let after = crate::rules::lint_source(rel, &fixed);
+        assert!(after.is_empty(), "{after:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

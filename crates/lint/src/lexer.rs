@@ -36,6 +36,9 @@ pub struct Tok {
     pub text: String,
     /// 1-based line of the token's first character.
     pub line: u32,
+    /// Byte offset of the token's first character in the source, so the
+    /// `--fix` engine can splice rewrites without re-scanning.
+    pub pos: usize,
 }
 
 /// A `// patu-lint: ...` suppression pragma found in a line comment.
@@ -247,6 +250,7 @@ pub fn lex(src: &str) -> Lexed {
                         kind: TokKind::Str,
                         text: src[start..c.pos].to_string(),
                         line,
+                        pos: start,
                     });
                     continue;
                 }
@@ -266,6 +270,7 @@ pub fn lex(src: &str) -> Lexed {
                             kind: TokKind::Str,
                             text: src[start..c.pos].to_string(),
                             line,
+                            pos: start,
                         });
                         continue;
                     }
@@ -279,6 +284,7 @@ pub fn lex(src: &str) -> Lexed {
                             kind: TokKind::Ident,
                             text: src[start + 2..c.pos].to_string(),
                             line,
+                            pos: start,
                         });
                         continue;
                     }
@@ -292,6 +298,7 @@ pub fn lex(src: &str) -> Lexed {
                 kind: TokKind::Ident,
                 text: src[start..c.pos].to_string(),
                 line,
+                pos: start,
             });
             continue;
         }
@@ -304,6 +311,7 @@ pub fn lex(src: &str) -> Lexed {
                 kind: TokKind::Str,
                 text: src[start..c.pos].to_string(),
                 line,
+                pos: start,
             });
             continue;
         }
@@ -324,6 +332,7 @@ pub fn lex(src: &str) -> Lexed {
                         kind: TokKind::Lifetime,
                         text: src[start..c.pos].to_string(),
                         line,
+                        pos: start,
                     });
                     continue;
                 }
@@ -360,6 +369,7 @@ pub fn lex(src: &str) -> Lexed {
                 kind: TokKind::Char,
                 text: src[start..c.pos].to_string(),
                 line,
+                pos: start,
             });
             continue;
         }
@@ -379,6 +389,7 @@ pub fn lex(src: &str) -> Lexed {
                 kind: TokKind::Num,
                 text: src[start..c.pos].to_string(),
                 line,
+                pos: start,
             });
             continue;
         }
@@ -389,6 +400,7 @@ pub fn lex(src: &str) -> Lexed {
             kind: TokKind::Punct,
             text: src[start..c.pos].to_string(),
             line,
+            pos: start,
         });
     }
 

@@ -22,6 +22,26 @@
 //! | `unsafe-code`  | `unsafe` forbidden workspace-wide; every lib root carries the forbid |
 //! | `extern-dep`   | every `Cargo.toml` dependency is a `path` dependency (offline/0-dep) |
 //!
+//! Since v2 the linter is *interprocedural*: an item parser ([`resolve`])
+//! feeds per-function taint summaries ([`dataflow`]) into a workspace call
+//! graph ([`callgraph`]), adding four rules a single-file scan cannot
+//! check, plus a debt finding:
+//!
+//! | id                     | invariant                                                      |
+//! |------------------------|----------------------------------------------------------------|
+//! | `det-rng-discipline`   | RNG streams cross partition boundaries only as `fork(id)` children, even through calls |
+//! | `parallel-float-fold`  | no float reduction grouped/ordered by the thread count, even via a helper |
+//! | `knob-at-construction` | no `env::var` on any call path reachable from `render_frame`/`run_session` |
+//! | `schema-sync`          | emitted JSONL `"type"` tags ↔ `LINE_TYPES` registry, both directions |
+//! | `unused-pragma`        | (`--debt`) every reasoned `allow(...)` still suppresses something |
+//!
+//! Supporting machinery: `--incremental` caches each file's full analysis
+//! by content hash under `target/patu-lint/` ([`cache`]; the global pass
+//! always recomputes from cached facts, so invalidation is by
+//! construction), `--fix` applies the mechanical rewrites and `--fix
+//! --check` is the CI dry-run gate ([`fix`]), and `--format sarif` /
+//! `--check-sarif` emit and validate SARIF 2.1.0 ([`sarif`]).
+//!
 //! Scoping: library-crate sources are checked strictly; `crates/bench`,
 //! `crates/lint` test fixtures, `tests/`, `benches/`, `examples/` and
 //! `src/bin/` targets are relaxed (panic/hash/env rules off, determinism
@@ -42,10 +62,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
+pub mod callgraph;
+pub mod dataflow;
 pub mod diag;
+pub mod fix;
 pub mod lexer;
 pub mod manifest;
+pub mod resolve;
 pub mod rules;
+pub mod sarif;
+pub mod schema_sync;
 pub mod scope;
 pub mod walk;
 
@@ -75,29 +102,178 @@ impl std::error::Error for LintError {
     }
 }
 
+/// How a lint run should behave beyond the defaults.
+#[derive(Debug, Default, Clone)]
+pub struct Options {
+    /// Reuse (and refresh) the per-file analysis cache under
+    /// `target/patu-lint/`. The global interprocedural pass always reruns.
+    pub incremental: bool,
+    /// Report `unused-pragma` findings: reasoned suppressions that no
+    /// longer suppress anything.
+    pub debt: bool,
+}
+
+/// What a full lint run produced.
+#[derive(Debug, Default)]
+pub struct Outcome {
+    /// All unsuppressed diagnostics, in path-then-line order.
+    pub diags: Vec<Diagnostic>,
+    /// How many workspace files were considered.
+    pub files: usize,
+    /// How many `.rs` analyses came from the incremental cache.
+    pub reused: usize,
+}
+
 /// Lints every `.rs` and `Cargo.toml` under `root` (skipping `target/`,
 /// `out/`, `.git/` and lint-fixture directories), returning all diagnostics
-/// in deterministic path-then-line order.
+/// in deterministic path-then-line order. Equivalent to [`run_with`] with
+/// default [`Options`].
 ///
 /// # Errors
 ///
 /// Returns [`LintError`] when the tree cannot be walked or a file cannot be
 /// read — never for lint findings, which are data, not errors.
 pub fn run(root: &Path) -> Result<Vec<Diagnostic>, LintError> {
+    run_with(root, &Options::default()).map(|o| o.diags)
+}
+
+/// The full v2 pipeline: per-file token + dataflow analysis (cached when
+/// `incremental`), then the global interprocedural pass (call graph, knob
+/// reachability, float-fmt chains, schema sync), then pragma suppression.
+///
+/// # Errors
+///
+/// Returns [`LintError`] when the tree cannot be walked or a file cannot be
+/// read. A cache that cannot be *written* is ignored (next run is cold).
+pub fn run_with(root: &Path, opts: &Options) -> Result<Outcome, LintError> {
     let files = walk::workspace_files(root)?;
-    let mut diags = Vec::new();
-    for rel in &files {
+    let read = |rel: &str| -> Result<String, LintError> {
         let full = root.join(rel);
-        let src = std::fs::read_to_string(&full).map_err(|source| LintError {
+        std::fs::read_to_string(&full).map_err(|source| LintError {
             context: format!("reading {}", full.display()),
             source,
-        })?;
+        })
+    };
+
+    // Manifests first: they both lint and name the crates, and module-path
+    // resolution for every `.rs` file needs the crate names.
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    let mut crates: std::collections::BTreeMap<String, String> = std::collections::BTreeMap::new();
+    let mut rs_files: Vec<String> = Vec::new();
+    for rel in &files {
         if rel.ends_with("Cargo.toml") {
+            let src = read(rel)?;
             diags.extend(manifest::lint_manifest(rel, &src));
+            if let (Some(dir), Some(name)) = (rel.strip_suffix("/Cargo.toml"), package_name(&src)) {
+                crates.insert(dir.to_string(), name.replace('-', "_"));
+            }
         } else {
-            diags.extend(rules::lint_source(rel, &src));
+            rs_files.push(rel.clone());
         }
     }
+
+    let fingerprint = cache::workspace_fingerprint(&rs_files);
+    let mut file_cache = if opts.incremental {
+        cache::Cache::load(root, fingerprint)
+    } else {
+        cache::Cache::default()
+    };
+
+    let mut hashes: Vec<(String, u64)> = Vec::with_capacity(rs_files.len());
+    let mut reused = 0usize;
+    for rel in &rs_files {
+        let src = read(rel)?;
+        let hash = cache::fnv1a(src.as_bytes());
+        if file_cache.get(rel, hash).is_some() {
+            reused += 1;
+        } else {
+            file_cache.put(rel, hash, rules::analyze_source(rel, &src, &crates));
+        }
+        hashes.push((rel.clone(), hash));
+    }
+
+    // The global pass always recomputes from the (possibly cached) facts:
+    // any edit can change interprocedural conclusions for its whole
+    // dependency closure, so invalidation is by construction. The facts
+    // are borrowed in place — a warm run clones nothing.
+    let mut facts: std::collections::BTreeMap<String, &dataflow::FileFacts> =
+        std::collections::BTreeMap::new();
+    for (rel, hash) in &hashes {
+        if let Some(a) = file_cache.get(rel, *hash) {
+            facts.insert(rel.clone(), &a.facts);
+        }
+    }
+    let mut global = callgraph::check(&facts);
+    global.extend(callgraph::float_chain(&facts));
+    let schema_files: Vec<schema_sync::FileTags> = facts
+        .iter()
+        .map(|(p, f)| (p.clone(), f.emits.clone(), f.registry.clone()))
+        .collect();
+    global.extend(schema_sync::check(&schema_files));
+
+    // Suppression: each file's pragmas cover its own per-file *and* global
+    // diagnostics; unused pragmas become debt findings on request.
+    for (rel, hash) in &hashes {
+        let Some(analysis) = file_cache.get(rel, *hash) else {
+            continue;
+        };
+        let mut raw = analysis.raw.clone();
+        raw.extend(global.iter().filter(|d| &d.path == rel).cloned());
+        let mut used = vec![false; analysis.suppressions.len()];
+        diags.extend(rules::apply_suppressions(
+            raw,
+            &analysis.suppressions,
+            &mut used,
+        ));
+        if opts.debt {
+            for (sup, fired) in analysis.suppressions.iter().zip(&used) {
+                if !fired {
+                    diags.push(Diagnostic {
+                        rule: "unused-pragma",
+                        path: rel.clone(),
+                        line: sup.pragma_line,
+                        message: format!(
+                            "`allow({})` no longer suppresses anything — the violation \
+                             it covered is gone; remove the pragma",
+                            sup.rule
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    if opts.incremental {
+        file_cache.retain_paths(&rs_files);
+        // Best-effort: a cache that cannot persist only costs the next run.
+        let _ = file_cache.store(root, fingerprint);
+    }
+
     diags.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
-    Ok(diags)
+    Ok(Outcome {
+        diags,
+        files: files.len(),
+        reused,
+    })
+}
+
+/// Pulls `name = "..."` out of a manifest's `[package]` section.
+fn package_name(src: &str) -> Option<String> {
+    let mut in_package = false;
+    for line in src.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+            continue;
+        }
+        if in_package {
+            if let Some(rest) = line.strip_prefix("name") {
+                let rest = rest.trim_start();
+                if let Some(value) = rest.strip_prefix('=') {
+                    return Some(value.trim().trim_matches('"').to_string());
+                }
+            }
+        }
+    }
+    None
 }

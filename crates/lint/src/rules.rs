@@ -67,6 +67,41 @@ pub const RULES: &[RuleInfo] = &[
                     workspace builds offline with zero external crates",
         strict_only: false,
     },
+    RuleInfo {
+        id: "det-rng-discipline",
+        invariant: "inside a parallel partition only region-local streams and \
+                    fresh fork(tag) children may be drawn — a stream captured \
+                    or cloned across the boundary makes draws race with the \
+                    schedule",
+        strict_only: true,
+    },
+    RuleInfo {
+        id: "parallel-float-fold",
+        invariant: "no float reduction grouped by PATU_THREADS-derived values — \
+                    reassociation across thread counts breaks bit-identity; \
+                    reduce through the ordered partition APIs",
+        strict_only: true,
+    },
+    RuleInfo {
+        id: "knob-at-construction",
+        invariant: "no env read reachable from render_frame/run_session — \
+                    knobs resolve once at config construction and flow down \
+                    as values",
+        strict_only: true,
+    },
+    RuleInfo {
+        id: "schema-sync",
+        invariant: "every emitted JSONL \"type\" is registered in \
+                    patu_obs::schema::LINE_TYPES and every registered type \
+                    has a live emitter",
+        strict_only: true,
+    },
+    RuleInfo {
+        id: "unused-pragma",
+        invariant: "every allow(...) pragma still suppresses something — \
+                    stale suppressions are debt (reported under --debt)",
+        strict_only: false,
+    },
 ];
 
 /// One registered environment knob: the variable's name and the source
@@ -113,6 +148,10 @@ pub const ENV_KNOBS: &[EnvKnob] = &[
         name: "PATU_SLO",
         readers: &["crates/obs/src/slo.rs"],
     },
+    EnvKnob {
+        name: "PATU_TRACE_OUT",
+        readers: &["crates/obs/src/config.rs"],
+    },
 ];
 
 /// Files exempt from a rule because they *are* the sanctioned entry point.
@@ -121,6 +160,10 @@ fn allowed_files(rule: &str) -> &'static [&'static str] {
         "wall-clock" => &["crates/bench/src/micro.rs"],
         "thread-spawn" => &["crates/sim/src/parallel.rs"],
         "float-fmt" => &["crates/obs/src/json.rs"],
+        // The partition runners are the sanctioned ordered-merge
+        // implementations; their internals look exactly like the pattern
+        // the rule bans everywhere else.
+        "parallel-float-fold" => &["crates/sim/src/parallel.rs", "crates/quality/src/par.rs"],
         _ => &[],
     }
 }
@@ -151,7 +194,7 @@ fn ident_at(toks: &[Tok], i: usize) -> Option<&str> {
 
 /// Marks every token inside a `#[cfg(test)]`-gated item (or after an inner
 /// `#![cfg(test)]`) as test code, where the strict-only rules do not apply.
-fn test_mask(toks: &[Tok]) -> Vec<bool> {
+pub fn test_mask(toks: &[Tok]) -> Vec<bool> {
     let mut mask = vec![false; toks.len()];
     let mut i = 0;
     while i < toks.len() {
@@ -282,11 +325,80 @@ fn applies(rule: &str, rel_path: &str) -> bool {
 }
 
 /// Lints one Rust source file, returning all unsuppressed diagnostics.
+/// This is the token-level (v1) path; the interprocedural pipeline goes
+/// through [`analyze_source`] + the global pass in [`crate::run_with`].
 pub fn lint_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
     let lexed = lexer::lex(src);
     let strict = scope::classify(rel_path) == Strictness::Strict;
     let in_test = test_mask(&lexed.toks);
-    let toks = &lexed.toks;
+    let raw = token_diags(rel_path, &lexed.toks, &in_test, strict);
+    let (mut out, sups) = pragma_table(rel_path, &lexed);
+    let mut used = vec![false; sups.len()];
+    out.extend(apply_suppressions(raw, &sups, &mut used));
+    out
+}
+
+/// Everything the v2 pipeline derives from one source file: the raw
+/// (pre-suppression) per-file diagnostics, the pragma suppression table,
+/// and the facts the global interprocedural pass consumes.
+#[derive(Debug, Default, Clone)]
+pub struct FileAnalysis {
+    /// Per-file diagnostics before pragma suppression (`bad-pragma`
+    /// findings included — those are never suppressible).
+    pub raw: Vec<Diagnostic>,
+    /// The file's well-formed, reasoned suppressions.
+    pub suppressions: Vec<Suppression>,
+    /// Call/taint/schema facts for the global pass.
+    pub facts: crate::dataflow::FileFacts,
+}
+
+/// The full per-file analysis: token rules, intraprocedural dataflow, and
+/// fact extraction. `crates` maps `crates/<dir>` → package name for module
+/// path resolution.
+#[must_use]
+pub fn analyze_source(
+    rel_path: &str,
+    src: &str,
+    crates: &std::collections::BTreeMap<String, String>,
+) -> FileAnalysis {
+    let lexed = lexer::lex(src);
+    let strict = scope::classify(rel_path) == Strictness::Strict;
+    let in_test = test_mask(&lexed.toks);
+    let mut raw = token_diags(rel_path, &lexed.toks, &in_test, strict);
+    let (bad, suppressions) = pragma_table(rel_path, &lexed);
+    raw.extend(bad);
+
+    let idx = crate::resolve::index_file(rel_path, &lexed.toks, crates);
+    let mut fns = Vec::new();
+    for f in &idx.fns {
+        let fn_in_test = in_test.get(f.decl).copied().unwrap_or(false);
+        let report = strict && !fn_in_test;
+        let mut facts =
+            crate::dataflow::analyze_fn(rel_path, &idx, f, &lexed.toks, report, &mut raw);
+        facts.in_test = fn_in_test;
+        fns.push(facts);
+    }
+    // Schema emissions/registry only count from strict code: fixtures and
+    // bench output are not telemetry contracts.
+    let (emits, registry) = if strict {
+        crate::schema_sync::scan(rel_path, &lexed.toks, &in_test)
+    } else {
+        (Vec::new(), Vec::new())
+    };
+    raw.retain(|d| applies(d.rule, rel_path));
+    FileAnalysis {
+        raw,
+        suppressions,
+        facts: crate::dataflow::FileFacts {
+            fns,
+            emits,
+            registry,
+        },
+    }
+}
+
+/// Runs the token-sequence rules over one lexed file.
+fn token_diags(rel_path: &str, toks: &[Tok], in_test: &[bool], strict: bool) -> Vec<Diagnostic> {
     let mut raw: Vec<Diagnostic> = Vec::new();
     let push = |rule: &'static str, line: u32, message: String, raw: &mut Vec<Diagnostic>| {
         raw.push(Diagnostic {
@@ -427,8 +539,7 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
             message: "library crate root is missing `#![forbid(unsafe_code)]`".to_string(),
         });
     }
-
-    apply_pragmas(rel_path, &lexed, raw)
+    raw
 }
 
 fn has_forbid_unsafe(toks: &[Tok]) -> bool {
@@ -439,15 +550,29 @@ fn has_forbid_unsafe(toks: &[Tok]) -> bool {
     })
 }
 
-/// Validates pragmas (emitting `bad-pragma` findings) and filters out
-/// diagnostics they legitimately suppress. A pragma on a code line covers
-/// that line; a pragma on its own line covers the next line bearing code.
-fn apply_pragmas(rel_path: &str, lexed: &Lexed, raw: Vec<Diagnostic>) -> Vec<Diagnostic> {
+/// One reasoned `allow(...)` pragma, resolved to the line it covers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Suppression {
+    /// The rule the pragma allows.
+    pub rule: String,
+    /// The code line the pragma covers (its own line, or the next line
+    /// bearing code when the pragma stands alone).
+    pub target: u32,
+    /// Where the pragma itself lives, for `unused-pragma` reporting.
+    pub pragma_line: u32,
+}
+
+/// Validates pragmas, returning `bad-pragma` findings for the ill-formed
+/// ones and a [`Suppression`] table for the rest. A pragma on a code line
+/// covers that line; a pragma on its own line covers the next line bearing
+/// code.
+#[must_use]
+pub fn pragma_table(rel_path: &str, lexed: &Lexed) -> (Vec<Diagnostic>, Vec<Suppression>) {
     let mut token_lines: Vec<u32> = lexed.toks.iter().map(|t| t.line).collect();
     token_lines.sort_unstable();
     token_lines.dedup();
 
-    let mut suppressed: Vec<(String, u32)> = Vec::new();
+    let mut sups: Vec<Suppression> = Vec::new();
     let mut out: Vec<Diagnostic> = Vec::new();
 
     for p in &lexed.pragmas {
@@ -494,19 +619,38 @@ fn apply_pragmas(rel_path: &str, lexed: &Lexed, raw: Vec<Diagnostic>) -> Vec<Dia
             token_lines.get(next).copied().unwrap_or(p.line)
         };
         for rule in &p.rules {
-            suppressed.push((rule.clone(), target));
+            sups.push(Suppression {
+                rule: rule.clone(),
+                target,
+                pragma_line: p.line,
+            });
         }
     }
+    (out, sups)
+}
 
-    for d in raw {
-        let hit = suppressed
-            .iter()
-            .any(|(rule, line)| rule == d.rule && *line == d.line);
-        if !hit {
-            out.push(d);
-        }
-    }
-    out
+/// Filters out diagnostics the suppressions cover, marking each
+/// suppression that actually fired in `used` (same indexing as `sups`).
+#[must_use]
+pub fn apply_suppressions(
+    raw: Vec<Diagnostic>,
+    sups: &[Suppression],
+    used: &mut [bool],
+) -> Vec<Diagnostic> {
+    raw.into_iter()
+        .filter(|d| {
+            let mut hit = false;
+            for (i, s) in sups.iter().enumerate() {
+                if s.rule == d.rule && s.target == d.line {
+                    hit = true;
+                    if let Some(u) = used.get_mut(i) {
+                        *u = true;
+                    }
+                }
+            }
+            !hit
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -1,0 +1,452 @@
+//! SARIF 2.1.0 output for CI annotation, plus a structural validator.
+//!
+//! The writer emits the minimal static-analysis profile: one `run` with a
+//! `tool.driver` carrying the full rule table, and one `result` per
+//! diagnostic with a `physicalLocation`. The validator is a hand-rolled
+//! recursive-descent JSON parser (the linter is deliberately zero-dep)
+//! that checks the shape CI relies on: `version == "2.1.0"`, every result
+//! names a rule declared by the driver, and every location has an
+//! `artifactLocation.uri` plus a positive `startLine`.
+
+use crate::diag::Diagnostic;
+use crate::rules;
+use std::fmt::Write as _;
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the diagnostics as a SARIF 2.1.0 log (single run).
+#[must_use]
+pub fn to_sarif(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"patu-lint\",\n");
+    let _ = writeln!(
+        out,
+        "          \"version\": \"{}\",",
+        crate::cache::LINT_VERSION
+    );
+    out.push_str("          \"informationUri\": \"https://example.invalid/patu-lint\",\n");
+    out.push_str("          \"rules\": [\n");
+    let mut ids: Vec<(&str, &str)> = rules::RULES.iter().map(|r| (r.id, r.invariant)).collect();
+    ids.push((
+        "bad-pragma",
+        "every pragma names known rules and carries a reason",
+    ));
+    for (i, (id, invariant)) in ids.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}{}",
+            esc(id),
+            esc(invariant),
+            if i + 1 < ids.len() { "," } else { "" }
+        );
+    }
+    out.push_str("          ]\n        }\n      },\n      \"results\": [\n");
+    for (i, d) in diags.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "        {{\"ruleId\": \"{}\", \"level\": \"error\", \"message\": {{\"text\": \"{}\"}}, \
+             \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \
+             \"region\": {{\"startLine\": {}}}}}}}]}}{}",
+            esc(d.rule),
+            esc(&d.message),
+            esc(&d.path),
+            d.line,
+            if i + 1 < diags.len() { "," } else { "" }
+        );
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Mini JSON parser — just enough structure to validate our own output and
+// any SARIF a CI step hands back. Numbers are kept as f64, which is fine
+// for line numbers.
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (SARIF only needs integers).
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, insertion-ordered as (key, value) pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up a key in an object value.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The array items, or empty for non-arrays.
+    #[must_use]
+    pub fn items(&self) -> &[Json] {
+        match self {
+            Json::Arr(v) => v,
+            _ => &[],
+        }
+    }
+
+    /// The string payload, when this is a string.
+    #[must_use]
+    pub fn str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        self.ws();
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                c as char,
+                self.i,
+                self.peek().map(|b| b as char)
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b't') => self.lit("true", Json::Bool(true)),
+            Some(b'f') => self.lit("false", Json::Bool(false)),
+            Some(b'n') => self.lit("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.i)),
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.i))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || c == b'.' || c == b'e' || c == b'E' || c == b'+' || c == b'-')
+        {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            // Bulk-copy the run of plain bytes up to the next quote or
+            // escape — strings are overwhelmingly plain, and byte-at-a-time
+            // copying dominated cache-load profiles.
+            let start = self.i;
+            while self.i < self.b.len() && self.b[self.i] != b'"' && self.b[self.i] != b'\\' {
+                self.i += 1;
+            }
+            if self.i > start {
+                let chunk = &self.b[start..self.i];
+                out.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
+            }
+            let Some(c) = self.peek() else {
+                return Err("unterminated string".to_string());
+            };
+            self.i += 1;
+            if c == b'"' {
+                return Ok(out);
+            }
+            let e = self.peek().ok_or("dangling escape")?;
+            self.i += 1;
+            match e {
+                b'"' => out.push('"'),
+                b'\\' => out.push('\\'),
+                b'/' => out.push('/'),
+                b'n' => out.push('\n'),
+                b't' => out.push('\t'),
+                b'r' => out.push('\r'),
+                b'b' | b'f' => out.push(' '),
+                b'u' => {
+                    let hex = self
+                        .b
+                        .get(self.i..self.i + 4)
+                        .and_then(|h| std::str::from_utf8(h).ok())
+                        .and_then(|h| u32::from_str_radix(h, 16).ok())
+                        .ok_or("bad \\u escape")?;
+                    self.i += 4;
+                    out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                }
+                other => return Err(format!("bad escape '\\{}'", other as char)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => return Err(format!("expected ',' or ']', found {other:?}")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut pairs = Vec::new();
+        self.ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.ws();
+            let key = self.string()?;
+            self.eat(b':')?;
+            let val = self.value()?;
+            pairs.push((key, val));
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                other => return Err(format!("expected ',' or '}}', found {other:?}")),
+            }
+        }
+    }
+}
+
+/// Parses a JSON document.
+///
+/// # Errors
+///
+/// Returns a description of the first syntax error (byte offset included).
+pub fn parse(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        b: text.as_bytes(),
+        i: 0,
+    };
+    let v = p.value()?;
+    p.ws();
+    if p.i != p.b.len() {
+        return Err(format!("trailing bytes after document at {}", p.i));
+    }
+    Ok(v)
+}
+
+/// Validates a SARIF document's structure: the fields our CI consumes.
+///
+/// # Errors
+///
+/// Returns the first structural problem found, or a parse error.
+pub fn validate(text: &str) -> Result<(), String> {
+    let doc = parse(text)?;
+    if doc.get("version").and_then(Json::str) != Some("2.1.0") {
+        return Err("version must be \"2.1.0\"".to_string());
+    }
+    let runs = doc.get("runs").ok_or("missing runs")?.items();
+    if runs.is_empty() {
+        return Err("runs must be non-empty".to_string());
+    }
+    for run in runs {
+        let driver = run
+            .get("tool")
+            .and_then(|t| t.get("driver"))
+            .ok_or("run missing tool.driver")?;
+        if driver.get("name").and_then(Json::str).is_none() {
+            return Err("driver missing name".to_string());
+        }
+        let declared: Vec<&str> = driver
+            .get("rules")
+            .map(Json::items)
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(|r| r.get("id").and_then(Json::str))
+            .collect();
+        for result in run.get("results").map(Json::items).unwrap_or(&[]) {
+            let rule = result
+                .get("ruleId")
+                .and_then(Json::str)
+                .ok_or("result missing ruleId")?;
+            if !declared.contains(&rule) {
+                return Err(format!("result rule `{rule}` not declared by driver"));
+            }
+            if result.get("message").and_then(|m| m.get("text")).is_none() {
+                return Err("result missing message.text".to_string());
+            }
+            let locs = result.get("locations").map(Json::items).unwrap_or(&[]);
+            if locs.is_empty() {
+                return Err("result missing locations".to_string());
+            }
+            for loc in locs {
+                let phys = loc
+                    .get("physicalLocation")
+                    .ok_or("location missing physicalLocation")?;
+                if phys
+                    .get("artifactLocation")
+                    .and_then(|a| a.get("uri"))
+                    .and_then(Json::str)
+                    .is_none()
+                {
+                    return Err("location missing artifactLocation.uri".to_string());
+                }
+                match phys.get("region").and_then(|r| r.get("startLine")) {
+                    Some(Json::Num(n)) if *n >= 1.0 => {}
+                    _ => return Err("location missing positive region.startLine".to_string()),
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Diagnostic> {
+        vec![
+            Diagnostic {
+                rule: "wall-clock",
+                path: "crates/sim/src/render.rs".to_string(),
+                line: 12,
+                message: "message with \"quotes\" and\nnewline".to_string(),
+            },
+            Diagnostic {
+                rule: "schema-sync",
+                path: "crates/obs/src/schema.rs".to_string(),
+                line: 4,
+                message: "dead schema".to_string(),
+            },
+        ]
+    }
+
+    #[test]
+    fn writer_output_validates() {
+        let text = to_sarif(&sample());
+        validate(&text).expect("own output must validate");
+    }
+
+    #[test]
+    fn empty_run_validates() {
+        validate(&to_sarif(&[])).expect("empty results are valid");
+    }
+
+    #[test]
+    fn results_and_locations_roundtrip() {
+        let doc = parse(&to_sarif(&sample())).expect("parse");
+        let results = doc.get("runs").expect("runs").items()[0]
+            .get("results")
+            .expect("results")
+            .items()
+            .to_vec();
+        assert_eq!(results.len(), 2);
+        assert_eq!(
+            results[0].get("ruleId").and_then(Json::str),
+            Some("wall-clock")
+        );
+        let uri = results[1].get("locations").expect("locs").items()[0]
+            .get("physicalLocation")
+            .and_then(|p| p.get("artifactLocation"))
+            .and_then(|a| a.get("uri"))
+            .and_then(Json::str);
+        assert_eq!(uri, Some("crates/obs/src/schema.rs"));
+    }
+
+    #[test]
+    fn validator_rejects_wrong_version_and_unknown_rule() {
+        let wrong = to_sarif(&[]).replace("2.1.0", "2.0.0");
+        assert!(validate(&wrong).is_err());
+        let rogue =
+            to_sarif(&sample()).replace("\"ruleId\": \"wall-clock\"", "\"ruleId\": \"nope\"");
+        assert!(validate(&rogue).is_err());
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_nesting() {
+        let doc = parse(r#"{"a": [1, {"b": "x\nyA"}, true, null, -2.5]}"#).expect("parse");
+        let arr = doc.get("a").expect("a").items().to_vec();
+        assert_eq!(arr[0], Json::Num(1.0));
+        assert_eq!(arr[1].get("b").and_then(Json::str), Some("x\nyA"));
+        assert_eq!(arr[4], Json::Num(-2.5));
+        assert!(parse("{\"a\": }").is_err());
+        assert!(parse("[1,2] trailing").is_err());
+    }
+}

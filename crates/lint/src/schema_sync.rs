@@ -1,0 +1,216 @@
+//! The `schema-sync` rule: every JSONL `"type"` string emitted anywhere in
+//! the workspace must match a registered entry in
+//! `patu_obs::schema::LINE_TYPES`, and every registered entry must have at
+//! least one live emission site — no unchecked lines, no dead schemas.
+//!
+//! Emissions are harvested from string literals in non-test library code
+//! (`"type":"<name>"`, escaped or raw); the registry is the `LINE_TYPES`
+//! const wherever it is defined. When a tree has no registry at all the
+//! rule is vacuous — there is no contract to check.
+
+use crate::diag::Diagnostic;
+use crate::lexer::{Tok, TokKind};
+
+/// `(name, line)` pairs: JSONL type tags with where they appear.
+pub type Tags = Vec<(String, u32)>;
+
+/// One file's schema-relevant facts: `(rel_path, emissions, registry)`.
+pub type FileTags = (String, Tags, Tags);
+
+/// Scans one file's tokens for JSONL type emissions and registry entries.
+/// `in_test` masks `#[cfg(test)]` regions (schema fixtures live there).
+pub fn scan(rel_path: &str, toks: &[Tok], in_test: &[bool]) -> (Tags, Tags) {
+    let mut emits = Vec::new();
+    let mut registry = Vec::new();
+    // The linter's own sources mention the emission pattern in literals
+    // (fixtures, needles); they never emit telemetry.
+    let lint_self = rel_path.starts_with("crates/lint/");
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind == TokKind::Str && !in_test.get(i).copied().unwrap_or(false) && !lint_self {
+            for name in extract_types(&t.text) {
+                emits.push((name, t.line));
+            }
+        }
+        if t.kind == TokKind::Ident
+            && t.text == "LINE_TYPES"
+            && !in_test.get(i).copied().unwrap_or(false)
+        {
+            // `pub const LINE_TYPES: [...] = [ "a", "b", ... ];` — only the
+            // defining occurrence (preceded by `const`) counts.
+            let is_def = matches!(toks.get(i.wrapping_sub(1)), Some(p) if p.kind == TokKind::Ident && p.text == "const");
+            if is_def {
+                let mut j = i + 1;
+                // Seek the initializer `[`.
+                while j < toks.len() && !toks[j].text.starts_with('=') {
+                    j += 1;
+                }
+                let mut depth = 0usize;
+                while j < toks.len() {
+                    let tj = &toks[j];
+                    if tj.text.starts_with('[') {
+                        depth += 1;
+                    } else if tj.text.starts_with(']') {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 {
+                            break;
+                        }
+                    } else if tj.kind == TokKind::Str && depth == 1 {
+                        let name = tj.text.trim_matches('"').to_string();
+                        registry.push((name, tj.line));
+                    }
+                    j += 1;
+                }
+                i = j;
+            }
+        }
+        i += 1;
+    }
+    (emits, registry)
+}
+
+/// Extracts every `"type":"<name>"` occurrence from a literal's raw source
+/// text (handles both escaped `\"type\":\"x\"` and raw `"type":"x"`).
+fn extract_types(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for needle in ["\\\"type\\\":\\\"", "\"type\":\""] {
+        let mut from = 0usize;
+        while let Some(at) = text[from..].find(needle) {
+            let start = from + at + needle.len();
+            let name: String = text[start..]
+                .chars()
+                .take_while(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || *c == '_')
+                .collect();
+            if !name.is_empty() && !out.contains(&name) {
+                out.push(name);
+            }
+            from = start;
+        }
+    }
+    out
+}
+
+/// The global two-way check over every file's emissions and registry.
+pub fn check(files: &[FileTags]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let registry: Vec<(&String, &String, u32)> = files
+        .iter()
+        .flat_map(|(path, _, reg)| reg.iter().map(move |(n, l)| (path, n, *l)))
+        .collect();
+    if registry.is_empty() {
+        return diags;
+    }
+    let registered: Vec<&str> = registry.iter().map(|(_, n, _)| n.as_str()).collect();
+    let mut emitted: Vec<&str> = Vec::new();
+    for (path, emits, _) in files {
+        for (name, line) in emits {
+            emitted.push(name.as_str());
+            if !registered.contains(&name.as_str()) {
+                diags.push(Diagnostic {
+                    rule: "schema-sync",
+                    path: path.clone(),
+                    line: *line,
+                    message: format!(
+                        "JSONL line type `\"{name}\"` is emitted here but not registered \
+                         in `patu_obs::schema::LINE_TYPES` — `check_line` would reject it; \
+                         register the type (and its schema) or fix the string"
+                    ),
+                });
+            }
+        }
+    }
+    for (path, name, line) in &registry {
+        if !emitted.contains(&name.as_str()) {
+            diags.push(Diagnostic {
+                rule: "schema-sync",
+                path: (*path).clone(),
+                line: *line,
+                message: format!(
+                    "dead schema: `\"{name}\"` is registered in `LINE_TYPES` but no \
+                     non-test code emits it — remove the entry or the emitter it once \
+                     validated"
+                ),
+            });
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer;
+    use crate::rules;
+
+    fn scan_src(path: &str, src: &str) -> (Tags, Tags) {
+        let lexed = lexer::lex(src);
+        let mask = rules::test_mask(&lexed.toks);
+        scan(path, &lexed.toks, &mask)
+    }
+
+    #[test]
+    fn emissions_are_extracted_from_escaped_and_raw_literals() {
+        let src = "fn emit() -> String {\n\
+                       format!(\"{{\\\"type\\\":\\\"frame\\\",\\\"n\\\":{}}}\", 1)\n\
+                   }\n\
+                   fn raw() -> &'static str { r#\"{\"type\":\"span\"}\"# }\n";
+        let (emits, _) = scan_src("crates/obs/src/sink.rs", src);
+        let names: Vec<&str> = emits.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["frame", "span"]);
+    }
+
+    #[test]
+    fn test_regions_do_not_emit() {
+        let src = "#[cfg(test)]\nmod tests {\n\
+                       fn fixture() -> &'static str { r#\"{\"type\":\"mystery\"}\"# }\n\
+                   }\n";
+        let (emits, _) = scan_src("crates/obs/src/schema.rs", src);
+        assert!(emits.is_empty(), "{emits:?}");
+    }
+
+    #[test]
+    fn registry_entries_parse_from_line_types() {
+        let src = "pub const LINE_TYPES: [&str; 2] = [\"frame\", \"span\"];\n";
+        let (_, reg) = scan_src("crates/obs/src/schema.rs", src);
+        let names: Vec<&str> = reg.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["frame", "span"]);
+    }
+
+    #[test]
+    fn two_way_check_flags_unregistered_and_dead() {
+        let files = vec![
+            (
+                "crates/obs/src/schema.rs".to_string(),
+                vec![("frame".to_string(), 10)],
+                vec![("frame".to_string(), 3), ("ghost".to_string(), 4)],
+            ),
+            (
+                "crates/serve/src/server.rs".to_string(),
+                vec![("rogue".to_string(), 20)],
+                vec![],
+            ),
+        ];
+        let diags = check(&files);
+        let hits: Vec<(&str, u32)> = diags.iter().map(|d| (d.path.as_str(), d.line)).collect();
+        assert_eq!(
+            hits,
+            vec![
+                ("crates/serve/src/server.rs", 20),
+                ("crates/obs/src/schema.rs", 4),
+            ]
+        );
+        assert!(diags.iter().all(|d| d.rule == "schema-sync"));
+    }
+
+    #[test]
+    fn no_registry_means_no_contract() {
+        let files = vec![(
+            "crates/a/src/lib.rs".to_string(),
+            vec![("anything".to_string(), 1)],
+            vec![],
+        )];
+        assert!(check(&files).is_empty());
+    }
+}

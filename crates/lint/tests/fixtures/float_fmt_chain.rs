@@ -1,0 +1,29 @@
+//! float-fmt chain fixture: a string formatted with a float precision spec
+//! that later lands inside a JSON-keyed literal is flagged at the sink —
+//! even when the formatting happened in a helper function.
+
+pub fn direct(v: f64) -> String {
+    let pretty = format!("{v:.3}");
+    format!("{{\"mean\": {}}}", pretty) //~ float-fmt
+}
+
+fn pct(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+pub fn chained(x: f64) -> String {
+    let shown = pct(x);
+    format!("{{\"pct\": \"{}\"}}", shown) //~ float-fmt
+}
+
+pub fn human(v: f64) -> String {
+    let pretty = format!("{v:.3}");
+    println!("| {} |", pretty);
+    pretty
+}
+
+pub fn suppressed(x: f64) -> String {
+    let shown = pct(x);
+    // patu-lint: allow(float-fmt) — fixture: proves pragma coverage
+    format!("{{\"pct\": \"{}\"}}", shown)
+}

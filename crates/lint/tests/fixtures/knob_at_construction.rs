@@ -1,0 +1,24 @@
+//! knob-at-construction fixture: environment knobs read on a path reachable
+//! from a frame-loop entry point must move to construction time. Reads that
+//! are not reachable from `render_frame`/`run_session` only get the plain
+//! `env-var` diagnostic.
+
+pub fn render_frame(frame: u32) -> u32 {
+    per_frame(frame) + governed(frame)
+}
+
+fn per_frame(frame: u32) -> u32 {
+    let knob = std::env::var("PATU_FIXTURE").ok(); //~ env-var knob-at-construction
+    knob.map_or(frame, |v| v.len() as u32 + frame)
+}
+
+fn governed(frame: u32) -> u32 {
+    // patu-lint: allow(knob-at-construction) — fixture: proves pragma coverage
+    let knob = std::env::var("PATU_GOV").ok(); //~ env-var
+    knob.map_or(frame, |v| v.len() as u32 + frame)
+}
+
+pub fn from_env() -> u32 {
+    let knob = std::env::var("PATU_SETUP").ok(); //~ env-var
+    knob.map_or(0, |v| v.len() as u32)
+}

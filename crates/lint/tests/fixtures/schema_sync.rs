@@ -1,0 +1,19 @@
+//! schema-sync fixture: every emitted `"type"` tag must appear in the
+//! `LINE_TYPES` registry, and every registered tag must still be emitted
+//! somewhere. `"ghost"` below is registered but dead; `"rogue"` is emitted
+//! but unregistered.
+
+pub const LINE_TYPES: [&str; 2] = ["frame", "ghost"]; //~ schema-sync
+
+pub fn emit_frame(n: u32) -> String {
+    format!("{{\"type\":\"frame\",\"n\":{n}}}")
+}
+
+pub fn emit_rogue(n: u32) -> String {
+    format!("{{\"type\":\"rogue\",\"n\":{n}}}") //~ schema-sync
+}
+
+pub fn emit_legacy(n: u32) -> String {
+    // patu-lint: allow(schema-sync) — fixture: proves pragma coverage
+    format!("{{\"type\":\"legacy\",\"n\":{n}}}")
+}

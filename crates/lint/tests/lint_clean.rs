@@ -23,3 +23,41 @@ fn workspace_lints_clean() {
             .join("\n")
     );
 }
+
+/// The stricter v2 self-lint: with `--debt` every reasoned pragma in the
+/// tree must still be suppressing a live violation, and the incremental
+/// cache must reproduce the direct run exactly.
+#[test]
+fn workspace_is_debt_free_and_cache_faithful() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let opts = patu_lint::Options {
+        incremental: true,
+        debt: true,
+    };
+    let cold = match patu_lint::run_with(&root, &opts) {
+        Ok(outcome) => outcome,
+        Err(e) => panic!("patu-lint failed to walk the workspace: {e}"),
+    };
+    assert!(
+        cold.diags.is_empty(),
+        "workspace must be clean including pragma debt, found:\n{}",
+        cold.diags
+            .iter()
+            .map(|d| d.human())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    let warm = match patu_lint::run_with(&root, &opts) {
+        Ok(outcome) => outcome,
+        Err(e) => panic!("patu-lint failed on the warm run: {e}"),
+    };
+    assert!(
+        warm.diags.is_empty(),
+        "cached run must agree with the cold run"
+    );
+    assert!(
+        warm.reused > 0,
+        "the warm run must reuse cached analyses ({} files)",
+        warm.files
+    );
+}

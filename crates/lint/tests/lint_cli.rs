@@ -115,6 +115,107 @@ fn the_real_workspace_is_clean_through_the_cli() {
 }
 
 #[test]
+fn sarif_pipeline_roundtrips_through_check_sarif() {
+    let dir = temp_tree("patu_lint_sarif_pipe");
+    std::fs::write(
+        dir.join("crates/demo/src/lib.rs"),
+        "#![forbid(unsafe_code)]\npub fn bad(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+    )
+    .expect("inject violation");
+    let out = bin()
+        .args(["--format", "sarif", "--root"])
+        .arg(&dir)
+        .output()
+        .expect("run patu-lint");
+    assert_eq!(out.status.code(), Some(1), "violations still exit 1");
+    let sarif_path = dir.join("lint.sarif");
+    std::fs::write(&sarif_path, &out.stdout).expect("write sarif artifact");
+
+    // The ci.sh contract: the emitted artifact must pass --check-sarif.
+    let check = bin()
+        .arg("--check-sarif")
+        .arg(&sarif_path)
+        .output()
+        .expect("run patu-lint --check-sarif");
+    assert_eq!(
+        check.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&check.stderr)
+    );
+
+    // Corrupt it: validation must fail with exit 2.
+    std::fs::write(&sarif_path, b"{\"version\": \"9.9\"}").expect("corrupt artifact");
+    let bad = bin()
+        .arg("--check-sarif")
+        .arg(&sarif_path)
+        .output()
+        .expect("run patu-lint --check-sarif");
+    assert_eq!(bad.status.code(), Some(2));
+}
+
+#[test]
+fn fix_check_flags_pending_rewrites_then_settles() {
+    let dir = temp_tree("patu_lint_fix_check");
+    std::fs::write(
+        dir.join("crates/demo/src/lib.rs"),
+        "#![forbid(unsafe_code)]\nuse std::collections::HashMap;\n\
+         pub fn m() -> HashMap<u32, u32> {\n    HashMap::new()\n}\n",
+    )
+    .expect("inject fixable violation");
+    let pending = bin()
+        .args(["--fix", "--check", "--root"])
+        .arg(&dir)
+        .output()
+        .expect("run patu-lint --fix --check");
+    assert_eq!(
+        pending.status.code(),
+        Some(1),
+        "pending rewrites must fail the check; stderr: {}",
+        String::from_utf8_lossy(&pending.stderr)
+    );
+
+    let fix = bin()
+        .args(["--fix", "--root"])
+        .arg(&dir)
+        .output()
+        .expect("run patu-lint --fix");
+    assert_eq!(fix.status.code(), Some(0), "the fixed tree lints clean");
+
+    let settled = bin()
+        .args(["--fix", "--check", "--root"])
+        .arg(&dir)
+        .output()
+        .expect("re-run patu-lint --fix --check");
+    assert_eq!(
+        settled.status.code(),
+        Some(0),
+        "--fix is idempotent: a fixed tree has nothing pending"
+    );
+}
+
+#[test]
+fn incremental_cli_reports_cache_reuse() {
+    let dir = temp_tree("patu_lint_incr_cli");
+    let run = || {
+        bin()
+            .args(["--incremental", "--root"])
+            .arg(&dir)
+            .output()
+            .expect("run patu-lint --incremental")
+    };
+    let cold = run();
+    assert_eq!(cold.status.code(), Some(0));
+    let warm = run();
+    assert_eq!(warm.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&warm.stdout);
+    assert!(
+        text.contains("1 cached"),
+        "warm run must reuse the single .rs analysis; got: {text}"
+    );
+}
+
+#[test]
 fn bad_usage_and_missing_root_exit_two() {
     let out = bin()
         .args(["--format", "yaml"])
@@ -153,6 +254,11 @@ fn rules_listing_names_every_rule() {
         "float-fmt",
         "unsafe-code",
         "extern-dep",
+        "det-rng-discipline",
+        "parallel-float-fold",
+        "knob-at-construction",
+        "schema-sync",
+        "unused-pragma",
     ] {
         assert!(text.contains(rule), "--rules must list {rule}");
     }

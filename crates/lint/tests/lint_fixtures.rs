@@ -10,6 +10,7 @@
 
 use patu_lint::manifest::lint_manifest;
 use patu_lint::rules::lint_source;
+use std::collections::BTreeMap;
 
 /// Parses the expected `(rule, line)` set out of a fixture's markers.
 fn expected(src: &str, comment: &str) -> Vec<(String, u32)> {
@@ -49,6 +50,45 @@ fn check_source(path: &str, src: &str) {
         actual,
         expected(src, "//"),
         "diagnostics mismatch for {path}"
+    );
+}
+
+/// Runs the full v2 pipeline over a single file — per-file analysis plus
+/// the interprocedural pass (call graph, knob reachability, float-fmt
+/// chains, schema sync) restricted to that file's facts — and asserts the
+/// suppressed diagnostics match the markers. Every pragma in a v2 fixture
+/// must fire (the debt check).
+fn check_source_v2(path: &str, src: &str) {
+    let mut crates = BTreeMap::new();
+    crates.insert("crates/fixture".to_string(), "patu_fixture".to_string());
+    let analysis = patu_lint::rules::analyze_source(path, src, &crates);
+    let mut facts = BTreeMap::new();
+    facts.insert(path.to_string(), analysis.facts.clone());
+
+    let mut raw = analysis.raw.clone();
+    raw.extend(patu_lint::callgraph::check(&facts));
+    raw.extend(patu_lint::callgraph::float_chain(&facts));
+    let schema: Vec<_> = facts
+        .iter()
+        .map(|(p, f)| (p.clone(), f.emits.clone(), f.registry.clone()))
+        .collect();
+    raw.extend(patu_lint::schema_sync::check(&schema));
+
+    let mut used = vec![false; analysis.suppressions.len()];
+    let diags = patu_lint::rules::apply_suppressions(raw, &analysis.suppressions, &mut used);
+    assert!(
+        used.iter().all(|u| *u),
+        "every pragma in a v2 fixture must suppress something ({path})"
+    );
+    let mut actual: Vec<(String, u32)> = diags
+        .into_iter()
+        .map(|d| (d.rule.to_string(), d.line))
+        .collect();
+    actual.sort();
+    assert_eq!(
+        actual,
+        expected(src, "//"),
+        "v2 diagnostics mismatch for {path}"
     );
 }
 
@@ -144,6 +184,46 @@ fn extern_dep_fixture() {
         .collect();
     actual.sort();
     assert_eq!(actual, expected(src, "#"), "manifest diagnostics mismatch");
+}
+
+#[test]
+fn det_rng_fixture() {
+    check_source_v2(
+        "crates/fixture/src/det_rng.rs",
+        include_str!("fixtures/det_rng.rs"),
+    );
+}
+
+#[test]
+fn float_fold_fixture() {
+    check_source_v2(
+        "crates/fixture/src/float_fold.rs",
+        include_str!("fixtures/float_fold.rs"),
+    );
+}
+
+#[test]
+fn float_fmt_chain_fixture() {
+    check_source_v2(
+        "crates/fixture/src/float_fmt_chain.rs",
+        include_str!("fixtures/float_fmt_chain.rs"),
+    );
+}
+
+#[test]
+fn knob_at_construction_fixture() {
+    check_source_v2(
+        "crates/fixture/src/knob_at_construction.rs",
+        include_str!("fixtures/knob_at_construction.rs"),
+    );
+}
+
+#[test]
+fn schema_sync_fixture() {
+    check_source_v2(
+        "crates/fixture/src/schema_sync.rs",
+        include_str!("fixtures/schema_sync.rs"),
+    );
 }
 
 #[test]

@@ -1,0 +1,270 @@
+//! Integration tests of the v2 interprocedural pipeline on temp-tree
+//! workspaces: cross-crate taint, knob reachability, schema sync, autofix
+//! idempotence, the incremental cache, and SARIF output — all through the
+//! public [`patu_lint::run_with`] entry point.
+
+use patu_lint::Options;
+use std::path::{Path, PathBuf};
+
+/// Builds a throwaway workspace under `CARGO_TARGET_TMPDIR` from
+/// `(relative path, contents)` pairs.
+fn tree(name: &str, files: &[(&str, &str)]) -> PathBuf {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("clear stale temp tree");
+    }
+    for (rel, contents) in files {
+        let full = dir.join(rel);
+        std::fs::create_dir_all(full.parent().expect("parent")).expect("mkdirs");
+        std::fs::write(full, contents).expect("write fixture file");
+    }
+    dir
+}
+
+const WORKSPACE_TOML: &str = "[workspace]\nmembers = [\"crates/*\"]\n";
+
+fn package_toml(name: &str, deps: &str) -> String {
+    format!("[package]\nname = \"{name}\"\nversion = \"0.1.0\"\n\n[dependencies]\n{deps}")
+}
+
+fn rules_of(diags: &[patu_lint::Diagnostic]) -> Vec<(&'static str, String, u32)> {
+    diags
+        .iter()
+        .map(|d| (d.rule, d.path.clone(), d.line))
+        .collect()
+}
+
+#[test]
+fn cross_crate_rng_taint_flags_the_call_site() {
+    let dir = tree(
+        "patu_lint_v2_rng",
+        &[
+            ("Cargo.toml", WORKSPACE_TOML),
+            ("crates/alpha/Cargo.toml", &package_toml("patu-alpha", "")),
+            (
+                "crates/alpha/src/lib.rs",
+                "#![forbid(unsafe_code)]\n\
+                 use patu_sim::parallel;\n\
+                 use patu_gmath::DetRng;\n\
+                 \n\
+                 pub fn draws(rng: &mut DetRng) -> Vec<u64> {\n\
+                 \x20   parallel::run_indexed(4, 8, |i| rng.next_u64() + i as u64)\n\
+                 }\n",
+            ),
+            (
+                "crates/beta/Cargo.toml",
+                &package_toml("patu-beta", "patu-alpha = { path = \"../alpha\" }\n"),
+            ),
+            (
+                "crates/beta/src/lib.rs",
+                "#![forbid(unsafe_code)]\n\
+                 use patu_alpha::draws;\n\
+                 use patu_gmath::DetRng;\n\
+                 \n\
+                 pub fn go(seed: u64) -> Vec<u64> {\n\
+                 \x20   let mut rng = DetRng::new(seed);\n\
+                 \x20   draws(&mut rng)\n\
+                 }\n",
+            ),
+        ],
+    );
+    let diags = patu_lint::run(&dir).expect("lint temp tree");
+    assert_eq!(
+        rules_of(&diags),
+        vec![(
+            "det-rng-discipline",
+            "crates/beta/src/lib.rs".to_string(),
+            7
+        )],
+        "the call site passing a live stream into a partitioned callee must \
+         be flagged, and nothing else"
+    );
+}
+
+#[test]
+fn knob_reachability_crosses_crates() {
+    let dir = tree(
+        "patu_lint_v2_knob",
+        &[
+            ("Cargo.toml", WORKSPACE_TOML),
+            ("crates/alpha/Cargo.toml", &package_toml("patu-alpha", "")),
+            (
+                "crates/alpha/src/lib.rs",
+                "#![forbid(unsafe_code)]\n\
+                 pub fn helper(n: u32) -> u32 {\n\
+                 \x20   let raw = std::env::var(\"PATU_TEMP_KNOB\").ok();\n\
+                 \x20   raw.map_or(n, |v| v.len() as u32)\n\
+                 }\n",
+            ),
+            (
+                "crates/beta/Cargo.toml",
+                &package_toml("patu-beta", "patu-alpha = { path = \"../alpha\" }\n"),
+            ),
+            (
+                "crates/beta/src/lib.rs",
+                "#![forbid(unsafe_code)]\n\
+                 pub fn render_frame(n: u32) -> u32 {\n\
+                 \x20   patu_alpha::helper(n)\n\
+                 }\n",
+            ),
+        ],
+    );
+    let diags = patu_lint::run(&dir).expect("lint temp tree");
+    let alpha = "crates/alpha/src/lib.rs".to_string();
+    assert_eq!(
+        rules_of(&diags),
+        vec![
+            ("env-var", alpha.clone(), 3),
+            ("knob-at-construction", alpha, 3),
+        ],
+        "an env read one crate away from render_frame gets both the plain \
+         env-var diagnostic and the reachability one"
+    );
+}
+
+#[test]
+fn schema_sync_checks_both_directions_across_crates() {
+    let dir = tree(
+        "patu_lint_v2_schema",
+        &[
+            ("Cargo.toml", WORKSPACE_TOML),
+            ("crates/alpha/Cargo.toml", &package_toml("patu-alpha", "")),
+            (
+                "crates/alpha/src/lib.rs",
+                "#![forbid(unsafe_code)]\n\
+                 pub const LINE_TYPES: [&str; 2] = [\"frame\", \"ghost\"];\n",
+            ),
+            ("crates/beta/Cargo.toml", &package_toml("patu-beta", "")),
+            (
+                "crates/beta/src/lib.rs",
+                "#![forbid(unsafe_code)]\n\
+                 pub fn emit_frame(n: u32) -> String {\n\
+                 \x20   format!(\"{{\\\"type\\\":\\\"frame\\\",\\\"n\\\":{n}}}\")\n\
+                 }\n\
+                 pub fn emit_rogue(n: u32) -> String {\n\
+                 \x20   format!(\"{{\\\"type\\\":\\\"rogue\\\",\\\"n\\\":{n}}}\")\n\
+                 }\n",
+            ),
+        ],
+    );
+    let diags = patu_lint::run(&dir).expect("lint temp tree");
+    assert_eq!(
+        rules_of(&diags),
+        vec![
+            ("schema-sync", "crates/alpha/src/lib.rs".to_string(), 2),
+            ("schema-sync", "crates/beta/src/lib.rs".to_string(), 6),
+        ],
+        "dead registry entry flagged at the registry, rogue tag at the \
+         emission — the registered-and-emitted tag stays silent"
+    );
+}
+
+#[test]
+fn fix_converges_through_the_public_pipeline() {
+    let dir = tree(
+        "patu_lint_v2_fix",
+        &[
+            ("Cargo.toml", WORKSPACE_TOML),
+            ("crates/demo/Cargo.toml", &package_toml("patu-demo", "")),
+            (
+                "crates/demo/src/lib.rs",
+                // patu-lint: allow(float-fmt) — deliberately-dirty fixture source, embedded as a string
+                "#![forbid(unsafe_code)]\n\
+                 use std::collections::HashMap;\n\
+                 pub fn emit(mean: f64) -> String {\n\
+                 \x20   let _m: HashMap<u32, u32> = HashMap::new();\n\
+                 \x20   format!(\"{{\\\"mean\\\": {mean:.2}}}\")\n\
+                 }\n",
+            ),
+        ],
+    );
+    let before = patu_lint::run(&dir).expect("lint temp tree");
+    assert!(before.iter().any(|d| d.rule == "hash-order"));
+    assert!(before.iter().any(|d| d.rule == "float-fmt"));
+
+    let report = patu_lint::fix::run_fix(&dir, &before, false, false).expect("apply fixes");
+    assert!(report.changed_anything(), "the rewrites must apply");
+
+    let after = patu_lint::run(&dir).expect("re-lint fixed tree");
+    assert!(
+        after
+            .iter()
+            .all(|d| d.rule != "hash-order" && d.rule != "float-fmt"),
+        "fixed tree still reports: {after:?}"
+    );
+    // `--fix --check` contract: a fixed tree has nothing pending.
+    let dry = patu_lint::fix::run_fix(&dir, &after, false, true).expect("dry run");
+    assert!(!dry.changed_anything(), "{dry:?}");
+}
+
+#[test]
+fn incremental_cache_reuses_clean_files_and_invalidates_edits() {
+    let dir = tree(
+        "patu_lint_v2_cache",
+        &[
+            ("Cargo.toml", WORKSPACE_TOML),
+            ("crates/alpha/Cargo.toml", &package_toml("patu-alpha", "")),
+            (
+                "crates/alpha/src/lib.rs",
+                "#![forbid(unsafe_code)]\npub fn a() -> u32 {\n    1\n}\n",
+            ),
+            ("crates/beta/Cargo.toml", &package_toml("patu-beta", "")),
+            (
+                "crates/beta/src/lib.rs",
+                "#![forbid(unsafe_code)]\npub fn b() -> u32 {\n    2\n}\n",
+            ),
+        ],
+    );
+    let opts = Options {
+        incremental: true,
+        debt: false,
+    };
+    let cold = patu_lint::run_with(&dir, &opts).expect("cold run");
+    assert!(cold.diags.is_empty(), "{:?}", cold.diags);
+    assert_eq!(cold.reused, 0, "nothing to reuse on a cold cache");
+
+    let warm = patu_lint::run_with(&dir, &opts).expect("warm run");
+    assert!(warm.diags.is_empty(), "{:?}", warm.diags);
+    assert_eq!(warm.reused, 2, "both .rs analyses must come from the cache");
+
+    // Edit one file: only that file re-analyzes, and its new violation
+    // surfaces even though the interprocedural pass ran on cached facts.
+    std::fs::write(
+        dir.join("crates/beta/src/lib.rs"),
+        "#![forbid(unsafe_code)]\n\
+         use std::collections::HashMap;\n\
+         pub fn b() -> HashMap<u32, u32> {\n\
+             HashMap::new()\n\
+         }\n",
+    )
+    .expect("edit beta");
+    let edited = patu_lint::run_with(&dir, &opts).expect("post-edit run");
+    assert_eq!(edited.reused, 1, "the untouched file stays cached");
+    assert!(
+        edited.diags.iter().any(|d| d.rule == "hash-order"),
+        "{:?}",
+        edited.diags
+    );
+}
+
+#[test]
+fn sarif_output_of_a_real_run_validates() {
+    let dir = tree(
+        "patu_lint_v2_sarif",
+        &[
+            ("Cargo.toml", WORKSPACE_TOML),
+            ("crates/demo/Cargo.toml", &package_toml("patu-demo", "")),
+            (
+                "crates/demo/src/lib.rs",
+                "#![forbid(unsafe_code)]\n\
+                 pub fn bad(x: Option<u32>) -> u32 {\n\
+                 \x20   x.unwrap()\n\
+                 }\n",
+            ),
+        ],
+    );
+    let diags = patu_lint::run(&dir).expect("lint temp tree");
+    assert!(!diags.is_empty(), "the fixture must produce findings");
+    let sarif = patu_lint::sarif::to_sarif(&diags);
+    patu_lint::sarif::validate(&sarif).expect("generated SARIF must validate");
+}

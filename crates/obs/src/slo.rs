@@ -226,6 +226,8 @@ impl SloOptions {
     /// Reads `PATU_SLO` (the only reader of that knob). Malformed entries
     /// fall back to the defaults, mirroring the other knob readers.
     pub fn from_env() -> SloOptions {
+        // patu-lint: allow(knob-at-construction) — read once at session setup to
+        // build SloOptions; the burn-rate engine holds the parsed value
         match std::env::var("PATU_SLO") {
             Ok(raw) => SloOptions::parse(&raw),
             Err(_) => SloOptions::default(),

@@ -26,6 +26,8 @@ pub(crate) fn thread_count(explicit: Option<usize>) -> usize {
 }
 
 fn env_threads() -> Option<usize> {
+    // patu-lint: allow(knob-at-construction) — sanctioned PATU_THREADS fallback,
+    // consulted only when the caller configured no explicit thread count
     std::env::var("PATU_THREADS")
         .ok()?
         .trim()

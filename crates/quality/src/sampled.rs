@@ -128,7 +128,23 @@ impl SampledSsimConfig {
     /// Panics under the same conditions as [`SsimConfig::ssim_map`]: images
     /// that differ in size or are smaller than the window.
     pub fn mssim_sampled(&self, x: &GrayImage, y: &GrayImage) -> f32 {
-        match self.resolved_fraction() {
+        self.mssim_with(x, y, self.resolved_fraction())
+    }
+
+    /// Estimates with a mode resolved ahead of time: `None` runs the full
+    /// computation, `Some(f)` the stratified estimate at fraction `f`.
+    ///
+    /// This is the construction-time path for long-lived callers — resolve
+    /// [`SampledSsimConfig::resolved_fraction`] once when the service is
+    /// built and pass the value down, instead of re-reading
+    /// `PATU_SSIM_SAMPLE` on every estimate.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`SsimConfig::ssim_map`]: images
+    /// that differ in size or are smaller than the window.
+    pub fn mssim_with(&self, x: &GrayImage, y: &GrayImage, resolved: Option<f64>) -> f32 {
+        match resolved.and_then(sanitize) {
             None => self.ssim.mssim(x, y),
             Some(fraction) => self.estimate(x, y, fraction),
         }
@@ -195,6 +211,8 @@ enum EnvMode {
 }
 
 fn env_mode() -> EnvMode {
+    // patu-lint: allow(knob-at-construction) — resolved once per estimator or
+    // service construction (resolved_fraction); per-frame callers use mssim_with
     match std::env::var("PATU_SSIM_SAMPLE") {
         Ok(v) => {
             let v = v.trim();

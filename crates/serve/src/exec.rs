@@ -125,6 +125,11 @@ pub struct SimFrameService {
     steps: u32,
     faults: FaultConfig,
     threads: usize,
+    /// The sampled-SSIM mode, resolved from `PATU_SSIM_SAMPLE` once at
+    /// service construction (`None` = full MSSIM): serving re-reads no
+    /// environment, so a mid-session knob flip cannot change what a
+    /// session reports.
+    ssim_mode: Option<f64>,
     baselines: BTreeMap<(usize, u32), (GrayImage, u64)>,
     rendered: BTreeMap<RenderKey, ServedFrame>,
     baseline_cycles: u64,
@@ -154,6 +159,7 @@ impl SimFrameService {
             steps: cfg.governor_steps.max(1),
             faults: cfg.faults,
             threads: parallel::thread_count(cfg.threads),
+            ssim_mode: SampledSsimConfig::new(0).resolved_fraction(),
             baselines: BTreeMap::new(),
             rendered: BTreeMap::new(),
             baseline_cycles: 0,
@@ -248,6 +254,7 @@ impl FrameService for SimFrameService {
             let base_policy = self.base_policy;
             let steps = self.steps;
             let faults = self.faults;
+            let ssim_mode = self.ssim_mode;
             let results: Vec<Result<ServedFrame, SimError>> =
                 parallel::run_indexed(self.threads.min(need.len()), need.len(), |i| {
                     let key = need[i];
@@ -267,9 +274,11 @@ impl FrameService for SimFrameService {
                         // stratified plan is a pure function of the key and
                         // the frame size, so cache hits and misses — and any
                         // PATU_THREADS setting — report the same number.
-                        Some((luma, _)) => f64::from(
-                            SampledSsimConfig::new(key.mix()).mssim_sampled(luma, &result.luma()),
-                        ),
+                        Some((luma, _)) => f64::from(SampledSsimConfig::new(key.mix()).mssim_with(
+                            luma,
+                            &result.luma(),
+                            ssim_mode,
+                        )),
                         // Unreachable (fill_baselines ran), but degrade to
                         // "no quality claim" instead of panicking.
                         None => 0.0,

@@ -29,6 +29,8 @@ const DEFAULT_CLIENTS: usize = 8;
 /// Explicit [`ServeConfig::clients`] assignments always win — this is only
 /// the `Default` seed, mirroring how `PATU_THREADS` resolves.
 pub fn default_clients() -> usize {
+    // patu-lint: allow(knob-at-construction) — Default seed read once while the
+    // session's ServeConfig is built; the client count flows down from there
     std::env::var("PATU_SERVE_CLIENTS")
         .ok()
         .and_then(|v| v.trim().parse::<usize>().ok())

@@ -30,5 +30,8 @@ cargo run --release -p patu-bench --bin serve_chaos
 echo "==> perf gate: cargo run --release -p patu-bench --bin bench_smoke"
 cargo run --release -p patu-bench --bin bench_smoke
 
+echo "==> lint cache gate: cargo run --release -p patu-bench --bin lint_bench"
+cargo run --release -p patu-bench --bin lint_bench
+
 echo "==> bench artifacts:"
 ls -1 BENCH_*.json
