@@ -9,7 +9,8 @@
 use patu_bench::RunOptions;
 use patu_core::FilterPolicy;
 use patu_scenes::Workload;
-use patu_sim::experiment::temporal_stability;
+use patu_sim::experiment::{temporal_stability, temporal_stability_with_store};
+use patu_temporal::{TemporalConfig, TemporalMode, TileStore};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let opts = RunOptions::from_args();
@@ -50,5 +51,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          tracks the baseline adds no flicker of its own. Large drops relative to \
          the baseline column would indicate frame-to-frame decision instability."
     );
+
+    // Reuse ablation: the same consecutive-frame stability measured through
+    // the temporal tile store on the slow-camera sequence presets. Blitting
+    // a tile forward is perfectly stable by construction, so the `on`
+    // column should sit at or above `off` while reusing most tiles.
+    println!("\nreuse ablation (sequence presets, PATU@0.4, temporal off vs on):");
+    println!(
+        "{:<12} {:>12} {:>12} {:>8}",
+        "preset", "off", "on", "reused"
+    );
+    for spec in patu_scenes::sequence_specs() {
+        let workload = Workload::build(spec.name, opts.resolution(&spec))?;
+        let policy = FilterPolicy::Patu { threshold: 0.4 };
+        let mut off_store = TileStore::new(TemporalConfig::off());
+        let off = temporal_stability_with_store(&workload, policy, &frames, &cfg, &mut off_store)?;
+        let mut on_store = TileStore::new(TemporalConfig::for_mode(TemporalMode::On));
+        let on = temporal_stability_with_store(&workload, policy, &frames, &cfg, &mut on_store)?;
+        println!(
+            "{:<12} {:>12.4} {:>12.4} {:>7.0}%",
+            spec.name,
+            off.stability,
+            on.stability,
+            on.reused_fraction * 100.0
+        );
+    }
     Ok(())
 }

@@ -1,0 +1,216 @@
+//! Cross-frame tile-reuse benchmark (`patu-temporal` + `render_sequence`).
+//!
+//! Full mode sweeps both slow-camera sequence presets (`orbit`, `dolly`)
+//! at their catalog resolution through temporal modes `off`/`on`/
+//! `aggressive`, measuring simulated-cycle sequence throughput against the
+//! reuse-disabled run and per-frame MSSIM against its exact pixels, and
+//! writes `BENCH_temporal.json` at the repo root. The acceptance gate:
+//! each preset must reach ≥2× sequence throughput in some reuse mode while
+//! that mode's mean MSSIM stays at or above 0.93.
+//!
+//! `--smoke` is the CI stage: a miniature orbit sequence asserting reuse
+//! actually fires, the MSSIM floor holds, `threads = 1` and `threads = 4`
+//! sequences are byte-identical, and every emitted `"temporal"` JSONL line
+//! validates against the in-repo schema. Exits non-zero on any violation.
+//!
+//! All throughput numbers are simulated GPU cycles — this bench never
+//! reads a wall clock, so its artifact is bit-reproducible on any host.
+
+use patu_bench::micro;
+use patu_core::FilterPolicy;
+use patu_obs::json::{num, num_fixed};
+use patu_quality::SsimConfig;
+use patu_scenes::{sequence_specs, Workload};
+use patu_sim::render::{render_sequence, RenderConfig};
+use patu_sim::FrameResult;
+use patu_temporal::{TemporalConfig, TemporalMode, TileStore};
+
+const GATE_SPEEDUP: f64 = 2.0;
+const GATE_MSSIM: f64 = 0.93;
+
+fn run_sequence(
+    workload: &Workload,
+    frames: &[u32],
+    mode: TemporalMode,
+    threads: Option<usize>,
+) -> Result<Vec<FrameResult>, Box<dyn std::error::Error>> {
+    let mut cfg = RenderConfig::new(FilterPolicy::Patu { threshold: 0.4 });
+    if let Some(n) = threads {
+        cfg = cfg.with_threads(n);
+    }
+    let mut store = TileStore::new(TemporalConfig::for_mode(mode));
+    Ok(render_sequence(workload, frames, &cfg, &mut store)?)
+}
+
+struct ModeRow {
+    mode: TemporalMode,
+    cycles: u64,
+    speedup: f64,
+    mean_mssim: f64,
+    min_mssim: f64,
+    reused_fraction: f64,
+}
+
+fn measure_mode(reference: &[FrameResult], results: &[FrameResult], mode: TemporalMode) -> ModeRow {
+    let ssim = SsimConfig::default();
+    let (mut sum, mut min) = (0.0f64, f64::INFINITY);
+    for (off, on) in reference.iter().zip(results) {
+        let m = f64::from(ssim.mssim(&off.luma(), &on.luma()));
+        sum += m;
+        min = min.min(m);
+    }
+    let cycles: u64 = results.iter().map(|f| f.stats.cycles).sum();
+    let reference_cycles: u64 = reference.iter().map(|f| f.stats.cycles).sum();
+    let kept: u64 = results
+        .iter()
+        .map(|f| f.stats.temporal.tiles_reused + f.stats.temporal.tiles_repredicted)
+        .sum();
+    let total: u64 = results.iter().map(|f| f.stats.temporal.tiles_total()).sum();
+    ModeRow {
+        mode,
+        cycles,
+        speedup: reference_cycles as f64 / cycles.max(1) as f64,
+        mean_mssim: sum / reference.len().max(1) as f64,
+        min_mssim: if min.is_finite() { min } else { 1.0 },
+        reused_fraction: kept as f64 / total.max(1) as f64,
+    }
+}
+
+fn smoke() -> Result<(), Box<dyn std::error::Error>> {
+    let frames: Vec<u32> = (0..6).collect();
+    let workload = Workload::build("orbit", (192, 144))?;
+    let off = run_sequence(&workload, &frames, TemporalMode::Off, Some(1))?;
+    let on = run_sequence(&workload, &frames, TemporalMode::On, Some(1))?;
+    let wide = run_sequence(&workload, &frames, TemporalMode::On, Some(4))?;
+
+    for (i, (a, b)) in on.iter().zip(&wide).enumerate() {
+        if a.image.pixels() != b.image.pixels() || a.stats != b.stats {
+            return Err(format!("frame {i} diverges between threads=1 and threads=4").into());
+        }
+    }
+    let row = measure_mode(&off, &on, TemporalMode::On);
+    if row.reused_fraction <= 0.0 {
+        return Err("slow orbit reused no tiles".into());
+    }
+    if row.mean_mssim < GATE_MSSIM {
+        return Err(format!(
+            "smoke MSSIM {:.4} under the {GATE_MSSIM} floor",
+            row.mean_mssim
+        )
+        .into());
+    }
+    let mut checked = 0usize;
+    for (frame, f) in frames.iter().zip(&on) {
+        let line = f.stats.temporal.jsonl_line(*frame);
+        patu_obs::schema::check_line(&line)
+            .map_err(|e| format!("temporal line for frame {frame}: {e}"))?;
+        checked += 1;
+    }
+    println!(
+        "temporal smoke: reuse {:.0}% of tiles, {:.2}x cycles, MSSIM {:.4}, \
+         {checked} schema-clean temporal lines, threads 1 == 4",
+        row.reused_fraction * 100.0,
+        row.speedup,
+        row.mean_mssim
+    );
+    Ok(())
+}
+
+fn full() -> Result<(), Box<dyn std::error::Error>> {
+    println!("BENCH: temporal tile reuse (simulated cycles, sequence presets)");
+    let frames: Vec<u32> = (0..12).collect();
+    let mut scene_blocks = Vec::new();
+    let mut gate_passed = true;
+
+    for spec in sequence_specs() {
+        let workload = Workload::build(spec.name, spec.resolution)?;
+        let off = run_sequence(&workload, &frames, TemporalMode::Off, None)?;
+        let off_cycles: u64 = off.iter().map(|f| f.stats.cycles).sum();
+        println!(
+            "\n{} ({}x{}, {} frames): off = {off_cycles} cycles",
+            spec.name,
+            spec.resolution.0,
+            spec.resolution.1,
+            frames.len()
+        );
+        println!(
+            "{:<12} {:>14} {:>9} {:>11} {:>10} {:>8}",
+            "mode", "cycles", "speedup", "mean-mssim", "min-mssim", "reused"
+        );
+        let mut rows = Vec::new();
+        for mode in [TemporalMode::On, TemporalMode::Aggressive] {
+            let results = run_sequence(&workload, &frames, mode, None)?;
+            let row = measure_mode(&off, &results, mode);
+            println!(
+                "{:<12} {:>14} {:>8.2}x {:>11.4} {:>10.4} {:>7.0}%",
+                row.mode.to_string(),
+                row.cycles,
+                row.speedup,
+                row.mean_mssim,
+                row.min_mssim,
+                row.reused_fraction * 100.0
+            );
+            rows.push(row);
+        }
+        let scene_gate = rows
+            .iter()
+            .any(|r| r.speedup >= GATE_SPEEDUP && r.mean_mssim >= GATE_MSSIM);
+        if !scene_gate {
+            gate_passed = false;
+        }
+        let mode_json: Vec<String> = rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "      {{\"mode\": \"{}\", \"cycles\": {}, \"speedup\": {}, \
+                     \"mean_mssim\": {}, \"min_mssim\": {}, \"reused_fraction\": {}}}",
+                    r.mode,
+                    r.cycles,
+                    num_fixed(r.speedup, 3),
+                    num(r.mean_mssim),
+                    num(r.min_mssim),
+                    num_fixed(r.reused_fraction, 4)
+                )
+            })
+            .collect();
+        scene_blocks.push(format!(
+            "    {{\"scene\": \"{}\", \"resolution\": [{}, {}], \"frames\": {}, \
+             \"off_cycles\": {}, \"gate_passed\": {}, \"modes\": [\n{}\n    ]}}",
+            spec.name,
+            spec.resolution.0,
+            spec.resolution.1,
+            frames.len(),
+            off_cycles,
+            scene_gate,
+            mode_json.join(",\n")
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"temporal\",\n  \"gate_speedup_min\": {},\n  \
+         \"gate_mssim_floor\": {},\n  \"gate_passed\": {gate_passed},\n  \"scenes\": [\n{}\n  ]\n}}\n",
+        num_fixed(GATE_SPEEDUP, 1),
+        num_fixed(GATE_MSSIM, 2),
+        scene_blocks.join(",\n")
+    );
+    let path = micro::repo_root().join("BENCH_temporal.json");
+    std::fs::write(&path, json)?;
+    println!("\nwrote {}", path.display());
+
+    if !gate_passed {
+        return Err(format!(
+            "temporal acceptance gate failed: need ≥{GATE_SPEEDUP}x at MSSIM ≥{GATE_MSSIM} \
+             on every sequence preset"
+        )
+        .into());
+    }
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke()
+    } else {
+        full()
+    }
+}

@@ -153,6 +153,20 @@ impl PerceptionAwareTextureUnit {
         self.policy
     }
 
+    /// Rebases the unit's fault stream to the canonical position for `tags`
+    /// (prefixed by the unit's `"PATU"` site tag so it never overlaps the
+    /// memory system's `"MEMS"`-tagged streams), keeping the accumulated
+    /// counts. The temporal renderer calls this with `[frame, tile]` before
+    /// each tile so prediction-flow faults are a pure function of
+    /// `(seed, frame, tile)` regardless of which tiles were reused.
+    pub fn rekey_faults(&mut self, tags: &[u64]) {
+        let mut chain = [0u64; 8];
+        chain[0] = 0x5041_5455; // "PATU"
+        let n = tags.len().min(chain.len() - 1);
+        chain[1..=n].copy_from_slice(&tags[..n]);
+        self.faults.rekey(&chain[..=n]);
+    }
+
     /// Faults injected into (and fallbacks taken by) this unit's prediction
     /// flow since the last [`PerceptionAwareTextureUnit::reset_stats`].
     pub fn fault_counts(&self) -> FaultCounts {

@@ -230,6 +230,22 @@ impl FaultInjector {
         }
     }
 
+    /// Rebases the draw stream to the canonical position for `tags` while
+    /// keeping the accumulated counts. Unlike [`FaultInjector::fork`],
+    /// which derives from wherever the current stream happens to be, this
+    /// rebuilds from the configured seed — so the resulting stream depends
+    /// only on the tag chain, never on how many draws the injector made
+    /// before. The temporal renderer uses this to key fault streams per
+    /// `(frame, tile)`: a tile's faults are then identical whether or not
+    /// its neighbours were reused from the previous frame.
+    pub fn rekey(&mut self, tags: &[u64]) {
+        let mut rng = DetRng::new(self.cfg.seed);
+        for &tag in tags {
+            rng = rng.fork(tag);
+        }
+        self.rng = rng;
+    }
+
     /// The configuration in force.
     pub fn config(&self) -> FaultConfig {
         self.cfg
@@ -423,6 +439,34 @@ mod tests {
         let sy: Vec<bool> = (0..64).map(|_| y.flip_cache_line()).collect();
         assert_eq!(sx1, sx2, "same tag, same stream");
         assert_ne!(sx1, sy, "different tags diverge");
+    }
+
+    #[test]
+    fn rekey_is_position_independent_and_keeps_counts() {
+        let cfg = FaultConfig::uniform(11, 0.5);
+        // Injector A draws a lot before rekeying; B rekeys immediately.
+        let mut a = FaultInjector::new(cfg);
+        for _ in 0..200 {
+            a.flip_cache_line();
+        }
+        let counts_before = a.counts();
+        assert!(!counts_before.is_zero());
+        let mut b = FaultInjector::new(cfg);
+        a.rekey(&[0xAB, 7, 3]);
+        b.rekey(&[0xAB, 7, 3]);
+        let sa: Vec<bool> = (0..64).map(|_| a.flip_cache_line()).collect();
+        let sb: Vec<bool> = (0..64).map(|_| b.flip_cache_line()).collect();
+        assert_eq!(sa, sb, "rekeyed stream ignores prior draw position");
+        let fired = sa.iter().filter(|&&h| h).count() as u64;
+        assert_eq!(
+            a.counts().cache_bitflips,
+            counts_before.cache_bitflips + fired,
+            "rekey preserves accumulated counts"
+        );
+        let mut c = FaultInjector::new(cfg);
+        c.rekey(&[0xAB, 7, 4]);
+        let sc: Vec<bool> = (0..64).map(|_| c.flip_cache_line()).collect();
+        assert_ne!(sa, sc, "different tags give a different stream");
     }
 
     #[test]

@@ -59,6 +59,8 @@ pub use dram::{Dram, DramStats};
 pub use error::GpuError;
 pub use fault::{FaultConfig, FaultCounts, FaultInjector};
 pub use memsys::{FetchLevel, MemAttribCycles, MemorySystem};
-pub use stats::{BandwidthBreakdown, EventCounts, FrameStats, MemSideEffects, TrafficClass};
+pub use stats::{
+    BandwidthBreakdown, EventCounts, FrameStats, MemSideEffects, TemporalCounts, TrafficClass,
+};
 pub use texture_unit::{TextureRequest, TextureUnit};
 pub use timing::FrameTimer;

@@ -126,6 +126,20 @@ impl MemorySystem {
         Ok(())
     }
 
+    /// Rebases the fault stream to the canonical position for `tags`
+    /// (prefixed by the memory system's `"MEMS"` site tag), keeping the
+    /// accumulated counts. The temporal renderer calls this with
+    /// `[frame, tile]` before rendering each tile so the tile's fault draws
+    /// are a pure function of `(seed, frame, tile)` — independent of which
+    /// other tiles this shard rendered or reused before it.
+    pub fn rekey_faults(&mut self, tags: &[u64]) {
+        let mut chain = [0u64; 8];
+        chain[0] = 0x4D45_4D53; // "MEMS" — matches set_faults/set_cluster_faults
+        let n = tags.len().min(chain.len() - 1);
+        chain[1..=n].copy_from_slice(&tags[..n]);
+        self.faults.rekey(&chain[..=n]);
+    }
+
     /// Faults injected into this memory system so far.
     pub fn fault_counts(&self) -> FaultCounts {
         self.faults.counts()

@@ -190,6 +190,66 @@ impl MemSideEffects {
     }
 }
 
+/// Cross-frame tile-reuse counters, filled by the temporal renderer
+/// (`render_sequence`). All zero on the single-frame path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TemporalCounts {
+    /// Tiles blitted verbatim from the previous frame (fragment→texel path
+    /// skipped entirely).
+    pub tiles_reused: u64,
+    /// Tiles whose pixels were reused but whose PATU decisions were
+    /// re-evaluated (stale predictor state, stable geometry).
+    pub tiles_repredicted: u64,
+    /// Tiles rendered from scratch (dirty, aged out, or temporal off).
+    pub tiles_rerendered: u64,
+    /// Cycles charged to reuse/repredict work (blit + decision refresh) —
+    /// the `reuse` stage of cycle attribution.
+    pub reuse_cycles: u64,
+}
+
+impl TemporalCounts {
+    /// Tiles the invalidation engine classified this frame.
+    pub fn tiles_total(&self) -> u64 {
+        self.tiles_reused + self.tiles_repredicted + self.tiles_rerendered
+    }
+
+    /// Fraction of tiles that skipped the fragment→texel path (reused or
+    /// repredicted), in `[0, 1]`. Zero when nothing was classified.
+    pub fn reuse_fraction(&self) -> f64 {
+        let total = self.tiles_total();
+        if total == 0 {
+            0.0
+        } else {
+            (self.tiles_reused + self.tiles_repredicted) as f64 / total as f64
+        }
+    }
+
+    /// Whether every counter is zero (single-frame path / temporal off).
+    pub fn is_zero(&self) -> bool {
+        *self == TemporalCounts::default()
+    }
+
+    /// Component-wise sum.
+    pub fn accumulate(&mut self, other: &TemporalCounts) {
+        self.tiles_reused += other.tiles_reused;
+        self.tiles_repredicted += other.tiles_repredicted;
+        self.tiles_rerendered += other.tiles_rerendered;
+        self.reuse_cycles += other.reuse_cycles;
+    }
+
+    /// The `"temporal"` JSONL line for one sequence frame — all-integer
+    /// fields, validated by `patu_obs::schema::check_line` (which rejects a
+    /// line that classified no tiles, so callers should only emit this on
+    /// sequence frames where the store ran).
+    pub fn jsonl_line(&self, frame: u32) -> String {
+        format!(
+            "{{\"type\":\"temporal\",\"frame\":{frame},\"reused\":{},\"repredicted\":{},\
+             \"rerendered\":{},\"reuse_cycles\":{}}}",
+            self.tiles_reused, self.tiles_repredicted, self.tiles_rerendered, self.reuse_cycles
+        )
+    }
+}
+
 /// The complete timing/traffic result of rendering one frame.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct FrameStats {
@@ -210,6 +270,8 @@ pub struct FrameStats {
     /// Faults injected and degradations taken while rendering (all zero
     /// when fault injection is disabled).
     pub faults: crate::FaultCounts,
+    /// Cross-frame tile reuse counters (all zero outside `render_sequence`).
+    pub temporal: TemporalCounts,
 }
 
 impl FrameStats {
@@ -269,6 +331,7 @@ impl FrameStats {
         self.bandwidth.accumulate(&other.bandwidth);
         self.events.accumulate(&other.events);
         self.faults.accumulate(&other.faults);
+        self.temporal.accumulate(&other.temporal);
     }
 }
 
@@ -378,6 +441,39 @@ mod tests {
         a.accumulate(&b);
         assert_eq!(a.trilinear_ops, 7);
         assert_eq!(a.l1_accesses, 10);
+    }
+
+    #[test]
+    fn temporal_counts_accumulate_and_fraction() {
+        let mut a = TemporalCounts {
+            tiles_reused: 3,
+            tiles_rerendered: 1,
+            reuse_cycles: 40,
+            ..TemporalCounts::default()
+        };
+        assert!((a.reuse_fraction() - 0.75).abs() < 1e-9);
+        let b = TemporalCounts {
+            tiles_repredicted: 2,
+            tiles_rerendered: 2,
+            reuse_cycles: 8,
+            ..TemporalCounts::default()
+        };
+        a.accumulate(&b);
+        assert_eq!(a.tiles_total(), 8);
+        assert_eq!(a.reuse_cycles, 48);
+        assert!((a.reuse_fraction() - 5.0 / 8.0).abs() < 1e-9);
+        assert!(!a.is_zero());
+        assert!(TemporalCounts::default().is_zero());
+        assert_eq!(TemporalCounts::default().reuse_fraction(), 0.0);
+        let mut frame = FrameStats {
+            temporal: a,
+            ..FrameStats::default()
+        };
+        frame.accumulate(&FrameStats {
+            temporal: b,
+            ..FrameStats::default()
+        });
+        assert_eq!(frame.temporal.tiles_total(), 12, "FrameStats sums temporal");
     }
 
     #[test]

@@ -152,6 +152,10 @@ pub const ENV_KNOBS: &[EnvKnob] = &[
         name: "PATU_TRACE_OUT",
         readers: &["crates/obs/src/config.rs"],
     },
+    EnvKnob {
+        name: "PATU_TEMPORAL",
+        readers: &["crates/temporal/src/config.rs"],
+    },
 ];
 
 /// Files exempt from a rule because they *are* the sanctioned entry point.
@@ -791,6 +795,23 @@ mod tests {
         );
         assert_eq!(
             rules_hit("crates/serve/src/exec.rs", src),
+            vec![("env-var", 1)]
+        );
+    }
+
+    #[test]
+    fn temporal_knob_reads_only_from_the_temporal_config() {
+        // `PATU_TEMPORAL` resolves once in the temporal crate's config
+        // module; the sim render path and the serve layer take the resolved
+        // `TemporalConfig` as a plain value.
+        let src = "fn mode() -> Option<String> { std::env::var(\"PATU_TEMPORAL\").ok() }\n";
+        assert!(rules_hit("crates/temporal/src/config.rs", src).is_empty());
+        assert_eq!(
+            rules_hit("crates/temporal/src/store.rs", src),
+            vec![("env-var", 1)]
+        );
+        assert_eq!(
+            rules_hit("crates/sim/src/render.rs", src),
             vec![("env-var", 1)]
         );
     }

@@ -46,13 +46,18 @@ pub enum Stage {
     CacheStall,
     /// DRAM access latency, including injected DRAM stall faults.
     Dram,
+    /// Cross-frame tile reuse: blit and decision-refresh cycles spent on
+    /// tiles the temporal store carried over instead of rerendering. On the
+    /// critical path (a reused tile still occupies its cluster), but orders
+    /// of magnitude cheaper than the fragment→texel work it replaces.
+    Reuse,
     /// Off-critical-path analysis work: baseline renders for SSIM scoring.
     SsimBaseline,
 }
 
 impl Stage {
     /// All stages, in canonical report order.
-    pub const ALL: [Stage; 9] = [
+    pub const ALL: [Stage; 10] = [
         Stage::Setup,
         Stage::Shade,
         Stage::Predictor,
@@ -61,6 +66,7 @@ impl Stage {
         Stage::TexelFetch,
         Stage::CacheStall,
         Stage::Dram,
+        Stage::Reuse,
         Stage::SsimBaseline,
     ];
 
@@ -75,6 +81,7 @@ impl Stage {
             Stage::TexelFetch => "texel_fetch",
             Stage::CacheStall => "cache_stall",
             Stage::Dram => "dram",
+            Stage::Reuse => "reuse",
             Stage::SsimBaseline => "ssim_baseline",
         }
     }
@@ -294,6 +301,16 @@ mod tests {
         a.add(Stage::SsimBaseline, 5_000);
         assert_eq!(a.frame_total(), 1_000);
         assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn reuse_is_on_the_render_path() {
+        assert!(Stage::Reuse.on_render_path());
+        let mut a = Attribution::new();
+        a.add(Stage::Setup, 100);
+        a.add(Stage::Reuse, 40);
+        assert_eq!(a.frame_total(), 140, "reuse counts toward conservation");
+        assert_eq!(Stage::from_name("reuse"), Some(Stage::Reuse));
     }
 
     #[test]

@@ -12,8 +12,9 @@ use crate::json::{self, Json};
 /// The line types the sink emits. `"serve"`, `"trace"` and `"slo"` lines
 /// come from the `patu-serve` layer's per-job log rather than the frame
 /// sink, but share the stream format so one checker covers both.
-pub const LINE_TYPES: [&str; 10] = [
+pub const LINE_TYPES: [&str; 11] = [
     "frame", "counter", "hist", "span", "event", "dump", "serve", "trace", "slo", "attrib",
+    "temporal",
 ];
 
 fn require_num(obj: &Json, key: &str) -> Result<f64, String> {
@@ -247,6 +248,26 @@ pub fn check_line(line: &str) -> Result<(), String> {
             }
             Ok(())
         }
+        "temporal" => {
+            require_num(&obj, "frame")?;
+            let reused = require_num(&obj, "reused")?;
+            let repredicted = require_num(&obj, "repredicted")?;
+            let rerendered = require_num(&obj, "rerendered")?;
+            require_num(&obj, "reuse_cycles")?;
+            for (name, value) in [
+                ("reused", reused),
+                ("repredicted", repredicted),
+                ("rerendered", rerendered),
+            ] {
+                if value < 0.0 {
+                    return Err(format!("negative temporal count \"{name}\""));
+                }
+            }
+            if reused + repredicted + rerendered == 0.0 {
+                return Err("temporal line classified no tiles".to_string());
+            }
+            Ok(())
+        }
         "serve" => {
             require_num(&obj, "job")?;
             require_num(&obj, "client")?;
@@ -460,6 +481,16 @@ mod tests {
         // ssim_baseline rides outside the conservation sum.
         let side = "{\"type\":\"attrib\",\"frame\":0,\"total\":10,\"stages\":{\"setup\":10,\"ssim_baseline\":77}}";
         assert!(check_line(side).is_ok());
+    }
+
+    #[test]
+    fn temporal_lines_validate() {
+        let good = "{\"type\":\"temporal\",\"frame\":3,\"reused\":40,\"repredicted\":2,\"rerendered\":6,\"reuse_cycles\":1280}";
+        assert!(check_line(good).is_ok());
+        let empty = "{\"type\":\"temporal\",\"frame\":3,\"reused\":0,\"repredicted\":0,\"rerendered\":0,\"reuse_cycles\":0}";
+        assert!(check_line(empty).unwrap_err().contains("no tiles"));
+        let missing = "{\"type\":\"temporal\",\"frame\":3,\"reused\":1}";
+        assert!(check_line(missing).is_err());
     }
 
     #[test]

@@ -83,6 +83,27 @@ pub fn catalog() -> Vec<WorkloadSpec> {
     rows
 }
 
+/// The deterministic slow-camera frame-sequence presets that drive the
+/// temporal-reuse path (`patu-temporal`). Not Table II rows — [`catalog`]
+/// is unchanged — but selectable by name through
+/// [`Workload::build`](crate::Workload::build) like any game.
+pub fn sequence_specs() -> [WorkloadSpec; 2] {
+    [
+        WorkloadSpec {
+            name: "orbit",
+            title: "Arena slow orbit (sequence preset)",
+            resolution: (640, 480),
+            library: "DirectX3D",
+        },
+        WorkloadSpec {
+            name: "dolly",
+            title: "Corridor first-person dolly (sequence preset)",
+            resolution: (640, 480),
+            library: "OpenGL",
+        },
+    ]
+}
+
 /// The default single resolution per game used by most experiments
 /// (1280×1024 where supported, per Sec. VI's benchmarking policy).
 pub fn default_specs() -> Vec<WorkloadSpec> {
@@ -138,6 +159,19 @@ mod tests {
         };
         assert_eq!(spec.label(), "hl2-1600x1200");
         assert_eq!(spec.pixels(), 1_920_000);
+    }
+
+    #[test]
+    fn sequence_specs_build_as_workloads() {
+        for spec in sequence_specs() {
+            let w = crate::Workload::build(spec.name, spec.resolution).expect(spec.name);
+            assert_eq!(w.name(), spec.name);
+            assert!(
+                catalog().iter().all(|row| row.name != spec.name),
+                "{} must not perturb Table II",
+                spec.name
+            );
+        }
     }
 
     #[test]

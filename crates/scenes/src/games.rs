@@ -73,7 +73,7 @@ impl fmt::Display for WorkloadError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "unknown workload '{}' (expected one of hl2, doom3, grid, nfs, stal, ut3, wolf, rbench)",
+            "unknown workload '{}' (expected one of hl2, doom3, grid, nfs, stal, ut3, wolf, rbench, orbit, dolly)",
             self.name
         )
     }
@@ -91,6 +91,8 @@ enum Kind {
     Ut3,
     Wolf,
     Rbench,
+    Orbit,
+    Dolly,
 }
 
 /// A buildable, animatable game workload.
@@ -134,6 +136,8 @@ impl Workload {
             "ut3" => (Kind::Ut3, "ut3"),
             "wolf" => (Kind::Wolf, "wolf"),
             "rbench" => (Kind::Rbench, "rbench"),
+            "orbit" => (Kind::Orbit, "orbit"),
+            "dolly" => (Kind::Dolly, "dolly"),
             other => {
                 return Err(WorkloadError {
                     name: other.to_string(),
@@ -185,6 +189,17 @@ impl Workload {
                 procedural::plaid(512, 512, 0x83),           // 2 multi-scale grid
                 procedural::checkerboard(512, 512, 4, 0x84), // 3 fine checker
             ],
+            Kind::Orbit => vec![
+                procedural::value_noise(256, 256, 2, 0x91), // 0 arena floor
+                procedural::value_noise(256, 256, 3, 0x92), // 1 walls
+                procedural::composite(256, 256, 0x93),      // 2 trim
+            ],
+            Kind::Dolly => vec![
+                procedural::value_noise(256, 256, 2, 0xA1), // 0 floor plating
+                procedural::value_noise(256, 256, 3, 0xA2), // 1 walls
+                procedural::composite(256, 256, 0xA3),      // 2 panel decals
+                procedural::value_noise(256, 256, 3, 0xA4), // 3 ceiling grime
+            ],
         });
         use ShaderKind::Diffuse as D;
         let t = |pivot: u8| ShaderKind::Threshold { pivot };
@@ -199,6 +214,8 @@ impl Workload {
             Kind::Ut3 => vec![t(128), D, t(125)],           // emissive floor, trim
             Kind::Wolf => vec![D, D],
             Kind::Rbench => vec![D, t(120), t(128), t(128)],
+            Kind::Orbit => vec![t(128), D, t(125)], // emissive floor, trim
+            Kind::Dolly => vec![t(128), D, t(125), D], // floor sheen, decals
         };
         debug_assert_eq!(shaders.len(), textures.len());
         Ok(Workload {
@@ -253,6 +270,8 @@ impl Workload {
             Kind::Ut3 => ut3_frame(t, aspect),
             Kind::Wolf => wolf_frame(t, aspect),
             Kind::Rbench => rbench_frame(t, aspect),
+            Kind::Orbit => orbit_frame(t, aspect),
+            Kind::Dolly => dolly_frame(t, aspect),
         }
     }
 
@@ -492,13 +511,9 @@ fn stal_frame(t: f32, aspect: f32) -> FrameScene {
     }
 }
 
-/// Arena: an orbiting camera around mixed facing/oblique architecture —
-/// the lowest-anisotropy profile of the set.
-fn ut3_frame(t: f32, aspect: f32) -> FrameScene {
-    let angle = t * 0.01;
-    let eye = Vec3::new(angle.cos() * 26.0, 4.0, -30.0 + angle.sin() * 26.0);
-    let camera = Camera::new(eye, Vec3::new(0.0, 2.0, -30.0), FOVY, aspect);
-    let meshes = vec![
+/// The arena's world-fixed mesh set (`ut3`).
+fn arena_meshes() -> Vec<Mesh> {
+    vec![
         ground_plane(0.0, 45.0, -0.5, -75.0, Vec2::new(6.0, 10.0), 0),
         facing_wall(0.0, 0.0, 90.0, 14.0, -74.0, Vec2::new(9.0, 2.0), 1),
         side_wall(-45.0, 0.0, 14.0, -0.5, -74.0, Vec2::new(8.0, 2.0), 1, true),
@@ -506,7 +521,107 @@ fn ut3_frame(t: f32, aspect: f32) -> FrameScene {
         prop_box(Vec3::new(0.0, 3.0, -30.0), Vec3::new(6.0, 6.0, 6.0), 2),
         prop_box(Vec3::new(-14.0, 2.0, -42.0), Vec3::new(4.0, 4.0, 4.0), 2),
         prop_box(Vec3::new(13.0, 2.0, -20.0), Vec3::new(4.0, 4.0, 4.0), 2),
+    ]
+}
+
+/// Arena: an orbiting camera around mixed facing/oblique architecture —
+/// the lowest-anisotropy profile of the set.
+fn ut3_frame(t: f32, aspect: f32) -> FrameScene {
+    let angle = t * 0.01;
+    let eye = Vec3::new(angle.cos() * 26.0, 4.0, -30.0 + angle.sin() * 26.0);
+    let camera = Camera::new(eye, Vec3::new(0.0, 2.0, -30.0), FOVY, aspect);
+    FrameScene {
+        meshes: arena_meshes(),
+        camera,
+    }
+}
+
+/// Slow-orbit sequence preset: the arena geometry anchored in world space
+/// with a camera orbiting at ~1/50 of `ut3`'s angular speed — sub-pixel
+/// screen motion per frame, the primary temporal-reuse workload.
+fn orbit_frame(t: f32, aspect: f32) -> FrameScene {
+    let angle = t * 0.0002;
+    let eye = Vec3::new(angle.cos() * 26.0, 4.0, -30.0 + angle.sin() * 26.0);
+    let camera = Camera::new(eye, Vec3::new(0.0, 2.0, -30.0), FOVY, aspect);
+    // The `ut3` arena layout with gentler UV tiling: the preset's surfaces
+    // sit below screen Nyquist so sub-pixel blit drift degrades gracefully
+    // (the perceptual regime temporal reuse is aimed at) instead of
+    // decorrelating a near-aliasing pattern.
+    let meshes = vec![
+        ground_plane(0.0, 45.0, -0.5, -75.0, Vec2::new(2.0, 3.0), 0),
+        facing_wall(0.0, 0.0, 90.0, 14.0, -74.0, Vec2::new(3.0, 1.0), 1),
+        side_wall(-45.0, 0.0, 14.0, -0.5, -74.0, Vec2::new(3.0, 1.0), 1, true),
+        side_wall(45.0, 0.0, 14.0, -0.5, -74.0, Vec2::new(3.0, 1.0), 1, false),
+        prop_box(Vec3::new(0.0, 3.0, -30.0), Vec3::new(6.0, 6.0, 6.0), 2),
+        prop_box(Vec3::new(-14.0, 2.0, -42.0), Vec3::new(4.0, 4.0, 4.0), 2),
+        prop_box(Vec3::new(13.0, 2.0, -20.0), Vec3::new(4.0, 4.0, 4.0), 2),
     ];
+    FrameScene { meshes, camera }
+}
+
+/// First-person dolly sequence preset: a doom3-style corridor anchored in
+/// world space (unlike `doom3`, whose geometry tracks the camera) with the
+/// camera creeping forward ~0.012 units/frame under a faint sway. The
+/// corridor shells are chunked along z so the dirty-rect engine can
+/// invalidate the fast-moving near segments while the depths keep reusing.
+fn dolly_frame(t: f32, aspect: f32) -> FrameScene {
+    let z = -t * 0.004;
+    let sway_x = (t * 0.01).sin() * 0.15;
+    let camera = Camera::new(
+        Vec3::new(sway_x, 1.6, z),
+        Vec3::new(sway_x * 0.5, 1.3, z - 30.0),
+        FOVY,
+        aspect,
+    );
+    // Geometric chunk boundaries: perspective compresses depth, so equal
+    // *screen* extents need exponentially growing world-space segments —
+    // the near chunks (fast parallax, few screen rows) can then rerender
+    // without dragging the slow-moving depths with them.
+    let bounds: [f32; 8] = [-0.4, -1.0, -2.5, -6.3, -16.0, -40.0, -100.0, -260.0];
+    let z_far = bounds[bounds.len() - 1];
+    let mut meshes = Vec::new();
+    for pair in bounds.windows(2) {
+        let (a, b) = (pair[0], pair[1]);
+        meshes.push(ground_plane(0.0, 4.0, a, b, Vec2::new(2.0, 2.0), 0));
+        meshes.push(ceiling_plane(3.2, 4.0, a, b, Vec2::new(2.0, 2.0), 3));
+        meshes.push(side_wall(
+            -4.0,
+            0.0,
+            3.2,
+            a,
+            b,
+            Vec2::new(2.0, 1.0),
+            1,
+            true,
+        ));
+        meshes.push(side_wall(
+            4.0,
+            0.0,
+            3.2,
+            a,
+            b,
+            Vec2::new(2.0, 1.0),
+            1,
+            false,
+        ));
+    }
+    meshes.push(facing_wall(
+        0.0,
+        0.0,
+        8.0,
+        3.2,
+        z_far + 1.0,
+        Vec2::new(2.0, 1.0),
+        1,
+    ));
+    for k in 0..9 {
+        let kz = -12.0 - 25.0 * k as f32;
+        meshes.push(prop_box(
+            Vec3::new(if k % 2 == 0 { -3.4 } else { 3.4 }, 1.5, kz),
+            Vec3::new(0.8, 1.2, 0.8),
+            2,
+        ));
+    }
     FrameScene { meshes, camera }
 }
 
@@ -589,8 +704,8 @@ mod tests {
     use super::*;
     use patu_raster::Pipeline;
 
-    const ALL: [&str; 8] = [
-        "hl2", "doom3", "grid", "nfs", "stal", "ut3", "wolf", "rbench",
+    const ALL: [&str; 10] = [
+        "hl2", "doom3", "grid", "nfs", "stal", "ut3", "wolf", "rbench", "orbit", "dolly",
     ];
 
     #[test]
@@ -667,11 +782,30 @@ mod tests {
 
     #[test]
     fn camera_advances_between_frames() {
-        for name in ["hl2", "doom3", "grid", "nfs", "stal", "wolf", "rbench"] {
+        for name in [
+            "hl2", "doom3", "grid", "nfs", "stal", "wolf", "rbench", "orbit", "dolly",
+        ] {
             let w = Workload::build(name, (320, 240)).unwrap();
             let a = w.frame(0).camera;
             let b = w.frame(50).camera;
             assert_ne!(a.eye, b.eye, "{name}: camera must move");
+        }
+    }
+
+    #[test]
+    fn sequence_presets_are_world_fixed_and_slow() {
+        for name in ["orbit", "dolly"] {
+            let w = Workload::build(name, (320, 240)).unwrap();
+            let a = w.frame(0);
+            let b = w.frame(1);
+            assert_eq!(
+                a.meshes, b.meshes,
+                "{name}: geometry must be anchored in world space"
+            );
+            assert_ne!(a.camera.eye, b.camera.eye, "{name}: camera must creep");
+            let d = b.camera.eye - a.camera.eye;
+            let step = (d.x * d.x + d.y * d.y + d.z * d.z).sqrt();
+            assert!(step < 0.1, "{name}: slow camera, moved {step} units/frame");
         }
     }
 

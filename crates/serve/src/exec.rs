@@ -14,8 +14,9 @@ use patu_core::FilterPolicy;
 use patu_gpu::FaultConfig;
 use patu_quality::{GrayImage, SampledSsimConfig};
 use patu_scenes::Workload;
-use patu_sim::render::{render_frame, RenderConfig};
+use patu_sim::render::{render_frame, render_sequence, RenderConfig};
 use patu_sim::{parallel, SimError};
+use patu_temporal::{TemporalConfig, TileStore};
 use std::collections::BTreeMap;
 
 /// FNV-1a over a byte stream: the cheap content hash used as the
@@ -130,6 +131,14 @@ pub struct SimFrameService {
     /// environment, so a mid-session knob flip cannot change what a
     /// session reports.
     ssim_mode: Option<f64>,
+    /// Cross-frame reuse policy, resolved from `PATU_TEMPORAL` once at
+    /// service construction. With mode `off` (the default) serving is
+    /// byte-identical to a build without the temporal subsystem.
+    temporal: TemporalConfig,
+    /// One tile-reuse chain per `(scene, bucket)`: a client whose session
+    /// walks a scene's frames in order at a stable governor bucket keeps
+    /// hitting the same store, so consecutive frames blit coherent tiles.
+    stores: BTreeMap<(usize, u32), TileStore>,
     baselines: BTreeMap<(usize, u32), (GrayImage, u64)>,
     rendered: BTreeMap<RenderKey, ServedFrame>,
     baseline_cycles: u64,
@@ -144,6 +153,21 @@ impl SimFrameService {
     /// Returns [`ServeError`] for unknown scene names or an invalid base
     /// policy.
     pub fn new(cfg: &ServeConfig) -> Result<SimFrameService, ServeError> {
+        SimFrameService::with_temporal(cfg, TemporalConfig::from_env())
+    }
+
+    /// [`SimFrameService::new`] with an explicit temporal-reuse config
+    /// instead of the `PATU_TEMPORAL` environment knob — the constructor
+    /// tests use to exercise both serve paths without touching the
+    /// process environment.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimFrameService::new`].
+    pub fn with_temporal(
+        cfg: &ServeConfig,
+        temporal: TemporalConfig,
+    ) -> Result<SimFrameService, ServeError> {
         let base_policy = FilterPolicy::Patu {
             threshold: cfg.base_threshold,
         };
@@ -160,6 +184,8 @@ impl SimFrameService {
             faults: cfg.faults,
             threads: parallel::thread_count(cfg.threads),
             ssim_mode: SampledSsimConfig::new(0).resolved_fraction(),
+            temporal,
+            stores: BTreeMap::new(),
             baselines: BTreeMap::new(),
             rendered: BTreeMap::new(),
             baseline_cycles: 0,
@@ -222,6 +248,69 @@ impl SimFrameService {
         }
         Ok(())
     }
+
+    /// The temporal serve path: uncached keys group into `(scene, bucket)`
+    /// chains, each chain renders its frames in ascending order through
+    /// [`render_sequence`] against that chain's persistent [`TileStore`],
+    /// so a client stepping a scene at a stable governor bucket reuses
+    /// tiles across its frames. Chains process in sorted order — results
+    /// depend only on the session's key stream, never on thread count.
+    fn serve_sequences(&mut self, need: &[RenderKey]) -> Result<(), ServeError> {
+        let mut chains: BTreeMap<(usize, u32), Vec<RenderKey>> = BTreeMap::new();
+        for key in need {
+            chains
+                .entry((key.scene, key.bucket))
+                .or_default()
+                .push(*key);
+        }
+        for ((scene, bucket), mut keys) in chains {
+            keys.sort_unstable_by_key(|k| k.frame);
+            let frames: Vec<u32> = keys.iter().map(|k| k.frame).collect();
+            let policy = self.base_policy.with_threshold(keys[0].theta(self.steps));
+            // The chain forks one fault stream per (scene, bucket); inside
+            // it, `render_sequence` keys faults per (frame, tile), so a
+            // reused tile never perturbs a rerendered tile's faults.
+            let chain_faults = FaultConfig {
+                seed: self.faults.seed
+                    ^ fnv1a(
+                        0,
+                        (scene as u64)
+                            .to_le_bytes()
+                            .into_iter()
+                            .chain(bucket.to_le_bytes()),
+                    ),
+                ..self.faults
+            };
+            let cfg = RenderConfig::new(policy)
+                .with_threads(1)
+                .with_faults(chain_faults);
+            let mut store = self
+                .stores
+                .remove(&(scene, bucket))
+                .unwrap_or_else(|| TileStore::new(self.temporal));
+            let results = render_sequence(&self.workloads[scene], &frames, &cfg, &mut store)?;
+            self.stores.insert((scene, bucket), store);
+            for (key, result) in keys.into_iter().zip(results) {
+                let ssim = match self.baselines.get(&(key.scene, key.frame)) {
+                    Some((luma, _)) => f64::from(SampledSsimConfig::new(key.mix()).mssim_with(
+                        luma,
+                        &result.luma(),
+                        self.ssim_mode,
+                    )),
+                    None => 0.0,
+                };
+                self.rendered.insert(
+                    key,
+                    ServedFrame {
+                        cycles: result.stats.cycles.max(1),
+                        ssim,
+                        image_hash: hash_image(&result),
+                    },
+                );
+            }
+        }
+        Ok(())
+    }
 }
 
 fn hash_image(result: &patu_sim::FrameResult) -> u64 {
@@ -248,7 +337,9 @@ impl FrameService for SimFrameService {
             .collect();
         need.sort_unstable();
         need.dedup();
-        if !need.is_empty() {
+        if !need.is_empty() && !self.temporal.mode.is_off() {
+            self.serve_sequences(&need)?;
+        } else if !need.is_empty() {
             let workloads = &self.workloads;
             let baselines = &self.baselines;
             let base_policy = self.base_policy;
@@ -415,6 +506,47 @@ mod tests {
         assert!(first.ssim > 0.8 && first.ssim <= 1.0, "ssim {}", first.ssim);
         assert!(first.cycles > 0);
         assert_ne!(first.image_hash, 0);
+    }
+
+    #[test]
+    fn temporal_service_reuses_across_frames_and_stays_deterministic() {
+        use patu_temporal::TemporalMode;
+        let cfg = ServeConfig {
+            scenes: vec!["orbit".to_string()],
+            resolution: (96, 64),
+            ..ServeConfig::default()
+        };
+        let keys: Vec<RenderKey> = (0..4).map(|f| key(0, f, 3)).collect();
+        let on_cfg = TemporalConfig::for_mode(TemporalMode::On);
+        let mut on = SimFrameService::with_temporal(&cfg, on_cfg).expect("builds");
+        let served = on.serve(&keys).expect("serves");
+        let rerun = SimFrameService::with_temporal(&cfg, on_cfg)
+            .expect("builds")
+            .serve(&keys)
+            .expect("serves");
+        assert_eq!(served, rerun, "temporal serving is deterministic");
+        assert_eq!(on.distinct_renders(), 4);
+        let cached = on.serve(&keys).expect("recalls");
+        assert_eq!(cached, served, "cache hits are bit-identical");
+        assert_eq!(on.distinct_renders(), 4, "no re-render");
+
+        // Off mode through the explicit constructor takes the legacy
+        // per-key path; later frames cost more there because nothing blits.
+        let off = SimFrameService::with_temporal(&cfg, TemporalConfig::off())
+            .expect("builds")
+            .serve(&keys)
+            .expect("serves");
+        let on_cycles: u64 = served.iter().map(|f| f.cycles).sum();
+        let off_cycles: u64 = off.iter().map(|f| f.cycles).sum();
+        assert!(
+            on_cycles < off_cycles,
+            "reuse must shed serve cycles ({on_cycles} vs {off_cycles})"
+        );
+        // The cold first frame renders fully either way.
+        assert_eq!(served[0].image_hash, off[0].image_hash);
+        for f in &served {
+            assert!(f.ssim > 0.8 && f.ssim <= 1.0, "ssim {}", f.ssim);
+        }
     }
 
     #[test]

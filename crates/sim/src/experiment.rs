@@ -3,7 +3,7 @@
 
 use crate::error::SimError;
 use crate::parallel;
-use crate::render::{render_frame, FrameResult, RenderConfig};
+use crate::render::{render_frame, render_sequence, FrameResult, RenderConfig};
 use patu_core::FilterPolicy;
 use patu_energy::EnergyModel;
 use patu_gpu::{FaultConfig, FrameStats, GpuConfig};
@@ -340,6 +340,63 @@ pub fn temporal_stability(
     Ok(sum / (rendered.len() - 1) as f64)
 }
 
+/// Reuse-aware temporal stability: [`temporal_stability`] computed over a
+/// sequence rendered through an active [`TileStore`], reported together
+/// with the fraction of tiles the store kept (reused or repredicted).
+/// Reused tiles are pixel-for-pixel stable by construction, so the two
+/// numbers together separate "stable because unchanged" from "stable
+/// despite rerendering" — the distinction plain inter-frame SSIM hides.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TemporalStabilityReport {
+    /// Mean SSIM between consecutive rendered frames.
+    pub stability: f64,
+    /// Fraction of tiles carried forward (reused + repredicted) across the
+    /// sequence; 0 when the store's mode is `off`.
+    pub reused_fraction: f64,
+}
+
+/// Computes the reuse-aware stability report for a policy over `frames`,
+/// rendered in order through `store` (see [`render_sequence`]). The frames
+/// render sequentially — cross-frame reuse is inherently ordered — with
+/// intra-frame cluster parallelism from `cfg.threads`.
+///
+/// # Errors
+///
+/// Returns [`SimError::NotEnoughFrames`] for fewer than two frames, or any
+/// rendering error.
+pub fn temporal_stability_with_store(
+    workload: &Workload,
+    policy: FilterPolicy,
+    frames: &[u32],
+    cfg: &ExperimentConfig,
+    store: &mut patu_temporal::TileStore,
+) -> Result<TemporalStabilityReport, SimError> {
+    if frames.len() < 2 {
+        return Err(SimError::NotEnoughFrames {
+            got: frames.len(),
+            need: 2,
+        });
+    }
+    let mut rc = RenderConfig::new(policy).with_gpu(cfg.gpu);
+    rc.threads = cfg.threads;
+    let results = render_sequence(workload, frames, &rc, store)?;
+    let ssim = SsimConfig::default();
+    let lumas: Vec<patu_quality::GrayImage> = results.iter().map(|r| r.luma()).collect();
+    let mut sum = 0.0;
+    for pair in lumas.windows(2) {
+        sum += f64::from(ssim.mssim(&pair[0], &pair[1]));
+    }
+    let (mut kept, mut total) = (0u64, 0u64);
+    for r in &results {
+        kept += r.stats.temporal.tiles_reused + r.stats.temporal.tiles_repredicted;
+        total += r.stats.temporal.tiles_total();
+    }
+    Ok(TemporalStabilityReport {
+        stability: sum / (lumas.len() - 1) as f64,
+        reused_fraction: kept as f64 / total.max(1) as f64,
+    })
+}
+
 /// The Best Point (BP) of a sweep: the threshold maximizing
 /// `speedup × MSSIM` (Sec. VII-A).
 pub fn best_point(baseline: &AggregateResult, sweep: &[(f64, AggregateResult)]) -> f64 {
@@ -480,6 +537,42 @@ mod tests {
             err,
             crate::error::SimError::NotEnoughFrames { got: 1, need: 2 }
         ));
+        let mut store = patu_temporal::TileStore::new(patu_temporal::TemporalConfig::off());
+        let err = temporal_stability_with_store(
+            &w,
+            FilterPolicy::Baseline,
+            &[0],
+            &small_cfg(),
+            &mut store,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::SimError::NotEnoughFrames { got: 1, need: 2 }
+        ));
+    }
+
+    #[test]
+    fn reuse_aware_stability_reports_the_kept_fraction() {
+        use patu_temporal::{TemporalConfig, TemporalMode, TileStore};
+        let w = Workload::build("orbit", (192, 144)).unwrap();
+        let frames = [0u32, 1, 2, 3];
+        let policy = FilterPolicy::Patu { threshold: 0.4 };
+        let mut off = TileStore::new(TemporalConfig::off());
+        let r_off =
+            temporal_stability_with_store(&w, policy, &frames, &small_cfg(), &mut off).unwrap();
+        assert_eq!(r_off.reused_fraction, 0.0, "off keeps nothing");
+        assert!((0.0..=1.0).contains(&r_off.stability));
+        let mut on = TileStore::new(TemporalConfig::for_mode(TemporalMode::On));
+        let r_on =
+            temporal_stability_with_store(&w, policy, &frames, &small_cfg(), &mut on).unwrap();
+        assert!(r_on.reused_fraction > 0.0, "slow orbit reuses tiles");
+        assert!(
+            r_on.stability >= r_off.stability - 1e-6,
+            "blitted tiles cannot flicker: {} vs {}",
+            r_on.stability,
+            r_off.stability
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@ use patu_core::{
 };
 use patu_gpu::{
     FaultConfig, FaultCounts, FrameStats, FrameTimer, GpuConfig, MemAttribCycles, MemSideEffects,
-    MemorySystem, TextureRequest, TextureUnit, TrafficClass,
+    MemorySystem, TemporalCounts, TextureRequest, TextureUnit, TrafficClass,
 };
 use patu_obs::{
     Attribution, Collector, Event, EventKind, FrameTelemetry, Log2Histogram, Stage,
@@ -16,6 +16,7 @@ use patu_obs::{
 use patu_quality::GrayImage;
 use patu_raster::{Framebuffer, GeometryOutput, Pipeline};
 use patu_scenes::Workload;
+use patu_temporal::{TileClass, TileDecision, TileStore};
 use patu_texture::{AddressMode, Footprint, Rgba8};
 
 /// Bytes fetched per vertex (position + UV + padding, like a packed
@@ -32,6 +33,14 @@ const CYCLES_PER_VERTEX: u64 = 4;
 
 /// Front-end cost per rasterized triangle (setup), cycles.
 const CYCLES_PER_TRIANGLE: u64 = 2;
+
+/// Pixels a reused tile blits forward per cycle (on-chip copy bandwidth;
+/// the blit replaces the whole fragment→texel path for that tile).
+const REUSE_PIXELS_PER_CYCLE: u64 = 16;
+
+/// Stored fragment decisions a repredicted tile re-validates per cycle
+/// (stage-1 summary consult, no texel traffic).
+const REPREDICT_FRAGS_PER_CYCLE: u64 = 8;
 
 /// How fragments flow through the texture unit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -255,6 +264,80 @@ pub fn render_frame(
     Ok(result)
 }
 
+/// Renders the frames of `workload` listed in `frames` (in order) with
+/// cross-frame tile reuse through `store`. Tiles the store's invalidation
+/// engine classifies [`TileClass::Reuse`]/[`TileClass::Repredict`] are
+/// blitted from the previous frame and skip the fragment→texel path
+/// entirely; per-frame reuse counters land in
+/// [`FrameStats::temporal`](patu_gpu::FrameStats). Fault streams are keyed
+/// per `(frame, tile)` in sequence mode, so outputs are bit-identical
+/// across `PATU_THREADS` and reruns even under fault injection.
+///
+/// With the store's mode `off` every tile rerenders, but the sequence
+/// still flows through the store (fault keying included), so `off` vs a
+/// force-invalidated `on` run is byte-comparable.
+///
+/// # Errors
+///
+/// See [`render_frame`].
+pub fn render_sequence(
+    workload: &Workload,
+    frames: &[u32],
+    cfg: &RenderConfig,
+    store: &mut TileStore,
+) -> Result<Vec<FrameResult>, SimError> {
+    let (width, height) = workload.resolution();
+    let tile_size = cfg.gpu.tile_size;
+    let threshold_bp = cfg
+        .policy
+        .threshold()
+        .map(|t| (t * 10_000.0).round() as u32)
+        .unwrap_or(0);
+    let mut results = Vec::with_capacity(frames.len());
+    for &frame in frames {
+        let scene = workload.frame(frame);
+        let plan = store.plan(&scene, width, height, tile_size);
+        let mut result = {
+            let ctx = SeqCtx {
+                frame,
+                plan: &plan,
+                prev: store.prev_image(),
+                store,
+            };
+            render_scene_inner(workload, &scene, cfg, Some(&ctx))?
+        };
+        if let Some(t) = result.telemetry.as_deref_mut() {
+            t.frame = frame;
+            for dump in &mut t.dumps {
+                dump.frame = frame;
+            }
+        }
+        // Refresh the store: rendered tiles contribute fresh decision
+        // summaries (grid-indexed; tiles with no geometry stay default),
+        // reused tiles carry their stored summaries forward inside commit.
+        let tiles_x = width.div_ceil(tile_size);
+        let tiles_y = height.div_ceil(tile_size);
+        let mut fresh = vec![TileDecision::default(); (tiles_x as usize) * (tiles_y as usize)];
+        for t in &result.tile_stats {
+            fresh[(t.ty * tiles_x + t.tx) as usize] =
+                TileDecision::new(t.fragments, t.demoted, threshold_bp);
+        }
+        store.commit(scene, result.image.clone(), tile_size, &plan, &fresh);
+        results.push(result);
+    }
+    Ok(results)
+}
+
+/// The sequence-mode context one frame renders under: the invalidation
+/// plan, the previous frame's pixels and the store's per-tile decision
+/// summaries. Shared read-only across cluster workers.
+struct SeqCtx<'a> {
+    frame: u32,
+    plan: &'a patu_temporal::FramePlan,
+    prev: Option<&'a Framebuffer>,
+    store: &'a TileStore,
+}
+
 /// Renders an explicit scene (meshes + camera) using `workload`'s texture
 /// and shader tables. [`render_frame`] is the common entry point; this one
 /// exists for callers that modify the camera first — e.g. the stereo/VR
@@ -267,6 +350,18 @@ pub fn render_scene(
     workload: &Workload,
     scene: &patu_scenes::FrameScene,
     cfg: &RenderConfig,
+) -> Result<FrameResult, SimError> {
+    render_scene_inner(workload, scene, cfg, None)
+}
+
+/// The shared frame renderer. `temporal` is `Some` only on the
+/// [`render_sequence`] path; with `None` the behavior (including fault
+/// stream positions) is byte-identical to what [`render_scene`] always did.
+fn render_scene_inner(
+    workload: &Workload,
+    scene: &patu_scenes::FrameScene,
+    cfg: &RenderConfig,
+    temporal: Option<&SeqCtx<'_>>,
 ) -> Result<FrameResult, SimError> {
     let (width, height) = workload.resolution();
     let pipeline =
@@ -322,8 +417,17 @@ pub fn render_scene(
         .map(|shard| {
             let tiles: &[usize] = &cluster_tiles[shard.cluster];
             let run_cfg = *cfg;
-            Box::new(move || run_cluster(shard, tiles, geometry_ref, workload, &run_cfg, frontend))
-                as parallel::Task<'_, ClusterOutput>
+            Box::new(move || {
+                run_cluster(
+                    shard,
+                    tiles,
+                    geometry_ref,
+                    workload,
+                    &run_cfg,
+                    frontend,
+                    temporal,
+                )
+            }) as parallel::Task<'_, ClusterOutput>
         })
         .collect();
     let outputs = parallel::run_tasks(threads, tasks);
@@ -356,6 +460,7 @@ pub fn render_scene(
     let mut cluster_obs = Vec::with_capacity(clusters);
     let mut cluster_attrib: Vec<ClusterAttribInput> = Vec::with_capacity(clusters);
     let mut tile_stats: Vec<TileApproxStats> = Vec::with_capacity(geometry.tiles.len());
+    let mut temporal_counts = TemporalCounts::default();
     let tile_size = cfg.gpu.tile_size;
     for (c, out) in outputs.into_iter().enumerate() {
         timer.merge_cluster(c, out.finish);
@@ -378,9 +483,11 @@ pub fn render_scene(
         sharing.accumulate(&out.sharing);
         fault_counts.accumulate(&out.faults);
         filter_hist.accumulate(&out.filter_hist);
+        temporal_counts.accumulate(&out.temporal);
         cluster_attrib.push(ClusterAttribInput {
             finish: out.finish,
             shade_cycles: out.shade_cycles,
+            reuse_cycles: out.temporal.reuse_cycles,
             tex_work_cycles: out.tex_work_cycles,
             mem: out.mem_attrib,
             decisions: out.decisions,
@@ -408,6 +515,7 @@ pub fn render_scene(
         bandwidth: side.bandwidth,
         events: side.events,
         faults: fault_counts,
+        temporal: temporal_counts,
     };
     // Discarded address calculations for stage-2 approximations (8 addresses
     // per wasted tap).
@@ -476,6 +584,7 @@ pub fn render_scene(
 struct ClusterAttribInput {
     finish: u64,
     shade_cycles: u64,
+    reuse_cycles: u64,
     tex_work_cycles: u64,
     mem: MemAttribCycles,
     decisions: DecisionAttrib,
@@ -496,11 +605,19 @@ fn assemble_attribution(frontend: u64, total: u64, clusters: &[ClusterAttribInpu
     match crit {
         Some(c) if c.finish > frontend => {
             attrib.add(Stage::Setup, frontend);
-            // The identity guarantees shade <= finish - frontend; the clamp
-            // keeps conservation unconditional rather than trusting it.
-            let shade = c.shade_cycles.min(c.finish - frontend);
+            // The identity guarantees reuse + shade <= finish - frontend;
+            // the clamps keep conservation unconditional rather than
+            // trusting it. Reuse (tile blits on the sequence path) comes
+            // off the top: a blitted tile occupies the cluster exactly its
+            // blit cost, never stalling on memory.
+            let avail = c.finish - frontend;
+            let reuse = c.reuse_cycles.min(avail);
+            if reuse > 0 {
+                attrib.add(Stage::Reuse, reuse);
+            }
+            let shade = c.shade_cycles.min(avail - reuse);
             attrib.add(Stage::Shade, shade);
-            let stall = c.finish - frontend - shade;
+            let stall = avail - reuse - shade;
             attrib.scatter_stall(
                 stall,
                 &[
@@ -550,6 +667,7 @@ struct ClusterOutput {
     mem_attrib: MemAttribCycles,
     decisions: DecisionAttrib,
     tiles: Vec<TileApproxStats>,
+    temporal: TemporalCounts,
 }
 
 /// Reusable per-tile quad-outcome accumulator: a flat `(fragments,
@@ -605,6 +723,7 @@ fn run_cluster(
     workload: &Workload,
     cfg: &RenderConfig,
     frontend: u64,
+    temporal: Option<&SeqCtx<'_>>,
 ) -> ClusterOutput {
     let cluster = shard.cluster;
     let (width, height) = (geometry.width, geometry.height);
@@ -620,6 +739,7 @@ fn run_cluster(
     let mut degraded = false;
     let mut filter_hist = Log2Histogram::new();
     let mut shade_cycles = 0u64;
+    let mut temporal_counts = TemporalCounts::default();
     let mut tile_stats: Vec<TileApproxStats> = Vec::with_capacity(tiles.len());
     let mut obs = Collector::new(cfg.telemetry, Track::Cluster(cluster as u32));
     let trace = obs.is_enabled();
@@ -631,6 +751,64 @@ fn run_cluster(
 
     for &ti in tiles {
         let tile = &geometry.tiles[ti];
+        if let Some(seq) = temporal {
+            // Sequence mode: re-key both fault streams so this tile's
+            // faults are a pure function of (seed, frame, tile). A blitted
+            // tile then consumes no stream state, and reuse cannot shift
+            // the faults of any tile rendered after it — the property the
+            // determinism grid asserts under fault injection.
+            shard.mem.rekey_faults(&[u64::from(seq.frame), ti as u64]);
+            shard.patu.rekey_faults(&[u64::from(seq.frame), ti as u64]);
+            let class = seq.plan.class(tile.tx, tile.ty);
+            if class != TileClass::Rerender {
+                if let Some(prev) = seq.prev {
+                    let start = timer.begin_tile_on(cluster);
+                    if trace {
+                        obs.event(Event {
+                            cycle: start,
+                            cluster: cluster as u32,
+                            tile: ti as u32,
+                            kind: EventKind::TileBegin,
+                        });
+                    }
+                    let x0 = tile.tx * cfg.gpu.tile_size;
+                    let y0 = tile.ty * cfg.gpu.tile_size;
+                    let w = cfg.gpu.tile_size.min(width - x0);
+                    let h = cfg.gpu.tile_size.min(height - y0);
+                    image.copy_rect_from(prev, x0, y0, w, h);
+                    let stored = seq.store.decision(tile.tx, tile.ty).unwrap_or_default();
+                    let mut cost =
+                        (u64::from(w) * u64::from(h)).div_ceil(REUSE_PIXELS_PER_CYCLE) + 1;
+                    if class == TileClass::Repredict {
+                        cost += stored.fragments.div_ceil(REPREDICT_FRAGS_PER_CYCLE) + 1;
+                        temporal_counts.tiles_repredicted += 1;
+                    } else {
+                        temporal_counts.tiles_reused += 1;
+                    }
+                    timer.end_tile(cluster, cost, start);
+                    temporal_counts.reuse_cycles += cost;
+                    tile_stats.push(TileApproxStats {
+                        tile: ti as u32,
+                        tx: tile.tx,
+                        ty: tile.ty,
+                        fragments: stored.fragments,
+                        demoted: stored.demoted,
+                    });
+                    if trace {
+                        let end = timer.cluster_cycles(cluster);
+                        obs.span_node("raster::tile", start, end, 0, "tile", ti as u64);
+                        obs.event(Event {
+                            cycle: end,
+                            cluster: cluster as u32,
+                            tile: ti as u32,
+                            kind: EventKind::TileEnd,
+                        });
+                    }
+                    continue;
+                }
+            }
+            temporal_counts.tiles_rerendered += 1;
+        }
         let start = timer.begin_tile_on(cluster);
         // Watchdog: a tile starting past the budget means injected stalls
         // (or sheer load) blew the frame time. Degrade the rest of this
@@ -903,6 +1081,7 @@ fn run_cluster(
         mem_attrib: shard.mem.attrib_cycles(),
         decisions: shard.patu.decision_attrib(),
         tiles: tile_stats,
+        temporal: temporal_counts,
     }
 }
 

@@ -1,0 +1,526 @@
+//! Dirty-rect invalidation: diff two consecutive [`FrameScene`]s and
+//! classify every screen tile.
+//!
+//! The engine is deliberately conservative about *what changed* and
+//! empirically bounded about *how far it moved*:
+//!
+//! - Camera intrinsics or mesh-list shape changes invalidate everything.
+//! - A mesh whose vertices, transform or material changed dirties every
+//!   tile its projected bounds touch, under both the previous and the
+//!   current camera (the object moved *from* somewhere *to* somewhere).
+//! - For unchanged meshes under a moving camera, screen-space motion is
+//!   estimated by reprojecting a 3×3×3 lattice of the mesh's world-space
+//!   bounding box through both cameras. The lattice is consumed as eight
+//!   octant sub-boxes: each octant splats its *maximum* corner displacement
+//!   over the full screen rect the octant covers, so every tile a surface
+//!   touches is charged a conservative motion bound — interior tiles
+//!   between samples cannot silently go stale. Near octants splat large
+//!   parallax over their (near, large) rects; far octants splat small
+//!   motion — so a floor plane's near edge does not smear across the whole
+//!   frame, but is never under-charged either.
+//!
+//! Motion is accumulated across reused frames (`drift`), so a slow creep
+//! eventually forces a rerender; the bench's MSSIM floor is the empirical
+//! backstop for the sampling approximation.
+
+use crate::config::TemporalConfig;
+use patu_gmath::{Mat4, Vec3};
+use patu_raster::Mesh;
+use patu_scenes::FrameScene;
+
+/// Extra tiles dirtied/splatted around any projected rect, absorbing
+/// rasterization coverage the sparse sample lattice misses.
+const TILE_MARGIN: u32 = 1;
+
+/// Clip-space `w` below which a sample counts as behind the near plane.
+const MIN_W: f32 = 1e-3;
+
+/// What the temporal pipeline does with one tile this frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TileClass {
+    /// Blit the stored pixels; skip the fragment→texel path entirely.
+    Reuse,
+    /// Blit the stored pixels but refresh the tile's PATU decision summary
+    /// (decisions stale, geometry stable).
+    Repredict,
+    /// Render from scratch.
+    #[default]
+    Rerender,
+}
+
+/// The per-tile verdict for one frame, over the full viewport tile grid
+/// (row-major, including tiles the geometry pass leaves empty).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FramePlan {
+    tiles_x: u32,
+    tiles_y: u32,
+    classes: Vec<TileClass>,
+    /// Accumulated screen-space drift carried by each surviving tile
+    /// (zeroed where the class is [`TileClass::Rerender`]).
+    drift: Vec<f32>,
+}
+
+impl FramePlan {
+    /// A uniform plan (used when there is no previous frame to diff).
+    pub fn uniform(tiles_x: u32, tiles_y: u32, class: TileClass) -> FramePlan {
+        let n = (tiles_x as usize) * (tiles_y as usize);
+        FramePlan {
+            tiles_x,
+            tiles_y,
+            classes: vec![class; n],
+            drift: vec![0.0; n],
+        }
+    }
+
+    /// Grid width in tiles.
+    pub fn tiles_x(&self) -> u32 {
+        self.tiles_x
+    }
+
+    /// Grid height in tiles.
+    pub fn tiles_y(&self) -> u32 {
+        self.tiles_y
+    }
+
+    /// The class of tile `(tx, ty)`; out-of-grid coordinates rerender.
+    pub fn class(&self, tx: u32, ty: u32) -> TileClass {
+        if tx >= self.tiles_x || ty >= self.tiles_y {
+            return TileClass::Rerender;
+        }
+        self.classes[(ty * self.tiles_x + tx) as usize]
+    }
+
+    /// Accumulated drift carried into the next frame by grid index.
+    pub fn drift(&self, idx: usize) -> f32 {
+        self.drift.get(idx).copied().unwrap_or(0.0)
+    }
+
+    /// `(reused, repredicted, rerendered)` tile counts over the grid.
+    pub fn counts(&self) -> (u64, u64, u64) {
+        let mut c = (0u64, 0u64, 0u64);
+        for class in &self.classes {
+            match class {
+                TileClass::Reuse => c.0 += 1,
+                TileClass::Repredict => c.1 += 1,
+                TileClass::Rerender => c.2 += 1,
+            }
+        }
+        c
+    }
+
+    /// Whether any tile avoids a full render.
+    pub fn any_reused(&self) -> bool {
+        self.classes.iter().any(|&c| c != TileClass::Rerender)
+    }
+}
+
+/// Screen-space position of a world point under `vp`, or `None` when the
+/// point sits behind (or numerically on) the near plane. Matches the
+/// rasterizer's viewport transform, including the Y flip.
+fn project(vp: &Mat4, p: Vec3, width: f32, height: f32) -> Option<(f32, f32)> {
+    let clip = *vp * p.extend(1.0);
+    if clip.w <= MIN_W {
+        return None;
+    }
+    let ndc = clip.perspective_divide();
+    Some(((ndc.x + 1.0) * 0.5 * width, (1.0 - ndc.y) * 0.5 * height))
+}
+
+/// The mesh's world-space bounding box (transform applied), or `None` for
+/// an empty mesh.
+fn world_bounds(mesh: &Mesh) -> Option<(Vec3, Vec3)> {
+    let mut verts = mesh.vertices.iter();
+    let first = mesh.transform.transform_point(verts.next()?.position);
+    let mut lo = first;
+    let mut hi = first;
+    for v in verts {
+        let p = mesh.transform.transform_point(v.position);
+        lo = lo.min(p);
+        hi = hi.max(p);
+    }
+    Some((lo, hi))
+}
+
+/// The 27 lattice points of the box: corners, edge midpoints, face centers
+/// and the center — enough spatial resolution to localize parallax without
+/// rasterizing the mesh.
+fn lattice(lo: Vec3, hi: Vec3) -> [Vec3; 27] {
+    let mid = lo.lerp(hi, 0.5);
+    let xs = [lo.x, mid.x, hi.x];
+    let ys = [lo.y, mid.y, hi.y];
+    let zs = [lo.z, mid.z, hi.z];
+    let mut out = [Vec3::default(); 27];
+    let mut i = 0;
+    for &x in &xs {
+        for &y in &ys {
+            for &z in &zs {
+                out[i] = Vec3::new(x, y, z);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Per-tile working state while diffing one frame pair.
+struct Grid {
+    tiles_x: u32,
+    tiles_y: u32,
+    tile_size: f32,
+    motion: Vec<f32>,
+    dirty: Vec<bool>,
+}
+
+impl Grid {
+    fn new(tiles_x: u32, tiles_y: u32, tile_size: u32) -> Grid {
+        let n = (tiles_x as usize) * (tiles_y as usize);
+        Grid {
+            tiles_x,
+            tiles_y,
+            tile_size: tile_size as f32,
+            motion: vec![0.0; n],
+            dirty: vec![false; n],
+        }
+    }
+
+    /// Tile range covered by the screen rect `[min, max]` expanded by
+    /// [`TILE_MARGIN`], clamped to the grid; `None` when fully off screen.
+    fn tile_range(&self, min: (f32, f32), max: (f32, f32)) -> Option<(u32, u32, u32, u32)> {
+        let w = self.tiles_x as f32 * self.tile_size;
+        let h = self.tiles_y as f32 * self.tile_size;
+        if max.0 < 0.0 || max.1 < 0.0 || min.0 >= w || min.1 >= h {
+            return None;
+        }
+        let tx0 = ((min.0.max(0.0) / self.tile_size) as u32).saturating_sub(TILE_MARGIN);
+        let ty0 = ((min.1.max(0.0) / self.tile_size) as u32).saturating_sub(TILE_MARGIN);
+        let tx1 = ((max.0.min(w - 1.0).max(0.0) / self.tile_size) as u32 + TILE_MARGIN)
+            .min(self.tiles_x - 1);
+        let ty1 = ((max.1.min(h - 1.0).max(0.0) / self.tile_size) as u32 + TILE_MARGIN)
+            .min(self.tiles_y - 1);
+        Some((tx0, ty0, tx1, ty1))
+    }
+
+    fn splat_motion(&mut self, min: (f32, f32), max: (f32, f32), displacement: f32) {
+        if let Some((tx0, ty0, tx1, ty1)) = self.tile_range(min, max) {
+            for ty in ty0..=ty1 {
+                for tx in tx0..=tx1 {
+                    let idx = (ty * self.tiles_x + tx) as usize;
+                    if displacement > self.motion[idx] {
+                        self.motion[idx] = displacement;
+                    }
+                }
+            }
+        }
+    }
+
+    fn mark_dirty(&mut self, min: (f32, f32), max: (f32, f32)) {
+        if let Some((tx0, ty0, tx1, ty1)) = self.tile_range(min, max) {
+            for ty in ty0..=ty1 {
+                for tx in tx0..=tx1 {
+                    self.dirty[(ty * self.tiles_x + tx) as usize] = true;
+                }
+            }
+        }
+    }
+}
+
+/// Screen-space AABB as `(min, max)` corner pairs.
+type ScreenRect = ((f32, f32), (f32, f32));
+
+/// Extends `rect` (screen-space min/max accumulator) by a point.
+fn grow(rect: &mut Option<ScreenRect>, p: (f32, f32)) {
+    match rect {
+        None => *rect = Some((p, p)),
+        Some((min, max)) => {
+            min.0 = min.0.min(p.0);
+            min.1 = min.1.min(p.1);
+            max.0 = max.0.max(p.0);
+            max.1 = max.1.max(p.1);
+        }
+    }
+}
+
+/// Screen AABB of the mesh's bound lattice under `vp` (valid samples only).
+fn screen_rect(mesh: &Mesh, vp: &Mat4, width: f32, height: f32) -> Option<ScreenRect> {
+    let (lo, hi) = world_bounds(mesh)?;
+    let mut rect = None;
+    for p in lattice(lo, hi) {
+        if let Some(s) = project(vp, p, width, height) {
+            grow(&mut rect, s);
+        }
+    }
+    rect
+}
+
+/// Diffs `prev` → `cur` and classifies every tile of a `width`×`height`
+/// viewport gridded at `tile_size`. `ages` and `prev_drift` are the store's
+/// per-tile frames-since-render and accumulated drift (empty slices mean
+/// zero). See the module docs for the rules.
+#[allow(clippy::too_many_arguments)]
+pub fn classify(
+    prev: &FrameScene,
+    cur: &FrameScene,
+    ages: &[u16],
+    prev_drift: &[f32],
+    cfg: &TemporalConfig,
+    width: u32,
+    height: u32,
+    tile_size: u32,
+) -> FramePlan {
+    let tiles_x = width.div_ceil(tile_size);
+    let tiles_y = height.div_ceil(tile_size);
+    let all_rerender = || FramePlan::uniform(tiles_x, tiles_y, TileClass::Rerender);
+
+    if cfg.mode.is_off() || cfg.force_invalidate {
+        return all_rerender();
+    }
+    // A projection change moves every pixel at once; so does a mesh list
+    // whose shape changed (pairwise diffing needs stable identity).
+    let (pc, cc) = (&prev.camera, &cur.camera);
+    if pc.fovy != cc.fovy
+        || pc.aspect != cc.aspect
+        || pc.near != cc.near
+        || pc.far != cc.far
+        || pc.up != cc.up
+        || prev.meshes.len() != cur.meshes.len()
+    {
+        return all_rerender();
+    }
+
+    let (fw, fh) = (width as f32, height as f32);
+    let prev_vp = pc.view_projection();
+    let cur_vp = cc.view_projection();
+    let mut grid = Grid::new(tiles_x, tiles_y, tile_size);
+
+    for (old, new) in prev.meshes.iter().zip(&cur.meshes) {
+        if old != new {
+            // The object itself changed: dirty where it was and where it is.
+            if let Some((min, max)) = screen_rect(old, &prev_vp, fw, fh) {
+                grid.mark_dirty(min, max);
+            }
+            if let Some((min, max)) = screen_rect(new, &cur_vp, fw, fh) {
+                grid.mark_dirty(min, max);
+            }
+            continue;
+        }
+        let Some((lo, hi)) = world_bounds(new) else {
+            continue;
+        };
+        let pts = lattice(lo, hi);
+        let prev_s = pts.map(|p| project(&prev_vp, p, fw, fh));
+        let cur_s = pts.map(|p| project(&cur_vp, p, fw, fh));
+        // Lattice order is x-major (`idx = ix*9 + iy*3 + iz`); each octant
+        // reads its 8 corners out of the shared 27-point grid.
+        for ox in 0..2usize {
+            for oy in 0..2usize {
+                for oz in 0..2usize {
+                    let mut rect = None;
+                    let mut displacement = 0.0f32;
+                    let mut crossed = false;
+                    for dx in 0..2 {
+                        for dy in 0..2 {
+                            for dz in 0..2 {
+                                let idx = (ox + dx) * 9 + (oy + dy) * 3 + (oz + dz);
+                                match (prev_s[idx], cur_s[idx]) {
+                                    (Some(a), Some(b)) => {
+                                        grow(&mut rect, a);
+                                        grow(&mut rect, b);
+                                        let d = ((b.0 - a.0).powi(2) + (b.1 - a.1).powi(2)).sqrt();
+                                        displacement = displacement.max(d);
+                                    }
+                                    // The corner crossed the near plane
+                                    // between frames: the octant's visible
+                                    // footprint is suspect wholesale.
+                                    (Some(s), None) | (None, Some(s)) => {
+                                        grow(&mut rect, s);
+                                        crossed = true;
+                                    }
+                                    (None, None) => {}
+                                }
+                            }
+                        }
+                    }
+                    if let Some((min, max)) = rect {
+                        if crossed {
+                            grid.mark_dirty(min, max);
+                        } else {
+                            grid.splat_motion(min, max, displacement);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let mut classes = Vec::with_capacity(grid.motion.len());
+    let mut drift = Vec::with_capacity(grid.motion.len());
+    for idx in 0..grid.motion.len() {
+        let age = ages.get(idx).copied().unwrap_or(0);
+        let carried = prev_drift.get(idx).copied().unwrap_or(0.0) + grid.motion[idx];
+        let class = if grid.dirty[idx] || carried > cfg.repredict_px || age >= cfg.max_age {
+            TileClass::Rerender
+        } else if carried > cfg.reuse_px || age >= cfg.max_age / 2 {
+            TileClass::Repredict
+        } else {
+            TileClass::Reuse
+        };
+        drift.push(if class == TileClass::Rerender {
+            0.0
+        } else {
+            carried
+        });
+        classes.push(class);
+    }
+    FramePlan {
+        tiles_x,
+        tiles_y,
+        classes,
+        drift,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TemporalMode;
+    use patu_gmath::Vec2;
+    use patu_raster::Camera;
+    use patu_scenes::FrameScene;
+
+    fn quad_scene(eye: Vec3) -> FrameScene {
+        let mesh = Mesh::quad(
+            [
+                Vec3::new(-4.0, -4.0, -10.0),
+                Vec3::new(4.0, -4.0, -10.0),
+                Vec3::new(4.0, 4.0, -10.0),
+                Vec3::new(-4.0, 4.0, -10.0),
+            ],
+            Vec2::new(1.0, 1.0),
+            0,
+        );
+        FrameScene {
+            meshes: vec![mesh],
+            camera: Camera::new(eye, Vec3::new(0.0, 0.0, -10.0), 1.0, 4.0 / 3.0),
+        }
+    }
+
+    fn on_cfg() -> TemporalConfig {
+        TemporalConfig::for_mode(TemporalMode::On)
+    }
+
+    #[test]
+    fn static_scene_reuses_everything() {
+        let scene = quad_scene(Vec3::new(0.0, 0.0, 0.0));
+        let plan = classify(&scene, &scene, &[], &[], &on_cfg(), 128, 96, 16);
+        let (reused, repredicted, rerendered) = plan.counts();
+        assert_eq!(rerendered, 0, "nothing moved");
+        assert_eq!(repredicted, 0);
+        assert_eq!(reused, 8 * 6);
+        assert!(plan.any_reused());
+    }
+
+    #[test]
+    fn off_mode_and_forced_invalidation_rerender_everything() {
+        let scene = quad_scene(Vec3::new(0.0, 0.0, 0.0));
+        let off = classify(
+            &scene,
+            &scene,
+            &[],
+            &[],
+            &TemporalConfig::off(),
+            128,
+            96,
+            16,
+        );
+        assert!(!off.any_reused());
+        let forced = classify(
+            &scene,
+            &scene,
+            &[],
+            &[],
+            &on_cfg().with_force_invalidate(),
+            128,
+            96,
+            16,
+        );
+        assert!(!forced.any_reused());
+    }
+
+    #[test]
+    fn large_camera_jump_rerenders_covered_tiles() {
+        let a = quad_scene(Vec3::new(0.0, 0.0, 0.0));
+        let b = quad_scene(Vec3::new(3.0, 0.0, 0.0));
+        let plan = classify(&a, &b, &[], &[], &on_cfg(), 128, 96, 16);
+        let (_, _, rerendered) = plan.counts();
+        assert!(rerendered > 0, "a 3-unit strafe moves the quad many pixels");
+    }
+
+    #[test]
+    fn faster_motion_means_less_reuse() {
+        let base = quad_scene(Vec3::new(0.0, 0.0, 0.0));
+        let slow = quad_scene(Vec3::new(0.01, 0.0, 0.0));
+        let fast = quad_scene(Vec3::new(0.6, 0.0, 0.0));
+        let reuse = |cur: &FrameScene| {
+            let (r, p, _) = classify(&base, cur, &[], &[], &on_cfg(), 128, 96, 16).counts();
+            r + p
+        };
+        assert!(reuse(&slow) >= reuse(&fast));
+        assert!(reuse(&slow) > 0);
+    }
+
+    #[test]
+    fn changed_mesh_dirties_its_tiles_only() {
+        let a = quad_scene(Vec3::new(0.0, 0.0, 0.0));
+        let mut b = a.clone();
+        b.meshes[0].material = 1;
+        let plan = classify(&a, &b, &[], &[], &on_cfg(), 256, 192, 16);
+        let (reused, _, rerendered) = plan.counts();
+        assert!(rerendered > 0, "material change invalidates the quad");
+        assert!(reused > 0, "tiles away from the quad still reuse");
+    }
+
+    #[test]
+    fn intrinsics_change_invalidates_everything() {
+        let a = quad_scene(Vec3::new(0.0, 0.0, 0.0));
+        let mut b = a.clone();
+        b.camera.fovy *= 1.01;
+        assert!(!classify(&a, &b, &[], &[], &on_cfg(), 128, 96, 16).any_reused());
+        let mut c = a.clone();
+        c.meshes.push(c.meshes[0].clone());
+        assert!(!classify(&a, &c, &[], &[], &on_cfg(), 128, 96, 16).any_reused());
+    }
+
+    #[test]
+    fn age_limits_force_refresh_and_rerender() {
+        let scene = quad_scene(Vec3::new(0.0, 0.0, 0.0));
+        let cfg = on_cfg();
+        let tiles = (128u32.div_ceil(16) * 96u32.div_ceil(16)) as usize;
+        let half = vec![cfg.max_age / 2; tiles];
+        let plan = classify(&scene, &scene, &half, &[], &cfg, 128, 96, 16);
+        assert_eq!(plan.counts().1 as usize, tiles, "mid-life tiles repredict");
+        let old = vec![cfg.max_age; tiles];
+        let plan = classify(&scene, &scene, &old, &[], &cfg, 128, 96, 16);
+        assert_eq!(plan.counts().2 as usize, tiles, "aged-out tiles rerender");
+    }
+
+    #[test]
+    fn drift_accumulates_until_rerender() {
+        let a = quad_scene(Vec3::new(0.0, 0.0, 0.0));
+        let b = quad_scene(Vec3::new(0.02, 0.0, 0.0));
+        let cfg = on_cfg();
+        let mut drift = Vec::new();
+        let mut saw_rerender = false;
+        for _ in 0..200 {
+            let plan = classify(&a, &b, &[], &drift, &cfg, 128, 96, 16);
+            if plan.counts().2 > 0 {
+                saw_rerender = true;
+                break;
+            }
+            drift = (0..plan.classes.len()).map(|i| plan.drift(i)).collect();
+        }
+        assert!(
+            saw_rerender,
+            "per-frame sub-threshold motion must accumulate into a rerender"
+        );
+    }
+}

@@ -27,6 +27,9 @@ cargo run --release -p patu-bench --bin serve_bench
 echo "==> chaos: cargo run --release -p patu-bench --bin serve_chaos"
 cargo run --release -p patu-bench --bin serve_chaos
 
+echo "==> temporal: cargo run --release -p patu-bench --bin temporal_bench"
+cargo run --release -p patu-bench --bin temporal_bench
+
 echo "==> perf gate: cargo run --release -p patu-bench --bin bench_smoke"
 cargo run --release -p patu-bench --bin bench_smoke
 

@@ -20,6 +20,10 @@
 #      SoA kernel vs. the scalar filter path and the sampled MSSIM
 #      estimator vs. the full scan, and hard-fails if either ratio
 #      regresses >10% against the recorded BENCH_*.json baselines.
+#      The temporal smoke (temporal_bench --smoke) then proves cross-frame
+#      tile reuse fires on the slow-orbit preset, holds the MSSIM floor,
+#      emits schema-clean temporal JSONL lines, and stays byte-identical
+#      between thread counts.
 #   6. Report smoke: the observability gate (patu_report --check) —
 #      per-frame cycle attribution must conserve on every bundled scene
 #      and hold against BENCH_attribution.json, a half-pool-outage chaos
@@ -68,6 +72,9 @@ cargo run -q --release -p patu-bench --bin serve_chaos -- --smoke
 
 echo "==> bench --smoke: perf ratio gate vs recorded BENCH_*.json baselines"
 cargo run -q --release -p patu-bench --bin bench_smoke
+
+echo "==> temporal smoke: tile reuse fires, MSSIM floor holds, threads 1 == 4"
+cargo run -q --release -p patu-bench --bin temporal_bench -- --smoke
 
 echo "==> report smoke: attribution conservation + trace/SLO determinism gate"
 cargo run -q --release -p patu-bench --bin patu_report -- --check
